@@ -1,0 +1,100 @@
+// Ablation: action failover (retry on remaining candidates) vs one-shot
+// dispatch, as the per-action failure probability rises.
+//
+// Retry is this reproduction's extension beyond the paper (the prototype
+// reported failures to the application); the bench quantifies how much
+// end-to-end usable-photo rate a single failover round buys on top of the
+// paper's probing + locking.
+#include <cstdio>
+
+#include "core/aorta.h"
+#include "util/strings.h"
+
+using namespace aorta;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t usable = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t retries = 0;
+};
+
+Outcome run(double glitch_prob, int max_retries, std::uint64_t seed) {
+  core::Config config;
+  config.seed = seed;
+  config.max_retries = max_retries;
+  core::Aorta sys(config);
+
+  for (int c = 0; c < 4; ++c) {
+    std::string id = util::str_format("cam%d", c + 1);
+    (void)sys.add_camera(id, util::str_format("10.0.0.%d", c + 1),
+                         {{4.0 * c, 0.0, 3.0}, 90.0}, 40.0);
+    sys.camera(id)->reliability().glitch_prob = glitch_prob;
+    sys.camera(id)->set_fatigue_coeff(0.0);  // isolate the glitch knob
+  }
+  for (int m = 0; m < 4; ++m) {
+    std::string id = util::str_format("mote%d", m + 1);
+    (void)sys.add_mote(id, {2.0 + 3.0 * m, 4.0, 1.0});
+    (void)sys.mote(id)->set_signal(
+        "accel_x",
+        devices::periodic_spike_signal(0.0, 900.0, util::Duration::seconds(60),
+                                       util::Duration::seconds(2),
+                                       util::Duration::seconds(5)));
+  }
+  for (int q = 1; q <= 4; ++q) {
+    (void)sys.exec(util::str_format(
+        "CREATE AQ q%d AS SELECT photo(c.ip, s.loc, 'd') FROM sensor s, "
+        "camera c WHERE s.id = 'mote%d' AND s.accel_x > 500 AND "
+        "coverage(c.id, s.loc)",
+        q, q));
+  }
+
+  sys.run_for(util::Duration::minutes(8));
+
+  Outcome out;
+  for (int q = 1; q <= 4; ++q) {
+    auto as = sys.action_stats("q" + std::to_string(q));
+    out.usable += as.usable;
+    out.bad += as.total_bad();
+  }
+  for (const auto* op : sys.executor().operators()) {
+    out.retries += op->stats().retries;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "\n================================================================\n"
+      "Ablation - failover retries vs per-action failure probability\n"
+      "4 queries bursting each minute, 4 cameras, 8 sim-min, 3 seeds\n"
+      "================================================================\n");
+  std::printf("%14s %10s %10s %10s %12s %10s\n", "glitch prob", "retries",
+              "usable", "bad", "fail rate", "failovers");
+
+  for (double glitch : {0.05, 0.15, 0.30}) {
+    for (int max_retries : {0, 1, 2}) {
+      std::uint64_t usable = 0, bad = 0, retries = 0;
+      const int kSeeds = 3;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        Outcome out = run(glitch, max_retries, seed);
+        usable += out.usable;
+        bad += out.bad;
+        retries += out.retries;
+      }
+      double completed = static_cast<double>(usable + bad);
+      std::printf("%14.2f %10d %10llu %10llu %11.1f%% %10llu\n", glitch,
+                  max_retries, static_cast<unsigned long long>(usable),
+                  static_cast<unsigned long long>(bad),
+                  completed == 0 ? 0.0 : 100.0 * bad / completed,
+                  static_cast<unsigned long long>(retries));
+    }
+  }
+  std::printf("\nexpectation: at glitch p and r retry rounds the residual\n"
+              "failure rate tracks p^(r+1) (independent failures across\n"
+              "candidates), so one round cuts failures roughly by 1/p.\n");
+  return 0;
+}

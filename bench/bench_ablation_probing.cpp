@@ -1,0 +1,107 @@
+// Ablation: what probing buys and what it costs (Section 4).
+//
+// Sweep the fraction of dead cameras and compare use_probing on/off in
+// the full stack. Probing pays a round-trip per candidate per batch but
+// (a) excludes dead devices from device selection, and (b) feeds the cost
+// model fresh head positions. Without probing, requests routed to dead
+// cameras burn the full action TIMEOUT and fail, and the scheduler works
+// from stale default status.
+#include <cstdio>
+
+#include "core/aorta.h"
+#include "util/strings.h"
+
+using namespace aorta;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t usable = 0;
+  std::uint64_t bad = 0;
+  double batch_makespan_s = 0.0;
+};
+
+Outcome run(bool use_probing, int dead_cameras, std::uint64_t seed) {
+  core::Config config;
+  config.seed = seed;
+  config.use_probing = use_probing;
+  // Isolate the probing knob: failover retries would mask the timeouts
+  // this ablation is about.
+  config.max_retries = 0;
+  core::Aorta sys(config);
+
+  for (int c = 0; c < 6; ++c) {
+    std::string id = util::str_format("cam%d", c + 1);
+    (void)sys.add_camera(id, util::str_format("10.0.0.%d", c + 1),
+                         {{3.0 * c, 0.0, 3.0}, 90.0}, 40.0);
+    if (c < dead_cameras) sys.camera(id)->set_online(false);
+  }
+  for (int m = 0; m < 6; ++m) {
+    std::string id = util::str_format("mote%d", m + 1);
+    (void)sys.add_mote(id, {2.0 + 2.5 * m, 4.0, 1.0});
+    (void)sys.mote(id)->set_signal(
+        "accel_x",
+        devices::periodic_spike_signal(0.0, 900.0, util::Duration::seconds(60),
+                                       util::Duration::seconds(2),
+                                       util::Duration::seconds(5)));
+  }
+  for (int q = 1; q <= 6; ++q) {
+    (void)sys.exec(util::str_format(
+        "CREATE AQ q%d AS SELECT photo(c.ip, s.loc, 'd') FROM sensor s, "
+        "camera c WHERE s.id = 'mote%d' AND s.accel_x > 500 AND "
+        "coverage(c.id, s.loc)",
+        q, q));
+  }
+
+  sys.run_for(util::Duration::minutes(8));
+
+  Outcome out;
+  for (int q = 1; q <= 6; ++q) {
+    auto as = sys.action_stats("q" + std::to_string(q));
+    out.usable += as.usable;
+    out.bad += as.total_bad();
+  }
+  for (const auto* op : sys.executor().operators()) {
+    out.batch_makespan_s = op->stats().actual_makespan_s.mean();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "\n================================================================\n"
+      "Ablation - probing on/off vs dead-camera fraction (Section 4)\n"
+      "6 queries bursting each minute, 6 cameras, 8 sim-min, 3 seeds\n"
+      "================================================================\n");
+  std::printf("%14s %10s %10s %10s %12s %16s\n", "probing", "dead", "usable",
+              "bad", "fail rate", "batch span (s)");
+
+  for (int dead : {0, 2, 4}) {
+    for (bool probing : {true, false}) {
+      std::uint64_t usable = 0, bad = 0;
+      double makespan = 0.0;
+      const int kSeeds = 3;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        Outcome out = run(probing, dead, seed);
+        usable += out.usable;
+        bad += out.bad;
+        makespan += out.batch_makespan_s;
+      }
+      double completed = static_cast<double>(usable + bad);
+      std::printf("%14s %10d %10llu %10llu %11.1f%% %16.2f\n",
+                  probing ? "on" : "off", dead,
+                  static_cast<unsigned long long>(usable),
+                  static_cast<unsigned long long>(bad),
+                  completed == 0 ? 0.0 : 100.0 * bad / completed,
+                  makespan / kSeeds);
+    }
+  }
+  std::printf("\nexpectation: with 0 dead cameras the configurations tie\n"
+              "(probing overhead is milliseconds against multi-second\n"
+              "actions); as cameras die, no-probing failure rates climb and\n"
+              "batch spans inflate by burnt timeouts, while probing keeps\n"
+              "routing actions only to live candidates.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation: scheduler choice inside the *full* Aorta stack.
+//
+// Figures 4-6 evaluate the algorithms on isolated scheduling rounds; this
+// bench closes the loop by running the complete pipeline — continuous
+// queries, event detection, shared operators, probing, locks, simulated
+// cameras — and varying only Config::scheduler. The metric is the actual
+// (simulated wall clock) makespan of each event burst's photo batch plus
+// end-to-end outcome quality.
+#include <cstdio>
+
+#include "core/aorta.h"
+#include "util/strings.h"
+
+using namespace aorta;
+
+namespace {
+
+struct SystemOutcome {
+  double mean_batch_makespan_s = 0.0;
+  std::uint64_t usable = 0;
+  std::uint64_t bad = 0;
+};
+
+SystemOutcome run_system(const std::string& scheduler, std::uint64_t seed) {
+  core::Config config;
+  config.seed = seed;
+  config.scheduler = scheduler;
+  core::Aorta sys(config);
+
+  // A bigger lab than Section 6.1: 6 cameras in a ring, 12 motes, all
+  // spiking together every minute -> bursts of 12 concurrent requests.
+  for (int c = 0; c < 6; ++c) {
+    double angle = c * 60.0;
+    double x = 10.0 + 8.0 * std::cos(angle * M_PI / 180.0);
+    double y = 10.0 + 8.0 * std::sin(angle * M_PI / 180.0);
+    (void)sys.add_camera(util::str_format("cam%d", c + 1),
+                         util::str_format("10.0.0.%d", c + 1),
+                         {{x, y, 3.0}, angle + 180.0}, 30.0);
+  }
+  for (int m = 0; m < 12; ++m) {
+    std::string id = util::str_format("mote%d", m + 1);
+    double x = 10.0 + 5.0 * std::cos(m * 30.0 * M_PI / 180.0);
+    double y = 10.0 + 5.0 * std::sin(m * 30.0 * M_PI / 180.0);
+    (void)sys.add_mote(id, {x, y, 1.0});
+    (void)sys.mote(id)->set_signal(
+        "accel_x",
+        devices::periodic_spike_signal(0.0, 900.0, util::Duration::seconds(60),
+                                       util::Duration::seconds(2),
+                                       util::Duration::seconds(7)));
+  }
+  for (int q = 1; q <= 12; ++q) {
+    (void)sys.exec(util::str_format(
+        "CREATE AQ q%d AS SELECT photo(c.ip, s.loc, 'd') FROM sensor s, "
+        "camera c WHERE s.id = 'mote%d' AND s.accel_x > 500 AND "
+        "coverage(c.id, s.loc)",
+        q, q));
+  }
+
+  sys.run_for(util::Duration::minutes(10));
+
+  SystemOutcome out;
+  for (const auto* op : sys.executor().operators()) {
+    out.mean_batch_makespan_s = op->stats().actual_makespan_s.mean();
+  }
+  for (int q = 1; q <= 12; ++q) {
+    auto as = sys.action_stats("q" + std::to_string(q));
+    out.usable += as.usable;
+    out.bad += as.total_bad();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "\n================================================================\n"
+      "Ablation - scheduler choice in the full system\n"
+      "12 queries bursting together each minute, 6 cameras, 10 sim-min,\n"
+      "metric = mean actual makespan per photo batch (simulated seconds)\n"
+      "================================================================\n");
+  std::printf("%12s %20s %10s %10s %12s\n", "scheduler", "batch makespan (s)",
+              "usable", "bad", "fail rate");
+
+  for (const char* scheduler :
+       {"LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM"}) {
+    double makespan = 0.0;
+    std::uint64_t usable = 0, bad = 0;
+    const int kSeeds = 3;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      SystemOutcome out = run_system(scheduler, seed);
+      makespan += out.mean_batch_makespan_s;
+      usable += out.usable;
+      bad += out.bad;
+    }
+    double completed = static_cast<double>(usable + bad);
+    std::printf("%12s %20.2f %10llu %10llu %11.1f%%\n", scheduler,
+                makespan / kSeeds, static_cast<unsigned long long>(usable),
+                static_cast<unsigned long long>(bad),
+                completed == 0 ? 0.0 : 100.0 * bad / completed);
+  }
+  std::printf("\nexpectation: the Figure 4 ordering survives contact with the\n"
+              "full pipeline — ours < SA? < LS < RANDOM on batch makespan —\n"
+              "and failure rates stay low for all (locks + probing active).\n");
+  return 0;
+}

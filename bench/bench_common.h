@@ -1,0 +1,106 @@
+// Shared helpers for the experiment benches.
+//
+// Scheduling-time calibration: the paper measured scheduling time on a
+// 1.5 GHz Pentium-M running Java (Figure 5: 0.16-0.18 s for the greedy
+// algorithms, 2.49 s for SA at n=20, m=10). Scheduling effort in this
+// reproduction is counted in *cost-model evaluations*, a hardware-
+// independent measure, and converted to 2005-grade seconds as
+//
+//    scheduling_2005(evals) = kFixedOverhead2005S + evals * kPerEval2005S
+//
+// kPerEval2005S is calibrated so SA's n=20 uniform workload reproduces the
+// published 2.49 s (SA performs ~1.4e5 evaluations there); the fixed
+// overhead reproduces the constant ~0.16 s floor the paper reports for
+// every algorithm (JVM + engine plumbing around the scheduling call).
+// Measured wall time on today's hardware is reported alongside.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sched/algorithms.h"
+#include "sched/workload.h"
+#include "util/stats.h"
+
+namespace aorta::benchx {
+
+constexpr double kPerEval2005S = 1.77e-5;
+constexpr double kFixedOverhead2005S = 0.16;
+constexpr int kRunsPerPoint = 10;  // "average of results from ten
+                                   // independent runs" (Section 6.3)
+
+inline double scheduling_2005_s(std::uint64_t evals) {
+  return kFixedOverhead2005S + static_cast<double>(evals) * kPerEval2005S;
+}
+
+// Averaged metrics of one (algorithm, workload spec) cell.
+struct Cell {
+  aorta::util::Summary service_s;
+  aorta::util::Summary scheduling_model_s;
+  aorta::util::Summary scheduling_wall_s;
+  aorta::util::Summary total_s;  // scheduling (2005 model) + service
+};
+
+// Run one algorithm over kRunsPerPoint seeded workloads.
+inline Cell run_cell(const std::string& algorithm,
+                     aorta::sched::WorkloadSpec spec,
+                     const aorta::sched::CostModel& model) {
+  Cell cell;
+  auto scheduler = aorta::sched::make_scheduler(algorithm);
+  for (int run = 0; run < kRunsPerPoint; ++run) {
+    spec.seed = 100 + static_cast<std::uint64_t>(run);
+    aorta::sched::Workload w = aorta::sched::make_photo_workload(spec);
+    aorta::util::Rng rng(7000 + static_cast<std::uint64_t>(run));
+    aorta::sched::ScheduleResult result =
+        scheduler->schedule(w.requests, w.devices, model, rng);
+    double sched_2005 = scheduling_2005_s(result.cost_evaluations);
+    cell.service_s.add(result.service_makespan_s);
+    cell.scheduling_model_s.add(sched_2005);
+    cell.scheduling_wall_s.add(result.scheduling_wall_s);
+    cell.total_s.add(result.service_makespan_s + sched_2005);
+  }
+  return cell;
+}
+
+// Append machine-readable rows next to the human tables: every figure
+// bench also writes results/<name>.csv so plots can be regenerated
+// without scraping stdout.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& name) {
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    if (!ec) out_.open("results/" + name + ".csv");
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    if (!out_.is_open()) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  bool open() const { return out_.is_open(); }
+
+ private:
+  std::ofstream out_;
+};
+
+inline std::string fmt_cell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace aorta::benchx

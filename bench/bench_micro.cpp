@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark): scheduling-time scaling of the five
+// algorithms, declarative-interface parsing, XML profile parsing, the
+// simulated network's message throughput, and event-loop overhead. These
+// are ablation/engineering numbers, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "net/rpc.h"
+#include "query/parser.h"
+#include "sched/algorithms.h"
+#include "sched/cost_model.h"
+#include "sched/workload.h"
+#include "util/xml.h"
+
+using namespace aorta;
+
+namespace {
+
+void BM_Scheduler(benchmark::State& state, const char* name) {
+  auto model = sched::PhotoCostModel::axis2130();
+  auto scheduler = sched::make_scheduler(name);
+  sched::WorkloadSpec spec;
+  spec.n_requests = static_cast<int>(state.range(0));
+  spec.n_devices = 10;
+  spec.seed = 7;
+  sched::Workload w = sched::make_photo_workload(spec);
+  util::Rng rng(11);
+  for (auto _ : state) {
+    auto result = scheduler->schedule(w.requests, w.devices, *model, rng);
+    benchmark::DoNotOptimize(result.service_makespan_s);
+  }
+}
+
+void BM_ParseSnapshotQuery(benchmark::State& state) {
+  const std::string sql =
+      "CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, 'photos/admin') "
+      "FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)";
+  for (auto _ : state) {
+    auto stmt = query::parse(sql);
+    benchmark::DoNotOptimize(stmt.is_ok());
+  }
+}
+
+void BM_ParseActionProfileXml(benchmark::State& state) {
+  const std::string xml =
+      "<action_profile action=\"photo\" device_type=\"camera\" "
+      "status_attrs=\"pan,tilt,zoom\">"
+      "<seq><par><op name=\"pan\"/><op name=\"tilt\"/><op name=\"zoom\"/></par>"
+      "<op name=\"snap_medium\"/></seq></action_profile>";
+  for (auto _ : state) {
+    auto profile = device::ActionProfile::from_xml(xml);
+    benchmark::DoNotOptimize(profile.is_ok());
+  }
+}
+
+// One request/reply round trip through the simulated network.
+class EchoEndpoint : public net::Endpoint {
+ public:
+  explicit EchoEndpoint(net::Network* network) : network_(network) {}
+  void on_message(const net::Message& msg) override {
+    network_->send(net::make_reply(msg, "echo_ack"));
+  }
+
+ private:
+  net::Network* network_;
+};
+
+void BM_NetworkRoundTrip(benchmark::State& state) {
+  util::SimClock clock;
+  util::EventLoop loop(&clock);
+  net::Network network(&loop, util::Rng(3));
+  EchoEndpoint echo(&network);
+  (void)network.attach("echo", &echo, net::LinkModel::perfect());
+
+  class Client : public net::Endpoint {
+   public:
+    explicit Client(net::Network* network) : rpc_(network, "client") {}
+    void on_message(const net::Message& msg) override { rpc_.on_reply(msg); }
+    net::RpcClient rpc_;
+  } client(&network);
+  (void)network.attach("client", &client, net::LinkModel::perfect());
+
+  for (auto _ : state) {
+    bool done = false;
+    client.rpc_.call("echo", "echo", {}, util::Duration::seconds(1),
+                     [&done](util::Result<net::Message>) { done = true; });
+    loop.run_all();
+    benchmark::DoNotOptimize(done);
+  }
+}
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  util::SimClock clock;
+  util::EventLoop loop(&clock);
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      loop.schedule(util::Duration::micros(i), []() {});
+    }
+    loop.run_all();
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Scheduler, lerfa_srfe, "LERFA+SRFE")->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK_CAPTURE(BM_Scheduler, srfae, "SRFAE")->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK_CAPTURE(BM_Scheduler, ls, "LS")->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK_CAPTURE(BM_Scheduler, random, "RANDOM")->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK_CAPTURE(BM_Scheduler, sa, "SA")->Arg(10)->Arg(20);
+BENCHMARK(BM_ParseSnapshotQuery);
+BENCHMARK(BM_ParseActionProfileXml);
+BENCHMARK(BM_NetworkRoundTrip);
+BENCHMARK(BM_EventLoopScheduleRun);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Section 6.3 (prose): "with a uniformly distributed workload, the
+// performance of the four scheduling algorithms (except for RANDOM) was
+// only affected by the average number of requests scheduled on each
+// device (i.e., #requests / #devices)."
+//
+// This bench sweeps (n, m) pairs at fixed ratios and at varying ratios to
+// show service makespan tracks the ratio, not the absolute sizes.
+#include "bench/bench_common.h"
+#include "sched/cost_model.h"
+
+int main() {
+  using namespace aorta;
+  using namespace aorta::benchx;
+
+  auto model = sched::PhotoCostModel::axis2130();
+  const std::vector<std::string> algorithms = {"LERFA+SRFE", "SRFAE", "LS", "SA"};
+
+  print_header(
+      "Section 6.3 - Ratio invariance: service makespan vs (#requests, #devices)\n"
+      "cells = service makespan seconds, avg of 10 runs (scheduling excluded)");
+
+  struct Point {
+    int n, m;
+  };
+  const std::vector<Point> fixed_ratio = {{10, 5}, {20, 10}, {30, 15}, {40, 20}};
+  const std::vector<Point> varying_ratio = {{10, 10}, {20, 10}, {30, 10}, {40, 10}};
+
+  for (const auto& [label, points] :
+       std::vector<std::pair<std::string, std::vector<Point>>>{
+           {"fixed ratio n/m = 2 (rows should be flat)", fixed_ratio},
+           {"varying ratio n/m = 1..4 (rows should grow)", varying_ratio}}) {
+    std::printf("\n-- %s --\n", label.c_str());
+    std::printf("%12s", "algorithm");
+    for (const auto& p : points) std::printf("   n=%-3d m=%-3d", p.n, p.m);
+    std::printf("\n");
+    for (const auto& algorithm : algorithms) {
+      std::printf("%12s", algorithm.c_str());
+      for (const auto& p : points) {
+        sched::WorkloadSpec spec;
+        spec.n_requests = p.n;
+        spec.n_devices = p.m;
+        Cell cell = run_cell(algorithm, spec, *model);
+        std::printf("   %10.2f ", cell.service_s.mean());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

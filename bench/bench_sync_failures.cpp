@@ -1,0 +1,117 @@
+// Section 6.2: effects of device synchronization.
+//
+// The paper's setup: 10 action-embedded queries registered in a batch,
+// query i taking a photo of mote i's location every minute, two AXIS
+// cameras covering the lab. Without synchronization, concurrent photo()
+// requests interfere on the cameras: "more than half of the action
+// requests failed (connection to the camera timed out), resulted in
+// blurred photos, or took photos at wrong positions. In contrast, with
+// our device synchronization mechanism ... nearly 10%."
+//
+// This bench runs the same workload twice through the full Aorta stack
+// (query engine -> shared photo operator -> probe -> schedule -> execute)
+// with the synchronization mechanisms (locking + probing) off and on.
+#include <cstdio>
+
+#include "core/aorta.h"
+#include "util/strings.h"
+
+using namespace aorta;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t requests = 0;
+  std::uint64_t usable = 0;
+  std::uint64_t bad = 0;  // failed + degraded + no candidate
+};
+
+Outcome run_workload(bool synchronized_devices, std::uint64_t seed) {
+  core::Config config;
+  config.seed = seed;
+  config.use_locks = synchronized_devices;
+  config.use_probing = synchronized_devices;
+  config.scheduler = "SRFAE";
+  // The paper's prototype reported action failures to the application;
+  // failover retries are this reproduction's extension and are switched
+  // off here to measure what Section 6.2 measured.
+  config.max_retries = 0;
+  core::Aorta sys(config);
+
+  // Two cameras on the lab ceiling, ten motes at points of interest, all
+  // within both cameras' view ranges (Section 6.1).
+  (void)sys.add_camera("cam1", "192.168.0.90", {{0.0, 0.0, 3.0}, 0.0}, 30.0);
+  (void)sys.add_camera("cam2", "192.168.0.91", {{12.0, 9.0, 3.0}, 180.0}, 30.0);
+  for (int i = 1; i <= 10; ++i) {
+    std::string mote_id = "mote" + std::to_string(i);
+    device::Location loc{1.0 + (i % 5) * 2.5, 1.0 + (i / 5) * 3.5, 1.0};
+    (void)sys.add_mote(mote_id, loc);
+    // One movement event per minute per mote; all queries fire together
+    // (registered "in a batch", so their events coincide).
+    (void)sys.mote(mote_id)->set_signal(
+        "accel_x",
+        devices::periodic_spike_signal(0.0, 800.0, util::Duration::seconds(60),
+                                       util::Duration::seconds(2),
+                                       util::Duration::seconds(5)));
+  }
+
+  for (int i = 1; i <= 10; ++i) {
+    std::string sql = util::str_format(
+        "CREATE AQ q%d AS SELECT photo(c.ip, s.loc, 'photos/admin') "
+        "FROM sensor s, camera c "
+        "WHERE s.id = 'mote%d' AND s.accel_x > 500 AND coverage(c.id, s.loc)",
+        i, i);
+    auto r = sys.exec(sql);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "register q%d failed: %s\n", i,
+                   r.status().to_string().c_str());
+    }
+  }
+
+  sys.run_for(util::Duration::minutes(10));
+
+  Outcome out;
+  for (int i = 1; i <= 10; ++i) {
+    auto stats = sys.action_stats("q" + std::to_string(i));
+    out.requests += stats.requests;
+    out.usable += stats.usable;
+    out.bad += stats.total_bad();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "\n================================================================\n"
+      "Section 6.2 - Effects of device synchronization\n"
+      "10 photo queries (1 event/min each), 2 cameras, 10 simulated min,\n"
+      "failure = timed out, blurred, or wrong position (as in the paper)\n"
+      "================================================================\n");
+  std::printf("%28s %10s %10s %10s %10s\n", "configuration", "requests",
+              "usable", "bad", "fail rate");
+
+  for (bool synchronized_devices : {false, true}) {
+    std::uint64_t requests = 0, usable = 0, bad = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Outcome out = run_workload(synchronized_devices, seed);
+      requests += out.requests;
+      usable += out.usable;
+      bad += out.bad;
+    }
+    double completed = static_cast<double>(usable + bad);
+    double rate = completed == 0.0 ? 0.0 : 100.0 * static_cast<double>(bad) /
+                                               completed;
+    std::printf("%28s %10llu %10llu %10llu %9.1f%%\n",
+                synchronized_devices ? "locking + probing (Aorta)"
+                                     : "no synchronization",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(usable),
+                static_cast<unsigned long long>(bad), rate);
+  }
+
+  std::printf("\npaper: >50%% action failures without synchronization, "
+              "~10%% with it\n");
+  return 0;
+}

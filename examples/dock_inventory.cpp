@@ -1,0 +1,68 @@
+// Dock inventory: RFID-triggered surveillance.
+//
+// An RFID gate reads pallet tags at the loading dock (the smart-
+// identification modality of the paper's related work [14]); whenever a
+// tagged pallet passes, the covering camera photographs the dock and the
+// query's projections log which tag passed when — consumed here through
+// the continuous result stream.
+#include <cstdio>
+
+#include "core/aorta.h"
+#include "devices/rfid_reader.h"
+
+using namespace aorta;
+
+int main() {
+  core::Config config;
+  config.seed = 41;
+  core::Aorta sys(config);
+
+  // The RFID type is an extension: register its type info and a generic
+  // comm module (read_attr is all the engine needs from a pure sensor).
+  (void)sys.registry().register_type(devices::rfid_type_info());
+  sys.comm().register_module(std::make_unique<comm::CommModule>(
+      &sys.registry(), &sys.comm().engine(), devices::RfidReader::kTypeId));
+
+  (void)sys.add_camera("dock_cam", "192.168.0.95", {{0.0, 0.0, 4.0}, 0.0}, 30.0);
+
+  auto reader = std::make_unique<devices::RfidReader>("gate1",
+                                                      device::Location{6, 0, 1});
+  // Three pallets roll through during the run.
+  reader->add_passage({util::TimePoint::from_micros(20'000'000),
+                       util::Duration::seconds(3), "PALLET-00017"});
+  reader->add_passage({util::TimePoint::from_micros(65'000'000),
+                       util::Duration::seconds(3), "PALLET-00023"});
+  reader->add_passage({util::TimePoint::from_micros(140'000'000),
+                       util::Duration::seconds(3), "PALLET-00017"});
+  (void)sys.registry().add(std::move(reader));
+
+  auto r = sys.exec(
+      "CREATE AQ dock_watch AS "
+      "SELECT g.last_tag, photo(c.ip, g.loc, 'photos/dock') "
+      "FROM rfid g, camera c "
+      "WHERE g.last_tag <> '' AND coverage(c.id, g.loc)");
+  std::printf("%s\n", r.is_ok() ? r->message.c_str()
+                                : r.status().to_string().c_str());
+
+  sys.run_for(util::Duration::minutes(3));
+
+  const query::QueryStats* qs = sys.query_stats("dock_watch");
+  auto as = sys.action_stats("dock_watch");
+  std::printf("\nafter 3 simulated minutes:\n");
+  std::printf("  passages detected : %llu\n",
+              static_cast<unsigned long long>(qs->events));
+  std::printf("  dock photos       : %llu usable, %llu bad\n",
+              static_cast<unsigned long long>(as.usable),
+              static_cast<unsigned long long>(as.total_bad()));
+
+  std::printf("\ninventory log (the query's continuous result stream):\n");
+  for (const auto& entry : sys.executor().recent_results("dock_watch")) {
+    std::printf("  [%8.1fs]", entry.at.to_seconds());
+    for (const auto& [column, value] : entry.row) {
+      std::printf(" %s=%s", column.c_str(),
+                  device::value_to_string(value).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

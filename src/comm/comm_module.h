@@ -1,0 +1,183 @@
+// The uniform data communication layer's basic communication methods.
+//
+// Section 3.3: "the communication layer implements a common interface that
+// defines a set of basic communication methods such as connect(), close(),
+// send() and receive(). These methods wrap around the heterogeneous
+// networking protocols of the various types of devices ... Each type of
+// devices inherits this interface in its own communication module."
+//
+// The engine is event-driven, so receive() is expressed as a completion
+// callback carrying the reply (or a timeout status) rather than a blocking
+// read. Typed modules (CameraComm, MoteComm, PhoneComm) layer
+// protocol-specific verbs on top of the uniform request primitive — the
+// building blocks of scan operators and action operators.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "device/registry.h"
+#include "devices/ptz_math.h"
+#include "net/rpc.h"
+#include "util/status.h"
+
+namespace aorta::comm {
+
+// The engine's presence on the device network: one endpoint that owns the
+// RPC client all comm modules share, and a hook for unsolicited messages
+// (device-initiated pushes).
+class EngineNode : public net::Endpoint {
+ public:
+  static constexpr const char* kNodeId = "aorta-engine";
+
+  explicit EngineNode(net::Network* network);
+  ~EngineNode() override;
+
+  net::RpcClient& rpc() { return rpc_; }
+
+  using PushHandler = std::function<void(const net::Message&)>;
+  void set_push_handler(PushHandler handler) { push_handler_ = std::move(handler); }
+
+  void on_message(const net::Message& msg) override;
+
+ private:
+  net::Network* network_;
+  net::RpcClient rpc_;
+  PushHandler push_handler_;
+};
+
+// Completion callback for request/receive round trips.
+using ReplyCallback = std::function<void(aorta::util::Result<net::Message>)>;
+
+// Uniform interface over a device type's networking protocol.
+class CommModule {
+ public:
+  CommModule(device::DeviceRegistry* registry, EngineNode* engine,
+             device::DeviceTypeId type_id);
+  virtual ~CommModule() = default;
+
+  const device::DeviceTypeId& type_id() const { return type_id_; }
+
+  // connect(): verify the device is reachable and mark a logical session
+  // open. Implemented as a probe round-trip bounded by the per-type
+  // TIMEOUT from the registry's type info.
+  virtual void connect(const device::DeviceId& id,
+                       std::function<void(aorta::util::Status)> done);
+
+  // close(): tear down the logical session. No network traffic needed for
+  // our protocols, but modules may override (e.g. HTTP keep-alive close).
+  virtual void close(const device::DeviceId& id);
+
+  bool is_connected(const device::DeviceId& id) const {
+    return connected_.count(id) > 0;
+  }
+
+  // send()+receive(): one request/reply exchange with the device, bounded
+  // by `timeout` (or the type's default when zero).
+  void request(const device::DeviceId& id, std::string kind,
+               std::map<std::string, std::string> fields,
+               aorta::util::Duration timeout, ReplyCallback done,
+               std::size_t payload_bytes = 64);
+
+  // Acquire one sensory attribute (the scan operators' building block).
+  void read_attr(const device::DeviceId& id, const std::string& attr,
+                 std::function<void(aorta::util::Result<device::Value>)> done);
+
+  // The per-type TIMEOUT value (Section 4).
+  aorta::util::Duration default_timeout() const;
+
+ protected:
+  device::DeviceRegistry* registry() { return registry_; }
+  const device::DeviceRegistry* registry() const { return registry_; }
+
+ private:
+  device::DeviceRegistry* registry_;
+  EngineNode* engine_;
+  device::DeviceTypeId type_id_;
+  std::set<device::DeviceId> connected_;
+};
+
+// ---------------------------------------------------------------- camera
+
+// Result of a photo() exchange, decoded from the camera protocol.
+struct PhotoOutcome {
+  bool ok = false;
+  bool blurred = false;
+  bool wrong_position = false;
+  double pan_deg = 0.0;
+  double tilt_deg = 0.0;
+  std::size_t bytes = 0;
+
+  // A photo "succeeded" in the application sense only if it is sharp and
+  // aimed right (Section 6.2 counts blurred/mis-aimed photos as failures).
+  bool usable() const { return ok && !blurred && !wrong_position; }
+};
+
+class CameraComm : public CommModule {
+ public:
+  CameraComm(device::DeviceRegistry* registry, EngineNode* engine)
+      : CommModule(registry, engine, "camera") {}
+
+  // Drive the camera through a full photo: aim the head at `position` and
+  // expose a photo of `size`, delivering the decoded outcome.
+  void photo(const device::DeviceId& id, const devices::PtzPosition& position,
+             const std::string& size,
+             std::function<void(aorta::util::Result<PhotoOutcome>)> done);
+};
+
+// ------------------------------------------------------------------ mote
+
+class MoteComm : public CommModule {
+ public:
+  MoteComm(device::DeviceRegistry* registry, EngineNode* engine)
+      : CommModule(registry, engine, "sensor") {}
+
+  void beep(const device::DeviceId& id,
+            std::function<void(aorta::util::Status)> done);
+  void blink(const device::DeviceId& id,
+             std::function<void(aorta::util::Status)> done);
+};
+
+// ----------------------------------------------------------------- phone
+
+class PhoneComm : public CommModule {
+ public:
+  PhoneComm(device::DeviceRegistry* registry, EngineNode* engine)
+      : CommModule(registry, engine, "phone") {}
+
+  void send_sms(const device::DeviceId& id, const std::string& text,
+                std::function<void(aorta::util::Status)> done);
+  // `bytes` is the attachment size; transfer time scales with it over the
+  // cellular link.
+  void send_mms(const device::DeviceId& id, const std::string& body,
+                std::size_t bytes, std::function<void(aorta::util::Status)> done);
+};
+
+// Registry of comm modules by device type — how the engine finds the right
+// protocol adapter for a device (the extensibility point Section 3.3
+// closes with).
+class CommLayer {
+ public:
+  CommLayer(device::DeviceRegistry* registry, net::Network* network);
+
+  EngineNode& engine() { return engine_; }
+  CommModule* module_for(const device::DeviceTypeId& type_id);
+  CameraComm& camera() { return camera_; }
+  MoteComm& mote() { return mote_; }
+  PhoneComm& phone() { return phone_; }
+
+  // Install a module for a new device type (future extension path).
+  void register_module(std::unique_ptr<CommModule> module);
+
+ private:
+  EngineNode engine_;
+  CameraComm camera_;
+  MoteComm mote_;
+  PhoneComm phone_;
+  std::map<device::DeviceTypeId, std::unique_ptr<CommModule>> extra_;
+};
+
+}  // namespace aorta::comm

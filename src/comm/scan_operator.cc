@@ -1,0 +1,189 @@
+#include "comm/scan_operator.h"
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace aorta::comm {
+
+using aorta::util::Result;
+using device::Value;
+
+ScanOperator::ScanOperator(device::DeviceRegistry* registry, CommLayer* comm,
+                           device::DeviceTypeId type_id,
+                           std::set<std::string> needed)
+    : registry_(registry),
+      comm_(comm),
+      type_id_(std::move(type_id)),
+      needed_(std::move(needed)),
+      stats_(std::make_shared<ScanStats>()) {
+  const device::DeviceTypeInfo* info = registry_->type_info(type_id_);
+  if (info != nullptr) {
+    schema_ = std::make_shared<Schema>(Schema::from_catalog(info->catalog));
+  } else {
+    schema_ = std::make_shared<Schema>();
+  }
+}
+
+// Bookkeeping for one multi-device scan. The job holds shared ownership of
+// the schema and stats so that an in-flight scan stays valid even if the
+// ScanOperator is destroyed mid-flight (e.g. its query was dropped) —
+// completion callbacks never touch the operator itself.
+struct ScanOperator::ScanJob {
+  std::vector<Tuple> tuples;        // slot per device, in scan order
+  std::vector<int> outstanding;     // in-flight reads per device
+  std::vector<int> successes;       // successful sensory reads per device
+  std::vector<int> attempts;        // sensory reads attempted per device
+  std::size_t devices_pending = 0;  // devices not yet finalized
+  std::function<void(std::vector<Tuple>)> done;
+  std::shared_ptr<ScanStats> stats;
+  std::shared_ptr<Schema> schema;
+
+  void finalize_device_if_done(std::size_t dev_index) {
+    if (outstanding[dev_index] > 0) return;
+    --devices_pending;
+    // A device with sensory reads attempted but none answered is treated
+    // as unreachable: it contributes no row.
+    if (attempts[dev_index] > 0 && successes[dev_index] == 0) {
+      ++stats->devices_skipped;
+      tuples[dev_index] = Tuple{};  // cleared; filtered out below
+    }
+    if (devices_pending == 0) {
+      std::vector<Tuple> out;
+      out.reserve(tuples.size());
+      for (Tuple& t : tuples) {
+        if (t.schema() != nullptr) {
+          ++stats->tuples_produced;
+          out.push_back(std::move(t));
+        }
+      }
+      done(std::move(out));
+    }
+  }
+};
+
+void ScanOperator::scan(std::function<void(std::vector<Tuple>)> done) {
+  ++stats_->scans;
+  std::vector<device::Device*> devices = registry_->devices_of_type(type_id_);
+  if (devices.empty()) {
+    done({});
+    return;
+  }
+
+  auto job = std::make_shared<ScanJob>();
+  job->done = std::move(done);
+  job->stats = stats_;
+  job->schema = schema_;
+  job->tuples.resize(devices.size());
+  job->outstanding.assign(devices.size(), 0);
+  job->successes.assign(devices.size(), 0);
+  job->attempts.assign(devices.size(), 0);
+  job->devices_pending = devices.size();
+
+  CommModule* module = comm_->module_for(type_id_);
+
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const device::DeviceId id = devices[d]->id();
+    Tuple tuple(job->schema.get(), id);
+
+    // Non-sensory fields come straight from the registry cache.
+    if (const auto* cached = registry_->static_attrs(id)) {
+      for (const Field& f : job->schema->fields()) {
+        if (f.sensory || !needs(f.name)) continue;
+        auto it = cached->find(f.name);
+        if (it != cached->end()) tuple.set_by_name(f.name, it->second);
+      }
+    }
+    job->tuples[d] = std::move(tuple);
+
+    // Sensory fields need live acquisition.
+    for (const Field& f : job->schema->fields()) {
+      if (!f.sensory || !needs(f.name) || module == nullptr) continue;
+      ++job->outstanding[d];
+      ++job->attempts[d];
+      ++stats_->sensory_reads;
+      module->read_attr(id, f.name,
+                        [job, d, name = f.name](Result<Value> value) {
+                          if (value.is_ok()) {
+                            job->tuples[d].set_by_name(name, std::move(value).value());
+                            ++job->successes[d];
+                          } else {
+                            ++job->stats->sensory_read_failures;
+                          }
+                          --job->outstanding[d];
+                          job->finalize_device_if_done(d);
+                        });
+    }
+
+    job->finalize_device_if_done(d);  // covers the zero-sensory-reads case
+  }
+}
+
+void ScanOperator::scan_device(const device::DeviceId& id,
+                               std::function<void(Result<Tuple>)> done) {
+  device::Device* dev = registry_->find(id);
+  if (dev == nullptr || dev->type_id() != type_id_) {
+    done(Result<Tuple>(
+        aorta::util::not_found_error("no such " + type_id_ + " device: " + id)));
+    return;
+  }
+
+  // Single-device scans reuse the job machinery so the same lifetime
+  // guarantees apply.
+  struct OneJob {
+    Tuple tuple;
+    int outstanding = 0;
+    int successes = 0;
+    int attempts = 0;
+    std::function<void(Result<Tuple>)> done;
+    std::shared_ptr<ScanStats> stats;
+    std::shared_ptr<Schema> schema;
+
+    void finish_if_done() {
+      if (outstanding > 0) return;
+      if (attempts > 0 && successes == 0) {
+        ++stats->devices_skipped;
+        done(Result<Tuple>(aorta::util::unavailable_error(
+            "device unreachable: " + tuple.source_device())));
+        return;
+      }
+      ++stats->tuples_produced;
+      done(Result<Tuple>(tuple));
+    }
+  };
+
+  auto job = std::make_shared<OneJob>();
+  job->done = std::move(done);
+  job->stats = stats_;
+  job->schema = schema_;
+  job->tuple = Tuple(job->schema.get(), id);
+
+  if (const auto* cached = registry_->static_attrs(id)) {
+    for (const Field& f : job->schema->fields()) {
+      if (f.sensory || !needs(f.name)) continue;
+      auto it = cached->find(f.name);
+      if (it != cached->end()) job->tuple.set_by_name(f.name, it->second);
+    }
+  }
+
+  CommModule* module = comm_->module_for(type_id_);
+  for (const Field& f : job->schema->fields()) {
+    if (!f.sensory || !needs(f.name) || module == nullptr) continue;
+    ++job->outstanding;
+    ++job->attempts;
+    ++stats_->sensory_reads;
+    module->read_attr(id, f.name, [job, name = f.name](Result<Value> value) {
+      if (value.is_ok()) {
+        job->tuple.set_by_name(name, std::move(value).value());
+        ++job->successes;
+      } else {
+        ++job->stats->sensory_read_failures;
+      }
+      --job->outstanding;
+      job->finish_if_done();
+    });
+  }
+  job->finish_if_done();
+}
+
+}  // namespace aorta::comm

@@ -1,0 +1,76 @@
+// Scan operators over virtual device tables.
+//
+// Section 3.2: the communication layer "provides special 'scan operators'
+// as simple interfaces for the query engine to acquire device data tuples
+// from these virtual tables ... the implementation of a scan operator on
+// different attributes varies by the categories of the attributes.
+// Specifically, sensory data must be acquired dynamically whereas
+// non-sensory data may be stored statically."
+//
+// A scan therefore fills non-sensory fields from the registry's static
+// cache synchronously and issues one read_attr round trip per *needed*
+// sensory field per device (projection pushdown: the query engine passes
+// the set of attributes its predicates and actions reference). Devices
+// whose sensory reads all time out yield no tuple — an unreachable device
+// simply has no row, matching the dynamic-membership view of Section 4.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "comm/comm_module.h"
+#include "comm/tuple.h"
+
+namespace aorta::comm {
+
+struct ScanStats {
+  std::uint64_t scans = 0;
+  std::uint64_t tuples_produced = 0;
+  std::uint64_t sensory_reads = 0;
+  std::uint64_t sensory_read_failures = 0;
+  std::uint64_t devices_skipped = 0;  // all sensory reads failed
+};
+
+class ScanOperator {
+ public:
+  // `needed` lists attribute names the engine actually uses; non-sensory
+  // needed attrs come from the cache, sensory needed attrs are fetched.
+  // An empty set means "all attributes".
+  ScanOperator(device::DeviceRegistry* registry, CommLayer* comm,
+               device::DeviceTypeId type_id, std::set<std::string> needed = {});
+
+  const Schema& schema() const { return *schema_; }
+  const device::DeviceTypeId& type_id() const { return type_id_; }
+  const ScanStats& stats() const { return *stats_; }
+
+  // Produce one tuple per currently-reachable device of the type. The
+  // callback fires once, after every per-device acquisition completed or
+  // timed out.
+  void scan(std::function<void(std::vector<Tuple>)> done);
+
+  // Scan a single device (used by probing-style refreshes).
+  void scan_device(const device::DeviceId& id,
+                   std::function<void(aorta::util::Result<Tuple>)> done);
+
+ private:
+  // Shared bookkeeping for one in-flight multi-device scan.
+  struct ScanJob;
+
+  bool needs(const std::string& attr) const {
+    return needed_.empty() || needed_.count(attr) > 0;
+  }
+
+  device::DeviceRegistry* registry_;
+  CommLayer* comm_;
+  device::DeviceTypeId type_id_;
+  std::set<std::string> needed_;
+  // Shared with in-flight scan jobs so a scan survives the operator's
+  // destruction (a continuous query may be dropped mid-epoch).
+  std::shared_ptr<Schema> schema_;
+  std::shared_ptr<ScanStats> stats_;
+};
+
+}  // namespace aorta::comm

@@ -1,0 +1,60 @@
+#include "comm/tuple.h"
+
+#include "util/strings.h"
+
+namespace aorta::comm {
+
+const device::Value Tuple::kNull{};
+
+Schema::Schema(std::string table_name, std::vector<Field> fields)
+    : table_name_(std::move(table_name)), fields_(std::move(fields)) {}
+
+Schema Schema::from_catalog(const device::DeviceCatalog& catalog) {
+  std::vector<Field> fields;
+  fields.reserve(catalog.attrs().size());
+  for (const auto& a : catalog.attrs()) {
+    fields.push_back(Field{a.name, a.type, a.sensory});
+  }
+  return Schema(catalog.type_id(), std::move(fields));
+}
+
+std::optional<std::size_t> Schema::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const Field* Schema::field(std::string_view name) const {
+  auto i = index_of(name);
+  return i.has_value() ? &fields_[*i] : nullptr;
+}
+
+Tuple::Tuple(const Schema* schema, device::DeviceId source)
+    : schema_(schema), source_(std::move(source)),
+      values_(schema == nullptr ? 0 : schema->size()) {}
+
+const device::Value& Tuple::get(std::string_view name) const {
+  if (schema_ == nullptr) return kNull;
+  auto i = schema_->index_of(name);
+  return i.has_value() ? values_[*i] : kNull;
+}
+
+void Tuple::set_by_name(std::string_view name, device::Value v) {
+  if (schema_ == nullptr) return;
+  auto i = schema_->index_of(name);
+  if (i.has_value()) values_[*i] = std::move(v);
+}
+
+std::string Tuple::to_string() const {
+  if (schema_ == nullptr) return "{}";
+  std::string out = "{";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_->fields()[i].name + "=" + device::value_to_string(values_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace aorta::comm

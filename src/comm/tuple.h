@@ -1,0 +1,72 @@
+// Schemas and tuples for virtual device tables.
+//
+// Section 3.2: "The communication layer abstracts each type of devices
+// into a virtual relational table ... Each tuple of a virtual device table
+// (e.g., the sensor table) is from a specific device of the corresponding
+// type; it is generated on-the-fly when requested by the query engine."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/profile.h"
+#include "device/types.h"
+
+namespace aorta::comm {
+
+struct Field {
+  std::string name;
+  device::AttrType type = device::AttrType::kDouble;
+  bool sensory = true;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string table_name, std::vector<Field> fields);
+
+  // Build the schema of a device type's virtual table from its catalog.
+  static Schema from_catalog(const device::DeviceCatalog& catalog);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t size() const { return fields_.size(); }
+
+  // Index of a field by name, or nullopt.
+  std::optional<std::size_t> index_of(std::string_view name) const;
+  const Field* field(std::string_view name) const;
+
+ private:
+  std::string table_name_;
+  std::vector<Field> fields_;
+};
+
+// A row of a virtual device table. Values align with the schema's fields;
+// attributes that were not acquired (projection pushdown, or acquisition
+// failure on a lossy link) are NULL (monostate).
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(const Schema* schema, device::DeviceId source);
+
+  const Schema* schema() const { return schema_; }
+  const device::DeviceId& source_device() const { return source_; }
+
+  const device::Value& at(std::size_t i) const { return values_[i]; }
+  void set(std::size_t i, device::Value v) { values_[i] = std::move(v); }
+
+  // Value by field name; NULL for unknown names.
+  const device::Value& get(std::string_view name) const;
+  void set_by_name(std::string_view name, device::Value v);
+
+  std::string to_string() const;
+
+ private:
+  const Schema* schema_ = nullptr;
+  device::DeviceId source_;
+  std::vector<device::Value> values_;
+  static const device::Value kNull;
+};
+
+}  // namespace aorta::comm

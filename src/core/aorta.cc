@@ -1,0 +1,292 @@
+#include "core/aorta.h"
+
+#include <optional>
+
+#include "core/builtins.h"
+#include "device/profile_io.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+// Propagate a Status failure out of exec() as a Result<ExecResult>.
+#define AORTA_RETURN_IF_ERROR_EXEC(expr)                            \
+  do {                                                              \
+    ::aorta::util::Status _s = (expr);                              \
+    if (!_s.is_ok()) return ::aorta::util::Result<ExecResult>(_s);  \
+  } while (false)
+
+namespace aorta::core {
+
+using aorta::util::Duration;
+using aorta::util::Result;
+using aorta::util::Status;
+
+Aorta::Aorta(Config config) : config_(config), rng_(config.seed) {
+  clock_ = std::make_unique<aorta::util::SimClock>();
+  loop_ = std::make_unique<aorta::util::EventLoop>(clock_.get());
+  aorta::util::Logger::instance().attach_clock(clock_.get());
+
+  network_ = std::make_unique<net::Network>(loop_.get(), rng_.fork());
+  registry_ = std::make_unique<device::DeviceRegistry>(network_.get(),
+                                                       loop_.get(), rng_.fork());
+  comm_ = std::make_unique<comm::CommLayer>(registry_.get(), network_.get());
+  locks_ = std::make_unique<sync::LockManager>(loop_.get());
+  prober_ = std::make_unique<sync::Prober>(comm_.get(), registry_.get(),
+                                           loop_.get());
+  catalog_ = std::make_unique<query::Catalog>();
+
+  query::ContinuousQueryExecutor::Options options;
+  options.epoch = config_.epoch;
+  options.scheduler_name = config_.scheduler;
+  options.use_probing = config_.use_probing;
+  options.use_locks = config_.use_locks;
+  options.max_retries = config_.max_retries;
+  executor_ = std::make_unique<query::ContinuousQueryExecutor>(
+      registry_.get(), comm_.get(), prober_.get(), locks_.get(), loop_.get(),
+      catalog_.get(), rng_.fork(), options);
+
+  register_builtin_types();
+  register_builtin_functions();
+  register_builtin_actions();
+  executor_->start();
+}
+
+Aorta::~Aorta() { aorta::util::Logger::instance().attach_clock(nullptr); }
+
+void Aorta::register_builtin_types() {
+  (void)registry_->register_type(devices::camera_type_info());
+  (void)registry_->register_type(devices::sensor_type_info());
+  (void)registry_->register_type(devices::phone_type_info());
+}
+
+void Aorta::register_builtin_functions() {
+  register_builtin_function_library(catalog_.get(), registry_.get());
+}
+
+void Aorta::register_builtin_actions() {
+  register_builtin_action_library(catalog_.get(), registry_.get(), comm_.get());
+}
+
+Status Aorta::add_camera(const device::DeviceId& id, std::string ip,
+                         devices::CameraPose pose, double range_m) {
+  return registry_->add(std::make_unique<devices::PtzCamera>(
+      id, std::move(ip), pose, range_m));
+}
+
+Status Aorta::add_mote(const device::DeviceId& id, device::Location loc,
+                       int hops) {
+  AORTA_RETURN_IF_ERROR(
+      registry_->add(std::make_unique<devices::Mica2Mote>(id, loc, hops)));
+  // Deeper motes ride a slower, lossier multi-hop path.
+  return network_->set_link(id, devices::Mica2Mote::link_for_hops(hops));
+}
+
+Status Aorta::add_phone(const device::DeviceId& id, std::string phone_no,
+                        device::Location loc) {
+  return registry_->add(
+      std::make_unique<devices::MmsPhone>(id, std::move(phone_no), loc));
+}
+
+Status Aorta::remove_device(const device::DeviceId& id) {
+  return registry_->remove(id);
+}
+
+devices::PtzCamera* Aorta::camera(const device::DeviceId& id) {
+  return dynamic_cast<devices::PtzCamera*>(registry_->find(id));
+}
+devices::Mica2Mote* Aorta::mote(const device::DeviceId& id) {
+  return dynamic_cast<devices::Mica2Mote*>(registry_->find(id));
+}
+devices::MmsPhone* Aorta::phone(const device::DeviceId& id) {
+  return dynamic_cast<devices::MmsPhone*>(registry_->find(id));
+}
+
+void Aorta::add_virtual_file(const std::string& path, std::string content) {
+  virtual_files_[path] = std::move(content);
+}
+
+std::map<device::DeviceTypeId, std::string> Aorta::export_device_types() const {
+  std::map<device::DeviceTypeId, std::string> out;
+  for (const auto& type_id : registry_->type_ids()) {
+    const device::DeviceTypeInfo* info = registry_->type_info(type_id);
+    if (info != nullptr) out[type_id] = device::device_type_to_xml(*info);
+  }
+  return out;
+}
+
+Status Aorta::register_type_from_xml(const std::string& xml) {
+  auto info = device::device_type_from_xml(xml);
+  if (!info.is_ok()) return info.status();
+  return registry_->register_type(std::move(info).value());
+}
+
+Status Aorta::register_action_impl(const std::string& name,
+                                   query::ActionImpl impl) {
+  return catalog_->bind_action_impl(name, std::move(impl));
+}
+
+Result<ExecResult> Aorta::exec(const std::string& sql) {
+  auto stmt = query::parse(sql);
+  if (!stmt.is_ok()) return Result<ExecResult>(stmt.status());
+  query::Statement& s = stmt.value();
+
+  switch (s.kind) {
+    case query::Statement::Kind::kCreateAction: {
+      const auto& ca = s.create_action;
+      // Load the action profile from the virtual file store.
+      auto file = virtual_files_.find(ca.profile_path);
+      if (file == virtual_files_.end()) {
+        return Result<ExecResult>(aorta::util::not_found_error(
+            "profile file not registered: " + ca.profile_path +
+            " (use add_virtual_file)"));
+      }
+      auto profile = device::ActionProfile::from_xml(file->second);
+      if (!profile.is_ok()) return Result<ExecResult>(profile.status());
+
+      query::ActionDef def;
+      def.name = ca.name;
+      for (const auto& p : ca.params) {
+        device::AttrType type = device::AttrType::kString;
+        std::string lowered = aorta::util::to_lower(p.type_name);
+        if (lowered == "double" || lowered == "float") {
+          type = device::AttrType::kDouble;
+        } else if (lowered == "int" || lowered == "integer") {
+          type = device::AttrType::kInt;
+        } else if (lowered == "location") {
+          type = device::AttrType::kLocation;
+        }
+        def.params.push_back(query::ActionParam{type, p.name});
+      }
+      def.device_type = profile.value().device_type();
+      def.library_path = ca.library_path;
+
+      const device::DeviceTypeInfo* info =
+          registry_->type_info(def.device_type);
+      if (info == nullptr) {
+        return Result<ExecResult>(aorta::util::not_found_error(
+            "action profile references unknown device type: " +
+            def.device_type));
+      }
+      def.cost_model = query::ProfileCostModel::from_profile(profile.value(),
+                                                             info->op_costs);
+      // Device binding defaults: first parameter against the conventional
+      // identity attribute of the device type.
+      def.binding_param = 0;
+      def.binding_attr = def.device_type == "phone"
+                             ? "phone_no"
+                             : (def.device_type == "camera" ? "ip" : "id");
+      def.profile = std::move(profile).value();
+      AORTA_RETURN_IF_ERROR_EXEC(catalog_->register_action(std::move(def)));
+      return ExecResult{"action " + ca.name + " registered (bind an "
+                        "implementation with register_action_impl)",
+                        {}};
+    }
+
+    case query::Statement::Kind::kCreateAq: {
+      AORTA_RETURN_IF_ERROR_EXEC(executor_->register_aq(
+          s.create_aq.name, s.create_aq.epoch_s, s.create_aq.select, sql));
+      return ExecResult{"continuous query " + s.create_aq.name + " registered",
+                        {}};
+    }
+
+    case query::Statement::Kind::kDropAq: {
+      AORTA_RETURN_IF_ERROR_EXEC(executor_->drop_aq(s.drop_aq.name));
+      return ExecResult{"continuous query " + s.drop_aq.name + " dropped", {}};
+    }
+
+    case query::Statement::Kind::kExplain: {
+      auto compiled = query::compile(s.select, *catalog_, *registry_);
+      if (!compiled.is_ok()) return Result<ExecResult>(compiled.status());
+      return ExecResult{compiled.value().describe(), {}};
+    }
+
+    case query::Statement::Kind::kShow: {
+      ExecResult result;
+      using Target = query::ShowStmt::Target;
+      switch (s.show.target) {
+        case Target::kQueries:
+          for (const std::string& name : executor_->aq_names()) {
+            const query::QueryStats* qs = executor_->query_stats(name);
+            query::QueryActionStats as = executor_->action_stats(name);
+            query::Row row;
+            row.emplace_back("name", name);
+            row.emplace_back("events",
+                             static_cast<std::int64_t>(qs ? qs->events : 0));
+            row.emplace_back("usable", static_cast<std::int64_t>(as.usable));
+            row.emplace_back("bad", static_cast<std::int64_t>(as.total_bad()));
+            result.rows.push_back(std::move(row));
+          }
+          break;
+        case Target::kActions:
+          for (const std::string& name : catalog_->action_names()) {
+            const query::ActionDef* def = catalog_->find_action(name);
+            query::Row row;
+            row.emplace_back("name", name);
+            row.emplace_back("device_type", def->device_type);
+            row.emplace_back("params",
+                             static_cast<std::int64_t>(def->params.size()));
+            row.emplace_back("library", def->library_path);
+            row.emplace_back("bound", def->impl ? true : false);
+            result.rows.push_back(std::move(row));
+          }
+          break;
+        case Target::kDevices:
+          for (const auto& type_id : registry_->type_ids()) {
+            for (const auto& id : registry_->ids_of_type(type_id)) {
+              const device::Device* dev = registry_->find(id);
+              query::Row row;
+              row.emplace_back("id", id);
+              row.emplace_back("type", type_id);
+              row.emplace_back("loc", dev->location());
+              row.emplace_back("online", dev->online());
+              result.rows.push_back(std::move(row));
+            }
+          }
+          break;
+      }
+      result.message = aorta::util::str_format("%zu row(s)", result.rows.size());
+      return result;
+    }
+
+    case query::Statement::Kind::kSelect: {
+      // One-shot: drive the simulation until tuple acquisition completes.
+      std::optional<Result<std::vector<query::Row>>> outcome;
+      executor_->run_select(s.select, [&outcome](auto result) {
+        outcome = std::move(result);
+      });
+      // Sensory acquisition needs simulated time to pass; bounded by the
+      // worst per-type probe timeout.
+      const Duration kSelectDeadline = Duration::seconds(30.0);
+      aorta::util::TimePoint deadline = loop_->now() + kSelectDeadline;
+      while (!outcome.has_value() && loop_->now() < deadline &&
+             loop_->pending() > 0) {
+        loop_->run_until(loop_->now() + Duration::millis(10));
+      }
+      if (!outcome.has_value()) {
+        return Result<ExecResult>(
+            aorta::util::timeout_error("SELECT did not complete"));
+      }
+      if (!outcome->is_ok()) return Result<ExecResult>(outcome->status());
+      ExecResult result;
+      result.rows = std::move(outcome->value());
+      result.message = aorta::util::str_format("%zu row(s)", result.rows.size());
+      return result;
+    }
+  }
+  return Result<ExecResult>(aorta::util::internal_error("bad statement kind"));
+}
+
+void Aorta::run_for(Duration span) { loop_->run_for(span); }
+
+const query::QueryStats* Aorta::query_stats(const std::string& name) const {
+  return executor_->query_stats(name);
+}
+
+query::QueryActionStats Aorta::action_stats(const std::string& name) const {
+  return executor_->action_stats(name);
+}
+
+SystemStats Aorta::stats() const {
+  return SystemStats{locks_->stats(), prober_->stats(), network_->stats()};
+}
+
+}  // namespace aorta::core

@@ -1,0 +1,141 @@
+// Aorta: the public facade of the pervasive query processing framework.
+//
+// Assembles the whole stack from Section 2.1's architecture:
+//   declarative interface (exec / SQL)          <- top layer
+//   action-oriented query engine (src/query)    <- middle layer
+//   uniform data communication layer (src/comm) <- bottom layer
+// on top of the simulated device network (src/net, src/devices) that
+// replaces the paper's physical pervasive lab.
+//
+// Typical use:
+//   aorta::core::Aorta sys(aorta::core::Config{});
+//   sys.add_camera("cam1", "192.168.0.90", {{0, 0, 3}, 0.0});
+//   sys.add_mote("mote1", {4, 2, 1});
+//   sys.exec("CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, 'photos/admin') "
+//            "FROM sensor s, camera c "
+//            "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)");
+//   sys.run_for(aorta::util::Duration::minutes(10));
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "comm/comm_module.h"
+#include "devices/camera.h"
+#include "devices/mote.h"
+#include "devices/phone.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "sync/lock_manager.h"
+#include "sync/prober.h"
+
+namespace aorta::core {
+
+struct Config {
+  std::uint64_t seed = 42;
+  aorta::util::Duration epoch = aorta::util::Duration::seconds(1.0);
+  // One of the Section 6.3 algorithms: LERFA+SRFE, SRFAE, LS, SA, RANDOM.
+  std::string scheduler = "SRFAE";
+  // Device synchronization switches (Section 6.2's ablation).
+  bool use_probing = true;
+  bool use_locks = true;
+  // Failover: how many times a failed action request is rescheduled on its
+  // remaining candidate devices.
+  int max_retries = 1;
+};
+
+// Result of exec(): DDL statements return a message; SELECT returns rows.
+struct ExecResult {
+  std::string message;
+  std::vector<query::Row> rows;
+};
+
+struct SystemStats {
+  sync::LockStats locks;
+  sync::ProbeStats probes;
+  net::NetworkStats network;
+};
+
+class Aorta {
+ public:
+  explicit Aorta(Config config);
+  ~Aorta();
+
+  Aorta(const Aorta&) = delete;
+  Aorta& operator=(const Aorta&) = delete;
+
+  // ---- world building ----------------------------------------------------
+  aorta::util::Status add_camera(const device::DeviceId& id, std::string ip,
+                                 devices::CameraPose pose, double range_m = 25.0);
+  // `hops` = depth in the multi-hop radio tree; deeper motes get slower,
+  // lossier links and higher action costs (Section 2.3).
+  aorta::util::Status add_mote(const device::DeviceId& id, device::Location loc,
+                               int hops = 1);
+  aorta::util::Status add_phone(const device::DeviceId& id, std::string phone_no,
+                                device::Location loc);
+  aorta::util::Status remove_device(const device::DeviceId& id);
+
+  // Typed access to simulated devices (to script signals, flip power, ...).
+  devices::PtzCamera* camera(const device::DeviceId& id);
+  devices::Mica2Mote* mote(const device::DeviceId& id);
+  devices::MmsPhone* phone(const device::DeviceId& id);
+
+  // ---- declarative interface ----------------------------------------------
+  // Execute one statement: CREATE ACTION / CREATE AQ / SELECT / DROP AQ.
+  // SELECT runs the simulation until its tuples are acquired.
+  aorta::util::Result<ExecResult> exec(const std::string& sql);
+
+  // Bind the implementation of a user-defined action registered via
+  // CREATE ACTION (this reproduction's stand-in for loading the DLL).
+  aorta::util::Status register_action_impl(const std::string& name,
+                                           query::ActionImpl impl);
+
+  // Virtual file system backing CREATE ACTION's PROFILE "path" clause.
+  void add_virtual_file(const std::string& path, std::string content);
+
+  // Device-type registrations as XML documents (the administrator's
+  // profile files of Section 3.1): export every registered type, or
+  // register a new type from a document.
+  std::map<device::DeviceTypeId, std::string> export_device_types() const;
+  aorta::util::Status register_type_from_xml(const std::string& xml);
+
+  // ---- running -------------------------------------------------------------
+  // Advance the simulated world (continuous queries evaluate as simulated
+  // time passes).
+  void run_for(aorta::util::Duration span);
+
+  // ---- statistics / internals ----------------------------------------------
+  const query::QueryStats* query_stats(const std::string& name) const;
+  query::QueryActionStats action_stats(const std::string& name) const;
+  SystemStats stats() const;
+
+  aorta::util::EventLoop& loop() { return *loop_; }
+  net::Network& network() { return *network_; }
+  device::DeviceRegistry& registry() { return *registry_; }
+  comm::CommLayer& comm() { return *comm_; }
+  sync::LockManager& locks() { return *locks_; }
+  sync::Prober& prober() { return *prober_; }
+  query::Catalog& catalog() { return *catalog_; }
+  query::ContinuousQueryExecutor& executor() { return *executor_; }
+
+ private:
+  void register_builtin_types();
+  void register_builtin_functions();
+  void register_builtin_actions();
+
+  Config config_;
+  aorta::util::Rng rng_;
+  std::unique_ptr<aorta::util::SimClock> clock_;
+  std::unique_ptr<aorta::util::EventLoop> loop_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<device::DeviceRegistry> registry_;
+  std::unique_ptr<comm::CommLayer> comm_;
+  std::unique_ptr<sync::LockManager> locks_;
+  std::unique_ptr<sync::Prober> prober_;
+  std::unique_ptr<query::Catalog> catalog_;
+  std::unique_ptr<query::ContinuousQueryExecutor> executor_;
+  std::map<std::string, std::string> virtual_files_;
+};
+
+}  // namespace aorta::core

@@ -1,0 +1,274 @@
+#include "core/builtins.h"
+
+#include "devices/camera.h"
+#include "devices/mote.h"
+#include "devices/phone.h"
+#include "devices/ptz_math.h"
+#include "sched/cost_model.h"
+#include "util/strings.h"
+
+namespace aorta::core {
+
+using aorta::util::Result;
+using aorta::util::Status;
+using device::Value;
+using sched::ActionOutcome;
+
+namespace {
+
+// Fetch a Location argument (accepts an actual Location or a "x,y,z" string).
+Result<device::Location> location_arg(const std::vector<Value>& args,
+                                      std::size_t index) {
+  if (index >= args.size()) {
+    return Result<device::Location>(
+        aorta::util::invalid_argument_error("missing location argument"));
+  }
+  if (const auto* loc = std::get_if<device::Location>(&args[index])) {
+    return *loc;
+  }
+  if (const auto* text = std::get_if<std::string>(&args[index])) {
+    device::Location loc;
+    if (device::Location::parse(*text, &loc)) return loc;
+  }
+  return Result<device::Location>(aorta::util::invalid_argument_error(
+      "argument " + std::to_string(index) + " is not a location"));
+}
+
+// Cost model for mote actuation: the action profile priced with the
+// hop_relay unit count taken from the device's (static) hop depth — the
+// Section 2.3 example of device status affecting connection cost.
+class MoteOpCostModel : public sched::CostModel {
+ public:
+  MoteOpCostModel(device::ActionProfile profile,
+                  device::AtomicOpCostTable op_costs)
+      : profile_(std::move(profile)), op_costs_(std::move(op_costs)) {}
+
+  double cost_s(const sched::ActionRequest& request,
+                const sched::DeviceStatus& status) const override {
+    auto units_for = [&status](const std::string& op) -> double {
+      if (op == "hop_relay") {
+        auto it = status.find("hops");
+        return it == status.end() ? 1.0 : it->second;
+      }
+      return -1.0;
+    };
+    return profile_.estimate_cost_s(op_costs_, units_for) + request.base_cost_s;
+  }
+  void apply(const sched::ActionRequest&, sched::DeviceStatus*) const override {}
+
+ private:
+  device::ActionProfile profile_;
+  device::AtomicOpCostTable op_costs_;
+};
+
+device::ActionProfile make_mote_op_profile(const std::string& name) {
+  using Node = device::ActionProfileNode;
+  std::vector<std::unique_ptr<Node>> steps;
+  steps.push_back(Node::op("hop_relay"));
+  steps.push_back(Node::op(name));
+  return device::ActionProfile(name, devices::Mica2Mote::kTypeId,
+                               Node::seq(std::move(steps)));
+}
+
+}  // namespace
+
+void register_builtin_function_library(query::Catalog* catalog,
+                                       device::DeviceRegistry* registry) {
+  // coverage(camera_id, location): "returns TRUE if the camera with ID
+  // camera_id has a view range that covers location" (Section 2.2).
+  (void)catalog->functions().add(
+      "coverage",
+      [registry](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Result<Value>(aorta::util::invalid_argument_error(
+              "coverage(camera_id, location) takes 2 arguments"));
+        }
+        const auto* id = std::get_if<std::string>(&args[0]);
+        if (id == nullptr) return Value{false};
+        auto loc = location_arg(args, 1);
+        if (!loc.is_ok()) return Value{false};
+        const auto* camera =
+            dynamic_cast<const devices::PtzCamera*>(registry->find(*id));
+        if (camera == nullptr) return Value{false};
+        return Value{devices::covers(camera->pose(), loc.value(),
+                                     camera->range_m(), camera->limits())};
+      });
+
+  (void)catalog->functions().add(
+      "distance", [](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Result<Value>(aorta::util::invalid_argument_error(
+              "distance(a, b) takes 2 arguments"));
+        }
+        auto a = location_arg(args, 0);
+        auto b = location_arg(args, 1);
+        if (!a.is_ok()) return Result<Value>(a.status());
+        if (!b.is_ok()) return Result<Value>(b.status());
+        return Value{a.value().distance_to(b.value())};
+      });
+
+  // abs(x): small numeric helper useful in event predicates
+  // (e.g. abs(s.accel_x) > 500 catches movement in both directions).
+  (void)catalog->functions().add(
+      "abs", [](const std::vector<Value>& args) -> Result<Value> {
+        double x;
+        if (args.size() != 1 || !device::value_as_double(args[0], &x)) {
+          return Result<Value>(
+              aorta::util::invalid_argument_error("abs(x) takes 1 number"));
+        }
+        return Value{std::abs(x)};
+      });
+}
+
+void register_builtin_action_library(query::Catalog* catalog,
+                                     device::DeviceRegistry* registry,
+                                     comm::CommLayer* comm) {
+  // ---- photo(camera_ip, location, directory) on cameras -------------------
+  {
+    query::ActionDef def;
+    def.name = "photo";
+    def.params = {{device::AttrType::kString, "camera_ip"},
+                  {device::AttrType::kLocation, "location"},
+                  {device::AttrType::kString, "directory"}};
+    def.device_type = devices::PtzCamera::kTypeId;
+    def.binding_param = 0;
+    def.binding_attr = "ip";
+    def.profile = sched::PhotoCostModel::make_photo_profile();
+    def.cost_model = std::shared_ptr<const sched::CostModel>(
+        sched::PhotoCostModel::axis2130().release());
+    def.library_path = "<builtin>";
+
+    // Cost-relevant request parameters: the event's world location; each
+    // candidate camera aims it with its own pose (see PhotoCostModel).
+    def.request_params = [](const std::vector<Value>& args,
+                            sched::ActionRequest* request) -> Status {
+      auto loc = location_arg(args, 1);
+      if (!loc.is_ok()) return loc.status();
+      request->params["target_x"] = loc.value().x;
+      request->params["target_y"] = loc.value().y;
+      request->params["target_z"] = loc.value().z;
+      return Status::ok();
+    };
+
+    def.impl = [registry, comm](const device::DeviceId& device,
+                                const std::vector<Value>& args,
+                                std::function<void(Result<ActionOutcome>)> done) {
+      auto loc = location_arg(args, 1);
+      if (!loc.is_ok()) {
+        done(Result<ActionOutcome>(loc.status()));
+        return;
+      }
+      const auto* camera =
+          dynamic_cast<const devices::PtzCamera*>(registry->find(device));
+      if (camera == nullptr) {
+        done(Result<ActionOutcome>(
+            aorta::util::not_found_error("no such camera: " + device)));
+        return;
+      }
+      devices::PtzPosition target =
+          devices::aim_at(camera->pose(), loc.value(), camera->limits());
+      comm->camera().photo(
+          device, target, "medium",
+          [done = std::move(done)](Result<comm::PhotoOutcome> outcome) {
+            if (!outcome.is_ok()) {
+              done(Result<ActionOutcome>(outcome.status()));
+              return;
+            }
+            const comm::PhotoOutcome& p = outcome.value();
+            ActionOutcome out;
+            out.ok = p.ok;
+            out.degraded = p.ok && !p.usable();
+            if (p.blurred) out.detail = "blurred";
+            if (p.wrong_position) out.detail = "wrong_position";
+            done(out);
+          });
+    };
+    (void)catalog->register_action(std::move(def));
+  }
+
+  // ---- sendphoto(phone_no, photo_pathname) on phones ----------------------
+  {
+    using Node = device::ActionProfileNode;
+    std::vector<std::unique_ptr<Node>> steps;
+    steps.push_back(Node::op("transfer", 80.0 * 1024.0));  // ~medium JPEG
+    steps.push_back(Node::op("recv_mms"));
+    device::ActionProfile profile("sendphoto", devices::MmsPhone::kTypeId,
+                                  Node::seq(std::move(steps)));
+
+    query::ActionDef def;
+    def.name = "sendphoto";
+    def.params = {{device::AttrType::kString, "phone_no"},
+                  {device::AttrType::kString, "photo_pathname"}};
+    def.device_type = devices::MmsPhone::kTypeId;
+    def.binding_param = 0;
+    def.binding_attr = "phone_no";
+    const device::DeviceTypeInfo* info =
+        registry->type_info(devices::MmsPhone::kTypeId);
+    def.cost_model = query::ProfileCostModel::from_profile(
+        profile, info != nullptr ? info->op_costs
+                                 : device::AtomicOpCostTable{});
+    def.profile = std::move(profile);
+    def.library_path = "<builtin>";
+
+    def.impl = [comm](const device::DeviceId& device,
+                      const std::vector<Value>& args,
+                      std::function<void(Result<ActionOutcome>)> done) {
+      std::string path;
+      if (args.size() > 1) {
+        if (const auto* s = std::get_if<std::string>(&args[1])) path = *s;
+      }
+      comm->phone().send_mms(
+          device, path, 80 * 1024,
+          [done = std::move(done)](Status status) {
+            if (!status.is_ok()) {
+              done(Result<ActionOutcome>(status));
+              return;
+            }
+            ActionOutcome out;
+            out.ok = true;
+            done(out);
+          });
+    };
+    (void)catalog->register_action(std::move(def));
+  }
+
+  // ---- beep(sensor_id) / blink(sensor_id) on motes -------------------------
+  for (const char* name : {"beep", "blink"}) {
+    query::ActionDef def;
+    def.name = name;
+    def.params = {{device::AttrType::kString, "sensor_id"}};
+    def.device_type = devices::Mica2Mote::kTypeId;
+    def.binding_param = 0;
+    def.binding_attr = "id";
+    const device::DeviceTypeInfo* info =
+        registry->type_info(devices::Mica2Mote::kTypeId);
+    def.cost_model = std::make_shared<MoteOpCostModel>(
+        make_mote_op_profile(name),
+        info != nullptr ? info->op_costs : device::AtomicOpCostTable{});
+    def.profile = make_mote_op_profile(name);
+    def.library_path = "<builtin>";
+
+    const bool is_beep = std::string(name) == "beep";
+    def.impl = [comm, is_beep](const device::DeviceId& device,
+                               const std::vector<Value>&,
+                               std::function<void(Result<ActionOutcome>)> done) {
+      auto cb = [done = std::move(done)](Status status) {
+        if (!status.is_ok()) {
+          done(Result<ActionOutcome>(status));
+          return;
+        }
+        ActionOutcome out;
+        out.ok = true;
+        done(out);
+      };
+      if (is_beep) {
+        comm->mote().beep(device, std::move(cb));
+      } else {
+        comm->mote().blink(device, std::move(cb));
+      }
+    };
+    (void)catalog->register_action(std::move(def));
+  }
+}
+
+}  // namespace aorta::core

@@ -1,0 +1,33 @@
+// Aorta's built-in action and function library (Section 2.2: "a library of
+// system built-in actions for accessing and operating devices").
+//
+// Actions:
+//   photo(camera_ip String, location Location, directory String)
+//       Moves the camera head to aim at `location`, takes a medium photo
+//       and stores it under `directory` — the running example of the
+//       paper. Cost: sequence-dependent head movement + exposure.
+//   sendphoto(phone_no String, photo_pathname String)
+//       Sends a photo as MMS to the phone (the paper's user-defined action
+//       example, shipped built-in here so examples run out of the box).
+//   beep(sensor_id String) / blink(sensor_id String)
+//       Sounder / LED actuation on a mote.
+//
+// Functions:
+//   coverage(camera_id String, location Location) -> Bool
+//       TRUE iff the camera's view range covers the location (Section 2.2).
+//   distance(a Location, b Location) -> Double
+#pragma once
+
+#include "comm/comm_module.h"
+#include "query/catalog.h"
+
+namespace aorta::core {
+
+void register_builtin_function_library(query::Catalog* catalog,
+                                       device::DeviceRegistry* registry);
+
+void register_builtin_action_library(query::Catalog* catalog,
+                                     device::DeviceRegistry* registry,
+                                     comm::CommLayer* comm);
+
+}  // namespace aorta::core

@@ -1,0 +1,129 @@
+// Base class for simulated physical devices.
+//
+// A Device is a network endpoint that speaks a small message protocol:
+//   probe      -> replies with availability + physical status snapshot
+//   read_attr  -> replies with the current value of a sensory attribute
+//   <other>    -> device-specific operations (handled by subclasses)
+//
+// The base class also models the *unreliability* that Section 4 motivates:
+// random per-operation glitches, refusal/latency under overload (a busy
+// camera failing the second concurrent request), and an online/offline
+// switch for devices that leave the world entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "device/types.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aorta::device {
+
+// Knobs for the failure model. Defaults are "perfectly reliable"; concrete
+// device types ship presets matching the paper's observations.
+struct Reliability {
+  // Probability that any single operation spontaneously fails (radio bit
+  // errors, firmware hiccups). Failed operations return an error reply.
+  double glitch_prob = 0.0;
+
+  // Probability that a request arriving while the device is already
+  // executing one or more operations is silently dropped — the caller
+  // observes a connection timeout. Grows with the number of concurrent
+  // operations: p = busy_drop_base + busy_drop_per_op * (active_ops - 1).
+  double busy_drop_base = 0.0;
+  double busy_drop_per_op = 0.0;
+
+  // Latency multiplier per extra concurrent operation (resource
+  // contention inside the device).
+  double busy_slowdown_per_op = 0.0;
+};
+
+struct DeviceOpStats {
+  std::uint64_t ops_started = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t ops_glitched = 0;
+  std::uint64_t requests_dropped_busy = 0;
+  std::uint64_t probes_answered = 0;
+  std::uint64_t max_concurrent_ops = 0;
+};
+
+class Device : public net::Endpoint {
+ public:
+  Device(DeviceId id, DeviceTypeId type_id, Location location);
+  ~Device() override = default;
+
+  const DeviceId& id() const { return id_; }
+  const DeviceTypeId& type_id() const { return type_id_; }
+  const Location& location() const { return location_; }
+
+  // Wired up by the registry when the device joins the network.
+  void bind(net::Network* network, aorta::util::EventLoop* loop,
+            aorta::util::Rng rng);
+
+  // Power switch. An offline device never replies (probes time out), which
+  // is how the prober detects departure.
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
+
+  Reliability& reliability() { return reliability_; }
+  const DeviceOpStats& op_stats() const { return op_stats_; }
+
+  // Number of operations currently executing (used by the interference
+  // models of subclasses and by the overload failure model here).
+  int active_ops() const { return active_ops_; }
+
+  // Static, non-sensory attributes (location, IP, phone number). Cached by
+  // the registry; never re-fetched over the network (Section 3.2).
+  virtual std::map<std::string, Value> static_attrs() const;
+
+  // Live value of a sensory attribute at the current simulated time.
+  virtual aorta::util::Result<Value> read_attribute(const std::string& name) = 0;
+
+  // Physical status relevant for cost estimation (e.g. pan/tilt/zoom).
+  // Returned in probe replies (Section 4: "by probing a candidate device
+  // the optimizer can gather information about [its] current physical
+  // status").
+  virtual std::map<std::string, double> status_snapshot() const = 0;
+
+  // net::Endpoint
+  void on_message(const net::Message& msg) final;
+
+ protected:
+  // Device-specific operations ("ptz_move", "beep", "recv_mms", ...).
+  virtual void handle_op(const net::Message& msg) = 0;
+
+  // Run `body` after the op's service time elapses, tracking concurrency
+  // and applying the overload-slowdown model. `service_s` is the nominal
+  // duration of the operation on an idle device.
+  void run_op(double service_s, std::function<void()> body);
+
+  // True if this op should spontaneously fail (and was counted).
+  bool roll_glitch();
+
+  void send_reply(const net::Message& request, net::Message reply);
+  net::Message make_reply(const net::Message& request, std::string kind);
+
+  aorta::util::EventLoop* loop() { return loop_; }
+  const aorta::util::EventLoop* loop() const { return loop_; }
+  aorta::util::Rng& rng() { return rng_; }
+
+ private:
+  DeviceId id_;
+  DeviceTypeId type_id_;
+  Location location_;
+  bool online_ = true;
+
+  net::Network* network_ = nullptr;
+  aorta::util::EventLoop* loop_ = nullptr;
+  aorta::util::Rng rng_{0};
+
+  Reliability reliability_;
+  int active_ops_ = 0;
+  DeviceOpStats op_stats_;
+};
+
+}  // namespace aorta::device

@@ -1,0 +1,281 @@
+#include "device/profile.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/strings.h"
+
+namespace aorta::device {
+
+using aorta::util::Result;
+using aorta::util::Status;
+using aorta::util::XmlNode;
+
+// ---------------------------------------------------------------- catalog
+
+DeviceCatalog::DeviceCatalog(DeviceTypeId type_id, std::vector<AttrSpec> attrs)
+    : type_id_(std::move(type_id)), attrs_(std::move(attrs)) {}
+
+const AttrSpec* DeviceCatalog::find(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::string DeviceCatalog::to_xml() const {
+  std::string out = "<catalog device_type=\"" + aorta::util::xml_escape(type_id_) + "\">\n";
+  for (const auto& a : attrs_) {
+    out += aorta::util::str_format(
+        "  <attribute name=\"%s\" type=\"%s\" sensory=\"%s\" getter=\"%s\" "
+        "unit=\"%s\" description=\"%s\"/>\n",
+        a.name.c_str(), std::string(attr_type_name(a.type)).c_str(),
+        a.sensory ? "true" : "false", a.getter.c_str(), a.unit.c_str(),
+        aorta::util::xml_escape(a.description).c_str());
+  }
+  out += "</catalog>\n";
+  return out;
+}
+
+Result<DeviceCatalog> DeviceCatalog::from_xml(std::string_view xml) {
+  auto doc = aorta::util::xml_parse(xml);
+  if (!doc.is_ok()) return Result<DeviceCatalog>(doc.status());
+  const XmlNode& root = *doc.value();
+  if (root.name != "catalog") {
+    return Result<DeviceCatalog>(
+        aorta::util::parse_error("expected <catalog>, got <" + root.name + ">"));
+  }
+  DeviceCatalog catalog;
+  catalog.type_id_ = root.attr("device_type");
+  if (catalog.type_id_.empty()) {
+    return Result<DeviceCatalog>(
+        aorta::util::parse_error("<catalog> missing device_type"));
+  }
+  for (const XmlNode* node : root.children_named("attribute")) {
+    AttrSpec spec;
+    spec.name = node->attr("name");
+    if (spec.name.empty()) {
+      return Result<DeviceCatalog>(
+          aorta::util::parse_error("<attribute> missing name"));
+    }
+    if (!attr_type_from_name(node->attr("type", "double"), &spec.type)) {
+      return Result<DeviceCatalog>(aorta::util::parse_error(
+          "unknown attribute type: " + node->attr("type")));
+    }
+    spec.sensory = node->attr("sensory", "true") == "true";
+    spec.getter = node->attr("getter");
+    spec.unit = node->attr("unit");
+    spec.description = node->attr("description");
+    catalog.attrs_.push_back(std::move(spec));
+  }
+  return catalog;
+}
+
+// ------------------------------------------------------------- cost table
+
+Status AtomicOpCostTable::add(AtomicOpCost op) {
+  if (find(op.name) != nullptr) {
+    return aorta::util::already_exists_error("duplicate atomic op: " + op.name);
+  }
+  ops_.push_back(std::move(op));
+  return Status::ok();
+}
+
+const AtomicOpCost* AtomicOpCostTable::find(std::string_view name) const {
+  for (const auto& op : ops_) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+std::string AtomicOpCostTable::to_xml() const {
+  std::string out = "<atomic_operation_cost device_type=\"" +
+                    aorta::util::xml_escape(type_id_) + "\">\n";
+  for (const auto& op : ops_) {
+    out += aorta::util::str_format(
+        "  <operation name=\"%s\" fixed_s=\"%.17g\" per_unit_s=\"%.17g\" unit=\"%s\"/>\n",
+        op.name.c_str(), op.fixed_s, op.per_unit_s, op.unit.c_str());
+  }
+  out += "</atomic_operation_cost>\n";
+  return out;
+}
+
+Result<AtomicOpCostTable> AtomicOpCostTable::from_xml(std::string_view xml) {
+  auto doc = aorta::util::xml_parse(xml);
+  if (!doc.is_ok()) return Result<AtomicOpCostTable>(doc.status());
+  const XmlNode& root = *doc.value();
+  if (root.name != "atomic_operation_cost") {
+    return Result<AtomicOpCostTable>(aorta::util::parse_error(
+        "expected <atomic_operation_cost>, got <" + root.name + ">"));
+  }
+  AtomicOpCostTable table(root.attr("device_type"));
+  for (const XmlNode* node : root.children_named("operation")) {
+    AtomicOpCost op;
+    op.name = node->attr("name");
+    if (op.name.empty()) {
+      return Result<AtomicOpCostTable>(
+          aorta::util::parse_error("<operation> missing name"));
+    }
+    op.fixed_s = node->attr_double("fixed_s", 0.0);
+    op.per_unit_s = node->attr_double("per_unit_s", 0.0);
+    op.unit = node->attr("unit");
+    Status s = table.add(std::move(op));
+    if (!s.is_ok()) return Result<AtomicOpCostTable>(s);
+  }
+  return table;
+}
+
+// ---------------------------------------------------------- action profile
+
+std::unique_ptr<ActionProfileNode> ActionProfileNode::op(std::string name,
+                                                         double units) {
+  auto node = std::make_unique<ActionProfileNode>();
+  node->kind = Kind::kOp;
+  node->op_name = std::move(name);
+  node->units = units;
+  return node;
+}
+
+std::unique_ptr<ActionProfileNode> ActionProfileNode::seq(
+    std::vector<std::unique_ptr<ActionProfileNode>> children) {
+  auto node = std::make_unique<ActionProfileNode>();
+  node->kind = Kind::kSeq;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<ActionProfileNode> ActionProfileNode::par(
+    std::vector<std::unique_ptr<ActionProfileNode>> children) {
+  auto node = std::make_unique<ActionProfileNode>();
+  node->kind = Kind::kPar;
+  node->children = std::move(children);
+  return node;
+}
+
+ActionProfile::ActionProfile(std::string action_name, DeviceTypeId device_type,
+                             std::unique_ptr<ActionProfileNode> root,
+                             std::vector<std::string> status_attrs)
+    : action_name_(std::move(action_name)),
+      device_type_(std::move(device_type)),
+      root_(std::move(root)),
+      status_attrs_(std::move(status_attrs)) {}
+
+namespace {
+
+double estimate_node(const ActionProfileNode& node, const AtomicOpCostTable& costs,
+                     const std::function<double(const std::string&)>& units_for) {
+  switch (node.kind) {
+    case ActionProfileNode::Kind::kOp: {
+      const AtomicOpCost* op = costs.find(node.op_name);
+      if (op == nullptr) return 0.0;  // unknown op contributes nothing
+      double units = node.units;
+      if (units_for) {
+        double dynamic = units_for(node.op_name);
+        if (dynamic >= 0.0) units = dynamic;
+      }
+      return op->cost_s(units);
+    }
+    case ActionProfileNode::Kind::kSeq: {
+      double total = 0.0;
+      for (const auto& c : node.children) total += estimate_node(*c, costs, units_for);
+      return total;
+    }
+    case ActionProfileNode::Kind::kPar: {
+      double peak = 0.0;
+      for (const auto& c : node.children) {
+        peak = std::max(peak, estimate_node(*c, costs, units_for));
+      }
+      return peak;
+    }
+  }
+  return 0.0;
+}
+
+std::string node_to_xml(const ActionProfileNode& node, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (node.kind) {
+    case ActionProfileNode::Kind::kOp:
+      return pad + aorta::util::str_format("<op name=\"%s\" units=\"%.17g\"/>\n",
+                                           node.op_name.c_str(), node.units);
+    case ActionProfileNode::Kind::kSeq:
+    case ActionProfileNode::Kind::kPar: {
+      const char* tag = node.kind == ActionProfileNode::Kind::kSeq ? "seq" : "par";
+      std::string out = pad + "<" + tag + ">\n";
+      for (const auto& c : node.children) out += node_to_xml(*c, indent + 1);
+      out += pad + "</" + tag + ">\n";
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<std::unique_ptr<ActionProfileNode>> node_from_xml(const XmlNode& xml) {
+  using NodePtr = std::unique_ptr<ActionProfileNode>;
+  if (xml.name == "op") {
+    if (!xml.has_attr("name")) {
+      return Result<NodePtr>(aorta::util::parse_error("<op> missing name"));
+    }
+    return ActionProfileNode::op(xml.attr("name"), xml.attr_double("units", 1.0));
+  }
+  if (xml.name == "seq" || xml.name == "par") {
+    std::vector<NodePtr> children;
+    for (const auto& c : xml.children) {
+      auto child = node_from_xml(*c);
+      if (!child.is_ok()) return child;
+      children.push_back(std::move(child).value());
+    }
+    if (children.empty()) {
+      return Result<NodePtr>(
+          aorta::util::parse_error("<" + xml.name + "> must have children"));
+    }
+    return xml.name == "seq" ? ActionProfileNode::seq(std::move(children))
+                             : ActionProfileNode::par(std::move(children));
+  }
+  return Result<NodePtr>(
+      aorta::util::parse_error("unexpected profile element <" + xml.name + ">"));
+}
+
+}  // namespace
+
+double ActionProfile::estimate_cost_s(
+    const AtomicOpCostTable& costs,
+    const std::function<double(const std::string&)>& units_for) const {
+  if (root_ == nullptr) return 0.0;
+  return estimate_node(*root_, costs, units_for);
+}
+
+std::string ActionProfile::to_xml() const {
+  std::string out = aorta::util::str_format(
+      "<action_profile action=\"%s\" device_type=\"%s\" status_attrs=\"%s\">\n",
+      action_name_.c_str(), device_type_.c_str(),
+      aorta::util::join(status_attrs_, ",").c_str());
+  if (root_ != nullptr) out += node_to_xml(*root_, 1);
+  out += "</action_profile>\n";
+  return out;
+}
+
+Result<ActionProfile> ActionProfile::from_xml(std::string_view xml) {
+  auto doc = aorta::util::xml_parse(xml);
+  if (!doc.is_ok()) return Result<ActionProfile>(doc.status());
+  const XmlNode& root = *doc.value();
+  if (root.name != "action_profile") {
+    return Result<ActionProfile>(aorta::util::parse_error(
+        "expected <action_profile>, got <" + root.name + ">"));
+  }
+  if (root.children.size() != 1) {
+    return Result<ActionProfile>(aorta::util::parse_error(
+        "<action_profile> must have exactly one composition root"));
+  }
+  auto tree = node_from_xml(*root.children[0]);
+  if (!tree.is_ok()) return Result<ActionProfile>(tree.status());
+
+  std::vector<std::string> status_attrs;
+  for (const auto& s : aorta::util::split(root.attr("status_attrs"), ',')) {
+    std::string t(aorta::util::trim(s));
+    if (!t.empty()) status_attrs.push_back(std::move(t));
+  }
+  return ActionProfile(root.attr("action"), root.attr("device_type"),
+                       std::move(tree).value(), std::move(status_attrs));
+}
+
+}  // namespace aorta::device

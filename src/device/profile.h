@@ -1,0 +1,144 @@
+// Device profiles: catalogs, atomic operation cost tables, action profiles.
+//
+// Section 3.1: "we use device profiles to describe the physical
+// characteristics of devices ... a device catalog is an XML text file that
+// keeps the names of the attributes supported by the type of devices ...
+// for each type of devices, there is also an atomic_operation_cost.xml
+// file ... [listing] all atomic operations on the type of devices and
+// their corresponding estimated costs."
+//
+// Section 2.3: "the action profile ... specifies the composition of an
+// action in terms of the sequential and/or parallel execution of a number
+// of atomic operations."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/types.h"
+#include "util/status.h"
+#include "util/xml.h"
+
+namespace aorta::device {
+
+// One attribute of a virtual device table. Sensory attributes must be
+// acquired live from the device; non-sensory attributes are static and may
+// be served from the registry cache (Section 3.2).
+struct AttrSpec {
+  std::string name;
+  AttrType type = AttrType::kDouble;
+  bool sensory = true;
+  std::string getter;       // name of the built-in acquisition method
+  std::string unit;         // informational, e.g. "mg", "lux", "degC"
+  std::string description;  // semantics, for the catalog
+};
+
+// Catalog of a device type.
+class DeviceCatalog {
+ public:
+  DeviceCatalog() = default;
+  DeviceCatalog(DeviceTypeId type_id, std::vector<AttrSpec> attrs);
+
+  const DeviceTypeId& type_id() const { return type_id_; }
+  const std::vector<AttrSpec>& attrs() const { return attrs_; }
+  const AttrSpec* find(std::string_view name) const;
+
+  std::string to_xml() const;
+  static aorta::util::Result<DeviceCatalog> from_xml(std::string_view xml);
+
+ private:
+  DeviceTypeId type_id_;
+  std::vector<AttrSpec> attrs_;
+};
+
+// Cost of one atomic operation: cost(units) = fixed_s + per_unit_s * units.
+// A fixed op (e.g. "snap medium photo") has per_unit_s = 0; a rate op
+// (e.g. "pan" with unit "degree") charges per unit of work. These numbers
+// are the "estimated costs ... measured by our homegrown programs" of
+// Section 3.1 — ours are calibrated to the published photo() cost range.
+struct AtomicOpCost {
+  std::string name;
+  double fixed_s = 0.0;
+  double per_unit_s = 0.0;
+  std::string unit;  // "" for fixed ops
+
+  double cost_s(double units) const { return fixed_s + per_unit_s * units; }
+};
+
+// Per-device-type atomic_operation_cost.xml.
+class AtomicOpCostTable {
+ public:
+  AtomicOpCostTable() = default;
+  explicit AtomicOpCostTable(DeviceTypeId type_id) : type_id_(std::move(type_id)) {}
+
+  const DeviceTypeId& type_id() const { return type_id_; }
+
+  aorta::util::Status add(AtomicOpCost op);
+  const AtomicOpCost* find(std::string_view name) const;
+  const std::vector<AtomicOpCost>& ops() const { return ops_; }
+
+  std::string to_xml() const;
+  static aorta::util::Result<AtomicOpCostTable> from_xml(std::string_view xml);
+
+ private:
+  DeviceTypeId type_id_;
+  std::vector<AtomicOpCost> ops_;
+};
+
+// Action profile: composition tree over atomic operations.
+struct ActionProfileNode {
+  enum class Kind { kOp, kSeq, kPar };
+  Kind kind = Kind::kOp;
+  std::string op_name;   // kOp only
+  double units = 1.0;    // kOp only: default unit count when the cost model
+                         // has no status-derived value for this op
+  std::vector<std::unique_ptr<ActionProfileNode>> children;  // kSeq/kPar
+
+  static std::unique_ptr<ActionProfileNode> op(std::string name, double units = 1.0);
+  static std::unique_ptr<ActionProfileNode> seq(
+      std::vector<std::unique_ptr<ActionProfileNode>> children);
+  static std::unique_ptr<ActionProfileNode> par(
+      std::vector<std::unique_ptr<ActionProfileNode>> children);
+};
+
+class ActionProfile {
+ public:
+  ActionProfile() = default;
+  ActionProfile(std::string action_name, DeviceTypeId device_type,
+                std::unique_ptr<ActionProfileNode> root,
+                std::vector<std::string> status_attrs = {});
+
+  ActionProfile(ActionProfile&&) = default;
+  ActionProfile& operator=(ActionProfile&&) = default;
+
+  const std::string& action_name() const { return action_name_; }
+  const DeviceTypeId& device_type() const { return device_type_; }
+  const ActionProfileNode* root() const { return root_.get(); }
+
+  // Physical-status attributes this action's cost depends on and that its
+  // execution changes (e.g. camera pan/tilt/zoom). The prober fetches
+  // these before device selection (Section 4, last paragraph).
+  const std::vector<std::string>& status_attrs() const { return status_attrs_; }
+
+  // Estimate the action cost. `units_for(op_name)` supplies the
+  // status-dependent unit count for rate ops (e.g. degrees of pan needed
+  // from the device's current head position); it returns a negative value
+  // when it has no opinion, in which case the profile default is used.
+  // Sequential children add; parallel children take the max.
+  double estimate_cost_s(const AtomicOpCostTable& costs,
+                         const std::function<double(const std::string&)>& units_for) const;
+
+  std::string to_xml() const;
+  static aorta::util::Result<ActionProfile> from_xml(std::string_view xml);
+
+ private:
+  std::string action_name_;
+  DeviceTypeId device_type_;
+  std::unique_ptr<ActionProfileNode> root_;
+  std::vector<std::string> status_attrs_;
+};
+
+}  // namespace aorta::device

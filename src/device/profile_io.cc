@@ -1,0 +1,79 @@
+#include "device/profile_io.h"
+
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace aorta::device {
+
+using aorta::util::Result;
+
+std::string device_type_to_xml(const DeviceTypeInfo& info) {
+  std::string out = aorta::util::str_format(
+      "<device_type id=\"%s\" probe_timeout_ms=\"%lld\">\n",
+      info.type_id.c_str(),
+      static_cast<long long>(info.probe_timeout.to_micros() / 1000));
+  out += aorta::util::str_format(
+      "<link latency_mean_s=\"%.17g\" latency_jitter_s=\"%.17g\" "
+      "loss_prob=\"%.17g\" bandwidth_bytes_per_s=\"%.17g\"/>\n",
+      info.link.latency_mean_s, info.link.latency_jitter_s,
+      info.link.loss_prob, info.link.bandwidth_bytes_per_s);
+  out += info.catalog.to_xml();
+  out += info.op_costs.to_xml();
+  out += "</device_type>\n";
+  return out;
+}
+
+Result<DeviceTypeInfo> device_type_from_xml(std::string_view xml) {
+  auto doc = aorta::util::xml_parse(xml);
+  if (!doc.is_ok()) return Result<DeviceTypeInfo>(doc.status());
+  const aorta::util::XmlNode& root = *doc.value();
+  if (root.name != "device_type") {
+    return Result<DeviceTypeInfo>(aorta::util::parse_error(
+        "expected <device_type>, got <" + root.name + ">"));
+  }
+
+  DeviceTypeInfo info;
+  info.type_id = root.attr("id");
+  if (info.type_id.empty()) {
+    return Result<DeviceTypeInfo>(
+        aorta::util::parse_error("<device_type> missing id"));
+  }
+  info.probe_timeout = aorta::util::Duration::millis(
+      root.attr_int("probe_timeout_ms", 2000));
+
+  if (const aorta::util::XmlNode* link = root.child("link")) {
+    info.link.latency_mean_s = link->attr_double("latency_mean_s", 0.002);
+    info.link.latency_jitter_s = link->attr_double("latency_jitter_s", 0.0);
+    info.link.loss_prob = link->attr_double("loss_prob", 0.0);
+    info.link.bandwidth_bytes_per_s =
+        link->attr_double("bandwidth_bytes_per_s", 1e7);
+  }
+
+  const aorta::util::XmlNode* catalog = root.child("catalog");
+  if (catalog == nullptr) {
+    return Result<DeviceTypeInfo>(
+        aorta::util::parse_error("<device_type> missing <catalog>"));
+  }
+  auto parsed_catalog = DeviceCatalog::from_xml(catalog->to_string());
+  if (!parsed_catalog.is_ok()) {
+    return Result<DeviceTypeInfo>(parsed_catalog.status());
+  }
+  info.catalog = std::move(parsed_catalog).value();
+  if (info.catalog.type_id() != info.type_id) {
+    return Result<DeviceTypeInfo>(aorta::util::parse_error(
+        "catalog device_type mismatches <device_type id>"));
+  }
+
+  if (const aorta::util::XmlNode* costs = root.child("atomic_operation_cost")) {
+    auto parsed_costs = AtomicOpCostTable::from_xml(costs->to_string());
+    if (!parsed_costs.is_ok()) {
+      return Result<DeviceTypeInfo>(parsed_costs.status());
+    }
+    info.op_costs = std::move(parsed_costs).value();
+  } else {
+    info.op_costs = AtomicOpCostTable(info.type_id);
+  }
+  return info;
+}
+
+}  // namespace aorta::device

@@ -1,0 +1,22 @@
+// Serialization of complete device-type registrations.
+//
+// Section 3.1: profiles "are generated and registered to the system and
+// are updated dynamically by the system administrator". This module turns
+// a DeviceTypeInfo into one XML document bundling the catalog, the
+// atomic_operation_cost table, the link model and the per-type probe
+// TIMEOUT — and back — so an administrator can keep type registrations as
+// files (see Aorta::export_device_types / register_type_from_xml).
+#pragma once
+
+#include "device/registry.h"
+#include "util/status.h"
+
+namespace aorta::device {
+
+// One self-contained XML document for the type.
+std::string device_type_to_xml(const DeviceTypeInfo& info);
+
+// Parse a document produced by device_type_to_xml (or written by hand).
+aorta::util::Result<DeviceTypeInfo> device_type_from_xml(std::string_view xml);
+
+}  // namespace aorta::device

@@ -1,0 +1,109 @@
+#include "device/types.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace aorta::device {
+
+std::string Location::to_string() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "(%.3g, %.3g, %.3g)", x, y, z);
+  return buf;
+}
+
+bool Location::parse(const std::string& text, Location* out) {
+  std::string s(aorta::util::trim(text));
+  if (!s.empty() && s.front() == '(' && s.back() == ')') {
+    s = s.substr(1, s.size() - 2);
+  }
+  auto parts = aorta::util::split(s, ',');
+  if (parts.size() != 3) return false;
+  double vals[3];
+  for (int i = 0; i < 3; ++i) {
+    std::string p(aorta::util::trim(parts[static_cast<std::size_t>(i)]));
+    char* end = nullptr;
+    vals[i] = std::strtod(p.c_str(), &end);
+    if (end == p.c_str() || *end != '\0') return false;
+  }
+  *out = Location{vals[0], vals[1], vals[2]};
+  return true;
+}
+
+std::string value_to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "NULL"; }
+    std::string operator()(bool b) const { return b ? "TRUE" : "FALSE"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const {
+      return aorta::util::str_format("%.6g", d);
+    }
+    std::string operator()(const std::string& s) const { return "'" + s + "'"; }
+    std::string operator()(const Location& loc) const { return loc.to_string(); }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+bool value_as_double(const Value& v, double* out) {
+  if (const bool* b = std::get_if<bool>(&v)) {
+    *out = *b ? 1.0 : 0.0;
+    return true;
+  }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    *out = static_cast<double>(*i);
+    return true;
+  }
+  if (const double* d = std::get_if<double>(&v)) {
+    *out = *d;
+    return true;
+  }
+  return false;
+}
+
+bool value_truthy(const Value& v) {
+  struct Visitor {
+    bool operator()(std::monostate) const { return false; }
+    bool operator()(bool b) const { return b; }
+    bool operator()(std::int64_t i) const { return i != 0; }
+    bool operator()(double d) const { return d != 0.0; }
+    bool operator()(const std::string& s) const { return !s.empty(); }
+    bool operator()(const Location&) const { return true; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+bool value_equal(const Value& a, const Value& b) {
+  // Numeric values compare across int/double/bool; others require same type.
+  double da, db;
+  if (value_as_double(a, &da) && value_as_double(b, &db)) return da == db;
+  return a == b;
+}
+
+std::string_view attr_type_name(AttrType t) {
+  switch (t) {
+    case AttrType::kBool:
+      return "bool";
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kDouble:
+      return "double";
+    case AttrType::kString:
+      return "string";
+    case AttrType::kLocation:
+      return "location";
+  }
+  return "?";
+}
+
+bool attr_type_from_name(std::string_view name, AttrType* out) {
+  if (name == "bool") *out = AttrType::kBool;
+  else if (name == "int") *out = AttrType::kInt;
+  else if (name == "double") *out = AttrType::kDouble;
+  else if (name == "string") *out = AttrType::kString;
+  else if (name == "location") *out = AttrType::kLocation;
+  else return false;
+  return true;
+}
+
+}  // namespace aorta::device

@@ -1,0 +1,56 @@
+// Core value types shared by the device, communication and query layers.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace aorta::device {
+
+using DeviceId = std::string;      // e.g. "cam1", "mote7", "phone_mgr"
+using DeviceTypeId = std::string;  // e.g. "camera", "sensor", "phone"
+
+// A position in the pervasive lab, metres. Motes are fixed at points of
+// interest; cameras are ceiling-mounted (Section 6.1).
+struct Location {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  double distance_to(const Location& other) const {
+    double dx = x - other.x, dy = y - other.y, dz = z - other.z;
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+  bool operator==(const Location&) const = default;
+
+  std::string to_string() const;
+  // Parses "(x, y, z)" or "x,y,z"; returns false on malformed input.
+  static bool parse(const std::string& text, Location* out);
+};
+
+// Dynamically-typed attribute value. Virtual device tables (Section 3.2)
+// expose sensory attributes (live readings, device status) and non-sensory
+// attributes (locations, IPs, phone numbers) through this one type; the
+// query engine's Value is an alias of it.
+using Value = std::variant<std::monostate, bool, std::int64_t, double,
+                           std::string, Location>;
+
+// Human-readable rendering ("500", "3.25", "'photos/admin'", "(1,2,0)").
+std::string value_to_string(const Value& v);
+
+// Numeric coercion: bool/int/double -> double. Returns false otherwise.
+bool value_as_double(const Value& v, double* out);
+
+// Truthiness for predicate evaluation: null/false/0/"" are false.
+bool value_truthy(const Value& v);
+
+bool value_equal(const Value& a, const Value& b);
+
+// Declared type of an attribute in a device catalog.
+enum class AttrType { kBool, kInt, kDouble, kString, kLocation };
+
+std::string_view attr_type_name(AttrType t);
+bool attr_type_from_name(std::string_view name, AttrType* out);
+
+}  // namespace aorta::device

@@ -1,0 +1,265 @@
+#include "devices/camera.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace aorta::devices {
+
+using aorta::util::Duration;
+using aorta::util::Result;
+using device::Value;
+
+double capture_time_s(const std::string& size) {
+  if (size == "small") return 0.18;
+  if (size == "large") return 0.72;
+  return 0.36;  // medium — photo()'s default (Section 2.2)
+}
+
+std::size_t photo_bytes(const std::string& size) {
+  if (size == "small") return 30 * 1024;
+  if (size == "large") return 200 * 1024;
+  return 80 * 1024;
+}
+
+PtzCamera::PtzCamera(device::DeviceId id, std::string ip, CameraPose pose,
+                     double range_m)
+    : Device(std::move(id), kTypeId, pose.location),
+      ip_(std::move(ip)),
+      pose_(pose),
+      range_m_(range_m) {
+  // Failure model presets observed on the lab cameras (Section 6.2):
+  // occasional spontaneous failures, and substantial trouble when two
+  // actions hit the camera concurrently.
+  reliability().glitch_prob = 0.01;
+  reliability().busy_drop_base = 0.25;
+  reliability().busy_drop_per_op = 0.10;
+  reliability().busy_slowdown_per_op = 0.30;
+}
+
+std::map<std::string, Value> PtzCamera::static_attrs() const {
+  return {{"id", PtzCamera::id()},
+          {"ip", ip_},
+          {"loc", location()},
+          {"yaw", pose_.yaw_deg},
+          {"range", range_m_}};
+}
+
+Result<Value> PtzCamera::read_attribute(const std::string& name) {
+  // Sensory attributes: current physical status ("we categorize the
+  // attributes that describe device status ... into sensory attributes",
+  // Section 3.2).
+  if (name == "pan") return Value{head_.pan_deg};
+  if (name == "tilt") return Value{head_.tilt_deg};
+  if (name == "zoom") return Value{head_.zoom};
+  if (name == "busy") return Value{static_cast<std::int64_t>(active_ops())};
+  return Result<Value>(
+      aorta::util::not_found_error("camera has no attribute " + name));
+}
+
+std::map<std::string, double> PtzCamera::status_snapshot() const {
+  return {{"pan", head_.pan_deg}, {"tilt", head_.tilt_deg}, {"zoom", head_.zoom}};
+}
+
+double PtzCamera::current_utilization() const {
+  // Accumulator decays with time constant kUtilizationWindowS.
+  double age_s =
+      (loop() == nullptr) ? 0.0 : (loop()->now() - busy_accum_at_).to_seconds();
+  double decayed = busy_accum_s_ * std::exp(-age_s / kUtilizationWindowS);
+  return std::min(1.0, decayed / kUtilizationWindowS);
+}
+
+void PtzCamera::note_busy_time(double busy_s) {
+  double age_s = (loop()->now() - busy_accum_at_).to_seconds();
+  busy_accum_s_ = busy_accum_s_ * std::exp(-age_s / kUtilizationWindowS) + busy_s;
+  busy_accum_at_ = loop()->now();
+}
+
+void PtzCamera::handle_op(const net::Message& msg) {
+  if (msg.kind == "photo") {
+    start_photo(msg);
+  } else if (msg.kind == "ptz_move") {
+    start_move(msg);
+  } else if (msg.kind == "snap") {
+    start_snap(msg);
+  } else {
+    net::Message reply = make_reply(msg, "error");
+    reply.set("error", "unknown camera op: " + msg.kind);
+    send_reply(msg, std::move(reply));
+  }
+}
+
+void PtzCamera::interfere_active_sessions() {
+  for (Session& s : active_sessions_) s.interfered = true;
+}
+
+PtzCamera::Session* PtzCamera::find_session(std::uint64_t id) {
+  for (Session& s : active_sessions_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+void PtzCamera::finish_session(std::uint64_t id) {
+  std::erase_if(active_sessions_, [id](const Session& s) { return s.id == id; });
+}
+
+void PtzCamera::start_photo(const net::Message& msg) {
+  PtzPosition target{msg.field_double("pan"), msg.field_double("tilt"),
+                     msg.field_double("zoom", 1.0)};
+  target = limits_.clamp(target);
+  std::string size = msg.field("size", "medium");
+
+  // A command arriving while other sessions hold the head interferes with
+  // all of them — and they with it.
+  bool contended = !active_sessions_.empty();
+  if (contended) interfere_active_sessions();
+
+  std::uint64_t session_id = next_session_++;
+  active_sessions_.push_back(Session{session_id, contended});
+
+  double service_s = move_time_s(head_, target, speeds_) + capture_time_s(size);
+  note_busy_time(service_s);
+
+  // The head starts moving immediately; later commands see it en route to
+  // (and after completion, at) the newest target.
+  head_ = target;
+
+  net::Message request = msg;  // captured for the deferred reply
+  run_op(service_s, [this, request, target, size, session_id]() {
+    Session* session = find_session(session_id);
+    bool interfered = session != nullptr && session->interfered;
+    finish_session(session_id);
+
+    net::Message reply = make_reply(request, "photo_ack");
+    // Failure sources compose: the base per-operation glitch plus the
+    // fatigue term that grows with sustained utilization (Section 6.2's
+    // residual failures under heavy workload).
+    double fatigue_p = fatigue_coeff_ * current_utilization();
+    if (roll_glitch() || rng().chance(std::min(0.9, fatigue_p))) {
+      ++camera_stats_.photos_failed;
+      reply.set("ok", "0");
+      reply.set("error", "camera failed to take photo");
+    } else if (interfered) {
+      // Interference manifests as either a blurred photo (head moved
+      // during exposure) or a photo of the wrong spot (head re-aimed by
+      // the competing command) — both observed in practice (Section 4).
+      bool blurred = rng().chance(0.5);
+      reply.set("ok", "1");
+      reply.set("blurred", blurred ? "1" : "0");
+      reply.set("wrong_position", blurred ? "0" : "1");
+      reply.set_double("pan", head_.pan_deg);
+      reply.set_double("tilt", head_.tilt_deg);
+      reply.payload_bytes = photo_bytes(size);
+      if (blurred) {
+        ++camera_stats_.photos_blurred;
+      } else {
+        ++camera_stats_.photos_wrong_position;
+      }
+    } else {
+      ++camera_stats_.photos_ok;
+      reply.set("ok", "1");
+      reply.set("blurred", "0");
+      reply.set("wrong_position", "0");
+      reply.set_double("pan", target.pan_deg);
+      reply.set_double("tilt", target.tilt_deg);
+      reply.payload_bytes = photo_bytes(size);
+    }
+    send_reply(request, std::move(reply));
+  });
+}
+
+void PtzCamera::start_move(const net::Message& msg) {
+  PtzPosition target{msg.field_double("pan"), msg.field_double("tilt"),
+                     msg.field_double("zoom", 1.0)};
+  target = limits_.clamp(target);
+  if (!active_sessions_.empty()) interfere_active_sessions();
+
+  double service_s = move_time_s(head_, target, speeds_);
+  note_busy_time(service_s);
+  head_ = target;
+
+  net::Message request = msg;
+  run_op(service_s, [this, request]() {
+    net::Message reply = make_reply(request, "ptz_ack");
+    reply.set("ok", "1");
+    send_reply(request, std::move(reply));
+  });
+}
+
+void PtzCamera::start_snap(const net::Message& msg) {
+  std::string size = msg.field("size", "medium");
+  bool contended = !active_sessions_.empty();
+  if (contended) interfere_active_sessions();
+  std::uint64_t session_id = next_session_++;
+  active_sessions_.push_back(Session{session_id, contended});
+
+  double service_s = capture_time_s(size);
+  note_busy_time(service_s);
+
+  net::Message request = msg;
+  run_op(service_s, [this, request, size, session_id]() {
+    Session* session = find_session(session_id);
+    bool interfered = session != nullptr && session->interfered;
+    finish_session(session_id);
+
+    net::Message reply = make_reply(request, "snap_ack");
+    if (roll_glitch()) {
+      ++camera_stats_.photos_failed;
+      reply.set("ok", "0");
+    } else {
+      reply.set("ok", "1");
+      reply.set("blurred", interfered ? "1" : "0");
+      reply.payload_bytes = photo_bytes(size);
+      if (interfered) {
+        ++camera_stats_.photos_blurred;
+      } else {
+        ++camera_stats_.photos_ok;
+      }
+    }
+    send_reply(request, std::move(reply));
+  });
+}
+
+device::DeviceTypeInfo camera_type_info() {
+  device::DeviceTypeInfo info;
+  info.type_id = PtzCamera::kTypeId;
+
+  info.catalog = device::DeviceCatalog(
+      PtzCamera::kTypeId,
+      {
+          {"id", device::AttrType::kString, false, "", "", "device identifier"},
+          {"ip", device::AttrType::kString, false, "", "", "camera IP address"},
+          {"loc", device::AttrType::kLocation, false, "", "m", "mounting position"},
+          {"yaw", device::AttrType::kDouble, false, "", "deg", "mounting yaw"},
+          {"range", device::AttrType::kDouble, false, "", "m", "coverage range"},
+          {"pan", device::AttrType::kDouble, true, "read_attr", "deg",
+           "current head pan"},
+          {"tilt", device::AttrType::kDouble, true, "read_attr", "deg",
+           "current head tilt"},
+          {"zoom", device::AttrType::kDouble, true, "read_attr", "x",
+           "current zoom factor"},
+          {"busy", device::AttrType::kInt, true, "read_attr", "",
+           "operations in flight"},
+      });
+
+  // Atomic operations and rates: the engine-side cost model estimates
+  // photo() as max(pan, tilt, zoom axis times) + snap cost, using exactly
+  // these numbers (Section 3.1's atomic_operation_cost.xml).
+  PtzSpeeds speeds;
+  auto& ops = info.op_costs;
+  ops = device::AtomicOpCostTable(PtzCamera::kTypeId);
+  (void)ops.add({"pan", 0.0, 1.0 / speeds.pan_deg_per_s, "degree"});
+  (void)ops.add({"tilt", 0.0, 1.0 / speeds.tilt_deg_per_s, "degree"});
+  (void)ops.add({"zoom", 0.0, 1.0 / speeds.zoom_per_s, "factor"});
+  (void)ops.add({"snap_small", capture_time_s("small"), 0.0, ""});
+  (void)ops.add({"snap_medium", capture_time_s("medium"), 0.0, ""});
+  (void)ops.add({"snap_large", capture_time_s("large"), 0.0, ""});
+
+  info.link = net::LinkModel::lan();
+  info.probe_timeout = aorta::util::Duration::millis(1000);
+  return info;
+}
+
+}  // namespace aorta::devices

@@ -1,0 +1,121 @@
+// Simulated AXIS-2130-style PTZ network camera.
+//
+// This is the reproduction's counterpart of the paper's "homegrown camera
+// simulator ... tuned through extensive tests on the real cameras"
+// (Section 6.1). It models:
+//  - PTZ kinematics: moving the head costs time proportional to the
+//    largest axis sweep (Section 2.3's sequence-dependent photo() cost);
+//  - capture time per photo size (small/medium/large);
+//  - interference between concurrent actions: overlapping photo commands
+//    redirect the head mid-exposure, yielding blurred photos or photos
+//    taken at wrong positions (the failure modes of Section 4 / 6.2);
+//  - fatigue under sustained workload: failure probability rises with
+//    recent utilization (the residual ~10% failures of Section 6.2).
+//
+// Protocol (all request/response over the network):
+//   photo    pan,tilt,zoom,size        -> photo_ack  ok,blurred,pan,tilt,bytes
+//   ptz_move pan,tilt,zoom             -> ptz_ack
+//   snap     size                      -> snap_ack   ok,blurred,bytes
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "device/device.h"
+#include "device/registry.h"
+#include "devices/ptz_math.h"
+
+namespace aorta::devices {
+
+// Exposure time by photo size; medium is photo()'s default and anchors the
+// lower end of the published cost range.
+double capture_time_s(const std::string& size);
+
+// Approximate JPEG size by photo size (drives the transfer-time model).
+std::size_t photo_bytes(const std::string& size);
+
+struct CameraStats {
+  std::uint64_t photos_ok = 0;
+  std::uint64_t photos_blurred = 0;
+  std::uint64_t photos_wrong_position = 0;
+  std::uint64_t photos_failed = 0;  // glitch / fatigue failures
+};
+
+class PtzCamera : public device::Device {
+ public:
+  // `ip` is the static camera.ip attribute the snapshot query passes to
+  // photo(); `pose` fixes mounting position/orientation; `range_m` bounds
+  // coverage().
+  PtzCamera(device::DeviceId id, std::string ip, CameraPose pose,
+            double range_m = 25.0);
+
+  static constexpr const char* kTypeId = "camera";
+
+  const CameraPose& pose() const { return pose_; }
+  double range_m() const { return range_m_; }
+  const PtzPosition& head() const { return head_; }
+  void set_head(PtzPosition p) { head_ = limits_.clamp(p); }
+  const PtzLimits& limits() const { return limits_; }
+  const PtzSpeeds& speeds() const { return speeds_; }
+  const CameraStats& camera_stats() const { return camera_stats_; }
+
+  // Fatigue model: effective per-photo failure probability is
+  // glitch_prob + fatigue_coeff * utilization, where utilization is the
+  // busy fraction over (roughly) the last minute.
+  void set_fatigue_coeff(double c) { fatigue_coeff_ = c; }
+  double current_utilization() const;
+
+  // device::Device
+  std::map<std::string, device::Value> static_attrs() const override;
+  aorta::util::Result<device::Value> read_attribute(const std::string& name) override;
+  std::map<std::string, double> status_snapshot() const override;
+
+ protected:
+  void handle_op(const net::Message& msg) override;
+
+ private:
+  struct Session {
+    std::uint64_t id;
+    bool interfered = false;
+  };
+
+  void start_photo(const net::Message& msg);
+  void start_move(const net::Message& msg);
+  void start_snap(const net::Message& msg);
+
+  // Marks every in-flight session interfered (a new command arrived while
+  // the head was already committed elsewhere).
+  void interfere_active_sessions();
+
+  Session* find_session(std::uint64_t id);
+  void finish_session(std::uint64_t id);
+
+  // Records `busy_s` of work into the decaying utilization accumulator.
+  void note_busy_time(double busy_s);
+
+  std::string ip_;
+  CameraPose pose_;
+  double range_m_;
+  PtzLimits limits_;
+  PtzSpeeds speeds_;
+  PtzPosition head_;
+
+  std::uint64_t next_session_ = 1;
+  std::vector<Session> active_sessions_;
+
+  // Exponentially-decayed busy-seconds, and when it was last decayed.
+  double busy_accum_s_ = 0.0;
+  aorta::util::TimePoint busy_accum_at_;
+  double fatigue_coeff_ = 1.0;
+  static constexpr double kUtilizationWindowS = 60.0;
+
+  CameraStats camera_stats_;
+};
+
+// Registry wiring for the camera type: catalog, atomic op cost table
+// (pan/tilt/zoom rates + snap costs, the numbers the cost model consumes),
+// link model and probe timeout.
+device::DeviceTypeInfo camera_type_info();
+
+}  // namespace aorta::devices

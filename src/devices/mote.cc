@@ -1,0 +1,134 @@
+#include "devices/mote.h"
+
+#include <cmath>
+
+namespace aorta::devices {
+
+using aorta::util::Result;
+using device::Value;
+
+Mica2Mote::Mica2Mote(device::DeviceId id, device::Location location, int hops)
+    : Device(std::move(id), kTypeId, location), hops_(std::max(1, hops)) {
+  // Quiet defaults; experiments override with scripted signals.
+  signals_["accel_x"] = constant_signal(0.0);
+  signals_["accel_y"] = constant_signal(0.0);
+  signals_["light"] = constant_signal(300.0);
+  signals_["temp"] = constant_signal(22.0);
+  reliability().glitch_prob = 0.02;  // flaky sensor board reads
+}
+
+aorta::util::Status Mica2Mote::set_signal(const std::string& attr, SignalPtr sig) {
+  auto it = signals_.find(attr);
+  if (it == signals_.end()) {
+    return aorta::util::not_found_error("mote has no sensory attribute " + attr);
+  }
+  it->second = std::move(sig);
+  return aorta::util::Status::ok();
+}
+
+Signal* Mica2Mote::signal(const std::string& attr) {
+  auto it = signals_.find(attr);
+  return it == signals_.end() ? nullptr : it->second.get();
+}
+
+std::map<std::string, Value> Mica2Mote::static_attrs() const {
+  return {{"id", id()},
+          {"loc", location()},
+          {"hops", static_cast<std::int64_t>(hops_)}};
+}
+
+net::LinkModel Mica2Mote::link_for_hops(int hops) {
+  hops = std::max(1, hops);
+  net::LinkModel base = net::LinkModel::mote_radio();
+  net::LinkModel link = base;
+  link.latency_mean_s = base.latency_mean_s * hops;
+  link.latency_jitter_s = base.latency_jitter_s * hops;
+  // Per-traversal survival compounds per hop.
+  link.loss_prob = 1.0 - std::pow(1.0 - base.loss_prob, hops);
+  return link;
+}
+
+Result<Value> Mica2Mote::read_attribute(const std::string& name) {
+  if (name == "battery_v") return Value{battery_v_};
+  auto it = signals_.find(name);
+  if (it == signals_.end()) {
+    return Result<Value>(
+        aorta::util::not_found_error("mote has no attribute " + name));
+  }
+  if (loop() == nullptr) {
+    return Result<Value>(aorta::util::internal_error("mote not bound"));
+  }
+  // Each read drains the battery a little.
+  battery_v_ = std::max(2.0, battery_v_ - 1e-6);
+  return Value{it->second->sample(loop()->now())};
+}
+
+std::map<std::string, double> Mica2Mote::status_snapshot() const {
+  return {{"battery_v", battery_v_}};
+}
+
+void Mica2Mote::handle_op(const net::Message& msg) {
+  if (msg.kind == "beep" || msg.kind == "blink") {
+    const bool is_beep = msg.kind == "beep";
+    double service_s = is_beep ? 0.10 : 0.05;
+    net::Message request = msg;
+    run_op(service_s, [this, request, is_beep]() {
+      net::Message reply = make_reply(request, request.kind + "_ack");
+      if (roll_glitch()) {
+        reply.set("ok", "0");
+      } else {
+        if (is_beep) {
+          ++beeps_;
+        } else {
+          ++blinks_;
+        }
+        battery_v_ = std::max(2.0, battery_v_ - 1e-4);
+        reply.set("ok", "1");
+      }
+      reply.payload_bytes = 36;  // one TinyOS-sized packet
+      send_reply(request, std::move(reply));
+    });
+    return;
+  }
+  net::Message reply = make_reply(msg, "error");
+  reply.set("error", "unknown mote op: " + msg.kind);
+  send_reply(msg, std::move(reply));
+}
+
+device::DeviceTypeInfo sensor_type_info() {
+  device::DeviceTypeInfo info;
+  info.type_id = Mica2Mote::kTypeId;
+
+  info.catalog = device::DeviceCatalog(
+      Mica2Mote::kTypeId,
+      {
+          {"id", device::AttrType::kString, false, "", "", "device identifier"},
+          {"loc", device::AttrType::kLocation, false, "", "m", "fixed position"},
+          {"hops", device::AttrType::kInt, false, "", "",
+           "depth in the multi-hop radio tree"},
+          {"accel_x", device::AttrType::kDouble, true, "read_attr", "mg",
+           "x-axis acceleration"},
+          {"accel_y", device::AttrType::kDouble, true, "read_attr", "mg",
+           "y-axis acceleration"},
+          {"light", device::AttrType::kDouble, true, "read_attr", "lux",
+           "ambient light"},
+          {"temp", device::AttrType::kDouble, true, "read_attr", "degC",
+           "temperature"},
+          {"battery_v", device::AttrType::kDouble, true, "read_attr", "V",
+           "battery voltage"},
+      });
+
+  info.op_costs = device::AtomicOpCostTable(Mica2Mote::kTypeId);
+  (void)info.op_costs.add({"beep", 0.10, 0.0, ""});
+  (void)info.op_costs.add({"blink", 0.05, 0.0, ""});
+  (void)info.op_costs.add({"sample", 0.005, 0.0, ""});
+  // Connecting through each radio hop costs a store-and-forward delay
+  // (Section 2.3's "depth of a sensor in a multi-hop network").
+  (void)info.op_costs.add({"hop_relay", 0.0, 0.05, "hop"});
+
+  info.link = net::LinkModel::mote_radio();
+  info.probe_timeout = aorta::util::Duration::millis(2000);
+  return info;
+}
+
+}  // namespace aorta::devices

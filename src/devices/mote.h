@@ -1,0 +1,62 @@
+// Simulated Berkeley MICA2 mote with an MTS310CA sensor board.
+//
+// Sensory attributes (accel_x/accel_y in mg, light in lux, temp in degC,
+// battery voltage) are backed by pluggable Signals; actuation ops are the
+// board's sounder ("beep") and LEDs ("blink"). The lossy 433 MHz radio is
+// modelled by the mote's LinkModel in the registry type info — Section 4
+// notes "current generation sensors usually communicate via a wireless
+// radio channel of a high packet loss rate".
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "device/device.h"
+#include "device/registry.h"
+#include "devices/signal.h"
+
+namespace aorta::devices {
+
+class Mica2Mote : public device::Device {
+ public:
+  // `hops` is the mote's depth in the multi-hop radio tree rooted at the
+  // engine's gateway; Section 2.3 notes this depth affects the cost of
+  // operating the mote, and each extra hop compounds radio loss/latency.
+  Mica2Mote(device::DeviceId id, device::Location location, int hops = 1);
+
+  static constexpr const char* kTypeId = "sensor";
+
+  // Replace the generator behind a sensory attribute. Unknown attribute
+  // names are rejected so experiment scripts fail loudly on typos.
+  aorta::util::Status set_signal(const std::string& attr, SignalPtr signal);
+
+  // Access the generator (e.g. to add spikes to a ScriptedSignal).
+  Signal* signal(const std::string& attr);
+
+  std::uint64_t beeps() const { return beeps_; }
+  std::uint64_t blinks() const { return blinks_; }
+  int hops() const { return hops_; }
+
+  // The link model for a mote `hops` deep: per-hop latency adds up and
+  // per-hop loss compounds.
+  static net::LinkModel link_for_hops(int hops);
+
+  // device::Device
+  std::map<std::string, device::Value> static_attrs() const override;
+  aorta::util::Result<device::Value> read_attribute(const std::string& name) override;
+  std::map<std::string, double> status_snapshot() const override;
+
+ protected:
+  void handle_op(const net::Message& msg) override;
+
+ private:
+  std::map<std::string, SignalPtr> signals_;
+  int hops_ = 1;
+  double battery_v_ = 3.0;  // drains slowly as the mote works
+  std::uint64_t beeps_ = 0;
+  std::uint64_t blinks_ = 0;
+};
+
+device::DeviceTypeInfo sensor_type_info();
+
+}  // namespace aorta::devices

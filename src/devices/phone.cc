@@ -1,0 +1,87 @@
+#include "devices/phone.h"
+
+namespace aorta::devices {
+
+using aorta::util::Result;
+using device::Value;
+
+MmsPhone::MmsPhone(device::DeviceId id, std::string phone_no,
+                   device::Location location)
+    : Device(std::move(id), kTypeId, location), phone_no_(std::move(phone_no)) {
+  reliability().glitch_prob = 0.01;
+}
+
+std::map<std::string, Value> MmsPhone::static_attrs() const {
+  return {{"id", id()}, {"phone_no", phone_no_}, {"loc", location()}};
+}
+
+Result<Value> MmsPhone::read_attribute(const std::string& name) {
+  if (name == "battery_v") return Value{battery_v_};
+  if (name == "inbox_size") {
+    return Value{static_cast<std::int64_t>(inbox_.size())};
+  }
+  return Result<Value>(
+      aorta::util::not_found_error("phone has no attribute " + name));
+}
+
+std::map<std::string, double> MmsPhone::status_snapshot() const {
+  return {{"battery_v", battery_v_},
+          {"inbox_size", static_cast<double>(inbox_.size())}};
+}
+
+void MmsPhone::handle_op(const net::Message& msg) {
+  if (msg.kind == "recv_sms" || msg.kind == "recv_mms") {
+    const bool is_mms = msg.kind == "recv_mms";
+    // Handset-side processing: decode and store. Radio transfer time is
+    // already modelled by the cellular LinkModel.
+    double service_s = is_mms ? 1.5 : 0.3;
+    net::Message request = msg;
+    run_op(service_s, [this, request, is_mms]() {
+      net::Message reply = make_reply(request, request.kind + "_ack");
+      if (roll_glitch()) {
+        reply.set("ok", "0");
+        reply.set("error", "handset rejected message");
+      } else {
+        inbox_.push_back(InboxEntry{loop()->now(), is_mms ? "mms" : "sms",
+                                    request.field("body"),
+                                    request.payload_bytes});
+        battery_v_ = std::max(3.0, battery_v_ - 1e-3);
+        reply.set("ok", "1");
+      }
+      send_reply(request, std::move(reply));
+    });
+    return;
+  }
+  net::Message reply = make_reply(msg, "error");
+  reply.set("error", "unknown phone op: " + msg.kind);
+  send_reply(msg, std::move(reply));
+}
+
+device::DeviceTypeInfo phone_type_info() {
+  device::DeviceTypeInfo info;
+  info.type_id = MmsPhone::kTypeId;
+
+  info.catalog = device::DeviceCatalog(
+      MmsPhone::kTypeId,
+      {
+          {"id", device::AttrType::kString, false, "", "", "device identifier"},
+          {"phone_no", device::AttrType::kString, false, "", "",
+           "subscriber number"},
+          {"loc", device::AttrType::kLocation, false, "", "m", "last known position"},
+          {"battery_v", device::AttrType::kDouble, true, "read_attr", "V",
+           "battery voltage"},
+          {"inbox_size", device::AttrType::kInt, true, "read_attr", "",
+           "messages stored"},
+      });
+
+  info.op_costs = device::AtomicOpCostTable(MmsPhone::kTypeId);
+  (void)info.op_costs.add({"recv_sms", 0.3, 0.0, ""});
+  (void)info.op_costs.add({"recv_mms", 1.5, 0.0, ""});
+  (void)info.op_costs.add({"transfer", 0.0, 1.0 / 5000.0, "byte"});
+
+  info.link = net::LinkModel::cellular();
+  info.probe_timeout = aorta::util::Duration::millis(5000);
+  return info;
+}
+
+}  // namespace aorta::devices

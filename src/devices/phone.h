@@ -1,0 +1,50 @@
+// Simulated cell phone with SMS/MMS support.
+//
+// Target of the user-defined sendphoto() action (Section 2.2). Coverage
+// loss ("a phone may become unreachable when its owner moves into an area
+// that is out of the coverage of the service provider", Section 4) is
+// modelled with the network partition mechanism, so probes and sends time
+// out exactly as they would against a dark handset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "device/registry.h"
+
+namespace aorta::devices {
+
+struct InboxEntry {
+  aorta::util::TimePoint received_at;
+  std::string kind;  // "sms" | "mms"
+  std::string body;  // text, or attachment pathname for MMS
+  std::size_t bytes = 0;
+};
+
+class MmsPhone : public device::Device {
+ public:
+  MmsPhone(device::DeviceId id, std::string phone_no, device::Location location);
+
+  static constexpr const char* kTypeId = "phone";
+
+  const std::string& phone_no() const { return phone_no_; }
+  const std::vector<InboxEntry>& inbox() const { return inbox_; }
+
+  // device::Device
+  std::map<std::string, device::Value> static_attrs() const override;
+  aorta::util::Result<device::Value> read_attribute(const std::string& name) override;
+  std::map<std::string, double> status_snapshot() const override;
+
+ protected:
+  void handle_op(const net::Message& msg) override;
+
+ private:
+  std::string phone_no_;
+  std::vector<InboxEntry> inbox_;
+  double battery_v_ = 4.0;
+};
+
+device::DeviceTypeInfo phone_type_info();
+
+}  // namespace aorta::devices

@@ -1,0 +1,40 @@
+#include "devices/ptz_math.h"
+
+namespace aorta::devices {
+
+double normalize_deg(double deg) {
+  while (deg > 180.0) deg -= 360.0;
+  while (deg <= -180.0) deg += 360.0;
+  return deg;
+}
+
+PtzPosition aim_at(const CameraPose& pose, const device::Location& target,
+                   const PtzLimits& limits) {
+  double dx = target.x - pose.location.x;
+  double dy = target.y - pose.location.y;
+  double dz = target.z - pose.location.z;
+  double ground = std::sqrt(dx * dx + dy * dy);
+
+  PtzPosition p;
+  p.pan_deg = normalize_deg(std::atan2(dy, dx) * 180.0 / M_PI - pose.yaw_deg);
+  // Ceiling-mounted cameras look down at floor-level targets: dz < 0.
+  p.tilt_deg = (ground < 1e-9 && std::abs(dz) < 1e-9)
+                   ? 0.0
+                   : std::atan2(dz, ground) * 180.0 / M_PI;
+  // Constant-view-size zoom: 1x at 2 m, +1x per additional metre.
+  double dist = std::sqrt(ground * ground + dz * dz);
+  p.zoom = 1.0 + std::max(0.0, dist - 2.0);
+  return limits.clamp(p);
+}
+
+bool covers(const CameraPose& pose, const device::Location& target,
+            double range_m, const PtzLimits& limits) {
+  double dist = pose.location.distance_to(target);
+  if (dist > range_m) return false;
+  double dx = target.x - pose.location.x;
+  double dy = target.y - pose.location.y;
+  double pan = normalize_deg(std::atan2(dy, dx) * 180.0 / M_PI - pose.yaw_deg);
+  return pan >= limits.pan_min_deg && pan <= limits.pan_max_deg;
+}
+
+}  // namespace aorta::devices

@@ -1,0 +1,86 @@
+// Pan/tilt/zoom geometry and kinematics shared by the camera simulator and
+// the engine-side cost model.
+//
+// Both sides must compute the same head movement for a target location:
+// the device to simulate its motor time, the cost model to *estimate* that
+// time from probed status (Section 2.3's sequence-dependent photo() cost).
+// Keeping the math in one header is the moral equivalent of the paper
+// tuning their camera simulator against the real cameras.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/types.h"
+
+namespace aorta::devices {
+
+// Head position: pan/tilt in degrees, zoom as a magnification factor.
+struct PtzPosition {
+  double pan_deg = 0.0;
+  double tilt_deg = 0.0;
+  double zoom = 1.0;
+
+  bool operator==(const PtzPosition&) const = default;
+};
+
+// Mechanical limits of the PTZ head (AXIS 2130 figures).
+struct PtzLimits {
+  double pan_min_deg = -169.0;
+  double pan_max_deg = 169.0;
+  double tilt_min_deg = -90.0;
+  double tilt_max_deg = 10.0;
+  double zoom_min = 1.0;
+  double zoom_max = 16.0;
+
+  PtzPosition clamp(PtzPosition p) const {
+    p.pan_deg = std::clamp(p.pan_deg, pan_min_deg, pan_max_deg);
+    p.tilt_deg = std::clamp(p.tilt_deg, tilt_min_deg, tilt_max_deg);
+    p.zoom = std::clamp(p.zoom, zoom_min, zoom_max);
+    return p;
+  }
+};
+
+// Axis motor speeds. Calibrated so the photo() action cost spans the
+// paper's measured range [0.36 s, 5.36 s]: the worst-case pan sweep
+// (338 degrees) takes 5.0 s, and a medium snapshot takes 0.36 s.
+struct PtzSpeeds {
+  double pan_deg_per_s = 67.6;
+  double tilt_deg_per_s = 25.0;
+  double zoom_per_s = 6.0;
+};
+
+// Time for the head to move between two positions: the three motors run
+// concurrently, so the move takes as long as the slowest axis.
+inline double move_time_s(const PtzPosition& from, const PtzPosition& to,
+                          const PtzSpeeds& speeds) {
+  double pan_t = std::abs(to.pan_deg - from.pan_deg) / speeds.pan_deg_per_s;
+  double tilt_t = std::abs(to.tilt_deg - from.tilt_deg) / speeds.tilt_deg_per_s;
+  double zoom_t = std::abs(to.zoom - from.zoom) / speeds.zoom_per_s;
+  return std::max({pan_t, tilt_t, zoom_t});
+}
+
+// Camera mounting: position plus the yaw of its pan-zero direction.
+struct CameraPose {
+  device::Location location;
+  double yaw_deg = 0.0;
+};
+
+// The head position needed to aim at `target` from `pose`, with the zoom
+// chosen from distance so photos of any target have similar view size
+// (Section 6.1: "each camera ... automatically tune[s] its zoom level
+// based on the distance between itself and the target location").
+PtzPosition aim_at(const CameraPose& pose, const device::Location& target,
+                   const PtzLimits& limits = PtzLimits{});
+
+// Whether `target` falls inside the camera's coverage: within pan limits
+// relative to the mounting yaw and within `range_m`. This implements the
+// system-provided Boolean function coverage(camera_id, location) of the
+// example snapshot query.
+bool covers(const CameraPose& pose, const device::Location& target,
+            double range_m, const PtzLimits& limits = PtzLimits{});
+
+// Normalize an angle to (-180, 180].
+double normalize_deg(double deg);
+
+}  // namespace aorta::devices

@@ -1,0 +1,76 @@
+#include "devices/rfid_reader.h"
+
+namespace aorta::devices {
+
+using aorta::util::Result;
+using device::Value;
+
+RfidReader::RfidReader(device::DeviceId id, device::Location location)
+    : Device(std::move(id), kTypeId, location) {
+  reliability().glitch_prob = 0.01;  // occasional misreads
+}
+
+std::map<std::string, Value> RfidReader::static_attrs() const {
+  return {{"id", id()}, {"loc", location()}};
+}
+
+std::string RfidReader::current_tag() const {
+  if (loop() == nullptr) return "";
+  aorta::util::TimePoint now = loop()->now();
+  std::string tag;
+  for (const TagPassage& p : passages_) {
+    if (now >= p.at && now < p.at + p.dwell) tag = p.tag;
+  }
+  return tag;
+}
+
+std::uint64_t RfidReader::passages_seen() const {
+  if (loop() == nullptr) return 0;
+  aorta::util::TimePoint now = loop()->now();
+  std::uint64_t count = 0;
+  for (const TagPassage& p : passages_) {
+    if (now >= p.at) ++count;
+  }
+  return count;
+}
+
+Result<Value> RfidReader::read_attribute(const std::string& name) {
+  if (name == "last_tag") return Value{current_tag()};
+  if (name == "tags_seen") {
+    return Value{static_cast<std::int64_t>(passages_seen())};
+  }
+  return Result<Value>(
+      aorta::util::not_found_error("rfid reader has no attribute " + name));
+}
+
+std::map<std::string, double> RfidReader::status_snapshot() const {
+  return {{"tags_seen", static_cast<double>(passages_seen())}};
+}
+
+void RfidReader::handle_op(const net::Message& msg) {
+  net::Message reply = make_reply(msg, "error");
+  reply.set("error", "rfid reader supports no operations: " + msg.kind);
+  send_reply(msg, std::move(reply));
+}
+
+device::DeviceTypeInfo rfid_type_info() {
+  device::DeviceTypeInfo info;
+  info.type_id = RfidReader::kTypeId;
+  info.catalog = device::DeviceCatalog(
+      RfidReader::kTypeId,
+      {
+          {"id", device::AttrType::kString, false, "", "", "device identifier"},
+          {"loc", device::AttrType::kLocation, false, "", "m", "gate position"},
+          {"last_tag", device::AttrType::kString, true, "read_attr", "",
+           "tag currently in the field ('' when none)"},
+          {"tags_seen", device::AttrType::kInt, true, "read_attr", "",
+           "passages observed so far"},
+      });
+  info.op_costs = device::AtomicOpCostTable(RfidReader::kTypeId);
+  (void)info.op_costs.add({"read", 0.02, 0.0, ""});
+  info.link = net::LinkModel::lan();
+  info.probe_timeout = aorta::util::Duration::millis(1000);
+  return info;
+}
+
+}  // namespace aorta::devices

@@ -1,0 +1,59 @@
+// Simulated RFID gate reader.
+//
+// The related work Aorta positions itself against includes RFID-based
+// smart identification frameworks (the paper's reference [14]); this
+// device type brings that modality into the reproduction: a fixed reader
+// whose *string-valued* sensory attribute `last_tag` carries the id of
+// the tag currently in the gate's field (empty when none). Tag passages
+// are scripted like mote signals, so experiments can replay workloads.
+//
+// Integration uses the same extension points as the door lock: the type
+// info here plus a generic comm::CommModule registered by the embedder
+// (read_attr is all the engine needs — the reader has no actions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "device/registry.h"
+
+namespace aorta::devices {
+
+// One scripted tag passage: the tag is in the field during [at, at+dwell).
+struct TagPassage {
+  aorta::util::TimePoint at;
+  aorta::util::Duration dwell = aorta::util::Duration::seconds(1.0);
+  std::string tag;
+};
+
+class RfidReader : public device::Device {
+ public:
+  RfidReader(device::DeviceId id, device::Location location);
+
+  static constexpr const char* kTypeId = "rfid";
+
+  void add_passage(TagPassage passage) { passages_.push_back(std::move(passage)); }
+
+  // Total distinct passages whose window has opened by now.
+  std::uint64_t passages_seen() const;
+
+  // device::Device
+  std::map<std::string, device::Value> static_attrs() const override;
+  aorta::util::Result<device::Value> read_attribute(const std::string& name) override;
+  std::map<std::string, double> status_snapshot() const override;
+
+ protected:
+  void handle_op(const net::Message& msg) override;
+
+ private:
+  // The tag in the field at the current simulated time ("" when none;
+  // later passages win on overlap, like ScriptedSignal).
+  std::string current_tag() const;
+
+  std::vector<TagPassage> passages_;
+};
+
+device::DeviceTypeInfo rfid_type_info();
+
+}  // namespace aorta::devices

@@ -1,0 +1,87 @@
+#include "devices/signal.h"
+
+namespace aorta::devices {
+
+namespace {
+
+class ConstantSignal : public Signal {
+ public:
+  explicit ConstantSignal(double base) : base_(base) {}
+  double sample(aorta::util::TimePoint) override { return base_; }
+
+ private:
+  double base_;
+};
+
+class SineSignal : public Signal {
+ public:
+  SineSignal(double base, double amplitude, double period_s, double phase_rad)
+      : base_(base), amplitude_(amplitude), period_s_(period_s), phase_(phase_rad) {}
+
+  double sample(aorta::util::TimePoint t) override {
+    return base_ +
+           amplitude_ * std::sin(2.0 * M_PI * t.to_seconds() / period_s_ + phase_);
+  }
+
+ private:
+  double base_, amplitude_, period_s_, phase_;
+};
+
+class NoisySignal : public Signal {
+ public:
+  NoisySignal(double base, double stddev, aorta::util::Rng rng)
+      : base_(base), stddev_(stddev), rng_(std::move(rng)) {}
+
+  double sample(aorta::util::TimePoint) override {
+    return base_ + rng_.normal(0.0, stddev_);
+  }
+
+ private:
+  double base_, stddev_;
+  aorta::util::Rng rng_;
+};
+
+class PeriodicSpikeSignal : public Signal {
+ public:
+  PeriodicSpikeSignal(double base, double value, aorta::util::Duration period,
+                      aorta::util::Duration width, aorta::util::Duration phase)
+      : base_(base),
+        value_(value),
+        period_us_(period.to_micros()),
+        width_us_(width.to_micros()),
+        phase_us_(phase.to_micros()) {}
+
+  double sample(aorta::util::TimePoint t) override {
+    std::int64_t offset = t.to_micros() - phase_us_;
+    if (offset < 0 || period_us_ <= 0) return base_;
+    return (offset % period_us_) < width_us_ ? value_ : base_;
+  }
+
+ private:
+  double base_, value_;
+  std::int64_t period_us_, width_us_, phase_us_;
+};
+
+}  // namespace
+
+SignalPtr constant_signal(double base) {
+  return std::make_unique<ConstantSignal>(base);
+}
+
+SignalPtr sine_signal(double base, double amplitude, double period_s,
+                      double phase_rad) {
+  return std::make_unique<SineSignal>(base, amplitude, period_s, phase_rad);
+}
+
+SignalPtr noisy_signal(double base, double stddev, aorta::util::Rng rng) {
+  return std::make_unique<NoisySignal>(base, stddev, std::move(rng));
+}
+
+SignalPtr periodic_spike_signal(double base, double value,
+                                aorta::util::Duration period,
+                                aorta::util::Duration width,
+                                aorta::util::Duration phase) {
+  return std::make_unique<PeriodicSpikeSignal>(base, value, period, width, phase);
+}
+
+}  // namespace aorta::devices

@@ -1,0 +1,84 @@
+// Synthetic sensor signal generators.
+//
+// The paper's motes sensed real phenomena (door pushes moving the sensor,
+// light, temperature). In the reproduction each sensory attribute of a
+// mote is backed by a Signal: a deterministic function of simulated time
+// plus optional seeded noise. Experiment harnesses script event windows
+// (e.g. an acceleration spike when "someone pushes the door") to trigger
+// the event-detection path of action-embedded queries.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace aorta::devices {
+
+// A signal maps simulated time to a reading. Implementations must be
+// deterministic given their seed so experiments replay identically.
+class Signal {
+ public:
+  virtual ~Signal() = default;
+  virtual double sample(aorta::util::TimePoint t) = 0;
+};
+
+using SignalPtr = std::unique_ptr<Signal>;
+
+// value == base at all times.
+SignalPtr constant_signal(double base);
+
+// base + amplitude * sin(2*pi*t/period). Models diurnal light/temperature.
+SignalPtr sine_signal(double base, double amplitude, double period_s,
+                      double phase_rad = 0.0);
+
+// base + gaussian(0, stddev) noise per sample.
+SignalPtr noisy_signal(double base, double stddev, aorta::util::Rng rng);
+
+// One scripted excursion: the signal reads `value` inside [start, end).
+struct SignalEvent {
+  aorta::util::TimePoint start;
+  aorta::util::TimePoint end;
+  double value;
+};
+
+// base outside event windows, the event value inside. Later events win on
+// overlap. add_event() may be called while the simulation runs (a test
+// injecting a new door push).
+class ScriptedSignal : public Signal {
+ public:
+  explicit ScriptedSignal(double base) : base_(base) {}
+
+  void add_event(SignalEvent event) { events_.push_back(event); }
+
+  // Convenience: spike of `value` lasting `duration` starting at `start`.
+  void add_spike(aorta::util::TimePoint start, aorta::util::Duration duration,
+                 double value) {
+    add_event(SignalEvent{start, start + duration, value});
+  }
+
+  double sample(aorta::util::TimePoint t) override {
+    double v = base_;
+    for (const SignalEvent& e : events_) {
+      if (t >= e.start && t < e.end) v = e.value;
+    }
+    return v;
+  }
+
+ private:
+  double base_;
+  std::vector<SignalEvent> events_;
+};
+
+// Periodic spikes: every `period`, the signal reads `value` for `width`.
+// Drives steady event workloads (one event per query per minute, §6.2).
+SignalPtr periodic_spike_signal(double base, double value,
+                                aorta::util::Duration period,
+                                aorta::util::Duration width,
+                                aorta::util::Duration phase =
+                                    aorta::util::Duration::zero());
+
+}  // namespace aorta::devices

@@ -1,0 +1,74 @@
+#include "devices/smart_lock.h"
+
+namespace aorta::devices {
+
+using aorta::util::Result;
+using device::Value;
+
+SmartLock::SmartLock(device::DeviceId id, device::Location location)
+    : Device(std::move(id), kTypeId, location) {
+  reliability().glitch_prob = 0.005;
+}
+
+std::map<std::string, Value> SmartLock::static_attrs() const {
+  return {{"id", id()}, {"loc", location()}};
+}
+
+Result<Value> SmartLock::read_attribute(const std::string& name) {
+  if (name == "engaged") return Value{static_cast<std::int64_t>(engaged_ ? 1 : 0)};
+  if (name == "battery_v") return Value{battery_v_};
+  return Result<Value>(
+      aorta::util::not_found_error("doorlock has no attribute " + name));
+}
+
+std::map<std::string, double> SmartLock::status_snapshot() const {
+  return {{"engaged", engaged_ ? 1.0 : 0.0}, {"battery_v", battery_v_}};
+}
+
+void SmartLock::handle_op(const net::Message& msg) {
+  if (msg.kind == "engage" || msg.kind == "release") {
+    const bool want_engaged = msg.kind == "engage";
+    net::Message request = msg;
+    run_op(/*service_s=*/0.8, [this, request, want_engaged]() {
+      net::Message reply = make_reply(request, request.kind + "_ack");
+      if (roll_glitch()) {
+        reply.set("ok", "0");
+        reply.set("error", "bolt jammed");
+      } else {
+        if (engaged_ != want_engaged) ++transitions_;
+        engaged_ = want_engaged;
+        battery_v_ = std::max(4.0, battery_v_ - 2e-3);
+        reply.set("ok", "1");
+        reply.set_int("engaged", engaged_ ? 1 : 0);
+      }
+      send_reply(request, std::move(reply));
+    });
+    return;
+  }
+  net::Message reply = make_reply(msg, "error");
+  reply.set("error", "unknown doorlock op: " + msg.kind);
+  send_reply(msg, std::move(reply));
+}
+
+device::DeviceTypeInfo doorlock_type_info() {
+  device::DeviceTypeInfo info;
+  info.type_id = SmartLock::kTypeId;
+  info.catalog = device::DeviceCatalog(
+      SmartLock::kTypeId,
+      {
+          {"id", device::AttrType::kString, false, "", "", "device identifier"},
+          {"loc", device::AttrType::kLocation, false, "", "m", "door position"},
+          {"engaged", device::AttrType::kInt, true, "read_attr", "",
+           "1 if the bolt is extended"},
+          {"battery_v", device::AttrType::kDouble, true, "read_attr", "V",
+           "battery voltage"},
+      });
+  info.op_costs = device::AtomicOpCostTable(SmartLock::kTypeId);
+  (void)info.op_costs.add({"engage", 0.8, 0.0, ""});
+  (void)info.op_costs.add({"release", 0.8, 0.0, ""});
+  info.link = net::LinkModel::lan();
+  info.probe_timeout = aorta::util::Duration::millis(1500);
+  return info;
+}
+
+}  // namespace aorta::devices

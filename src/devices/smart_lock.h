@@ -1,0 +1,49 @@
+// Simulated smart door lock — the reproduction's demonstration of the
+// paper's stated future work: "extending the uniform data communication
+// layer to support new types of devices" (Section 8).
+//
+// The type integrates with everything through the same extension points a
+// third party would use:
+//  - a DeviceTypeInfo (catalog + atomic op costs + link model) registered
+//    with the DeviceRegistry,
+//  - a CommModule subclass registered with CommLayer::register_module
+//    (see examples/extension_doorlock.cpp and the extension tests),
+//  - an ActionDef registered with the catalog so queries can embed
+//    engage_lock()/release_lock() actions.
+//
+// Protocol:
+//   engage   -> engage_ack  ok          (bolt extends; ~0.8 s)
+//   release  -> release_ack ok          (bolt retracts; ~0.8 s)
+#pragma once
+
+#include "device/device.h"
+#include "device/registry.h"
+
+namespace aorta::devices {
+
+class SmartLock : public device::Device {
+ public:
+  SmartLock(device::DeviceId id, device::Location location);
+
+  static constexpr const char* kTypeId = "doorlock";
+
+  bool is_engaged() const { return engaged_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+  // device::Device
+  std::map<std::string, device::Value> static_attrs() const override;
+  aorta::util::Result<device::Value> read_attribute(const std::string& name) override;
+  std::map<std::string, double> status_snapshot() const override;
+
+ protected:
+  void handle_op(const net::Message& msg) override;
+
+ private:
+  bool engaged_ = false;
+  double battery_v_ = 6.0;
+  std::uint64_t transitions_ = 0;
+};
+
+device::DeviceTypeInfo doorlock_type_info();
+
+}  // namespace aorta::devices

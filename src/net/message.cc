@@ -1,0 +1,35 @@
+#include "net/message.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace aorta::net {
+
+double Message::field_double(const std::string& key, double fallback) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str() ? v : fallback;
+}
+
+std::int64_t Message::field_int(const std::string& key, std::int64_t fallback) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return end != it->second.c_str() ? v : fallback;
+}
+
+Message& Message::set_double(const std::string& key, double value) {
+  fields[key] = aorta::util::str_format("%.9g", value);
+  return *this;
+}
+
+Message& Message::set_int(const std::string& key, std::int64_t value) {
+  fields[key] = std::to_string(value);
+  return *this;
+}
+
+}  // namespace aorta::net

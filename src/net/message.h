@@ -1,0 +1,47 @@
+// Messages exchanged on the simulated device network.
+//
+// Real Aorta spoke many protocols (HTTP to AXIS cameras, serial/radio to
+// MICA2 motes, MMS to phones). In the reproduction every protocol message
+// is reified as a Message routed by net::Network; the per-device-type comm
+// modules (src/comm) translate between this wire format and the uniform
+// communication interface, exactly where protocol adapters sat in the
+// original system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace aorta::net {
+
+using NodeId = std::string;
+
+struct Message {
+  NodeId src;
+  NodeId dst;
+  std::string kind;  // protocol verb, e.g. "probe", "ptz_move", "read_attr"
+  std::map<std::string, std::string> fields;
+
+  // Approximate on-the-wire size, used by the bandwidth model. A photo
+  // transfer is ~50-200 KB, a mote reading ~36 bytes.
+  std::size_t payload_bytes = 64;
+
+  // Correlates requests with responses (0 = one-way message).
+  std::uint64_t request_id = 0;
+
+  std::string field(const std::string& key, const std::string& fallback = "") const {
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+  }
+  double field_double(const std::string& key, double fallback = 0.0) const;
+  std::int64_t field_int(const std::string& key, std::int64_t fallback = 0) const;
+
+  Message& set(const std::string& key, const std::string& value) {
+    fields[key] = value;
+    return *this;
+  }
+  Message& set_double(const std::string& key, double value);
+  Message& set_int(const std::string& key, std::int64_t value);
+};
+
+}  // namespace aorta::net

@@ -1,0 +1,130 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace aorta::net {
+
+using aorta::util::Duration;
+using aorta::util::Status;
+
+LinkModel LinkModel::lan() {
+  // 100 Mbit LAN to an AXIS network camera.
+  return LinkModel{.latency_mean_s = 0.002,
+                   .latency_jitter_s = 0.0005,
+                   .loss_prob = 0.001,
+                   .bandwidth_bytes_per_s = 12.5e6};
+}
+
+LinkModel LinkModel::mote_radio() {
+  // MICA2 433 MHz radio: ~38.4 kbaud, high packet loss (§4 cites [6]).
+  return LinkModel{.latency_mean_s = 0.035,
+                   .latency_jitter_s = 0.010,
+                   .loss_prob = 0.08,
+                   .bandwidth_bytes_per_s = 4800.0};
+}
+
+LinkModel LinkModel::cellular() {
+  // 2005-era GPRS/MMS path.
+  return LinkModel{.latency_mean_s = 0.400,
+                   .latency_jitter_s = 0.150,
+                   .loss_prob = 0.02,
+                   .bandwidth_bytes_per_s = 5000.0};
+}
+
+LinkModel LinkModel::perfect() {
+  return LinkModel{.latency_mean_s = 0.0,
+                   .latency_jitter_s = 0.0,
+                   .loss_prob = 0.0,
+                   .bandwidth_bytes_per_s = 1e12};
+}
+
+Status Network::attach(const NodeId& id, Endpoint* endpoint, LinkModel link) {
+  if (endpoint == nullptr) {
+    return aorta::util::invalid_argument_error("null endpoint for node " + id);
+  }
+  auto [it, inserted] = nodes_.emplace(id, Node{endpoint, link});
+  (void)it;
+  if (!inserted) {
+    return aorta::util::already_exists_error("node already attached: " + id);
+  }
+  return Status::ok();
+}
+
+Status Network::detach(const NodeId& id) {
+  if (nodes_.erase(id) == 0) {
+    return aorta::util::not_found_error("node not attached: " + id);
+  }
+  partitioned_.erase(id);
+  return Status::ok();
+}
+
+Status Network::set_link(const NodeId& id, LinkModel link) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return aorta::util::not_found_error("node not attached: " + id);
+  }
+  it->second.link = link;
+  return Status::ok();
+}
+
+double Network::sample_delay_s(const LinkModel& link, std::size_t bytes) {
+  double latency = link.latency_mean_s;
+  if (link.latency_jitter_s > 0.0) {
+    latency = rng_.normal(link.latency_mean_s, link.latency_jitter_s);
+  }
+  double serialization = static_cast<double>(bytes) / link.bandwidth_bytes_per_s;
+  return std::max(0.0, latency) + serialization;
+}
+
+void Network::send(Message msg) {
+  ++stats_.sent;
+
+  auto src_it = nodes_.find(msg.src);
+  auto dst_it = nodes_.find(msg.dst);
+  if (dst_it == nodes_.end()) {
+    ++stats_.dropped_no_route;
+    return;
+  }
+  if (is_partitioned(msg.src) || is_partitioned(msg.dst)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+
+  // Traverse the source link (if the source is a modelled node) and the
+  // destination link; loss on either drops the message.
+  double delay_s = 0.0;
+  if (src_it != nodes_.end()) {
+    if (rng_.chance(src_it->second.link.loss_prob)) {
+      ++stats_.dropped_loss;
+      return;
+    }
+    delay_s += sample_delay_s(src_it->second.link, msg.payload_bytes);
+  }
+  if (rng_.chance(dst_it->second.link.loss_prob)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  delay_s += sample_delay_s(dst_it->second.link, msg.payload_bytes);
+
+  NodeId dst = msg.dst;
+  loop_->schedule(Duration::seconds(delay_s),
+                  [this, dst, m = std::move(msg)]() {
+                    // Re-check at delivery time: the node may have left or
+                    // been partitioned while the message was in flight.
+                    auto it = nodes_.find(dst);
+                    if (it == nodes_.end()) {
+                      ++stats_.dropped_no_route;
+                      return;
+                    }
+                    if (is_partitioned(dst)) {
+                      ++stats_.dropped_partition;
+                      return;
+                    }
+                    ++stats_.delivered;
+                    it->second.endpoint->on_message(m);
+                  });
+}
+
+}  // namespace aorta::net

@@ -1,0 +1,98 @@
+// Simulated heterogeneous device network.
+//
+// Replaces the pervasive lab's physical links (Ethernet to cameras,
+// 433 MHz radio to motes, the cellular network to phones) with a
+// discrete-event model: each attached node has a LinkModel giving its
+// one-way latency distribution, loss probability and bandwidth. Delivery
+// of a message samples both endpoints' links, so a camera->engine path is
+// fast and reliable while a mote->engine path is slow and lossy — the
+// heterogeneity Section 3 is about.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "net/message.h"
+#include "util/event_loop.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aorta::net {
+
+// Per-node link characteristics. Latency is sampled per message as
+// max(0, normal(latency_mean, latency_jitter)).
+struct LinkModel {
+  double latency_mean_s = 0.002;
+  double latency_jitter_s = 0.0005;
+  double loss_prob = 0.0;               // per-traversal drop probability
+  double bandwidth_bytes_per_s = 1e7;   // serialization delay = size/bw
+
+  // Preset links modelled after the paper's testbed (Section 6.1).
+  static LinkModel lan();          // engine <-> camera: fast, reliable
+  static LinkModel mote_radio();   // engine <-> mote: slow, lossy (Crossbow MICA2)
+  static LinkModel cellular();     // engine <-> phone: high latency, variable
+  static LinkModel perfect();      // zero latency/loss (unit tests)
+};
+
+// A node that can receive messages from the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(const Message& msg) = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;       // random loss on a link
+  std::uint64_t dropped_no_route = 0;   // destination not attached
+  std::uint64_t dropped_partition = 0;  // destination partitioned away
+};
+
+class Network {
+ public:
+  Network(aorta::util::EventLoop* loop, aorta::util::Rng rng)
+      : loop_(loop), rng_(std::move(rng)) {}
+
+  // Attach / detach nodes. Detaching models a device leaving the network
+  // ("devices may join, move around, or leave ... unpredictably", §4).
+  aorta::util::Status attach(const NodeId& id, Endpoint* endpoint, LinkModel link);
+  aorta::util::Status detach(const NodeId& id);
+  bool attached(const NodeId& id) const { return nodes_.count(id) > 0; }
+
+  // Replace a node's link model in place (e.g. degrade a mote's radio).
+  aorta::util::Status set_link(const NodeId& id, LinkModel link);
+
+  // Partition a node: it stays attached but all traffic to/from it is
+  // dropped (a phone out of coverage). heal() reverses it.
+  void partition(const NodeId& id) { partitioned_.insert(id); }
+  void heal(const NodeId& id) { partitioned_.erase(id); }
+  bool is_partitioned(const NodeId& id) const { return partitioned_.count(id) > 0; }
+
+  // Fire-and-forget send. The message is delivered (or dropped) after the
+  // modelled delay. Send never fails synchronously: senders cannot observe
+  // loss except by timeout, as on a real network.
+  void send(Message msg);
+
+  const NetworkStats& stats() const { return stats_; }
+  aorta::util::EventLoop& loop() { return *loop_; }
+
+ private:
+  struct Node {
+    Endpoint* endpoint;
+    LinkModel link;
+  };
+
+  // Sampled one-way delay across a link for a message of `bytes` size.
+  double sample_delay_s(const LinkModel& link, std::size_t bytes);
+
+  aorta::util::EventLoop* loop_;
+  aorta::util::Rng rng_;
+  std::map<NodeId, Node> nodes_;
+  std::set<NodeId> partitioned_;
+  NetworkStats stats_;
+};
+
+}  // namespace aorta::net

@@ -1,0 +1,59 @@
+#include "net/rpc.h"
+
+namespace aorta::net {
+
+using aorta::util::Result;
+
+void RpcClient::call(NodeId dst, std::string kind,
+                     std::map<std::string, std::string> fields,
+                     aorta::util::Duration timeout, RpcCallback callback,
+                     std::size_t payload_bytes) {
+  std::uint64_t id = next_request_id_++;
+
+  Message msg;
+  msg.src = self_;
+  msg.dst = std::move(dst);
+  msg.kind = std::move(kind);
+  msg.fields = std::move(fields);
+  msg.request_id = id;
+  msg.payload_bytes = payload_bytes;
+
+  aorta::util::EventId timeout_event = network_->loop().schedule(
+      timeout, [this, id]() {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;  // reply won the race
+        RpcCallback cb = std::move(it->second.callback);
+        pending_.erase(it);
+        ++timeouts_;
+        cb(Result<Message>(aorta::util::timeout_error(
+            "rpc request " + std::to_string(id) + " timed out")));
+      });
+
+  pending_.emplace(id, Pending{std::move(callback), timeout_event});
+  network_->send(std::move(msg));
+}
+
+bool RpcClient::on_reply(const Message& msg) {
+  if (msg.request_id == 0) return false;
+  auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) return false;  // late reply after timeout
+  network_->loop().cancel(it->second.timeout_event);
+  RpcCallback cb = std::move(it->second.callback);
+  pending_.erase(it);
+  ++completed_;
+  cb(Result<Message>(msg));
+  return true;
+}
+
+Message make_reply(const Message& request, std::string kind,
+                   std::size_t payload_bytes) {
+  Message reply;
+  reply.src = request.dst;
+  reply.dst = request.src;
+  reply.kind = std::move(kind);
+  reply.request_id = request.request_id;
+  reply.payload_bytes = payload_bytes;
+  return reply;
+}
+
+}  // namespace aorta::net

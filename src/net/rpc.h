@@ -1,0 +1,62 @@
+// Request/response messaging with timeouts over the simulated network.
+//
+// The probing mechanism (Section 4) and the basic communication methods
+// (Section 3.3) both need "send a request, wait bounded time for a reply"
+// semantics; RpcClient provides that. There are no retries at this layer —
+// Aorta's policy on loss is to time out, exclude the device from device
+// selection, and move on, which is what the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/network.h"
+#include "util/status.h"
+
+namespace aorta::net {
+
+// Completion callback: a reply Message or a kTimeout status.
+using RpcCallback = std::function<void(aorta::util::Result<Message>)>;
+
+// Client half. Owns a node id on the network and demultiplexes replies by
+// request_id. The owner must route inbound messages for that node id to
+// on_reply() (typically from its Endpoint::on_message).
+class RpcClient {
+ public:
+  RpcClient(Network* network, NodeId self) : network_(network), self_(std::move(self)) {}
+
+  // Issue a request. `callback` fires exactly once: with the reply, or
+  // with kTimeout after `timeout` if no reply arrived.
+  void call(NodeId dst, std::string kind,
+            std::map<std::string, std::string> fields,
+            aorta::util::Duration timeout, RpcCallback callback,
+            std::size_t payload_bytes = 64);
+
+  // Feed a message received on the owner's endpoint. Returns true if it
+  // was a reply to an outstanding call (and was consumed).
+  bool on_reply(const Message& msg);
+
+  const NodeId& self() const { return self_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Pending {
+    RpcCallback callback;
+    aorta::util::EventId timeout_event;
+  };
+
+  Network* network_;
+  NodeId self_;
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+// Server-side helper: build a reply to `request` with the same request_id.
+Message make_reply(const Message& request, std::string kind,
+                   std::size_t payload_bytes = 64);
+
+}  // namespace aorta::net

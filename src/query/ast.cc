@@ -1,0 +1,101 @@
+#include "query/ast.h"
+
+#include "util/strings.h"
+
+namespace aorta::query {
+
+std::string_view binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::make_literal(device::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::make_column(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::make_func(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFuncCall;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::make_not(ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->column = column;
+  e->func_name = func_name;
+  for (const auto& a : args) e->args.push_back(a->clone());
+  e->op = op;
+  if (lhs != nullptr) e->lhs = lhs->clone();
+  if (rhs != nullptr) e->rhs = rhs->clone();
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return device::value_to_string(literal);
+    case Kind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case Kind::kFuncCall: {
+      std::string out = func_name + "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->to_string();
+      }
+      return out + ")";
+    }
+    case Kind::kBinary:
+      return "(" + lhs->to_string() + " " + std::string(binary_op_name(op)) +
+             " " + rhs->to_string() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs->to_string() + ")";
+  }
+  return "?";
+}
+
+}  // namespace aorta::query

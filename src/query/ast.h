@@ -1,0 +1,116 @@
+// Abstract syntax for the declarative interface.
+//
+// Statements supported (Section 2.2's examples plus management verbs):
+//   CREATE ACTION name(Type p1, ...) AS "lib/..." PROFILE "profiles/..."
+//   CREATE AQ name [EVERY <seconds>] AS SELECT action(args...) FROM t a [, t2 b] WHERE expr
+//   SELECT cols/exprs FROM t a [, t2 b] [WHERE expr]      (one-shot)
+//   DROP AQ name
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/types.h"
+
+namespace aorta::query {
+
+// ------------------------------------------------------------ expressions
+
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,  // comparisons
+  kAdd, kSub, kMul, kDiv,        // arithmetic
+  kAnd, kOr,                     // logical
+};
+
+std::string_view binary_op_name(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kLiteral, kColumnRef, kFuncCall, kBinary, kNot };
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  device::Value literal;
+
+  // kColumnRef: qualifier may be empty ("accel_x" vs "s.accel_x").
+  std::string qualifier;
+  std::string column;
+
+  // kFuncCall
+  std::string func_name;
+  std::vector<ExprPtr> args;
+
+  // kBinary / kNot
+  BinaryOp op = BinaryOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;  // kNot uses lhs only
+
+  // Builders.
+  static ExprPtr make_literal(device::Value v);
+  static ExprPtr make_column(std::string qualifier, std::string column);
+  static ExprPtr make_func(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr make_not(ExprPtr operand);
+
+  ExprPtr clone() const;
+  std::string to_string() const;
+};
+
+// ------------------------------------------------------------- statements
+
+struct TableRef {
+  std::string table;  // virtual device table: sensor / camera / phone
+  std::string alias;  // defaults to the table name
+};
+
+struct SelectStmt {
+  std::vector<ExprPtr> select_list;  // columns, scalar exprs, or action calls
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+};
+
+struct CreateActionStmt {
+  std::string name;
+  struct Param {
+    std::string type_name;  // String | Double | Int | Location
+    std::string name;
+  };
+  std::vector<Param> params;
+  std::string library_path;  // AS "lib/users/sendphoto.dll"
+  std::string profile_path;  // PROFILE "profiles/users/sendphoto.xml"
+};
+
+struct CreateAqStmt {
+  std::string name;
+  double epoch_s = 0.0;  // EVERY clause; 0 = engine default
+  SelectStmt select;
+};
+
+struct DropAqStmt {
+  std::string name;
+};
+
+// SHOW QUERIES | SHOW ACTIONS | SHOW DEVICES: introspection over the
+// catalog and the registry through the declarative interface.
+struct ShowStmt {
+  enum class Target { kQueries, kActions, kDevices };
+  Target target = Target::kQueries;
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect, kCreateAction, kCreateAq, kDropAq, kShow, kExplain
+  };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;
+  CreateActionStmt create_action;
+  CreateAqStmt create_aq;
+  DropAqStmt drop_aq;
+  ShowStmt show;
+};
+
+}  // namespace aorta::query

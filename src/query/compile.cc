@@ -1,0 +1,265 @@
+#include "query/compile.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace aorta::query {
+
+using aorta::util::Result;
+using aorta::util::Status;
+
+namespace {
+
+// Split a WHERE tree into top-level conjuncts.
+void split_conjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == Expr::Kind::kBinary && expr.op == BinaryOp::kAnd) {
+    split_conjuncts(*expr.lhs, out);
+    split_conjuncts(*expr.rhs, out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+// Does the expression reference any sensory attribute of `alias`?
+bool references_sensory(const Expr& expr, const std::string& alias,
+                        const comm::Schema& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return false;
+    case Expr::Kind::kColumnRef: {
+      const comm::Field* field = nullptr;
+      if (expr.qualifier == alias) {
+        field = schema.field(expr.column);
+      } else if (expr.qualifier.empty()) {
+        field = schema.field(expr.column);
+      }
+      return field != nullptr && field->sensory;
+    }
+    case Expr::Kind::kFuncCall: {
+      for (const auto& arg : expr.args) {
+        if (references_sensory(*arg, alias, schema)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kBinary:
+      return references_sensory(*expr.lhs, alias, schema) ||
+             references_sensory(*expr.rhs, alias, schema);
+    case Expr::Kind::kNot:
+      return references_sensory(*expr.lhs, alias, schema);
+  }
+  return false;
+}
+
+}  // namespace
+
+// Local helper: propagate a Status failure out of compile() as a Result.
+#define RETURN_IF_ERROR_R(expr)                             \
+  do {                                                      \
+    ::aorta::util::Status _s = (expr);                      \
+    if (!_s.is_ok()) return Result<CompiledQuery>(_s);      \
+  } while (false)
+
+Result<CompiledQuery> compile(const SelectStmt& stmt, const Catalog& catalog,
+                              const device::DeviceRegistry& registry,
+                              bool one_shot) {
+  CompiledQuery q;
+
+  // ---- FROM: virtual tables ------------------------------------------
+  if (stmt.from.empty()) {
+    return Result<CompiledQuery>(
+        aorta::util::parse_error("query needs a FROM clause"));
+  }
+  if (stmt.from.size() > 2) {
+    return Result<CompiledQuery>(aorta::util::invalid_argument_error(
+        "at most 2 tables are supported (event table + candidate table)"));
+  }
+
+  // Owned schemas per alias, built from the registered device catalogs.
+  static thread_local std::map<std::string, comm::Schema> schema_storage;
+  schema_storage.clear();
+  std::map<std::string, const comm::Schema*> schemas;
+  for (const auto& ref : stmt.from) {
+    const device::DeviceTypeInfo* info = registry.type_info(ref.table);
+    if (info == nullptr) {
+      return Result<CompiledQuery>(aorta::util::not_found_error(
+          "unknown virtual table (device type): " + ref.table));
+    }
+    if (q.table_types.count(ref.alias) > 0) {
+      return Result<CompiledQuery>(
+          aorta::util::invalid_argument_error("duplicate alias: " + ref.alias));
+    }
+    q.tables.push_back(ref);
+    q.table_types[ref.alias] = ref.table;
+    schema_storage[ref.alias] = comm::Schema::from_catalog(info->catalog);
+    schemas[ref.alias] = &schema_storage[ref.alias];
+  }
+
+  // ---- WHERE: conjunct classification -----------------------------------
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where != nullptr) split_conjuncts(*stmt.where, &conjuncts);
+
+  // First pass: find the event table = the unique alias with single-alias
+  // sensory predicates.
+  std::set<std::string> event_candidates;
+  for (const Expr* c : conjuncts) {
+    std::set<std::string> aliases;
+    RETURN_IF_ERROR_R(collect_aliases(*c, schemas, &aliases));
+    if (aliases.size() == 1) {
+      const std::string& alias = *aliases.begin();
+      if (references_sensory(*c, alias, *schemas.at(alias))) {
+        event_candidates.insert(alias);
+      }
+    }
+  }
+  if (event_candidates.size() > 1) {
+    if (!one_shot) {
+      return Result<CompiledQuery>(aorta::util::invalid_argument_error(
+          "sensory event predicates must reference a single table"));
+    }
+    // One-shot SELECTs have no event semantics: scan everything live.
+    event_candidates = {stmt.from.front().alias};
+  }
+  if (event_candidates.size() == 1) {
+    q.event_alias = *event_candidates.begin();
+    q.edge_triggered = true;
+  } else {
+    q.event_alias = stmt.from.front().alias;
+    q.edge_triggered = false;
+  }
+
+  // Second pass: classify conjuncts.
+  for (const Expr* c : conjuncts) {
+    std::set<std::string> aliases;
+    RETURN_IF_ERROR_R(collect_aliases(*c, schemas, &aliases));
+    if (aliases.empty() ||
+        (aliases.size() == 1 && *aliases.begin() == q.event_alias)) {
+      q.event_predicates.push_back(c->clone());
+    } else {
+      // Join / candidate predicates: in continuous mode candidate-table
+      // sensory attributes are not available before probing, so reject
+      // them with a clear message. One-shot SELECTs scan live and may use
+      // them freely.
+      if (!one_shot) {
+        for (const std::string& alias : aliases) {
+          if (alias != q.event_alias &&
+              references_sensory(*c, alias, *schemas.at(alias))) {
+            return Result<CompiledQuery>(aorta::util::invalid_argument_error(
+                "candidate-table predicates may only use static attributes: " +
+                c->to_string()));
+          }
+        }
+      }
+      q.join_predicates.push_back(c->clone());
+    }
+  }
+
+  // ---- SELECT list: actions vs projections -------------------------------
+  for (const auto& item : stmt.select_list) {
+    if (item->kind == Expr::Kind::kFuncCall) {
+      const ActionDef* action = catalog.find_action(item->func_name);
+      if (action != nullptr) {
+        CompiledActionCall call;
+        call.action = action;
+        if (item->args.size() != action->params.size()) {
+          return Result<CompiledQuery>(aorta::util::invalid_argument_error(
+              aorta::util::str_format("action %s expects %zu arguments, got %zu",
+                                      action->name.c_str(),
+                                      action->params.size(),
+                                      item->args.size())));
+        }
+        for (const auto& arg : item->args) call.args.push_back(arg->clone());
+
+        // Candidate table: the alias referenced by the binding argument;
+        // falls back to the event table (action on the event device, e.g.
+        // beep(s.id)).
+        std::set<std::string> binding_aliases;
+        RETURN_IF_ERROR_R(collect_aliases(
+            *call.args[action->binding_param], schemas, &binding_aliases));
+        if (binding_aliases.size() > 1) {
+          return Result<CompiledQuery>(aorta::util::invalid_argument_error(
+              "action binding argument must reference one table"));
+        }
+        call.candidate_alias = binding_aliases.empty() ? q.event_alias
+                                                       : *binding_aliases.begin();
+
+        // The candidate table's device type must match the action's.
+        const auto& cand_type = q.table_types.at(call.candidate_alias);
+        if (cand_type != action->device_type) {
+          return Result<CompiledQuery>(aorta::util::invalid_argument_error(
+              "action " + action->name + " operates " + action->device_type +
+              " devices, but its binding argument references table " +
+              cand_type));
+        }
+        q.actions.push_back(std::move(call));
+        continue;
+      }
+    }
+    q.projections.push_back(item->clone());
+  }
+
+  // ---- projection pushdown ----------------------------------------------
+  for (const Expr* c : conjuncts) collect_columns(*c, schemas, &q.needed_attrs);
+  for (const auto& item : stmt.select_list) {
+    if (item->kind == Expr::Kind::kColumnRef && item->column == "*") {
+      // SELECT *: need everything from every table.
+      for (const auto& [alias, schema] : schemas) {
+        for (const auto& f : schema->fields()) {
+          q.needed_attrs[alias].insert(f.name);
+        }
+      }
+      continue;
+    }
+    collect_columns(*item, schemas, &q.needed_attrs);
+  }
+
+  return q;
+}
+
+}  // namespace aorta::query
+
+namespace aorta::query {
+
+std::string CompiledQuery::describe() const {
+  std::string out;
+  out += "plan:\n";
+  out += "  event table: " + event_alias + " (" + table_types.at(event_alias) +
+         "), " + (edge_triggered ? "edge-triggered" : "level-triggered") + "\n";
+  out += "  event predicates (pushed into the scan):\n";
+  if (event_predicates.empty()) out += "    <none>\n";
+  for (const auto& p : event_predicates) {
+    out += "    " + p->to_string() + "\n";
+  }
+  out += "  join/candidate predicates:\n";
+  if (join_predicates.empty()) out += "    <none>\n";
+  for (const auto& p : join_predicates) {
+    out += "    " + p->to_string() + "\n";
+  }
+  if (!actions.empty()) {
+    out += "  embedded actions (shared operators):\n";
+    for (const auto& call : actions) {
+      out += "    " + call.action->name + " on " + call.action->device_type +
+             " via candidate table " + call.candidate_alias + "\n";
+    }
+  }
+  if (!projections.empty()) {
+    out += "  projections:\n";
+    for (const auto& p : projections) {
+      out += "    " + p->to_string() + "\n";
+    }
+  }
+  out += "  scan attributes (projection pushdown):\n";
+  for (const auto& [alias, attrs] : needed_attrs) {
+    out += "    " + alias + ": ";
+    bool first = true;
+    for (const auto& a : attrs) {
+      if (!first) out += ", ";
+      out += a;
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace aorta::query

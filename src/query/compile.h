@@ -1,0 +1,68 @@
+// Compilation of parsed SELECT statements into executable query plans.
+//
+// The plan separates, per Section 2's processing model:
+//  - the *event table* (the virtual table whose sensory predicates define
+//    the events of interest, e.g. sensor with s.accel_x > 500),
+//  - per embedded action, the *candidate table* supplying devices for
+//    device-selection optimization (e.g. camera, restricted by
+//    coverage(c.id, s.loc)),
+//  - predicate classification: event predicates (single-alias, pushed into
+//    the event scan) vs join predicates (evaluated per event x candidate).
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "device/registry.h"
+#include "query/catalog.h"
+
+namespace aorta::query {
+
+struct CompiledActionCall {
+  const ActionDef* action = nullptr;
+  std::vector<ExprPtr> args;    // evaluated per selected candidate device
+  std::string candidate_alias;  // alias of the candidate table ("" = event table)
+};
+
+struct CompiledQuery {
+  std::string name;
+  double epoch_s = 0.0;
+
+  std::vector<TableRef> tables;  // alias -> virtual table (device type)
+  std::map<std::string, device::DeviceTypeId> table_types;
+
+  std::string event_alias;  // always set (defaults to the first table)
+  bool edge_triggered = false;  // true iff sensory event predicates exist
+
+  std::vector<ExprPtr> event_predicates;  // reference only the event table
+  std::vector<ExprPtr> join_predicates;   // everything else
+
+  std::vector<CompiledActionCall> actions;
+  std::vector<ExprPtr> projections;  // non-action select items
+
+  // Attributes each scan must acquire (projection pushdown).
+  std::map<std::string, std::set<std::string>> needed_attrs;
+
+  device::DeviceTypeId event_type() const {
+    return table_types.at(event_alias);
+  }
+
+  // Human-readable plan description (EXPLAIN output): the event table and
+  // trigger mode, predicate classification, embedded actions with their
+  // candidate tables, and the projection pushdown sets.
+  std::string describe() const;
+};
+
+// Compile against the catalog (action/function names) and the registry
+// (virtual table schemas). Restrictions: at most 2 tables (the event table
+// and one candidate table — the paper's query pattern). In continuous
+// mode (`one_shot == false`), candidate-table predicates may only
+// reference non-sensory (static) attributes, because candidates are
+// evaluated from the registry cache before probing; one-shot SELECTs scan
+// every table live, so the restriction does not apply.
+aorta::util::Result<CompiledQuery> compile(const SelectStmt& stmt,
+                                           const Catalog& catalog,
+                                           const device::DeviceRegistry& registry,
+                                           bool one_shot = false);
+
+}  // namespace aorta::query

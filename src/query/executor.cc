@@ -1,0 +1,541 @@
+#include "query/executor.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace aorta::query {
+
+using aorta::util::Duration;
+using aorta::util::Result;
+using aorta::util::Status;
+using device::Value;
+
+ContinuousQueryExecutor::ContinuousQueryExecutor(
+    device::DeviceRegistry* registry, comm::CommLayer* comm,
+    sync::Prober* prober, sync::LockManager* locks, aorta::util::EventLoop* loop,
+    Catalog* catalog, aorta::util::Rng rng, Options options)
+    : registry_(registry),
+      comm_(comm),
+      prober_(prober),
+      locks_(locks),
+      loop_(loop),
+      catalog_(catalog),
+      rng_(std::move(rng)),
+      options_(std::move(options)) {
+  scheduler_ = sched::make_scheduler(options_.scheduler_name);
+  if (scheduler_ == nullptr) {
+    AORTA_LOG(kError, "query") << "unknown scheduler '"
+                               << options_.scheduler_name
+                               << "', falling back to SRFAE";
+    scheduler_ = sched::make_scheduler("SRFAE");
+  }
+}
+
+Status ContinuousQueryExecutor::register_aq(const std::string& name,
+                                            double epoch_s,
+                                            const SelectStmt& stmt,
+                                            std::string source_sql) {
+  if (queries_.count(name) > 0) {
+    return aorta::util::already_exists_error("query already registered: " + name);
+  }
+  auto compiled = compile(stmt, *catalog_, *registry_);
+  if (!compiled.is_ok()) return compiled.status();
+
+  // Aggregates are a one-shot SELECT feature; a continuous aggregate would
+  // need windowing semantics this engine does not define.
+  for (const auto& proj : compiled.value().projections) {
+    if (proj->kind != Expr::Kind::kFuncCall) continue;
+    std::string fn = aorta::util::to_lower(proj->func_name);
+    if (fn == "count" || fn == "sum" || fn == "avg" || fn == "min" ||
+        fn == "max") {
+      return aorta::util::invalid_argument_error(
+          "aggregates are not supported in continuous queries: " +
+          proj->to_string());
+    }
+  }
+
+  auto aq = std::make_unique<Aq>();
+  aq->name = name;
+  aq->source_sql = std::move(source_sql);
+  aq->compiled = std::move(compiled).value();
+
+  if (epoch_s > 0.0) {
+    double ratio = epoch_s / options_.epoch.to_seconds();
+    aq->epoch_ticks = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(ratio)));
+  }
+  aq->tick_phase = tick_count_ % aq->epoch_ticks;
+
+  // Event scan with projection pushdown.
+  std::set<std::string> needed;
+  auto it = aq->compiled.needed_attrs.find(aq->compiled.event_alias);
+  if (it != aq->compiled.needed_attrs.end()) needed = it->second;
+  aq->event_scan = std::make_unique<comm::ScanOperator>(
+      registry_, comm_, aq->compiled.event_type(), std::move(needed));
+
+  // Make sure the shared operators for its actions exist.
+  for (const auto& call : aq->compiled.actions) {
+    if (operator_for(call.action) == nullptr) {
+      return aorta::util::internal_error("could not create action operator for " +
+                                         call.action->name);
+    }
+  }
+
+  queries_.emplace(name, std::move(aq));
+  return Status::ok();
+}
+
+Status ContinuousQueryExecutor::drop_aq(const std::string& name) {
+  if (queries_.erase(name) == 0) {
+    return aorta::util::not_found_error("no such query: " + name);
+  }
+  return Status::ok();
+}
+
+std::vector<std::string> ContinuousQueryExecutor::aq_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, aq] : queries_) out.push_back(name);
+  return out;
+}
+
+ActionOperator* ContinuousQueryExecutor::operator_for(const ActionDef* action) {
+  auto it = operators_.find(action->name);
+  if (it != operators_.end()) return it->second.get();
+  ActionOperator::Options op_options;
+  op_options.use_probing = options_.use_probing;
+  op_options.use_locks = options_.use_locks;
+  op_options.max_retries = options_.max_retries;
+  auto op = std::make_unique<ActionOperator>(action, prober_, locks_, registry_,
+                                             loop_, scheduler_.get(),
+                                             rng_.fork(), op_options);
+  op->set_trace([this](const std::string& query, const std::string& kind,
+                       const std::string& detail) {
+    record_trace(TraceEntry{loop_->now(), query, kind, detail});
+  });
+  ActionOperator* raw = op.get();
+  operators_.emplace(action->name, std::move(op));
+  return raw;
+}
+
+void ContinuousQueryExecutor::start() {
+  if (started_) return;
+  started_ = true;
+  loop_->schedule(options_.epoch, [this]() { on_tick(); });
+}
+
+void ContinuousQueryExecutor::on_tick() {
+  ++tick_count_;
+
+  // Evaluate all due queries; once every evaluation finished, flush every
+  // action operator so requests from concurrent queries are scheduled as
+  // one batch (the group optimization of Section 2.3 / the "short time
+  // interval" batching of Section 5).
+  auto pending = std::make_shared<std::size_t>(1);  // +1 sentinel
+  auto maybe_flush = [this, pending]() {
+    if (--*pending != 0) return;
+    for (auto& [name, op] : operators_) {
+      if (op->has_pending()) {
+        op->flush([]() {});
+      }
+    }
+  };
+
+  for (auto& [name, aq] : queries_) {
+    if ((tick_count_ - 1) % aq->epoch_ticks != aq->tick_phase) continue;
+    ++*pending;
+    evaluate(*aq, maybe_flush);
+  }
+  maybe_flush();  // release the sentinel
+
+  // Fixed cadence, independent of how long evaluation takes.
+  loop_->schedule(options_.epoch, [this]() { on_tick(); });
+}
+
+void ContinuousQueryExecutor::evaluate(Aq& aq, std::function<void()> done) {
+  ++aq.stats.epochs;
+  // The query may be dropped while the scan is in flight: re-resolve it by
+  // name at completion instead of holding a pointer into queries_.
+  aq.event_scan->scan([this, name = aq.name, done = std::move(done)](
+                          std::vector<comm::Tuple> tuples) {
+    auto it = queries_.find(name);
+    if (it == queries_.end()) {
+      done();
+      return;
+    }
+    for (const comm::Tuple& tuple : tuples) {
+      process_event_tuple(*it->second, tuple);
+    }
+    done();
+  });
+}
+
+void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
+                                                  const comm::Tuple& tuple) {
+  Env env;
+  env.bind(aq.compiled.event_alias, &tuple);
+
+  bool satisfied = true;
+  for (const auto& pred : aq.compiled.event_predicates) {
+    if (!eval_predicate(*pred, env, catalog_->functions())) {
+      satisfied = false;
+      break;
+    }
+  }
+
+  // Edge detection: an event fires when the predicates become true for a
+  // device that previously did not satisfy them (the object *started*
+  // moving). Level-triggered queries (no sensory predicates) fire every
+  // epoch while satisfied.
+  bool fire;
+  if (aq.compiled.edge_triggered) {
+    bool& last = aq.last_state[tuple.source_device()];
+    fire = satisfied && !last;
+    last = satisfied;
+  } else {
+    fire = satisfied;
+  }
+  if (!fire) return;
+  ++aq.stats.events;
+  record_trace(TraceEntry{loop_->now(), aq.name, "event",
+                          "device " + tuple.source_device()});
+
+  // Materialize the query's projections against the event tuple — the
+  // continuous result stream of a monitoring query.
+  if (!aq.compiled.projections.empty()) {
+    Row row;
+    for (const auto& proj : aq.compiled.projections) {
+      auto v = eval(*proj, env, catalog_->functions());
+      row.emplace_back(proj->to_string(),
+                       v.is_ok() ? std::move(v).value() : device::Value{});
+    }
+    aq.results.push_back(TimestampedRow{loop_->now(), std::move(row)});
+    while (aq.results.size() > kResultCap) aq.results.pop_front();
+  }
+
+  for (const auto& call : aq.compiled.actions) {
+    // Candidate schema for binding candidate tuples.
+    const device::DeviceTypeId& cand_type =
+        aq.compiled.table_types.at(call.candidate_alias);
+    auto schema_it = schemas_.find(cand_type);
+    if (schema_it == schemas_.end()) {
+      const device::DeviceTypeInfo* info = registry_->type_info(cand_type);
+      if (info == nullptr) continue;
+      schema_it = schemas_
+                      .emplace(cand_type, std::make_unique<comm::Schema>(
+                                              comm::Schema::from_catalog(
+                                                  info->catalog)))
+                      .first;
+    }
+
+    std::vector<device::DeviceId> candidates =
+        enumerate_candidates(aq, call, env, *schema_it->second);
+    if (candidates.empty()) continue;  // no device covers this event
+
+    // Instantiate the request. Arguments are evaluated against the event
+    // tuple; the binding argument (which identifies the executing device)
+    // is finalized per selected device at execution time.
+    sched::ActionRequest request;
+    request.query_id = aq.name;
+    request.candidates = std::move(candidates);
+    for (std::size_t a = 0; a < call.args.size(); ++a) {
+      if (a == call.action->binding_param) {
+        request.action_args.push_back(Value{});  // filled at execution
+        continue;
+      }
+      auto v = eval(*call.args[a], env, catalog_->functions());
+      request.action_args.push_back(v.is_ok() ? std::move(v).value() : Value{});
+    }
+    if (call.action->request_params) {
+      Status s = call.action->request_params(request.action_args, &request);
+      if (!s.is_ok()) {
+        AORTA_LOG(kWarn, "query")
+            << aq.name << ": request_params failed: " << s.to_string();
+        continue;
+      }
+    }
+    ++aq.stats.requests_issued;
+    record_trace(TraceEntry{loop_->now(), aq.name, "request",
+                            call.action->name + " with " +
+                                std::to_string(request.candidates.size()) +
+                                " candidate(s)"});
+    operator_for(call.action)->enqueue(std::move(request));
+  }
+}
+
+std::vector<device::DeviceId> ContinuousQueryExecutor::enumerate_candidates(
+    Aq& aq, const CompiledActionCall& call, const Env& event_env,
+    const comm::Schema& candidate_schema) {
+  std::vector<device::DeviceId> out;
+
+  if (call.candidate_alias == aq.compiled.event_alias) {
+    // Action on the event device itself (e.g. beep(s.id)).
+    const comm::Tuple* event_tuple = event_env.lookup(aq.compiled.event_alias);
+    if (event_tuple != nullptr) out.push_back(event_tuple->source_device());
+    return out;
+  }
+
+  const device::DeviceTypeId& cand_type =
+      aq.compiled.table_types.at(call.candidate_alias);
+  for (const device::DeviceId& id : registry_->ids_of_type(cand_type)) {
+    const auto* attrs = registry_->static_attrs(id);
+    if (attrs == nullptr) continue;
+    comm::Tuple cand(&candidate_schema, id);
+    for (const auto& [name, value] : *attrs) cand.set_by_name(name, value);
+
+    Env env = event_env;
+    env.bind(call.candidate_alias, &cand);
+    bool ok = true;
+    for (const auto& pred : aq.compiled.join_predicates) {
+      if (!eval_predicate(*pred, env, catalog_->functions())) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(id);
+  }
+  return out;
+}
+
+const QueryStats* ContinuousQueryExecutor::query_stats(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  return it == queries_.end() ? nullptr : &it->second->stats;
+}
+
+QueryActionStats ContinuousQueryExecutor::action_stats(
+    const std::string& name) const {
+  QueryActionStats total;
+  for (const auto& [op_name, op] : operators_) {
+    auto it = op->query_stats().find(name);
+    if (it == op->query_stats().end()) continue;
+    total.requests += it->second.requests;
+    total.usable += it->second.usable;
+    total.degraded += it->second.degraded;
+    total.failed += it->second.failed;
+    total.no_candidate += it->second.no_candidate;
+  }
+  return total;
+}
+
+std::vector<TimestampedRow> ContinuousQueryExecutor::recent_results(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) return {};
+  return {it->second->results.begin(), it->second->results.end()};
+}
+
+void ContinuousQueryExecutor::record_trace(TraceEntry entry) {
+  trace_.push_back(std::move(entry));
+  while (trace_.size() > kTraceCap) trace_.pop_front();
+}
+
+std::vector<const ActionOperator*> ContinuousQueryExecutor::operators() const {
+  std::vector<const ActionOperator*> out;
+  for (const auto& [name, op] : operators_) out.push_back(op.get());
+  return out;
+}
+
+void ContinuousQueryExecutor::run_select(
+    const SelectStmt& stmt,
+    std::function<void(Result<std::vector<Row>>)> done) {
+  auto compiled = compile(stmt, *catalog_, *registry_, /*one_shot=*/true);
+  if (!compiled.is_ok()) {
+    done(Result<std::vector<Row>>(compiled.status()));
+    return;
+  }
+  auto q = std::make_shared<CompiledQuery>(std::move(compiled).value());
+
+  // One live scan per table (one-shot SELECTs read sensory attributes on
+  // every table, unlike continuous candidate enumeration which is
+  // restricted to the static cache).
+  struct MultiScan {
+    std::vector<std::string> aliases;
+    std::vector<std::shared_ptr<comm::ScanOperator>> scans;
+    std::vector<std::vector<comm::Tuple>> tuples;
+    std::size_t outstanding = 0;
+  };
+  auto multi = std::make_shared<MultiScan>();
+  for (const auto& ref : q->tables) {
+    std::set<std::string> needed;
+    auto it = q->needed_attrs.find(ref.alias);
+    if (it != q->needed_attrs.end()) needed = it->second;
+    multi->aliases.push_back(ref.alias);
+    multi->scans.push_back(std::make_shared<comm::ScanOperator>(
+        registry_, comm_, q->table_types.at(ref.alias), std::move(needed)));
+  }
+  multi->tuples.resize(multi->scans.size());
+  multi->outstanding = multi->scans.size();
+
+  // Aggregate projections (COUNT/SUM/AVG/MIN/MAX) collapse the result to
+  // one row. Mixing aggregates with plain projections is rejected (no
+  // GROUP BY support).
+  struct Agg {
+    enum class Kind { kCount, kSum, kAvg, kMin, kMax };
+    Kind kind;
+    const Expr* arg;  // null for COUNT(*)
+    std::string label;
+    double acc = 0.0;
+    double low = 0.0;
+    double high = 0.0;
+    std::size_t n = 0;
+  };
+  auto aggs = std::make_shared<std::vector<Agg>>();
+  {
+    std::size_t plain = 0;
+    for (const auto& proj : q->projections) {
+      if (proj->kind != Expr::Kind::kFuncCall) {
+        ++plain;
+        continue;
+      }
+      std::string fn = aorta::util::to_lower(proj->func_name);
+      Agg agg;
+      if (fn == "count") agg.kind = Agg::Kind::kCount;
+      else if (fn == "sum") agg.kind = Agg::Kind::kSum;
+      else if (fn == "avg") agg.kind = Agg::Kind::kAvg;
+      else if (fn == "min") agg.kind = Agg::Kind::kMin;
+      else if (fn == "max") agg.kind = Agg::Kind::kMax;
+      else {
+        ++plain;
+        continue;
+      }
+      if (proj->args.size() > 1) {
+        done(Result<std::vector<Row>>(aorta::util::invalid_argument_error(
+            "aggregate takes at most one argument: " + proj->to_string())));
+        return;
+      }
+      agg.arg = proj->args.empty() ? nullptr : proj->args[0].get();
+      if (agg.arg != nullptr && agg.arg->kind == Expr::Kind::kColumnRef &&
+          agg.arg->column == "*") {
+        agg.arg = nullptr;  // COUNT(*)
+      }
+      if (agg.kind != Agg::Kind::kCount && agg.arg == nullptr) {
+        done(Result<std::vector<Row>>(aorta::util::invalid_argument_error(
+            "aggregate needs a column argument: " + proj->to_string())));
+        return;
+      }
+      agg.label = proj->to_string();
+      aggs->push_back(std::move(agg));
+    }
+    if (!aggs->empty() && plain > 0) {
+      done(Result<std::vector<Row>>(aorta::util::invalid_argument_error(
+          "cannot mix aggregates with plain projections (no GROUP BY)")));
+      return;
+    }
+  }
+
+  auto finish = [this, q, multi, aggs, done = std::move(done)]() {
+    std::vector<Row> rows;
+
+    auto emit = [&](const Env& env) {
+      bool ok = true;
+      for (const auto& pred : q->event_predicates) {
+        if (!eval_predicate(*pred, env, catalog_->functions())) ok = false;
+      }
+      for (const auto& pred : q->join_predicates) {
+        if (!eval_predicate(*pred, env, catalog_->functions())) ok = false;
+      }
+      if (!ok) return;
+      if (!aggs->empty()) {
+        for (Agg& agg : *aggs) {
+          double x = 0.0;
+          if (agg.arg != nullptr) {
+            auto v = eval(*agg.arg, env, catalog_->functions());
+            if (!v.is_ok() ||
+                std::holds_alternative<std::monostate>(v.value())) {
+              continue;  // NULLs never contribute
+            }
+            if (!device::value_as_double(v.value(), &x)) {
+              // Non-numeric values still count for COUNT(col).
+              if (agg.kind != Agg::Kind::kCount) continue;
+              x = 0.0;
+            }
+          }
+          if (agg.n == 0) {
+            agg.low = x;
+            agg.high = x;
+          }
+          agg.acc += x;
+          agg.low = std::min(agg.low, x);
+          agg.high = std::max(agg.high, x);
+          ++agg.n;
+        }
+        return;
+      }
+      Row row;
+      for (const auto& proj : q->projections) {
+        if (proj->kind == Expr::Kind::kColumnRef && proj->column == "*") {
+          for (const auto& [alias, tuple] : env.bindings()) {
+            if (tuple == nullptr || tuple->schema() == nullptr) continue;
+            for (std::size_t i = 0; i < tuple->schema()->size(); ++i) {
+              row.emplace_back(alias + "." + tuple->schema()->fields()[i].name,
+                               tuple->at(i));
+            }
+          }
+          continue;
+        }
+        auto v = eval(*proj, env, catalog_->functions());
+        row.emplace_back(proj->to_string(),
+                         v.is_ok() ? std::move(v).value() : Value{});
+      }
+      rows.push_back(std::move(row));
+    };
+
+    // Nested-loop join over the scanned tables (at most two by the
+    // compiler's restriction).
+    if (multi->tuples.size() == 1) {
+      for (const comm::Tuple& tuple : multi->tuples[0]) {
+        Env env;
+        env.bind(multi->aliases[0], &tuple);
+        emit(env);
+      }
+    } else {
+      for (const comm::Tuple& a : multi->tuples[0]) {
+        for (const comm::Tuple& b : multi->tuples[1]) {
+          Env env;
+          env.bind(multi->aliases[0], &a);
+          env.bind(multi->aliases[1], &b);
+          emit(env);
+        }
+      }
+    }
+    if (!aggs->empty()) {
+      Row row;
+      for (const Agg& agg : *aggs) {
+        Value v;
+        switch (agg.kind) {
+          case Agg::Kind::kCount:
+            v = static_cast<std::int64_t>(agg.n);
+            break;
+          case Agg::Kind::kSum:
+            v = agg.n == 0 ? Value{} : Value{agg.acc};
+            break;
+          case Agg::Kind::kAvg:
+            v = agg.n == 0 ? Value{}
+                           : Value{agg.acc / static_cast<double>(agg.n)};
+            break;
+          case Agg::Kind::kMin:
+            v = agg.n == 0 ? Value{} : Value{agg.low};
+            break;
+          case Agg::Kind::kMax:
+            v = agg.n == 0 ? Value{} : Value{agg.high};
+            break;
+        }
+        row.emplace_back(agg.label, std::move(v));
+      }
+      rows.clear();
+      rows.push_back(std::move(row));
+    }
+    done(std::move(rows));
+  };
+
+  for (std::size_t t = 0; t < multi->scans.size(); ++t) {
+    multi->scans[t]->scan([multi, t, finish](std::vector<comm::Tuple> tuples) {
+      multi->tuples[t] = std::move(tuples);
+      if (--multi->outstanding == 0) finish();
+    });
+  }
+}
+
+}  // namespace aorta::query

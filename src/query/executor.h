@@ -1,0 +1,146 @@
+// The continuous query executor: Aorta's event-driven evaluation loop.
+//
+// Action-embedded queries are "event-driven continuous queries" (Section
+// 2.2). The executor samples each registered query's event table every
+// epoch through the communication layer's scan operators, detects events
+// as rising edges of the sensory event predicates (an object starts
+// moving), enumerates candidate devices for each embedded action by
+// evaluating the join predicates (coverage(...)), and deposits
+// instantiated action requests into the per-action shared operators. At
+// the end of each epoch every operator flushes: probe -> schedule ->
+// execute under locks.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "comm/scan_operator.h"
+#include "query/action_operator.h"
+#include "query/compile.h"
+
+namespace aorta::query {
+
+struct QueryStats {
+  std::uint64_t epochs = 0;            // evaluations performed
+  std::uint64_t events = 0;            // rising edges detected
+  std::uint64_t requests_issued = 0;   // action requests deposited
+};
+
+// One projected row of a one-shot SELECT.
+using Row = std::vector<std::pair<std::string, device::Value>>;
+
+// A row produced by a continuous query at event time.
+struct TimestampedRow {
+  aorta::util::TimePoint at;
+  Row row;
+};
+
+// One entry of the engine's event trace (observability: what happened,
+// when, for which query).
+struct TraceEntry {
+  aorta::util::TimePoint at;
+  std::string query;   // owning query id ("" for engine-level entries)
+  std::string kind;    // "event", "request", "batch", "outcome", ...
+  std::string detail;
+};
+
+class ContinuousQueryExecutor {
+ public:
+  struct Options {
+    aorta::util::Duration epoch = aorta::util::Duration::seconds(1.0);
+    std::string scheduler_name = "SRFAE";
+    bool use_probing = true;  // Section 6.2 ablations
+    bool use_locks = true;
+    int max_retries = 1;  // failover rounds per failed action request
+  };
+
+  ContinuousQueryExecutor(device::DeviceRegistry* registry,
+                          comm::CommLayer* comm, sync::Prober* prober,
+                          sync::LockManager* locks, aorta::util::EventLoop* loop,
+                          Catalog* catalog, aorta::util::Rng rng,
+                          Options options);
+
+  // Register a compiled continuous query under `name`. Starts being
+  // evaluated from the next epoch tick.
+  aorta::util::Status register_aq(const std::string& name, double epoch_s,
+                                  const SelectStmt& stmt,
+                                  std::string source_sql);
+
+  aorta::util::Status drop_aq(const std::string& name);
+  std::vector<std::string> aq_names() const;
+
+  // Begin epoch ticking (idempotent).
+  void start();
+
+  // One-shot SELECT: acquires tuples, evaluates predicates, projects the
+  // non-action select items. `done` receives the rows.
+  void run_select(const SelectStmt& stmt,
+                  std::function<void(aorta::util::Result<std::vector<Row>>)> done);
+
+  // ---- results / observability --------------------------------------------
+  // Rows a continuous query's projections produced at its last events
+  // (bounded ring, newest last). Empty for queries with no projections.
+  std::vector<TimestampedRow> recent_results(const std::string& name) const;
+
+  // The engine's recent trace (bounded ring, newest last).
+  const std::deque<TraceEntry>& trace() const { return trace_; }
+  void record_trace(TraceEntry entry);
+
+  // ---- statistics --------------------------------------------------------
+  const QueryStats* query_stats(const std::string& name) const;
+  // Action outcomes per query, aggregated across all shared operators.
+  QueryActionStats action_stats(const std::string& name) const;
+  std::vector<const ActionOperator*> operators() const;
+  sched::Scheduler* scheduler() { return scheduler_.get(); }
+
+ private:
+  struct Aq {
+    std::string name;
+    std::string source_sql;
+    CompiledQuery compiled;
+    std::unique_ptr<comm::ScanOperator> event_scan;
+    std::uint64_t epoch_ticks = 1;  // evaluate every N engine epochs
+    std::uint64_t tick_phase = 0;
+    // Event-predicate state per event device for edge detection.
+    std::map<device::DeviceId, bool> last_state;
+    QueryStats stats;
+    // Projection outputs at event time (bounded ring).
+    std::deque<TimestampedRow> results;
+  };
+
+  static constexpr std::size_t kResultCap = 256;
+  static constexpr std::size_t kTraceCap = 1024;
+
+  void on_tick();
+  void evaluate(Aq& aq, std::function<void()> done);
+  void process_event_tuple(Aq& aq, const comm::Tuple& tuple);
+
+  // Candidate device enumeration for one action call of one event tuple.
+  std::vector<device::DeviceId> enumerate_candidates(
+      Aq& aq, const CompiledActionCall& call, const Env& event_env,
+      const comm::Schema& candidate_schema);
+
+  ActionOperator* operator_for(const ActionDef* action);
+
+  device::DeviceRegistry* registry_;
+  comm::CommLayer* comm_;
+  sync::Prober* prober_;
+  sync::LockManager* locks_;
+  aorta::util::EventLoop* loop_;
+  Catalog* catalog_;
+  aorta::util::Rng rng_;
+  Options options_;
+
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::map<std::string, std::unique_ptr<Aq>> queries_;
+  std::map<std::string, std::unique_ptr<ActionOperator>> operators_;
+  // Schemas backing candidate tuples (per device type, stable addresses).
+  std::map<device::DeviceTypeId, std::unique_ptr<comm::Schema>> schemas_;
+  bool started_ = false;
+  std::uint64_t tick_count_ = 0;
+  std::deque<TraceEntry> trace_;
+};
+
+}  // namespace aorta::query

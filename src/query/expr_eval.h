@@ -1,0 +1,74 @@
+// Expression evaluation over device tuples.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "comm/tuple.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace aorta::query {
+
+// Engine-side scalar/boolean functions (coverage(), distance(), ...),
+// evaluated over already-acquired values — as opposed to actions, which
+// operate devices.
+using ScalarFn = std::function<aorta::util::Result<device::Value>(
+    const std::vector<device::Value>&)>;
+
+class FunctionRegistry {
+ public:
+  aorta::util::Status add(std::string name, ScalarFn fn);
+  const ScalarFn* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, ScalarFn> fns_;
+};
+
+// Binding environment: table alias -> tuple for the current row
+// combination. Unqualified columns resolve against every bound tuple and
+// must be unambiguous.
+class Env {
+ public:
+  void bind(const std::string& alias, const comm::Tuple* tuple) {
+    bindings_[alias] = tuple;
+  }
+  const comm::Tuple* lookup(const std::string& alias) const;
+  const std::map<std::string, const comm::Tuple*>& bindings() const {
+    return bindings_;
+  }
+
+ private:
+  std::map<std::string, const comm::Tuple*> bindings_;
+};
+
+// Evaluate an expression. Comparisons involving NULL yield FALSE;
+// arithmetic involving NULL yields NULL (SQL-ish three-valued logic
+// collapsed to two values, which is what predicate evaluation needs).
+// Action calls must not appear here — the compiler extracts them from the
+// select list before evaluation; an unknown function is an error.
+aorta::util::Result<device::Value> eval(const Expr& expr, const Env& env,
+                                        const FunctionRegistry& functions);
+
+// Convenience: evaluate as a predicate (errors and NULL count as false —
+// a sensory read that failed must not fire an event).
+bool eval_predicate(const Expr& expr, const Env& env,
+                    const FunctionRegistry& functions);
+
+// Collect the table aliases an expression references, resolving
+// unqualified columns against `schemas` (alias -> schema). Unknown or
+// ambiguous columns produce an error.
+aorta::util::Status collect_aliases(
+    const Expr& expr, const std::map<std::string, const comm::Schema*>& schemas,
+    std::set<std::string>* aliases);
+
+// Collect column names referenced per alias (projection pushdown input).
+void collect_columns(const Expr& expr,
+                     const std::map<std::string, const comm::Schema*>& schemas,
+                     std::map<std::string, std::set<std::string>>* columns);
+
+}  // namespace aorta::query

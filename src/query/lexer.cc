@@ -1,0 +1,139 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+#include "util/strings.h"
+
+namespace aorta::query {
+
+using aorta::util::Result;
+
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "CREATE", "ACTION", "AQ",    "AS",   "PROFILE", "SELECT", "FROM",
+      "WHERE",  "AND",    "OR",    "NOT",  "TRUE",    "FALSE",  "DROP",
+      "NULL",   "EVERY",  "SHOW",  "QUERIES", "ACTIONS", "DEVICES",
+      "EXPLAIN"};
+  return kw;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments to end of line
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+
+    Token token;
+    token.offset = i;
+
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && is_ident_char(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      std::string upper = aorta::util::to_lower(word);
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      if (keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = std::move(word);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string text(input.substr(start, i - start));
+      char* end = nullptr;
+      token.number = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        return Result<std::vector<Token>>(aorta::util::parse_error(
+            "malformed number '" + text + "' at offset " + std::to_string(start)));
+      }
+      token.type = TokenType::kNumber;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t start = ++i;
+      std::string value;
+      while (i < n && input[i] != quote) {
+        value += input[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Result<std::vector<Token>>(aorta::util::parse_error(
+            "unterminated string at offset " + std::to_string(start - 1)));
+      }
+      ++i;  // closing quote
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Multi-char comparison operators first.
+    if (i + 1 < n) {
+      std::string two(input.substr(i, 2));
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        token.type = TokenType::kSymbol;
+        token.text = two == "!=" ? "<>" : two;
+        tokens.push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),.;+-*/<>=").find(c) != std::string::npos) {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+
+    return Result<std::vector<Token>>(aorta::util::parse_error(
+        std::string("unexpected character '") + c + "' at offset " +
+        std::to_string(i)));
+  }
+
+  tokens.push_back(Token{TokenType::kEnd, "", 0.0, n});
+  return tokens;
+}
+
+}  // namespace aorta::query

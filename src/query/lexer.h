@@ -1,0 +1,39 @@
+// Lexer for Aorta's SQL-style declarative interface (Section 2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aorta::query {
+
+enum class TokenType {
+  kKeyword,     // CREATE, ACTION, AQ, AS, PROFILE, SELECT, FROM, WHERE,
+                // AND, OR, NOT, TRUE, FALSE, DROP, NULL
+  kIdentifier,  // snapshot, sensor, accel_x, photo ...
+  kNumber,      // 500, 3.25, -1.5e3
+  kString,      // "photos/admin" or 'photos/admin'
+  kSymbol,      // ( ) , . ; + - * / and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // keywords uppercased; identifiers as written
+  double number = 0.0;    // valid for kNumber
+  std::size_t offset = 0; // byte offset for error messages
+
+  bool is_keyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool is_symbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+// Tokenize a statement. Keywords are recognized case-insensitively;
+// comparison operators are single tokens (<=, >=, <>, !=, =, <, >).
+aorta::util::Result<std::vector<Token>> lex(std::string_view input);
+
+}  // namespace aorta::query

@@ -1,0 +1,437 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+#include "util/strings.h"
+
+namespace aorta::query {
+
+using aorta::util::Result;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> parse_statement() {
+    Statement stmt;
+    if (peek().is_keyword("CREATE")) {
+      advance();
+      if (peek().is_keyword("ACTION")) {
+        advance();
+        auto s = parse_create_action();
+        if (!s.is_ok()) return Result<Statement>(s.status());
+        stmt.kind = Statement::Kind::kCreateAction;
+        stmt.create_action = std::move(s).value();
+      } else if (peek().is_keyword("AQ")) {
+        advance();
+        auto s = parse_create_aq();
+        if (!s.is_ok()) return Result<Statement>(s.status());
+        stmt.kind = Statement::Kind::kCreateAq;
+        stmt.create_aq = std::move(s).value();
+      } else {
+        return error<Statement>("expected ACTION or AQ after CREATE");
+      }
+    } else if (peek().is_keyword("SELECT")) {
+      auto s = parse_select();
+      if (!s.is_ok()) return Result<Statement>(s.status());
+      stmt.kind = Statement::Kind::kSelect;
+      stmt.select = std::move(s).value();
+    } else if (peek().is_keyword("EXPLAIN")) {
+      advance();
+      if (peek().is_keyword("SELECT")) {
+        auto select = parse_select();
+        if (!select.is_ok()) return Result<Statement>(select.status());
+        stmt.select = std::move(select).value();
+      } else if (peek().is_keyword("CREATE")) {
+        advance();
+        if (!peek().is_keyword("AQ")) {
+          return error<Statement>("EXPLAIN supports SELECT and CREATE AQ");
+        }
+        advance();
+        auto aq = parse_create_aq();
+        if (!aq.is_ok()) return Result<Statement>(aq.status());
+        stmt.select = std::move(aq.value().select);
+      } else {
+        return error<Statement>("EXPLAIN supports SELECT and CREATE AQ");
+      }
+      stmt.kind = Statement::Kind::kExplain;
+    } else if (peek().is_keyword("SHOW")) {
+      advance();
+      if (peek().is_keyword("QUERIES")) {
+        stmt.show.target = ShowStmt::Target::kQueries;
+      } else if (peek().is_keyword("ACTIONS")) {
+        stmt.show.target = ShowStmt::Target::kActions;
+      } else if (peek().is_keyword("DEVICES")) {
+        stmt.show.target = ShowStmt::Target::kDevices;
+      } else {
+        return error<Statement>("expected QUERIES, ACTIONS or DEVICES after SHOW");
+      }
+      advance();
+      stmt.kind = Statement::Kind::kShow;
+    } else if (peek().is_keyword("DROP")) {
+      advance();
+      if (!peek().is_keyword("AQ")) return error<Statement>("expected AQ after DROP");
+      advance();
+      auto name = expect_identifier("query name");
+      if (!name.is_ok()) return Result<Statement>(name.status());
+      stmt.kind = Statement::Kind::kDropAq;
+      stmt.drop_aq.name = std::move(name).value();
+    } else {
+      return error<Statement>("expected CREATE, SELECT, SHOW or DROP");
+    }
+
+    if (peek().is_symbol(";")) advance();
+    if (peek().type != TokenType::kEnd) {
+      return error<Statement>("unexpected trailing input '" + peek().text + "'");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> parse_bare_expression() {
+    auto e = parse_expr();
+    if (!e.is_ok()) return e;
+    if (peek().type != TokenType::kEnd) {
+      return error<ExprPtr>("unexpected trailing input '" + peek().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  template <typename T>
+  Result<T> error(std::string message) const {
+    return Result<T>(aorta::util::parse_error(
+        message + " (near offset " + std::to_string(peek().offset) + ")"));
+  }
+
+  Result<std::string> expect_identifier(std::string_view what) {
+    if (peek().type != TokenType::kIdentifier) {
+      return error<std::string>("expected " + std::string(what));
+    }
+    return advance().text;
+  }
+
+  aorta::util::Status expect_symbol(std::string_view symbol) {
+    if (!peek().is_symbol(symbol)) {
+      return aorta::util::parse_error(
+          "expected '" + std::string(symbol) + "', got '" + peek().text +
+          "' at offset " + std::to_string(peek().offset));
+    }
+    advance();
+    return aorta::util::Status::ok();
+  }
+
+  // CREATE ACTION name(Type p, ...) AS "lib" PROFILE "profile"
+  Result<CreateActionStmt> parse_create_action() {
+    CreateActionStmt stmt;
+    auto name = expect_identifier("action name");
+    if (!name.is_ok()) return Result<CreateActionStmt>(name.status());
+    stmt.name = std::move(name).value();
+
+    if (auto s = expect_symbol("("); !s.is_ok()) {
+      return Result<CreateActionStmt>(s);
+    }
+    if (!peek().is_symbol(")")) {
+      while (true) {
+        CreateActionStmt::Param param;
+        auto type = expect_identifier("parameter type");
+        if (!type.is_ok()) return Result<CreateActionStmt>(type.status());
+        param.type_name = std::move(type).value();
+        auto pname = expect_identifier("parameter name");
+        if (!pname.is_ok()) return Result<CreateActionStmt>(pname.status());
+        param.name = std::move(pname).value();
+        stmt.params.push_back(std::move(param));
+        if (peek().is_symbol(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (auto s = expect_symbol(")"); !s.is_ok()) {
+      return Result<CreateActionStmt>(s);
+    }
+
+    if (!peek().is_keyword("AS")) return error<CreateActionStmt>("expected AS");
+    advance();
+    if (peek().type != TokenType::kString) {
+      return error<CreateActionStmt>("expected library path string after AS");
+    }
+    stmt.library_path = advance().text;
+
+    if (!peek().is_keyword("PROFILE")) {
+      return error<CreateActionStmt>("expected PROFILE");
+    }
+    advance();
+    if (peek().type != TokenType::kString) {
+      return error<CreateActionStmt>("expected profile path string after PROFILE");
+    }
+    stmt.profile_path = advance().text;
+    return stmt;
+  }
+
+  // CREATE AQ name [EVERY <number>] AS SELECT ...
+  Result<CreateAqStmt> parse_create_aq() {
+    CreateAqStmt stmt;
+    auto name = expect_identifier("query name");
+    if (!name.is_ok()) return Result<CreateAqStmt>(name.status());
+    stmt.name = std::move(name).value();
+
+    if (peek().is_keyword("EVERY")) {
+      advance();
+      if (peek().type != TokenType::kNumber) {
+        return error<CreateAqStmt>("expected epoch seconds after EVERY");
+      }
+      stmt.epoch_s = advance().number;
+      if (stmt.epoch_s <= 0.0) {
+        return error<CreateAqStmt>("EVERY epoch must be positive");
+      }
+    }
+
+    if (!peek().is_keyword("AS")) return error<CreateAqStmt>("expected AS");
+    advance();
+    auto select = parse_select();
+    if (!select.is_ok()) return Result<CreateAqStmt>(select.status());
+    stmt.select = std::move(select).value();
+    return stmt;
+  }
+
+  // SELECT exprs FROM table alias, ... [WHERE expr]
+  Result<SelectStmt> parse_select() {
+    SelectStmt stmt;
+    if (!peek().is_keyword("SELECT")) return error<SelectStmt>("expected SELECT");
+    advance();
+
+    while (true) {
+      if (peek().is_symbol("*")) {
+        advance();
+        stmt.select_list.push_back(Expr::make_column("", "*"));
+      } else {
+        auto e = parse_expr();
+        if (!e.is_ok()) return Result<SelectStmt>(e.status());
+        stmt.select_list.push_back(std::move(e).value());
+      }
+      if (peek().is_symbol(",")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+
+    if (!peek().is_keyword("FROM")) return error<SelectStmt>("expected FROM");
+    advance();
+    while (true) {
+      TableRef ref;
+      auto table = expect_identifier("table name");
+      if (!table.is_ok()) return Result<SelectStmt>(table.status());
+      ref.table = std::move(table).value();
+      if (peek().type == TokenType::kIdentifier) {
+        ref.alias = advance().text;
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt.from.push_back(std::move(ref));
+      if (peek().is_symbol(",")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+
+    if (peek().is_keyword("WHERE")) {
+      advance();
+      auto e = parse_expr();
+      if (!e.is_ok()) return Result<SelectStmt>(e.status());
+      stmt.where = std::move(e).value();
+    }
+    return stmt;
+  }
+
+  // ---- expression grammar (precedence climbing) -------------------------
+  Result<ExprPtr> parse_expr() { return parse_or(); }
+
+  Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (peek().is_keyword("OR")) {
+      advance();
+      auto rhs = parse_and();
+      if (!rhs.is_ok()) return rhs;
+      e = Expr::make_binary(BinaryOp::kOr, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parse_and() {
+    auto lhs = parse_not();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (peek().is_keyword("AND")) {
+      advance();
+      auto rhs = parse_not();
+      if (!rhs.is_ok()) return rhs;
+      e = Expr::make_binary(BinaryOp::kAnd, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parse_not() {
+    if (peek().is_keyword("NOT")) {
+      advance();
+      auto operand = parse_not();
+      if (!operand.is_ok()) return operand;
+      return Expr::make_not(std::move(operand).value());
+    }
+    return parse_comparison();
+  }
+
+  Result<ExprPtr> parse_comparison() {
+    auto lhs = parse_additive();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+
+    BinaryOp op;
+    if (peek().is_symbol("=")) op = BinaryOp::kEq;
+    else if (peek().is_symbol("<>")) op = BinaryOp::kNe;
+    else if (peek().is_symbol("<")) op = BinaryOp::kLt;
+    else if (peek().is_symbol("<=")) op = BinaryOp::kLe;
+    else if (peek().is_symbol(">")) op = BinaryOp::kGt;
+    else if (peek().is_symbol(">=")) op = BinaryOp::kGe;
+    else return e;
+    advance();
+
+    auto rhs = parse_additive();
+    if (!rhs.is_ok()) return rhs;
+    return Expr::make_binary(op, std::move(e), std::move(rhs).value());
+  }
+
+  Result<ExprPtr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (peek().is_symbol("+") || peek().is_symbol("-")) {
+      BinaryOp op = peek().is_symbol("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      advance();
+      auto rhs = parse_multiplicative();
+      if (!rhs.is_ok()) return rhs;
+      e = Expr::make_binary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parse_multiplicative() {
+    auto lhs = parse_primary();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (peek().is_symbol("*") || peek().is_symbol("/")) {
+      BinaryOp op = peek().is_symbol("*") ? BinaryOp::kMul : BinaryOp::kDiv;
+      advance();
+      auto rhs = parse_primary();
+      if (!rhs.is_ok()) return rhs;
+      e = Expr::make_binary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parse_primary() {
+    const Token& t = peek();
+    if (t.is_symbol("(")) {
+      advance();
+      auto e = parse_expr();
+      if (!e.is_ok()) return e;
+      auto close = expect_symbol(")");
+      if (!close.is_ok()) return Result<ExprPtr>(close);
+      return e;
+    }
+    if (t.is_symbol("-")) {  // unary minus: 0 - x
+      advance();
+      auto operand = parse_primary();
+      if (!operand.is_ok()) return operand;
+      return Expr::make_binary(BinaryOp::kSub,
+                               Expr::make_literal(device::Value{0.0}),
+                               std::move(operand).value());
+    }
+    if (t.type == TokenType::kNumber) {
+      advance();
+      // Integer-looking literals stay integers for exact comparisons.
+      if (t.text.find('.') == std::string::npos &&
+          t.text.find('e') == std::string::npos &&
+          t.text.find('E') == std::string::npos) {
+        return Expr::make_literal(
+            device::Value{static_cast<std::int64_t>(t.number)});
+      }
+      return Expr::make_literal(device::Value{t.number});
+    }
+    if (t.type == TokenType::kString) {
+      advance();
+      return Expr::make_literal(device::Value{t.text});
+    }
+    if (t.is_keyword("TRUE")) {
+      advance();
+      return Expr::make_literal(device::Value{true});
+    }
+    if (t.is_keyword("FALSE")) {
+      advance();
+      return Expr::make_literal(device::Value{false});
+    }
+    if (t.is_keyword("NULL")) {
+      advance();
+      return Expr::make_literal(device::Value{});
+    }
+    if (t.type == TokenType::kIdentifier) {
+      std::string first = advance().text;
+      if (peek().is_symbol("(")) {  // function / action call
+        advance();
+        std::vector<ExprPtr> args;
+        if (!peek().is_symbol(")")) {
+          while (true) {
+            auto arg = parse_expr();
+            if (!arg.is_ok()) return arg;
+            args.push_back(std::move(arg).value());
+            if (peek().is_symbol(",")) {
+              advance();
+              continue;
+            }
+            break;
+          }
+        }
+        auto close = expect_symbol(")");
+        if (!close.is_ok()) return Result<ExprPtr>(close);
+        return Expr::make_func(std::move(first), std::move(args));
+      }
+      if (peek().is_symbol(".")) {  // qualified column
+        advance();
+        auto column = expect_identifier("column name");
+        if (!column.is_ok()) return Result<ExprPtr>(column.status());
+        return Expr::make_column(std::move(first), std::move(column).value());
+      }
+      return Expr::make_column("", std::move(first));
+    }
+    return error<ExprPtr>("unexpected token '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> parse(std::string_view input) {
+  auto tokens = lex(input);
+  if (!tokens.is_ok()) return Result<Statement>(tokens.status());
+  Parser parser(std::move(tokens).value());
+  return parser.parse_statement();
+}
+
+Result<ExprPtr> parse_expression(std::string_view input) {
+  auto tokens = lex(input);
+  if (!tokens.is_ok()) return Result<ExprPtr>(tokens.status());
+  Parser parser(std::move(tokens).value());
+  return parser.parse_bare_expression();
+}
+
+}  // namespace aorta::query

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the declarative interface.
+#pragma once
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace aorta::query {
+
+// Parse one statement (a trailing ';' is allowed).
+aorta::util::Result<Statement> parse(std::string_view input);
+
+// Parse an expression in isolation (tests, stored predicates).
+aorta::util::Result<ExprPtr> parse_expression(std::string_view input);
+
+}  // namespace aorta::query

@@ -1,0 +1,121 @@
+// The scheduling algorithms evaluated in Section 6.3.
+//
+// SAP algorithms (sequential assignment and processing) complete the whole
+// assignment before any request is serviced; CAP algorithms (concurrent
+// assignment and processing) service a request the moment it is assigned
+// (Section 5.2). In either case the service timeline starts at 0 and the
+// benches add scheduling time on top, matching Figure 5's decomposition.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace aorta::sched {
+
+// Algorithm 1 (ours, SAP): LERFA assignment — least eligible request
+// first, placed on the candidate minimizing accumulated workload — then
+// SRFE execution — each device repeatedly re-estimates the remaining
+// requests against its *current* physical status and services the
+// cheapest (Figure 3, Algorithms 1.1 and 1.2).
+class LerfaSrfeScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "LERFA+SRFE"; }
+  ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice> devices,
+                          const CostModel& model, aorta::util::Rng& rng) override;
+};
+
+// Algorithm 2 (ours, CAP): SRFAE — keep every feasible (request, device)
+// pair in an ordered structure keyed by completion-relevant cost; extract
+// the global minimum, assign+service immediately (FIFO queue when the
+// device is busy), then re-key that device's remaining pairs against its
+// post-execution status and workload (Figure 3, Algorithm 2).
+class SrfaeScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "SRFAE"; }
+  ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice> devices,
+                          const CostModel& model, aorta::util::Rng& rng) override;
+};
+
+// List Scheduling (baseline, CAP): "whenever a machine becomes idle, the
+// LS algorithm schedules any eligible job that has not yet been scheduled
+// on the machine" [Pinedo]. "Any" = arrival order — LS is cost-oblivious
+// in its pick, which is exactly why cost-aware ordering beats it under
+// sequence-dependent execution times.
+class ListScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "LS"; }
+  ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice> devices,
+                          const CostModel& model, aorta::util::Rng& rng) override;
+};
+
+// Simulated Annealing (baseline, SAP), after Anagnostopoulos & Rabadi's SA
+// for unrelated parallel machines with sequence-dependent setup times.
+// State = full assignment + per-device sequences; moves relocate or swap
+// requests; each candidate state is re-simulated end-to-end, so SA burns
+// orders of magnitude more cost evaluations than the greedy algorithms —
+// the scheduling-time wall the paper shows in Figures 5 and 6. Moves that
+// violate machine eligibility are evaluated as infeasible (+inf) and
+// rejected, so restricted candidate sets (skewed workloads) waste
+// proportionally more of the annealing budget, reproducing Figure 6's SA
+// blow-up.
+class SimulatedAnnealingScheduler : public Scheduler {
+ public:
+  struct Params {
+    double initial_temp_factor = 0.3;   // T0 = factor * initial makespan
+    double cooling = 0.95;              // geometric cooling rate
+    int moves_per_temp_per_nm = 3;      // moves per stage = this * n * m
+    int max_stalled_stages = 12;         // stop after this many stages
+                                        // without improving the best
+    double min_temp_s = 1e-3;
+  };
+
+  SimulatedAnnealingScheduler() = default;
+  explicit SimulatedAnnealingScheduler(Params params) : params_(params) {}
+
+  std::string name() const override { return "SA"; }
+  ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice> devices,
+                          const CostModel& model, aorta::util::Rng& rng) override;
+
+ private:
+  Params params_;
+};
+
+// RANDOM (baseline, CAP): each request goes to a uniformly random
+// candidate, serviced in arrival order.
+class RandomScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "RANDOM"; }
+  ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice> devices,
+                          const CostModel& model, aorta::util::Rng& rng) override;
+};
+
+// LPT (Longest Processing Time first) — a classic makespan heuristic
+// added as an extension baseline (not in the paper): requests sorted by
+// decreasing best-case cost, each placed on the candidate minimizing its
+// completion time given evolving status, then serviced in placement order.
+class LptScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "LPT"; }
+  ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice> devices,
+                          const CostModel& model, aorta::util::Rng& rng) override;
+};
+
+// Exhaustive optimal schedule, the moral equivalent of the 0/1 MIP the
+// paper deems "too computationally expensive to be feasible" (Section
+// 5.2) — usable only as a test oracle on tiny instances. Enumerates every
+// assignment and every per-device service order. Hard-capped: returns an
+// empty schedule (all requests unassigned) beyond ~10^7 states.
+class ExhaustiveScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "OPT"; }
+  ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice> devices,
+                          const CostModel& model, aorta::util::Rng& rng) override;
+};
+
+}  // namespace aorta::sched

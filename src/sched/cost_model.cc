@@ -1,0 +1,100 @@
+#include "sched/cost_model.h"
+
+#include <cmath>
+
+#include "devices/camera.h"
+#include "devices/ptz_math.h"
+
+namespace aorta::sched {
+
+namespace {
+
+double status_value(const DeviceStatus& status, const std::string& key,
+                    double fallback) {
+  auto it = status.find(key);
+  return it == status.end() ? fallback : it->second;
+}
+
+double param_value(const ActionRequest& request, const std::string& key,
+                   double fallback) {
+  auto it = request.params.find(key);
+  return it == request.params.end() ? fallback : it->second;
+}
+
+// Resolve the target head position of a photo request on a device.
+// Synthetic scheduling workloads carry an absolute head target (pan/tilt/
+// zoom); engine-issued requests carry the event's world location
+// (target_x/y/z), which must be aimed per candidate camera using the pose
+// the probe merged into the status (pose_x/y/z, yaw) — different cameras
+// need different head sweeps for the same event.
+devices::PtzPosition resolve_target(const ActionRequest& request,
+                                    const DeviceStatus& status) {
+  if (request.params.count("pan") > 0 || request.params.count("tilt") > 0) {
+    return devices::PtzPosition{param_value(request, "pan", 0.0),
+                                param_value(request, "tilt", 0.0),
+                                param_value(request, "zoom", 1.0)};
+  }
+  devices::CameraPose pose;
+  pose.location = device::Location{status_value(status, "pose_x", 0.0),
+                                   status_value(status, "pose_y", 0.0),
+                                   status_value(status, "pose_z", 0.0)};
+  pose.yaw_deg = status_value(status, "yaw", 0.0);
+  device::Location target{param_value(request, "target_x", 0.0),
+                          param_value(request, "target_y", 0.0),
+                          param_value(request, "target_z", 0.0)};
+  return devices::aim_at(pose, target);
+}
+
+}  // namespace
+
+device::ActionProfile PhotoCostModel::make_photo_profile() {
+  using Node = device::ActionProfileNode;
+  std::vector<std::unique_ptr<Node>> axes;
+  axes.push_back(Node::op("pan"));
+  axes.push_back(Node::op("tilt"));
+  axes.push_back(Node::op("zoom"));
+  std::vector<std::unique_ptr<Node>> steps;
+  steps.push_back(Node::par(std::move(axes)));
+  steps.push_back(Node::op("snap_medium"));
+  return device::ActionProfile("photo", "camera", Node::seq(std::move(steps)),
+                               {"pan", "tilt", "zoom"});
+}
+
+PhotoCostModel::PhotoCostModel(device::AtomicOpCostTable op_costs,
+                               device::ActionProfile profile)
+    : op_costs_(std::move(op_costs)), profile_(std::move(profile)) {}
+
+std::unique_ptr<PhotoCostModel> PhotoCostModel::axis2130() {
+  device::DeviceTypeInfo info = devices::camera_type_info();
+  return std::make_unique<PhotoCostModel>(std::move(info.op_costs),
+                                          make_photo_profile());
+}
+
+double PhotoCostModel::cost_s(const ActionRequest& request,
+                              const DeviceStatus& status) const {
+  const devices::PtzPosition target = resolve_target(request, status);
+  // Unit counts for the rate ops are the axis sweeps this request needs
+  // from the device's current head position; fixed ops (snap) ignore them.
+  auto units_for = [&](const std::string& op) -> double {
+    if (op == "pan") {
+      return std::abs(target.pan_deg - status_value(status, "pan", 0.0));
+    }
+    if (op == "tilt") {
+      return std::abs(target.tilt_deg - status_value(status, "tilt", 0.0));
+    }
+    if (op == "zoom") {
+      return std::abs(target.zoom - status_value(status, "zoom", 1.0));
+    }
+    return -1.0;  // profile default
+  };
+  return profile_.estimate_cost_s(op_costs_, units_for) + request.base_cost_s;
+}
+
+void PhotoCostModel::apply(const ActionRequest& request, DeviceStatus* status) const {
+  const devices::PtzPosition target = resolve_target(request, *status);
+  (*status)["pan"] = target.pan_deg;
+  (*status)["tilt"] = target.tilt_deg;
+  (*status)["zoom"] = target.zoom;
+}
+
+}  // namespace aorta::sched

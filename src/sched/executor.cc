@@ -1,0 +1,202 @@
+#include "sched/executor.h"
+
+#include <algorithm>
+
+#include "devices/ptz_math.h"
+#include "util/logging.h"
+
+namespace aorta::sched {
+
+using aorta::util::Result;
+
+ExecuteFn make_photo_execute_fn(comm::CommLayer* comm) {
+  return [comm](const device::DeviceId& device, const ActionRequest& request,
+                std::function<void(Result<ActionOutcome>)> done) {
+    auto get = [&request](const char* key, double fallback) {
+      auto it = request.params.find(key);
+      return it == request.params.end() ? fallback : it->second;
+    };
+    devices::PtzPosition target{get("pan", 0.0), get("tilt", 0.0),
+                                get("zoom", 1.0)};
+    comm->camera().photo(
+        device, target, "medium",
+        [done = std::move(done)](Result<comm::PhotoOutcome> outcome) {
+          if (!outcome.is_ok()) {
+            done(Result<ActionOutcome>(outcome.status()));
+            return;
+          }
+          const comm::PhotoOutcome& p = outcome.value();
+          ActionOutcome out;
+          out.ok = p.ok;
+          out.degraded = p.ok && !p.usable();
+          if (p.blurred) out.detail = "blurred";
+          if (p.wrong_position) out.detail = "wrong_position";
+          done(out);
+        });
+  };
+}
+
+struct ScheduleExecutor::Run {
+  ExecutionReport report;
+  std::map<device::DeviceId, std::vector<const ScheduledItem*>> per_device;
+  std::map<std::uint64_t, const ActionRequest*> requests_by_id;
+  std::size_t devices_pending = 0;
+  aorta::util::TimePoint started_at;
+  std::function<void(ExecutionReport)> done;
+  // Keeps the schedule's items alive for the duration of the run.
+  std::vector<ScheduledItem> items_storage;
+  std::vector<ActionRequest> requests_storage;
+};
+
+void ScheduleExecutor::execute(const ScheduleResult& schedule,
+                               const std::vector<ActionRequest>& requests,
+                               std::function<void(ExecutionReport)> done) {
+  auto run = std::make_shared<Run>();
+  run->done = std::move(done);
+  run->started_at = loop_->now();
+  run->items_storage = schedule.items;
+  run->requests_storage = requests;
+  for (const auto& r : run->requests_storage) run->requests_by_id[r.id] = &r;
+  for (const auto& item : run->items_storage) {
+    run->per_device[item.device].push_back(&item);
+  }
+  for (auto& [id, items] : run->per_device) {
+    std::sort(items.begin(), items.end(),
+              [](const ScheduledItem* a, const ScheduledItem* b) {
+                return a->start_s < b->start_s;
+              });
+  }
+  run->devices_pending = run->per_device.size();
+  if (run->devices_pending == 0) {
+    run->done(run->report);
+    return;
+  }
+
+  if (!use_locks_) {
+    // No synchronization (Section 6.2 ablation): every action is fired the
+    // moment it is assigned, with nothing serializing access to a device.
+    // Concurrent commands then interfere inside the device exactly as the
+    // paper observed on the real cameras. Completion is tracked by count.
+    std::size_t total = 0;
+    for (const auto& [device_id, items] : run->per_device) total += items.size();
+    auto outstanding = std::make_shared<std::size_t>(total);
+    for (const auto& [device_id, items] : run->per_device) {
+      for (const ScheduledItem* item : items) {
+        dispatch_unsynchronized(run, device_id, item, outstanding);
+      }
+    }
+    return;
+  }
+
+  // Collect device ids first: execute_chain may complete synchronously-ish
+  // and mutate the map during iteration otherwise.
+  std::vector<device::DeviceId> device_ids;
+  for (const auto& [device_id, items] : run->per_device) {
+    device_ids.push_back(device_id);
+  }
+  for (const auto& device_id : device_ids) {
+    execute_chain(run, device_id, 0);
+  }
+}
+
+void ScheduleExecutor::dispatch_unsynchronized(
+    std::shared_ptr<Run> run, const device::DeviceId& device_id,
+    const ScheduledItem* item, std::shared_ptr<std::size_t> outstanding) {
+  const ActionRequest* request = run->requests_by_id[item->request_id];
+  auto finish_one = [this, run, outstanding]() {
+    if (--*outstanding == 0) {
+      run->report.actual_makespan_s =
+          (loop_->now() - run->started_at).to_seconds();
+      run->done(run->report);
+    }
+  };
+  if (request == nullptr) {
+    ++run->report.failures;
+    finish_one();
+    return;
+  }
+  aorta::util::TimePoint dispatched = loop_->now();
+  execute_(device_id, *request,
+           [run, item, dispatched, finish_one, this](Result<ActionOutcome> outcome) {
+             run->report.actual_cost_s[item->request_id] =
+                 (loop_->now() - dispatched).to_seconds();
+             ActionOutcome recorded;
+             if (outcome.is_ok()) {
+               recorded = outcome.value();
+             } else {
+               recorded.ok = false;
+               recorded.detail = outcome.status().to_string();
+             }
+             run->report.outcomes[item->request_id] = recorded;
+             if (!recorded.ok) {
+               ++run->report.failures;
+             } else if (recorded.usable()) {
+               ++run->report.actions_usable;
+             } else {
+               ++run->report.actions_degraded;
+             }
+             finish_one();
+           });
+}
+
+void ScheduleExecutor::execute_chain(std::shared_ptr<Run> run,
+                                     const device::DeviceId& device_id,
+                                     std::size_t index) {
+  auto& items = run->per_device[device_id];
+  if (index >= items.size()) {
+    if (--run->devices_pending == 0) {
+      run->report.actual_makespan_s = (loop_->now() - run->started_at).to_seconds();
+      run->done(run->report);
+    }
+    return;
+  }
+
+  const ScheduledItem* item = items[index];
+  const ActionRequest* request = run->requests_by_id[item->request_id];
+  if (request == nullptr) {  // schedule references an unknown request
+    ++run->report.failures;
+    execute_chain(run, device_id, index + 1);
+    return;
+  }
+  const std::string owner = "req-" + std::to_string(item->request_id);
+
+  auto dispatch = [this, run, device_id, index, item, request, owner]() {
+    aorta::util::TimePoint dispatched = loop_->now();
+    execute_(device_id, *request,
+             [this, run, device_id, index, item, owner,
+              dispatched](Result<ActionOutcome> outcome) {
+               run->report.actual_cost_s[item->request_id] =
+                   (loop_->now() - dispatched).to_seconds();
+               ActionOutcome recorded;
+               if (outcome.is_ok()) {
+                 recorded = outcome.value();
+               } else {
+                 recorded.ok = false;
+                 recorded.detail = outcome.status().to_string();
+               }
+               run->report.outcomes[item->request_id] = recorded;
+               if (!recorded.ok) {
+                 ++run->report.failures;
+               } else if (recorded.usable()) {
+                 ++run->report.actions_usable;
+               } else {
+                 ++run->report.actions_degraded;
+               }
+               if (use_locks_) {
+                 aorta::util::Status unlock = locks_->unlock(device_id, owner);
+                 if (!unlock.is_ok()) {
+                   AORTA_LOG(kError, "sched") << unlock.to_string();
+                 }
+               }
+               execute_chain(run, device_id, index + 1);
+             });
+  };
+
+  if (use_locks_) {
+    locks_->lock(device_id, owner, dispatch);
+  } else {
+    dispatch();
+  }
+}
+
+}  // namespace aorta::sched

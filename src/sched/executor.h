@@ -1,0 +1,91 @@
+// Schedule executor: drives a computed schedule against the (simulated)
+// physical devices, holding each device's lock for the duration of each
+// action — Algorithm 1.2 line 1 / Algorithm 2 line 6's "lock d".
+//
+// The executor is action-agnostic: callers supply an ExecuteFn that
+// performs one action on one device through the communication layer (the
+// query engine passes the registered action's implementation; the
+// scheduling benches pass photo()). This closes the loop between the
+// scheduling layer and the device substrate: estimated per-request costs
+// can be compared with observed service times (the cost-model validation
+// of Section 2.3), and the actual makespan includes network latency the
+// estimates ignore.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "comm/comm_module.h"
+#include "sched/scheduler.h"
+#include "sync/lock_manager.h"
+
+namespace aorta::sched {
+
+// Result of one action execution on a device.
+struct ActionOutcome {
+  bool ok = false;        // the device performed the action
+  bool degraded = false;  // performed, but unusable (blurred / mis-aimed)
+  std::string detail;
+
+  bool usable() const { return ok && !degraded; }
+};
+
+// Performs `request` on `device`, invoking `done` exactly once.
+using ExecuteFn = std::function<void(
+    const device::DeviceId& device, const ActionRequest& request,
+    std::function<void(aorta::util::Result<ActionOutcome>)> done)>;
+
+// photo() through the camera comm module: aims at the head position in the
+// request params and exposes a medium photo.
+ExecuteFn make_photo_execute_fn(comm::CommLayer* comm);
+
+struct ExecutionReport {
+  double actual_makespan_s = 0.0;
+  std::uint64_t actions_usable = 0;
+  std::uint64_t actions_degraded = 0;  // e.g. blurred / wrong position
+  std::uint64_t failures = 0;          // device errors or timeouts
+  // Measured service time per request id (action dispatch to ack).
+  std::map<std::uint64_t, double> actual_cost_s;
+  // Outcome per request id (ok=false for device errors and timeouts) — the
+  // query layer maps these back to the owning queries' statistics.
+  std::map<std::uint64_t, ActionOutcome> outcomes;
+};
+
+class ScheduleExecutor {
+ public:
+  // `use_locks` exists for the Section 6.2 ablation: without it, per-device
+  // chains still run in schedule order but concurrent chains of *other*
+  // executors / queries are free to interleave on the same device.
+  ScheduleExecutor(sync::LockManager* locks, aorta::util::EventLoop* loop,
+                   ExecuteFn execute, bool use_locks = true)
+      : locks_(locks), loop_(loop), execute_(std::move(execute)),
+        use_locks_(use_locks) {}
+
+  // Execute all items of `schedule`. Per device, items run in schedule
+  // order, each under the device lock. `done` fires once everything
+  // completed (or failed). `requests` must contain every scheduled request.
+  void execute(const ScheduleResult& schedule,
+               const std::vector<ActionRequest>& requests,
+               std::function<void(ExecutionReport)> done);
+
+ private:
+  struct Run;  // shared execution state
+
+  // Executes the index-th item of the per-device chain, then recurses.
+  void execute_chain(std::shared_ptr<Run> run, const device::DeviceId& device_id,
+                     std::size_t index);
+
+  // No-locks path: fire one item immediately (items race on the device).
+  void dispatch_unsynchronized(std::shared_ptr<Run> run,
+                               const device::DeviceId& device_id,
+                               const ScheduledItem* item,
+                               std::shared_ptr<std::size_t> outstanding);
+
+  sync::LockManager* locks_;
+  aorta::util::EventLoop* loop_;
+  ExecuteFn execute_;
+  bool use_locks_;
+};
+
+}  // namespace aorta::sched

@@ -1,0 +1,93 @@
+// List Scheduling (LS) baseline, CAP.
+//
+// "Whenever a machine becomes idle, the LS algorithm schedules any
+// eligible job that has not yet been scheduled on the machine" (Section
+// 5.2, after Pinedo). The pick is arrival order — LS balances load well
+// but is oblivious to sequence-dependent costs, so it pays for head
+// movement our algorithms avoid.
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "sched/algorithms.h"
+
+namespace aorta::sched {
+
+ScheduleResult ListScheduler::schedule(const std::vector<ActionRequest>& requests,
+                                       std::vector<SchedDevice> devices,
+                                       const CostModel& model,
+                                       aorta::util::Rng& rng) {
+  (void)rng;
+  auto wall_start = std::chrono::steady_clock::now();
+  ScheduleResult result;
+  result.algorithm = name();
+  CountingCost cost(&model);
+
+  std::map<device::DeviceId, std::size_t> device_index;
+  for (std::size_t j = 0; j < devices.size(); ++j) device_index[devices[j].id] = j;
+
+  std::vector<bool> scheduled(requests.size(), false);
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    bool any = false;
+    for (const auto& cand : requests[i].candidates) {
+      if (device_index.count(cand) > 0) any = true;
+    }
+    if (any) {
+      ++remaining;
+    } else {
+      scheduled[i] = true;
+      result.unassigned.push_back(requests[i].id);
+    }
+  }
+
+  // Event-driven: repeatedly take the earliest-idle device and hand it the
+  // first (arrival-order) eligible unscheduled job. A device with no
+  // eligible jobs left is retired from consideration.
+  std::vector<bool> retired(devices.size(), false);
+  while (remaining > 0) {
+    // Earliest-idle live device.
+    std::size_t best_j = devices.size();
+    for (std::size_t j = 0; j < devices.size(); ++j) {
+      if (retired[j]) continue;
+      if (best_j == devices.size() || devices[j].ready_s < devices[best_j].ready_s) {
+        best_j = j;
+      }
+    }
+    if (best_j == devices.size()) break;  // no live device can serve the rest
+
+    // First unscheduled job eligible on it.
+    std::size_t pick = requests.size();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!scheduled[i] && requests[i].eligible_on(devices[best_j].id)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == requests.size()) {
+      retired[best_j] = true;
+      continue;
+    }
+
+    SchedDevice& dev = devices[best_j];
+    double c = cost.cost(requests[pick], dev.status);
+    result.items.push_back(
+        ScheduledItem{requests[pick].id, dev.id, dev.ready_s, dev.ready_s + c});
+    dev.ready_s += c;
+    cost.apply(requests[pick], &dev.status);
+    scheduled[pick] = true;
+    --remaining;
+  }
+
+  double makespan = 0.0;
+  for (const auto& item : result.items) makespan = std::max(makespan, item.finish_s);
+  result.service_makespan_s = makespan;
+
+  auto wall_end = std::chrono::steady_clock::now();
+  result.scheduling_wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.cost_evaluations = cost.evals();
+  return result;
+}
+
+}  // namespace aorta::sched

@@ -1,0 +1,89 @@
+// LPT (Longest Processing Time first) extension baseline.
+//
+// The classic 4/3-approximation idea for makespan on identical machines,
+// adapted to this problem's eligibility restrictions and sequence-
+// dependent costs: requests are ranked by their best-case cost (longest
+// first) and each is appended to the candidate device where it finishes
+// earliest, with per-device status evolving as requests are placed.
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "sched/algorithms.h"
+
+namespace aorta::sched {
+
+ScheduleResult LptScheduler::schedule(const std::vector<ActionRequest>& requests,
+                                      std::vector<SchedDevice> devices,
+                                      const CostModel& model,
+                                      aorta::util::Rng& rng) {
+  (void)rng;
+  auto wall_start = std::chrono::steady_clock::now();
+  ScheduleResult result;
+  result.algorithm = name();
+  CountingCost cost(&model);
+
+  std::map<device::DeviceId, std::size_t> device_index;
+  for (std::size_t j = 0; j < devices.size(); ++j) device_index[devices[j].id] = j;
+
+  // Rank by best-case cost against the devices' initial status.
+  struct Ranked {
+    std::size_t index;
+    double best_cost;
+  };
+  std::vector<Ranked> ranked;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    double best = -1.0;
+    for (const auto& cand : requests[i].candidates) {
+      auto it = device_index.find(cand);
+      if (it == device_index.end()) continue;
+      double c = cost.cost(requests[i], devices[it->second].status);
+      if (best < 0.0 || c < best) best = c;
+    }
+    if (best < 0.0) {
+      result.unassigned.push_back(requests[i].id);
+      continue;
+    }
+    ranked.push_back(Ranked{i, best});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     return a.best_cost > b.best_cost;  // longest first
+                   });
+
+  double makespan = 0.0;
+  for (const Ranked& r : ranked) {
+    const ActionRequest& request = requests[r.index];
+    std::size_t best_j = 0;
+    double best_finish = 0.0, best_cost = 0.0;
+    bool first = true;
+    for (const auto& cand : request.candidates) {
+      auto it = device_index.find(cand);
+      if (it == device_index.end()) continue;
+      std::size_t j = it->second;
+      double c = cost.cost(request, devices[j].status);
+      double finish = devices[j].ready_s + c;
+      if (first || finish < best_finish) {
+        first = false;
+        best_finish = finish;
+        best_j = j;
+        best_cost = c;
+      }
+    }
+    SchedDevice& dev = devices[best_j];
+    result.items.push_back(
+        ScheduledItem{request.id, dev.id, dev.ready_s, dev.ready_s + best_cost});
+    dev.ready_s += best_cost;
+    cost.apply(request, &dev.status);
+    makespan = std::max(makespan, dev.ready_s);
+  }
+  result.service_makespan_s = makespan;
+
+  auto wall_end = std::chrono::steady_clock::now();
+  result.scheduling_wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.cost_evaluations = cost.evals();
+  return result;
+}
+
+}  // namespace aorta::sched

@@ -1,0 +1,59 @@
+// Action requests and the scheduler's view of devices.
+//
+// Section 5.1: "We define an action request as the request from a query
+// for the execution of an action with instantiated input parameter values
+// for the action." Each request ri carries its candidate device set Di
+// (machine eligibility restrictions), and the cost of servicing ri on dj
+// depends on dj's current physical status (sequence-dependent action
+// execution time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/types.h"
+
+namespace aorta::sched {
+
+// Physical status snapshot of a device, as gathered by probing: attribute
+// name -> value (e.g. {"pan": -42.0, "tilt": -30.0, "zoom": 2.0}).
+using DeviceStatus = std::map<std::string, double>;
+
+struct ActionRequest {
+  std::uint64_t id = 0;
+  std::string query_id;        // originating continuous query
+  std::string action_name;     // e.g. "photo"
+  // Instantiated action parameters relevant to cost (for photo: the target
+  // head position computed from the event location).
+  std::map<std::string, double> params;
+  // Fixed work independent of device status (e.g. exposure + transfer).
+  double base_cost_s = 0.0;
+  // Candidate device set Di (must be non-empty for the request to be
+  // schedulable).
+  std::vector<device::DeviceId> candidates;
+
+  // Instantiated action arguments as evaluated by the query engine
+  // (opaque to the scheduler; the action implementation consumes them at
+  // execution time).
+  std::vector<device::Value> action_args;
+
+  bool eligible_on(const device::DeviceId& d) const {
+    for (const auto& c : candidates) {
+      if (c == d) return true;
+    }
+    return false;
+  }
+};
+
+// A device as the scheduler sees it: identity, probed physical status and
+// the time its timeline is busy until (0 at the start of a scheduling
+// round).
+struct SchedDevice {
+  device::DeviceId id;
+  DeviceStatus status;
+  double ready_s = 0.0;
+};
+
+}  // namespace aorta::sched

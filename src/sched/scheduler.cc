@@ -1,0 +1,143 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/algorithms.h"
+#include "util/strings.h"
+
+namespace aorta::sched {
+
+const ScheduledItem* ScheduleResult::find(std::uint64_t request_id) const {
+  for (const auto& item : items) {
+    if (item.request_id == request_id) return &item;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "LERFA+SRFE") return std::make_unique<LerfaSrfeScheduler>();
+  if (name == "SRFAE") return std::make_unique<SrfaeScheduler>();
+  if (name == "LS") return std::make_unique<ListScheduler>();
+  if (name == "SA") return std::make_unique<SimulatedAnnealingScheduler>();
+  if (name == "RANDOM") return std::make_unique<RandomScheduler>();
+  if (name == "LPT") return std::make_unique<LptScheduler>();
+  if (name == "OPT") return std::make_unique<ExhaustiveScheduler>();
+  return nullptr;
+}
+
+std::vector<std::string> paper_scheduler_names() {
+  return {"LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM"};
+}
+
+aorta::util::Status validate_schedule(const ScheduleResult& result,
+                                      const std::vector<ActionRequest>& requests,
+                                      const std::vector<SchedDevice>& devices,
+                                      const CostModel& model, double tolerance_s) {
+  using aorta::util::str_format;
+
+  // Each schedulable request appears exactly once in items or unassigned.
+  std::map<std::uint64_t, int> seen;
+  for (const auto& item : result.items) ++seen[item.request_id];
+  for (std::uint64_t id : result.unassigned) ++seen[id];
+  for (const auto& r : requests) {
+    auto it = seen.find(r.id);
+    if (it == seen.end() || it->second != 1) {
+      return aorta::util::internal_error(str_format(
+          "request %llu serviced %d times", (unsigned long long)r.id,
+          it == seen.end() ? 0 : it->second));
+    }
+  }
+
+  // Eligibility.
+  std::map<std::uint64_t, const ActionRequest*> by_id;
+  for (const auto& r : requests) by_id[r.id] = &r;
+  for (const auto& item : result.items) {
+    const ActionRequest* r = by_id[item.request_id];
+    if (r == nullptr) {
+      return aorta::util::internal_error(
+          str_format("unknown request %llu in schedule",
+                     (unsigned long long)item.request_id));
+    }
+    if (!r->eligible_on(item.device)) {
+      return aorta::util::internal_error(
+          str_format("request %llu scheduled on ineligible device %s",
+                     (unsigned long long)r->id, item.device.c_str()));
+    }
+  }
+
+  // Per-device: intervals ordered, non-overlapping, durations match the
+  // sequence-dependent cost model, and the makespan is the max finish.
+  std::map<device::DeviceId, std::vector<const ScheduledItem*>> per_device;
+  for (const auto& item : result.items) per_device[item.device].push_back(&item);
+
+  double max_finish = 0.0;
+  for (auto& [dev_id, items] : per_device) {
+    std::sort(items.begin(), items.end(),
+              [](const ScheduledItem* a, const ScheduledItem* b) {
+                return a->start_s < b->start_s;
+              });
+    const SchedDevice* dev = nullptr;
+    for (const auto& d : devices) {
+      if (d.id == dev_id) dev = &d;
+    }
+    if (dev == nullptr) {
+      return aorta::util::internal_error("schedule uses unknown device " + dev_id);
+    }
+    DeviceStatus status = dev->status;
+    double prev_finish = dev->ready_s;
+    for (const ScheduledItem* item : items) {
+      if (item->start_s + tolerance_s < prev_finish) {
+        return aorta::util::internal_error(str_format(
+            "overlap on %s: request %llu starts %.6f before %.6f",
+            dev_id.c_str(), (unsigned long long)item->request_id,
+            item->start_s, prev_finish));
+      }
+      const ActionRequest* r = by_id[item->request_id];
+      double expected = model.cost_s(*r, status);
+      double actual = item->finish_s - item->start_s;
+      if (std::abs(expected - actual) > tolerance_s) {
+        return aorta::util::internal_error(str_format(
+            "duration mismatch on %s for request %llu: expected %.6f got %.6f",
+            dev_id.c_str(), (unsigned long long)item->request_id, expected,
+            actual));
+      }
+      model.apply(*r, &status);
+      prev_finish = item->finish_s;
+      max_finish = std::max(max_finish, item->finish_s);
+    }
+  }
+
+  if (!result.items.empty() &&
+      std::abs(max_finish - result.service_makespan_s) > tolerance_s) {
+    return aorta::util::internal_error(
+        str_format("makespan mismatch: reported %.6f, max finish %.6f",
+                   result.service_makespan_s, max_finish));
+  }
+  return aorta::util::Status::ok();
+}
+
+double simulate_sequences(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice>& devices,
+                          const std::vector<std::vector<std::size_t>>& sequences,
+                          CountingCost& cost, std::vector<ScheduledItem>* items) {
+  double makespan = 0.0;
+  for (std::size_t j = 0; j < devices.size(); ++j) {
+    SchedDevice& dev = devices[j];
+    double t = dev.ready_s;
+    for (std::size_t req_index : sequences[j]) {
+      const ActionRequest& r = requests[req_index];
+      double c = cost.cost(r, dev.status);
+      if (items != nullptr) {
+        items->push_back(ScheduledItem{r.id, dev.id, t, t + c});
+      }
+      t += c;
+      cost.apply(r, &dev.status);
+    }
+    dev.ready_s = t;
+    if (!sequences[j].empty()) makespan = std::max(makespan, t);
+  }
+  return makespan;
+}
+
+}  // namespace aorta::sched

@@ -1,0 +1,108 @@
+// Scheduler interface and schedule representation.
+//
+// The Action Workload Scheduling Problem (Section 5.1, Figure 2): given n
+// action requests with candidate device sets and m devices, produce an
+// assignment + per-device service order minimizing the makespan, under
+// sequence-dependent action execution times and machine eligibility
+// restrictions. All five algorithms of Section 6.3 implement this
+// interface; benches drive them identically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/cost_model.h"
+#include "sched/request.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aorta::sched {
+
+// One serviced request in a schedule. Times are on the virtual service
+// timeline that starts at 0 when execution begins.
+struct ScheduledItem {
+  std::uint64_t request_id = 0;
+  device::DeviceId device;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+};
+
+struct ScheduleResult {
+  std::string algorithm;
+  std::vector<ScheduledItem> items;
+
+  // Completion time of the last request on the service timeline.
+  double service_makespan_s = 0.0;
+
+  // Wall-clock time the algorithm itself took on *this* machine.
+  double scheduling_wall_s = 0.0;
+
+  // Cost-model evaluations performed — the hardware-independent measure of
+  // scheduling effort. Benches convert it to 2005-era scheduling time via
+  // a calibrated per-evaluation cost (EXPERIMENTS.md).
+  std::uint64_t cost_evaluations = 0;
+
+  // Requests that could not be scheduled (empty candidate set / all
+  // candidates unavailable). The paper's workloads never have these, but a
+  // library must not lose them silently.
+  std::vector<std::uint64_t> unassigned;
+
+  // Scheduling time under the calibrated evaluation-cost model.
+  double scheduling_model_s(double per_eval_s) const {
+    return static_cast<double>(cost_evaluations) * per_eval_s;
+  }
+  // Figure 4/6's makespan: scheduling + service.
+  double total_s(double per_eval_s) const {
+    return service_makespan_s + scheduling_model_s(per_eval_s);
+  }
+
+  const ScheduledItem* find(std::uint64_t request_id) const;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  // Schedule `requests` on `devices` (passed by value: the scheduler
+  // mutates its copy while simulating status changes). Deterministic given
+  // `rng`'s state.
+  virtual ScheduleResult schedule(const std::vector<ActionRequest>& requests,
+                                  std::vector<SchedDevice> devices,
+                                  const CostModel& model,
+                                  aorta::util::Rng& rng) = 0;
+};
+
+// The five algorithms of Section 6.3 by paper name:
+//   "LERFA+SRFE" (Algorithm 1, SAP)  "SRFAE" (Algorithm 2, CAP)
+//   "LS"  "SA"  "RANDOM"
+// plus "OPT" (exhaustive; tiny instances only — the test oracle).
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+// Names in the order the paper's figures list them.
+std::vector<std::string> paper_scheduler_names();
+
+// ------------------------- shared helpers for algorithm implementations
+
+// Validates a schedule against the problem definition: every request
+// serviced exactly once, on an eligible device, with non-overlapping
+// per-device intervals whose durations match the sequence-dependent cost
+// model. Returns OK or a description of the first violation. Used by
+// tests and (in debug builds) by the schedulers themselves.
+aorta::util::Status validate_schedule(const ScheduleResult& result,
+                                      const std::vector<ActionRequest>& requests,
+                                      const std::vector<SchedDevice>& devices,
+                                      const CostModel& model,
+                                      double tolerance_s = 1e-6);
+
+// Computes the service makespan of a fully-specified assignment: for each
+// device, services its request sequence in order with status updates.
+// Fills `items` and returns the makespan. `sequences[j]` holds indices
+// into `requests` for device j.
+double simulate_sequences(const std::vector<ActionRequest>& requests,
+                          std::vector<SchedDevice>& devices,
+                          const std::vector<std::vector<std::size_t>>& sequences,
+                          CountingCost& cost, std::vector<ScheduledItem>* items);
+
+}  // namespace aorta::sched

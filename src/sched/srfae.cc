@@ -1,0 +1,115 @@
+// Algorithm 2: SRFAE (Shortest Request First Assignment and Execution).
+// Figure 3, Algorithm 2.
+//
+// The ordered structure T holds every feasible (request, device) pair
+// keyed by "the device's accumulated workload + the request's cost on the
+// device given its post-queue status" — lines 16-20's key update rule.
+// Extracting the global minimum therefore always services the request
+// with the earliest achievable completion. We use std::set as the
+// balanced binary search tree of line 3.
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "sched/algorithms.h"
+
+namespace aorta::sched {
+
+ScheduleResult SrfaeScheduler::schedule(const std::vector<ActionRequest>& requests,
+                                        std::vector<SchedDevice> devices,
+                                        const CostModel& model,
+                                        aorta::util::Rng& rng) {
+  (void)rng;
+  auto wall_start = std::chrono::steady_clock::now();
+  ScheduleResult result;
+  result.algorithm = name();
+  CountingCost cost(&model);
+
+  std::map<device::DeviceId, std::size_t> device_index;
+  for (std::size_t j = 0; j < devices.size(); ++j) device_index[devices[j].id] = j;
+
+  // Per-device accumulated workload Wj (doubles as the FIFO queue's
+  // completion frontier: a request assigned to a busy device queues and
+  // starts when the device drains, line 13) and evolving status.
+  std::vector<double> frontier(devices.size());
+  for (std::size_t j = 0; j < devices.size(); ++j) {
+    frontier[j] = devices[j].ready_s;
+  }
+
+  // The tree T: key = (weight, request, device) so keys are unique.
+  using TreeKey = std::tuple<double, std::size_t, std::size_t>;
+  std::set<TreeKey> tree;
+  // Current key of each feasible (request, device) pair, for O(log) update.
+  std::map<std::pair<std::size_t, std::size_t>, double> current_key;
+
+  std::vector<bool> serviced(requests.size(), false);
+
+  // Lines 1-3: insert every feasible pair keyed by its weight.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    bool any = false;
+    for (const auto& cand : requests[i].candidates) {
+      auto it = device_index.find(cand);
+      if (it == device_index.end()) continue;
+      std::size_t j = it->second;
+      double w = frontier[j] + cost.cost(requests[i], devices[j].status);
+      tree.insert({w, i, j});
+      current_key[{i, j}] = w;
+      any = true;
+    }
+    if (!any) {
+      result.unassigned.push_back(requests[i].id);
+      serviced[i] = true;  // nothing to do for it
+    }
+  }
+
+  // Lines 7-20: repeatedly extract the minimum, service, re-key.
+  while (!tree.empty()) {
+    auto [w, i, j] = *tree.begin();
+
+    // Service ri on dj: it starts when the device's queue drains (line
+    // 10-13's free/queued distinction collapses to the frontier time).
+    double start = frontier[j];
+    double c = w - frontier[j];  // cost embedded in the key
+    result.items.push_back(ScheduledItem{requests[i].id, devices[j].id, start, w});
+    frontier[j] = w;
+    cost.apply(requests[i], &devices[j].status);
+    serviced[i] = true;
+
+    // Line 15: delete every node of ri.
+    for (const auto& cand : requests[i].candidates) {
+      auto it = device_index.find(cand);
+      if (it == device_index.end()) continue;
+      auto key_it = current_key.find({i, it->second});
+      if (key_it == current_key.end()) continue;
+      tree.erase({key_it->second, i, it->second});
+      current_key.erase(key_it);
+    }
+
+    // Lines 16-20: re-key every unserviced request feasible on dj against
+    // the device's new status and workload ("Clj + w").
+    for (std::size_t l = 0; l < requests.size(); ++l) {
+      if (serviced[l]) continue;
+      auto key_it = current_key.find({l, j});
+      if (key_it == current_key.end()) continue;
+      double new_key = frontier[j] + cost.cost(requests[l], devices[j].status);
+      tree.erase({key_it->second, l, j});
+      tree.insert({new_key, l, j});
+      key_it->second = new_key;
+    }
+    (void)c;
+  }
+
+  double makespan = 0.0;
+  for (const auto& item : result.items) makespan = std::max(makespan, item.finish_s);
+  result.service_makespan_s = makespan;
+
+  auto wall_end = std::chrono::steady_clock::now();
+  result.scheduling_wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.cost_evaluations = cost.evals();
+  return result;
+}
+
+}  // namespace aorta::sched

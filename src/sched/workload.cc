@@ -1,0 +1,60 @@
+#include "sched/workload.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace aorta::sched {
+
+Workload make_photo_workload(const WorkloadSpec& spec) {
+  aorta::util::Rng rng(spec.seed);
+  Workload w;
+
+  // Head positions sampled over the full mechanical ranges the kinematics
+  // allow (pan +-169 deg dominates cost; tilt kept within a 60-degree band
+  // so the pan axis is the usual bottleneck, as on the ceiling-mounted
+  // cameras).
+  auto random_head = [&rng]() {
+    return std::map<std::string, double>{{"pan", rng.uniform(-169.0, 169.0)},
+                                         {"tilt", rng.uniform(-50.0, 10.0)},
+                                         {"zoom", 1.0}};
+  };
+
+  w.devices.reserve(static_cast<std::size_t>(spec.n_devices));
+  for (int j = 0; j < spec.n_devices; ++j) {
+    SchedDevice dev;
+    dev.id = aorta::util::str_format("cam%d", j + 1);
+    dev.status = random_head();
+    w.devices.push_back(std::move(dev));
+  }
+
+  std::vector<device::DeviceId> all_ids;
+  for (const auto& d : w.devices) all_ids.push_back(d.id);
+
+  const int subset_size = std::max(
+      1, static_cast<int>(std::lround(spec.skewness * spec.n_devices)));
+
+  w.requests.reserve(static_cast<std::size_t>(spec.n_requests));
+  for (int i = 0; i < spec.n_requests; ++i) {
+    ActionRequest r;
+    r.id = static_cast<std::uint64_t>(i + 1);
+    r.query_id = aorta::util::str_format("q%d", i + 1);
+    r.action_name = "photo";
+    r.params = random_head();
+
+    const bool restricted = spec.skewness < 1.0 && (i % 2 == 1);
+    if (!restricted) {
+      r.candidates = all_ids;
+    } else {
+      std::vector<device::DeviceId> pool = all_ids;
+      rng.shuffle(pool);
+      pool.resize(static_cast<std::size_t>(
+          std::min<int>(subset_size, spec.n_devices)));
+      r.candidates = std::move(pool);
+    }
+    w.requests.push_back(std::move(r));
+  }
+  return w;
+}
+
+}  // namespace aorta::sched

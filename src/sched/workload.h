@@ -1,0 +1,42 @@
+// Synthetic photo() workload generation for the scheduling experiments.
+//
+// Section 6.3's setup: m simulated AXIS 2130 cameras, n photo() requests
+// whose service times span [0.36 s, 5.36 s] (the measured photo() cost
+// range), every camera a candidate in the uniform workloads. Skewed
+// workloads restrict half the requests to a random candidate subset of
+// size skewness * m.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/request.h"
+#include "util/rng.h"
+
+namespace aorta::sched {
+
+struct WorkloadSpec {
+  int n_requests = 20;
+  int n_devices = 10;
+  // 1.0 = uniform (every device a candidate for every request). Below 1.0,
+  // half the requests keep all devices and half get a random subset of
+  // size max(1, round(skewness * n_devices)) — Section 6.3's skew model.
+  double skewness = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct Workload {
+  std::vector<ActionRequest> requests;
+  std::vector<SchedDevice> devices;
+};
+
+// Cameras with uniformly random initial head positions; requests with
+// uniformly random target head positions. With the AXIS 2130 kinematics
+// this yields initial request costs spanning [0.36, 5.36] s.
+Workload make_photo_workload(const WorkloadSpec& spec);
+
+// The published cost range of photo() on an AXIS 2130 (Section 6.3).
+constexpr double kPhotoMinCostS = 0.36;
+constexpr double kPhotoMaxCostS = 5.36;
+
+}  // namespace aorta::sched

@@ -1,0 +1,132 @@
+#include "sync/lock_manager.h"
+
+#include <algorithm>
+
+namespace aorta::sync {
+
+using aorta::util::Status;
+
+bool LockManager::try_lock(const device::DeviceId& id, const LockOwner& owner) {
+  LockState& state = locks_[id];
+  if (state.held) {
+    ++stats_.contentions;
+    return false;
+  }
+  state.held = true;
+  state.holder = owner;
+  ++stats_.acquisitions;
+  return true;
+}
+
+void LockManager::lock(const device::DeviceId& id, const LockOwner& owner,
+                       std::function<void()> granted) {
+  LockState& state = locks_[id];
+  if (!state.held) {
+    state.held = true;
+    state.holder = owner;
+    ++stats_.acquisitions;
+    // Deliver asynchronously for a uniform caller contract.
+    loop_->schedule(aorta::util::Duration::zero(), std::move(granted));
+    return;
+  }
+  ++stats_.contentions;
+  Waiter waiter;
+  waiter.owner = owner;
+  waiter.granted = std::move(granted);
+  state.waiters.push_back(std::move(waiter));
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth,
+               static_cast<std::uint64_t>(state.waiters.size()));
+}
+
+Status LockManager::unlock(const device::DeviceId& id, const LockOwner& owner) {
+  auto it = locks_.find(id);
+  if (it == locks_.end() || !it->second.held) {
+    return aorta::util::invalid_argument_error("unlock of unheld lock: " + id);
+  }
+  if (it->second.holder != owner) {
+    return aorta::util::invalid_argument_error(
+        "unlock of " + id + " by non-holder " + owner + " (held by " +
+        it->second.holder + ")");
+  }
+  ++stats_.releases;
+  it->second.held = false;
+  it->second.holder.clear();
+  grant_next(id);
+  return Status::ok();
+}
+
+void LockManager::grant_next(const device::DeviceId& id) {
+  LockState& state = locks_[id];
+  if (state.held || state.waiters.empty()) return;
+  Waiter next = std::move(state.waiters.front());
+  state.waiters.pop_front();
+  state.held = true;
+  state.holder = next.owner;
+  ++stats_.acquisitions;
+  if (next.granted_st) {
+    // A timed waiter: its timeout can no longer fire.
+    loop_->cancel(next.timeout_event);
+    loop_->schedule(aorta::util::Duration::zero(),
+                    [cb = std::move(next.granted_st)]() {
+                      cb(aorta::util::Status::ok());
+                    });
+  } else {
+    loop_->schedule(aorta::util::Duration::zero(), std::move(next.granted));
+  }
+}
+
+void LockManager::lock_with_timeout(const device::DeviceId& id,
+                                    const LockOwner& owner,
+                                    aorta::util::Duration timeout,
+                                    std::function<void(aorta::util::Status)> done) {
+  LockState& state = locks_[id];
+  if (!state.held) {
+    state.held = true;
+    state.holder = owner;
+    ++stats_.acquisitions;
+    loop_->schedule(aorta::util::Duration::zero(),
+                    [cb = std::move(done)]() { cb(aorta::util::Status::ok()); });
+    return;
+  }
+  ++stats_.contentions;
+
+  Waiter waiter;
+  waiter.owner = owner;
+  waiter.granted_st = std::move(done);
+  waiter.waiter_id = next_waiter_id_++;
+  waiter.timeout_event = loop_->schedule(
+      timeout, [this, id, waiter_id = waiter.waiter_id]() {
+        LockState& st = locks_[id];
+        for (auto it = st.waiters.begin(); it != st.waiters.end(); ++it) {
+          if (it->waiter_id != waiter_id) continue;
+          auto cb = std::move(it->granted_st);
+          st.waiters.erase(it);
+          ++stats_.wait_timeouts;
+          cb(aorta::util::timeout_error("lock wait on " + id + " timed out"));
+          return;
+        }
+      });
+  state.waiters.push_back(std::move(waiter));
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth,
+               static_cast<std::uint64_t>(state.waiters.size()));
+}
+
+bool LockManager::is_locked(const device::DeviceId& id) const {
+  auto it = locks_.find(id);
+  return it != locks_.end() && it->second.held;
+}
+
+const LockOwner* LockManager::holder(const device::DeviceId& id) const {
+  auto it = locks_.find(id);
+  if (it == locks_.end() || !it->second.held) return nullptr;
+  return &it->second.holder;
+}
+
+std::size_t LockManager::queue_depth(const device::DeviceId& id) const {
+  auto it = locks_.find(id);
+  return it == locks_.end() ? 0 : it->second.waiters.size();
+}
+
+}  // namespace aorta::sync

@@ -1,0 +1,117 @@
+// Device locking for action atomicity.
+//
+// Section 4: "When a device has been selected to execute an action, the
+// optimizer will lock it until it finishes executing the action ...
+// Subsequent actions on this device cannot start before the device is
+// unlocked." This eliminated the concurrent-photo interference the paper
+// observed (blurred photos, wrong positions, timeouts on busy cameras).
+//
+// These are *logical* locks held by the engine on behalf of a query's
+// action request — they serialize access to a physical device, not to
+// memory. Waiters queue FIFO and are granted asynchronously through the
+// event loop, so a grant never re-enters the releaser's stack.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "device/types.h"
+#include "util/event_loop.h"
+#include "util/status.h"
+
+namespace aorta::sync {
+
+// Identifies a lock holder (a query id, request id, or scheduler name).
+using LockOwner = std::string;
+
+struct LockStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t contentions = 0;  // lock/try_lock hit a held lock
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t wait_timeouts = 0;  // lock_with_timeout waiters that gave up
+};
+
+class LockManager {
+ public:
+  explicit LockManager(aorta::util::EventLoop* loop) : loop_(loop) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Non-blocking acquire. Returns true iff the caller now holds the lock.
+  bool try_lock(const device::DeviceId& id, const LockOwner& owner);
+
+  // Queueing acquire: `granted` fires (via the event loop) once the caller
+  // holds the lock. FIFO among waiters.
+  void lock(const device::DeviceId& id, const LockOwner& owner,
+            std::function<void()> granted);
+
+  // Bounded acquire (the paper's future work on "more sophisticated device
+  // synchronization mechanisms"): like lock(), but if the lock has not
+  // been granted within `timeout`, the waiter is removed from the queue
+  // and `done` fires with kTimeout. Real-time action requests use this so
+  // a wedged device cannot strand a query forever.
+  void lock_with_timeout(const device::DeviceId& id, const LockOwner& owner,
+                         aorta::util::Duration timeout,
+                         std::function<void(aorta::util::Status)> done);
+
+  // Release. Fails if `owner` does not hold the lock (a bug in the
+  // caller — surfaced rather than silently corrupting the queue).
+  aorta::util::Status unlock(const device::DeviceId& id, const LockOwner& owner);
+
+  bool is_locked(const device::DeviceId& id) const;
+  const LockOwner* holder(const device::DeviceId& id) const;
+  std::size_t queue_depth(const device::DeviceId& id) const;
+
+  const LockStats& stats() const { return stats_; }
+
+ private:
+  struct Waiter {
+    LockOwner owner;
+    std::function<void()> granted;                         // plain waiters
+    std::function<void(aorta::util::Status)> granted_st;   // timed waiters
+    std::uint64_t waiter_id = 0;
+    aorta::util::EventId timeout_event = 0;
+  };
+  struct LockState {
+    LockOwner holder;
+    bool held = false;
+    std::deque<Waiter> waiters;
+  };
+
+  void grant_next(const device::DeviceId& id);
+
+  aorta::util::EventLoop* loop_;
+  std::map<device::DeviceId, LockState> locks_;
+  LockStats stats_;
+  std::uint64_t next_waiter_id_ = 1;
+};
+
+// RAII helper for synchronous critical sections (scheduler simulations
+// lock a device timeline while building a schedule).
+class DeviceLockGuard {
+ public:
+  DeviceLockGuard(LockManager* manager, device::DeviceId id, LockOwner owner)
+      : manager_(manager), id_(std::move(id)), owner_(std::move(owner)) {
+    held_ = manager_->try_lock(id_, owner_);
+  }
+  ~DeviceLockGuard() {
+    if (held_) (void)manager_->unlock(id_, owner_);
+  }
+  DeviceLockGuard(const DeviceLockGuard&) = delete;
+  DeviceLockGuard& operator=(const DeviceLockGuard&) = delete;
+
+  bool held() const { return held_; }
+
+ private:
+  LockManager* manager_;
+  device::DeviceId id_;
+  LockOwner owner_;
+  bool held_;
+};
+
+}  // namespace aorta::sync

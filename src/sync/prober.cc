@@ -1,0 +1,84 @@
+#include "sync/prober.h"
+
+#include <memory>
+
+#include "util/strings.h"
+
+namespace aorta::sync {
+
+using aorta::util::Result;
+
+void Prober::probe(const device::DeviceId& id,
+                   std::function<void(Result<ProbeInfo>)> done) {
+  device::Device* dev = registry_->find(id);
+  if (dev == nullptr) {
+    done(Result<ProbeInfo>(
+        aorta::util::not_found_error("unknown device: " + id)));
+    return;
+  }
+  comm::CommModule* module = comm_->module_for(dev->type_id());
+  if (module == nullptr) {
+    done(Result<ProbeInfo>(aorta::util::internal_error(
+        "no comm module for device type " + dev->type_id())));
+    return;
+  }
+
+  ++stats_.probes;
+  aorta::util::TimePoint sent_at = loop_->now();
+  module->request(
+      id, "probe", {}, module->default_timeout(),
+      [this, id, sent_at, done = std::move(done)](Result<net::Message> reply) {
+        if (!reply.is_ok()) {
+          ++stats_.timeouts;
+          done(Result<ProbeInfo>(reply.status()));
+          return;
+        }
+        ++stats_.responses;
+        const net::Message& msg = reply.value();
+        ProbeInfo info;
+        info.id = id;
+        info.rtt = loop_->now() - sent_at;
+        info.busy = msg.field_int("busy") != 0;
+        for (const auto& [key, value] : msg.fields) {
+          if (aorta::util::starts_with(key, "status.")) {
+            info.status[key.substr(7)] = msg.field_double(key);
+          }
+        }
+        done(Result<ProbeInfo>(std::move(info)));
+      });
+}
+
+void Prober::probe_candidates(const std::vector<device::DeviceId>& candidates,
+                              std::function<void(std::vector<ProbeInfo>)> done) {
+  if (candidates.empty()) {
+    done({});
+    return;
+  }
+  struct Job {
+    std::vector<Result<ProbeInfo>> results;
+    std::size_t outstanding;
+    std::function<void(std::vector<ProbeInfo>)> done;
+  };
+  auto job = std::make_shared<Job>();
+  job->outstanding = candidates.size();
+  job->done = std::move(done);
+  job->results.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    job->results.emplace_back(aorta::util::internal_error("pending"));
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    probe(candidates[i], [job, i](Result<ProbeInfo> result) {
+      job->results[i] = std::move(result);
+      if (--job->outstanding == 0) {
+        std::vector<ProbeInfo> alive;
+        for (auto& r : job->results) {
+          if (r.is_ok()) alive.push_back(std::move(r).value());
+        }
+        job->done(std::move(alive));
+      }
+    });
+  }
+}
+
+}  // namespace aorta::sync

@@ -1,0 +1,62 @@
+// Device probing: availability checking and physical-status acquisition.
+//
+// Section 4: "The probing mechanism is for the optimizer to examine each
+// candidate before deciding whether it should be included in the device
+// selection optimization ... A system-provided TIMEOUT value is set for
+// each type of devices to break the probe on unresponsive devices. These
+// malfunctioning devices will be automatically excluded in the device
+// selection optimization. Additionally, by probing a candidate device the
+// optimizer can gather information about the current physical status of
+// the device."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/comm_module.h"
+#include "util/status.h"
+
+namespace aorta::sync {
+
+struct ProbeInfo {
+  device::DeviceId id;
+  aorta::util::Duration rtt;            // measured round-trip time
+  bool busy = false;                    // device reported in-flight work
+  std::map<std::string, double> status; // physical status (pan/tilt/zoom, ...)
+};
+
+struct ProbeStats {
+  std::uint64_t probes = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t timeouts = 0;
+};
+
+class Prober {
+ public:
+  Prober(comm::CommLayer* comm, device::DeviceRegistry* registry,
+         aorta::util::EventLoop* loop)
+      : comm_(comm), registry_(registry), loop_(loop) {}
+
+  // Probe one device. The timeout is the per-type TIMEOUT from the
+  // registry's type info. Unresponsive devices yield kTimeout.
+  void probe(const device::DeviceId& id,
+             std::function<void(aorta::util::Result<ProbeInfo>)> done);
+
+  // Probe a candidate set in parallel; deliver only the devices that
+  // responded within their TIMEOUT (the others are excluded, as the paper
+  // prescribes). Order of the result follows the input order.
+  void probe_candidates(const std::vector<device::DeviceId>& candidates,
+                        std::function<void(std::vector<ProbeInfo>)> done);
+
+  const ProbeStats& stats() const { return stats_; }
+
+ private:
+  comm::CommLayer* comm_;
+  device::DeviceRegistry* registry_;
+  aorta::util::EventLoop* loop_;
+  ProbeStats stats_;
+};
+
+}  // namespace aorta::sync

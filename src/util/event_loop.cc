@@ -1,0 +1,56 @@
+#include "util/event_loop.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aorta::util {
+
+EventId EventLoop::schedule(Duration delay, std::function<void()> fn) {
+  return schedule_at(now() + delay, std::move(fn));
+}
+
+EventId EventLoop::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(when >= now() && "cannot schedule an event in the past");
+  EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool EventLoop::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  ++cancelled_count_;
+  return true;
+}
+
+void EventLoop::run_one() {
+  Event ev = heap_.top();
+  heap_.pop();
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+  if (it != cancelled_.end()) {
+    cancelled_.erase(it);
+    --cancelled_count_;
+    return;
+  }
+  clock_->advance_to(ev.when);
+  ++executed_;
+  ev.fn();  // may schedule further events
+}
+
+void EventLoop::run_until(TimePoint until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    run_one();
+  }
+  if (now() < until) clock_->advance_to(until);
+}
+
+void EventLoop::run_all() {
+  while (!heap_.empty()) {
+    run_one();
+  }
+}
+
+}  // namespace aorta::util

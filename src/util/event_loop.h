@@ -1,0 +1,83 @@
+// Discrete-event loop driving Aorta's simulated world.
+//
+// All asynchrony in the reproduction — network message delivery, device
+// action completion, sensor sampling epochs, probe timeouts — is expressed
+// as events on this loop. Events at equal timestamps fire in submission
+// order (a monotone sequence number breaks ties), which makes every run
+// with a fixed RNG seed fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace aorta::util {
+
+// Handle used to cancel a pending event (e.g. a timeout that was beaten by
+// the response it guarded).
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  explicit EventLoop(SimClock* clock) : clock_(clock) {}
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimClock& clock() { return *clock_; }
+  TimePoint now() const { return clock_->now(); }
+
+  // Schedule `fn` to run `delay` after the current simulated time.
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  // Schedule `fn` at an absolute simulated time (>= now).
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  // Cancel a pending event. Returns false if it already fired or was
+  // cancelled. O(1): marks a tombstone consumed lazily by the run loop.
+  bool cancel(EventId id);
+
+  // Run events until the queue is empty or the simulated time would exceed
+  // `until`. The clock is advanced to `until` on return.
+  void run_until(TimePoint until);
+
+  // Convenience: run for a simulated span from the current time.
+  void run_for(Duration span) { run_until(now() + span); }
+
+  // Run until the queue drains completely.
+  void run_all();
+
+  // Pending (non-cancelled) event count.
+  std::size_t pending() const { return heap_.size() - cancelled_count_; }
+
+  // Total events executed since construction (statistics / tests).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    EventId id;  // also the tie-breaker: lower id fires first at equal time
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  // Pops and runs the earliest event. Precondition: heap non-empty.
+  void run_one();
+
+  SimClock* clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<EventId> cancelled_;  // tombstones, sorted lazily on lookup
+  std::size_t cancelled_count_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace aorta::util

@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace aorta::util {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel, const std::string& line) {
+    std::fputs(line.c_str(), stderr);
+    std::fputc('\n', stderr);
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, std::string_view module, const std::string& msg) {
+  if (level < min_level_) return;
+  std::string line;
+  if (clock_ != nullptr) {
+    line = str_format("[%10.6f] ", clock_->now().to_seconds());
+  }
+  line += log_level_name(level);
+  line += " [";
+  line += module;
+  line += "] ";
+  line += msg;
+  sink_(level, line);
+}
+
+}  // namespace aorta::util

@@ -1,0 +1,70 @@
+// Leveled logging with simulated-time stamps.
+//
+// Log lines carry the *simulated* timestamp when a SimClock is attached,
+// which makes traces of device/network behaviour directly comparable
+// across runs.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/time.h"
+
+namespace aorta::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  // Process-wide logger instance.
+  static Logger& instance();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // Attach the simulation clock so log lines carry virtual timestamps.
+  void attach_clock(const SimClock* clock) { clock_ = clock; }
+
+  // Replace the output sink (default: stderr). Used by tests to capture.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view module, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel min_level_ = LogLevel::kWarn;
+  const SimClock* clock_ = nullptr;
+  Sink sink_;
+};
+
+// Stream-style helper: AORTA_LOG(kInfo, "sched") << "assigned " << id;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  ~LogMessage() { Logger::instance().log(level_, module_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace aorta::util
+
+#define AORTA_LOG(level, module)                                      \
+  if (::aorta::util::LogLevel::level <                                \
+      ::aorta::util::Logger::instance().min_level()) {                \
+  } else                                                              \
+    ::aorta::util::LogMessage(::aorta::util::LogLevel::level, module)

@@ -1,0 +1,33 @@
+#include "util/realtime.h"
+
+#include <chrono>
+#include <thread>
+
+namespace aorta::util {
+
+double run_realtime(EventLoop& loop, Duration span, RealTimeOptions options) {
+  if (options.speed <= 0.0) options.speed = 1.0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const TimePoint sim_start = loop.now();
+  const TimePoint sim_end = sim_start + span;
+
+  while (loop.now() < sim_end) {
+    TimePoint next = loop.now() + options.quantum;
+    if (next > sim_end) next = sim_end;
+    loop.run_until(next);
+
+    // Sleep until the wall clock catches up with the simulated progress.
+    double sim_elapsed_s = (loop.now() - sim_start).to_seconds();
+    double wall_target_s = sim_elapsed_s / options.speed;
+    auto wall_deadline =
+        wall_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(wall_target_s));
+    std::this_thread::sleep_until(wall_deadline);
+  }
+
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       wall_start)
+      .count();
+}
+
+}  // namespace aorta::util

@@ -1,0 +1,29 @@
+// Real-time driver for the discrete-event loop.
+//
+// Experiments run the simulation as fast as the host allows; interactive
+// demos sometimes want simulated time to track wall-clock time (scaled by
+// a speed factor) so a human can watch events unfold. The driver advances
+// the loop in fixed simulated quanta and sleeps the corresponding wall
+// interval between steps — deterministic event ordering is preserved
+// because the loop itself is untouched.
+#pragma once
+
+#include "util/event_loop.h"
+
+namespace aorta::util {
+
+struct RealTimeOptions {
+  // Simulated seconds per wall-clock second. 1.0 = real time; 60.0 = a
+  // simulated minute per wall second.
+  double speed = 1.0;
+  // Simulated step size per iteration; smaller = smoother pacing, more
+  // wakeups.
+  Duration quantum = Duration::millis(50);
+};
+
+// Run the loop for `span` of simulated time, pacing against the wall
+// clock. Returns the wall seconds actually spent.
+double run_realtime(EventLoop& loop, Duration span,
+                    RealTimeOptions options = {});
+
+}  // namespace aorta::util

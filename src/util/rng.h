@@ -1,0 +1,73 @@
+// Seeded random number generation.
+//
+// Every stochastic element of the reproduction (link loss, device glitches,
+// workload generation, the SA scheduler's moves) draws from an explicitly
+// seeded Rng so experiments are reproducible and benches can average over
+// independent seeded runs, mirroring the paper's "average of ten
+// independent runs".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace aorta::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Bernoulli trial.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  // Gaussian.
+  double normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  // Pick a uniformly random index into a container of size n (n > 0).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Derive an independent child generator (for giving each subsystem its
+  // own stream so adding draws in one place does not perturb another).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aorta::util

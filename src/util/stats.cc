@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <cstdio>
+#include <numeric>
+
+namespace aorta::util {
+
+double Summary::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::vector<double> Summary::sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> s = sorted();
+  if (s.size() == 1) return s[0];
+  double rank = (p / 100.0) * static_cast<double>(s.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, s.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "mean=%.3f sd=%.3f min=%.3f max=%.3f n=%zu",
+                mean(), stddev(), min(), max(), samples_.size());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // float edge case
+    ++counts_[i];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[96];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    std::snprintf(buf, sizeof(buf), "[%8.3f, %8.3f) %6zu ", bucket_lo(i),
+                  bucket_lo(i) + width_, counts_[i]);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aorta::util

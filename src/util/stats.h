@@ -1,0 +1,60 @@
+// Streaming statistics accumulators used by experiment harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aorta::util {
+
+// Accumulates scalar samples; supports mean / stddev / min / max and exact
+// percentiles (keeps all samples — experiment scale is small).
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double stddev() const;  // sample stddev (n-1); 0 for n < 2
+  double min() const;
+  double max() const;
+
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double percentile(double p) const;
+
+  // "mean=1.23 sd=0.45 min=0.36 max=5.36 n=20"
+  std::string to_string() const;
+
+ private:
+  std::vector<double> sorted() const;
+  std::vector<double> samples_;
+};
+
+// Fixed-width bucket histogram over [lo, hi); under/overflow tracked.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  double bucket_lo(std::size_t i) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  // ASCII rendering for bench output.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace aorta::util

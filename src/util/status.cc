@@ -1,0 +1,69 @@
+#include "util/status.h"
+
+namespace aorta::util {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kBusy:
+      return "BUSY";
+    case StatusCode::kActionFailed:
+      return "ACTION_FAILED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out{status_code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status timeout_error(std::string message) {
+  return Status(StatusCode::kTimeout, std::move(message));
+}
+Status unavailable_error(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status busy_error(std::string message) {
+  return Status(StatusCode::kBusy, std::move(message));
+}
+Status action_failed_error(std::string message) {
+  return Status(StatusCode::kActionFailed, std::move(message));
+}
+Status invalid_argument_error(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status not_found_error(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status already_exists_error(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status parse_error(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status internal_error(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace aorta::util

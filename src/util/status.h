@@ -1,0 +1,123 @@
+// Status / Result<T>: lightweight error propagation for Aorta.
+//
+// Aorta runs over intrinsically unreliable physical devices (lossy radios,
+// cameras that time out, phones out of coverage), so most device-facing
+// operations return a Status or Result<T> instead of throwing. Exceptions
+// are reserved for programming errors (violated preconditions).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace aorta::util {
+
+// Error categories. Modelled on the failure modes the paper discusses:
+// timeouts on probes (Section 4), action failures on devices (Section 6.2),
+// malformed queries / unknown actions at the declarative interface
+// (Section 2.2).
+enum class StatusCode {
+  kOk = 0,
+  kTimeout,          // probe or RPC exceeded the per-device-type TIMEOUT
+  kUnavailable,      // device left the network / out of coverage
+  kBusy,             // device locked by another action request
+  kActionFailed,     // action executed but failed on the device
+  kInvalidArgument,  // bad parameter from caller
+  kNotFound,         // unknown device / action / query / attribute
+  kAlreadyExists,    // duplicate registration
+  kParseError,       // declarative interface: malformed statement / XML
+  kInternal,         // bug or unexpected state
+};
+
+std::string_view status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "TIMEOUT: probe to cam1 exceeded 2000ms" style rendering.
+  std::string to_string() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status timeout_error(std::string message);
+Status unavailable_error(std::string message);
+Status busy_error(std::string message);
+Status action_failed_error(std::string message);
+Status invalid_argument_error(std::string message);
+Status not_found_error(std::string message);
+Status already_exists_error(std::string message);
+Status parse_error(std::string message);
+Status internal_error(std::string message);
+
+// Minimal expected<T, Status>. Holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    // A Result must never hold an OK status without a value.
+    if (std::get<Status>(data_).is_ok()) {
+      data_ = Status(StatusCode::kInternal, "Result constructed from OK status");
+    }
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  T value_or(T fallback) const& {
+    return is_ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace aorta::util
+
+// Propagate a non-OK status to the caller.
+#define AORTA_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::aorta::util::Status _aorta_status = (expr);    \
+    if (!_aorta_status.is_ok()) return _aorta_status; \
+  } while (false)
+
+// Assign the value of a Result or propagate its error.
+#define AORTA_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto _aorta_result_##__LINE__ = (expr);            \
+  if (!_aorta_result_##__LINE__.is_ok())             \
+    return _aorta_result_##__LINE__.status();        \
+  lhs = std::move(_aorta_result_##__LINE__).value()

@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aorta::util {
+
+// Split on a delimiter character; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+// Case-insensitive ASCII equality (SQL keywords are case-insensitive).
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace aorta::util

@@ -1,0 +1,31 @@
+#include "util/time.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace aorta::util {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", to_seconds());
+  return buf;
+}
+
+void SimClock::advance_to(TimePoint t) {
+  assert(t >= now_ && "simulation clock must be monotone");
+  now_ = t;
+}
+
+}  // namespace aorta::util

@@ -1,0 +1,86 @@
+// Virtual time for Aorta's discrete-event simulation substrate.
+//
+// The paper's prototype drove real devices in real time; our reproduction
+// replaces the physical testbed with a deterministic simulation (see
+// DESIGN.md, substitution table). All durations and timestamps below are
+// *simulated* time, counted in integer microseconds so that event ordering
+// is exact and runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aorta::util {
+
+// A duration in simulated microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+  static constexpr Duration zero() { return Duration(0); }
+
+  constexpr std::int64_t to_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(us_ + other.us_); }
+  constexpr Duration operator-(Duration other) const { return Duration(us_ - other.us_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+  Duration& operator+=(Duration other) {
+    us_ += other.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string to_string() const;  // "1.234s", "56ms", ...
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// An absolute point in simulated time (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_micros(std::int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint origin() { return TimePoint(0); }
+
+  constexpr std::int64_t to_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(us_ + d.to_micros()); }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::micros(us_ - other.us_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// The simulation clock. Only the EventLoop advances it; everything else
+// reads it. Separate from EventLoop so leaf components can depend on the
+// clock without seeing the scheduler.
+class SimClock {
+ public:
+  TimePoint now() const { return now_; }
+
+  // Advance to an absolute time. Precondition: monotone (asserts in debug).
+  void advance_to(TimePoint t);
+
+ private:
+  TimePoint now_ = TimePoint::origin();
+};
+
+}  // namespace aorta::util

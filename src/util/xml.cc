@@ -1,0 +1,304 @@
+#include "util/xml.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace aorta::util {
+
+namespace {
+
+// Recursive-descent parser over the input buffer.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Result<std::unique_ptr<XmlNode>> parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.is_ok()) return root;
+    skip_misc();
+    if (pos_ != in_.size()) {
+      return parse_error(str_format("trailing content at offset %zu", pos_));
+    }
+    return root;
+  }
+
+ private:
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool looking_at(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  // Skip <?xml ...?> declarations and comments before the root element.
+  void skip_prolog() { skip_misc(); }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (looking_at("<?")) {
+        std::size_t end = in_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 2;
+      } else if (looking_at("<!--")) {
+        std::size_t end = in_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+           c == '.' || c == ':';
+  }
+
+  Result<std::string> parse_name() {
+    std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    if (pos_ == start) {
+      return Result<std::string>(
+          parse_error(str_format("expected name at offset %zu", pos_)));
+    }
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> parse_attr_value() {
+    if (eof() || (peek() != '"' && peek() != '\'')) {
+      return Result<std::string>(
+          parse_error(str_format("expected quoted value at offset %zu", pos_)));
+    }
+    char quote = peek();
+    ++pos_;
+    std::size_t start = pos_;
+    while (!eof() && peek() != quote) ++pos_;
+    if (eof()) {
+      return Result<std::string>(parse_error("unterminated attribute value"));
+    }
+    std::string raw(in_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return unescape(raw);
+  }
+
+  static std::string unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size();) {
+      if (s[i] == '&') {
+        if (s.substr(i, 4) == "&lt;") {
+          out += '<';
+          i += 4;
+        } else if (s.substr(i, 4) == "&gt;") {
+          out += '>';
+          i += 4;
+        } else if (s.substr(i, 5) == "&amp;") {
+          out += '&';
+          i += 5;
+        } else if (s.substr(i, 6) == "&quot;") {
+          out += '"';
+          i += 6;
+        } else if (s.substr(i, 6) == "&apos;") {
+          out += '\'';
+          i += 6;
+        } else {
+          out += s[i++];
+        }
+      } else {
+        out += s[i++];
+      }
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<XmlNode>> parse_element() {
+    if (eof() || peek() != '<') {
+      return Result<std::unique_ptr<XmlNode>>(
+          parse_error(str_format("expected '<' at offset %zu", pos_)));
+    }
+    ++pos_;
+    auto name = parse_name();
+    if (!name.is_ok()) return Result<std::unique_ptr<XmlNode>>(name.status());
+
+    auto node = std::make_unique<XmlNode>();
+    node->name = std::move(name).value();
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) {
+        return Result<std::unique_ptr<XmlNode>>(
+            parse_error("unexpected end inside tag <" + node->name + ">"));
+      }
+      if (looking_at("/>")) {
+        pos_ += 2;
+        return node;  // empty element
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      auto key = parse_name();
+      if (!key.is_ok()) return Result<std::unique_ptr<XmlNode>>(key.status());
+      skip_ws();
+      if (eof() || peek() != '=') {
+        return Result<std::unique_ptr<XmlNode>>(
+            parse_error("expected '=' after attribute " + key.value()));
+      }
+      ++pos_;
+      skip_ws();
+      auto value = parse_attr_value();
+      if (!value.is_ok()) return Result<std::unique_ptr<XmlNode>>(value.status());
+      node->attrs[std::move(key).value()] = std::move(value).value();
+    }
+
+    // Content: text, children, comments, until matching close tag.
+    while (true) {
+      if (eof()) {
+        return Result<std::unique_ptr<XmlNode>>(
+            parse_error("missing close tag for <" + node->name + ">"));
+      }
+      if (looking_at("<!--")) {
+        std::size_t end = in_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 3;
+        continue;
+      }
+      if (looking_at("</")) {
+        pos_ += 2;
+        auto close = parse_name();
+        if (!close.is_ok()) return Result<std::unique_ptr<XmlNode>>(close.status());
+        if (close.value() != node->name) {
+          return Result<std::unique_ptr<XmlNode>>(parse_error(
+              "mismatched close tag </" + close.value() + "> for <" + node->name + ">"));
+        }
+        skip_ws();
+        if (eof() || peek() != '>') {
+          return Result<std::unique_ptr<XmlNode>>(
+              parse_error("malformed close tag for <" + node->name + ">"));
+        }
+        ++pos_;
+        node->text = std::string(trim(node->text));
+        return node;
+      }
+      if (peek() == '<') {
+        auto child = parse_element();
+        if (!child.is_ok()) return child;
+        node->children.push_back(std::move(child).value());
+        continue;
+      }
+      // Character data up to the next markup.
+      std::size_t end = in_.find('<', pos_);
+      if (end == std::string_view::npos) end = in_.size();
+      node->text += unescape(in_.substr(pos_, end - pos_));
+      pos_ = end;
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const XmlNode* XmlNode::child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::attr(std::string_view key, std::string_view fallback) const {
+  auto it = attrs.find(std::string(key));
+  return it == attrs.end() ? std::string(fallback) : it->second;
+}
+
+bool XmlNode::has_attr(std::string_view key) const {
+  return attrs.count(std::string(key)) > 0;
+}
+
+double XmlNode::attr_double(std::string_view key, double fallback) const {
+  auto it = attrs.find(std::string(key));
+  if (it == attrs.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  return (end != it->second.c_str()) ? v : fallback;
+}
+
+std::int64_t XmlNode::attr_int(std::string_view key, std::int64_t fallback) const {
+  auto it = attrs.find(std::string(key));
+  if (it == attrs.end()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != it->second.c_str()) ? v : fallback;
+}
+
+std::string XmlNode::child_text(std::string_view child_name,
+                                std::string_view fallback) const {
+  const XmlNode* c = child(child_name);
+  return c == nullptr ? std::string(fallback) : c->text;
+}
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlNode::to_string(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name;
+  for (const auto& [k, v] : attrs) {
+    out += " " + k + "=\"" + xml_escape(v) + "\"";
+  }
+  if (children.empty() && text.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!text.empty()) out += xml_escape(text);
+  if (!children.empty()) {
+    out += "\n";
+    for (const auto& c : children) out += c->to_string(indent + 1);
+    out += pad;
+  }
+  out += "</" + name + ">\n";
+  return out;
+}
+
+Result<std::unique_ptr<XmlNode>> xml_parse(std::string_view input) {
+  Parser parser(input);
+  return parser.parse_document();
+}
+
+}  // namespace aorta::util

@@ -1,0 +1,57 @@
+// Minimal XML parser for Aorta profile files.
+//
+// The paper stores device catalogs, per-device-type atomic operation cost
+// tables ("atomic_operation_cost.xml", Section 3.1) and action profiles
+// (Section 2.2/2.3) as XML text files. This parser supports the subset
+// those files need: nested elements, attributes (single or double quoted),
+// text content, comments, XML declarations, and the five standard entity
+// references. It does not support namespaces, CDATA, DTDs, or processing
+// instructions beyond the declaration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aorta::util {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;  // concatenated character data directly under this node
+
+  // First child with the given element name, or nullptr.
+  const XmlNode* child(std::string_view child_name) const;
+
+  // All children with the given element name.
+  std::vector<const XmlNode*> children_named(std::string_view child_name) const;
+
+  // Attribute access with default.
+  std::string attr(std::string_view key, std::string_view fallback = "") const;
+  bool has_attr(std::string_view key) const;
+
+  // Attribute parsed as double/int; returns fallback when absent/malformed.
+  double attr_double(std::string_view key, double fallback = 0.0) const;
+  std::int64_t attr_int(std::string_view key, std::int64_t fallback = 0) const;
+
+  // Text content of a named child (trimmed), or fallback.
+  std::string child_text(std::string_view child_name,
+                         std::string_view fallback = "") const;
+
+  // Serialize back to XML (round-trip used in tests and by profile
+  // writers).
+  std::string to_string(int indent = 0) const;
+};
+
+// Parse a document; returns the single root element.
+Result<std::unique_ptr<XmlNode>> xml_parse(std::string_view input);
+
+// Escape text for inclusion in XML character data / attribute values.
+std::string xml_escape(std::string_view s);
+
+}  // namespace aorta::util

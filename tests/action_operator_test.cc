@@ -1,0 +1,223 @@
+// Direct unit tests for the shared action operator: batching, probing
+// integration, scheduling, execution and per-query outcome accounting.
+#include <gtest/gtest.h>
+
+#include "devices/camera.h"
+#include "query/action_operator.h"
+#include "sched/algorithms.h"
+#include "sched/cost_model.h"
+
+namespace aorta::query {
+namespace {
+
+using util::Duration;
+
+struct OperatorFixture : public ::testing::Test {
+  OperatorFixture()
+      : loop(&clock),
+        network(&loop, util::Rng(1)),
+        registry(&network, &loop, util::Rng(2)),
+        comm(&registry, &network),
+        locks(&loop),
+        prober(&comm, &registry, &loop) {
+    (void)registry.register_type(devices::camera_type_info());
+
+    action.name = "photo";
+    action.params = {{device::AttrType::kString, "camera_ip"},
+                     {device::AttrType::kLocation, "location"},
+                     {device::AttrType::kString, "directory"}};
+    action.device_type = "camera";
+    action.binding_param = 0;
+    action.binding_attr = "ip";
+    action.profile = sched::PhotoCostModel::make_photo_profile();
+    action.cost_model = std::shared_ptr<const sched::CostModel>(
+        sched::PhotoCostModel::axis2130().release());
+    // Implementation: photo through the comm layer at the head position
+    // resolved per device from the request's world-target params.
+    action.impl = [this](const device::DeviceId& device,
+                         const std::vector<device::Value>& args,
+                         std::function<void(util::Result<sched::ActionOutcome>)>
+                             done) {
+      (void)args;
+      comm.camera().photo(
+          device, devices::PtzPosition{0, 0, 1}, "medium",
+          [done = std::move(done)](util::Result<comm::PhotoOutcome> outcome) {
+            if (!outcome.is_ok()) {
+              done(util::Result<sched::ActionOutcome>(outcome.status()));
+              return;
+            }
+            sched::ActionOutcome out;
+            out.ok = outcome.value().ok;
+            out.degraded = outcome.value().ok && !outcome.value().usable();
+            done(out);
+          });
+    };
+
+    scheduler = sched::make_scheduler("SRFAE");
+  }
+
+  devices::PtzCamera* add_camera(const std::string& id) {
+    auto camera = std::make_unique<devices::PtzCamera>(
+        id, "10.0.0." + id, devices::CameraPose{{0, 0, 3}, 0.0});
+    camera->reliability().glitch_prob = 0.0;
+    camera->set_fatigue_coeff(0.0);
+    devices::PtzCamera* raw = camera.get();
+    EXPECT_TRUE(registry.add(std::move(camera)).is_ok());
+    return raw;
+  }
+
+  std::unique_ptr<ActionOperator> make_operator(
+      ActionOperator::Options options = {}) {
+    return std::make_unique<ActionOperator>(&action, &prober, &locks,
+                                            &registry, &loop, scheduler.get(),
+                                            util::Rng(99), options);
+  }
+
+  sched::ActionRequest make_request(const std::string& query_id,
+                                    std::vector<device::DeviceId> candidates) {
+    sched::ActionRequest r;
+    r.query_id = query_id;
+    r.candidates = std::move(candidates);
+    r.params = {{"pan", 30.0}, {"tilt", 0.0}, {"zoom", 1.0}};
+    return r;
+  }
+
+  util::SimClock clock;
+  util::EventLoop loop;
+  net::Network network;
+  device::DeviceRegistry registry;
+  comm::CommLayer comm;
+  sync::LockManager locks;
+  sync::Prober prober;
+  ActionDef action;
+  std::unique_ptr<sched::Scheduler> scheduler;
+};
+
+TEST_F(OperatorFixture, FlushWithNothingPendingCompletesImmediately) {
+  auto op = make_operator();
+  bool done = false;
+  op->flush([&]() { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(op->stats().batches, 0u);
+}
+
+TEST_F(OperatorFixture, BatchesRequestsFromMultipleQueries) {
+  add_camera("cam1");
+  add_camera("cam2");
+  auto op = make_operator();
+  op->enqueue(make_request("q1", {"cam1", "cam2"}));
+  op->enqueue(make_request("q2", {"cam1", "cam2"}));
+  op->enqueue(make_request("q2", {"cam1", "cam2"}));
+  EXPECT_TRUE(op->has_pending());
+
+  bool done = false;
+  op->flush([&]() { done = true; });
+  loop.run_for(Duration::seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(op->has_pending());
+  EXPECT_EQ(op->stats().batches, 1u);
+  EXPECT_EQ(op->stats().requests, 3u);
+  EXPECT_DOUBLE_EQ(op->stats().batch_size.mean(), 3.0);
+
+  ASSERT_EQ(op->query_stats().count("q1"), 1u);
+  ASSERT_EQ(op->query_stats().count("q2"), 1u);
+  EXPECT_EQ(op->query_stats().at("q1").usable, 1u);
+  EXPECT_EQ(op->query_stats().at("q2").usable, 2u);
+  // Schedule history recorded one round with 3 items.
+  ASSERT_EQ(op->schedule_history().size(), 1u);
+  EXPECT_EQ(op->schedule_history()[0].items.size(), 3u);
+}
+
+TEST_F(OperatorFixture, DeadCandidatesExcludedAndAllDeadFails) {
+  add_camera("cam1")->set_online(false);
+  devices::PtzCamera* cam2 = add_camera("cam2");
+
+  auto op = make_operator();
+  op->enqueue(make_request("q1", {"cam1", "cam2"}));
+  op->enqueue(make_request("q2", {"cam1"}));  // only the dead one
+  bool done = false;
+  op->flush([&]() { done = true; });
+  loop.run_for(Duration::seconds(30));
+  ASSERT_TRUE(done);
+
+  EXPECT_EQ(op->query_stats().at("q1").usable, 1u);
+  EXPECT_EQ(op->query_stats().at("q2").no_candidate, 1u);
+  EXPECT_EQ(cam2->camera_stats().photos_ok, 1u);
+}
+
+TEST_F(OperatorFixture, MissingImplementationReportsFailure) {
+  add_camera("cam1");
+  action.impl = nullptr;
+  auto op = make_operator();
+  op->enqueue(make_request("q1", {"cam1"}));
+  bool done = false;
+  op->flush([&]() { done = true; });
+  loop.run_for(Duration::seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(op->query_stats().at("q1").failed, 1u);
+}
+
+TEST_F(OperatorFixture, SequentialFlushesAccumulateStats) {
+  add_camera("cam1");
+  auto op = make_operator();
+  for (int round = 0; round < 3; ++round) {
+    op->enqueue(make_request("q1", {"cam1"}));
+    bool done = false;
+    op->flush([&]() { done = true; });
+    loop.run_for(Duration::seconds(30));
+    ASSERT_TRUE(done);
+  }
+  EXPECT_EQ(op->stats().batches, 3u);
+  EXPECT_EQ(op->query_stats().at("q1").usable, 3u);
+  EXPECT_EQ(op->schedule_history().size(), 3u);
+}
+
+TEST_F(OperatorFixture, ProbingDisabledTrustsRegistry) {
+  devices::PtzCamera* cam = add_camera("cam1");
+  cam->set_online(false);  // dead, but probing is off
+  ActionOperator::Options options;
+  options.use_probing = false;
+  auto op = make_operator(options);
+  op->enqueue(make_request("q1", {"cam1"}));
+  bool done = false;
+  op->flush([&]() { done = true; });
+  loop.run_for(Duration::seconds(60));
+  ASSERT_TRUE(done);
+  // The action was attempted against the dead camera and timed out.
+  EXPECT_EQ(op->query_stats().at("q1").failed, 1u);
+  EXPECT_EQ(op->query_stats().at("q1").no_candidate, 0u);
+}
+
+TEST_F(OperatorFixture, ProbeStatusFeedsSequenceDependentScheduling) {
+  // Two cameras, heads parked at opposite extremes; two requests whose
+  // targets match one head each. A status-aware schedule services each
+  // request on the camera already aimed at it (cost 0.36 each).
+  devices::PtzCamera* cam1 = add_camera("cam1");
+  devices::PtzCamera* cam2 = add_camera("cam2");
+  cam1->set_head(devices::PtzPosition{-150, 0, 1});
+  cam2->set_head(devices::PtzPosition{150, 0, 1});
+
+  auto op = make_operator();
+  sched::ActionRequest r1 = make_request("q1", {"cam1", "cam2"});
+  r1.params = {{"pan", -150.0}, {"tilt", 0.0}, {"zoom", 1.0}};
+  sched::ActionRequest r2 = make_request("q2", {"cam1", "cam2"});
+  r2.params = {{"pan", 150.0}, {"tilt", 0.0}, {"zoom", 1.0}};
+  op->enqueue(std::move(r1));
+  op->enqueue(std::move(r2));
+
+  bool done = false;
+  op->flush([&]() { done = true; });
+  loop.run_for(Duration::seconds(30));
+  ASSERT_TRUE(done);
+
+  ASSERT_EQ(op->schedule_history().size(), 1u);
+  const sched::ScheduleResult& schedule = op->schedule_history()[0];
+  // Each request scheduled on its already-aimed camera at capture cost.
+  for (const auto& item : schedule.items) {
+    EXPECT_NEAR(item.finish_s - item.start_s, 0.36, 1e-6);
+  }
+  EXPECT_NEAR(schedule.service_makespan_s, 0.36, 1e-6);
+}
+
+}  // namespace
+}  // namespace aorta::query

@@ -1,0 +1,223 @@
+// Tests for the built-in action/function library (Section 2.2's "library
+// of system built-in actions").
+#include <gtest/gtest.h>
+
+#include "core/aorta.h"
+
+namespace aorta {
+namespace {
+
+using device::Value;
+using util::Duration;
+
+struct BuiltinsFixture : public ::testing::Test {
+  BuiltinsFixture() : sys(core::Config{.seed = 31}) {
+    (void)sys.add_camera("cam1", "10.0.0.1", {{0, 0, 3}, 0.0}, 20.0);
+    sys.camera("cam1")->reliability().glitch_prob = 0.0;
+    sys.camera("cam1")->set_fatigue_coeff(0.0);
+    (void)sys.add_phone("p1", "+85212345678", {1, 1, 0});
+    sys.phone("p1")->reliability().glitch_prob = 0.0;
+    (void)sys.add_mote("m1", {3, 0, 1});
+    sys.mote("m1")->reliability().glitch_prob = 0.0;
+  }
+
+  // Evaluate a catalog function directly.
+  util::Result<Value> call(const std::string& name, std::vector<Value> args) {
+    const query::ScalarFn* fn = sys.catalog().functions().find(name);
+    if (fn == nullptr) {
+      return util::Result<Value>(util::not_found_error("no function " + name));
+    }
+    return (*fn)(args);
+  }
+
+  core::Aorta sys;
+};
+
+TEST_F(BuiltinsFixture, CoverageTrueInsideRangeFalseOutside) {
+  auto near = call("coverage", {Value{std::string("cam1")},
+                                Value{device::Location{5, 0, 0}}});
+  ASSERT_TRUE(near.is_ok());
+  EXPECT_TRUE(device::value_truthy(near.value()));
+
+  auto far = call("coverage", {Value{std::string("cam1")},
+                               Value{device::Location{100, 0, 0}}});
+  ASSERT_TRUE(far.is_ok());
+  EXPECT_FALSE(device::value_truthy(far.value()));
+}
+
+TEST_F(BuiltinsFixture, CoverageDegradesGracefullyOnBadInput) {
+  // Unknown camera -> FALSE, not an error (a vanished device simply does
+  // not cover anything).
+  auto ghost = call("coverage", {Value{std::string("nope")},
+                                 Value{device::Location{1, 1, 0}}});
+  ASSERT_TRUE(ghost.is_ok());
+  EXPECT_FALSE(device::value_truthy(ghost.value()));
+  // Wrong arity -> error.
+  EXPECT_FALSE(call("coverage", {Value{std::string("cam1")}}).is_ok());
+  // Non-location second arg -> FALSE.
+  auto bad = call("coverage",
+                  {Value{std::string("cam1")}, Value{std::int64_t{3}}});
+  ASSERT_TRUE(bad.is_ok());
+  EXPECT_FALSE(device::value_truthy(bad.value()));
+}
+
+TEST_F(BuiltinsFixture, CoverageAcceptsLocationStrings) {
+  // The declarative layer can hand locations as "x,y,z" strings.
+  auto ok = call("coverage",
+                 {Value{std::string("cam1")}, Value{std::string("5,0,0")}});
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_TRUE(device::value_truthy(ok.value()));
+}
+
+TEST_F(BuiltinsFixture, DistanceComputesEuclidean) {
+  auto d = call("distance", {Value{device::Location{0, 0, 0}},
+                             Value{device::Location{3, 4, 0}}});
+  ASSERT_TRUE(d.is_ok());
+  double x = 0;
+  ASSERT_TRUE(device::value_as_double(d.value(), &x));
+  EXPECT_DOUBLE_EQ(x, 5.0);
+  EXPECT_FALSE(call("distance", {Value{device::Location{}}}).is_ok());
+}
+
+TEST_F(BuiltinsFixture, AbsHelper) {
+  auto v = call("abs", {Value{-3.5}});
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_TRUE(device::value_equal(v.value(), Value{3.5}));
+  EXPECT_FALSE(call("abs", {Value{std::string("x")}}).is_ok());
+}
+
+TEST_F(BuiltinsFixture, PhotoActionDefShape) {
+  const query::ActionDef* photo = sys.catalog().find_action("photo");
+  ASSERT_NE(photo, nullptr);
+  EXPECT_EQ(photo->device_type, "camera");
+  EXPECT_EQ(photo->binding_param, 0u);
+  EXPECT_EQ(photo->binding_attr, "ip");
+  ASSERT_EQ(photo->params.size(), 3u);
+  EXPECT_NE(photo->cost_model, nullptr);
+  EXPECT_TRUE(static_cast<bool>(photo->impl));
+  // The profile names the head axes as its status attributes.
+  EXPECT_EQ(photo->profile.status_attrs(),
+            (std::vector<std::string>{"pan", "tilt", "zoom"}));
+
+  // request_params turns the location arg into world-target parameters.
+  sched::ActionRequest request;
+  auto s = photo->request_params(
+      {Value{std::string("10.0.0.1")}, Value{device::Location{4, 5, 0}},
+       Value{std::string("photos")}},
+      &request);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_DOUBLE_EQ(request.params.at("target_x"), 4.0);
+  EXPECT_DOUBLE_EQ(request.params.at("target_y"), 5.0);
+}
+
+TEST_F(BuiltinsFixture, PhotoImplAimsAndExposes) {
+  const query::ActionDef* photo = sys.catalog().find_action("photo");
+  bool done = false;
+  photo->impl("cam1",
+              {Value{std::string("10.0.0.1")}, Value{device::Location{5, 0, 0}},
+               Value{std::string("photos")}},
+              [&](util::Result<sched::ActionOutcome> outcome) {
+                done = true;
+                ASSERT_TRUE(outcome.is_ok());
+                EXPECT_TRUE(outcome.value().usable());
+              });
+  sys.run_for(Duration::seconds(10));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(sys.camera("cam1")->camera_stats().photos_ok, 1u);
+  // The head really moved to aim at the target.
+  EXPECT_NEAR(sys.camera("cam1")->head().pan_deg, 0.0, 1.0);
+  EXPECT_LT(sys.camera("cam1")->head().tilt_deg, 0.0);
+}
+
+TEST_F(BuiltinsFixture, PhotoImplRejectsUnknownCameraAndBadArgs) {
+  const query::ActionDef* photo = sys.catalog().find_action("photo");
+  bool failed = false;
+  photo->impl("ghost_cam",
+              {Value{std::string("x")}, Value{device::Location{}},
+               Value{std::string("d")}},
+              [&](util::Result<sched::ActionOutcome> outcome) {
+                failed = !outcome.is_ok();
+              });
+  sys.run_for(Duration::seconds(1));
+  EXPECT_TRUE(failed);
+
+  bool bad_args = false;
+  photo->impl("cam1", {Value{std::string("x")}, Value{std::int64_t{7}},
+                       Value{std::string("d")}},
+              [&](util::Result<sched::ActionOutcome> outcome) {
+                bad_args = !outcome.is_ok();
+              });
+  sys.run_for(Duration::seconds(1));
+  EXPECT_TRUE(bad_args);
+}
+
+TEST_F(BuiltinsFixture, SendphotoDeliversMms) {
+  const query::ActionDef* sendphoto = sys.catalog().find_action("sendphoto");
+  ASSERT_NE(sendphoto, nullptr);
+  EXPECT_EQ(sendphoto->device_type, "phone");
+  EXPECT_EQ(sendphoto->binding_attr, "phone_no");
+
+  bool done = false;
+  sendphoto->impl("p1",
+                  {Value{std::string("+85212345678")},
+                   Value{std::string("photos/evidence.jpg")}},
+                  [&](util::Result<sched::ActionOutcome> outcome) {
+                    done = true;
+                    ASSERT_TRUE(outcome.is_ok());
+                    EXPECT_TRUE(outcome.value().ok);
+                  });
+  sys.run_for(Duration::minutes(1));
+  ASSERT_TRUE(done);
+  ASSERT_EQ(sys.phone("p1")->inbox().size(), 1u);
+  EXPECT_EQ(sys.phone("p1")->inbox()[0].body, "photos/evidence.jpg");
+}
+
+TEST_F(BuiltinsFixture, BeepAndBlinkImpls) {
+  for (const char* name : {"beep", "blink"}) {
+    const query::ActionDef* action = sys.catalog().find_action(name);
+    ASSERT_NE(action, nullptr);
+    EXPECT_EQ(action->device_type, "sensor");
+    bool done = false;
+    action->impl("m1", {Value{std::string("m1")}},
+                 [&](util::Result<sched::ActionOutcome> outcome) {
+                   done = outcome.is_ok() && outcome.value().ok;
+                 });
+    sys.run_for(Duration::seconds(10));
+    EXPECT_TRUE(done) << name;
+  }
+  EXPECT_EQ(sys.mote("m1")->beeps(), 1u);
+  EXPECT_EQ(sys.mote("m1")->blinks(), 1u);
+}
+
+TEST_F(BuiltinsFixture, ProfileCostModelsEstimateFixedCosts) {
+  const query::ActionDef* sendphoto = sys.catalog().find_action("sendphoto");
+  sched::ActionRequest r;
+  sched::DeviceStatus any;
+  // transfer(80 KiB at 5 kB/s) + recv_mms(1.5 s) ~ 17.9 s.
+  double cost = sendphoto->cost_model->cost_s(r, any);
+  EXPECT_NEAR(cost, 80.0 * 1024.0 / 5000.0 + 1.5, 0.2);
+
+  // beep = one hop relay (0.05 s) + the sounder op (0.10 s) by default...
+  const query::ActionDef* beep = sys.catalog().find_action("beep");
+  EXPECT_NEAR(beep->cost_model->cost_s(r, any), 0.15, 1e-9);
+  // ...and each extra hop of mote depth adds a relay charge ("the depth of
+  // a sensor in a multi-hop network affects the cost", Section 2.3).
+  sched::DeviceStatus deep = {{"hops", 4.0}};
+  EXPECT_NEAR(beep->cost_model->cost_s(r, deep), 0.10 + 4 * 0.05, 1e-9);
+}
+
+TEST_F(BuiltinsFixture, MultiHopMotesGetDegradedLinks) {
+  auto one = devices::Mica2Mote::link_for_hops(1);
+  auto four = devices::Mica2Mote::link_for_hops(4);
+  EXPECT_GT(four.latency_mean_s, 3.0 * one.latency_mean_s);
+  EXPECT_GT(four.loss_prob, one.loss_prob);
+  EXPECT_LT(four.loss_prob, 1.0);
+
+  ASSERT_TRUE(sys.add_mote("deep", {9, 9, 1}, /*hops=*/3).is_ok());
+  const auto* attrs = sys.registry().static_attrs("deep");
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_TRUE(device::value_equal(attrs->at("hops"), Value{std::int64_t{3}}));
+}
+
+}  // namespace
+}  // namespace aorta

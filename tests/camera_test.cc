@@ -1,0 +1,248 @@
+// Tests for the PTZ camera simulator: kinematics, photo timing against the
+// published cost range, interference between concurrent actions, and the
+// fatigue model — the behaviours the Section 6 experiments rest on.
+#include <gtest/gtest.h>
+
+#include "comm/comm_module.h"
+#include "devices/camera.h"
+
+namespace aorta {
+namespace {
+
+using devices::CameraPose;
+using devices::PtzLimits;
+using devices::PtzPosition;
+using devices::PtzSpeeds;
+using util::Duration;
+
+// ------------------------------------------------------------- ptz math
+
+TEST(PtzMathTest, NormalizeDegrees) {
+  EXPECT_DOUBLE_EQ(devices::normalize_deg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(devices::normalize_deg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(devices::normalize_deg(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(devices::normalize_deg(540.0), 180.0);
+}
+
+TEST(PtzMathTest, MoveTimeIsSlowesAxis) {
+  PtzSpeeds speeds;  // pan 67.6 deg/s, tilt 25 deg/s, zoom 6 /s
+  PtzPosition from{0, 0, 1};
+  PtzPosition to{67.6, 0, 1};
+  EXPECT_NEAR(move_time_s(from, to, speeds), 1.0, 1e-9);
+  to = PtzPosition{0, -25, 1};
+  EXPECT_NEAR(move_time_s(from, to, speeds), 1.0, 1e-9);
+  to = PtzPosition{67.6, -50, 1};  // tilt is slower: 2 s vs 1 s
+  EXPECT_NEAR(move_time_s(from, to, speeds), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(move_time_s(from, from, speeds), 0.0);
+}
+
+TEST(PtzMathTest, WorstCasePanSweepMatchesPublishedCostRange) {
+  // Full pan sweep + medium capture must reach the paper's photo() maximum
+  // of 5.36 s; a no-move capture its minimum of 0.36 s.
+  PtzSpeeds speeds;
+  PtzLimits limits;
+  double sweep = move_time_s(PtzPosition{limits.pan_min_deg, 0, 1},
+                             PtzPosition{limits.pan_max_deg, 0, 1}, speeds);
+  EXPECT_NEAR(sweep + devices::capture_time_s("medium"), 5.36, 0.01);
+  EXPECT_NEAR(devices::capture_time_s("medium"), 0.36, 1e-9);
+}
+
+TEST(PtzMathTest, AimAtComputesBearingTiltAndZoom) {
+  CameraPose pose{{0, 0, 3}, 0.0};
+  // Target due "north" (positive y) at floor level.
+  PtzPosition aim = devices::aim_at(pose, {0, 4, 0});
+  EXPECT_NEAR(aim.pan_deg, 90.0, 1e-6);
+  EXPECT_LT(aim.tilt_deg, 0.0);  // looks down
+  EXPECT_GT(aim.zoom, 1.0);      // 5 m away -> zoomed in
+
+  // Mounting yaw rotates the pan-zero direction.
+  CameraPose rotated{{0, 0, 3}, 90.0};
+  PtzPosition aim2 = devices::aim_at(rotated, {0, 4, 0});
+  EXPECT_NEAR(aim2.pan_deg, 0.0, 1e-6);
+}
+
+TEST(PtzMathTest, AimAtClampsToLimits) {
+  PtzLimits limits;
+  CameraPose pose{{0, 0, 0}, 0.0};
+  PtzPosition aim = devices::aim_at(pose, {-5, -0.1, 0}, limits);  // ~-178 deg
+  EXPECT_GE(aim.pan_deg, limits.pan_min_deg);
+  PtzPosition far = devices::aim_at(pose, {1000, 0, 0}, limits);
+  EXPECT_LE(far.zoom, limits.zoom_max);
+}
+
+TEST(PtzMathTest, CoverageRespectsRangeAndPanLimits) {
+  CameraPose pose{{0, 0, 3}, 0.0};
+  EXPECT_TRUE(devices::covers(pose, {5, 0, 0}, 25.0));
+  EXPECT_FALSE(devices::covers(pose, {50, 0, 0}, 25.0));  // out of range
+  // Directly behind the pan dead zone (pan would be ~180 deg > 169).
+  EXPECT_FALSE(devices::covers(pose, {-5, 0.0, 3}, 25.0));
+}
+
+// --------------------------------------------------------- camera device
+
+struct CameraFixture : public ::testing::Test {
+  CameraFixture()
+      : loop(&clock),
+        network(&loop, util::Rng(1)),
+        registry(&network, &loop, util::Rng(2)),
+        comm(&registry, &network) {
+    (void)registry.register_type(devices::camera_type_info());
+    auto camera = std::make_unique<devices::PtzCamera>(
+        "cam1", "10.0.0.1", CameraPose{{0, 0, 3}, 0.0});
+    cam = camera.get();
+    cam->reliability().glitch_prob = 0.0;
+    cam->set_fatigue_coeff(0.0);
+    EXPECT_TRUE(registry.add(std::move(camera)).is_ok());
+    // Deterministic timing for duration assertions.
+    (void)network.set_link("cam1", net::LinkModel::perfect());
+    (void)network.set_link(comm::EngineNode::kNodeId, net::LinkModel::perfect());
+  }
+
+  util::SimClock clock;
+  util::EventLoop loop;
+  net::Network network;
+  device::DeviceRegistry registry;
+  comm::CommLayer comm;
+  devices::PtzCamera* cam = nullptr;
+};
+
+TEST_F(CameraFixture, PhotoTakesMovementPlusCaptureTime) {
+  PtzPosition target{67.6, 0, 1};  // 1 s pan from rest
+  bool done = false;
+  util::TimePoint start = loop.now();
+  comm.camera().photo("cam1", target, "medium",
+                      [&](util::Result<comm::PhotoOutcome> outcome) {
+                        done = true;
+                        ASSERT_TRUE(outcome.is_ok());
+                        EXPECT_TRUE(outcome.value().usable());
+                        EXPECT_NEAR(outcome.value().pan_deg, 67.6, 1e-6);
+                      });
+  loop.run_all();
+  ASSERT_TRUE(done);
+  EXPECT_NEAR((loop.now() - start).to_seconds(), 1.0 + 0.36, 1e-6);
+  EXPECT_EQ(cam->head(), target);
+  EXPECT_EQ(cam->camera_stats().photos_ok, 1u);
+}
+
+TEST_F(CameraFixture, SequentialPhotosAreSequenceDependent) {
+  // Second photo from the new head position is cheaper than from rest.
+  util::TimePoint start = loop.now();
+  comm.camera().photo("cam1", PtzPosition{67.6, 0, 1}, "medium",
+                      [](util::Result<comm::PhotoOutcome>) {});
+  loop.run_all();
+  double first = (loop.now() - start).to_seconds();
+
+  start = loop.now();
+  comm.camera().photo("cam1", PtzPosition{74.36, 0, 1}, "medium",  // 0.1 s pan
+                      [](util::Result<comm::PhotoOutcome>) {});
+  loop.run_all();
+  double second = (loop.now() - start).to_seconds();
+  EXPECT_NEAR(first, 1.36, 1e-5);
+  EXPECT_NEAR(second, 0.46, 1e-5);
+}
+
+TEST_F(CameraFixture, ConcurrentPhotosInterfere) {
+  // Two overlapping photo commands: both come back degraded (blurred or
+  // wrong position) — the Section 4 failure mode the locks exist for.
+  cam->reliability().busy_drop_base = 0.0;  // isolate interference
+  int usable = 0, degraded = 0;
+  auto record = [&](util::Result<comm::PhotoOutcome> outcome) {
+    ASSERT_TRUE(outcome.is_ok());
+    if (!outcome.value().ok) return;
+    if (outcome.value().usable()) {
+      ++usable;
+    } else {
+      ++degraded;
+    }
+  };
+  comm.camera().photo("cam1", PtzPosition{100, 0, 1}, "medium", record);
+  loop.run_for(Duration::millis(200));  // first well underway
+  comm.camera().photo("cam1", PtzPosition{-100, 0, 1}, "medium", record);
+  loop.run_all();
+  EXPECT_EQ(usable, 0);
+  EXPECT_EQ(degraded, 2);
+  EXPECT_EQ(cam->camera_stats().photos_blurred +
+                cam->camera_stats().photos_wrong_position,
+            2u);
+}
+
+TEST_F(CameraFixture, SerializedPhotosDoNotInterfere) {
+  int usable = 0;
+  comm.camera().photo("cam1", PtzPosition{100, 0, 1}, "medium",
+                      [&](util::Result<comm::PhotoOutcome> o) {
+                        if (o.is_ok() && o.value().usable()) ++usable;
+                      });
+  loop.run_all();  // completes before the next starts
+  comm.camera().photo("cam1", PtzPosition{-100, 0, 1}, "medium",
+                      [&](util::Result<comm::PhotoOutcome> o) {
+                        if (o.is_ok() && o.value().usable()) ++usable;
+                      });
+  loop.run_all();
+  EXPECT_EQ(usable, 2);
+}
+
+TEST_F(CameraFixture, FatigueRaisesFailureProbabilityUnderLoad) {
+  cam->set_fatigue_coeff(5.0);  // exaggerated for the test
+  int failures = 0, attempts = 0;
+  // Hammer the camera (sequentially, no interference) and expect failures
+  // to appear as utilization builds.
+  for (int i = 0; i < 30; ++i) {
+    ++attempts;
+    comm.camera().photo("cam1", PtzPosition{(i % 2) ? 150.0 : -150.0, 0, 1},
+                        "medium", [&](util::Result<comm::PhotoOutcome> o) {
+                          if (o.is_ok() && !o.value().ok) ++failures;
+                        });
+    loop.run_all();
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, attempts);
+  EXPECT_GT(cam->current_utilization(), 0.0);
+}
+
+TEST_F(CameraFixture, ReadAttributesExposePhysicalStatus) {
+  cam->set_head(PtzPosition{45, -30, 2});
+  auto pan = cam->read_attribute("pan");
+  auto tilt = cam->read_attribute("tilt");
+  auto zoom = cam->read_attribute("zoom");
+  ASSERT_TRUE(pan.is_ok());
+  EXPECT_TRUE(device::value_equal(pan.value(), device::Value{45.0}));
+  EXPECT_TRUE(device::value_equal(tilt.value(), device::Value{-30.0}));
+  EXPECT_TRUE(device::value_equal(zoom.value(), device::Value{2.0}));
+  EXPECT_FALSE(cam->read_attribute("shutter_count").is_ok());
+
+  auto status = cam->status_snapshot();
+  EXPECT_DOUBLE_EQ(status.at("pan"), 45.0);
+  EXPECT_DOUBLE_EQ(status.at("tilt"), -30.0);
+}
+
+TEST_F(CameraFixture, StaticAttrsIncludePoseForCostResolution) {
+  auto attrs = cam->static_attrs();
+  EXPECT_TRUE(device::value_equal(attrs.at("ip"),
+                                  device::Value{std::string("10.0.0.1")}));
+  EXPECT_TRUE(device::value_equal(attrs.at("loc"),
+                                  device::Value{device::Location{0, 0, 3}}));
+  EXPECT_TRUE(device::value_equal(attrs.at("yaw"), device::Value{0.0}));
+}
+
+TEST_F(CameraFixture, PhotoSizesScaleCaptureAndBytes) {
+  EXPECT_LT(devices::capture_time_s("small"), devices::capture_time_s("medium"));
+  EXPECT_LT(devices::capture_time_s("medium"), devices::capture_time_s("large"));
+  EXPECT_LT(devices::photo_bytes("small"), devices::photo_bytes("large"));
+}
+
+TEST(CameraTypeInfoTest, AtomicOpRatesMatchKinematics) {
+  device::DeviceTypeInfo info = devices::camera_type_info();
+  PtzSpeeds speeds;
+  const device::AtomicOpCost* pan = info.op_costs.find("pan");
+  ASSERT_NE(pan, nullptr);
+  EXPECT_NEAR(pan->per_unit_s, 1.0 / speeds.pan_deg_per_s, 1e-12);
+  const device::AtomicOpCost* snap = info.op_costs.find("snap_medium");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_NEAR(snap->fixed_s, devices::capture_time_s("medium"), 1e-12);
+  EXPECT_NE(info.catalog.find("pan"), nullptr);
+  EXPECT_TRUE(info.catalog.find("pan")->sensory);
+  EXPECT_FALSE(info.catalog.find("ip")->sensory);
+}
+
+}  // namespace
+}  // namespace aorta

@@ -1,0 +1,122 @@
+// Edge cases across the stack: empty worlds, events nobody can service,
+// heavy event-loop stress, and location values in predicates.
+#include <gtest/gtest.h>
+
+#include "core/aorta.h"
+
+namespace aorta {
+namespace {
+
+using device::Value;
+using util::Duration;
+using util::TimePoint;
+
+TEST(EdgeCaseTest, QueryOverEmptyWorldIdlesCleanly) {
+  core::Aorta sys(core::Config{});
+  // Register the snapshot query with no devices at all.
+  ASSERT_TRUE(sys.exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                       "FROM sensor s, camera c "
+                       "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  sys.run_for(Duration::minutes(2));
+  const query::QueryStats* qs = sys.query_stats("q");
+  ASSERT_NE(qs, nullptr);
+  EXPECT_GT(qs->epochs, 100u);  // it kept evaluating
+  EXPECT_EQ(qs->events, 0u);
+  EXPECT_EQ(sys.stats().network.sent, 0u);  // nothing to talk to
+
+  // One-shot SELECT over the empty table returns zero rows, not an error.
+  auto rows = sys.exec("SELECT s.id FROM sensor s");
+  ASSERT_TRUE(rows.is_ok());
+  EXPECT_TRUE(rows->rows.empty());
+}
+
+TEST(EdgeCaseTest, EventWithNoCoveringCandidateIsDroppedSilently) {
+  core::Aorta sys(core::Config{.seed = 3});
+  // A camera too far away to cover the mote.
+  ASSERT_TRUE(
+      sys.add_camera("far_cam", "10.0.0.1", {{500, 500, 3}, 0.0}, 10.0).is_ok());
+  ASSERT_TRUE(sys.add_mote("m1", {0, 0, 1}).is_ok());
+  sys.mote("m1")->reliability().glitch_prob = 0.0;
+  auto link = net::LinkModel::mote_radio();
+  link.loss_prob = 0.0;
+  ASSERT_TRUE(sys.network().set_link("m1", link).is_ok());
+  auto script = std::make_unique<devices::ScriptedSignal>(0.0);
+  script->add_spike(TimePoint::from_micros(10'000'000), Duration::seconds(2),
+                    900.0);
+  (void)sys.mote("m1")->set_signal("accel_x", std::move(script));
+
+  ASSERT_TRUE(sys.exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                       "FROM sensor s, camera c "
+                       "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  sys.run_for(Duration::minutes(1));
+
+  const query::QueryStats* qs = sys.query_stats("q");
+  EXPECT_EQ(qs->events, 1u);           // the event fired...
+  EXPECT_EQ(qs->requests_issued, 0u);  // ...but no device could serve it
+  EXPECT_EQ(sys.camera("far_cam")->camera_stats().photos_ok, 0u);
+}
+
+TEST(EdgeCaseTest, LocationEqualityInPredicates) {
+  core::Aorta sys(core::Config{});
+  ASSERT_TRUE(sys.add_mote("m1", {1, 2, 3}).is_ok());
+  ASSERT_TRUE(sys.add_mote("m2", {4, 5, 6}).is_ok());
+  for (const char* id : {"m1", "m2"}) {
+    sys.mote(id)->reliability().glitch_prob = 0.0;
+    auto link = net::LinkModel::mote_radio();
+    link.loss_prob = 0.0;
+    (void)sys.network().set_link(id, link);
+  }
+  // distance(loc, loc) = 0 picks out the same-device pairs of a self-join.
+  auto rows = sys.exec("SELECT s.id, m.id FROM sensor s, sensor m "
+                       "WHERE distance(s.loc, m.loc) = 0");
+  ASSERT_TRUE(rows.is_ok()) << rows.status().to_string();
+  EXPECT_EQ(rows->rows.size(), 2u);  // (m1,m1) and (m2,m2)
+}
+
+TEST(EdgeCaseTest, EventLoopStressKeepsChronologicalOrder) {
+  util::SimClock clock;
+  util::EventLoop loop(&clock);
+  util::Rng rng(4242);
+  std::vector<std::int64_t> fired_at;
+  const int kEvents = 20000;
+  for (int i = 0; i < kEvents; ++i) {
+    std::int64_t at = rng.uniform_int(0, 1'000'000);
+    loop.schedule_at(TimePoint::from_micros(at), [&fired_at, &loop]() {
+      fired_at.push_back(loop.now().to_micros());
+    });
+  }
+  // Cancel a random slice.
+  std::uint64_t cancelled = 0;
+  for (util::EventId id = 2; id < 1000; id += 7) {
+    if (loop.cancel(id)) ++cancelled;
+  }
+  loop.run_all();
+  EXPECT_EQ(fired_at.size(), kEvents - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired_at.begin(), fired_at.end()));
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EdgeCaseTest, ZeroEpochQueriesShareTheEngineDefault) {
+  core::Aorta sys(core::Config{});
+  ASSERT_TRUE(sys.add_mote("m1", {0, 0, 1}).is_ok());
+  ASSERT_TRUE(
+      sys.exec("CREATE AQ a AS SELECT s.id FROM sensor s WHERE s.accel_x > 1")
+          .is_ok());
+  ASSERT_TRUE(
+      sys.exec("CREATE AQ b AS SELECT s.id FROM sensor s WHERE s.accel_x > 1")
+          .is_ok());
+  sys.run_for(Duration::seconds(30));
+  EXPECT_EQ(sys.query_stats("a")->epochs, sys.query_stats("b")->epochs);
+  EXPECT_NEAR(static_cast<double>(sys.query_stats("a")->epochs), 30.0, 1.0);
+}
+
+TEST(EdgeCaseTest, RunForZeroIsANoop) {
+  core::Aorta sys(core::Config{});
+  sys.run_for(Duration::zero());
+  EXPECT_EQ(sys.loop().now(), TimePoint::origin());
+}
+
+}  // namespace
+}  // namespace aorta

@@ -1,0 +1,284 @@
+// Tests for the extension features: lock acquisition timeouts, SHOW
+// statements, and the door-lock device type registered purely through the
+// public extension points (Section 8 future work).
+#include <gtest/gtest.h>
+
+#include "core/aorta.h"
+#include "devices/smart_lock.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+
+// ------------------------------------------------------ lock_with_timeout
+
+struct LockTimeoutFixture : public ::testing::Test {
+  LockTimeoutFixture() : loop(&clock), locks(&loop) {}
+  util::SimClock clock;
+  util::EventLoop loop;
+  sync::LockManager locks;
+};
+
+TEST_F(LockTimeoutFixture, GrantsImmediatelyWhenFree) {
+  bool granted = false;
+  locks.lock_with_timeout("cam1", "a", Duration::seconds(1),
+                          [&](util::Status s) { granted = s.is_ok(); });
+  loop.run_all();
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(locks.is_locked("cam1"));
+}
+
+TEST_F(LockTimeoutFixture, TimesOutWhenHeldTooLong) {
+  ASSERT_TRUE(locks.try_lock("cam1", "holder"));
+  bool timed_out = false;
+  locks.lock_with_timeout("cam1", "waiter", Duration::millis(500),
+                          [&](util::Status s) {
+                            timed_out = s.code() == util::StatusCode::kTimeout;
+                          });
+  loop.run_all();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(locks.stats().wait_timeouts, 1u);
+  EXPECT_EQ(locks.queue_depth("cam1"), 0u);  // waiter removed
+  // The holder still owns the lock; a later unlock works normally.
+  EXPECT_TRUE(locks.unlock("cam1", "holder").is_ok());
+}
+
+TEST_F(LockTimeoutFixture, GrantBeforeDeadlineCancelsTimeout) {
+  ASSERT_TRUE(locks.try_lock("cam1", "holder"));
+  bool granted = false;
+  locks.lock_with_timeout("cam1", "waiter", Duration::seconds(10),
+                          [&](util::Status s) { granted = s.is_ok(); });
+  loop.run_for(Duration::millis(100));
+  ASSERT_TRUE(locks.unlock("cam1", "holder").is_ok());
+  loop.run_all();  // includes the (cancelled) timeout's slot
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(locks.stats().wait_timeouts, 0u);
+  ASSERT_NE(locks.holder("cam1"), nullptr);
+  EXPECT_EQ(*locks.holder("cam1"), "waiter");
+}
+
+TEST_F(LockTimeoutFixture, MixedWaitersKeepFifoOrder) {
+  ASSERT_TRUE(locks.try_lock("cam1", "holder"));
+  std::vector<std::string> grants;
+  locks.lock("cam1", "plain", [&]() { grants.push_back("plain"); });
+  locks.lock_with_timeout("cam1", "timed", Duration::seconds(60),
+                          [&](util::Status s) {
+                            if (s.is_ok()) grants.push_back("timed");
+                          });
+  ASSERT_TRUE(locks.unlock("cam1", "holder").is_ok());
+  loop.run_for(Duration::millis(10));  // do not run into the 60 s deadline
+  ASSERT_EQ(grants.size(), 1u);  // "plain" first (FIFO), still holding
+  ASSERT_TRUE(locks.unlock("cam1", "plain").is_ok());
+  loop.run_for(Duration::millis(10));
+  EXPECT_EQ(grants, (std::vector<std::string>{"plain", "timed"}));
+  ASSERT_TRUE(locks.unlock("cam1", "timed").is_ok());
+}
+
+TEST_F(LockTimeoutFixture, TimedOutWaiterDoesNotReceiveLaterGrant) {
+  ASSERT_TRUE(locks.try_lock("cam1", "holder"));
+  int calls = 0;
+  locks.lock_with_timeout("cam1", "waiter", Duration::millis(100),
+                          [&](util::Status) { ++calls; });
+  loop.run_for(Duration::millis(200));  // timeout fires
+  ASSERT_TRUE(locks.unlock("cam1", "holder").is_ok());
+  loop.run_all();
+  EXPECT_EQ(calls, 1);                      // exactly once
+  EXPECT_FALSE(locks.is_locked("cam1"));    // nothing left to grant
+}
+
+// ------------------------------------------------------------ SHOW verbs
+
+struct ShowFixture : public ::testing::Test {
+  ShowFixture() : sys(core::Config{}) {
+    (void)sys.add_camera("cam1", "10.0.0.1", {{0, 0, 3}, 0.0});
+    (void)sys.add_mote("mote1", {1, 1, 1});
+  }
+  core::Aorta sys;
+};
+
+TEST_F(ShowFixture, ShowDevicesListsEveryDevice) {
+  auto r = sys.exec("SHOW DEVICES");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_EQ(r->rows.size(), 2u);
+  std::set<std::string> ids;
+  for (const auto& row : r->rows) {
+    for (const auto& [column, value] : row) {
+      if (column == "id") ids.insert(std::get<std::string>(value));
+    }
+  }
+  EXPECT_TRUE(ids.count("cam1"));
+  EXPECT_TRUE(ids.count("mote1"));
+}
+
+TEST_F(ShowFixture, ShowActionsListsBuiltins) {
+  auto r = sys.exec("SHOW ACTIONS");
+  ASSERT_TRUE(r.is_ok());
+  std::set<std::string> names;
+  for (const auto& row : r->rows) {
+    for (const auto& [column, value] : row) {
+      if (column == "name") names.insert(std::get<std::string>(value));
+    }
+  }
+  EXPECT_TRUE(names.count("photo"));
+  EXPECT_TRUE(names.count("sendphoto"));
+  EXPECT_TRUE(names.count("beep"));
+  EXPECT_TRUE(names.count("blink"));
+}
+
+TEST_F(ShowFixture, ShowQueriesTracksRegistrations) {
+  auto empty = sys.exec("SHOW QUERIES");
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty->rows.empty());
+
+  ASSERT_TRUE(sys.exec("CREATE AQ q AS SELECT s.id FROM sensor s "
+                       "WHERE s.accel_x > 500")
+                  .is_ok());
+  auto one = sys.exec("SHOW QUERIES");
+  ASSERT_TRUE(one.is_ok());
+  ASSERT_EQ(one->rows.size(), 1u);
+
+  ASSERT_TRUE(sys.exec("DROP AQ q").is_ok());
+  auto gone = sys.exec("SHOW QUERIES");
+  ASSERT_TRUE(gone.is_ok());
+  EXPECT_TRUE(gone->rows.empty());
+}
+
+TEST_F(ShowFixture, ShowRejectsUnknownTarget) {
+  EXPECT_FALSE(sys.exec("SHOW TABLES").is_ok());
+  EXPECT_FALSE(sys.exec("SHOW").is_ok());
+}
+
+// --------------------------------------------------- door lock extension
+
+// The example's comm module, reproduced here to exercise the extension
+// path under test.
+class DoorLockComm : public comm::CommModule {
+ public:
+  DoorLockComm(device::DeviceRegistry* registry, comm::EngineNode* engine)
+      : CommModule(registry, engine, devices::SmartLock::kTypeId) {}
+
+  void engage(const device::DeviceId& id,
+              std::function<void(util::Status)> done) {
+    request(id, "engage", {}, default_timeout(),
+            [done = std::move(done)](util::Result<net::Message> reply) {
+              if (!reply.is_ok()) {
+                done(reply.status());
+              } else if (reply.value().field("ok") != "1") {
+                done(util::action_failed_error(reply.value().field("error")));
+              } else {
+                done(util::Status::ok());
+              }
+            });
+  }
+};
+
+struct DoorLockFixture : public ::testing::Test {
+  DoorLockFixture() : sys(core::Config{.seed = 9}) {
+    EXPECT_TRUE(
+        sys.registry().register_type(devices::doorlock_type_info()).is_ok());
+    auto module = std::make_unique<DoorLockComm>(&sys.registry(),
+                                                 &sys.comm().engine());
+    doorlock_comm = module.get();
+    sys.comm().register_module(std::move(module));
+
+    query::ActionDef def;
+    def.name = "engage_lock";
+    def.params = {{device::AttrType::kString, "lock_id"}};
+    def.device_type = devices::SmartLock::kTypeId;
+    def.binding_param = 0;
+    def.binding_attr = "id";
+    device::ActionProfile profile("engage_lock", devices::SmartLock::kTypeId,
+                                  device::ActionProfileNode::op("engage"));
+    def.cost_model = query::ProfileCostModel::from_profile(
+        profile, devices::doorlock_type_info().op_costs);
+    def.profile = std::move(profile);
+    DoorLockComm* module_ptr = doorlock_comm;
+    def.impl = [module_ptr](const device::DeviceId& device,
+                            const std::vector<device::Value>&,
+                            std::function<void(util::Result<sched::ActionOutcome>)>
+                                done) {
+      module_ptr->engage(device, [done = std::move(done)](util::Status s) {
+        if (!s.is_ok()) {
+          done(util::Result<sched::ActionOutcome>(s));
+          return;
+        }
+        sched::ActionOutcome out;
+        out.ok = true;
+        done(out);
+      });
+    };
+    EXPECT_TRUE(sys.catalog().register_action(std::move(def)).is_ok());
+  }
+
+  devices::SmartLock* add_lock(const std::string& id, device::Location loc) {
+    auto lock = std::make_unique<devices::SmartLock>(id, loc);
+    lock->reliability().glitch_prob = 0.0;
+    devices::SmartLock* raw = lock.get();
+    EXPECT_TRUE(sys.registry().add(std::move(lock)).is_ok());
+    return raw;
+  }
+
+  core::Aorta sys;
+  DoorLockComm* doorlock_comm = nullptr;
+};
+
+TEST_F(DoorLockFixture, ModuleResolvableThroughCommLayer) {
+  EXPECT_EQ(sys.comm().module_for("doorlock"), doorlock_comm);
+}
+
+TEST_F(DoorLockFixture, NewVirtualTableQueryable) {
+  add_lock("lock1", {1, 2, 0});
+  add_lock("lock2", {5, 5, 0});
+  auto rows = sys.exec("SELECT l.id, l.engaged, l.battery_v FROM doorlock l");
+  ASSERT_TRUE(rows.is_ok()) << rows.status().to_string();
+  EXPECT_EQ(rows->rows.size(), 2u);
+}
+
+TEST_F(DoorLockFixture, ActionEmbeddedQueryDrivesTheNewDevice) {
+  (void)sys.add_mote("door_mote", {1, 1, 1});
+  sys.mote("door_mote")->reliability().glitch_prob = 0.0;
+  auto link = net::LinkModel::mote_radio();
+  link.loss_prob = 0.0;
+  ASSERT_TRUE(sys.network().set_link("door_mote", link).is_ok());
+  devices::SmartLock* lock = add_lock("lock1", {1, 0, 1});
+
+  auto script = std::make_unique<devices::ScriptedSignal>(0.0);
+  script->add_spike(util::TimePoint::from_micros(10'000'000),
+                    util::Duration::seconds(2), 900.0);
+  (void)sys.mote("door_mote")->set_signal("accel_x", std::move(script));
+
+  ASSERT_TRUE(sys.exec("CREATE AQ lockdown AS SELECT engage_lock(l.id) "
+                       "FROM sensor s, doorlock l "
+                       "WHERE s.accel_x > 500 AND distance(l.loc, s.loc) < 5")
+                  .is_ok());
+  sys.run_for(util::Duration::seconds(60));
+
+  EXPECT_TRUE(lock->is_engaged());
+  EXPECT_EQ(lock->transitions(), 1u);
+  EXPECT_EQ(sys.action_stats("lockdown").usable, 1u);
+}
+
+TEST_F(DoorLockFixture, ProbingCoversTheNewTypeToo) {
+  devices::SmartLock* lock = add_lock("lock1", {1, 1, 0});
+  bool alive = false;
+  sys.prober().probe("lock1", [&](util::Result<sync::ProbeInfo> info) {
+    alive = info.is_ok();
+    if (info.is_ok()) {
+      EXPECT_DOUBLE_EQ(info.value().status.at("engaged"), 0.0);
+    }
+  });
+  sys.run_for(util::Duration::seconds(5));
+  EXPECT_TRUE(alive);
+
+  lock->set_online(false);
+  bool dead = false;
+  sys.prober().probe("lock1", [&](util::Result<sync::ProbeInfo> info) {
+    dead = !info.is_ok();
+  });
+  sys.run_for(util::Duration::seconds(5));
+  EXPECT_TRUE(dead);
+}
+
+}  // namespace
+}  // namespace aorta

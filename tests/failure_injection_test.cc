@@ -1,0 +1,208 @@
+// Failure injection: the behaviours Aorta must keep under packet loss,
+// device glitches, partitions mid-operation, and crashes — Section 4's
+// premise that "physical devices in pervasive computing are intrinsically
+// unreliable".
+#include <gtest/gtest.h>
+
+#include "core/aorta.h"
+#include "util/strings.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// ----------------------------------------------------- radio loss sweeps
+
+class RadioLossTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadioLossTest, ScanSuccessDegradesGracefullyWithLoss) {
+  const double loss = GetParam();
+  util::SimClock clock;
+  util::EventLoop loop(&clock);
+  net::Network network(&loop, util::Rng(7));
+  device::DeviceRegistry registry(&network, &loop, util::Rng(8));
+  (void)registry.register_type(devices::sensor_type_info());
+  comm::CommLayer comm(&registry, &network);
+
+  for (int i = 0; i < 10; ++i) {
+    auto mote = std::make_unique<devices::Mica2Mote>(
+        "m" + std::to_string(i), device::Location{});
+    mote->reliability().glitch_prob = 0.0;
+    ASSERT_TRUE(registry.add(std::move(mote)).is_ok());
+    auto link = net::LinkModel::mote_radio();
+    link.loss_prob = loss;
+    ASSERT_TRUE(network.set_link("m" + std::to_string(i), link).is_ok());
+  }
+
+  comm::ScanOperator scan(&registry, &comm, "sensor", {"temp"});
+  std::size_t produced = 0;
+  const int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    scan.scan([&](std::vector<comm::Tuple> tuples) { produced += tuples.size(); });
+    loop.run_for(Duration::seconds(5));
+  }
+
+  double rate = static_cast<double>(produced) / (10.0 * kRounds);
+  if (loss == 0.0) {
+    EXPECT_DOUBLE_EQ(rate, 1.0);
+  } else if (loss >= 1.0) {
+    EXPECT_DOUBLE_EQ(rate, 0.0);
+    EXPECT_EQ(scan.stats().devices_skipped, 10u * kRounds);
+  } else {
+    // Each read crosses two lossy traversals: success ~ (1-loss)^2, with
+    // generous slack for sampling noise.
+    double expected = (1.0 - loss) * (1.0 - loss);
+    EXPECT_NEAR(rate, expected, 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, RadioLossTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 1.0));
+
+// -------------------------------------------------- full-stack injections
+
+struct FailureFixture : public ::testing::Test {
+  void build(std::uint64_t seed = 3) {
+    core::Config config;
+    config.seed = seed;
+    sys = std::make_unique<core::Aorta>(config);
+    ASSERT_TRUE(sys->add_camera("cam1", "10.0.0.1", {{0, 0, 3}, 0.0}).is_ok());
+    ASSERT_TRUE(sys->add_mote("mote1", {2, 1, 1}).is_ok());
+    sys->mote("mote1")->reliability().glitch_prob = 0.0;
+    auto link = net::LinkModel::mote_radio();
+    link.loss_prob = 0.0;
+    ASSERT_TRUE(sys->network().set_link("mote1", link).is_ok());
+    sys->camera("cam1")->set_fatigue_coeff(0.0);
+    sys->camera("cam1")->reliability().glitch_prob = 0.0;
+  }
+
+  void spike_at(double t_s) {
+    auto* signal = dynamic_cast<devices::ScriptedSignal*>(
+        sys->mote("mote1")->signal("accel_x"));
+    if (signal == nullptr) {
+      auto script = std::make_unique<devices::ScriptedSignal>(0.0);
+      signal = script.get();
+      (void)sys->mote("mote1")->set_signal("accel_x", std::move(script));
+    }
+    signal->add_spike(
+        TimePoint::from_micros(static_cast<std::int64_t>(t_s * 1e6)),
+        Duration::seconds(2), 900.0);
+  }
+
+  void register_snapshot() {
+    ASSERT_TRUE(sys->exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                          "FROM sensor s, camera c "
+                          "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                    .is_ok());
+  }
+
+  std::unique_ptr<core::Aorta> sys;
+};
+
+TEST_F(FailureFixture, CameraGlitchCountsAsFailureAndReleasesLock) {
+  build();
+  sys->camera("cam1")->reliability().glitch_prob = 1.0;  // always fails
+  spike_at(10.0);
+  register_snapshot();
+  sys->run_for(Duration::seconds(40));
+
+  auto as = sys->action_stats("q");
+  EXPECT_EQ(as.failed, 1u);
+  EXPECT_EQ(as.usable, 0u);
+  // The lock was released despite the failure.
+  EXPECT_EQ(sys->stats().locks.acquisitions, sys->stats().locks.releases);
+  EXPECT_FALSE(sys->locks().is_locked("cam1"));
+}
+
+TEST_F(FailureFixture, CameraDiesBetweenProbeAndAction) {
+  build();
+  spike_at(10.0);
+  register_snapshot();
+  // Let the probe round succeed, then kill the camera before the photo
+  // request lands (probe ~ms, photo dispatched right after; the camera
+  // dies at t=10.5s while the action is being serviced or in flight).
+  sys->run_for(Duration::seconds(10.4));
+  sys->camera("cam1")->set_online(false);
+  sys->run_for(Duration::seconds(60));
+
+  auto as = sys->action_stats("q");
+  EXPECT_EQ(as.usable + as.failed + as.no_candidate, 1u);
+  EXPECT_EQ(as.usable, 0u);  // photo can't have completed
+  EXPECT_FALSE(sys->locks().is_locked("cam1"));  // no stranded lock
+}
+
+TEST_F(FailureFixture, MotePartitionSuppressesEventsUntilHealed) {
+  build();
+  spike_at(10.0);
+  spike_at(70.0);
+  register_snapshot();
+
+  sys->network().partition("mote1");  // radio dead: no samples arrive
+  sys->run_for(Duration::seconds(40));
+  EXPECT_EQ(sys->query_stats("q")->events, 0u);
+
+  sys->network().heal("mote1");
+  sys->run_for(Duration::seconds(60));
+  EXPECT_EQ(sys->query_stats("q")->events, 1u);  // only the second spike
+}
+
+TEST_F(FailureFixture, FailedSensoryReadNeverFiresEvent) {
+  build();
+  // The mote answers probes but every accel read glitches.
+  sys->mote("mote1")->reliability().glitch_prob = 1.0;
+  spike_at(10.0);
+  register_snapshot();
+  sys->run_for(Duration::seconds(40));
+  EXPECT_EQ(sys->query_stats("q")->events, 0u);
+  EXPECT_EQ(sys->action_stats("q").requests, 0u);
+}
+
+TEST_F(FailureFixture, LossyEverythingStillMakesProgress) {
+  // End-to-end smoke under adverse conditions: lossy radio, occasional
+  // camera glitches — some photos succeed, nothing crashes or deadlocks.
+  build(11);
+  auto link = net::LinkModel::mote_radio();  // 8% loss
+  ASSERT_TRUE(sys->network().set_link("mote1", link).is_ok());
+  sys->camera("cam1")->reliability().glitch_prob = 0.05;
+  (void)sys->mote("mote1")->set_signal(
+      "accel_x", devices::periodic_spike_signal(0.0, 900.0, Duration::seconds(30),
+                                                Duration::seconds(3)));
+  register_snapshot();
+  sys->run_for(Duration::minutes(10));
+
+  auto as = sys->action_stats("q");
+  EXPECT_GT(as.requests, 10u);
+  EXPECT_GT(as.usable, as.requests / 2);
+  EXPECT_EQ(sys->stats().locks.acquisitions, sys->stats().locks.releases);
+}
+
+TEST_F(FailureFixture, DeterministicReplayWithSameSeed) {
+  // Two full-stack runs with identical seeds produce identical statistics
+  // — the property every experiment in this repo rests on.
+  auto run_once = [](std::uint64_t seed) {
+    core::Config config;
+    config.seed = seed;
+    core::Aorta sys(config);
+    (void)sys.add_camera("cam1", "10.0.0.1", {{0, 0, 3}, 0.0});
+    (void)sys.add_mote("mote1", {2, 1, 1});
+    (void)sys.mote("mote1")->set_signal(
+        "accel_x",
+        devices::periodic_spike_signal(0.0, 900.0, Duration::seconds(20),
+                                       Duration::seconds(2)));
+    (void)sys.exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                   "FROM sensor s, camera c "
+                   "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)");
+    sys.run_for(Duration::minutes(5));
+    auto as = sys.action_stats("q");
+    auto net_stats = sys.stats().network;
+    return std::tuple(as.requests, as.usable, as.failed, net_stats.sent,
+                      net_stats.delivered);
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));  // and seeds matter
+}
+
+}  // namespace
+}  // namespace aorta

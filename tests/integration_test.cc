@@ -1,0 +1,422 @@
+// Integration tests: the full Aorta stack through the public facade —
+// declarative interface -> compilation -> epoch evaluation -> event
+// detection -> shared action operators -> probing -> scheduling -> locked
+// execution on simulated devices.
+#include <gtest/gtest.h>
+
+#include "core/aorta.h"
+#include "util/strings.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// A lab with two cameras and one scripted mote.
+struct AortaFixture : public ::testing::Test {
+  void build(core::Config config) {
+    sys = std::make_unique<core::Aorta>(config);
+    ASSERT_TRUE(
+        sys->add_camera("cam1", "10.0.0.1", {{0, 0, 3}, 0.0}).is_ok());
+    ASSERT_TRUE(
+        sys->add_camera("cam2", "10.0.0.2", {{10, 8, 3}, 180.0}).is_ok());
+    ASSERT_TRUE(sys->add_mote("mote1", {4, 2, 1}).is_ok());
+    // Make unit-test behaviour deterministic where the experiment knobs
+    // don't matter: reliable cameras, reliable mote radio.
+    for (const char* cam : {"cam1", "cam2"}) {
+      sys->camera(cam)->reliability().glitch_prob = 0.0;
+      sys->camera(cam)->set_fatigue_coeff(0.0);
+    }
+    sys->mote("mote1")->reliability().glitch_prob = 0.0;
+    auto link = net::LinkModel::mote_radio();
+    link.loss_prob = 0.0;
+    ASSERT_TRUE(sys->network().set_link("mote1", link).is_ok());
+  }
+
+  void spike_at(double t_s, double value = 800.0, double width_s = 2.0) {
+    auto* signal =
+        dynamic_cast<devices::ScriptedSignal*>(sys->mote("mote1")->signal("accel_x"));
+    if (signal == nullptr) {
+      auto script = std::make_unique<devices::ScriptedSignal>(0.0);
+      signal = script.get();
+      (void)sys->mote("mote1")->set_signal("accel_x", std::move(script));
+    }
+    signal->add_spike(TimePoint::from_micros(static_cast<std::int64_t>(t_s * 1e6)),
+                      Duration::seconds(width_s), value);
+  }
+
+  std::unique_ptr<core::Aorta> sys;
+};
+
+TEST_F(AortaFixture, SnapshotQueryEndToEnd) {
+  build(core::Config{});
+  spike_at(20.0);
+  spike_at(80.0);
+
+  auto r = sys->exec(
+      "CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, 'photos/admin') "
+      "FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+
+  sys->run_for(Duration::minutes(2));
+
+  const query::QueryStats* qs = sys->query_stats("snapshot");
+  ASSERT_NE(qs, nullptr);
+  EXPECT_EQ(qs->events, 2u);
+  query::QueryActionStats as = sys->action_stats("snapshot");
+  EXPECT_EQ(as.requests, 2u);
+  EXPECT_EQ(as.usable, 2u);
+  EXPECT_EQ(as.total_bad(), 0u);
+  // Exactly one camera serviced each event (device selection, not both).
+  EXPECT_EQ(sys->camera("cam1")->camera_stats().photos_ok +
+                sys->camera("cam2")->camera_stats().photos_ok,
+            2u);
+  // Locks were used.
+  EXPECT_EQ(sys->stats().locks.acquisitions, 2u);
+}
+
+TEST_F(AortaFixture, EdgeTriggeredEventsFireOncePerSpike) {
+  build(core::Config{});
+  spike_at(10.0, 800.0, 5.0);  // 5 s spike sampled by ~5 epochs
+
+  ASSERT_TRUE(sys->exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                        "FROM sensor s, camera c "
+                        "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  sys->run_for(Duration::seconds(30));
+  // One rising edge despite five above-threshold samples.
+  EXPECT_EQ(sys->query_stats("q")->events, 1u);
+}
+
+TEST_F(AortaFixture, SharedActionOperatorBatchesAcrossQueries) {
+  build(core::Config{});
+  ASSERT_TRUE(sys->add_mote("mote2", {6, 5, 1}).is_ok());
+  sys->mote("mote2")->reliability().glitch_prob = 0.0;
+  auto link = net::LinkModel::mote_radio();
+  link.loss_prob = 0.0;
+  ASSERT_TRUE(sys->network().set_link("mote2", link).is_ok());
+
+  // Both motes spike simultaneously.
+  spike_at(15.0);
+  auto script = std::make_unique<devices::ScriptedSignal>(0.0);
+  script->add_spike(TimePoint::from_micros(15'000'000), Duration::seconds(2),
+                    900.0);
+  (void)sys->mote("mote2")->set_signal("accel_x", std::move(script));
+
+  ASSERT_TRUE(sys->exec("CREATE AQ q1 AS SELECT photo(c.ip, s.loc, 'd') "
+                        "FROM sensor s, camera c WHERE s.id = 'mote1' AND "
+                        "s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  ASSERT_TRUE(sys->exec("CREATE AQ q2 AS SELECT photo(c.ip, s.loc, 'd') "
+                        "FROM sensor s, camera c WHERE s.id = 'mote2' AND "
+                        "s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  sys->run_for(Duration::seconds(60));
+
+  // One shared photo operator batched both queries' requests into a single
+  // scheduling round (Section 2.3's action operator sharing).
+  auto operators = sys->executor().operators();
+  ASSERT_EQ(operators.size(), 1u);
+  EXPECT_EQ(operators[0]->stats().batches, 1u);
+  EXPECT_EQ(operators[0]->stats().requests, 2u);
+  EXPECT_EQ(sys->action_stats("q1").usable, 1u);
+  EXPECT_EQ(sys->action_stats("q2").usable, 1u);
+}
+
+TEST_F(AortaFixture, ProbingExcludesDeadCameraAndFailsWhenAllDead) {
+  build(core::Config{});
+  spike_at(10.0);
+  spike_at(70.0);
+
+  ASSERT_TRUE(sys->exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                        "FROM sensor s, camera c "
+                        "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+
+  // First event: cam1 dead -> cam2 must take the photo.
+  sys->camera("cam1")->set_online(false);
+  sys->run_for(Duration::seconds(40));
+  EXPECT_EQ(sys->camera("cam2")->camera_stats().photos_ok, 1u);
+  EXPECT_EQ(sys->camera("cam1")->camera_stats().photos_ok, 0u);
+  EXPECT_GE(sys->stats().probes.timeouts, 1u);
+
+  // Second event: both cameras dead -> no_candidate failure.
+  sys->camera("cam2")->set_online(false);
+  sys->run_for(Duration::seconds(60));
+  query::QueryActionStats as = sys->action_stats("q");
+  EXPECT_EQ(as.no_candidate, 1u);
+  EXPECT_EQ(as.usable, 1u);
+}
+
+TEST_F(AortaFixture, WithoutLocksConcurrentQueriesInterfere) {
+  core::Config config;
+  config.use_locks = false;
+  config.use_probing = false;
+  build(config);
+  // Five queries fire on the same event and the same single camera
+  // (the second camera cannot cover the mote from its position? keep both;
+  // interference needs >=2 concurrent on one camera, which 5 requests on 2
+  // cameras guarantees).
+  spike_at(10.0);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(sys->exec(util::str_format(
+                              "CREATE AQ q%d AS SELECT photo(c.ip, s.loc, 'd') "
+                              "FROM sensor s, camera c WHERE s.accel_x > 500 "
+                              "AND coverage(c.id, s.loc)",
+                              i))
+                    .is_ok());
+  }
+  sys->run_for(Duration::seconds(60));
+
+  std::uint64_t usable = 0, bad = 0;
+  for (int i = 1; i <= 5; ++i) {
+    auto as = sys->action_stats("q" + std::to_string(i));
+    usable += as.usable;
+    bad += as.total_bad();
+  }
+  EXPECT_EQ(usable + bad, 5u);
+  EXPECT_GT(bad, 0u);  // interference without synchronization
+  EXPECT_EQ(sys->stats().locks.acquisitions, 0u);  // locks really off
+}
+
+TEST_F(AortaFixture, WithLocksSameWorkloadIsClean) {
+  build(core::Config{});
+  spike_at(10.0);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(sys->exec(util::str_format(
+                              "CREATE AQ q%d AS SELECT photo(c.ip, s.loc, 'd') "
+                              "FROM sensor s, camera c WHERE s.accel_x > 500 "
+                              "AND coverage(c.id, s.loc)",
+                              i))
+                    .is_ok());
+  }
+  sys->run_for(Duration::seconds(60));
+  std::uint64_t usable = 0;
+  for (int i = 1; i <= 5; ++i) usable += sys->action_stats("q" + std::to_string(i)).usable;
+  EXPECT_EQ(usable, 5u);
+  EXPECT_GT(sys->stats().locks.acquisitions, 0u);
+}
+
+TEST_F(AortaFixture, CreateActionRegistersUserDefinedAction) {
+  build(core::Config{});
+  ASSERT_TRUE(sys->add_phone("p1", "+85200001111", {50, 50, 0}).is_ok());
+  sys->phone("p1")->reliability().glitch_prob = 0.0;
+  spike_at(10.0);
+
+  sys->add_virtual_file("profiles/users/sendphoto.xml",
+                        "<action_profile action=\"sendphoto2\" "
+                        "device_type=\"phone\">"
+                        "<seq><op name=\"transfer\" units=\"81920\"/>"
+                        "<op name=\"recv_mms\"/></seq></action_profile>");
+  auto created = sys->exec(
+      "CREATE ACTION sendphoto2(String phone_no, String photo_pathname) "
+      "AS \"lib/users/sendphoto.dll\" PROFILE \"profiles/users/sendphoto.xml\"");
+  ASSERT_TRUE(created.is_ok()) << created.status().to_string();
+
+  // Missing profile file is a clean error.
+  EXPECT_FALSE(sys->exec("CREATE ACTION nope(String a) AS \"l\" "
+                         "PROFILE \"missing.xml\"")
+                   .is_ok());
+
+  // Bind the implementation and use it from a query.
+  ASSERT_TRUE(
+      sys->register_action_impl(
+             "sendphoto2",
+             [this](const device::DeviceId& device,
+                    const std::vector<device::Value>& args,
+                    std::function<void(util::Result<sched::ActionOutcome>)> done) {
+               (void)args;
+               sys->comm().phone().send_mms(
+                   device, "x.jpg", 1024,
+                   [done = std::move(done)](util::Status status) {
+                     sched::ActionOutcome out;
+                     out.ok = status.is_ok();
+                     done(out);
+                   });
+             })
+          .is_ok());
+  EXPECT_FALSE(sys->register_action_impl("no_such_action", nullptr).is_ok());
+
+  ASSERT_TRUE(sys->exec("CREATE AQ alert AS SELECT sendphoto2(p.phone_no, 'x.jpg') "
+                        "FROM sensor s, phone p WHERE s.accel_x > 500")
+                  .is_ok());
+  sys->run_for(Duration::seconds(60));
+  EXPECT_EQ(sys->action_stats("alert").usable, 1u);
+  EXPECT_EQ(sys->phone("p1")->inbox().size(), 1u);
+}
+
+TEST_F(AortaFixture, BindingArgumentInstantiatedPerSelectedDevice) {
+  build(core::Config{});
+  ASSERT_TRUE(sys->add_phone("p1", "+85200009999", {40, 40, 0}).is_ok());
+  sys->phone("p1")->reliability().glitch_prob = 0.0;
+  spike_at(10.0);
+
+  sys->add_virtual_file("profiles/echo.xml",
+                        "<action_profile action=\"echo_no\" "
+                        "device_type=\"phone\"><op name=\"recv_sms\"/>"
+                        "</action_profile>");
+  ASSERT_TRUE(sys->exec("CREATE ACTION echo_no(String phone_no) "
+                        "AS \"lib/echo.dll\" PROFILE \"profiles/echo.xml\"")
+                  .is_ok());
+
+  std::vector<device::Value> seen_args;
+  ASSERT_TRUE(sys->register_action_impl(
+                     "echo_no",
+                     [&seen_args](const device::DeviceId&,
+                                  const std::vector<device::Value>& args,
+                                  std::function<void(
+                                      util::Result<sched::ActionOutcome>)>
+                                      done) {
+                       seen_args = args;
+                       sched::ActionOutcome out;
+                       out.ok = true;
+                       done(out);
+                     })
+                  .is_ok());
+  ASSERT_TRUE(sys->exec("CREATE AQ alert AS SELECT echo_no(p.phone_no) "
+                        "FROM sensor s, phone p WHERE s.accel_x > 500")
+                  .is_ok());
+  sys->run_for(Duration::seconds(60));
+
+  // The binding argument carries the selected phone's number, not NULL.
+  ASSERT_EQ(seen_args.size(), 1u);
+  EXPECT_TRUE(device::value_equal(seen_args[0],
+                                  device::Value{std::string("+85200009999")}));
+}
+
+TEST_F(AortaFixture, DropAqStopsEvaluation) {
+  build(core::Config{});
+  spike_at(10.0);
+  spike_at(40.0);
+  ASSERT_TRUE(sys->exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                        "FROM sensor s, camera c "
+                        "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  sys->run_for(Duration::seconds(20));
+  EXPECT_EQ(sys->query_stats("q")->events, 1u);
+  ASSERT_TRUE(sys->exec("DROP AQ q").is_ok());
+  EXPECT_FALSE(sys->exec("DROP AQ q").is_ok());
+  sys->run_for(Duration::seconds(60));
+  EXPECT_EQ(sys->query_stats("q"), nullptr);  // gone, second spike ignored
+}
+
+TEST_F(AortaFixture, EveryClauseSlowsEvaluation) {
+  build(core::Config{});
+  ASSERT_TRUE(sys->exec("CREATE AQ slow EVERY 10 AS "
+                        "SELECT s.id FROM sensor s WHERE s.accel_x > 500")
+                  .is_ok());
+  ASSERT_TRUE(sys->exec("CREATE AQ fast AS "
+                        "SELECT s.id FROM sensor s WHERE s.accel_x > 500")
+                  .is_ok());
+  sys->run_for(Duration::seconds(60));
+  const query::QueryStats* slow = sys->query_stats("slow");
+  const query::QueryStats* fast = sys->query_stats("fast");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_NE(fast, nullptr);
+  EXPECT_NEAR(static_cast<double>(slow->epochs), 6.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(fast->epochs), 60.0, 1.0);
+}
+
+TEST_F(AortaFixture, OneShotSelectJoinsStaticTables) {
+  build(core::Config{});
+  auto rows = sys->exec(
+      "SELECT s.id, c.ip FROM sensor s, camera c WHERE coverage(c.id, s.loc)");
+  ASSERT_TRUE(rows.is_ok()) << rows.status().to_string();
+  // mote1 is covered by both cameras from their poses.
+  EXPECT_EQ(rows->rows.size(), 2u);
+}
+
+TEST_F(AortaFixture, DuplicateAqNameRejected) {
+  build(core::Config{});
+  ASSERT_TRUE(
+      sys->exec("CREATE AQ q AS SELECT s.id FROM sensor s WHERE s.accel_x > 1")
+          .is_ok());
+  EXPECT_FALSE(
+      sys->exec("CREATE AQ q AS SELECT s.id FROM sensor s WHERE s.accel_x > 1")
+          .is_ok());
+}
+
+TEST_F(AortaFixture, StatementErrorsSurfaceCleanly) {
+  build(core::Config{});
+  EXPECT_FALSE(sys->exec("GIBBERISH").is_ok());
+  EXPECT_FALSE(sys->exec("CREATE AQ bad AS SELECT photo(c.ip) "
+                         "FROM sensor s, camera c WHERE s.accel_x > 1")
+                   .is_ok());
+  EXPECT_FALSE(sys->exec("SELECT x FROM warp_core").is_ok());
+}
+
+TEST_F(AortaFixture, SchedulerConfigSelectsAlgorithm) {
+  core::Config config;
+  config.scheduler = "LERFA+SRFE";
+  build(config);
+  EXPECT_EQ(sys->executor().scheduler()->name(), "LERFA+SRFE");
+  // Unknown scheduler falls back rather than crashing.
+  core::Config bad;
+  bad.scheduler = "QUANTUM";
+  core::Aorta fallback(bad);
+  EXPECT_EQ(fallback.executor().scheduler()->name(), "SRFAE");
+}
+
+TEST_F(AortaFixture, OverlappingBatchesSerializeOnDeviceLocks) {
+  build(core::Config{});
+  // One camera; two motes at far-apart bearings spiking alternately every
+  // 2 s. Each photo needs a long head sweep (~2.7 s), so a new batch
+  // arrives while the previous photo still holds the camera lock —
+  // overlapping batches must queue, not interfere.
+  ASSERT_TRUE(sys->remove_device("cam2").is_ok());
+  ASSERT_TRUE(sys->add_mote("mote2", {-4.7, 1.7, 1.0}).is_ok());  // ~160 deg
+  sys->mote("mote2")->reliability().glitch_prob = 0.0;
+  auto link = net::LinkModel::mote_radio();
+  link.loss_prob = 0.0;
+  ASSERT_TRUE(sys->network().set_link("mote2", link).is_ok());
+
+  // Finite spike scripts (25 alternating events over ~100 s) so the run
+  // can fully drain before the books are checked.
+  auto script1 = std::make_unique<devices::ScriptedSignal>(0.0);
+  auto script2 = std::make_unique<devices::ScriptedSignal>(0.0);
+  for (int k = 0; k < 25; ++k) {
+    script1->add_spike(TimePoint::from_micros(500'000 + k * 4'000'000),
+                       Duration::seconds(1.2), 900.0);
+    script2->add_spike(TimePoint::from_micros(2'500'000 + k * 4'000'000),
+                       Duration::seconds(1.2), 900.0);
+  }
+  (void)sys->mote("mote1")->set_signal("accel_x", std::move(script1));
+  (void)sys->mote("mote2")->set_signal("accel_x", std::move(script2));
+  ASSERT_TRUE(sys->exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                        "FROM sensor s, camera c "
+                        "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  // 100 s of bursts plus a generous drain window.
+  sys->run_for(Duration::seconds(220));
+
+  auto as = sys->action_stats("q");
+  EXPECT_GT(as.requests, 20u);
+  // Locks prevented interference entirely: nothing degraded.
+  EXPECT_EQ(as.degraded, 0u);
+  EXPECT_EQ(as.usable + as.failed + as.no_candidate, as.requests);
+  // Overlap actually happened: the lock manager saw contention.
+  EXPECT_GT(sys->stats().locks.contentions, 0u);
+  EXPECT_EQ(sys->stats().locks.acquisitions, sys->stats().locks.releases);
+}
+
+TEST_F(AortaFixture, DeviceChurnWhileQueriesRun) {
+  build(core::Config{});
+  spike_at(10.0);
+  spike_at(70.0);
+  ASSERT_TRUE(sys->exec("CREATE AQ q AS SELECT photo(c.ip, s.loc, 'd') "
+                        "FROM sensor s, camera c "
+                        "WHERE s.accel_x > 500 AND coverage(c.id, s.loc)")
+                  .is_ok());
+  sys->run_for(Duration::seconds(40));
+  // A camera leaves the network entirely; a new one joins.
+  ASSERT_TRUE(sys->remove_device("cam1").is_ok());
+  ASSERT_TRUE(sys->add_camera("cam3", "10.0.0.3", {{5, 5, 3}, 90.0}).is_ok());
+  sys->camera("cam3")->reliability().glitch_prob = 0.0;
+  sys->camera("cam3")->set_fatigue_coeff(0.0);
+  sys->run_for(Duration::seconds(60));
+  EXPECT_EQ(sys->action_stats("q").usable, 2u);
+}
+
+}  // namespace
+}  // namespace aorta

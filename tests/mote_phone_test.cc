@@ -1,0 +1,234 @@
+// Tests for the mote and phone simulators and the signal generators.
+#include <gtest/gtest.h>
+
+#include "comm/comm_module.h"
+#include "devices/mote.h"
+#include "devices/phone.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// ---------------------------------------------------------------- signals
+
+TEST(SignalTest, ConstantIsConstant) {
+  auto sig = devices::constant_signal(42.0);
+  EXPECT_DOUBLE_EQ(sig->sample(TimePoint::origin()), 42.0);
+  EXPECT_DOUBLE_EQ(sig->sample(TimePoint::from_micros(999'999'999)), 42.0);
+}
+
+TEST(SignalTest, SineOscillatesAroundBase) {
+  auto sig = devices::sine_signal(100.0, 50.0, 60.0);
+  EXPECT_NEAR(sig->sample(TimePoint::origin()), 100.0, 1e-9);
+  EXPECT_NEAR(sig->sample(TimePoint::from_micros(15'000'000)), 150.0, 1e-9);
+  EXPECT_NEAR(sig->sample(TimePoint::from_micros(45'000'000)), 50.0, 1e-9);
+}
+
+TEST(SignalTest, NoisyIsDeterministicPerSeed) {
+  auto a = devices::noisy_signal(10.0, 2.0, util::Rng(5));
+  auto b = devices::noisy_signal(10.0, 2.0, util::Rng(5));
+  for (int i = 0; i < 10; ++i) {
+    TimePoint t = TimePoint::from_micros(i);
+    EXPECT_DOUBLE_EQ(a->sample(t), b->sample(t));
+  }
+}
+
+TEST(SignalTest, ScriptedSpikesApplyInsideWindowOnly) {
+  devices::ScriptedSignal sig(0.0);
+  sig.add_spike(TimePoint::from_micros(10'000'000), Duration::seconds(2), 800.0);
+  EXPECT_DOUBLE_EQ(sig.sample(TimePoint::from_micros(9'999'999)), 0.0);
+  EXPECT_DOUBLE_EQ(sig.sample(TimePoint::from_micros(10'000'000)), 800.0);
+  EXPECT_DOUBLE_EQ(sig.sample(TimePoint::from_micros(11'999'999)), 800.0);
+  EXPECT_DOUBLE_EQ(sig.sample(TimePoint::from_micros(12'000'000)), 0.0);
+}
+
+TEST(SignalTest, ScriptedLaterEventWinsOnOverlap) {
+  devices::ScriptedSignal sig(0.0);
+  sig.add_event({TimePoint::from_micros(0), TimePoint::from_micros(10), 1.0});
+  sig.add_event({TimePoint::from_micros(5), TimePoint::from_micros(10), 2.0});
+  EXPECT_DOUBLE_EQ(sig.sample(TimePoint::from_micros(3)), 1.0);
+  EXPECT_DOUBLE_EQ(sig.sample(TimePoint::from_micros(7)), 2.0);
+}
+
+TEST(SignalTest, PeriodicSpikeRepeats) {
+  auto sig = devices::periodic_spike_signal(0.0, 800.0, Duration::seconds(60),
+                                            Duration::seconds(2),
+                                            Duration::seconds(10));
+  EXPECT_DOUBLE_EQ(sig->sample(TimePoint::from_micros(0)), 0.0);
+  EXPECT_DOUBLE_EQ(sig->sample(TimePoint::from_micros(10'500'000)), 800.0);
+  EXPECT_DOUBLE_EQ(sig->sample(TimePoint::from_micros(13'000'000)), 0.0);
+  EXPECT_DOUBLE_EQ(sig->sample(TimePoint::from_micros(70'500'000)), 800.0);
+  // Before the phase, no spike.
+  EXPECT_DOUBLE_EQ(sig->sample(TimePoint::from_micros(5'000'000)), 0.0);
+}
+
+// ---------------------------------------------------------------- fixture
+
+struct MotePhoneFixture : public ::testing::Test {
+  MotePhoneFixture()
+      : loop(&clock),
+        network(&loop, util::Rng(1)),
+        registry(&network, &loop, util::Rng(2)),
+        comm(&registry, &network) {
+    (void)registry.register_type(devices::sensor_type_info());
+    (void)registry.register_type(devices::phone_type_info());
+  }
+
+  util::SimClock clock;
+  util::EventLoop loop;
+  net::Network network;
+  device::DeviceRegistry registry;
+  comm::CommLayer comm;
+};
+
+// ------------------------------------------------------------------ motes
+
+TEST_F(MotePhoneFixture, MoteSamplesItsSignalsAtSimTime) {
+  auto mote = std::make_unique<devices::Mica2Mote>("m1", device::Location{});
+  devices::Mica2Mote* raw = mote.get();
+  raw->reliability().glitch_prob = 0.0;
+  auto script = std::make_unique<devices::ScriptedSignal>(0.0);
+  script->add_spike(TimePoint::from_micros(5'000'000), Duration::seconds(1), 700.0);
+  (void)raw->set_signal("accel_x", std::move(script));
+  ASSERT_TRUE(registry.add(std::move(mote)).is_ok());
+
+  auto before = raw->read_attribute("accel_x");
+  ASSERT_TRUE(before.is_ok());
+  EXPECT_TRUE(device::value_equal(before.value(), device::Value{0.0}));
+
+  loop.run_until(TimePoint::from_micros(5'500'000));
+  auto during = raw->read_attribute("accel_x");
+  ASSERT_TRUE(during.is_ok());
+  EXPECT_TRUE(device::value_equal(during.value(), device::Value{700.0}));
+}
+
+TEST_F(MotePhoneFixture, SetSignalRejectsUnknownAttribute) {
+  devices::Mica2Mote mote("m1", device::Location{});
+  EXPECT_FALSE(mote.set_signal("pressure", devices::constant_signal(1)).is_ok());
+  EXPECT_TRUE(mote.set_signal("light", devices::constant_signal(1)).is_ok());
+  EXPECT_NE(mote.signal("light"), nullptr);
+  EXPECT_EQ(mote.signal("pressure"), nullptr);
+}
+
+TEST_F(MotePhoneFixture, BeepAndBlinkActuateAndDrainBattery) {
+  auto mote = std::make_unique<devices::Mica2Mote>("m1", device::Location{});
+  devices::Mica2Mote* raw = mote.get();
+  raw->reliability().glitch_prob = 0.0;
+  ASSERT_TRUE(registry.add(std::move(mote)).is_ok());
+  ASSERT_TRUE(network.set_link("m1", net::LinkModel::perfect()).is_ok());
+
+  int acks = 0;
+  comm.mote().beep("m1", [&](util::Status s) {
+    EXPECT_TRUE(s.is_ok());
+    ++acks;
+  });
+  loop.run_all();
+  comm.mote().blink("m1", [&](util::Status s) {
+    EXPECT_TRUE(s.is_ok());
+    ++acks;
+  });
+  loop.run_all();
+  EXPECT_EQ(acks, 2);
+  EXPECT_EQ(raw->beeps(), 1u);
+  EXPECT_EQ(raw->blinks(), 1u);
+  auto battery = raw->read_attribute("battery_v");
+  ASSERT_TRUE(battery.is_ok());
+  double v = 0;
+  ASSERT_TRUE(device::value_as_double(battery.value(), &v));
+  EXPECT_LT(v, 3.0);
+}
+
+TEST_F(MotePhoneFixture, UnknownMoteOpGetsErrorReply) {
+  auto mote = std::make_unique<devices::Mica2Mote>("m1", device::Location{});
+  mote->reliability().glitch_prob = 0.0;
+  ASSERT_TRUE(registry.add(std::move(mote)).is_ok());
+  (void)network.set_link("m1", net::LinkModel::perfect());
+
+  bool got_error = false;
+  comm.mote().request("m1", "fly", {}, Duration::seconds(1),
+                      [&](util::Result<net::Message> reply) {
+                        ASSERT_TRUE(reply.is_ok());
+                        got_error = reply.value().kind == "error";
+                      });
+  loop.run_all();
+  EXPECT_TRUE(got_error);
+}
+
+// ----------------------------------------------------------------- phones
+
+TEST_F(MotePhoneFixture, PhoneStoresSmsAndMms) {
+  auto phone = std::make_unique<devices::MmsPhone>("p1", "+8520000",
+                                                   device::Location{});
+  devices::MmsPhone* raw = phone.get();
+  raw->reliability().glitch_prob = 0.0;
+  ASSERT_TRUE(registry.add(std::move(phone)).is_ok());
+
+  int acks = 0;
+  comm.phone().send_sms("p1", "hello", [&](util::Status s) {
+    EXPECT_TRUE(s.is_ok());
+    ++acks;
+  });
+  loop.run_all();
+  comm.phone().send_mms("p1", "photos/x.jpg", 80 * 1024, [&](util::Status s) {
+    EXPECT_TRUE(s.is_ok());
+    ++acks;
+  });
+  loop.run_all();
+  EXPECT_EQ(acks, 2);
+  ASSERT_EQ(raw->inbox().size(), 2u);
+  EXPECT_EQ(raw->inbox()[0].kind, "sms");
+  EXPECT_EQ(raw->inbox()[0].body, "hello");
+  EXPECT_EQ(raw->inbox()[1].kind, "mms");
+  EXPECT_EQ(raw->inbox()[1].bytes, 80u * 1024u);
+
+  auto size = raw->read_attribute("inbox_size");
+  ASSERT_TRUE(size.is_ok());
+  EXPECT_TRUE(device::value_equal(size.value(), device::Value{std::int64_t{2}}));
+}
+
+TEST_F(MotePhoneFixture, OutOfCoveragePhoneTimesOut) {
+  auto phone = std::make_unique<devices::MmsPhone>("p1", "+8520000",
+                                                   device::Location{});
+  ASSERT_TRUE(registry.add(std::move(phone)).is_ok());
+  network.partition("p1");  // owner walked out of coverage
+
+  bool timed_out = false;
+  comm.phone().send_sms("p1", "anyone there?", [&](util::Status s) {
+    timed_out = s.code() == util::StatusCode::kTimeout;
+  });
+  loop.run_all();
+  EXPECT_TRUE(timed_out);
+
+  network.heal("p1");
+  bool delivered = false;
+  comm.phone().send_sms("p1", "back!", [&](util::Status s) {
+    delivered = s.is_ok();
+  });
+  loop.run_all();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(MotePhoneFixture, PhoneStaticAttrsExposeNumber) {
+  devices::MmsPhone phone("p1", "+85291234567", device::Location{1, 1, 0});
+  auto attrs = phone.static_attrs();
+  EXPECT_TRUE(device::value_equal(attrs.at("phone_no"),
+                                  device::Value{std::string("+85291234567")}));
+}
+
+TEST(TypeInfoTest, MoteAndPhoneCatalogsDistinguishSensoryAttrs) {
+  auto sensor = devices::sensor_type_info();
+  EXPECT_TRUE(sensor.catalog.find("accel_x")->sensory);
+  EXPECT_FALSE(sensor.catalog.find("loc")->sensory);
+  EXPECT_NE(sensor.op_costs.find("beep"), nullptr);
+
+  auto phone = devices::phone_type_info();
+  EXPECT_FALSE(phone.catalog.find("phone_no")->sensory);
+  EXPECT_TRUE(phone.catalog.find("battery_v")->sensory);
+  // The cellular probe timeout is the largest (Section 4's per-type TIMEOUT).
+  EXPECT_GT(phone.probe_timeout, sensor.probe_timeout);
+}
+
+}  // namespace
+}  // namespace aorta

@@ -1,0 +1,259 @@
+// Property-based tests: parameterized sweeps over every scheduling
+// algorithm x workload shape, checking the invariants that define a valid
+// solution to the Action Workload Scheduling Problem (Figure 2), plus
+// cross-algorithm dominance properties the paper's results rely on.
+#include <gtest/gtest.h>
+
+#include "devices/camera.h"
+#include "sched/algorithms.h"
+#include "sched/cost_model.h"
+#include "sched/executor.h"
+#include "sched/workload.h"
+#include "util/strings.h"
+
+namespace aorta::sched {
+namespace {
+
+struct SweepParam {
+  std::string algorithm;
+  int n_requests;
+  int n_devices;
+  double skewness;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string alg = info.param.algorithm;
+  for (char& c : alg) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return aorta::util::str_format(
+      "%s_n%d_m%d_skew%d_seed%llu", alg.c_str(), info.param.n_requests,
+      info.param.n_devices, static_cast<int>(info.param.skewness * 100),
+      static_cast<unsigned long long>(info.param.seed));
+}
+
+class ScheduleInvariantsTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ScheduleInvariantsTest, ScheduleIsValidAndBounded) {
+  const SweepParam& p = GetParam();
+  auto model = PhotoCostModel::axis2130();
+  WorkloadSpec spec;
+  spec.n_requests = p.n_requests;
+  spec.n_devices = p.n_devices;
+  spec.skewness = p.skewness;
+  spec.seed = p.seed;
+  Workload w = make_photo_workload(spec);
+
+  auto scheduler = make_scheduler(p.algorithm);
+  ASSERT_NE(scheduler, nullptr);
+  aorta::util::Rng rng(p.seed * 31 + 7);
+  ScheduleResult result = scheduler->schedule(w.requests, w.devices, *model, rng);
+
+  // 1. Structural validity: every request serviced exactly once on an
+  //    eligible device, no overlapping intervals, durations consistent
+  //    with the sequence-dependent cost model, makespan = max finish.
+  aorta::util::Status valid =
+      validate_schedule(result, w.requests, w.devices, *model);
+  EXPECT_TRUE(valid.is_ok()) << valid.to_string();
+  EXPECT_TRUE(result.unassigned.empty());
+  EXPECT_EQ(result.items.size(), w.requests.size());
+
+  // 2. Lower bound: the makespan is at least the cheapest possible cost of
+  //    the most expensive single request (it has to run somewhere), and at
+  //    least total-cheapest-work / m.
+  double max_min_cost = 0.0;
+  double total_min_cost = 0.0;
+  for (const auto& r : w.requests) {
+    double best = 1e18;
+    for (const auto& d : w.devices) {
+      best = std::min(best, model->cost_s(r, d.status));
+    }
+    max_min_cost = std::max(max_min_cost, best);
+    total_min_cost += kPhotoMinCostS;  // absolute floor per request
+  }
+  EXPECT_GE(result.service_makespan_s, max_min_cost - 1e-6);
+  EXPECT_GE(result.service_makespan_s,
+            total_min_cost / p.n_devices - 1e-6);
+
+  // 3. Upper bound: never worse than running everything sequentially on
+  //    one device at the worst possible cost.
+  EXPECT_LE(result.service_makespan_s,
+            kPhotoMaxCostS * static_cast<double>(p.n_requests) + 1e-6);
+
+  // 4. Determinism: the same seed reproduces the same makespan.
+  aorta::util::Rng rng2(p.seed * 31 + 7);
+  ScheduleResult again = scheduler->schedule(w.requests, w.devices, *model, rng2);
+  EXPECT_DOUBLE_EQ(result.service_makespan_s, again.service_makespan_s);
+  EXPECT_EQ(result.cost_evaluations, again.cost_evaluations);
+}
+
+std::vector<SweepParam> make_sweep() {
+  std::vector<SweepParam> params;
+  for (const std::string& alg :
+       {std::string("LERFA+SRFE"), std::string("SRFAE"), std::string("LS"),
+        std::string("RANDOM")}) {
+    for (auto [n, m] : std::vector<std::pair<int, int>>{{5, 2}, {20, 10}, {13, 7}}) {
+      for (double skew : {1.0, 0.3}) {
+        for (std::uint64_t seed : {1ull, 42ull}) {
+          params.push_back(SweepParam{alg, n, m, skew, seed});
+        }
+      }
+    }
+  }
+  // SA is expensive: a reduced slice.
+  params.push_back(SweepParam{"SA", 5, 2, 1.0, 1});
+  params.push_back(SweepParam{"SA", 13, 7, 0.3, 42});
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleInvariantsTest,
+                         ::testing::ValuesIn(make_sweep()), param_name);
+
+// ----------------------------------------------------- dominance properties
+
+class DominanceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominanceTest, CostAwareAlgorithmsBeatRandomOnAverage) {
+  auto model = PhotoCostModel::axis2130();
+  double ours = 0.0, baseline = 0.0;
+  // Averaged over several workloads per seed-group to avoid flaky
+  // single-instance comparisons.
+  for (int k = 0; k < 5; ++k) {
+    WorkloadSpec spec;
+    spec.n_requests = 20;
+    spec.n_devices = 10;
+    spec.seed = GetParam() * 100 + static_cast<std::uint64_t>(k);
+    Workload w = make_photo_workload(spec);
+    aorta::util::Rng rng1(spec.seed + 1);
+    aorta::util::Rng rng2(spec.seed + 1);
+    ours += LerfaSrfeScheduler()
+                .schedule(w.requests, w.devices, *model, rng1)
+                .service_makespan_s;
+    baseline += RandomScheduler()
+                    .schedule(w.requests, w.devices, *model, rng2)
+                    .service_makespan_s;
+  }
+  EXPECT_LT(ours, baseline);
+}
+
+TEST_P(DominanceTest, MakespanGrowsWithRequestCount) {
+  auto model = PhotoCostModel::axis2130();
+  for (const std::string& alg : {std::string("LERFA+SRFE"), std::string("SRFAE"),
+                                 std::string("LS")}) {
+    double small = 0.0, large = 0.0;
+    for (int k = 0; k < 5; ++k) {
+      WorkloadSpec spec;
+      spec.n_devices = 10;
+      spec.seed = GetParam() * 100 + static_cast<std::uint64_t>(k);
+      spec.n_requests = 10;
+      Workload w_small = make_photo_workload(spec);
+      spec.n_requests = 40;
+      Workload w_large = make_photo_workload(spec);
+      aorta::util::Rng rng1(spec.seed);
+      aorta::util::Rng rng2(spec.seed);
+      auto scheduler = make_scheduler(alg);
+      small += scheduler->schedule(w_small.requests, w_small.devices, *model, rng1)
+                   .service_makespan_s;
+      large += scheduler->schedule(w_large.requests, w_large.devices, *model, rng2)
+                   .service_makespan_s;
+    }
+    EXPECT_LT(small, large) << alg;
+  }
+}
+
+TEST_P(DominanceTest, MoreDevicesNeverHurtMuch) {
+  // Adding devices (with the same request set eligible everywhere) should
+  // not increase the makespan materially for the cost-aware algorithms.
+  auto model = PhotoCostModel::axis2130();
+  for (const std::string& alg :
+       {std::string("LERFA+SRFE"), std::string("SRFAE")}) {
+    double few = 0.0, many = 0.0;
+    for (int k = 0; k < 5; ++k) {
+      std::uint64_t seed = GetParam() * 100 + static_cast<std::uint64_t>(k);
+      WorkloadSpec spec;
+      spec.n_requests = 20;
+      spec.seed = seed;
+      spec.n_devices = 5;
+      Workload w_few = make_photo_workload(spec);
+      spec.n_devices = 15;
+      Workload w_many = make_photo_workload(spec);
+      aorta::util::Rng rng1(seed);
+      aorta::util::Rng rng2(seed);
+      auto scheduler = make_scheduler(alg);
+      few += scheduler->schedule(w_few.requests, w_few.devices, *model, rng1)
+                 .service_makespan_s;
+      many += scheduler->schedule(w_many.requests, w_many.devices, *model, rng2)
+                  .service_makespan_s;
+    }
+    EXPECT_LT(many, few * 1.05) << alg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceTest, ::testing::Values(1, 2, 3));
+
+// --------------------------------------------- executor property checks
+
+class ExecutorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorPropertyTest, LockedExecutionMatchesScheduleShape) {
+  // Execute a real schedule against simulated cameras and check the
+  // actual makespan is within sane bounds of the planned one, and that no
+  // photo is degraded (locks prevent interference by construction).
+  util::SimClock clock;
+  util::EventLoop loop(&clock);
+  net::Network network(&loop, util::Rng(GetParam()));
+  device::DeviceRegistry registry(&network, &loop, util::Rng(GetParam() + 1));
+  (void)registry.register_type(devices::camera_type_info());
+  comm::CommLayer comm(&registry, &network);
+  sync::LockManager locks(&loop);
+
+  WorkloadSpec spec;
+  spec.n_requests = 10;
+  spec.n_devices = 4;
+  spec.seed = GetParam();
+  Workload w = make_photo_workload(spec);
+  for (const auto& dev : w.devices) {
+    auto camera = std::make_unique<devices::PtzCamera>(
+        dev.id, "10.0.0." + dev.id, devices::CameraPose{{0, 0, 3}, 0.0});
+    camera->set_head(devices::PtzPosition{dev.status.at("pan"),
+                                          dev.status.at("tilt"),
+                                          dev.status.at("zoom")});
+    camera->reliability().glitch_prob = 0.0;
+    camera->set_fatigue_coeff(0.0);
+    ASSERT_TRUE(registry.add(std::move(camera)).is_ok());
+  }
+
+  auto model = PhotoCostModel::axis2130();
+  util::Rng rng(GetParam() + 7);
+  ScheduleResult schedule =
+      SrfaeScheduler().schedule(w.requests, w.devices, *model, rng);
+
+  ScheduleExecutor executor(&locks, &loop, make_photo_execute_fn(&comm));
+  ExecutionReport report;
+  bool finished = false;
+  executor.execute(schedule, w.requests, [&](ExecutionReport r) {
+    report = std::move(r);
+    finished = true;
+  });
+  loop.run_for(util::Duration::minutes(5));
+  ASSERT_TRUE(finished);
+
+  EXPECT_EQ(report.actions_degraded, 0u);
+  EXPECT_EQ(report.actions_usable + report.failures, w.requests.size());
+  // Actual makespan is planned makespan plus network/dispatch overhead:
+  // within [planned, planned * 1.3 + 1s] barring timeouts.
+  if (report.failures == 0) {
+    EXPECT_GE(report.actual_makespan_s, schedule.service_makespan_s - 1e-6);
+    EXPECT_LE(report.actual_makespan_s,
+              schedule.service_makespan_s * 1.3 + 1.0);
+  }
+  // Every lock acquired was released.
+  EXPECT_EQ(locks.stats().acquisitions, locks.stats().releases);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace aorta::sched

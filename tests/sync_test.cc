@@ -1,0 +1,201 @@
+// Tests for device synchronization: the lock manager and the prober.
+#include <gtest/gtest.h>
+
+#include "devices/camera.h"
+#include "devices/mote.h"
+#include "sync/lock_manager.h"
+#include "sync/prober.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+
+// ------------------------------------------------------------ lock manager
+
+struct LockFixture : public ::testing::Test {
+  LockFixture() : loop(&clock), locks(&loop) {}
+  util::SimClock clock;
+  util::EventLoop loop;
+  sync::LockManager locks;
+};
+
+TEST_F(LockFixture, TryLockAcquiresAndBlocks) {
+  EXPECT_TRUE(locks.try_lock("cam1", "q1"));
+  EXPECT_TRUE(locks.is_locked("cam1"));
+  ASSERT_NE(locks.holder("cam1"), nullptr);
+  EXPECT_EQ(*locks.holder("cam1"), "q1");
+  EXPECT_FALSE(locks.try_lock("cam1", "q2"));  // contended
+  EXPECT_TRUE(locks.try_lock("cam2", "q2"));   // other device independent
+  EXPECT_EQ(locks.stats().contentions, 1u);
+}
+
+TEST_F(LockFixture, UnlockEnforcesOwnership) {
+  ASSERT_TRUE(locks.try_lock("cam1", "q1"));
+  EXPECT_FALSE(locks.unlock("cam1", "q2").is_ok());  // non-holder
+  EXPECT_TRUE(locks.unlock("cam1", "q1").is_ok());
+  EXPECT_FALSE(locks.unlock("cam1", "q1").is_ok());  // already unlocked
+  EXPECT_FALSE(locks.unlock("never-locked", "q1").is_ok());
+  EXPECT_FALSE(locks.is_locked("cam1"));
+}
+
+TEST_F(LockFixture, QueuedWaitersGrantedInFifoOrder) {
+  std::vector<std::string> grants;
+  locks.lock("cam1", "a", [&]() { grants.push_back("a"); });
+  locks.lock("cam1", "b", [&]() { grants.push_back("b"); });
+  locks.lock("cam1", "c", [&]() { grants.push_back("c"); });
+  loop.run_all();
+  // Only "a" holds it so far.
+  EXPECT_EQ(grants, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(locks.queue_depth("cam1"), 2u);
+
+  ASSERT_TRUE(locks.unlock("cam1", "a").is_ok());
+  loop.run_all();
+  EXPECT_EQ(grants, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(locks.unlock("cam1", "b").is_ok());
+  loop.run_all();
+  EXPECT_EQ(grants, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_TRUE(locks.unlock("cam1", "c").is_ok());
+  EXPECT_FALSE(locks.is_locked("cam1"));
+  EXPECT_EQ(locks.stats().acquisitions, 3u);
+  EXPECT_EQ(locks.stats().releases, 3u);
+  EXPECT_EQ(locks.stats().max_queue_depth, 2u);
+}
+
+TEST_F(LockFixture, GrantIsAsynchronousNotReentrant) {
+  bool granted_inline = false;
+  locks.lock("cam1", "a", [&]() {});
+  loop.run_all();
+  locks.lock("cam1", "b", [&]() { granted_inline = true; });
+  ASSERT_TRUE(locks.unlock("cam1", "a").is_ok());
+  // Grant happens via the event loop, not inside unlock().
+  EXPECT_FALSE(granted_inline);
+  loop.run_all();
+  EXPECT_TRUE(granted_inline);
+}
+
+TEST_F(LockFixture, GuardReleasesOnScopeExit) {
+  {
+    sync::DeviceLockGuard guard(&locks, "cam1", "q1");
+    EXPECT_TRUE(guard.held());
+    EXPECT_TRUE(locks.is_locked("cam1"));
+    sync::DeviceLockGuard second(&locks, "cam1", "q2");
+    EXPECT_FALSE(second.held());
+  }
+  EXPECT_FALSE(locks.is_locked("cam1"));
+}
+
+// ----------------------------------------------------------------- prober
+
+struct ProberFixture : public ::testing::Test {
+  ProberFixture()
+      : loop(&clock),
+        network(&loop, util::Rng(1)),
+        registry(&network, &loop, util::Rng(2)),
+        comm(&registry, &network),
+        prober(&comm, &registry, &loop) {
+    (void)registry.register_type(devices::camera_type_info());
+    (void)registry.register_type(devices::sensor_type_info());
+  }
+
+  devices::PtzCamera* add_camera(const std::string& id) {
+    auto camera = std::make_unique<devices::PtzCamera>(
+        id, "10.0.0." + id, devices::CameraPose{{0, 0, 3}, 0.0});
+    devices::PtzCamera* raw = camera.get();
+    EXPECT_TRUE(registry.add(std::move(camera)).is_ok());
+    return raw;
+  }
+
+  util::SimClock clock;
+  util::EventLoop loop;
+  net::Network network;
+  device::DeviceRegistry registry;
+  comm::CommLayer comm;
+  sync::Prober prober;
+};
+
+TEST_F(ProberFixture, ProbeGathersPhysicalStatusAndRtt) {
+  devices::PtzCamera* cam = add_camera("cam1");
+  cam->set_head(devices::PtzPosition{42, -10, 3});
+
+  bool done = false;
+  prober.probe("cam1", [&](util::Result<sync::ProbeInfo> info) {
+    done = true;
+    ASSERT_TRUE(info.is_ok());
+    EXPECT_EQ(info.value().id, "cam1");
+    EXPECT_FALSE(info.value().busy);
+    EXPECT_GT(info.value().rtt, Duration::zero());
+    EXPECT_DOUBLE_EQ(info.value().status.at("pan"), 42.0);
+    EXPECT_DOUBLE_EQ(info.value().status.at("tilt"), -10.0);
+  });
+  loop.run_all();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(prober.stats().responses, 1u);
+}
+
+TEST_F(ProberFixture, ProbeTimesOutOnDeadDevice) {
+  devices::PtzCamera* cam = add_camera("cam1");
+  cam->set_online(false);
+  bool timed_out = false;
+  prober.probe("cam1", [&](util::Result<sync::ProbeInfo> info) {
+    timed_out = info.status().code() == util::StatusCode::kTimeout;
+  });
+  loop.run_all();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(prober.stats().timeouts, 1u);
+  // The per-type TIMEOUT bounded the wait (camera: 1 s).
+  EXPECT_LE(clock.now().to_seconds(), 1.1);
+}
+
+TEST_F(ProberFixture, ProbeUnknownDeviceFailsFast) {
+  bool failed = false;
+  prober.probe("ghost", [&](util::Result<sync::ProbeInfo> info) {
+    failed = info.status().code() == util::StatusCode::kNotFound;
+  });
+  EXPECT_TRUE(failed);  // synchronous: no network involved
+}
+
+TEST_F(ProberFixture, ProbeCandidatesExcludesUnresponsive) {
+  add_camera("cam1");
+  devices::PtzCamera* dead = add_camera("cam2");
+  add_camera("cam3");
+  dead->set_online(false);
+
+  std::vector<sync::ProbeInfo> alive;
+  prober.probe_candidates({"cam1", "cam2", "cam3"},
+                          [&](std::vector<sync::ProbeInfo> out) {
+                            alive = std::move(out);
+                          });
+  loop.run_all();
+  ASSERT_EQ(alive.size(), 2u);
+  // Order follows the input order with the dead device excised.
+  EXPECT_EQ(alive[0].id, "cam1");
+  EXPECT_EQ(alive[1].id, "cam3");
+}
+
+TEST_F(ProberFixture, ProbeCandidatesEmptySetCompletes) {
+  bool done = false;
+  prober.probe_candidates({}, [&](std::vector<sync::ProbeInfo> out) {
+    done = true;
+    EXPECT_TRUE(out.empty());
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST_F(ProberFixture, BusyFlagReportedWhileDeviceWorks) {
+  add_camera("cam1");
+  // Kick off a long photo, then probe mid-flight.
+  comm.camera().photo("cam1", devices::PtzPosition{160, 0, 1}, "medium",
+                      [](util::Result<comm::PhotoOutcome>) {});
+  loop.run_for(Duration::millis(500));
+  bool saw_busy = false;
+  prober.probe("cam1", [&](util::Result<sync::ProbeInfo> info) {
+    ASSERT_TRUE(info.is_ok());
+    saw_busy = info.value().busy;
+  });
+  loop.run_all();
+  EXPECT_TRUE(saw_busy);
+}
+
+}  // namespace
+}  // namespace aorta

@@ -1,0 +1,313 @@
+// Unit tests for the utility substrate: Status/Result, time, the event
+// loop, RNG, statistics and string helpers.
+#include <gtest/gtest.h>
+
+#include "util/event_loop.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/time.h"
+
+namespace aorta::util {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = timeout_error("probe to cam1 timed out");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(s.to_string(), "TIMEOUT: probe to cam1 timed out");
+}
+
+TEST(StatusTest, AllErrorFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(unavailable_error("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(busy_error("").code(), StatusCode::kBusy);
+  EXPECT_EQ(action_failed_error("").code(), StatusCode::kActionFailed);
+  EXPECT_EQ(invalid_argument_error("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(not_found_error("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(already_exists_error("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(parse_error("").code(), StatusCode::kParseError);
+  EXPECT_EQ(internal_error("").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(not_found_error("nope"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(42), 42);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r{Status::ok()};
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+// ------------------------------------------------------------------ time
+
+TEST(TimeTest, DurationConversions) {
+  EXPECT_EQ(Duration::seconds(1.5).to_micros(), 1'500'000);
+  EXPECT_EQ(Duration::millis(20).to_micros(), 20'000);
+  EXPECT_EQ(Duration::minutes(2).to_micros(), 120'000'000);
+  EXPECT_DOUBLE_EQ(Duration::micros(250).to_seconds(), 2.5e-4);
+}
+
+TEST(TimeTest, DurationArithmeticAndComparison) {
+  Duration a = Duration::seconds(1), b = Duration::millis(500);
+  EXPECT_EQ((a + b).to_micros(), 1'500'000);
+  EXPECT_EQ((a - b).to_micros(), 500'000);
+  EXPECT_EQ((b * 3.0).to_micros(), 1'500'000);
+  EXPECT_LT(b, a);
+  a += b;
+  EXPECT_EQ(a.to_micros(), 1'500'000);
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  TimePoint t0 = TimePoint::origin();
+  TimePoint t1 = t0 + Duration::seconds(3);
+  EXPECT_EQ((t1 - t0).to_seconds(), 3.0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(TimeTest, DurationToString) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Duration::millis(15).to_string(), "15ms");
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), TimePoint::origin());
+  clock.advance_to(TimePoint::from_micros(100));
+  EXPECT_EQ(clock.now().to_micros(), 100);
+}
+
+// ------------------------------------------------------------- EventLoop
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  std::vector<int> order;
+  loop.schedule(Duration::millis(30), [&]() { order.push_back(3); });
+  loop.schedule(Duration::millis(10), [&]() { order.push_back(1); });
+  loop.schedule(Duration::millis(20), [&]() { order.push_back(2); });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now().to_micros(), 30'000);
+}
+
+TEST(EventLoopTest, EqualTimesFireInSubmissionOrder) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(Duration::millis(5), [&order, i]() { order.push_back(i); });
+  }
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  int fired = 0;
+  loop.schedule(Duration::millis(10), [&]() { ++fired; });
+  loop.schedule(Duration::millis(50), [&]() { ++fired; });
+  loop.run_until(TimePoint::origin() + Duration::millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now().to_micros(), 20'000);  // advanced to the boundary
+  loop.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  int fired = 0;
+  EventId id = loop.schedule(Duration::millis(10), [&]() { ++fired; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // double-cancel reports failure
+  loop.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, CancelUnknownIdFails) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  EXPECT_FALSE(loop.cancel(0));
+  EXPECT_FALSE(loop.cancel(12345));
+}
+
+TEST(EventLoopTest, EventsMayScheduleMoreEvents) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) loop.schedule(Duration::millis(1), recurse);
+  };
+  loop.schedule(Duration::millis(1), recurse);
+  loop.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(clock.now().to_micros(), 5'000);
+}
+
+TEST(EventLoopTest, PendingAndExecutedCounters) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  loop.schedule(Duration::millis(1), []() {});
+  EventId id = loop.schedule(Duration::millis(2), []() {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_all();
+  EXPECT_EQ(loop.executed(), 1u);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+    std::int64_t k = rng.uniform_int(2, 9);
+    EXPECT_GE(k, 2);
+    EXPECT_LE(k, 9);
+  }
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.fork();
+  // The child stream must not simply replay the parent.
+  bool any_different = false;
+  Rng b(7);
+  Rng child2 = b.fork();
+  for (int i = 0; i < 10; ++i) {
+    double x = child.uniform(0, 1);
+    EXPECT_DOUBLE_EQ(x, child2.uniform(0, 1));  // fork is deterministic
+    if (x != a.uniform(0, 1)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, IndexCoversAllSlots) {
+  Rng rng(3);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 400; ++i) ++hits[rng.index(4)];
+  for (int count : hits) EXPECT_GT(count, 0);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SummaryTest, EmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SummaryTest, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(3.9);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(to_lower("SeLeCt"), "select");
+  EXPECT_TRUE(iequals("WHERE", "where"));
+  EXPECT_FALSE(iequals("WHERE", "wher"));
+  EXPECT_TRUE(starts_with("status.pan", "status."));
+  EXPECT_FALSE(starts_with("pan", "status."));
+}
+
+TEST(StringsTest, FormatAndJoin) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace aorta::util

@@ -1,0 +1,216 @@
+// Tests for the XML parser and the XML-backed device/action profiles.
+#include <gtest/gtest.h>
+
+#include "device/profile.h"
+#include "util/xml.h"
+
+namespace aorta {
+namespace {
+
+using util::xml_parse;
+
+TEST(XmlTest, ParsesElementsAttributesAndText) {
+  auto doc = xml_parse("<root a=\"1\" b='two'><child>hello</child></root>");
+  ASSERT_TRUE(doc.is_ok());
+  const util::XmlNode& root = *doc.value();
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.attr("a"), "1");
+  EXPECT_EQ(root.attr("b"), "two");
+  EXPECT_EQ(root.attr("missing", "dflt"), "dflt");
+  ASSERT_NE(root.child("child"), nullptr);
+  EXPECT_EQ(root.child("child")->text, "hello");
+}
+
+TEST(XmlTest, ParsesSelfClosingAndNesting) {
+  auto doc = xml_parse("<a><b/><b x=\"1\"/><c><d/></c></a>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value()->children_named("b").size(), 2u);
+  ASSERT_NE(doc.value()->child("c"), nullptr);
+  EXPECT_NE(doc.value()->child("c")->child("d"), nullptr);
+}
+
+TEST(XmlTest, SkipsDeclarationAndComments) {
+  auto doc = xml_parse(
+      "<?xml version=\"1.0\"?><!-- profile --><root><!-- inner -->"
+      "<x/></root><!-- trailing -->");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value()->children.size(), 1u);
+}
+
+TEST(XmlTest, DecodesEntities) {
+  auto doc = xml_parse("<r v=\"a&lt;b&amp;c&gt;d\">x&quot;y&apos;z</r>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value()->attr("v"), "a<b&c>d");
+  EXPECT_EQ(doc.value()->text, "x\"y'z");
+}
+
+TEST(XmlTest, NumericAttributeHelpers) {
+  auto doc = xml_parse("<r d=\"3.25\" i=\"42\" bad=\"xyz\"/>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_DOUBLE_EQ(doc.value()->attr_double("d"), 3.25);
+  EXPECT_EQ(doc.value()->attr_int("i"), 42);
+  EXPECT_DOUBLE_EQ(doc.value()->attr_double("bad", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.value()->attr_double("absent", 9.0), 9.0);
+}
+
+TEST(XmlTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(xml_parse("<a><b></a></b>").is_ok());  // mismatched close
+  EXPECT_FALSE(xml_parse("<a>").is_ok());             // missing close
+  EXPECT_FALSE(xml_parse("<a x=1/>").is_ok());        // unquoted attribute
+  EXPECT_FALSE(xml_parse("<a/><b/>").is_ok());        // two roots
+  EXPECT_FALSE(xml_parse("plain text").is_ok());
+  EXPECT_FALSE(xml_parse("<a b=\"unterminated/>").is_ok());
+}
+
+TEST(XmlTest, RoundTripsThroughToString) {
+  auto doc = xml_parse("<r a=\"1\"><c t=\"x&amp;y\"/><c/></r>");
+  ASSERT_TRUE(doc.is_ok());
+  auto again = xml_parse(doc.value()->to_string());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value()->attr("a"), "1");
+  ASSERT_EQ(again.value()->children.size(), 2u);
+  EXPECT_EQ(again.value()->children[0]->attr("t"), "x&y");
+}
+
+// ---------------------------------------------------------- device catalog
+
+TEST(DeviceCatalogTest, RoundTrip) {
+  device::DeviceCatalog catalog(
+      "sensor", {{"accel_x", device::AttrType::kDouble, true, "read_attr",
+                  "mg", "x acceleration"},
+                 {"loc", device::AttrType::kLocation, false, "", "m", "pos"}});
+  auto parsed = device::DeviceCatalog::from_xml(catalog.to_xml());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().type_id(), "sensor");
+  ASSERT_EQ(parsed.value().attrs().size(), 2u);
+  const device::AttrSpec* accel = parsed.value().find("accel_x");
+  ASSERT_NE(accel, nullptr);
+  EXPECT_TRUE(accel->sensory);
+  EXPECT_EQ(accel->unit, "mg");
+  const device::AttrSpec* loc = parsed.value().find("loc");
+  ASSERT_NE(loc, nullptr);
+  EXPECT_FALSE(loc->sensory);
+  EXPECT_EQ(loc->type, device::AttrType::kLocation);
+}
+
+TEST(DeviceCatalogTest, RejectsBadDocuments) {
+  EXPECT_FALSE(device::DeviceCatalog::from_xml("<nope/>").is_ok());
+  EXPECT_FALSE(device::DeviceCatalog::from_xml("<catalog/>").is_ok());
+  EXPECT_FALSE(device::DeviceCatalog::from_xml(
+                   "<catalog device_type=\"x\"><attribute/></catalog>")
+                   .is_ok());
+  EXPECT_FALSE(device::DeviceCatalog::from_xml(
+                   "<catalog device_type=\"x\">"
+                   "<attribute name=\"a\" type=\"alien\"/></catalog>")
+                   .is_ok());
+}
+
+// ------------------------------------------------------- atomic op costs
+
+TEST(AtomicOpCostTest, CostFormula) {
+  device::AtomicOpCost op{"pan", 0.1, 0.02, "degree"};
+  EXPECT_DOUBLE_EQ(op.cost_s(0), 0.1);
+  EXPECT_DOUBLE_EQ(op.cost_s(50), 1.1);
+}
+
+TEST(AtomicOpCostTableTest, RoundTripAndLookup) {
+  device::AtomicOpCostTable table("camera");
+  ASSERT_TRUE(table.add({"pan", 0.0, 0.0148, "degree"}).is_ok());
+  ASSERT_TRUE(table.add({"snap_medium", 0.36, 0.0, ""}).is_ok());
+  EXPECT_FALSE(table.add({"pan", 1.0, 0.0, ""}).is_ok());  // duplicate
+
+  auto parsed = device::AtomicOpCostTable::from_xml(table.to_xml());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().type_id(), "camera");
+  const device::AtomicOpCost* snap = parsed.value().find("snap_medium");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->fixed_s, 0.36);
+  EXPECT_EQ(parsed.value().find("zoom"), nullptr);
+}
+
+// --------------------------------------------------------- action profile
+
+device::AtomicOpCostTable camera_costs() {
+  device::AtomicOpCostTable table("camera");
+  (void)table.add({"pan", 0.0, 0.01, "degree"});
+  (void)table.add({"tilt", 0.0, 0.04, "degree"});
+  (void)table.add({"snap_medium", 0.36, 0.0, ""});
+  return table;
+}
+
+TEST(ActionProfileTest, SequentialCostsAdd) {
+  using Node = device::ActionProfileNode;
+  std::vector<std::unique_ptr<Node>> steps;
+  steps.push_back(Node::op("pan", 100));   // 1.0
+  steps.push_back(Node::op("snap_medium"));  // 0.36
+  device::ActionProfile profile("photo", "camera", Node::seq(std::move(steps)));
+  EXPECT_NEAR(profile.estimate_cost_s(camera_costs(), nullptr), 1.36, 1e-9);
+}
+
+TEST(ActionProfileTest, ParallelCostsTakeMax) {
+  using Node = device::ActionProfileNode;
+  std::vector<std::unique_ptr<Node>> axes;
+  axes.push_back(Node::op("pan", 100));  // 1.0
+  axes.push_back(Node::op("tilt", 10));  // 0.4
+  device::ActionProfile profile("aim", "camera", Node::par(std::move(axes)));
+  EXPECT_NEAR(profile.estimate_cost_s(camera_costs(), nullptr), 1.0, 1e-9);
+}
+
+TEST(ActionProfileTest, DynamicUnitsOverrideDefaults) {
+  using Node = device::ActionProfileNode;
+  device::ActionProfile profile("pan_only", "camera", Node::op("pan", 100));
+  auto units = [](const std::string& op) { return op == "pan" ? 50.0 : -1.0; };
+  EXPECT_NEAR(profile.estimate_cost_s(camera_costs(), units), 0.5, 1e-9);
+  // A units_for that declines (negative) falls back to the profile default.
+  auto decline = [](const std::string&) { return -1.0; };
+  EXPECT_NEAR(profile.estimate_cost_s(camera_costs(), decline), 1.0, 1e-9);
+}
+
+TEST(ActionProfileTest, UnknownOpContributesZero) {
+  using Node = device::ActionProfileNode;
+  device::ActionProfile profile("x", "camera", Node::op("warp_drive"));
+  EXPECT_DOUBLE_EQ(profile.estimate_cost_s(camera_costs(), nullptr), 0.0);
+}
+
+TEST(ActionProfileTest, XmlRoundTrip) {
+  using Node = device::ActionProfileNode;
+  std::vector<std::unique_ptr<Node>> axes;
+  axes.push_back(Node::op("pan"));
+  axes.push_back(Node::op("tilt"));
+  std::vector<std::unique_ptr<Node>> steps;
+  steps.push_back(Node::par(std::move(axes)));
+  steps.push_back(Node::op("snap_medium"));
+  device::ActionProfile profile("photo", "camera", Node::seq(std::move(steps)),
+                                {"pan", "tilt"});
+
+  auto parsed = device::ActionProfile::from_xml(profile.to_xml());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().action_name(), "photo");
+  EXPECT_EQ(parsed.value().device_type(), "camera");
+  EXPECT_EQ(parsed.value().status_attrs(),
+            (std::vector<std::string>{"pan", "tilt"}));
+  // Identical estimates before and after the round trip.
+  auto units = [](const std::string& op) {
+    return op == "pan" ? 80.0 : (op == "tilt" ? 5.0 : -1.0);
+  };
+  EXPECT_NEAR(parsed.value().estimate_cost_s(camera_costs(), units),
+              profile.estimate_cost_s(camera_costs(), units), 1e-12);
+}
+
+TEST(ActionProfileTest, FromXmlRejectsBadShapes) {
+  EXPECT_FALSE(device::ActionProfile::from_xml("<wrong/>").is_ok());
+  EXPECT_FALSE(device::ActionProfile::from_xml(
+                   "<action_profile action=\"a\" device_type=\"t\"/>")
+                   .is_ok());  // no composition root
+  EXPECT_FALSE(device::ActionProfile::from_xml(
+                   "<action_profile action=\"a\" device_type=\"t\">"
+                   "<seq></seq></action_profile>")
+                   .is_ok());  // empty seq
+  EXPECT_FALSE(device::ActionProfile::from_xml(
+                   "<action_profile action=\"a\" device_type=\"t\">"
+                   "<op/></action_profile>")
+                   .is_ok());  // op without name
+}
+
+}  // namespace
+}  // namespace aorta
