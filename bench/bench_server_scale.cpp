@@ -1,0 +1,254 @@
+// Multi-tenant service scalability bench (src/server).
+//
+// Part 1 — session-count sweep: N simulated closed-loop clients (10 ->
+// 10,000) across 10 tenants submit one-shot SELECTs and a few CREATE AQs
+// against one Aorta instance. Reports dispatch throughput, admission
+// latency percentiles, shed rate, and per-tenant fairness (max/min
+// completed statements) per point.
+//
+// Part 2 — hot-tenant isolation: an open-loop workload where tenant t0
+// submits at 10x everyone else's rate, run three ways: uniform baseline,
+// hot tenant under weighted-fair dequeue + quotas, and hot tenant under
+// plain FIFO dequeue. The acceptance bar is that with fairness on, the
+// hot tenant degrades the other tenants' goodput by < 20% vs baseline.
+//
+// Everything runs in simulated time on the deterministic event loop, so
+// results are identical across machines. Writes
+// results/bench_server_scale.json next to the CSV outputs of the other
+// benches.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/aorta.h"
+#include "server/service.h"
+#include "server/workload_gen.h"
+#include "util/stats.h"
+
+namespace {
+
+using aorta::util::Duration;
+
+constexpr int kTenants = 10;
+constexpr double kSweepSimSeconds = 30.0;
+constexpr double kHotSimSeconds = 60.0;
+
+// A small instrumented building: enough motes that scans are real work,
+// few enough that a 10k-session sweep stays fast.
+void build_world(aorta::core::Aorta& sys) {
+  for (int i = 0; i < 4; ++i) {
+    std::string id = "mote" + std::to_string(i);
+    (void)sys.add_mote(id, {static_cast<double>(i * 3), 0, 1}, 1 + i % 2);
+    // Acceleration spikes past the AQ threshold every 10 s.
+    (void)sys.mote(id)->set_signal(
+        "accel_x",
+        aorta::devices::periodic_spike_signal(
+            0.0, 900.0, Duration::seconds(10.0), Duration::seconds(1.0),
+            Duration::seconds(static_cast<double>(i))));
+    (void)sys.mote(id)->set_signal("temp",
+                                   aorta::devices::constant_signal(22.0));
+  }
+}
+
+struct RunResult {
+  aorta::server::AdmissionStats admission;
+  aorta::util::Summary latency_ms;
+  std::map<aorta::server::TenantId, std::uint64_t> completed_by_tenant;
+  std::uint64_t completed_total = 0;
+  std::uint64_t mailbox_dropped = 0;
+  std::size_t sessions = 0;
+};
+
+RunResult run_workload(const aorta::server::ServiceConfig& service_config,
+                       const aorta::server::WorkloadConfig& workload_config,
+                       double sim_seconds) {
+  aorta::core::Aorta sys(aorta::core::Config{});
+  build_world(sys);
+  aorta::server::QueryService service(&sys, service_config);
+  aorta::server::WorkloadGen gen(&service, &sys, workload_config);
+  gen.start();
+  sys.run_for(Duration::seconds(sim_seconds));
+  gen.stop();
+
+  RunResult r;
+  r.admission = service.admission().stats();
+  r.latency_ms = service.admission_latency_ms();
+  r.sessions = service.active_sessions();
+  for (const auto& [tenant, ts] : service.tenant_stats()) {
+    r.completed_by_tenant[tenant] = ts.completed;
+    r.completed_total += ts.completed;
+  }
+  for (aorta::server::SessionId id : gen.sessions()) {
+    if (const aorta::server::Session* s = service.session(id)) {
+      r.mailbox_dropped += s->mailbox_dropped();
+    }
+  }
+  return r;
+}
+
+double fairness_ratio(const RunResult& r) {
+  std::uint64_t lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& [tenant, completed] : r.completed_by_tenant) {
+    if (first) {
+      lo = hi = completed;
+      first = false;
+    } else {
+      lo = std::min(lo, completed);
+      hi = std::max(hi, completed);
+    }
+  }
+  return lo == 0 ? 0.0 : static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+// Mean completed statements of every tenant except t0 (the hot one).
+double others_goodput_per_s(const RunResult& r, double sim_seconds) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [tenant, completed] : r.completed_by_tenant) {
+    if (tenant == "t0") continue;
+    sum += static_cast<double>(completed);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n / sim_seconds;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Multi-tenant query service scalability "
+              "(simulated time, deterministic)\n");
+
+  // ---- Part 1: session sweep ----------------------------------------------
+  std::printf("\n%8s %10s %12s %10s %10s %10s %10s\n", "sessions",
+              "completed", "thruput/s", "p50_ms", "p99_ms", "shed%", "fair");
+  std::string json = "{\n  \"sweep\": [\n";
+  const std::vector<int> sweep = {10, 100, 1000, 10000};
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    int sessions = sweep[i];
+    aorta::server::ServiceConfig sc;
+    sc.admission.queue_capacity = 1024;
+    sc.admission.policy = aorta::util::OverflowPolicy::kShedOldest;
+    sc.admission.fair_dequeue = true;
+
+    aorta::server::WorkloadConfig wc;
+    wc.tenants = kTenants;
+    wc.sessions_per_tenant = sessions / kTenants;
+    wc.mode = aorta::server::WorkloadConfig::Mode::kClosedLoop;
+    wc.think = Duration::seconds(1.0);
+    wc.seed = 1000 + static_cast<std::uint64_t>(sessions);
+
+    RunResult r = run_workload(sc, wc, kSweepSimSeconds);
+    double thruput = static_cast<double>(r.completed_total) / kSweepSimSeconds;
+    double p50 = r.latency_ms.empty() ? 0.0 : r.latency_ms.percentile(50.0);
+    double p99 = r.latency_ms.empty() ? 0.0 : r.latency_ms.percentile(99.0);
+    double shed_pct =
+        r.admission.submitted == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.admission.shed) /
+                  static_cast<double>(r.admission.submitted);
+    double fair = fairness_ratio(r);
+    std::printf("%8d %10llu %12.1f %10.3f %10.3f %10.2f %10.2f\n", sessions,
+                static_cast<unsigned long long>(r.completed_total), thruput,
+                p50, p99, shed_pct, fair);
+    json += "    {\"sessions\": " + std::to_string(sessions) +
+            ", \"active_sessions\": " + std::to_string(r.sessions) +
+            ", \"completed\": " + std::to_string(r.completed_total) +
+            ", \"throughput_per_s\": " + fmt(thruput) +
+            ", \"admission_latency_ms\": {\"p50\": " + fmt(p50) +
+            ", \"p99\": " + fmt(p99) + "}" +
+            ", \"shed\": " + std::to_string(r.admission.shed) +
+            ", \"shed_pct\": " + fmt(shed_pct) +
+            ", \"mailbox_dropped\": " + std::to_string(r.mailbox_dropped) +
+            ", \"fairness_max_min\": " + fmt(fair) + "}";
+    json += i + 1 < sweep.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+
+  // ---- Part 2: hot-tenant isolation ---------------------------------------
+  // Open loop, 10 sessions per tenant at 1 Hz each; service capacity is
+  // capped well below the hot run's offered load so admission control has
+  // to arbitrate.
+  auto hot_service = [](bool fair) {
+    aorta::server::ServiceConfig sc;
+    sc.admission.queue_capacity = 512;
+    sc.admission.policy = aorta::util::OverflowPolicy::kShedOldest;
+    sc.admission.fair_dequeue = fair;
+    sc.max_dispatch_per_tick = 16;  // 160 dispatches/s ceiling
+    return sc;
+  };
+  auto hot_workload = [](double t0_multiplier) {
+    aorta::server::WorkloadConfig wc;
+    wc.tenants = kTenants;
+    wc.sessions_per_tenant = 10;
+    wc.mode = aorta::server::WorkloadConfig::Mode::kOpenLoop;
+    wc.arrival_rate_hz = 1.0;
+    wc.aq_fraction = 0.0;  // pure SELECT load so goodput is comparable
+    wc.seed = 77;
+    if (t0_multiplier != 1.0) wc.rate_multipliers["t0"] = t0_multiplier;
+    return wc;
+  };
+
+  RunResult base = run_workload(hot_service(true), hot_workload(1.0),
+                                kHotSimSeconds);
+  RunResult hot_fair = run_workload(hot_service(true), hot_workload(10.0),
+                                    kHotSimSeconds);
+  RunResult hot_fifo = run_workload(hot_service(false), hot_workload(10.0),
+                                    kHotSimSeconds);
+
+  double g_base = others_goodput_per_s(base, kHotSimSeconds);
+  double g_fair = others_goodput_per_s(hot_fair, kHotSimSeconds);
+  double g_fifo = others_goodput_per_s(hot_fifo, kHotSimSeconds);
+  double degradation_fair =
+      g_base == 0.0 ? 0.0 : 100.0 * (g_base - g_fair) / g_base;
+  double degradation_fifo =
+      g_base == 0.0 ? 0.0 : 100.0 * (g_base - g_fifo) / g_base;
+
+  std::printf("\nHot tenant (t0 at 10x, 100 open-loop sessions, "
+              "capacity 160/s):\n");
+  std::printf("  %-34s %8.2f stmts/s/tenant\n",
+              "others' goodput, uniform baseline", g_base);
+  std::printf("  %-34s %8.2f (%.1f%% degradation)\n",
+              "others' goodput, fair dequeue", g_fair, degradation_fair);
+  std::printf("  %-34s %8.2f (%.1f%% degradation)\n",
+              "others' goodput, FIFO dequeue", g_fifo, degradation_fifo);
+  std::printf("  hot tenant completed: baseline=%llu fair=%llu fifo=%llu\n",
+              static_cast<unsigned long long>(
+                  base.completed_by_tenant.count("t0")
+                      ? base.completed_by_tenant.at("t0") : 0),
+              static_cast<unsigned long long>(
+                  hot_fair.completed_by_tenant.count("t0")
+                      ? hot_fair.completed_by_tenant.at("t0") : 0),
+              static_cast<unsigned long long>(
+                  hot_fifo.completed_by_tenant.count("t0")
+                      ? hot_fifo.completed_by_tenant.at("t0") : 0));
+
+  json += "  \"hot_tenant\": {\n";
+  json += "    \"others_goodput_per_s_baseline\": " + fmt(g_base) + ",\n";
+  json += "    \"others_goodput_per_s_fair\": " + fmt(g_fair) + ",\n";
+  json += "    \"others_goodput_per_s_fifo\": " + fmt(g_fifo) + ",\n";
+  json += "    \"degradation_pct_fair\": " + fmt(degradation_fair) + ",\n";
+  json += "    \"degradation_pct_fifo\": " + fmt(degradation_fifo) + "\n";
+  json += "  }\n}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  std::ofstream out("results/bench_server_scale.json");
+  out << json;
+  std::printf("\nwrote results/bench_server_scale.json\n");
+
+  if (degradation_fair >= 20.0) {
+    std::printf("WARNING: fair-dequeue degradation %.1f%% exceeds the 20%% "
+                "isolation target\n", degradation_fair);
+    return 1;
+  }
+  return 0;
+}

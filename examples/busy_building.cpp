@@ -1,0 +1,137 @@
+// busy_building: the smart building as a *shared service*.
+//
+// smart_building.cpp drives Aorta as a single embedded caller; this demo
+// puts the multi-tenant service layer (src/server) in front of the same
+// instrumented building and lets three departments use it concurrently:
+//
+//   facilities  - registers comfort-monitoring AQs, polls temperatures
+//   security    - registers an intrusion AQ (accel spike -> photo action)
+//   research    - a scripted burst of ad-hoc SELECTs that runs into
+//                 admission control
+//
+// Each department is a tenant with its own sessions, AQ namespace, quota
+// and result mailbox; the run prints what each mailbox received and the
+// service's per-tenant accounting.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/aorta.h"
+#include "server/service.h"
+
+using aorta::core::Aorta;
+using aorta::core::Config;
+using aorta::server::Delivery;
+using aorta::server::QueryService;
+using aorta::server::ServiceConfig;
+using aorta::server::SessionId;
+using aorta::util::Duration;
+using aorta::util::TimePoint;
+
+namespace {
+
+const char* kind_name(Delivery::Kind kind) {
+  switch (kind) {
+    case Delivery::Kind::kResult: return "result";
+    case Delivery::Kind::kError: return "error";
+    case Delivery::Kind::kRow: return "row";
+    case Delivery::Kind::kOutcome: return "outcome";
+  }
+  return "?";
+}
+
+void drain_and_print(QueryService& service, SessionId id,
+                     const std::string& who) {
+  aorta::server::Session* s = service.session(id);
+  if (s == nullptr) return;
+  std::vector<Delivery> mail = s->drain();
+  std::printf("\n%s (session %llu, %zu deliveries, %llu dropped):\n",
+              who.c_str(), static_cast<unsigned long long>(id), mail.size(),
+              static_cast<unsigned long long>(s->mailbox_dropped()));
+  std::size_t shown = 0;
+  for (const Delivery& d : mail) {
+    if (++shown > 6) {
+      std::printf("  ... %zu more\n", mail.size() - shown + 1);
+      break;
+    }
+    std::printf("  [%7.2fs] %-7s %s%s\n", d.at.to_seconds(),
+                kind_name(d.kind),
+                d.query.empty() ? "" : (d.query + ": ").c_str(),
+                d.message.empty()
+                    ? (std::to_string(d.rows.size()) + " row(s)").c_str()
+                    : d.message.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Aorta sys(Config{});
+
+  // The instrumented building: motes on doors, one camera per wing.
+  (void)sys.add_camera("cam_east", "192.168.0.90", {{0, 0, 3}, 0.0});
+  (void)sys.add_camera("cam_west", "192.168.0.91", {{12, 0, 3}, 3.14});
+  for (int i = 0; i < 3; ++i) {
+    std::string id = "door" + std::to_string(i);
+    (void)sys.add_mote(id, {static_cast<double>(i * 4), 2, 1}, 1 + i);
+    (void)sys.mote(id)->set_signal("temp",
+                                   aorta::devices::constant_signal(21.5));
+    auto accel = std::make_unique<aorta::devices::ScriptedSignal>(0.0);
+    // Someone pushes door1 twice during the run.
+    if (i == 1) {
+      accel->add_spike(TimePoint() + Duration::seconds(20),
+                       Duration::seconds(2), 850.0);
+      accel->add_spike(TimePoint() + Duration::seconds(70),
+                       Duration::seconds(2), 910.0);
+    }
+    (void)sys.mote(id)->set_signal("accel_x", std::move(accel));
+  }
+
+  ServiceConfig sc;
+  sc.admission.queue_capacity = 8;  // small on purpose: research's burst
+  sc.admission.policy = aorta::util::OverflowPolicy::kShedOldest;
+  sc.admission.max_aqs_per_tenant = 2;
+  sc.tenant_weights = {{"security", 2.0}};  // alarms beat batch analytics
+  QueryService service(&sys, sc);
+
+  SessionId facilities = service.connect("facilities");
+  SessionId security = service.connect("security");
+  SessionId research = service.connect("research");
+
+  (void)service.submit(facilities,
+                       "CREATE AQ comfort AS SELECT s.temp FROM sensor s "
+                       "WHERE s.temp > 30");
+  (void)service.submit(security,
+                       "CREATE AQ intrusion AS SELECT photo(c.ip, s.loc, "
+                       "'photos/security') FROM sensor s, camera c WHERE "
+                       "s.accel_x > 500 AND coverage(c.id, s.loc)");
+  // Tenant quota in action: security tries to register a third AQ later.
+  (void)service.submit(security,
+                       "CREATE AQ doors AS SELECT s.accel_x FROM sensor s "
+                       "WHERE s.accel_x > 500");
+  auto over_quota = service.submit(
+      security, "CREATE AQ extra AS SELECT s.temp FROM sensor s");
+  std::printf("security's 3rd AQ: %s\n",
+              over_quota.is_ok() ? "accepted"
+                                 : over_quota.status().to_string().c_str());
+
+  // Research floods 24 ad-hoc SELECTs into a queue of 8.
+  sys.loop().schedule(Duration::seconds(5), [&]() {
+    for (int i = 0; i < 24; ++i) {
+      (void)service.submit(research, "SELECT s.temp FROM sensor s");
+    }
+  });
+
+  sys.run_for(Duration::minutes(2));
+
+  drain_and_print(service, facilities, "facilities");
+  drain_and_print(service, security, "security");
+  drain_and_print(service, research, "research");
+
+  std::printf("\nservice accounting:\n%s", service.stats_json().c_str());
+
+  (void)service.disconnect(research);
+  std::printf("research disconnected; active sessions: %zu\n",
+              service.active_sessions());
+  return 0;
+}

@@ -125,10 +125,56 @@ Status Aorta::register_action_impl(const std::string& name,
 }
 
 Result<ExecResult> Aorta::exec(const std::string& sql) {
+  std::optional<Result<ExecResult>> outcome;
+  exec_async(sql, ExecOptions{},
+             [&outcome](Result<ExecResult> r) { outcome = std::move(r); });
+  if (!outcome.has_value()) {
+    // One-shot SELECT: sensory acquisition needs simulated time to pass;
+    // bounded by the worst per-type probe timeout.
+    const Duration kSelectDeadline = Duration::seconds(30.0);
+    aorta::util::TimePoint deadline = loop_->now() + kSelectDeadline;
+    while (!outcome.has_value() && loop_->now() < deadline &&
+           loop_->pending() > 0) {
+      loop_->run_until(loop_->now() + Duration::millis(10));
+    }
+    if (!outcome.has_value()) {
+      return Result<ExecResult>(
+          aorta::util::timeout_error("SELECT did not complete"));
+    }
+  }
+  return std::move(*outcome);
+}
+
+void Aorta::exec_async(const std::string& sql, ExecOptions options,
+                       std::function<void(Result<ExecResult>)> done) {
   auto stmt = query::parse(sql);
-  if (!stmt.is_ok()) return Result<ExecResult>(stmt.status());
+  if (!stmt.is_ok()) {
+    done(Result<ExecResult>(stmt.status()));
+    return;
+  }
   query::Statement& s = stmt.value();
 
+  if (s.kind == query::Statement::Kind::kSelect) {
+    executor_->run_select(
+        s.select, [done = std::move(done)](
+                      Result<std::vector<query::Row>> outcome) {
+          if (!outcome.is_ok()) {
+            done(Result<ExecResult>(outcome.status()));
+            return;
+          }
+          ExecResult result;
+          result.rows = std::move(outcome).value();
+          result.message =
+              aorta::util::str_format("%zu row(s)", result.rows.size());
+          done(std::move(result));
+        });
+    return;
+  }
+  done(exec_ddl(s, sql, options));
+}
+
+Result<ExecResult> Aorta::exec_ddl(query::Statement& s, const std::string& sql,
+                                   const ExecOptions& options) {
   switch (s.kind) {
     case query::Statement::Kind::kCreateAction: {
       const auto& ca = s.create_action;
@@ -182,15 +228,20 @@ Result<ExecResult> Aorta::exec(const std::string& sql) {
     }
 
     case query::Statement::Kind::kCreateAq: {
+      std::string name = options.name_prefix + s.create_aq.name;
+      query::ContinuousQueryExecutor::AqHooks hooks;
+      hooks.owner = options.owner;
+      hooks.on_row = options.on_row;
       AORTA_RETURN_IF_ERROR_EXEC(executor_->register_aq(
-          s.create_aq.name, s.create_aq.epoch_s, s.create_aq.select, sql));
-      return ExecResult{"continuous query " + s.create_aq.name + " registered",
-                        {}};
+          name, s.create_aq.epoch_s, s.create_aq.select, sql,
+          std::move(hooks)));
+      return ExecResult{"continuous query " + name + " registered", {}};
     }
 
     case query::Statement::Kind::kDropAq: {
-      AORTA_RETURN_IF_ERROR_EXEC(executor_->drop_aq(s.drop_aq.name));
-      return ExecResult{"continuous query " + s.drop_aq.name + " dropped", {}};
+      std::string name = options.name_prefix + s.drop_aq.name;
+      AORTA_RETURN_IF_ERROR_EXEC(executor_->drop_aq(name));
+      return ExecResult{"continuous query " + name + " dropped", {}};
     }
 
     case query::Statement::Kind::kExplain: {
@@ -247,30 +298,8 @@ Result<ExecResult> Aorta::exec(const std::string& sql) {
       return result;
     }
 
-    case query::Statement::Kind::kSelect: {
-      // One-shot: drive the simulation until tuple acquisition completes.
-      std::optional<Result<std::vector<query::Row>>> outcome;
-      executor_->run_select(s.select, [&outcome](auto result) {
-        outcome = std::move(result);
-      });
-      // Sensory acquisition needs simulated time to pass; bounded by the
-      // worst per-type probe timeout.
-      const Duration kSelectDeadline = Duration::seconds(30.0);
-      aorta::util::TimePoint deadline = loop_->now() + kSelectDeadline;
-      while (!outcome.has_value() && loop_->now() < deadline &&
-             loop_->pending() > 0) {
-        loop_->run_until(loop_->now() + Duration::millis(10));
-      }
-      if (!outcome.has_value()) {
-        return Result<ExecResult>(
-            aorta::util::timeout_error("SELECT did not complete"));
-      }
-      if (!outcome->is_ok()) return Result<ExecResult>(outcome->status());
-      ExecResult result;
-      result.rows = std::move(outcome->value());
-      result.message = aorta::util::str_format("%zu row(s)", result.rows.size());
-      return result;
-    }
+    case query::Statement::Kind::kSelect:
+      break;  // handled asynchronously in exec_async
   }
   return Result<ExecResult>(aorta::util::internal_error("bad statement kind"));
 }

@@ -51,6 +51,17 @@ struct ExecResult {
   std::vector<query::Row> rows;
 };
 
+// Session-scoped execution options for the multi-tenant service layer
+// (src/server). `name_prefix` isolates a session's AQ namespace (CREATE AQ
+// and DROP AQ names are prefixed before reaching the executor); `owner`
+// tags the registered query; `on_row` receives its continuous rows.
+struct ExecOptions {
+  std::string owner;
+  std::string name_prefix;
+  std::function<void(const std::string& query, const query::TimestampedRow&)>
+      on_row;
+};
+
 struct SystemStats {
   sync::LockStats locks;
   sync::ProbeStats probes;
@@ -85,6 +96,13 @@ class Aorta {
   // Execute one statement: CREATE ACTION / CREATE AQ / SELECT / DROP AQ.
   // SELECT runs the simulation until its tuples are acquired.
   aorta::util::Result<ExecResult> exec(const std::string& sql);
+
+  // Asynchronous variant used by the service layer: DDL completes before
+  // returning; a one-shot SELECT completes once enough simulated time has
+  // passed for tuple acquisition (the caller keeps the event loop moving).
+  // `done` is invoked exactly once.
+  void exec_async(const std::string& sql, ExecOptions options,
+                  std::function<void(aorta::util::Result<ExecResult>)> done);
 
   // Bind the implementation of a user-defined action registered via
   // CREATE ACTION (this reproduction's stand-in for loading the DLL).
@@ -123,6 +141,10 @@ class Aorta {
   void register_builtin_types();
   void register_builtin_functions();
   void register_builtin_actions();
+  // Synchronous statement kinds (everything but SELECT).
+  aorta::util::Result<ExecResult> exec_ddl(query::Statement& s,
+                                           const std::string& sql,
+                                           const ExecOptions& options);
 
   Config config_;
   aorta::util::Rng rng_;

@@ -116,8 +116,12 @@ Result<AtomicOpCostTable> AtomicOpCostTable::from_xml(std::string_view xml) {
       return Result<AtomicOpCostTable>(
           aorta::util::parse_error("<operation> missing name"));
     }
-    op.fixed_s = node->attr_double("fixed_s", 0.0);
-    op.per_unit_s = node->attr_double("per_unit_s", 0.0);
+    AORTA_ASSIGN_OR_RETURN_RESULT(op.fixed_s,
+                                  node->attr_double_checked("fixed_s", 0.0),
+                                  AtomicOpCostTable);
+    AORTA_ASSIGN_OR_RETURN_RESULT(op.per_unit_s,
+                                  node->attr_double_checked("per_unit_s", 0.0),
+                                  AtomicOpCostTable);
     op.unit = node->attr("unit");
     Status s = table.add(std::move(op));
     if (!s.is_ok()) return Result<AtomicOpCostTable>(s);
@@ -215,7 +219,10 @@ Result<std::unique_ptr<ActionProfileNode>> node_from_xml(const XmlNode& xml) {
     if (!xml.has_attr("name")) {
       return Result<NodePtr>(aorta::util::parse_error("<op> missing name"));
     }
-    return ActionProfileNode::op(xml.attr("name"), xml.attr_double("units", 1.0));
+    AORTA_ASSIGN_OR_RETURN_RESULT(double units,
+                                  xml.attr_double_checked("units", 1.0),
+                                  NodePtr);
+    return ActionProfileNode::op(xml.attr("name"), units);
   }
   if (xml.name == "seq" || xml.name == "par") {
     std::vector<NodePtr> children;

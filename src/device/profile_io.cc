@@ -38,15 +38,25 @@ Result<DeviceTypeInfo> device_type_from_xml(std::string_view xml) {
     return Result<DeviceTypeInfo>(
         aorta::util::parse_error("<device_type> missing id"));
   }
-  info.probe_timeout = aorta::util::Duration::millis(
-      root.attr_int("probe_timeout_ms", 2000));
+  AORTA_ASSIGN_OR_RETURN_RESULT(
+      std::int64_t timeout_ms, root.attr_int_checked("probe_timeout_ms", 2000),
+      DeviceTypeInfo);
+  info.probe_timeout = aorta::util::Duration::millis(timeout_ms);
 
   if (const aorta::util::XmlNode* link = root.child("link")) {
-    info.link.latency_mean_s = link->attr_double("latency_mean_s", 0.002);
-    info.link.latency_jitter_s = link->attr_double("latency_jitter_s", 0.0);
-    info.link.loss_prob = link->attr_double("loss_prob", 0.0);
-    info.link.bandwidth_bytes_per_s =
-        link->attr_double("bandwidth_bytes_per_s", 1e7);
+    AORTA_ASSIGN_OR_RETURN_RESULT(
+        info.link.latency_mean_s,
+        link->attr_double_checked("latency_mean_s", 0.002), DeviceTypeInfo);
+    AORTA_ASSIGN_OR_RETURN_RESULT(
+        info.link.latency_jitter_s,
+        link->attr_double_checked("latency_jitter_s", 0.0), DeviceTypeInfo);
+    AORTA_ASSIGN_OR_RETURN_RESULT(info.link.loss_prob,
+                                  link->attr_double_checked("loss_prob", 0.0),
+                                  DeviceTypeInfo);
+    AORTA_ASSIGN_OR_RETURN_RESULT(
+        info.link.bandwidth_bytes_per_s,
+        link->attr_double_checked("bandwidth_bytes_per_s", 1e7),
+        DeviceTypeInfo);
   }
 
   const aorta::util::XmlNode* catalog = root.child("catalog");

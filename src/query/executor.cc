@@ -36,7 +36,8 @@ ContinuousQueryExecutor::ContinuousQueryExecutor(
 Status ContinuousQueryExecutor::register_aq(const std::string& name,
                                             double epoch_s,
                                             const SelectStmt& stmt,
-                                            std::string source_sql) {
+                                            std::string source_sql,
+                                            AqHooks hooks) {
   if (queries_.count(name) > 0) {
     return aorta::util::already_exists_error("query already registered: " + name);
   }
@@ -58,6 +59,8 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
 
   auto aq = std::make_unique<Aq>();
   aq->name = name;
+  aq->generation = next_generation_++;
+  aq->hooks = std::move(hooks);
   aq->source_sql = std::move(source_sql);
   aq->compiled = std::move(compiled).value();
 
@@ -98,6 +101,11 @@ std::vector<std::string> ContinuousQueryExecutor::aq_names() const {
   std::vector<std::string> out;
   for (const auto& [name, aq] : queries_) out.push_back(name);
   return out;
+}
+
+std::string ContinuousQueryExecutor::aq_owner(const std::string& name) const {
+  auto it = queries_.find(name);
+  return it == queries_.end() ? "" : it->second->hooks.owner;
 }
 
 ActionOperator* ContinuousQueryExecutor::operator_for(const ActionDef* action) {
@@ -156,11 +164,13 @@ void ContinuousQueryExecutor::on_tick() {
 void ContinuousQueryExecutor::evaluate(Aq& aq, std::function<void()> done) {
   ++aq.stats.epochs;
   // The query may be dropped while the scan is in flight: re-resolve it by
-  // name at completion instead of holding a pointer into queries_.
-  aq.event_scan->scan([this, name = aq.name, done = std::move(done)](
-                          std::vector<comm::Tuple> tuples) {
+  // name at completion instead of holding a pointer into queries_. The
+  // generation check also covers a drop + immediate re-register under the
+  // same name — the stale scan's tuples must not feed the new query.
+  aq.event_scan->scan([this, name = aq.name, generation = aq.generation,
+                       done = std::move(done)](std::vector<comm::Tuple> tuples) {
     auto it = queries_.find(name);
-    if (it == queries_.end()) {
+    if (it == queries_.end() || it->second->generation != generation) {
       done();
       return;
     }
@@ -210,7 +220,9 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
       row.emplace_back(proj->to_string(),
                        v.is_ok() ? std::move(v).value() : device::Value{});
     }
-    aq.results.push_back(TimestampedRow{loop_->now(), std::move(row)});
+    TimestampedRow stamped{loop_->now(), std::move(row)};
+    if (aq.hooks.on_row) aq.hooks.on_row(aq.name, stamped);
+    aq.results.push_back(std::move(stamped));
     while (aq.results.size() > kResultCap) aq.results.pop_front();
   }
 
@@ -327,6 +339,7 @@ std::vector<TimestampedRow> ContinuousQueryExecutor::recent_results(
 }
 
 void ContinuousQueryExecutor::record_trace(TraceEntry entry) {
+  if (trace_sink_) trace_sink_(entry);
   trace_.push_back(std::move(entry));
   while (trace_.size() > kTraceCap) trace_.pop_front();
 }

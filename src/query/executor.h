@@ -12,6 +12,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,16 @@ class ContinuousQueryExecutor {
     int max_retries = 1;  // failover rounds per failed action request
   };
 
+  // Multi-tenant hooks a query can be registered with (src/server): an
+  // owner tag identifying the registering session/tenant, and a callback
+  // receiving every projected row at event time (in addition to the
+  // bounded ring served by recent_results).
+  struct AqHooks {
+    std::string owner;
+    std::function<void(const std::string& name, const TimestampedRow& row)>
+        on_row;
+  };
+
   ContinuousQueryExecutor(device::DeviceRegistry* registry,
                           comm::CommLayer* comm, sync::Prober* prober,
                           sync::LockManager* locks, aorta::util::EventLoop* loop,
@@ -66,10 +77,13 @@ class ContinuousQueryExecutor {
   // evaluated from the next epoch tick.
   aorta::util::Status register_aq(const std::string& name, double epoch_s,
                                   const SelectStmt& stmt,
-                                  std::string source_sql);
+                                  std::string source_sql, AqHooks hooks = {});
 
   aorta::util::Status drop_aq(const std::string& name);
   std::vector<std::string> aq_names() const;
+
+  // Owner tag the query was registered with ("" if unknown / untagged).
+  std::string aq_owner(const std::string& name) const;
 
   // Begin epoch ticking (idempotent).
   void start();
@@ -88,6 +102,12 @@ class ContinuousQueryExecutor {
   const std::deque<TraceEntry>& trace() const { return trace_; }
   void record_trace(TraceEntry entry);
 
+  // Observer invoked on every trace entry as it is recorded (the server
+  // layer routes "outcome" entries to the owning session's mailbox).
+  void set_trace_sink(std::function<void(const TraceEntry&)> sink) {
+    trace_sink_ = std::move(sink);
+  }
+
   // ---- statistics --------------------------------------------------------
   const QueryStats* query_stats(const std::string& name) const;
   // Action outcomes per query, aggregated across all shared operators.
@@ -98,6 +118,11 @@ class ContinuousQueryExecutor {
  private:
   struct Aq {
     std::string name;
+    // Distinguishes this registration from an earlier one under the same
+    // name: in-flight scan callbacks check it so a drop + re-register
+    // mid-epoch never feeds stale tuples to the new query.
+    std::uint64_t generation = 0;
+    AqHooks hooks;
     std::string source_sql;
     CompiledQuery compiled;
     std::unique_ptr<comm::ScanOperator> event_scan;
@@ -140,7 +165,9 @@ class ContinuousQueryExecutor {
   std::map<device::DeviceTypeId, std::unique_ptr<comm::Schema>> schemas_;
   bool started_ = false;
   std::uint64_t tick_count_ = 0;
+  std::uint64_t next_generation_ = 1;
   std::deque<TraceEntry> trace_;
+  std::function<void(const TraceEntry&)> trace_sink_;
 };
 
 }  // namespace aorta::query

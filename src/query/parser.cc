@@ -11,7 +11,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::string_view input, std::vector<Token> tokens)
+      : input_(input), tokens_(std::move(tokens)) {}
 
   Result<Statement> parse_statement() {
     Statement stmt;
@@ -103,8 +104,23 @@ class Parser {
 
   template <typename T>
   Result<T> error(std::string message) const {
-    return Result<T>(aorta::util::parse_error(
-        message + " (near offset " + std::to_string(peek().offset) + ")"));
+    return Result<T>(aorta::util::parse_error(message + location()));
+  }
+
+  // Where in the statement the parse failed, quoting the offending
+  // fragment: " (at offset 9 near 'FORM sensor s')".
+  std::string location() const {
+    std::size_t offset = std::min<std::size_t>(peek().offset, input_.size());
+    std::string out = " (at offset " + std::to_string(offset);
+    constexpr std::size_t kFragmentLen = 24;
+    std::string_view fragment = input_.substr(offset);
+    if (!fragment.empty()) {
+      out += " near '";
+      out += fragment.substr(0, kFragmentLen);
+      out += fragment.size() > kFragmentLen ? "...'" : "'";
+    }
+    out += ")";
+    return out;
   }
 
   Result<std::string> expect_identifier(std::string_view what) {
@@ -116,9 +132,9 @@ class Parser {
 
   aorta::util::Status expect_symbol(std::string_view symbol) {
     if (!peek().is_symbol(symbol)) {
-      return aorta::util::parse_error(
-          "expected '" + std::string(symbol) + "', got '" + peek().text +
-          "' at offset " + std::to_string(peek().offset));
+      return aorta::util::parse_error("expected '" + std::string(symbol) +
+                                      "', got '" + peek().text + "'" +
+                                      location());
     }
     advance();
     return aorta::util::Status::ok();
@@ -414,6 +430,7 @@ class Parser {
     return error<ExprPtr>("unexpected token '" + t.text + "'");
   }
 
+  std::string_view input_;
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
 };
@@ -423,14 +440,14 @@ class Parser {
 Result<Statement> parse(std::string_view input) {
   auto tokens = lex(input);
   if (!tokens.is_ok()) return Result<Statement>(tokens.status());
-  Parser parser(std::move(tokens).value());
+  Parser parser(input, std::move(tokens).value());
   return parser.parse_statement();
 }
 
 Result<ExprPtr> parse_expression(std::string_view input) {
   auto tokens = lex(input);
   if (!tokens.is_ok()) return Result<ExprPtr>(tokens.status());
-  Parser parser(std::move(tokens).value());
+  Parser parser(input, std::move(tokens).value());
   return parser.parse_bare_expression();
 }
 

@@ -1,0 +1,87 @@
+#include "server/admission.h"
+
+namespace aorta::server {
+
+void AdmissionController::set_tenant_weight(const TenantId& tenant,
+                                            double weight) {
+  tenants_[tenant].weight = weight > 0.0 ? weight : 1.0;
+}
+
+bool AdmissionController::submit(
+    Submission submission, const std::function<void(const Submission&)>& on_shed) {
+  ++stats_.submitted;
+  if (queued_ >= config_.queue_capacity) {
+    if (config_.policy == aorta::util::OverflowPolicy::kRejectNew) {
+      ++stats_.rejected;
+      return false;
+    }
+    // Shed the oldest submission of the most-backlogged tenant. A flooding
+    // tenant is by construction the longest queue, so it cannibalizes its
+    // own backlog before any lighter tenant loses work. Ties break on the
+    // smaller tenant id (map order) for determinism.
+    TenantQueue* victim = nullptr;
+    for (auto& [name, q] : tenants_) {
+      if (q.items.empty()) continue;
+      if (victim == nullptr || q.items.size() > victim->items.size()) {
+        victim = &q;
+      }
+    }
+    if (victim != nullptr) {
+      if (on_shed) on_shed(victim->items.front());
+      victim->items.pop_front();
+      --queued_;
+      ++stats_.shed;
+    }
+  }
+
+  TenantQueue& q = tenants_[submission.tenant];
+  if (q.items.empty()) {
+    // A tenant (re)entering the schedule starts at the current virtual
+    // time — an idle period must not bank up an unbounded burst credit.
+    q.pass = std::max(q.pass, global_pass_);
+  }
+  q.items.push_back(std::move(submission));
+  ++queued_;
+  ++stats_.admitted;
+  return true;
+}
+
+std::optional<Submission> AdmissionController::next(
+    const std::function<bool(const Submission&)>& eligible) {
+  TenantQueue* best = nullptr;
+  std::uint64_t best_seq = 0;
+  for (auto& [name, q] : tenants_) {
+    if (q.items.empty()) continue;
+    if (eligible && !eligible(q.items.front())) continue;  // deferred
+    bool better;
+    if (best == nullptr) {
+      better = true;
+    } else if (config_.fair_dequeue) {
+      better = q.pass < best->pass;
+    } else {
+      better = q.items.front().seq < best_seq;  // global FIFO baseline
+    }
+    if (better) {
+      best = &q;
+      best_seq = q.items.front().seq;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+
+  Submission out = std::move(best->items.front());
+  best->items.pop_front();
+  --queued_;
+  ++stats_.dispatched;
+  // The served tenant's pre-increment pass is the schedule's virtual time:
+  // tenants (re)entering later start there, not at zero.
+  global_pass_ = best->pass;
+  best->pass += 1.0 / best->weight;
+  return out;
+}
+
+std::size_t AdmissionController::queued_for(const TenantId& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.items.size();
+}
+
+}  // namespace aorta::server

@@ -1,0 +1,359 @@
+#include "server/service.h"
+
+#include "query/parser.h"
+#include "util/strings.h"
+
+namespace aorta::server {
+
+using aorta::util::Result;
+using aorta::util::Status;
+
+QueryService::QueryService(core::Aorta* system, ServiceConfig config)
+    : system_(system),
+      config_(std::move(config)),
+      admission_(config_.admission) {
+  for (const auto& [tenant, weight] : config_.tenant_weights) {
+    admission_.set_tenant_weight(tenant, weight);
+  }
+  // Route action outcomes of session-owned queries to their mailboxes.
+  system_->executor().set_trace_sink([this](const query::TraceEntry& entry) {
+    if (entry.kind != "outcome" || entry.query.empty()) return;
+    auto owner = query_owner_.find(entry.query);
+    if (owner == query_owner_.end()) return;
+    auto it = sessions_.find(owner->second);
+    if (it == sessions_.end() || it->second->state() == SessionState::kClosed) {
+      return;
+    }
+    Delivery d;
+    d.kind = Delivery::Kind::kOutcome;
+    d.at = entry.at;
+    d.query = entry.query;
+    d.message = entry.detail;
+    it->second->deliver(std::move(d));
+    ++tenants_[it->second->tenant()].outcomes_delivered;
+  });
+  auto alive = alive_;
+  system_->loop().schedule(config_.dispatch_interval, [this, alive]() {
+    if (*alive) on_tick();
+  });
+}
+
+QueryService::~QueryService() {
+  system_->executor().set_trace_sink({});
+  // Callbacks still queued on the loop (ticks, select completions, AQ row
+  // hooks) share alive_ and become no-ops from here on.
+  *alive_ = false;
+}
+
+void QueryService::on_tick() {
+  for (std::size_t i = 0; i < config_.max_dispatch_per_tick; ++i) {
+    auto next = admission_.next(
+        [this](const Submission& s) { return eligible(s); });
+    if (!next.has_value()) break;
+    dispatch(std::move(*next));
+  }
+  auto alive = alive_;
+  system_->loop().schedule(config_.dispatch_interval, [this, alive]() {
+    if (*alive) on_tick();
+  });
+}
+
+SessionId QueryService::connect(const TenantId& tenant) {
+  SessionId id = next_session_id_++;
+  sessions_.emplace(
+      id, std::make_unique<Session>(id, tenant, config_.mailbox_capacity));
+  tenants_.try_emplace(tenant);  // tenant appears in stats from first contact
+  return id;
+}
+
+Session* QueryService::session(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const Session* QueryService::session(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::size_t QueryService::active_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : sessions_) {
+    if (s->state() != SessionState::kClosed) ++n;
+  }
+  return n;
+}
+
+Status QueryService::drain_session(SessionId id) {
+  Session* s = session(id);
+  if (s == nullptr) return aorta::util::not_found_error("no such session");
+  if (s->state() == SessionState::kClosed) {
+    return aorta::util::invalid_argument_error("session already closed");
+  }
+  s->state_ = SessionState::kDraining;
+  return Status::ok();
+}
+
+Status QueryService::disconnect(SessionId id) {
+  Session* s = session(id);
+  if (s == nullptr) return aorta::util::not_found_error("no such session");
+  if (s->state() == SessionState::kClosed) {
+    return aorta::util::invalid_argument_error("session already closed");
+  }
+  // Drop every continuous query the session registered.
+  for (const std::string& name : s->queries_) {
+    (void)system_->executor().drop_aq(name);
+    query_owner_.erase(name);
+    TenantRuntime& rt = runtime_[s->tenant()];
+    if (rt.aqs > 0) --rt.aqs;
+  }
+  s->queries_.clear();
+  s->state_ = SessionState::kClosed;
+  return Status::ok();
+}
+
+bool QueryService::eligible(const Submission& submission) const {
+  if (submission.kind != query::Statement::Kind::kSelect) return true;
+  auto it = runtime_.find(submission.tenant);
+  std::uint64_t inflight = it == runtime_.end() ? 0 : it->second.inflight_selects;
+  return inflight < config_.admission.max_inflight_selects_per_tenant;
+}
+
+Result<std::uint64_t> QueryService::submit(SessionId id,
+                                           const std::string& sql) {
+  Session* s = session(id);
+  if (s == nullptr) {
+    return Result<std::uint64_t>(aorta::util::not_found_error(
+        "no such session: " + std::to_string(id)));
+  }
+  if (s->state() != SessionState::kActive) {
+    return Result<std::uint64_t>(aorta::util::unavailable_error(
+        "session is " + std::string(session_state_name(s->state()))));
+  }
+  TenantStats& ts = tenants_[s->tenant()];
+  TenantRuntime& rt = runtime_[s->tenant()];
+  ++ts.submitted;
+  ++s->stats_.submitted;
+
+  // Parse up front: the admission queue only holds well-formed statements,
+  // and quota checks need the statement kind.
+  auto stmt = query::parse(sql);
+  if (!stmt.is_ok()) {
+    ++ts.errors;
+    ++s->stats_.errors;
+    return Result<std::uint64_t>(stmt.status());
+  }
+
+  Submission sub;
+  sub.session = id;
+  sub.tenant = s->tenant();
+  sub.sql = sql;
+  sub.kind = stmt.value().kind;
+  sub.enqueued_at = system_->loop().now();
+  sub.seq = next_seq_++;
+  if (sub.kind == query::Statement::Kind::kCreateAq) {
+    sub.aq_name = stmt.value().create_aq.name;
+    // Per-tenant quota on registered AQs, counting queued registrations.
+    if (rt.aqs + rt.pending_creates >=
+        config_.admission.max_aqs_per_tenant) {
+      ++ts.rejected;
+      ++s->stats_.rejected;
+      return Result<std::uint64_t>(aorta::util::busy_error(
+          "tenant AQ quota reached (" +
+          std::to_string(config_.admission.max_aqs_per_tenant) + ")"));
+    }
+  } else if (sub.kind == query::Statement::Kind::kDropAq) {
+    sub.aq_name = stmt.value().drop_aq.name;
+  }
+  sub.statement_id = s->next_statement_id_++;
+  std::uint64_t statement_id = sub.statement_id;
+
+  bool queued = admission_.submit(
+      std::move(sub), [this](const Submission& shed) {
+        // A queued submission was shed to admit a newer one: tell its
+        // session, and release any quota it was holding.
+        TenantStats& shed_ts = tenants_[shed.tenant];
+        ++shed_ts.shed;
+        if (shed.kind == query::Statement::Kind::kCreateAq) {
+          TenantRuntime& shed_rt = runtime_[shed.tenant];
+          if (shed_rt.pending_creates > 0) --shed_rt.pending_creates;
+        }
+        if (Session* victim = session(shed.session)) {
+          Delivery d;
+          d.kind = Delivery::Kind::kError;
+          d.at = system_->loop().now();
+          d.statement_id = shed.statement_id;
+          d.message = "shed by admission control before dispatch";
+          victim->deliver(std::move(d));
+        }
+      });
+  if (!queued) {
+    ++ts.rejected;
+    ++s->stats_.rejected;
+    return Result<std::uint64_t>(aorta::util::busy_error(
+        "admission queue full (" +
+        std::to_string(config_.admission.queue_capacity) + ")"));
+  }
+  ++ts.admitted;
+  if (stmt.value().kind == query::Statement::Kind::kCreateAq) {
+    ++rt.pending_creates;
+  }
+  return statement_id;
+}
+
+void QueryService::dispatch(Submission submission) {
+  TenantStats& ts = tenants_[submission.tenant];
+  TenantRuntime& rt = runtime_[submission.tenant];
+  ++ts.dispatched;
+  double wait_ms = (system_->loop().now() - submission.enqueued_at).to_millis();
+  ts.admission_latency_ms.add(wait_ms);
+  admission_latency_ms_.add(wait_ms);
+  if (submission.kind == query::Statement::Kind::kCreateAq &&
+      rt.pending_creates > 0) {
+    --rt.pending_creates;
+  }
+
+  Session* s = session(submission.session);
+  if (s == nullptr || s->state() == SessionState::kClosed) {
+    ++ts.errors;  // dispatched into a void: session left while queued
+    return;
+  }
+  if (submission.kind == query::Statement::Kind::kSelect) {
+    ++rt.inflight_selects;
+  }
+
+  core::ExecOptions options;
+  options.owner = s->name_prefix();
+  options.name_prefix = s->name_prefix();
+  options.on_row = [this, alive = alive_, session_id = submission.session](
+                       const std::string& query,
+                       const query::TimestampedRow& row) {
+    if (!*alive) return;
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end() || it->second->state() == SessionState::kClosed) {
+      return;
+    }
+    Delivery d;
+    d.kind = Delivery::Kind::kRow;
+    d.at = row.at;
+    d.query = query;
+    d.rows.push_back(row.row);
+    it->second->deliver(std::move(d));
+    ++tenants_[it->second->tenant()].rows_delivered;
+  };
+
+  auto alive = alive_;
+  // Copy out the SQL first: the lambda capture moves `submission`, and
+  // argument evaluation order is unspecified.
+  std::string sql = submission.sql;
+  system_->exec_async(
+      sql, std::move(options),
+      [this, alive, sub = std::move(submission)](
+          Result<core::ExecResult> outcome) {
+        if (!*alive) return;
+        finish(sub.session, sub, std::move(outcome));
+      });
+}
+
+void QueryService::finish(SessionId session_id, const Submission& submission,
+                          Result<core::ExecResult> outcome) {
+  TenantStats& ts = tenants_[submission.tenant];
+  TenantRuntime& rt = runtime_[submission.tenant];
+  if (submission.kind == query::Statement::Kind::kSelect &&
+      rt.inflight_selects > 0) {
+    --rt.inflight_selects;
+  }
+
+  Session* s = session(session_id);
+  std::string prefixed;
+  if (!submission.aq_name.empty() && s != nullptr) {
+    prefixed = s->name_prefix() + submission.aq_name;
+  }
+  if (outcome.is_ok() && !prefixed.empty()) {
+    if (submission.kind == query::Statement::Kind::kCreateAq) {
+      if (s->state() == SessionState::kClosed) {
+        // Registration raced with disconnect: don't leak an ownerless AQ.
+        (void)system_->executor().drop_aq(prefixed);
+      } else {
+        query_owner_[prefixed] = session_id;
+        s->queries_.insert(prefixed);
+        ++rt.aqs;
+      }
+    } else if (submission.kind == query::Statement::Kind::kDropAq) {
+      query_owner_.erase(prefixed);
+      s->queries_.erase(prefixed);
+      if (rt.aqs > 0) --rt.aqs;
+    }
+  }
+
+  if (s == nullptr || s->state() == SessionState::kClosed) return;
+  Delivery d;
+  d.at = system_->loop().now();
+  d.statement_id = submission.statement_id;
+  if (outcome.is_ok()) {
+    d.kind = Delivery::Kind::kResult;
+    d.message = std::move(outcome.value().message);
+    d.rows = std::move(outcome.value().rows);
+    ++ts.completed;
+  } else {
+    d.kind = Delivery::Kind::kError;
+    d.message = outcome.status().to_string();
+    ++ts.errors;
+  }
+  s->deliver(std::move(d));
+}
+
+std::string QueryService::stats_json() const {
+  using aorta::util::str_format;
+  std::string out = "{\n";
+  out += str_format("  \"sessions\": {\"total\": %zu, \"active\": %zu},\n",
+                    sessions_.size(), active_sessions());
+  const AdmissionStats& a = admission_.stats();
+  out += str_format(
+      "  \"admission\": {\"submitted\": %llu, \"admitted\": %llu, "
+      "\"rejected\": %llu, \"shed\": %llu, \"dispatched\": %llu, "
+      "\"queued\": %zu},\n",
+      static_cast<unsigned long long>(a.submitted),
+      static_cast<unsigned long long>(a.admitted),
+      static_cast<unsigned long long>(a.rejected),
+      static_cast<unsigned long long>(a.shed),
+      static_cast<unsigned long long>(a.dispatched), admission_.queued());
+
+  // Mailbox drop totals per tenant (sessions are the drop points).
+  std::map<TenantId, std::uint64_t> mailbox_dropped;
+  for (const auto& [id, s] : sessions_) {
+    mailbox_dropped[s->tenant()] += s->mailbox_dropped();
+  }
+
+  out += "  \"tenants\": {\n";
+  bool first = true;
+  for (const auto& [tenant, ts] : tenants_) {
+    if (!first) out += ",\n";
+    first = false;
+    const aorta::util::Summary& lat = ts.admission_latency_ms;
+    out += str_format(
+        "    \"%s\": {\"submitted\": %llu, \"admitted\": %llu, "
+        "\"rejected\": %llu, \"shed\": %llu, \"dispatched\": %llu, "
+        "\"completed\": %llu, \"errors\": %llu, \"rows\": %llu, "
+        "\"outcomes\": %llu, \"mailbox_dropped\": %llu, "
+        "\"admission_latency_ms\": {\"count\": %zu, \"p50\": %.3f, "
+        "\"p99\": %.3f, \"max\": %.3f}}",
+        tenant.c_str(), static_cast<unsigned long long>(ts.submitted),
+        static_cast<unsigned long long>(ts.admitted),
+        static_cast<unsigned long long>(ts.rejected),
+        static_cast<unsigned long long>(ts.shed),
+        static_cast<unsigned long long>(ts.dispatched),
+        static_cast<unsigned long long>(ts.completed),
+        static_cast<unsigned long long>(ts.errors),
+        static_cast<unsigned long long>(ts.rows_delivered),
+        static_cast<unsigned long long>(ts.outcomes_delivered),
+        static_cast<unsigned long long>(mailbox_dropped[tenant]), lat.count(),
+        lat.empty() ? 0.0 : lat.percentile(50.0),
+        lat.empty() ? 0.0 : lat.percentile(99.0),
+        lat.empty() ? 0.0 : lat.max());
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace aorta::server

@@ -1,0 +1,109 @@
+#include "server/workload_gen.h"
+
+namespace aorta::server {
+
+using aorta::util::Duration;
+
+WorkloadGen::WorkloadGen(QueryService* service, core::Aorta* system,
+                         WorkloadConfig config)
+    : service_(service), system_(system), config_(std::move(config)) {}
+
+WorkloadGen::~WorkloadGen() { stop(); }
+
+void WorkloadGen::start() {
+  if (started_) return;
+  started_ = true;
+  *running_ = true;
+
+  aorta::util::Rng master(config_.seed);
+  for (int t = 0; t < config_.tenants; ++t) {
+    TenantId tenant = "t" + std::to_string(t);
+    double multiplier = 1.0;
+    auto it = config_.rate_multipliers.find(tenant);
+    if (it != config_.rate_multipliers.end()) multiplier = it->second;
+    for (int c = 0; c < config_.sessions_per_tenant; ++c) {
+      Client client{service_->connect(tenant), tenant, multiplier,
+                    master.fork(), 0, 1};
+      session_ids_.push_back(client.session);
+      clients_.push_back(std::move(client));
+    }
+  }
+
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client& client = clients_[i];
+    if (config_.mode == WorkloadConfig::Mode::kClosedLoop) {
+      // Resubmit when the previous statement resolves; rows/outcomes from
+      // continuous queries do not re-trigger the loop.
+      Session* s = service_->session(client.session);
+      auto running = running_;
+      s->set_notify([this, running, i](const Delivery& d) {
+        if (!*running) return;
+        if (d.kind != Delivery::Kind::kResult &&
+            d.kind != Delivery::Kind::kError) {
+          return;
+        }
+        Client& c = clients_[i];
+        double divisor = c.rate_multiplier > 0.0 ? c.rate_multiplier : 1.0;
+        schedule_next(i, config_.think * (1.0 / divisor));
+      });
+    }
+    // Jittered start so 10k clients do not all submit on the same event.
+    schedule_next(i, inter_arrival(client));
+  }
+}
+
+void WorkloadGen::stop() {
+  if (!started_) return;
+  *running_ = false;
+  for (const Client& client : clients_) {
+    if (Session* s = service_->session(client.session)) s->set_notify({});
+  }
+}
+
+Duration WorkloadGen::inter_arrival(Client& client) {
+  double rate = config_.arrival_rate_hz * client.rate_multiplier;
+  if (rate <= 0.0) rate = 1.0;
+  return Duration::seconds(client.rng.exponential(1.0 / rate));
+}
+
+void WorkloadGen::schedule_next(std::size_t client_index, Duration delay) {
+  auto running = running_;
+  system_->loop().schedule(delay, [this, running, client_index]() {
+    if (*running) submit_once(client_index);
+  });
+}
+
+void WorkloadGen::submit_once(std::size_t client_index) {
+  Client& client = clients_[client_index];
+
+  std::string sql;
+  bool is_aq = client.aqs_created < config_.max_aqs_per_session &&
+               !config_.aq_templates.empty() &&
+               client.rng.chance(config_.aq_fraction);
+  if (is_aq) {
+    const std::string& body =
+        config_.aq_templates[client.rng.index(config_.aq_templates.size())];
+    sql = "CREATE AQ w" + std::to_string(client.next_name++) + " AS " + body;
+  } else {
+    sql = config_.select_templates[client.rng.index(
+        config_.select_templates.size())];
+  }
+
+  ++stats_.submitted;
+  auto result = service_->submit(client.session, sql);
+  if (result.is_ok()) {
+    ++stats_.accepted;
+    if (is_aq) ++client.aqs_created;
+  } else {
+    ++stats_.refused;
+  }
+
+  if (config_.mode == WorkloadConfig::Mode::kOpenLoop) {
+    schedule_next(client_index, inter_arrival(client));
+  } else if (!result.is_ok()) {
+    // Closed loop with nothing in flight: back off one think time.
+    schedule_next(client_index, config_.think);
+  }
+}
+
+}  // namespace aorta::server

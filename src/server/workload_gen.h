@@ -1,0 +1,99 @@
+// Calibrated multi-client workload generator for the query service.
+//
+// Spawns N simulated clients (sessions) against the virtual clock, in
+// either of the two classic load-generation modes:
+//   open loop   — each client submits on a Poisson process at its tenant's
+//                 arrival rate, regardless of completions (models heavy
+//                 external traffic; exposes queueing collapse);
+//   closed loop — each client waits for its previous statement to resolve,
+//                 thinks, then submits again (models interactive users;
+//                 self-throttles at the service's capacity).
+// Statement mix and per-tenant rate multipliers (hot tenants) are
+// configurable. Everything draws from a seeded Rng and schedules on the
+// simulation's event loop, so runs are deterministic.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/service.h"
+#include "util/rng.h"
+
+namespace aorta::server {
+
+struct WorkloadConfig {
+  enum class Mode { kOpenLoop, kClosedLoop };
+
+  int tenants = 4;
+  int sessions_per_tenant = 1;
+  Mode mode = Mode::kClosedLoop;
+  double arrival_rate_hz = 1.0;  // open loop: mean submissions/s per session
+  aorta::util::Duration think = aorta::util::Duration::seconds(1.0);
+  // Fraction of submissions that are CREATE AQ (the rest are one-shot
+  // SELECTs). Each session registers at most max_aqs_per_session before
+  // falling back to SELECTs.
+  double aq_fraction = 0.05;
+  int max_aqs_per_session = 2;
+  std::uint64_t seed = 1;
+  // Per-tenant arrival-rate multipliers (open loop) / think-time divisors
+  // (closed loop); absent tenants get 1.0. "t0" -> 10.0 models a hot tenant.
+  std::map<TenantId, double> rate_multipliers;
+  // Statement templates drawn uniformly. AQ templates are the SELECT body
+  // only; the generator prepends "CREATE AQ <unique-name> AS ".
+  std::vector<std::string> select_templates = {
+      "SELECT s.accel_x FROM sensor s",
+      "SELECT s.temp FROM sensor s WHERE s.temp > 0",
+      "SELECT count(*) FROM sensor s",
+  };
+  std::vector<std::string> aq_templates = {
+      "SELECT s.accel_x FROM sensor s WHERE s.accel_x > 500",
+  };
+};
+
+struct WorkloadStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t refused = 0;  // submit() failed (queue full / quota / state)
+};
+
+// Tenant names are "t0" ... "t<N-1>".
+class WorkloadGen {
+ public:
+  WorkloadGen(QueryService* service, core::Aorta* system,
+              WorkloadConfig config);
+  ~WorkloadGen();
+
+  // Connect all sessions and schedule the first submissions. Idempotent.
+  void start();
+  // Stop submitting (sessions stay connected for stats/draining).
+  void stop();
+
+  const WorkloadStats& stats() const { return stats_; }
+  const std::vector<SessionId>& sessions() const { return session_ids_; }
+
+ private:
+  struct Client {
+    SessionId session = 0;
+    TenantId tenant;
+    double rate_multiplier = 1.0;
+    aorta::util::Rng rng;
+    int aqs_created = 0;
+    std::uint64_t next_name = 1;  // unique AQ names within the session
+  };
+
+  void schedule_next(std::size_t client_index, aorta::util::Duration delay);
+  void submit_once(std::size_t client_index);
+  aorta::util::Duration inter_arrival(Client& client);
+
+  QueryService* service_;
+  core::Aorta* system_;
+  WorkloadConfig config_;
+  std::vector<Client> clients_;
+  std::vector<SessionId> session_ids_;
+  WorkloadStats stats_;
+  bool started_ = false;
+  std::shared_ptr<bool> running_ = std::make_shared<bool>(false);
+};
+
+}  // namespace aorta::server

@@ -115,9 +115,21 @@ class [[nodiscard]] Result {
     if (!_aorta_status.is_ok()) return _aorta_status; \
   } while (false)
 
+// Two-level paste so __LINE__ expands (several uses in one scope are fine).
+#define AORTA_CONCAT_INNER(a, b) a##b
+#define AORTA_CONCAT(a, b) AORTA_CONCAT_INNER(a, b)
+
 // Assign the value of a Result or propagate its error.
-#define AORTA_ASSIGN_OR_RETURN(lhs, expr)            \
-  auto _aorta_result_##__LINE__ = (expr);            \
-  if (!_aorta_result_##__LINE__.is_ok())             \
-    return _aorta_result_##__LINE__.status();        \
-  lhs = std::move(_aorta_result_##__LINE__).value()
+#define AORTA_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto AORTA_CONCAT(_aorta_result_, __LINE__) = (expr);       \
+  if (!AORTA_CONCAT(_aorta_result_, __LINE__).is_ok())        \
+    return AORTA_CONCAT(_aorta_result_, __LINE__).status();   \
+  lhs = std::move(AORTA_CONCAT(_aorta_result_, __LINE__)).value()
+
+// Same, for callers that return Result<U>: the error is re-wrapped.
+#define AORTA_ASSIGN_OR_RETURN_RESULT(lhs, expr, U)           \
+  auto AORTA_CONCAT(_aorta_result_, __LINE__) = (expr);       \
+  if (!AORTA_CONCAT(_aorta_result_, __LINE__).is_ok())        \
+    return ::aorta::util::Result<U>(                          \
+        AORTA_CONCAT(_aorta_result_, __LINE__).status());     \
+  lhs = std::move(AORTA_CONCAT(_aorta_result_, __LINE__)).value()

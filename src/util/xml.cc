@@ -245,6 +245,35 @@ std::int64_t XmlNode::attr_int(std::string_view key, std::int64_t fallback) cons
   return (end != it->second.c_str()) ? v : fallback;
 }
 
+Result<double> XmlNode::attr_double_checked(std::string_view key,
+                                            double fallback) const {
+  auto it = attrs.find(std::string(key));
+  if (it == attrs.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Result<double>(parse_error("<" + name + "> attribute " +
+                                      std::string(key) + "=\"" + it->second +
+                                      "\" is not a number"));
+  }
+  return v;
+}
+
+Result<std::int64_t> XmlNode::attr_int_checked(std::string_view key,
+                                               std::int64_t fallback) const {
+  auto it = attrs.find(std::string(key));
+  if (it == attrs.end()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Result<std::int64_t>(parse_error("<" + name + "> attribute " +
+                                            std::string(key) + "=\"" +
+                                            it->second +
+                                            "\" is not an integer"));
+  }
+  return static_cast<std::int64_t>(v);
+}
+
 std::string XmlNode::child_text(std::string_view child_name,
                                 std::string_view fallback) const {
   const XmlNode* c = child(child_name);

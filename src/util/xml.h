@@ -39,6 +39,15 @@ struct XmlNode {
   double attr_double(std::string_view key, double fallback = 0.0) const;
   std::int64_t attr_int(std::string_view key, std::int64_t fallback = 0) const;
 
+  // Checked variants: an absent attribute still yields the fallback, but a
+  // present-yet-unparsable value (including trailing garbage like "12xy")
+  // is a kParseError naming the element and attribute, so hand-written
+  // profile files fail loudly instead of silently defaulting fields.
+  Result<double> attr_double_checked(std::string_view key,
+                                     double fallback = 0.0) const;
+  Result<std::int64_t> attr_int_checked(std::string_view key,
+                                        std::int64_t fallback = 0) const;
+
   // Text content of a named child (trimmed), or fallback.
   std::string child_text(std::string_view child_name,
                          std::string_view fallback = "") const;

@@ -1,0 +1,120 @@
+// Negative tests for error reporting at the declarative interface:
+// parser diagnostics must point at the offending statement fragment, and
+// malformed XML profile documents must fail loudly with element/attribute
+// context instead of silently defaulting fields.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/aorta.h"
+#include "device/profile_io.h"
+#include "query/parser.h"
+#include "util/xml.h"
+
+namespace aorta {
+namespace {
+
+// --------------------------------------------------- parser diagnostics
+
+TEST(ParserDiagnosticsTest, ErrorsCarryOffsetAndFragment) {
+  auto result = query::parse("SELECT s.temp FROM WHERE s.temp > 0");
+  ASSERT_FALSE(result.is_ok());
+  std::string msg = result.status().message();
+  EXPECT_NE(msg.find("at offset"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("near 'WHERE"), std::string::npos) << msg;
+}
+
+TEST(ParserDiagnosticsTest, FragmentPointsAtTheBadToken) {
+  auto result = query::parse("CREATE AQ q AS SELECT s.temp FROM sensor s "
+                             "WHERE s.temp >");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("at offset"), std::string::npos)
+      << result.status().message();
+
+  auto garbage = query::parse("SELECT s.temp FROM sensor s WHERE > 3");
+  ASSERT_FALSE(garbage.is_ok());
+  EXPECT_NE(garbage.status().message().find("near '> 3'"), std::string::npos)
+      << garbage.status().message();
+
+  // Stray characters are caught by the lexer, which reports the offset.
+  auto stray = query::parse("SELECT s.temp FROM sensor s WHERE ^ > 3");
+  ASSERT_FALSE(stray.is_ok());
+  EXPECT_NE(stray.status().message().find("'^' at offset"), std::string::npos)
+      << stray.status().message();
+}
+
+TEST(ParserDiagnosticsTest, LongStatementsTruncateTheFragment) {
+  std::string tail(200, 'x');
+  auto result =
+      query::parse("SELECT s.temp FROM sensor s WHERE > " + tail);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("...'"), std::string::npos)
+      << result.status().message();
+}
+
+// ------------------------------------------------- strict XML numerics
+
+TEST(XmlCheckedAttrTest, AbsentAttributeYieldsFallback) {
+  auto doc = util::xml_parse("<a/>");
+  ASSERT_TRUE(doc.is_ok());
+  auto d = doc.value()->attr_double_checked("missing", 1.5);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_DOUBLE_EQ(d.value(), 1.5);
+  auto i = doc.value()->attr_int_checked("missing", 7);
+  ASSERT_TRUE(i.is_ok());
+  EXPECT_EQ(i.value(), 7);
+}
+
+TEST(XmlCheckedAttrTest, MalformedValueIsAParseErrorWithContext) {
+  auto doc = util::xml_parse("<link speed=\"fast\" count=\"12xy\"/>");
+  ASSERT_TRUE(doc.is_ok());
+  auto d = doc.value()->attr_double_checked("speed", 0.0);
+  ASSERT_FALSE(d.is_ok());
+  EXPECT_EQ(d.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(d.status().message().find("link"), std::string::npos);
+  EXPECT_NE(d.status().message().find("speed"), std::string::npos);
+
+  auto i = doc.value()->attr_int_checked("count", 0);
+  ASSERT_FALSE(i.is_ok());
+  EXPECT_NE(i.status().message().find("count"), std::string::npos);
+}
+
+// ------------------------------------------- device profile documents
+
+TEST(ProfileStrictParsingTest, MalformedTimeoutIsRejectedWithContext) {
+  auto parsed = device::device_type_from_xml(
+      "<device_type id=\"x\" probe_timeout_ms=\"soon\">"
+      "<catalog device_type=\"x\"/></device_type>");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("probe_timeout_ms"),
+            std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ProfileStrictParsingTest, MalformedLinkAttributeIsRejected) {
+  auto parsed = device::device_type_from_xml(
+      "<device_type id=\"x\" probe_timeout_ms=\"2000\">"
+      "<link latency_mean_s=\"0.002ish\"/>"
+      "<catalog device_type=\"x\"/></device_type>");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("latency_mean_s"),
+            std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ProfileStrictParsingTest, FacadeSurfacesXmlErrorsWithContext) {
+  core::Aorta sys(core::Config{});
+  // A well-formed document whose numeric field is garbage must not
+  // register a type with silently-defaulted fields.
+  auto status = sys.register_type_from_xml(
+      "<device_type id=\"flaky\" probe_timeout_ms=\"NaNms\">"
+      "<catalog device_type=\"flaky\"/></device_type>");
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("probe_timeout_ms"), std::string::npos)
+      << status.to_string();
+  EXPECT_EQ(sys.registry().type_info("flaky"), nullptr);
+}
+
+}  // namespace
+}  // namespace aorta
