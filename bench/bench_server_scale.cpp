@@ -59,12 +59,17 @@ struct RunResult {
   std::uint64_t completed_total = 0;
   std::uint64_t mailbox_dropped = 0;
   std::size_t sessions = 0;
+  aorta::comm::BrokerTypeStats broker;  // shared-scan-plane totals
 };
 
 RunResult run_workload(const aorta::server::ServiceConfig& service_config,
                        const aorta::server::WorkloadConfig& workload_config,
                        double sim_seconds) {
-  aorta::core::Aorta sys(aorta::core::Config{});
+  aorta::core::Config cfg;
+  // Shared acquisition plane with a short freshness window: concurrent
+  // SELECTs from many sessions ride the same sensory sweeps.
+  cfg.scan_freshness = Duration::millis(250);
+  aorta::core::Aorta sys(cfg);
   build_world(sys);
   aorta::server::QueryService service(&sys, service_config);
   aorta::server::WorkloadGen gen(&service, &sys, workload_config);
@@ -85,6 +90,7 @@ RunResult run_workload(const aorta::server::ServiceConfig& service_config,
       r.mailbox_dropped += s->mailbox_dropped();
     }
   }
+  r.broker = sys.scan_broker().totals();
   return r;
 }
 
@@ -168,7 +174,13 @@ int main() {
             ", \"shed\": " + std::to_string(r.admission.shed) +
             ", \"shed_pct\": " + fmt(shed_pct) +
             ", \"mailbox_dropped\": " + std::to_string(r.mailbox_dropped) +
-            ", \"fairness_max_min\": " + fmt(fair) + "}";
+            ", \"fairness_max_min\": " + fmt(fair) +
+            ", \"scan_broker\": {\"rpcs_issued\": " +
+            std::to_string(r.broker.rpcs_issued) +
+            ", \"rpcs_coalesced\": " + std::to_string(r.broker.rpcs_coalesced) +
+            ", \"cache_hits\": " + std::to_string(r.broker.cache_hits) +
+            ", \"tuples_delivered\": " +
+            std::to_string(r.broker.tuples_delivered) + "}}";
     json += i + 1 < sweep.size() ? ",\n" : "\n";
   }
   json += "  ],\n";

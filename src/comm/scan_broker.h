@@ -1,0 +1,170 @@
+// ScanBroker: the shared data-acquisition plane of the communication layer.
+//
+// The per-query ScanOperator of Section 3.2 gives every continuous query
+// its own private acquisition path, so N co-located queries over the same
+// device table pay N full sensory sweeps per epoch — O(N x D) read_attr
+// round trips where the radio only needs O(D). The broker refactors
+// acquisition into a subscription model:
+//
+//   * AQs (and ad-hoc SELECT scans) register a *subscription* carrying the
+//     device type, the set of attributes they actually need (projection
+//     pushdown, empty = all) and an epoch period in engine ticks.
+//   * Each engine tick the broker finds the due subscriptions per type,
+//     takes the union of their needed attributes, and performs ONE batched
+//     scan per type — the effective cadence per type is the GCD of the
+//     subscriber periods (subscriptions registered at the same tick with
+//     the same period share every scan).
+//   * Concurrent in-flight (device, attr) reads are deduplicated: a read
+//     issued by an earlier batch (or a one-shot SELECT) that is still in
+//     flight is joined, not re-issued.
+//   * Successful reads are cached; a batch within the configurable
+//     freshness window is served from cache without touching the radio.
+//   * The resulting tuple batch is fanned out to every due subscriber,
+//     each seeing only its own projected attributes, with the per-query
+//     unreachable-device semantics of the private operator preserved: a
+//     device whose *needed* sensory reads all failed contributes no row
+//     to that subscriber.
+//
+// Subscription ids are never recycled, so an unsubscribe (drop AQ) while
+// a batch is in flight simply drops that subscriber from the fan-out —
+// the broker-level analogue of the executor's generation counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "comm/comm_module.h"
+#include "comm/tuple.h"
+#include "util/event_loop.h"
+#include "util/stats.h"
+
+namespace aorta::comm {
+
+// Per-device-type acquisition counters.
+struct BrokerTypeStats {
+  std::uint64_t batches = 0;          // batched scans performed
+  std::uint64_t rpcs_issued = 0;      // sensory read_attr RPCs sent
+  std::uint64_t rpcs_coalesced = 0;   // joined an in-flight (device, attr) read
+  std::uint64_t cache_hits = 0;       // served within the freshness window
+  std::uint64_t read_failures = 0;    // read_attr RPCs that failed / timed out
+  std::uint64_t tuples_delivered = 0; // projected tuples handed to subscribers
+  std::uint64_t deliveries = 0;       // subscriber/one-shot callbacks fired
+  std::uint64_t devices_skipped = 0;  // per-subscriber unreachable devices
+};
+
+class ScanBroker {
+ public:
+  using SubscriptionId = std::uint64_t;
+  using BatchCallback = std::function<void(const std::vector<Tuple>&)>;
+
+  struct Options {
+    // Sensory values younger than this are served from cache without a new
+    // RPC. Zero disables caching (in-flight dedup still applies).
+    aorta::util::Duration freshness = aorta::util::Duration::zero();
+    // false = ablation baseline: every subscription performs its own
+    // private scan per due tick (no union, no dedup, no cache) — the
+    // pre-broker O(N x D) behaviour, used by bench_shared_scan.
+    bool coalesce = true;
+  };
+
+  ScanBroker(device::DeviceRegistry* registry, CommLayer* comm,
+             aorta::util::EventLoop* loop);
+  ScanBroker(device::DeviceRegistry* registry, CommLayer* comm,
+             aorta::util::EventLoop* loop, Options options);
+  ~ScanBroker();
+
+  ScanBroker(const ScanBroker&) = delete;
+  ScanBroker& operator=(const ScanBroker&) = delete;
+
+  // Register a periodic subscription. `on_batch` fires once per due tick
+  // with the subscriber's projected tuples. The phase is fixed at
+  // registration (tick_count % period), matching the executor's historic
+  // per-AQ phase assignment.
+  SubscriptionId subscribe(const device::DeviceTypeId& type,
+                           std::set<std::string> needed,
+                           std::uint64_t period_ticks, BatchCallback on_batch);
+
+  // Remove a subscription. In-flight batches stop delivering to it.
+  void unsubscribe(SubscriptionId id);
+
+  // One-shot acquisition (the SELECT path). Coalesces with any in-flight
+  // reads and the freshness cache; `done` fires once with the tuples.
+  void acquire_once(const device::DeviceTypeId& type,
+                    std::set<std::string> needed,
+                    std::function<void(std::vector<Tuple>)> done);
+
+  // Advance the broker clock one engine epoch and issue one batched scan
+  // per device type with due subscribers. `all_delivered` fires once every
+  // due subscriber received its batch (synchronously when none are due) —
+  // the executor flushes its action operators behind it.
+  void tick(std::function<void()> all_delivered);
+
+  // ---- observability -------------------------------------------------------
+  std::uint64_t tick_count() const { return tick_count_; }
+  std::size_t subscriber_count() const { return subs_.size(); }
+  std::size_t subscriber_count(const device::DeviceTypeId& type) const;
+  // GCD of the subscriber periods for a type: the effective scan cadence.
+  std::uint64_t effective_period_ticks(const device::DeviceTypeId& type) const;
+  const std::map<device::DeviceTypeId, BrokerTypeStats>& stats() const {
+    return stats_;
+  }
+  // Sum of every per-type counter (convenience for service-level stats).
+  BrokerTypeStats totals() const;
+  // Tick-to-fanout latency of completed batches, in simulated ms.
+  const aorta::util::Summary& batch_latency_ms() const {
+    return batch_latency_ms_;
+  }
+
+ private:
+  struct Subscription {
+    device::DeviceTypeId type;
+    std::set<std::string> needed;  // empty = all attributes
+    std::uint64_t period = 1;
+    std::uint64_t phase = 0;
+    BatchCallback on_batch;
+  };
+
+  // One consumer of a batch: a periodic subscription (validated against
+  // subs_ at fan-out) or a one-shot waiter.
+  struct Waiter {
+    SubscriptionId sub = 0;  // 0 = one-shot
+    std::set<std::string> needed;
+    std::function<void(std::vector<Tuple>)> once;
+  };
+
+  struct Batch;
+  struct TypeState;
+
+  TypeState& type_state(const device::DeviceTypeId& type);
+
+  // Issue one batched acquisition over all devices of `type` for the union
+  // of the waiters' needed attributes. `coalesce` selects shared-plane
+  // (cache + in-flight dedup) vs private acquisition.
+  void run_batch(const device::DeviceTypeId& type, std::vector<Waiter> waiters,
+                 bool coalesce, std::shared_ptr<std::size_t> barrier,
+                 std::function<void()> barrier_done);
+
+  void finalize_batch(const std::shared_ptr<Batch>& batch);
+
+  device::DeviceRegistry* registry_;
+  CommLayer* comm_;
+  aorta::util::EventLoop* loop_;
+  Options options_;
+
+  std::map<device::DeviceTypeId, std::unique_ptr<TypeState>> types_;
+  std::map<SubscriptionId, Subscription> subs_;
+  std::map<device::DeviceTypeId, BrokerTypeStats> stats_;
+  aorta::util::Summary batch_latency_ms_;
+  SubscriptionId next_sub_id_ = 1;
+  std::uint64_t tick_count_ = 0;
+  // Shared with completion callbacks queued on the loop: a destroyed
+  // broker turns them into no-ops instead of dangling-`this` calls.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace aorta::comm

@@ -29,6 +29,11 @@ Aorta::Aorta(Config config) : config_(config), rng_(config.seed) {
   registry_ = std::make_unique<device::DeviceRegistry>(network_.get(),
                                                        loop_.get(), rng_.fork());
   comm_ = std::make_unique<comm::CommLayer>(registry_.get(), network_.get());
+  comm::ScanBroker::Options broker_options;
+  broker_options.coalesce = config_.shared_scans;
+  broker_options.freshness = config_.scan_freshness;
+  scan_broker_ = std::make_unique<comm::ScanBroker>(
+      registry_.get(), comm_.get(), loop_.get(), broker_options);
   locks_ = std::make_unique<sync::LockManager>(loop_.get());
   prober_ = std::make_unique<sync::Prober>(comm_.get(), registry_.get(),
                                            loop_.get());
@@ -41,8 +46,8 @@ Aorta::Aorta(Config config) : config_(config), rng_(config.seed) {
   options.use_locks = config_.use_locks;
   options.max_retries = config_.max_retries;
   executor_ = std::make_unique<query::ContinuousQueryExecutor>(
-      registry_.get(), comm_.get(), prober_.get(), locks_.get(), loop_.get(),
-      catalog_.get(), rng_.fork(), options);
+      registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
+      locks_.get(), loop_.get(), catalog_.get(), rng_.fork(), options);
 
   register_builtin_types();
   register_builtin_functions();

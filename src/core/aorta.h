@@ -43,6 +43,16 @@ struct Config {
   // Failover: how many times a failed action request is rescheduled on its
   // remaining candidate devices.
   int max_retries = 1;
+  // Shared data-acquisition plane (comm::ScanBroker). When on, co-located
+  // queries over the same device table share one batched sensory sweep
+  // per epoch and concurrent (device, attr) reads are deduplicated; off
+  // reverts to per-query private scans (the pre-broker baseline, kept for
+  // bench_shared_scan's ablation).
+  bool shared_scans = true;
+  // Sensory values younger than this are served from the broker's cache
+  // instead of a new radio round trip. Zero disables caching (in-flight
+  // dedup still applies).
+  aorta::util::Duration scan_freshness = aorta::util::Duration::zero();
 };
 
 // Result of exec(): DDL statements return a message; SELECT returns rows.
@@ -132,6 +142,8 @@ class Aorta {
   net::Network& network() { return *network_; }
   device::DeviceRegistry& registry() { return *registry_; }
   comm::CommLayer& comm() { return *comm_; }
+  comm::ScanBroker& scan_broker() { return *scan_broker_; }
+  const comm::ScanBroker& scan_broker() const { return *scan_broker_; }
   sync::LockManager& locks() { return *locks_; }
   sync::Prober& prober() { return *prober_; }
   query::Catalog& catalog() { return *catalog_; }
@@ -153,6 +165,9 @@ class Aorta {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<device::DeviceRegistry> registry_;
   std::unique_ptr<comm::CommLayer> comm_;
+  // Declared after comm_ and before executor_ so the executor (which holds
+  // subscriptions) is destroyed first.
+  std::unique_ptr<comm::ScanBroker> scan_broker_;
   std::unique_ptr<sync::LockManager> locks_;
   std::unique_ptr<sync::Prober> prober_;
   std::unique_ptr<query::Catalog> catalog_;

@@ -14,10 +14,12 @@ using device::Value;
 
 ContinuousQueryExecutor::ContinuousQueryExecutor(
     device::DeviceRegistry* registry, comm::CommLayer* comm,
-    sync::Prober* prober, sync::LockManager* locks, aorta::util::EventLoop* loop,
-    Catalog* catalog, aorta::util::Rng rng, Options options)
+    comm::ScanBroker* broker, sync::Prober* prober, sync::LockManager* locks,
+    aorta::util::EventLoop* loop, Catalog* catalog, aorta::util::Rng rng,
+    Options options)
     : registry_(registry),
       comm_(comm),
+      broker_(broker),
       prober_(prober),
       locks_(locks),
       loop_(loop),
@@ -65,18 +67,17 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
   aq->compiled = std::move(compiled).value();
 
   if (epoch_s > 0.0) {
-    double ratio = epoch_s / options_.epoch.to_seconds();
+    double engine_epoch_s = options_.epoch.to_seconds();
+    if (epoch_s < engine_epoch_s) {
+      AORTA_LOG(kWarn, "query")
+          << "AQ '" << name << "' requested an epoch of " << epoch_s
+          << "s, shorter than the engine epoch of " << engine_epoch_s
+          << "s; clamping to one engine epoch";
+    }
+    double ratio = epoch_s / engine_epoch_s;
     aq->epoch_ticks = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(std::llround(ratio)));
   }
-  aq->tick_phase = tick_count_ % aq->epoch_ticks;
-
-  // Event scan with projection pushdown.
-  std::set<std::string> needed;
-  auto it = aq->compiled.needed_attrs.find(aq->compiled.event_alias);
-  if (it != aq->compiled.needed_attrs.end()) needed = it->second;
-  aq->event_scan = std::make_unique<comm::ScanOperator>(
-      registry_, comm_, aq->compiled.event_type(), std::move(needed));
 
   // Make sure the shared operators for its actions exist.
   for (const auto& call : aq->compiled.actions) {
@@ -86,14 +87,41 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
     }
   }
 
+  // Subscribe the query on the shared acquisition plane with its needed
+  // event-table attributes (projection pushdown). The query may be dropped
+  // while a batch is in flight: re-resolve it by name at delivery instead
+  // of holding a pointer into queries_. The generation check also covers a
+  // drop + immediate re-register under the same name — a stale batch's
+  // tuples must not feed the new query.
+  std::set<std::string> needed;
+  auto it = aq->compiled.needed_attrs.find(aq->compiled.event_alias);
+  if (it != aq->compiled.needed_attrs.end()) needed = it->second;
+  aq->subscription = broker_->subscribe(
+      aq->compiled.event_type(), std::move(needed), aq->epoch_ticks,
+      [this, name, generation = aq->generation](
+          const std::vector<comm::Tuple>& tuples) {
+        auto found = queries_.find(name);
+        if (found == queries_.end() ||
+            found->second->generation != generation) {
+          return;
+        }
+        ++found->second->stats.epochs;
+        for (const comm::Tuple& tuple : tuples) {
+          process_event_tuple(*found->second, tuple);
+        }
+      });
+
   queries_.emplace(name, std::move(aq));
   return Status::ok();
 }
 
 Status ContinuousQueryExecutor::drop_aq(const std::string& name) {
-  if (queries_.erase(name) == 0) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
     return aorta::util::not_found_error("no such query: " + name);
   }
+  broker_->unsubscribe(it->second->subscription);
+  queries_.erase(it);
   return Status::ok();
 }
 
@@ -106,6 +134,12 @@ std::vector<std::string> ContinuousQueryExecutor::aq_names() const {
 std::string ContinuousQueryExecutor::aq_owner(const std::string& name) const {
   auto it = queries_.find(name);
   return it == queries_.end() ? "" : it->second->hooks.owner;
+}
+
+std::uint64_t ContinuousQueryExecutor::aq_epoch_ticks(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  return it == queries_.end() ? 0 : it->second->epoch_ticks;
 }
 
 ActionOperator* ContinuousQueryExecutor::operator_for(const ActionDef* action) {
@@ -134,51 +168,22 @@ void ContinuousQueryExecutor::start() {
 }
 
 void ContinuousQueryExecutor::on_tick() {
-  ++tick_count_;
-
-  // Evaluate all due queries; once every evaluation finished, flush every
-  // action operator so requests from concurrent queries are scheduled as
-  // one batch (the group optimization of Section 2.3 / the "short time
-  // interval" batching of Section 5).
-  auto pending = std::make_shared<std::size_t>(1);  // +1 sentinel
-  auto maybe_flush = [this, pending]() {
-    if (--*pending != 0) return;
+  // Advance the shared acquisition plane: the broker issues one batched
+  // scan per device type with due subscriptions and fans the tuples out to
+  // every due query. Once the last due subscriber has been served, flush
+  // every action operator so requests from concurrent queries are
+  // scheduled as one batch (the group optimization of Section 2.3 / the
+  // "short time interval" batching of Section 5).
+  broker_->tick([this]() {
     for (auto& [name, op] : operators_) {
       if (op->has_pending()) {
         op->flush([]() {});
       }
     }
-  };
-
-  for (auto& [name, aq] : queries_) {
-    if ((tick_count_ - 1) % aq->epoch_ticks != aq->tick_phase) continue;
-    ++*pending;
-    evaluate(*aq, maybe_flush);
-  }
-  maybe_flush();  // release the sentinel
+  });
 
   // Fixed cadence, independent of how long evaluation takes.
   loop_->schedule(options_.epoch, [this]() { on_tick(); });
-}
-
-void ContinuousQueryExecutor::evaluate(Aq& aq, std::function<void()> done) {
-  ++aq.stats.epochs;
-  // The query may be dropped while the scan is in flight: re-resolve it by
-  // name at completion instead of holding a pointer into queries_. The
-  // generation check also covers a drop + immediate re-register under the
-  // same name — the stale scan's tuples must not feed the new query.
-  aq.event_scan->scan([this, name = aq.name, generation = aq.generation,
-                       done = std::move(done)](std::vector<comm::Tuple> tuples) {
-    auto it = queries_.find(name);
-    if (it == queries_.end() || it->second->generation != generation) {
-      done();
-      return;
-    }
-    for (const comm::Tuple& tuple : tuples) {
-      process_event_tuple(*it->second, tuple);
-    }
-    done();
-  });
 }
 
 void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
@@ -360,26 +365,20 @@ void ContinuousQueryExecutor::run_select(
   }
   auto q = std::make_shared<CompiledQuery>(std::move(compiled).value());
 
-  // One live scan per table (one-shot SELECTs read sensory attributes on
-  // every table, unlike continuous candidate enumeration which is
-  // restricted to the static cache).
+  // One live acquisition per table (one-shot SELECTs read sensory
+  // attributes on every table, unlike continuous candidate enumeration
+  // which is restricted to the static cache). Acquisitions go through the
+  // shared plane, so concurrent SELECTs — and SELECTs racing an AQ's
+  // epoch batch — dedupe against in-flight reads and the freshness cache.
   struct MultiScan {
     std::vector<std::string> aliases;
-    std::vector<std::shared_ptr<comm::ScanOperator>> scans;
     std::vector<std::vector<comm::Tuple>> tuples;
     std::size_t outstanding = 0;
   };
   auto multi = std::make_shared<MultiScan>();
-  for (const auto& ref : q->tables) {
-    std::set<std::string> needed;
-    auto it = q->needed_attrs.find(ref.alias);
-    if (it != q->needed_attrs.end()) needed = it->second;
-    multi->aliases.push_back(ref.alias);
-    multi->scans.push_back(std::make_shared<comm::ScanOperator>(
-        registry_, comm_, q->table_types.at(ref.alias), std::move(needed)));
-  }
-  multi->tuples.resize(multi->scans.size());
-  multi->outstanding = multi->scans.size();
+  for (const auto& ref : q->tables) multi->aliases.push_back(ref.alias);
+  multi->tuples.resize(multi->aliases.size());
+  multi->outstanding = multi->aliases.size();
 
   // Aggregate projections (COUNT/SUM/AVG/MIN/MAX) collapse the result to
   // one row. Mixing aggregates with plain projections is rejected (no
@@ -543,11 +542,16 @@ void ContinuousQueryExecutor::run_select(
     done(std::move(rows));
   };
 
-  for (std::size_t t = 0; t < multi->scans.size(); ++t) {
-    multi->scans[t]->scan([multi, t, finish](std::vector<comm::Tuple> tuples) {
-      multi->tuples[t] = std::move(tuples);
-      if (--multi->outstanding == 0) finish();
-    });
+  for (std::size_t t = 0; t < multi->aliases.size(); ++t) {
+    std::set<std::string> needed;
+    auto it = q->needed_attrs.find(multi->aliases[t]);
+    if (it != q->needed_attrs.end()) needed = it->second;
+    broker_->acquire_once(
+        q->table_types.at(multi->aliases[t]), std::move(needed),
+        [multi, t, finish](std::vector<comm::Tuple> tuples) {
+          multi->tuples[t] = std::move(tuples);
+          if (--multi->outstanding == 0) finish();
+        });
   }
 }
 

@@ -2,13 +2,15 @@
 //
 // Action-embedded queries are "event-driven continuous queries" (Section
 // 2.2). The executor samples each registered query's event table every
-// epoch through the communication layer's scan operators, detects events
-// as rising edges of the sensory event predicates (an object starts
-// moving), enumerates candidate devices for each embedded action by
-// evaluating the join predicates (coverage(...)), and deposits
-// instantiated action requests into the per-action shared operators. At
-// the end of each epoch every operator flushes: probe -> schedule ->
-// execute under locks.
+// epoch through the communication layer's shared acquisition plane (the
+// ScanBroker): each AQ is a broker subscription carrying its needed
+// attributes and epoch period, so co-located queries over the same device
+// table share one batched sensory sweep per epoch. Events are detected as
+// rising edges of the sensory event predicates (an object starts moving);
+// candidate devices for each embedded action are enumerated by evaluating
+// the join predicates (coverage(...)); instantiated action requests are
+// deposited into the per-action shared operators. At the end of each
+// epoch every operator flushes: probe -> schedule -> execute under locks.
 #pragma once
 
 #include <deque>
@@ -17,7 +19,7 @@
 #include <memory>
 #include <string>
 
-#include "comm/scan_operator.h"
+#include "comm/scan_broker.h"
 #include "query/action_operator.h"
 #include "query/compile.h"
 
@@ -68,10 +70,10 @@ class ContinuousQueryExecutor {
   };
 
   ContinuousQueryExecutor(device::DeviceRegistry* registry,
-                          comm::CommLayer* comm, sync::Prober* prober,
-                          sync::LockManager* locks, aorta::util::EventLoop* loop,
-                          Catalog* catalog, aorta::util::Rng rng,
-                          Options options);
+                          comm::CommLayer* comm, comm::ScanBroker* broker,
+                          sync::Prober* prober, sync::LockManager* locks,
+                          aorta::util::EventLoop* loop, Catalog* catalog,
+                          aorta::util::Rng rng, Options options);
 
   // Register a compiled continuous query under `name`. Starts being
   // evaluated from the next epoch tick.
@@ -84,6 +86,11 @@ class ContinuousQueryExecutor {
 
   // Owner tag the query was registered with ("" if unknown / untagged).
   std::string aq_owner(const std::string& name) const;
+
+  // Engine ticks between evaluations of a registered query (0 if unknown).
+  // An epoch_s shorter than the engine epoch is clamped to 1 with a logged
+  // warning at registration.
+  std::uint64_t aq_epoch_ticks(const std::string& name) const;
 
   // Begin epoch ticking (idempotent).
   void start();
@@ -119,15 +126,17 @@ class ContinuousQueryExecutor {
   struct Aq {
     std::string name;
     // Distinguishes this registration from an earlier one under the same
-    // name: in-flight scan callbacks check it so a drop + re-register
-    // mid-epoch never feeds stale tuples to the new query.
+    // name: batch-delivery callbacks check it so a drop + re-register
+    // mid-epoch never feeds stale tuples to the new query (the broker's
+    // never-recycled subscription ids give the same guarantee one layer
+    // down).
     std::uint64_t generation = 0;
     AqHooks hooks;
     std::string source_sql;
     CompiledQuery compiled;
-    std::unique_ptr<comm::ScanOperator> event_scan;
+    // The query's subscription on the shared acquisition plane.
+    comm::ScanBroker::SubscriptionId subscription = 0;
     std::uint64_t epoch_ticks = 1;  // evaluate every N engine epochs
-    std::uint64_t tick_phase = 0;
     // Event-predicate state per event device for edge detection.
     std::map<device::DeviceId, bool> last_state;
     QueryStats stats;
@@ -139,7 +148,6 @@ class ContinuousQueryExecutor {
   static constexpr std::size_t kTraceCap = 1024;
 
   void on_tick();
-  void evaluate(Aq& aq, std::function<void()> done);
   void process_event_tuple(Aq& aq, const comm::Tuple& tuple);
 
   // Candidate device enumeration for one action call of one event tuple.
@@ -151,6 +159,7 @@ class ContinuousQueryExecutor {
 
   device::DeviceRegistry* registry_;
   comm::CommLayer* comm_;
+  comm::ScanBroker* broker_;
   sync::Prober* prober_;
   sync::LockManager* locks_;
   aorta::util::EventLoop* loop_;
@@ -164,7 +173,6 @@ class ContinuousQueryExecutor {
   // Schemas backing candidate tuples (per device type, stable addresses).
   std::map<device::DeviceTypeId, std::unique_ptr<comm::Schema>> schemas_;
   bool started_ = false;
-  std::uint64_t tick_count_ = 0;
   std::uint64_t next_generation_ = 1;
   std::deque<TraceEntry> trace_;
   std::function<void(const TraceEntry&)> trace_sink_;

@@ -319,6 +319,42 @@ std::string QueryService::stats_json() const {
       static_cast<unsigned long long>(a.shed),
       static_cast<unsigned long long>(a.dispatched), admission_.queued());
 
+  // Shared acquisition plane: per-device-type broker counters plus the
+  // batch fan-out latency. Sorted keys (std::map) keep the rendering
+  // deterministic across same-seed runs.
+  const comm::ScanBroker& broker = system_->scan_broker();
+  const aorta::util::Summary& blat = broker.batch_latency_ms();
+  out += "  \"scan_broker\": {\n";
+  out += str_format(
+      "    \"subscribers\": %zu,\n    \"batch_latency_ms\": "
+      "{\"count\": %zu, \"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n",
+      broker.subscriber_count(), blat.count(),
+      blat.empty() ? 0.0 : blat.percentile(50.0),
+      blat.empty() ? 0.0 : blat.percentile(99.0),
+      blat.empty() ? 0.0 : blat.max());
+  out += "    \"types\": {";
+  bool first_type = true;
+  for (const auto& [type, bs] : broker.stats()) {
+    out += first_type ? "\n" : ",\n";
+    first_type = false;
+    out += str_format(
+        "      \"%s\": {\"batches\": %llu, \"rpcs_issued\": %llu, "
+        "\"rpcs_coalesced\": %llu, \"cache_hits\": %llu, "
+        "\"read_failures\": %llu, \"tuples_delivered\": %llu, "
+        "\"deliveries\": %llu, \"devices_skipped\": %llu, "
+        "\"subscribers\": %zu}",
+        type.c_str(), static_cast<unsigned long long>(bs.batches),
+        static_cast<unsigned long long>(bs.rpcs_issued),
+        static_cast<unsigned long long>(bs.rpcs_coalesced),
+        static_cast<unsigned long long>(bs.cache_hits),
+        static_cast<unsigned long long>(bs.read_failures),
+        static_cast<unsigned long long>(bs.tuples_delivered),
+        static_cast<unsigned long long>(bs.deliveries),
+        static_cast<unsigned long long>(bs.devices_skipped),
+        broker.subscriber_count(type));
+  }
+  out += first_type ? "}\n  },\n" : "\n    }\n  },\n";
+
   // Mailbox drop totals per tenant (sessions are the drop points).
   std::map<TenantId, std::uint64_t> mailbox_dropped;
   for (const auto& [id, s] : sessions_) {

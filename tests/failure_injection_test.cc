@@ -4,6 +4,7 @@
 // unreliable".
 #include <gtest/gtest.h>
 
+#include "comm/scan_operator.h"
 #include "core/aorta.h"
 #include "util/strings.h"
 

@@ -1,0 +1,303 @@
+// Tests for the shared data-acquisition plane (comm::ScanBroker): union
+// scans, per-subscriber projection, the freshness cache, in-flight read
+// dedup, unsubscribe-while-in-flight, and the executor's epoch clamping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "comm/scan_broker.h"
+#include "core/aorta.h"
+#include "devices/mote.h"
+#include "util/logging.h"
+
+namespace aorta {
+namespace {
+
+using device::Value;
+using util::Duration;
+
+struct BrokerFixture : public ::testing::Test {
+  BrokerFixture()
+      : loop(&clock),
+        network(&loop, util::Rng(1)),
+        registry(&network, &loop, util::Rng(2)),
+        comm(&registry, &network) {
+    (void)registry.register_type(devices::sensor_type_info());
+    (void)registry.register_type(devices::camera_type_info());
+  }
+
+  devices::Mica2Mote* add_mote(const std::string& id, double temp = 20.0) {
+    auto mote =
+        std::make_unique<devices::Mica2Mote>(id, device::Location{1, 2, 3});
+    mote->reliability().glitch_prob = 0.0;
+    (void)mote->set_signal("temp", devices::constant_signal(temp));
+    (void)mote->set_signal("light", devices::constant_signal(300.0));
+    devices::Mica2Mote* raw = mote.get();
+    EXPECT_TRUE(registry.add(std::move(mote)).is_ok());
+    (void)network.set_link(id, net::LinkModel::perfect());
+    return raw;
+  }
+
+  util::SimClock clock;
+  util::EventLoop loop;
+  net::Network network;
+  device::DeviceRegistry registry;
+  comm::CommLayer comm;
+};
+
+// The core regression of the refactor: two subscribers with different
+// projected attribute sets over the same device type cause exactly ONE
+// union-attribute fetch per device per epoch, and each subscriber's rows
+// carry only its own needed attributes.
+TEST_F(BrokerFixture, UnionScanFetchesEachDeviceOncePerEpoch) {
+  add_mote("m1");
+  add_mote("m2");
+  add_mote("m3");
+  comm::ScanBroker broker(&registry, &comm, &loop);
+
+  std::vector<comm::Tuple> temp_rows;
+  std::vector<comm::Tuple> light_rows;
+  (void)broker.subscribe("sensor", {"temp"}, 1,
+                         [&](const std::vector<comm::Tuple>& t) {
+                           temp_rows = t;
+                         });
+  (void)broker.subscribe("sensor", {"light"}, 1,
+                         [&](const std::vector<comm::Tuple>& t) {
+                           light_rows = t;
+                         });
+
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    bool flushed = false;
+    broker.tick([&]() { flushed = true; });
+    loop.run_all();
+    EXPECT_TRUE(flushed);
+
+    const comm::BrokerTypeStats& s = broker.stats().at("sensor");
+    // One batch per epoch, fetching the union {temp, light} from each of
+    // the 3 devices: 6 RPCs per epoch — not the 2x a per-query plan pays.
+    EXPECT_EQ(s.batches, static_cast<std::uint64_t>(epoch));
+    EXPECT_EQ(s.rpcs_issued, static_cast<std::uint64_t>(epoch) * 3u * 2u);
+    EXPECT_EQ(s.rpcs_coalesced, 0u);
+
+    ASSERT_EQ(temp_rows.size(), 3u);
+    ASSERT_EQ(light_rows.size(), 3u);
+    for (const comm::Tuple& t : temp_rows) {
+      EXPECT_FALSE(std::holds_alternative<std::monostate>(t.get("temp")));
+      EXPECT_TRUE(std::holds_alternative<std::monostate>(t.get("light")));
+    }
+    for (const comm::Tuple& t : light_rows) {
+      EXPECT_FALSE(std::holds_alternative<std::monostate>(t.get("light")));
+      EXPECT_TRUE(std::holds_alternative<std::monostate>(t.get("temp")));
+    }
+  }
+}
+
+TEST_F(BrokerFixture, FreshnessCacheServesRepeatScansWithoutRpcs) {
+  add_mote("m1");
+  add_mote("m2");
+  comm::ScanBroker::Options opts;
+  opts.freshness = Duration::seconds(10.0);
+  comm::ScanBroker broker(&registry, &comm, &loop, opts);
+
+  std::size_t deliveries = 0;
+  (void)broker.subscribe("sensor", {"temp"}, 1,
+                         [&](const std::vector<comm::Tuple>& t) {
+                           ++deliveries;
+                           EXPECT_EQ(t.size(), 2u);
+                         });
+
+  broker.tick({});
+  loop.run_all();
+  EXPECT_EQ(broker.stats().at("sensor").rpcs_issued, 2u);
+  EXPECT_EQ(broker.stats().at("sensor").cache_hits, 0u);
+
+  // run_all only advanced the clock by the RPC round trips (milliseconds),
+  // far inside the 10 s window: the next epoch is served from cache.
+  broker.tick({});
+  loop.run_all();
+  EXPECT_EQ(broker.stats().at("sensor").rpcs_issued, 2u);
+  EXPECT_EQ(broker.stats().at("sensor").cache_hits, 2u);
+  EXPECT_EQ(deliveries, 2u);
+}
+
+TEST_F(BrokerFixture, ConcurrentOneShotsJoinInflightReads) {
+  add_mote("m1");
+  add_mote("m2");
+  comm::ScanBroker broker(&registry, &comm, &loop);
+
+  std::size_t done = 0;
+  auto on_done = [&](std::vector<comm::Tuple> t) {
+    ++done;
+    EXPECT_EQ(t.size(), 2u);
+  };
+  // Issue both before the loop runs: the second scan's (device, temp)
+  // reads are still in flight and must be joined, not re-sent.
+  broker.acquire_once("sensor", {"temp"}, on_done);
+  broker.acquire_once("sensor", {"temp"}, on_done);
+  loop.run_all();
+
+  EXPECT_EQ(done, 2u);
+  EXPECT_EQ(broker.stats().at("sensor").rpcs_issued, 2u);
+  EXPECT_EQ(broker.stats().at("sensor").rpcs_coalesced, 2u);
+}
+
+TEST_F(BrokerFixture, UnsubscribeWhileInFlightSuppressesDelivery) {
+  add_mote("m1");
+  comm::ScanBroker broker(&registry, &comm, &loop);
+
+  bool delivered = false;
+  comm::ScanBroker::SubscriptionId id = broker.subscribe(
+      "sensor", {"temp"}, 1,
+      [&](const std::vector<comm::Tuple>&) { delivered = true; });
+
+  bool flushed = false;
+  broker.tick([&]() { flushed = true; });  // reads now in flight
+  broker.unsubscribe(id);
+  loop.run_all();
+
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(flushed);  // the tick barrier still releases
+  EXPECT_EQ(broker.subscriber_count(), 0u);
+}
+
+TEST_F(BrokerFixture, UnreachableDeviceSkippedOnlyForAffectedSubscribers) {
+  add_mote("m1");
+  devices::Mica2Mote* dead = add_mote("m2");
+  dead->set_online(false);
+  comm::ScanBroker broker(&registry, &comm, &loop);
+
+  std::vector<comm::Tuple> sensory_rows;
+  std::vector<comm::Tuple> static_rows;
+  (void)broker.subscribe("sensor", {"temp"}, 1,
+                         [&](const std::vector<comm::Tuple>& t) {
+                           sensory_rows = t;
+                         });
+  // Needs only the non-sensory `loc`: the dead radio is irrelevant to it.
+  (void)broker.subscribe("sensor", {"loc"}, 1,
+                         [&](const std::vector<comm::Tuple>& t) {
+                           static_rows = t;
+                         });
+
+  broker.tick({});
+  loop.run_all();
+
+  ASSERT_EQ(sensory_rows.size(), 1u);
+  EXPECT_EQ(sensory_rows[0].source_device(), "m1");
+  EXPECT_EQ(static_rows.size(), 2u);
+  EXPECT_EQ(broker.stats().at("sensor").devices_skipped, 1u);
+  EXPECT_GT(broker.stats().at("sensor").read_failures, 0u);
+}
+
+TEST_F(BrokerFixture, CoalesceOffRevertsToPrivatePerQueryScans) {
+  add_mote("m1");
+  add_mote("m2");
+  comm::ScanBroker::Options opts;
+  opts.coalesce = false;
+  comm::ScanBroker broker(&registry, &comm, &loop, opts);
+
+  (void)broker.subscribe("sensor", {"temp"}, 1,
+                         [](const std::vector<comm::Tuple>&) {});
+  (void)broker.subscribe("sensor", {"temp"}, 1,
+                         [](const std::vector<comm::Tuple>&) {});
+  broker.tick({});
+  loop.run_all();
+
+  // The ablation baseline pays N x D: two private scans over two devices.
+  EXPECT_EQ(broker.stats().at("sensor").batches, 2u);
+  EXPECT_EQ(broker.stats().at("sensor").rpcs_issued, 4u);
+  EXPECT_EQ(broker.stats().at("sensor").rpcs_coalesced, 0u);
+  EXPECT_EQ(broker.stats().at("sensor").cache_hits, 0u);
+}
+
+TEST_F(BrokerFixture, EffectiveCadenceIsGcdOfSubscriberPeriods) {
+  comm::ScanBroker broker(&registry, &comm, &loop);
+  (void)broker.subscribe("sensor", {}, 4,
+                         [](const std::vector<comm::Tuple>&) {});
+  (void)broker.subscribe("sensor", {}, 6,
+                         [](const std::vector<comm::Tuple>&) {});
+  EXPECT_EQ(broker.effective_period_ticks("sensor"), 2u);
+  EXPECT_EQ(broker.subscriber_count("sensor"), 2u);
+  EXPECT_EQ(broker.effective_period_ticks("camera"), 0u);
+}
+
+TEST_F(BrokerFixture, EmptyTableDeliversEmptyBatchSynchronously) {
+  comm::ScanBroker broker(&registry, &comm, &loop);
+  bool delivered = false;
+  (void)broker.subscribe("camera", {}, 1,
+                         [&](const std::vector<comm::Tuple>& t) {
+                           delivered = true;
+                           EXPECT_TRUE(t.empty());
+                         });
+  bool flushed = false;
+  broker.tick([&]() { flushed = true; });
+  EXPECT_TRUE(delivered);
+  EXPECT_TRUE(flushed);
+}
+
+// ---------------------------------------------------- executor integration
+
+// An AQ requesting an epoch shorter than the engine epoch used to be
+// silently clamped; it must now be clamped WITH a logged warning.
+TEST(ScanBrokerExecutorTest, SubEpochAqIsClampedWithWarning) {
+  std::vector<std::string> warnings;
+  util::Logger::instance().set_sink(
+      [&](util::LogLevel level, const std::string& line) {
+        if (level == util::LogLevel::kWarn) warnings.push_back(line);
+      });
+
+  core::Config cfg;
+  core::Aorta sys(cfg);  // engine epoch 1 s
+  (void)sys.add_mote("m1", {0, 0, 1});
+  ASSERT_TRUE(
+      sys.exec("CREATE AQ fast EVERY 0.2 AS "
+               "SELECT s.temp FROM sensor s WHERE s.temp > 1000")
+          .is_ok());
+  ASSERT_TRUE(
+      sys.exec("CREATE AQ slow EVERY 5 AS "
+               "SELECT s.temp FROM sensor s WHERE s.temp > 1000")
+          .is_ok());
+
+  util::Logger::instance().set_sink([](util::LogLevel, const std::string& l) {
+    std::fputs(l.c_str(), stderr);
+    std::fputc('\n', stderr);
+  });
+
+  EXPECT_EQ(sys.executor().aq_epoch_ticks("fast"), 1u);
+  EXPECT_EQ(sys.executor().aq_epoch_ticks("slow"), 5u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("fast"), std::string::npos);
+  EXPECT_NE(warnings[0].find("clamping"), std::string::npos);
+}
+
+// Two AQs over the same table share one union sweep per engine epoch.
+TEST(ScanBrokerExecutorTest, CoLocatedAqsShareOneSweepPerEpoch) {
+  core::Config cfg;
+  core::Aorta sys(cfg);
+  for (int i = 0; i < 4; ++i) {
+    std::string id = "m" + std::to_string(i);
+    ASSERT_TRUE(sys.add_mote(id, {static_cast<double>(i), 0, 1}).is_ok());
+    sys.mote(id)->reliability().glitch_prob = 0.0;
+    (void)sys.network().set_link(id, net::LinkModel::perfect());
+  }
+  ASSERT_TRUE(sys.exec("CREATE AQ a AS "
+                       "SELECT s.temp FROM sensor s WHERE s.temp > 1000")
+                  .is_ok());
+  ASSERT_TRUE(sys.exec("CREATE AQ b AS "
+                       "SELECT s.light FROM sensor s WHERE s.light > 1000")
+                  .is_ok());
+  sys.run_for(Duration::seconds(10));
+
+  const comm::BrokerTypeStats& s = sys.scan_broker().stats().at("sensor");
+  EXPECT_GE(s.batches, 5u);
+  // Every batch fetched exactly the union {temp, light} from all 4 motes.
+  EXPECT_EQ(s.rpcs_issued, s.batches * 4u * 2u);
+  EXPECT_EQ(sys.scan_broker().subscriber_count("sensor"), 2u);
+  const query::QueryStats* qa = sys.query_stats("a");
+  ASSERT_NE(qa, nullptr);
+  EXPECT_GE(qa->epochs, 5u);
+}
+
+}  // namespace
+}  // namespace aorta

@@ -21,9 +21,12 @@ struct RunOutput {
   std::uint64_t submitted = 0;
 };
 
-RunOutput run_once(std::uint64_t seed) {
+RunOutput run_once(std::uint64_t seed,
+                   Duration freshness = Duration::zero()) {
   core::Config cfg;
   cfg.seed = seed;
+  cfg.shared_scans = true;
+  cfg.scan_freshness = freshness;
   core::Aorta sys(cfg);
   for (int i = 0; i < 3; ++i) {
     std::string id = "m" + std::to_string(i);
@@ -70,6 +73,21 @@ TEST(ServerDeterminismTest, SameSeedSameWorkloadIsByteIdentical) {
   EXPECT_EQ(a.submitted, b.submitted);
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.stats_json, b.stats_json);
+}
+
+// The shared acquisition plane (ScanBroker) sits between the workload's
+// AQs/SELECTs and the radio; with the freshness cache engaged it must stay
+// fully deterministic, and its counters must show up in the rendered stats.
+TEST(ServerDeterminismTest, SharedScanPlaneIsByteIdentical) {
+  RunOutput a = run_once(7, Duration::millis(250));
+  RunOutput b = run_once(7, Duration::millis(250));
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  EXPECT_NE(a.stats_json.find("\"scan_broker\""), std::string::npos);
+  EXPECT_NE(a.stats_json.find("\"rpcs_issued\""), std::string::npos);
+  // The workload mixes sensor SELECTs and AQs, so the broker must have
+  // issued sensory RPCs over the sensor table.
+  EXPECT_NE(a.stats_json.find("\"sensor\""), std::string::npos);
 }
 
 TEST(ServerDeterminismTest, DifferentSeedsDiverge) {
