@@ -1,0 +1,243 @@
+// Compiled expression evaluation bench (query/eval_program.h).
+//
+// Measures per-row predicate evaluation throughput (rows/sec) of the
+// tree-walking interpreter (expr_eval.h, the reference semantics) against
+// the slot-resolved compiled EvalPrograms, across three predicate
+// complexities and 1..256 co-resident AQs (distinct program instances
+// evaluated round-robin, modelling many tenants sharing one delivered
+// batch). Before any timing, every (program, tuple) pair is checked for
+// divergence against the interpreter — value AND error strings must match
+// byte-for-byte.
+//
+// Acceptance (full mode): compiled evaluation is >= 3x the interpreter on
+// the mid-complexity predicate at every AQ count, and zero divergences.
+// Violations exit non-zero. `--smoke` runs reduced iterations and gates
+// only on divergence (CI runs it on every push; the perf gate needs a
+// quiet machine and a Release build).
+//
+// Writes results/bench_eval.json.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "query/eval_program.h"
+#include "query/parser.h"
+
+namespace {
+
+using aorta::device::Value;
+using aorta::query::BindingFrame;
+using aorta::query::Env;
+using aorta::query::EvalProgram;
+using aorta::query::ExprPtr;
+using aorta::query::FunctionRegistry;
+
+constexpr int kTuples = 8;
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string render(const aorta::util::Result<Value>& r) {
+  if (r.is_ok()) return "ok:" + aorta::device::value_to_string(r.value());
+  return "err:" + r.status().to_string();
+}
+
+struct Complexity {
+  const char* name;
+  // %d is replaced by a per-AQ threshold so each AQ compiles a distinct
+  // program (no shared-program cache effects flattering the sweep).
+  const char* pattern;
+};
+
+const Complexity kComplexities[] = {
+    {"simple", "s.accel_x > %d"},
+    {"mid", "s.accel_x > %d AND s.temp < 30 OR s.count >= 3"},
+    {"complex",
+     "(s.accel_x + s.temp * 2) / 3 > s.count AND NOT (s.id = 'm7') "
+     "OR s.armed AND s.accel_x - %d > 0"},
+};
+
+struct Point {
+  std::string complexity;
+  int aqs = 0;
+  double interp_rows_per_sec = 0.0;
+  double compiled_rows_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const long iters = smoke ? 20000 : 2000000;
+
+  // One sensor-shaped schema, kTuples rows with varied values (including
+  // NULLs) so every branch of every predicate gets exercised.
+  aorta::comm::Schema schema("sensor",
+                             {{"id", aorta::device::AttrType::kString, false},
+                              {"accel_x", aorta::device::AttrType::kDouble, true},
+                              {"temp", aorta::device::AttrType::kDouble, true},
+                              {"count", aorta::device::AttrType::kInt, false},
+                              {"armed", aorta::device::AttrType::kBool, false}});
+  std::vector<aorta::comm::Tuple> tuples;
+  for (int i = 0; i < kTuples; ++i) {
+    aorta::comm::Tuple t(&schema, "m" + std::to_string(i));
+    t.set_by_name("id", Value{std::string("m") + std::to_string(i)});
+    t.set_by_name("accel_x", Value{120.0 * i});
+    if (i % 3 != 0) t.set_by_name("temp", Value{20.0 + i});  // every 3rd NULL
+    t.set_by_name("count", Value{static_cast<std::int64_t>(i % 5)});
+    t.set_by_name("armed", Value{i % 2 == 0});
+    tuples.push_back(std::move(t));
+  }
+
+  FunctionRegistry functions;
+  std::vector<std::string> aliases = {"s"};
+  std::map<std::string, const aorta::comm::Schema*> schemas = {{"s", &schema}};
+
+  std::printf("Compiled vs interpreted predicate evaluation, %ld evals per "
+              "point%s\n", iters, smoke ? " (smoke)" : "");
+  std::printf("\n%8s %6s %16s %16s %9s\n", "pred", "aqs", "interp rows/s",
+              "compiled rows/s", "speedup");
+
+  const std::vector<int> sweep = {1, 4, 16, 64, 256};
+  std::vector<Point> points;
+  long divergences = 0;
+  double min_speedup_mid = 1e300;
+
+  for (const Complexity& cx : kComplexities) {
+    for (int aqs : sweep) {
+      // Compile one distinct program per AQ.
+      std::vector<ExprPtr> exprs;
+      std::vector<EvalProgram> programs;
+      for (int q = 0; q < aqs; ++q) {
+        char text[256];
+        std::snprintf(text, sizeof(text), cx.pattern, 400 + q);
+        auto e = aorta::query::parse_expression(text);
+        if (!e.is_ok()) {
+          std::fprintf(stderr, "parse failed: %s\n", text);
+          return 2;
+        }
+        auto p = EvalProgram::compile(*e.value(), aliases, schemas, functions);
+        if (!p.is_ok()) {
+          std::fprintf(stderr, "compile failed: %s\n",
+                       p.status().to_string().c_str());
+          return 2;
+        }
+        exprs.push_back(std::move(e).value());
+        programs.push_back(std::move(p).value());
+      }
+
+      // Divergence check first: every program x tuple, byte-identical.
+      for (int q = 0; q < aqs; ++q) {
+        for (const aorta::comm::Tuple& t : tuples) {
+          BindingFrame frame;
+          frame.size = 1;
+          frame.set(0, &t);
+          Env env;
+          env.bind("s", &t);
+          std::string c = render(programs[q].run(frame));
+          std::string o = render(aorta::query::eval(*exprs[q], env, functions));
+          if (c != o) {
+            ++divergences;
+            std::fprintf(stderr, "DIVERGENCE [%s aq%d %s]: compiled %s vs "
+                         "interpreted %s\n", cx.name, q,
+                         t.source_device().c_str(), c.c_str(), o.c_str());
+          }
+        }
+      }
+
+      // Interpreted timing: Env rebuilt per row, like the pre-compilation
+      // executor did.
+      long hits = 0;
+      auto t0 = std::chrono::steady_clock::now();
+      for (long i = 0; i < iters; ++i) {
+        const aorta::comm::Tuple& t = tuples[i % kTuples];
+        Env env;
+        env.bind("s", &t);
+        if (aorta::query::eval_predicate(*exprs[i % aqs], env, functions)) {
+          ++hits;
+        }
+      }
+      double interp_s = seconds_since(t0);
+
+      // Compiled timing: fill a frame, run the program.
+      long chits = 0;
+      t0 = std::chrono::steady_clock::now();
+      for (long i = 0; i < iters; ++i) {
+        BindingFrame frame;
+        frame.size = 1;
+        frame.set(0, &tuples[i % kTuples]);
+        if (programs[i % aqs].run_predicate(frame)) ++chits;
+      }
+      double compiled_s = seconds_since(t0);
+
+      if (hits != chits) {
+        ++divergences;
+        std::fprintf(stderr, "DIVERGENCE [%s %d aqs]: %ld interpreted hits "
+                     "vs %ld compiled\n", cx.name, aqs, hits, chits);
+      }
+
+      Point pt;
+      pt.complexity = cx.name;
+      pt.aqs = aqs;
+      pt.interp_rows_per_sec = interp_s > 0 ? iters / interp_s : 0.0;
+      pt.compiled_rows_per_sec = compiled_s > 0 ? iters / compiled_s : 0.0;
+      pt.speedup = pt.interp_rows_per_sec > 0
+                       ? pt.compiled_rows_per_sec / pt.interp_rows_per_sec
+                       : 0.0;
+      if (pt.complexity == "mid") {
+        min_speedup_mid = std::min(min_speedup_mid, pt.speedup);
+      }
+      std::printf("%8s %6d %16.0f %16.0f %8.1fx\n", cx.name, aqs,
+                  pt.interp_rows_per_sec, pt.compiled_rows_per_sec,
+                  pt.speedup);
+      points.push_back(std::move(pt));
+    }
+  }
+
+  std::string json = "{\n  \"iters\": " + std::to_string(iters) +
+                     ",\n  \"smoke\": " + (smoke ? "true" : "false") +
+                     ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json += "    {\"complexity\": \"" + p.complexity +
+            "\", \"aqs\": " + std::to_string(p.aqs) +
+            ", \"interp_rows_per_sec\": " + fmt(p.interp_rows_per_sec) +
+            ", \"compiled_rows_per_sec\": " + fmt(p.compiled_rows_per_sec) +
+            ", \"speedup\": " + fmt(p.speedup) + "}";
+    json += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"min_speedup_mid\": " + fmt(min_speedup_mid) +
+          ",\n  \"divergences\": " + std::to_string(divergences) + "\n}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  std::ofstream out("results/bench_eval.json");
+  out << json;
+  std::printf("\nwrote results/bench_eval.json\n");
+
+  int rc = 0;
+  if (divergences > 0) {
+    std::printf("WARNING: %ld divergence(s) between compiled and "
+                "interpreted evaluation\n", divergences);
+    rc = 1;
+  }
+  if (!smoke && min_speedup_mid < 3.0) {
+    std::printf("WARNING: mid-complexity speedup is %.1fx, below the 3x "
+                "target\n", min_speedup_mid);
+    rc = 1;
+  }
+  return rc;
+}

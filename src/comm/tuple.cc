@@ -4,10 +4,15 @@
 
 namespace aorta::comm {
 
-const device::Value Tuple::kNull{};
-
 Schema::Schema(std::string table_name, std::vector<Field> fields)
-    : table_name_(std::move(table_name)), fields_(std::move(fields)) {}
+    : table_name_(std::move(table_name)), fields_(std::move(fields)) {
+  index_.reserve(fields_.size());
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    // First declaration wins on duplicate names, matching the old linear
+    // scan's behaviour.
+    index_.emplace(fields_[i].name, i);
+  }
+}
 
 Schema Schema::from_catalog(const device::DeviceCatalog& catalog) {
   std::vector<Field> fields;
@@ -19,10 +24,9 @@ Schema Schema::from_catalog(const device::DeviceCatalog& catalog) {
 }
 
 std::optional<std::size_t> Schema::index_of(std::string_view name) const {
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
-    if (fields_[i].name == name) return i;
-  }
-  return std::nullopt;
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 const Field* Schema::field(std::string_view name) const {
@@ -34,10 +38,15 @@ Tuple::Tuple(const Schema* schema, device::DeviceId source)
     : schema_(schema), source_(std::move(source)),
       values_(schema == nullptr ? 0 : schema->size()) {}
 
+const device::Value& Tuple::null_sentinel() {
+  static const device::Value kSentinel{};
+  return kSentinel;
+}
+
 const device::Value& Tuple::get(std::string_view name) const {
-  if (schema_ == nullptr) return kNull;
+  if (schema_ == nullptr) return null_sentinel();
   auto i = schema_->index_of(name);
-  return i.has_value() ? values_[*i] : kNull;
+  return i.has_value() ? values_[*i] : null_sentinel();
 }
 
 void Tuple::set_by_name(std::string_view name, device::Value v) {

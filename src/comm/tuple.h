@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "device/profile.h"
@@ -33,13 +34,25 @@ class Schema {
   const std::vector<Field>& fields() const { return fields_; }
   std::size_t size() const { return fields_.size(); }
 
-  // Index of a field by name, or nullopt.
+  // Index of a field by name, or nullopt. O(1): served from a name->slot
+  // hash index built once at construction.
   std::optional<std::size_t> index_of(std::string_view name) const;
   const Field* field(std::string_view name) const;
 
  private:
+  // Transparent hashing so index_of(string_view) probes without
+  // materializing a temporary std::string per lookup.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::string table_name_;
   std::vector<Field> fields_;
+  std::unordered_map<std::string, std::size_t, NameHash, std::equal_to<>>
+      index_;
 };
 
 // A row of a virtual device table. Values align with the schema's fields;
@@ -56,9 +69,18 @@ class Tuple {
   const device::Value& at(std::size_t i) const { return values_[i]; }
   void set(std::size_t i, device::Value v) { values_[i] = std::move(v); }
 
-  // Value by field name; NULL for unknown names.
+  // Value by field name. Unknown names (and schema-less tuples) return
+  // null_sentinel() — a distinct, immutable NULL whose address never
+  // matches a stored value, so callers can tell "no such column" apart
+  // from a column whose acquired value is NULL:
+  //   &t.get("nope") == &Tuple::null_sentinel()   // missing column
+  // The sentinel is never written through, so concurrent readers on
+  // different threads cannot observe each other through it.
   const device::Value& get(std::string_view name) const;
   void set_by_name(std::string_view name, device::Value v);
+
+  // The shared immutable NULL returned by get() for unknown names.
+  static const device::Value& null_sentinel();
 
   std::string to_string() const;
 
@@ -66,7 +88,6 @@ class Tuple {
   const Schema* schema_ = nullptr;
   device::DeviceId source_;
   std::vector<device::Value> values_;
-  static const device::Value kNull;
 };
 
 }  // namespace aorta::comm

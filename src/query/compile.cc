@@ -75,10 +75,9 @@ Result<CompiledQuery> compile(const SelectStmt& stmt, const Catalog& catalog,
         "at most 2 tables are supported (event table + candidate table)"));
   }
 
-  // Owned schemas per alias, built from the registered device catalogs.
-  static thread_local std::map<std::string, comm::Schema> schema_storage;
-  schema_storage.clear();
-  std::map<std::string, const comm::Schema*> schemas;
+  // Schemas per alias, built from the registered device catalogs and owned
+  // by the compiled query (program slot resolution needs them, and EXPLAIN
+  // outlives this call).
   for (const auto& ref : stmt.from) {
     const device::DeviceTypeInfo* info = registry.type_info(ref.table);
     if (info == nullptr) {
@@ -91,9 +90,10 @@ Result<CompiledQuery> compile(const SelectStmt& stmt, const Catalog& catalog,
     }
     q.tables.push_back(ref);
     q.table_types[ref.alias] = ref.table;
-    schema_storage[ref.alias] = comm::Schema::from_catalog(info->catalog);
-    schemas[ref.alias] = &schema_storage[ref.alias];
+    q.binding_aliases.push_back(ref.alias);
+    q.schemas[ref.alias] = comm::Schema::from_catalog(info->catalog);
   }
+  std::map<std::string, const comm::Schema*> schemas = q.schema_ptrs();
 
   // ---- WHERE: conjunct classification -----------------------------------
   std::vector<const Expr*> conjuncts;
@@ -198,6 +198,35 @@ Result<CompiledQuery> compile(const SelectStmt& stmt, const Catalog& catalog,
     q.projections.push_back(item->clone());
   }
 
+  // ---- compiled evaluation ------------------------------------------------
+  // Lower every hot-path expression to a slot-resolved program once.
+  // Whatever does not lower (SELECT *, aggregates, unknown functions)
+  // keeps the tree-walking evaluator as its per-row fallback.
+  for (std::size_t i = 0; i < q.binding_aliases.size(); ++i) {
+    if (q.binding_aliases[i] == q.event_alias) q.event_binding = i;
+  }
+  auto lower = [&](const Expr& e) -> std::optional<EvalProgram> {
+    auto p = EvalProgram::compile(e, q.binding_aliases, schemas,
+                                  catalog.functions());
+    if (!p.is_ok()) return std::nullopt;
+    return std::move(p).value();
+  };
+  for (const auto& p : q.event_predicates) q.event_programs.push_back(lower(*p));
+  for (const auto& p : q.join_predicates) q.join_programs.push_back(lower(*p));
+  for (const auto& p : q.projections) q.projection_programs.push_back(lower(*p));
+  for (auto& call : q.actions) {
+    for (std::size_t i = 0; i < q.binding_aliases.size(); ++i) {
+      if (q.binding_aliases[i] == call.candidate_alias) {
+        call.candidate_binding = i;
+      }
+    }
+    for (std::size_t a = 0; a < call.args.size(); ++a) {
+      call.arg_programs.push_back(a == call.action->binding_param
+                                      ? std::nullopt
+                                      : lower(*call.args[a]));
+    }
+  }
+
   // ---- projection pushdown ----------------------------------------------
   for (const Expr* c : conjuncts) collect_columns(*c, schemas, &q.needed_attrs);
   for (const auto& item : stmt.select_list) {
@@ -219,6 +248,48 @@ Result<CompiledQuery> compile(const SelectStmt& stmt, const Catalog& catalog,
 }  // namespace aorta::query
 
 namespace aorta::query {
+
+std::map<std::string, const comm::Schema*> CompiledQuery::schema_ptrs() const {
+  std::map<std::string, const comm::Schema*> out;
+  for (const auto& [alias, schema] : schemas) out[alias] = &schema;
+  return out;
+}
+
+namespace {
+
+void count_programs(const std::vector<std::optional<EvalProgram>>& programs,
+                    std::size_t* compiled, std::size_t* fallback) {
+  for (const auto& p : programs) {
+    if (p.has_value()) ++*compiled;
+    else ++*fallback;
+  }
+}
+
+}  // namespace
+
+std::size_t CompiledQuery::program_count() const {
+  std::size_t compiled = 0, fallback = 0;
+  count_programs(event_programs, &compiled, &fallback);
+  count_programs(join_programs, &compiled, &fallback);
+  count_programs(projection_programs, &compiled, &fallback);
+  for (const auto& call : actions) {
+    count_programs(call.arg_programs, &compiled, &fallback);
+  }
+  return compiled;
+}
+
+std::size_t CompiledQuery::fallback_count() const {
+  std::size_t compiled = 0, fallback = 0;
+  count_programs(event_programs, &compiled, &fallback);
+  count_programs(join_programs, &compiled, &fallback);
+  count_programs(projection_programs, &compiled, &fallback);
+  for (const auto& call : actions) {
+    count_programs(call.arg_programs, &compiled, &fallback);
+    // The binding-param slot is intentionally empty, not a fallback.
+    if (fallback > 0) --fallback;
+  }
+  return fallback;
+}
 
 std::string CompiledQuery::describe() const {
   std::string out;
@@ -248,6 +319,22 @@ std::string CompiledQuery::describe() const {
       out += "    " + p->to_string() + "\n";
     }
   }
+  std::size_t instrs = 0, folded = 0;
+  auto tally = [&](const std::vector<std::optional<EvalProgram>>& programs) {
+    for (const auto& p : programs) {
+      if (!p.has_value()) continue;
+      instrs += p->instruction_count();
+      folded += p->folded_nodes();
+    }
+  };
+  tally(event_programs);
+  tally(join_programs);
+  tally(projection_programs);
+  for (const auto& call : actions) tally(call.arg_programs);
+  out += "  compiled evaluation: " + std::to_string(program_count()) +
+         " program(s), " + std::to_string(instrs) + " instruction(s), " +
+         std::to_string(folded) + " node(s) constant-folded, " +
+         std::to_string(fallback_count()) + " fallback expr(s)\n";
   out += "  scan attributes (projection pushdown):\n";
   for (const auto& [alias, attrs] : needed_attrs) {
     out += "    " + alias + ": ";

@@ -15,13 +15,19 @@
 
 #include "device/registry.h"
 #include "query/catalog.h"
+#include "query/eval_program.h"
 
 namespace aorta::query {
 
 struct CompiledActionCall {
   const ActionDef* action = nullptr;
   std::vector<ExprPtr> args;    // evaluated per selected candidate device
+  // Compiled form of each argument, aligned with `args`; nullopt falls
+  // back to the tree walker. The binding-param argument is never
+  // evaluated (finalized per selected device), so its slot stays empty.
+  std::vector<std::optional<EvalProgram>> arg_programs;
   std::string candidate_alias;  // alias of the candidate table ("" = event table)
+  std::size_t candidate_binding = 0;  // frame slot of candidate_alias
 };
 
 struct CompiledQuery {
@@ -40,12 +46,34 @@ struct CompiledQuery {
   std::vector<CompiledActionCall> actions;
   std::vector<ExprPtr> projections;  // non-action select items
 
+  // ---- compiled evaluation (query/eval_program.h) -----------------------
+  // Frame layout: one slot per FROM alias, in FROM order. Expressions are
+  // lowered once here; per row the executor fills a BindingFrame and runs
+  // the programs instead of re-walking the trees. A nullopt program means
+  // that expression stays on the tree-walking fallback (SELECT *,
+  // aggregates, unknown functions).
+  std::vector<std::string> binding_aliases;
+  std::size_t event_binding = 0;  // frame slot of event_alias
+  std::map<std::string, comm::Schema> schemas;  // owned, per alias
+  std::vector<std::optional<EvalProgram>> event_programs;   // aligned
+  std::vector<std::optional<EvalProgram>> join_programs;    // aligned
+  std::vector<std::optional<EvalProgram>> projection_programs;  // aligned
+
   // Attributes each scan must acquire (projection pushdown).
   std::map<std::string, std::set<std::string>> needed_attrs;
 
   device::DeviceTypeId event_type() const {
     return table_types.at(event_alias);
   }
+
+  // Alias -> schema pointer view over the owned schemas (program
+  // compilation input).
+  std::map<std::string, const comm::Schema*> schema_ptrs() const;
+
+  // Number of expressions that compiled to programs / stayed on the
+  // tree-walking fallback.
+  std::size_t program_count() const;
+  std::size_t fallback_count() const;
 
   // Human-readable plan description (EXPLAIN output): the event table and
   // trigger mode, predicate classification, embedded actions with their

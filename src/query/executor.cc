@@ -12,6 +12,50 @@ using aorta::util::Result;
 using aorta::util::Status;
 using device::Value;
 
+namespace {
+
+// Rebuild a tree-walker Env from a binding frame — only for expressions
+// that did not compile to a program (SELECT *, aggregates, unknown
+// functions).
+Env env_from_frame(const BindingFrame& frame,
+                   const std::vector<std::string>& aliases) {
+  Env env;
+  for (std::size_t i = 0; i < frame.size && i < aliases.size(); ++i) {
+    if (frame.tuples[i] != nullptr) env.bind(aliases[i], frame.tuples[i]);
+  }
+  return env;
+}
+
+}  // namespace
+
+Result<Value> ContinuousQueryExecutor::eval_expr(
+    const std::optional<EvalProgram>& program, const Expr& expr,
+    const BindingFrame& frame, const std::vector<std::string>& aliases) {
+  if (program.has_value()) {
+    ++eval_stats_.compiled_evals;
+    return program->run(frame);
+  }
+  ++eval_stats_.fallback_evals;
+  return eval(expr, env_from_frame(frame, aliases), catalog_->functions());
+}
+
+bool ContinuousQueryExecutor::eval_pred(
+    const std::optional<EvalProgram>& program, const Expr& expr,
+    const BindingFrame& frame, const std::vector<std::string>& aliases) {
+  if (program.has_value()) {
+    ++eval_stats_.compiled_evals;
+    return program->run_predicate(frame);
+  }
+  ++eval_stats_.fallback_evals;
+  return eval_predicate(expr, env_from_frame(frame, aliases),
+                        catalog_->functions());
+}
+
+void ContinuousQueryExecutor::count_programs(const CompiledQuery& compiled) {
+  eval_stats_.programs_compiled += compiled.program_count();
+  eval_stats_.programs_fallback += compiled.fallback_count();
+}
+
 ContinuousQueryExecutor::ContinuousQueryExecutor(
     device::DeviceRegistry* registry, comm::CommLayer* comm,
     comm::ScanBroker* broker, sync::Prober* prober, sync::LockManager* locks,
@@ -65,6 +109,7 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
   aq->hooks = std::move(hooks);
   aq->source_sql = std::move(source_sql);
   aq->compiled = std::move(compiled).value();
+  count_programs(aq->compiled);
 
   if (epoch_s > 0.0) {
     double engine_epoch_s = options_.epoch.to_seconds();
@@ -188,12 +233,15 @@ void ContinuousQueryExecutor::on_tick() {
 
 void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
                                                   const comm::Tuple& tuple) {
-  Env env;
-  env.bind(aq.compiled.event_alias, &tuple);
+  const CompiledQuery& cq = aq.compiled;
+  BindingFrame frame;
+  frame.size = cq.binding_aliases.size();
+  frame.set(cq.event_binding, &tuple);
 
   bool satisfied = true;
-  for (const auto& pred : aq.compiled.event_predicates) {
-    if (!eval_predicate(*pred, env, catalog_->functions())) {
+  for (std::size_t i = 0; i < cq.event_predicates.size(); ++i) {
+    if (!eval_pred(cq.event_programs[i], *cq.event_predicates[i], frame,
+                   cq.binding_aliases)) {
       satisfied = false;
       break;
     }
@@ -218,11 +266,12 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
 
   // Materialize the query's projections against the event tuple — the
   // continuous result stream of a monitoring query.
-  if (!aq.compiled.projections.empty()) {
+  if (!cq.projections.empty()) {
     Row row;
-    for (const auto& proj : aq.compiled.projections) {
-      auto v = eval(*proj, env, catalog_->functions());
-      row.emplace_back(proj->to_string(),
+    for (std::size_t i = 0; i < cq.projections.size(); ++i) {
+      auto v = eval_expr(cq.projection_programs[i], *cq.projections[i], frame,
+                         cq.binding_aliases);
+      row.emplace_back(cq.projections[i]->to_string(),
                        v.is_ok() ? std::move(v).value() : device::Value{});
     }
     TimestampedRow stamped{loop_->now(), std::move(row)};
@@ -231,10 +280,10 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
     while (aq.results.size() > kResultCap) aq.results.pop_front();
   }
 
-  for (const auto& call : aq.compiled.actions) {
+  for (const auto& call : cq.actions) {
     // Candidate schema for binding candidate tuples.
     const device::DeviceTypeId& cand_type =
-        aq.compiled.table_types.at(call.candidate_alias);
+        cq.table_types.at(call.candidate_alias);
     auto schema_it = schemas_.find(cand_type);
     if (schema_it == schemas_.end()) {
       const device::DeviceTypeInfo* info = registry_->type_info(cand_type);
@@ -247,7 +296,7 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
     }
 
     std::vector<device::DeviceId> candidates =
-        enumerate_candidates(aq, call, env, *schema_it->second);
+        enumerate_candidates(aq, call, frame, *schema_it->second);
     if (candidates.empty()) continue;  // no device covers this event
 
     // Instantiate the request. Arguments are evaluated against the event
@@ -261,7 +310,8 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
         request.action_args.push_back(Value{});  // filled at execution
         continue;
       }
-      auto v = eval(*call.args[a], env, catalog_->functions());
+      auto v = eval_expr(call.arg_programs[a], *call.args[a], frame,
+                         cq.binding_aliases);
       request.action_args.push_back(v.is_ok() ? std::move(v).value() : Value{});
     }
     if (call.action->request_params) {
@@ -282,30 +332,32 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
 }
 
 std::vector<device::DeviceId> ContinuousQueryExecutor::enumerate_candidates(
-    Aq& aq, const CompiledActionCall& call, const Env& event_env,
+    Aq& aq, const CompiledActionCall& call, const BindingFrame& frame,
     const comm::Schema& candidate_schema) {
+  const CompiledQuery& cq = aq.compiled;
   std::vector<device::DeviceId> out;
 
-  if (call.candidate_alias == aq.compiled.event_alias) {
+  if (call.candidate_alias == cq.event_alias) {
     // Action on the event device itself (e.g. beep(s.id)).
-    const comm::Tuple* event_tuple = event_env.lookup(aq.compiled.event_alias);
+    const comm::Tuple* event_tuple = frame[cq.event_binding];
     if (event_tuple != nullptr) out.push_back(event_tuple->source_device());
     return out;
   }
 
   const device::DeviceTypeId& cand_type =
-      aq.compiled.table_types.at(call.candidate_alias);
+      cq.table_types.at(call.candidate_alias);
+  BindingFrame joined = frame;
   for (const device::DeviceId& id : registry_->ids_of_type(cand_type)) {
     const auto* attrs = registry_->static_attrs(id);
     if (attrs == nullptr) continue;
     comm::Tuple cand(&candidate_schema, id);
     for (const auto& [name, value] : *attrs) cand.set_by_name(name, value);
 
-    Env env = event_env;
-    env.bind(call.candidate_alias, &cand);
+    joined.set(call.candidate_binding, &cand);
     bool ok = true;
-    for (const auto& pred : aq.compiled.join_predicates) {
-      if (!eval_predicate(*pred, env, catalog_->functions())) {
+    for (std::size_t i = 0; i < cq.join_predicates.size(); ++i) {
+      if (!eval_pred(cq.join_programs[i], *cq.join_predicates[i], joined,
+                     cq.binding_aliases)) {
         ok = false;
         break;
       }
@@ -364,6 +416,7 @@ void ContinuousQueryExecutor::run_select(
     return;
   }
   auto q = std::make_shared<CompiledQuery>(std::move(compiled).value());
+  count_programs(*q);
 
   // One live acquisition per table (one-shot SELECTs read sensory
   // attributes on every table, unlike continuous candidate enumeration
@@ -387,6 +440,9 @@ void ContinuousQueryExecutor::run_select(
     enum class Kind { kCount, kSum, kAvg, kMin, kMax };
     Kind kind;
     const Expr* arg;  // null for COUNT(*)
+    // Compiled form of `arg` (aggregate calls themselves never lower —
+    // count/sum/... are not scalar functions — but their argument does).
+    std::optional<EvalProgram> arg_program;
     std::string label;
     double acc = 0.0;
     double low = 0.0;
@@ -427,6 +483,16 @@ void ContinuousQueryExecutor::run_select(
             "aggregate needs a column argument: " + proj->to_string())));
         return;
       }
+      if (agg.arg != nullptr) {
+        auto p = EvalProgram::compile(*agg.arg, q->binding_aliases,
+                                      q->schema_ptrs(), catalog_->functions());
+        if (p.is_ok()) {
+          agg.arg_program = std::move(p).value();
+          ++eval_stats_.programs_compiled;
+        } else {
+          ++eval_stats_.programs_fallback;
+        }
+      }
       agg.label = proj->to_string();
       aggs->push_back(std::move(agg));
     }
@@ -440,20 +506,36 @@ void ContinuousQueryExecutor::run_select(
   auto finish = [this, q, multi, aggs, done = std::move(done)]() {
     std::vector<Row> rows;
 
-    auto emit = [&](const Env& env) {
+    // SELECT * renders bindings in alias-sorted order (stable across the
+    // FROM clause's phrasing).
+    std::vector<std::size_t> star_order(multi->aliases.size());
+    for (std::size_t i = 0; i < star_order.size(); ++i) star_order[i] = i;
+    std::sort(star_order.begin(), star_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return multi->aliases[a] < multi->aliases[b];
+              });
+
+    auto emit = [&](const BindingFrame& frame) {
       bool ok = true;
-      for (const auto& pred : q->event_predicates) {
-        if (!eval_predicate(*pred, env, catalog_->functions())) ok = false;
+      for (std::size_t i = 0; i < q->event_predicates.size(); ++i) {
+        if (!eval_pred(q->event_programs[i], *q->event_predicates[i], frame,
+                       q->binding_aliases)) {
+          ok = false;
+        }
       }
-      for (const auto& pred : q->join_predicates) {
-        if (!eval_predicate(*pred, env, catalog_->functions())) ok = false;
+      for (std::size_t i = 0; i < q->join_predicates.size(); ++i) {
+        if (!eval_pred(q->join_programs[i], *q->join_predicates[i], frame,
+                       q->binding_aliases)) {
+          ok = false;
+        }
       }
       if (!ok) return;
       if (!aggs->empty()) {
         for (Agg& agg : *aggs) {
           double x = 0.0;
           if (agg.arg != nullptr) {
-            auto v = eval(*agg.arg, env, catalog_->functions());
+            auto v = eval_expr(agg.arg_program, *agg.arg, frame,
+                               q->binding_aliases);
             if (!v.is_ok() ||
                 std::holds_alternative<std::monostate>(v.value())) {
               continue;  // NULLs never contribute
@@ -476,18 +558,22 @@ void ContinuousQueryExecutor::run_select(
         return;
       }
       Row row;
-      for (const auto& proj : q->projections) {
+      for (std::size_t p = 0; p < q->projections.size(); ++p) {
+        const auto& proj = q->projections[p];
         if (proj->kind == Expr::Kind::kColumnRef && proj->column == "*") {
-          for (const auto& [alias, tuple] : env.bindings()) {
+          for (std::size_t k : star_order) {
+            const comm::Tuple* tuple = frame[k];
             if (tuple == nullptr || tuple->schema() == nullptr) continue;
             for (std::size_t i = 0; i < tuple->schema()->size(); ++i) {
-              row.emplace_back(alias + "." + tuple->schema()->fields()[i].name,
-                               tuple->at(i));
+              row.emplace_back(
+                  multi->aliases[k] + "." + tuple->schema()->fields()[i].name,
+                  tuple->at(i));
             }
           }
           continue;
         }
-        auto v = eval(*proj, env, catalog_->functions());
+        auto v = eval_expr(q->projection_programs[p], *proj, frame,
+                           q->binding_aliases);
         row.emplace_back(proj->to_string(),
                          v.is_ok() ? std::move(v).value() : Value{});
       }
@@ -495,20 +581,21 @@ void ContinuousQueryExecutor::run_select(
     };
 
     // Nested-loop join over the scanned tables (at most two by the
-    // compiler's restriction).
+    // compiler's restriction). Frame slots follow the FROM-clause order,
+    // which is exactly multi->aliases' order.
+    BindingFrame frame;
+    frame.size = multi->aliases.size();
     if (multi->tuples.size() == 1) {
       for (const comm::Tuple& tuple : multi->tuples[0]) {
-        Env env;
-        env.bind(multi->aliases[0], &tuple);
-        emit(env);
+        frame.set(0, &tuple);
+        emit(frame);
       }
     } else {
       for (const comm::Tuple& a : multi->tuples[0]) {
         for (const comm::Tuple& b : multi->tuples[1]) {
-          Env env;
-          env.bind(multi->aliases[0], &a);
-          env.bind(multi->aliases[1], &b);
-          emit(env);
+          frame.set(0, &a);
+          frame.set(1, &b);
+          emit(frame);
         }
       }
     }

@@ -31,6 +31,16 @@ struct QueryStats {
   std::uint64_t requests_issued = 0;   // action requests deposited
 };
 
+// Engine-wide compiled-evaluation counters: how much of the per-row
+// expression work runs through slot-resolved EvalPrograms vs the
+// tree-walking fallback (query/eval_program.h).
+struct EvalStats {
+  std::uint64_t programs_compiled = 0;  // programs cached across queries
+  std::uint64_t programs_fallback = 0;  // expressions left on the tree walker
+  std::uint64_t compiled_evals = 0;     // program executions (hot path)
+  std::uint64_t fallback_evals = 0;     // tree-walk executions (hot path)
+};
+
 // One projected row of a one-shot SELECT.
 using Row = std::vector<std::pair<std::string, device::Value>>;
 
@@ -117,6 +127,7 @@ class ContinuousQueryExecutor {
 
   // ---- statistics --------------------------------------------------------
   const QueryStats* query_stats(const std::string& name) const;
+  const EvalStats& eval_stats() const { return eval_stats_; }
   // Action outcomes per query, aggregated across all shared operators.
   QueryActionStats action_stats(const std::string& name) const;
   std::vector<const ActionOperator*> operators() const;
@@ -151,9 +162,22 @@ class ContinuousQueryExecutor {
   void process_event_tuple(Aq& aq, const comm::Tuple& tuple);
 
   // Candidate device enumeration for one action call of one event tuple.
+  // `frame` carries the event tuple; the candidate slot is rebound per
+  // enumerated device.
   std::vector<device::DeviceId> enumerate_candidates(
-      Aq& aq, const CompiledActionCall& call, const Env& event_env,
+      Aq& aq, const CompiledActionCall& call, const BindingFrame& frame,
       const comm::Schema& candidate_schema);
+
+  // Evaluate one compiled-or-fallback expression over a frame, counting
+  // into eval_stats_. The Env for the fallback path is rebuilt from the
+  // frame (rare: SELECT *, aggregates, unknown functions).
+  aorta::util::Result<device::Value> eval_expr(
+      const std::optional<EvalProgram>& program, const Expr& expr,
+      const BindingFrame& frame, const std::vector<std::string>& aliases);
+  bool eval_pred(const std::optional<EvalProgram>& program, const Expr& expr,
+                 const BindingFrame& frame,
+                 const std::vector<std::string>& aliases);
+  void count_programs(const CompiledQuery& compiled);
 
   ActionOperator* operator_for(const ActionDef* action);
 
@@ -174,6 +198,7 @@ class ContinuousQueryExecutor {
   std::map<device::DeviceTypeId, std::unique_ptr<comm::Schema>> schemas_;
   bool started_ = false;
   std::uint64_t next_generation_ = 1;
+  EvalStats eval_stats_;
   std::deque<TraceEntry> trace_;
   std::function<void(const TraceEntry&)> trace_sink_;
 };

@@ -1,5 +1,6 @@
 #include "query/expr_eval.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -20,7 +21,7 @@ Status FunctionRegistry::add(std::string name, ScalarFn fn) {
   return Status::ok();
 }
 
-const ScalarFn* FunctionRegistry::find(const std::string& name) const {
+const ScalarFn* FunctionRegistry::find(std::string_view name) const {
   auto it = fns_.find(name);
   return it == fns_.end() ? nullptr : &it->second;
 }
@@ -31,9 +32,22 @@ std::vector<std::string> FunctionRegistry::names() const {
   return out;
 }
 
-const comm::Tuple* Env::lookup(const std::string& alias) const {
-  auto it = bindings_.find(alias);
-  return it == bindings_.end() ? nullptr : it->second;
+void Env::bind(const std::string& alias, const comm::Tuple* tuple) {
+  auto it = std::lower_bound(
+      bindings_.begin(), bindings_.end(), alias,
+      [](const Binding& b, const std::string& a) { return b.first < a; });
+  if (it != bindings_.end() && it->first == alias) {
+    it->second = tuple;
+    return;
+  }
+  bindings_.insert(it, Binding{alias, tuple});
+}
+
+const comm::Tuple* Env::lookup(std::string_view alias) const {
+  for (const Binding& b : bindings_) {
+    if (b.first == alias) return b.second;
+  }
+  return nullptr;
 }
 
 namespace {
@@ -68,7 +82,9 @@ Result<Value> resolve_column(const Expr& expr, const Env& env) {
 
 bool is_null(const Value& v) { return std::holds_alternative<std::monostate>(v); }
 
-Result<Value> compare(BinaryOp op, const Value& a, const Value& b) {
+}  // namespace
+
+Result<Value> compare_values(BinaryOp op, const Value& a, const Value& b) {
   if (is_null(a) || is_null(b)) return Value{false};
 
   // Numeric comparison when both coerce.
@@ -111,7 +127,7 @@ Result<Value> compare(BinaryOp op, const Value& a, const Value& b) {
       device::value_to_string(b)));
 }
 
-Result<Value> arithmetic(BinaryOp op, const Value& a, const Value& b) {
+Result<Value> arithmetic_values(BinaryOp op, const Value& a, const Value& b) {
   if (is_null(a) || is_null(b)) return Value{};
   double da, db;
   if (!device::value_as_double(a, &da) || !device::value_as_double(b, &db)) {
@@ -135,8 +151,6 @@ Result<Value> arithmetic(BinaryOp op, const Value& a, const Value& b) {
       return Result<Value>(aorta::util::internal_error("bad arithmetic op"));
   }
 }
-
-}  // namespace
 
 Result<Value> eval(const Expr& expr, const Env& env,
                    const FunctionRegistry& functions) {
@@ -183,9 +197,9 @@ Result<Value> eval(const Expr& expr, const Env& env,
         case BinaryOp::kLe:
         case BinaryOp::kGt:
         case BinaryOp::kGe:
-          return compare(expr.op, lhs.value(), rhs.value());
+          return compare_values(expr.op, lhs.value(), rhs.value());
         default:
-          return arithmetic(expr.op, lhs.value(), rhs.value());
+          return arithmetic_values(expr.op, lhs.value(), rhs.value());
       }
     }
     case Expr::Kind::kNot: {

@@ -22,29 +22,45 @@ using ScalarFn = std::function<aorta::util::Result<device::Value>(
 class FunctionRegistry {
  public:
   aorta::util::Status add(std::string name, ScalarFn fn);
-  const ScalarFn* find(const std::string& name) const;
+  // Heterogeneous lookup: no temporary std::string per call. The returned
+  // pointer stays valid for the registry's lifetime (map nodes are stable
+  // under insertion), which lets compiled programs pre-bind it.
+  const ScalarFn* find(std::string_view name) const;
   std::vector<std::string> names() const;
 
  private:
-  std::map<std::string, ScalarFn> fns_;
+  std::map<std::string, ScalarFn, std::less<>> fns_;
 };
 
 // Binding environment: table alias -> tuple for the current row
 // combination. Unqualified columns resolve against every bound tuple and
-// must be unambiguous.
+// must be unambiguous. This is the *fallback* evaluator's environment —
+// hot paths run compiled EvalPrograms over a flat BindingFrame instead
+// (query/eval_program.h). Queries bind at most two aliases, so a small
+// sorted vector beats a node-based map.
 class Env {
  public:
-  void bind(const std::string& alias, const comm::Tuple* tuple) {
-    bindings_[alias] = tuple;
-  }
-  const comm::Tuple* lookup(const std::string& alias) const;
-  const std::map<std::string, const comm::Tuple*>& bindings() const {
-    return bindings_;
-  }
+  using Binding = std::pair<std::string, const comm::Tuple*>;
+
+  void bind(const std::string& alias, const comm::Tuple* tuple);
+  const comm::Tuple* lookup(std::string_view alias) const;
+  // Bindings in alias-sorted order (stable rendering, e.g. SELECT *).
+  const std::vector<Binding>& bindings() const { return bindings_; }
 
  private:
-  std::map<std::string, const comm::Tuple*> bindings_;
+  std::vector<Binding> bindings_;  // kept sorted by alias
 };
+
+// Shared leaf semantics for both evaluators (the tree-walking oracle below
+// and the compiled EvalProgram): SQL-ish comparison / arithmetic over
+// dynamically-typed values. Comparisons involving NULL yield FALSE;
+// arithmetic involving NULL (or division by zero) yields NULL.
+aorta::util::Result<device::Value> compare_values(BinaryOp op,
+                                                  const device::Value& a,
+                                                  const device::Value& b);
+aorta::util::Result<device::Value> arithmetic_values(BinaryOp op,
+                                                     const device::Value& a,
+                                                     const device::Value& b);
 
 // Evaluate an expression. Comparisons involving NULL yield FALSE;
 // arithmetic involving NULL yields NULL (SQL-ish three-valued logic

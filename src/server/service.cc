@@ -355,6 +355,18 @@ std::string QueryService::stats_json() const {
   }
   out += first_type ? "}\n  },\n" : "\n    }\n  },\n";
 
+  // Compiled evaluation: how much per-row expression work runs through
+  // slot-resolved programs vs the tree-walking fallback
+  // (query/eval_program.h).
+  const query::EvalStats& es = system_->executor().eval_stats();
+  out += str_format(
+      "  \"eval\": {\"programs_compiled\": %llu, \"programs_fallback\": "
+      "%llu, \"compiled_evals\": %llu, \"fallback_evals\": %llu},\n",
+      static_cast<unsigned long long>(es.programs_compiled),
+      static_cast<unsigned long long>(es.programs_fallback),
+      static_cast<unsigned long long>(es.compiled_evals),
+      static_cast<unsigned long long>(es.fallback_evals));
+
   // Mailbox drop totals per tenant (sessions are the drop points).
   std::map<TenantId, std::uint64_t> mailbox_dropped;
   for (const auto& [id, s] : sessions_) {

@@ -45,6 +45,23 @@ TEST(TupleTest, GetSetByNameAndIndex) {
   EXPECT_NE(tuple.to_string().find("a=1.5"), std::string::npos);
 }
 
+TEST(TupleTest, UnknownNameReturnsNullSentinel) {
+  comm::Schema schema("t", {{"a", device::AttrType::kDouble, true}});
+  comm::Tuple tuple(&schema, "dev1");
+  tuple.set(0, Value{3.0});
+  // Unknown names resolve to the shared NULL sentinel, which callers can
+  // identify by address. Known names never alias it.
+  EXPECT_EQ(&tuple.get("nope"), &comm::Tuple::null_sentinel());
+  EXPECT_NE(&tuple.get("a"), &comm::Tuple::null_sentinel());
+  EXPECT_TRUE(
+      std::holds_alternative<std::monostate>(comm::Tuple::null_sentinel()));
+  // A schema-less tuple resolves every name to the sentinel.
+  comm::Tuple bare(nullptr, "dev2");
+  EXPECT_EQ(&bare.get("a"), &comm::Tuple::null_sentinel());
+  // The sentinel is a distinct object per process, not per call.
+  EXPECT_EQ(&comm::Tuple::null_sentinel(), &comm::Tuple::null_sentinel());
+}
+
 // ---------------------------------------------------------------- fixture
 
 struct CommFixture : public ::testing::Test {

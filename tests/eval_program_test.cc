@@ -1,0 +1,334 @@
+// Differential tests for compiled expression evaluation
+// (query/eval_program.h): the tree-walking eval() in expr_eval.h is the
+// oracle, and every compiled program must match it byte-for-byte — values
+// rendered through value_to_string, errors through Status::to_string —
+// including three-valued NULL semantics, error propagation, and
+// short-circuit behaviour observable through side-effecting functions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/eval_program.h"
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace aorta {
+namespace {
+
+using device::Value;
+using query::BindingFrame;
+using query::BinaryOp;
+using query::Env;
+using query::EvalProgram;
+using query::Expr;
+using query::ExprPtr;
+using query::FunctionRegistry;
+
+// Renders a Result the way the differential comparison wants it: the
+// exact value string on success, the exact status string on error.
+std::string render(const util::Result<Value>& r) {
+  if (r.is_ok()) return "ok:" + device::value_to_string(r.value());
+  return "err:" + r.status().to_string();
+}
+
+struct DiffFixture : public ::testing::Test {
+  DiffFixture()
+      : sensor_schema("sensor",
+                      {{"id", device::AttrType::kString, false},
+                       {"accel_x", device::AttrType::kDouble, true},
+                       {"temp", device::AttrType::kDouble, true},
+                       {"count", device::AttrType::kInt, false},
+                       {"armed", device::AttrType::kBool, false}}),
+        camera_schema("camera", {{"id", device::AttrType::kString, false},
+                                 {"zoom", device::AttrType::kDouble, false},
+                                 {"angle", device::AttrType::kDouble, true}}),
+        sensor_tuple(&sensor_schema, "m1"),
+        camera_tuple(&camera_schema, "cam1") {
+    sensor_tuple.set_by_name("id", Value{std::string("m1")});
+    sensor_tuple.set_by_name("accel_x", Value{600.0});
+    // temp left NULL on purpose.
+    sensor_tuple.set_by_name("count", Value{std::int64_t{7}});
+    sensor_tuple.set_by_name("armed", Value{true});
+    camera_tuple.set_by_name("id", Value{std::string("cam1")});
+    camera_tuple.set_by_name("zoom", Value{2.5});
+    // angle left NULL on purpose.
+
+    (void)functions.add("twice", [](const std::vector<Value>& args) {
+      double x = 0;
+      device::value_as_double(args.at(0), &x);
+      return util::Result<Value>(Value{2 * x});
+    });
+    (void)functions.add("boom", [](const std::vector<Value>&) {
+      return util::Result<Value>(util::internal_error("boom() exploded"));
+    });
+    (void)functions.add("tick", [this](const std::vector<Value>& args) {
+      ++tick_calls;
+      double x = 0;
+      if (!args.empty()) device::value_as_double(args.at(0), &x);
+      return util::Result<Value>(Value{x + 1});
+    });
+
+    aliases = {"s", "c"};
+    schemas = {{"s", &sensor_schema}, {"c", &camera_schema}};
+    frame.size = 2;
+    frame.set(0, &sensor_tuple);
+    frame.set(1, &camera_tuple);
+    env.bind("s", &sensor_tuple);
+    env.bind("c", &camera_tuple);
+  }
+
+  // Compiles `expr` and, if it compiles, checks the program against the
+  // oracle. Returns true iff the expression compiled (fallbacks are legal,
+  // they just stay on the tree walker).
+  bool check(const Expr& expr) {
+    auto program = EvalProgram::compile(expr, aliases, schemas, functions);
+    if (!program.is_ok()) return false;
+
+    tick_calls = 0;
+    auto oracle = query::eval(expr, env, functions);
+    int oracle_ticks = tick_calls;
+
+    tick_calls = 0;
+    auto compiled = program.value().run(frame);
+    int compiled_ticks = tick_calls;
+
+    EXPECT_EQ(render(compiled), render(oracle))
+        << expr.to_string() << "\n"
+        << program.value().disassemble();
+    // Short-circuiting must skip side effects identically... unless the
+    // compiler constant-folded around the call (folding never evaluates
+    // functions, so a folded short-circuit makes *fewer* calls, never
+    // more, and never changes the result checked above).
+    EXPECT_LE(compiled_ticks, oracle_ticks) << expr.to_string();
+    if (program.value().folded_nodes() == 0) {
+      EXPECT_EQ(compiled_ticks, oracle_ticks) << expr.to_string();
+    }
+
+    bool oracle_pred = query::eval_predicate(expr, env, functions);
+    EXPECT_EQ(program.value().run_predicate(frame), oracle_pred)
+        << expr.to_string();
+    return true;
+  }
+
+  bool check_sql(const std::string& text) {
+    auto e = query::parse_expression(text);
+    EXPECT_TRUE(e.is_ok()) << text;
+    return check(*e.value());
+  }
+
+  comm::Schema sensor_schema;
+  comm::Schema camera_schema;
+  comm::Tuple sensor_tuple;
+  comm::Tuple camera_tuple;
+  FunctionRegistry functions;
+  std::vector<std::string> aliases;
+  std::map<std::string, const comm::Schema*> schemas;
+  BindingFrame frame;
+  Env env;
+  int tick_calls = 0;
+};
+
+// ------------------------------------------------------- targeted cases
+
+TEST_F(DiffFixture, LiteralsAndColumns) {
+  EXPECT_TRUE(check_sql("42"));
+  EXPECT_TRUE(check_sql("'hello'"));
+  EXPECT_TRUE(check_sql("TRUE"));
+  EXPECT_TRUE(check_sql("s.accel_x"));
+  EXPECT_TRUE(check_sql("accel_x"));  // unqualified, unique
+  EXPECT_TRUE(check_sql("zoom"));
+  EXPECT_TRUE(check_sql("c.zoom * 2"));
+}
+
+TEST_F(DiffFixture, NullSemantics) {
+  // temp and c.angle are NULL: comparisons false, arithmetic NULL.
+  EXPECT_TRUE(check_sql("s.temp > 0"));
+  EXPECT_TRUE(check_sql("s.temp = s.temp"));
+  EXPECT_TRUE(check_sql("s.temp + 1"));
+  EXPECT_TRUE(check_sql("c.angle * s.accel_x"));
+  EXPECT_TRUE(check_sql("NOT (s.temp > 0)"));
+  // Unknown column on a bound alias is NULL, not an error.
+  EXPECT_TRUE(check_sql("s.nope"));
+  EXPECT_TRUE(check_sql("s.nope + 1 = 2"));
+  // Division by zero is NULL.
+  EXPECT_TRUE(check_sql("1 / 0"));
+  EXPECT_TRUE(check_sql("s.accel_x / (s.accel_x - 600)"));
+}
+
+TEST_F(DiffFixture, ErrorsPropagateIdentically) {
+  EXPECT_TRUE(check_sql("boom()"));
+  EXPECT_TRUE(check_sql("boom() + 1"));
+  EXPECT_TRUE(check_sql("1 + boom()"));
+  EXPECT_TRUE(check_sql("NOT boom()"));
+  EXPECT_TRUE(check_sql("twice(boom())"));
+}
+
+TEST_F(DiffFixture, ShortCircuitSkipsErrorsAndSideEffects) {
+  // Constant-foldable short circuits: the erroring side never runs.
+  EXPECT_TRUE(check_sql("TRUE OR boom()"));
+  EXPECT_TRUE(check_sql("FALSE AND boom()"));
+  // Data-dependent short circuits: tick() call counts must match.
+  EXPECT_TRUE(check_sql("s.accel_x > 500 OR tick(1) > 0"));
+  EXPECT_TRUE(check_sql("s.accel_x > 700 OR tick(1) > 0"));
+  EXPECT_TRUE(check_sql("s.accel_x > 500 AND tick(1) > 0"));
+  EXPECT_TRUE(check_sql("s.accel_x > 700 AND tick(1) > 0"));
+  EXPECT_TRUE(check_sql("s.accel_x > 700 AND boom()"));
+  EXPECT_TRUE(check_sql("s.accel_x > 500 OR boom()"));
+}
+
+TEST_F(DiffFixture, FallbacksAreReported) {
+  // Ambiguous unqualified column ("id" is in both schemas): compile fails,
+  // the expression stays on the tree walker.
+  auto e = query::parse_expression("id = 'm1'");
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_FALSE(
+      EvalProgram::compile(*e.value(), aliases, schemas, functions).is_ok());
+  // Unknown function: same.
+  auto f = query::parse_expression("nosuchfn(1)");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_FALSE(
+      EvalProgram::compile(*f.value(), aliases, schemas, functions).is_ok());
+  // Alias outside the binding layout: the *interpreter* errors per row on
+  // this, so the compiler keeps it compilable with a matching error.
+  EXPECT_TRUE(check_sql("zz.accel_x"));
+  EXPECT_TRUE(check_sql("zz.accel_x > 1"));
+}
+
+TEST_F(DiffFixture, ConstantFolding) {
+  auto e = query::parse_expression("1 + 2 * 3");
+  ASSERT_TRUE(e.is_ok());
+  auto program = EvalProgram::compile(*e.value(), aliases, schemas, functions);
+  ASSERT_TRUE(program.is_ok());
+  EXPECT_EQ(program.value().instruction_count(), 1u);  // one kPushConst
+  EXPECT_GT(program.value().folded_nodes(), 0u);
+  EXPECT_TRUE(check(*e.value()));
+  // Folding must not swallow per-row errors: 1/0 stays NULL (which is
+  // foldable), but boom() is never folded.
+  EXPECT_TRUE(check_sql("(1 + 2) = 3 AND s.accel_x > 0"));
+}
+
+TEST_F(DiffFixture, UnboundFrameSlotMatchesUnboundEnv) {
+  // Evaluate with only the sensor bound: c.* loads must error identically.
+  BindingFrame partial;
+  partial.size = 2;
+  partial.set(0, &sensor_tuple);
+  Env partial_env;
+  partial_env.bind("s", &sensor_tuple);
+
+  for (const char* text : {"c.zoom", "c.zoom > 1", "zoom", "c.nope",
+                           "s.accel_x > 1 AND c.zoom > 1"}) {
+    auto e = query::parse_expression(text);
+    ASSERT_TRUE(e.is_ok()) << text;
+    auto program =
+        EvalProgram::compile(*e.value(), aliases, schemas, functions);
+    ASSERT_TRUE(program.is_ok()) << text;
+    auto oracle = query::eval(*e.value(), partial_env, functions);
+    EXPECT_EQ(render(program.value().run(partial)), render(oracle)) << text;
+  }
+}
+
+// --------------------------------------------------- randomized sweep
+
+// Depth-bounded random expression generator. Mostly-valid references so
+// the bulk of the generated population compiles; a sprinkle of unknown
+// columns and unbound aliases exercises the NULL-load and error paths.
+class ExprGen {
+ public:
+  explicit ExprGen(util::Rng* rng) : rng_(rng) {}
+
+  ExprPtr gen(int depth) {
+    if (depth <= 0 || rng_->chance(0.3)) return leaf();
+    switch (rng_->uniform_int(0, 7)) {
+      case 0:
+        return Expr::make_not(gen(depth - 1));
+      case 1:
+      case 2:
+        return Expr::make_binary(logical(), gen(depth - 1), gen(depth - 1));
+      case 3:
+      case 4:
+        return Expr::make_binary(comparison(), gen(depth - 1), gen(depth - 1));
+      case 5:
+      case 6:
+        return Expr::make_binary(arith(), gen(depth - 1), gen(depth - 1));
+      default: {
+        std::vector<ExprPtr> args;
+        args.push_back(gen(depth - 1));
+        return Expr::make_func(rng_->chance(0.2) ? "boom" : "twice",
+                               std::move(args));
+      }
+    }
+  }
+
+ private:
+  ExprPtr leaf() {
+    switch (rng_->uniform_int(0, 9)) {
+      case 0:
+        return Expr::make_literal(Value{});  // NULL
+      case 1:
+        return Expr::make_literal(Value{rng_->chance(0.5)});
+      case 2:
+        return Expr::make_literal(Value{rng_->uniform_int(-5, 5)});
+      case 3:
+        return Expr::make_literal(Value{rng_->uniform(-10.0, 10.0)});
+      case 4:
+        return Expr::make_literal(
+            Value{std::string(rng_->chance(0.5) ? "m1" : "zzz")});
+      case 5:
+        return Expr::make_column("s", pick({"accel_x", "temp", "count",
+                                            "armed", "id", "nope"}));
+      case 6:
+        return Expr::make_column("c", pick({"zoom", "angle", "id"}));
+      case 7:
+        return Expr::make_column("", pick({"accel_x", "temp", "zoom",
+                                           "angle", "armed"}));
+      case 8:
+        return Expr::make_column("zz", "boomcol");  // unbound alias
+      default:
+        return Expr::make_literal(Value{rng_->uniform(0.0, 1000.0)});
+    }
+  }
+
+  std::string pick(std::initializer_list<const char*> names) {
+    auto it = names.begin();
+    std::advance(it, rng_->index(names.size()));
+    return *it;
+  }
+
+  BinaryOp logical() {
+    return rng_->chance(0.5) ? BinaryOp::kAnd : BinaryOp::kOr;
+  }
+  BinaryOp comparison() {
+    static const BinaryOp ops[] = {BinaryOp::kEq, BinaryOp::kNe,
+                                   BinaryOp::kLt, BinaryOp::kLe,
+                                   BinaryOp::kGt, BinaryOp::kGe};
+    return ops[rng_->index(6)];
+  }
+  BinaryOp arith() {
+    static const BinaryOp ops[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                   BinaryOp::kMul, BinaryOp::kDiv};
+    return ops[rng_->index(4)];
+  }
+
+  util::Rng* rng_;
+};
+
+TEST_F(DiffFixture, RandomizedDifferential) {
+  util::Rng rng(20260805);
+  ExprGen gen(&rng);
+  constexpr int kTotal = 12000;
+  int compiled = 0;
+  for (int i = 0; i < kTotal; ++i) {
+    ExprPtr e = gen.gen(1 + static_cast<int>(rng.uniform_int(0, 4)));
+    if (check(*e)) ++compiled;
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      FAIL() << "divergence at expression " << i << ": " << e->to_string();
+    }
+  }
+  // The acceptance gate: >= 10k expressions actually ran through both
+  // evaluators and matched byte-for-byte.
+  EXPECT_GE(compiled, 10000) << "of " << kTotal << " generated";
+}
+
+}  // namespace
+}  // namespace aorta
