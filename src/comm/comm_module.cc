@@ -61,12 +61,29 @@ void CommModule::request(const device::DeviceId& id, std::string kind,
                          Duration timeout, ReplyCallback done,
                          std::size_t payload_bytes) {
   if (timeout == Duration::zero()) timeout = default_timeout();
+  if (health_ != nullptr && kind == "probe") {
+    // Probe outcomes feed health supervision before the caller sees them,
+    // so a quarantined device's recovery is visible to whoever probed it.
+    done = [health = health_, id, inner = std::move(done)](
+               Result<net::Message> reply) {
+      health->report(id, device::HealthOutcomeKind::kProbe, reply.is_ok());
+      inner(std::move(reply));
+    };
+  }
   engine_->rpc().call(id, std::move(kind), std::move(fields), timeout,
                       std::move(done), payload_bytes);
 }
 
 void CommModule::read_attr(const device::DeviceId& id, const std::string& attr,
                            std::function<void(Result<Value>)> done) {
+  if (health_ != nullptr) {
+    // Report at the decoded-Result level so application-level failures
+    // (glitched reads) count against the device, not just timeouts.
+    done = [health = health_, id, inner = std::move(done)](Result<Value> v) {
+      health->report(id, device::HealthOutcomeKind::kRead, v.is_ok());
+      inner(std::move(v));
+    };
+  }
   request(id, "read_attr", {{"attr", attr}}, default_timeout(),
           [attr, id, done = std::move(done)](Result<net::Message> reply) {
             if (!reply.is_ok()) {
@@ -204,7 +221,16 @@ CommModule* CommLayer::module_for(const device::DeviceTypeId& type_id) {
 }
 
 void CommLayer::register_module(std::unique_ptr<CommModule> module) {
+  module->set_health(health_);
   extra_[module->type_id()] = std::move(module);
+}
+
+void CommLayer::set_health(device::HealthView* health) {
+  health_ = health;
+  camera_.set_health(health);
+  mote_.set_health(health);
+  phone_.set_health(health);
+  for (auto& [type_id, module] : extra_) module->set_health(health);
 }
 
 }  // namespace aorta::comm

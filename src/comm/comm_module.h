@@ -19,6 +19,7 @@
 #include <set>
 #include <string>
 
+#include "device/health.h"
 #include "device/registry.h"
 #include "devices/ptz_math.h"
 #include "net/rpc.h"
@@ -89,6 +90,11 @@ class CommModule {
   // The per-type TIMEOUT value (Section 4).
   aorta::util::Duration default_timeout() const;
 
+  // Health supervision tap (nullable = off): probe and read outcomes are
+  // reported from this choke point so every caller — prober, broker,
+  // supervisor back-probes — feeds the same state machine for free.
+  void set_health(device::HealthView* health) { health_ = health; }
+
  protected:
   device::DeviceRegistry* registry() { return registry_; }
   const device::DeviceRegistry* registry() const { return registry_; }
@@ -98,6 +104,7 @@ class CommModule {
   EngineNode* engine_;
   device::DeviceTypeId type_id_;
   std::set<device::DeviceId> connected_;
+  device::HealthView* health_ = nullptr;
 };
 
 // ---------------------------------------------------------------- camera
@@ -172,7 +179,11 @@ class CommLayer {
   // Install a module for a new device type (future extension path).
   void register_module(std::unique_ptr<CommModule> module);
 
+  // Wire health supervision into every module (current and future).
+  void set_health(device::HealthView* health);
+
  private:
+  device::HealthView* health_ = nullptr;
   EngineNode engine_;
   CameraComm camera_;
   MoteComm mote_;

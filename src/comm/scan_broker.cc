@@ -123,6 +123,9 @@ BrokerTypeStats ScanBroker::totals() const {
     t.tuples_delivered += s.tuples_delivered;
     t.deliveries += s.deliveries;
     t.devices_skipped += s.devices_skipped;
+    t.quarantined_skips += s.quarantined_skips;
+    t.degraded_reads += s.degraded_reads;
+    t.degraded_tuples += s.degraded_tuples;
   }
   return t;
 }
@@ -229,6 +232,30 @@ void ScanBroker::run_batch(const device::DeviceTypeId& type,
     }
     batch->tuples[d] = std::move(tuple);
 
+    // Quarantined devices get no sweep traffic at all: their needed
+    // sensory attrs are served last-known-good within the staleness bound
+    // (and the tuple tagged degraded), or recorded as failed reads so the
+    // per-subscriber unreachable rule applies — without an RPC either way.
+    if (health_ != nullptr && health_->is_quarantined(id)) {
+      ++stats.quarantined_skips;
+      batch->tuples[d].set_degraded(true);
+      for (const Field& f : batch->schema->fields()) {
+        if (!f.sensory || !needs(f.name)) continue;
+        auto key = std::make_pair(id, f.name);
+        auto hit = state.cache.find(key);
+        if (options_.degraded_staleness > aorta::util::Duration::zero() &&
+            hit != state.cache.end() &&
+            now - hit->second.at <= options_.degraded_staleness) {
+          batch->tuples[d].set_by_name(f.name, hit->second.value);
+          batch->read_ok[d][f.name] = true;
+          ++stats.degraded_reads;
+        } else {
+          batch->read_ok[d][f.name] = false;
+        }
+      }
+      continue;
+    }
+
     // Needed sensory fields: freshness cache, then in-flight dedup, then
     // a live read_attr round trip.
     for (const Field& f : batch->schema->fields()) {
@@ -334,6 +361,8 @@ void ScanBroker::finalize_batch(const std::shared_ptr<Batch>& batch) {
         if (!w.needed.empty() && w.needed.count(f.name) == 0) continue;
         t.set(i, batch->tuples[d].at(i));
       }
+      t.set_degraded(batch->tuples[d].degraded());
+      if (t.degraded()) ++stats.degraded_tuples;
       out.push_back(std::move(t));
     }
 

@@ -55,6 +55,9 @@ struct BrokerTypeStats {
   std::uint64_t tuples_delivered = 0; // projected tuples handed to subscribers
   std::uint64_t deliveries = 0;       // subscriber/one-shot callbacks fired
   std::uint64_t devices_skipped = 0;  // per-subscriber unreachable devices
+  std::uint64_t quarantined_skips = 0; // device-batches skipped by quarantine
+  std::uint64_t degraded_reads = 0;   // attrs served last-known-good
+  std::uint64_t degraded_tuples = 0;  // delivered tuples carrying the marker
 };
 
 class ScanBroker {
@@ -70,6 +73,11 @@ class ScanBroker {
     // private scan per due tick (no union, no dedup, no cache) — the
     // pre-broker O(N x D) behaviour, used by bench_shared_scan.
     bool coalesce = true;
+    // Degraded-mode bound: a quarantined device's sensory attrs are served
+    // from the last-known-good cache if the cached value is at most this
+    // old, and the tuple is tagged degraded. Zero = no degraded serving
+    // (quarantined devices simply contribute no rows).
+    aorta::util::Duration degraded_staleness = aorta::util::Duration::zero();
   };
 
   ScanBroker(device::DeviceRegistry* registry, CommLayer* comm,
@@ -97,6 +105,11 @@ class ScanBroker {
   void acquire_once(const device::DeviceTypeId& type,
                     std::set<std::string> needed,
                     std::function<void(std::vector<Tuple>)> done);
+
+  // Health supervision tap (nullable = off): quarantined devices receive
+  // no sweep RPCs; within Options::degraded_staleness their needed attrs
+  // are served from the last-known-good cache and tagged degraded.
+  void set_health(const device::HealthView* health) { health_ = health; }
 
   // Advance the broker clock one engine epoch and issue one batched scan
   // per device type with due subscribers. `all_delivered` fires once every
@@ -155,6 +168,7 @@ class ScanBroker {
   CommLayer* comm_;
   aorta::util::EventLoop* loop_;
   Options options_;
+  const device::HealthView* health_ = nullptr;
 
   std::map<device::DeviceTypeId, std::unique_ptr<TypeState>> types_;
   std::map<SubscriptionId, Subscription> subs_;

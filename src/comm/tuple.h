@@ -82,12 +82,20 @@ class Tuple {
   // The shared immutable NULL returned by get() for unknown names.
   static const device::Value& null_sentinel();
 
+  // Degradation marker: true when the tuple's sensory values were served
+  // from the broker's last-known-good cache because the source device is
+  // quarantined (not a fresh acquisition). The marker flows with the row
+  // through the executor into server deliveries.
+  bool degraded() const { return degraded_; }
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+
   std::string to_string() const;
 
  private:
   const Schema* schema_ = nullptr;
   device::DeviceId source_;
   std::vector<device::Value> values_;
+  bool degraded_ = false;
 };
 
 }  // namespace aorta::comm

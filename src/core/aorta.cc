@@ -32,11 +32,18 @@ Aorta::Aorta(Config config) : config_(config), rng_(config.seed) {
   comm::ScanBroker::Options broker_options;
   broker_options.coalesce = config_.shared_scans;
   broker_options.freshness = config_.scan_freshness;
+  broker_options.degraded_staleness = config_.degraded_staleness;
   scan_broker_ = std::make_unique<comm::ScanBroker>(
       registry_.get(), comm_.get(), loop_.get(), broker_options);
   locks_ = std::make_unique<sync::LockManager>(loop_.get());
   prober_ = std::make_unique<sync::Prober>(comm_.get(), registry_.get(),
                                            loop_.get());
+  if (config_.health_supervision) {
+    health_ = std::make_unique<HealthSupervisor>(registry_.get(), comm_.get(),
+                                                 loop_.get(), config_.health);
+    comm_->set_health(health_.get());
+    scan_broker_->set_health(health_.get());
+  }
   catalog_ = std::make_unique<query::Catalog>();
 
   query::ContinuousQueryExecutor::Options options;
@@ -45,9 +52,20 @@ Aorta::Aorta(Config config) : config_(config), rng_(config.seed) {
   options.use_probing = config_.use_probing;
   options.use_locks = config_.use_locks;
   options.max_retries = config_.max_retries;
+  options.health = health_.get();
   executor_ = std::make_unique<query::ContinuousQueryExecutor>(
       registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
       locks_.get(), loop_.get(), catalog_.get(), rng_.fork(), options);
+  if (health_ != nullptr) {
+    // Surface quarantine/recovery next to query events in the trace.
+    health_->set_transition_hook([this](const device::DeviceId& id,
+                                        HealthState from, HealthState to) {
+      executor_->record_trace(query::TraceEntry{
+          loop_->now(), "", "health",
+          id + ": " + std::string(health_state_name(from)) + " -> " +
+              std::string(health_state_name(to))});
+    });
+  }
 
   register_builtin_types();
   register_builtin_functions();
@@ -311,6 +329,80 @@ Result<ExecResult> Aorta::exec_ddl(query::Statement& s, const std::string& sql,
 
 void Aorta::run_for(Duration span) { loop_->run_for(span); }
 
+Status Aorta::apply_fault_plan(const util::FaultPlan& plan) {
+  // Validate every target up front so a typo in a plan file fails the
+  // whole apply instead of silently no-opping one event mid-run.
+  for (const util::FaultEvent& e : plan.events) {
+    switch (e.kind) {
+      case util::FaultEvent::Kind::kCrash:
+      case util::FaultEvent::Kind::kRevive:
+      case util::FaultEvent::Kind::kGlitchSpike:
+        if (registry_->find(e.target) == nullptr) {
+          return aorta::util::not_found_error(
+              "fault plan targets unknown device: " + e.target);
+        }
+        break;
+      case util::FaultEvent::Kind::kPartition:
+      case util::FaultEvent::Kind::kHeal:
+      case util::FaultEvent::Kind::kLossSpike:
+        if (!network_->attached(e.target)) {
+          return aorta::util::not_found_error(
+              "fault plan targets unattached node: " + e.target);
+        }
+        break;
+    }
+  }
+
+  for (const util::FaultEvent& e : plan.events) {
+    loop_->schedule(Duration::seconds(e.at_s), [this, e]() {
+      switch (e.kind) {
+        case util::FaultEvent::Kind::kCrash:
+        case util::FaultEvent::Kind::kRevive: {
+          device::Device* dev = registry_->find(e.target);
+          if (dev != nullptr) {
+            dev->set_online(e.kind == util::FaultEvent::Kind::kRevive);
+          }
+          break;
+        }
+        case util::FaultEvent::Kind::kPartition:
+          network_->partition(e.target);
+          break;
+        case util::FaultEvent::Kind::kHeal:
+          network_->heal(e.target);
+          break;
+        case util::FaultEvent::Kind::kLossSpike: {
+          // Capture the link as it is *now* (it may have changed since the
+          // plan was applied) and restore it when the spike interval ends.
+          const net::LinkModel* current = network_->link(e.target);
+          if (current == nullptr) break;
+          net::LinkModel restored = *current;
+          net::LinkModel spiked = restored;
+          spiked.loss_prob = e.prob;
+          (void)network_->set_link(e.target, spiked);
+          loop_->schedule(Duration::seconds(e.for_s), [this, e, restored]() {
+            (void)network_->set_link(e.target, restored);
+          });
+          break;
+        }
+        case util::FaultEvent::Kind::kGlitchSpike: {
+          device::Device* dev = registry_->find(e.target);
+          if (dev == nullptr) break;
+          double restored = dev->reliability().glitch_prob;
+          dev->reliability().glitch_prob = e.prob;
+          loop_->schedule(Duration::seconds(e.for_s), [this, e, restored]() {
+            device::Device* d = registry_->find(e.target);
+            if (d != nullptr) d->reliability().glitch_prob = restored;
+          });
+          break;
+        }
+      }
+      AORTA_LOG(kInfo, "fault")
+          << util::fault_event_kind_name(e.kind) << " " << e.target;
+    });
+  }
+  return Status::ok();
+}
+
 const query::QueryStats* Aorta::query_stats(const std::string& name) const {
   return executor_->query_stats(name);
 }
@@ -320,7 +412,8 @@ query::QueryActionStats Aorta::action_stats(const std::string& name) const {
 }
 
 SystemStats Aorta::stats() const {
-  return SystemStats{locks_->stats(), prober_->stats(), network_->stats()};
+  return SystemStats{locks_->stats(), prober_->stats(), network_->stats(),
+                     comm_->engine().rpc().stats()};
 }
 
 }  // namespace aorta::core

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "comm/comm_module.h"
+#include "core/health.h"
 #include "devices/camera.h"
 #include "devices/mote.h"
 #include "devices/phone.h"
@@ -29,6 +30,7 @@
 #include "query/parser.h"
 #include "sync/lock_manager.h"
 #include "sync/prober.h"
+#include "util/fault_plan.h"
 
 namespace aorta::core {
 
@@ -53,6 +55,16 @@ struct Config {
   // instead of a new radio round trip. Zero disables caching (in-flight
   // dedup still applies).
   aorta::util::Duration scan_freshness = aorta::util::Duration::zero();
+  // Device health supervision: per-device Healthy/Suspect/Quarantined
+  // state machine fed by read/probe/action outcomes. Quarantined devices
+  // are skipped by broker sweeps and action scheduling and re-probed with
+  // capped exponential backoff instead of every epoch.
+  bool health_supervision = true;
+  HealthOptions health;
+  // Degraded-mode results: a quarantined device's sensory attrs are served
+  // last-known-good up to this age, with the tuples (and their rows and
+  // server deliveries) tagged degraded. Zero disables degraded serving.
+  aorta::util::Duration degraded_staleness = aorta::util::Duration::seconds(30.0);
 };
 
 // Result of exec(): DDL statements return a message; SELECT returns rows.
@@ -76,6 +88,7 @@ struct SystemStats {
   sync::LockStats locks;
   sync::ProbeStats probes;
   net::NetworkStats network;
+  net::RpcStats rpc;
 };
 
 class Aorta {
@@ -133,6 +146,12 @@ class Aorta {
   // time passes).
   void run_for(aorta::util::Duration span);
 
+  // Schedule a fault plan's events on the event loop, relative to the
+  // current simulated time. Targets are validated up front (unknown
+  // devices are an error); the events then fire deterministically as the
+  // simulation advances. May be called multiple times (plans compose).
+  aorta::util::Status apply_fault_plan(const util::FaultPlan& plan);
+
   // ---- statistics / internals ----------------------------------------------
   const query::QueryStats* query_stats(const std::string& name) const;
   query::QueryActionStats action_stats(const std::string& name) const;
@@ -146,6 +165,9 @@ class Aorta {
   const comm::ScanBroker& scan_broker() const { return *scan_broker_; }
   sync::LockManager& locks() { return *locks_; }
   sync::Prober& prober() { return *prober_; }
+  // nullptr when Config::health_supervision is off.
+  HealthSupervisor* health() { return health_.get(); }
+  const HealthSupervisor* health() const { return health_.get(); }
   query::Catalog& catalog() { return *catalog_; }
   query::ContinuousQueryExecutor& executor() { return *executor_; }
 
@@ -170,6 +192,7 @@ class Aorta {
   std::unique_ptr<comm::ScanBroker> scan_broker_;
   std::unique_ptr<sync::LockManager> locks_;
   std::unique_ptr<sync::Prober> prober_;
+  std::unique_ptr<HealthSupervisor> health_;
   std::unique_ptr<query::Catalog> catalog_;
   std::unique_ptr<query::ContinuousQueryExecutor> executor_;
   std::map<std::string, std::string> virtual_files_;

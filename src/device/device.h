@@ -64,10 +64,15 @@ class Device : public net::Endpoint {
   void bind(net::Network* network, aorta::util::EventLoop* loop,
             aorta::util::Rng rng);
 
-  // Power switch. An offline device never replies (probes time out), which
-  // is how the prober detects departure.
+  // Power switch. An offline device never replies; the network sees the
+  // dead interface (accepting() below) and fails requests to it fast.
   void set_online(bool online) { online_ = online; }
   bool online() const { return online_; }
+
+  // net::Endpoint: an offline device stops accepting traffic, so requests
+  // to it bounce instead of timing out at full duration — including
+  // requests already in flight when the power was cut.
+  bool accepting() const override { return online_; }
 
   Reliability& reliability() { return reliability_; }
   const DeviceOpStats& op_stats() const { return op_stats_; }

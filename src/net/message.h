@@ -29,6 +29,12 @@ struct Message {
   // Correlates requests with responses (0 = one-way message).
   std::uint64_t request_id = 0;
 
+  // True for the request half of an RPC (set by RpcClient::call). The
+  // network bounces undeliverable requests back to the caller as
+  // "rpc_unreachable" so it can fail fast instead of waiting out the
+  // timeout; replies and one-way messages are never bounced.
+  bool is_request = false;
+
   std::string field(const std::string& key, const std::string& fallback = "") const {
     auto it = fields.find(key);
     return it == fields.end() ? fallback : it->second;

@@ -69,6 +69,11 @@ Status Network::set_link(const NodeId& id, LinkModel link) {
   return Status::ok();
 }
 
+const LinkModel* Network::link(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second.link;
+}
+
 double Network::sample_delay_s(const LinkModel& link, std::size_t bytes) {
   double latency = link.latency_mean_s;
   if (link.latency_jitter_s > 0.0) {
@@ -85,9 +90,12 @@ void Network::send(Message msg) {
   auto dst_it = nodes_.find(msg.dst);
   if (dst_it == nodes_.end()) {
     ++stats_.dropped_no_route;
+    bounce(msg);
     return;
   }
   if (is_partitioned(msg.src) || is_partitioned(msg.dst)) {
+    // Partitions are indistinguishable from loss to the sender (a phone
+    // out of coverage does not NAK); no bounce.
     ++stats_.dropped_partition;
     return;
   }
@@ -116,15 +124,44 @@ void Network::send(Message msg) {
                     auto it = nodes_.find(dst);
                     if (it == nodes_.end()) {
                       ++stats_.dropped_no_route;
+                      bounce(m);
                       return;
                     }
                     if (is_partitioned(dst)) {
                       ++stats_.dropped_partition;
                       return;
                     }
+                    if (!it->second.endpoint->accepting()) {
+                      // Attached but powered off: the physical layer sees
+                      // the dead interface immediately, so requests fail
+                      // fast instead of burning the full RPC timeout.
+                      ++stats_.dropped_offline;
+                      bounce(m);
+                      return;
+                    }
                     ++stats_.delivered;
                     it->second.endpoint->on_message(m);
                   });
+}
+
+void Network::bounce(const Message& msg) {
+  if (!msg.is_request || msg.request_id == 0) return;
+  if (nodes_.find(msg.src) == nodes_.end()) return;
+  Message notice;
+  notice.src = msg.dst;
+  notice.dst = msg.src;
+  notice.kind = "rpc_unreachable";
+  notice.request_id = msg.request_id;
+  notice.payload_bytes = 0;
+  ++stats_.bounced;
+  // Delivered directly to the caller's endpoint (no link traversal: this
+  // models the local stack reporting an unreachable peer, not a packet).
+  NodeId src = msg.src;
+  loop_->schedule(Duration::zero(), [this, src, notice = std::move(notice)]() {
+    auto it = nodes_.find(src);
+    if (it == nodes_.end()) return;
+    it->second.endpoint->on_message(notice);
+  });
 }
 
 }  // namespace aorta::net

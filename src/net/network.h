@@ -41,6 +41,11 @@ class Endpoint {
  public:
   virtual ~Endpoint() = default;
   virtual void on_message(const Message& msg) = 0;
+
+  // Whether the node currently accepts traffic. Powered-off devices return
+  // false: messages to them are counted dropped_offline and requests are
+  // bounced back to the caller (fail fast instead of a silent timeout).
+  virtual bool accepting() const { return true; }
 };
 
 struct NetworkStats {
@@ -49,6 +54,8 @@ struct NetworkStats {
   std::uint64_t dropped_loss = 0;       // random loss on a link
   std::uint64_t dropped_no_route = 0;   // destination not attached
   std::uint64_t dropped_partition = 0;  // destination partitioned away
+  std::uint64_t dropped_offline = 0;    // destination attached but offline
+  std::uint64_t bounced = 0;            // requests bounced as rpc_unreachable
 };
 
 class Network {
@@ -64,6 +71,10 @@ class Network {
 
   // Replace a node's link model in place (e.g. degrade a mote's radio).
   aorta::util::Status set_link(const NodeId& id, LinkModel link);
+
+  // The current link model of an attached node (nullptr if not attached).
+  // Fault plans read it to restore a link after a loss spike.
+  const LinkModel* link(const NodeId& id) const;
 
   // Partition a node: it stays attached but all traffic to/from it is
   // dropped (a phone out of coverage). heal() reverses it.
@@ -87,6 +98,10 @@ class Network {
 
   // Sampled one-way delay across a link for a message of `bytes` size.
   double sample_delay_s(const LinkModel& link, std::size_t bytes);
+
+  // Return an undeliverable request to its sender as "rpc_unreachable" so
+  // the RPC layer can fail it fast. No-op for non-request messages.
+  void bounce(const Message& msg);
 
   aorta::util::EventLoop* loop_;
   aorta::util::Rng rng_;

@@ -1,8 +1,16 @@
 #include "net/rpc.h"
 
+#include "util/logging.h"
+
 namespace aorta::net {
 
 using aorta::util::Result;
+
+namespace {
+// Bound on the timed-out id memory: enough to recognise any straggler
+// that is still in flight, without growing with total call count.
+constexpr std::size_t kTimedOutMemory = 1024;
+}  // namespace
 
 void RpcClient::call(NodeId dst, std::string kind,
                      std::map<std::string, std::string> fields,
@@ -17,6 +25,7 @@ void RpcClient::call(NodeId dst, std::string kind,
   msg.fields = std::move(fields);
   msg.request_id = id;
   msg.payload_bytes = payload_bytes;
+  msg.is_request = true;
 
   aorta::util::EventId timeout_event = network_->loop().schedule(
       timeout, [this, id]() {
@@ -24,7 +33,11 @@ void RpcClient::call(NodeId dst, std::string kind,
         if (it == pending_.end()) return;  // reply won the race
         RpcCallback cb = std::move(it->second.callback);
         pending_.erase(it);
-        ++timeouts_;
+        ++stats_.timeouts;
+        if (timed_out_.size() >= kTimedOutMemory) {
+          timed_out_.erase(timed_out_.begin());
+        }
+        timed_out_.insert(id);
         cb(Result<Message>(aorta::util::timeout_error(
             "rpc request " + std::to_string(id) + " timed out")));
       });
@@ -36,11 +49,30 @@ void RpcClient::call(NodeId dst, std::string kind,
 bool RpcClient::on_reply(const Message& msg) {
   if (msg.request_id == 0) return false;
   auto it = pending_.find(msg.request_id);
-  if (it == pending_.end()) return false;  // late reply after timeout
+  if (it == pending_.end()) {
+    // Not pending: either a late reply to a call whose timeout already
+    // fired, or not ours at all. Late replies are consumed (a stale
+    // reply must not masquerade as a device-initiated push) and counted.
+    auto late = timed_out_.find(msg.request_id);
+    if (late == timed_out_.end()) return false;
+    timed_out_.erase(late);
+    ++stats_.late_replies;
+    AORTA_LOG(kDebug, "rpc")
+        << "late reply from " << msg.src << " for request "
+        << msg.request_id << " (already timed out)";
+    return true;
+  }
   network_->loop().cancel(it->second.timeout_event);
   RpcCallback cb = std::move(it->second.callback);
   pending_.erase(it);
-  ++completed_;
+  if (msg.kind == "rpc_unreachable") {
+    // The network bounced the request: destination offline or detached.
+    ++stats_.unreachable;
+    cb(Result<Message>(aorta::util::unavailable_error(
+        "device unreachable: " + msg.src)));
+    return true;
+  }
+  ++stats_.completed;
   cb(Result<Message>(msg));
   return true;
 }

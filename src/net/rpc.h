@@ -10,14 +10,24 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "net/network.h"
 #include "util/status.h"
 
 namespace aorta::net {
 
-// Completion callback: a reply Message or a kTimeout status.
+// Completion callback: a reply Message, a kTimeout status, or a
+// kUnavailable status when the network bounced the request (destination
+// offline or detached).
 using RpcCallback = std::function<void(aorta::util::Result<Message>)>;
+
+struct RpcStats {
+  std::uint64_t completed = 0;     // replies delivered to callers
+  std::uint64_t timeouts = 0;      // calls that expired with no reply
+  std::uint64_t late_replies = 0;  // replies that lost the race to a timeout
+  std::uint64_t unreachable = 0;   // calls failed fast by a network bounce
+};
 
 // Client half. Owns a node id on the network and demultiplexes replies by
 // request_id. The owner must route inbound messages for that node id to
@@ -34,12 +44,14 @@ class RpcClient {
             std::size_t payload_bytes = 64);
 
   // Feed a message received on the owner's endpoint. Returns true if it
-  // was a reply to an outstanding call (and was consumed).
+  // was a reply to an outstanding or recently-timed-out call (and was
+  // consumed — late replies must not leak to the push handler).
   bool on_reply(const Message& msg);
 
   const NodeId& self() const { return self_; }
-  std::uint64_t timeouts() const { return timeouts_; }
-  std::uint64_t completed() const { return completed_; }
+  const RpcStats& stats() const { return stats_; }
+  std::uint64_t timeouts() const { return stats_.timeouts; }
+  std::uint64_t completed() const { return stats_.completed; }
 
  private:
   struct Pending {
@@ -51,8 +63,10 @@ class RpcClient {
   NodeId self_;
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, Pending> pending_;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t completed_ = 0;
+  // Request ids whose timeout already fired, kept (bounded) so a straggler
+  // reply is recognised and counted instead of silently dropped.
+  std::set<std::uint64_t> timed_out_;
+  RpcStats stats_;
 };
 
 // Server-side helper: build a reply to `request` with the same request_id.

@@ -41,6 +41,38 @@ void ActionOperator::flush(std::function<void()> done) {
   }
   std::vector<sched::ActionRequest> batch = std::move(pending_);
   pending_.clear();
+
+  // Health supervision: drop quarantined devices from candidate lists
+  // before probing, so neither a probe nor an action attempt is wasted on
+  // a device the supervisor already isolated.
+  if (options_.health != nullptr) {
+    std::vector<sched::ActionRequest> admitted;
+    for (auto& r : batch) {
+      std::vector<device::DeviceId> live;
+      for (auto& c : r.candidates) {
+        if (options_.health->is_quarantined(c)) {
+          ++stats_.quarantine_filtered;
+        } else {
+          live.push_back(c);
+        }
+      }
+      if (live.empty()) {
+        ++query_stats_[r.query_id].no_candidate;
+        if (trace_) {
+          trace_(r.query_id, "outcome",
+                 action_->name + ": no candidate (all quarantined)");
+        }
+        continue;
+      }
+      r.candidates = std::move(live);
+      admitted.push_back(std::move(r));
+    }
+    batch = std::move(admitted);
+    if (batch.empty()) {
+      done();
+      return;
+    }
+  }
   ++stats_.batches;
   stats_.batch_size.add(static_cast<double>(batch.size()));
 
@@ -199,8 +231,15 @@ void ActionOperator::run_batch(std::vector<sched::ActionRequest> batch,
           QueryActionStats& qs = query_stats_[r.query_id];
           auto it = report.outcomes.find(r.id);
           const bool failed = it == report.outcomes.end() || !it->second.ok;
+          const sched::ScheduledItem* item = schedule_copy->find(r.id);
+          // Feed health supervision per attempt on the scheduled device
+          // (a degraded-but-delivered result still counts as the device
+          // responding).
+          if (options_.health != nullptr && item != nullptr) {
+            options_.health->report(
+                item->device, device::HealthOutcomeKind::kAction, !failed);
+          }
           if (failed && attempt < options_.max_retries) {
-            const sched::ScheduledItem* item = schedule_copy->find(r.id);
             sched::ActionRequest next = r;
             if (item != nullptr) {
               std::erase(next.candidates, item->device);
@@ -219,7 +258,6 @@ void ActionOperator::run_batch(std::vector<sched::ActionRequest> batch,
             ++qs.degraded;
           }
           if (trace_) {
-            const sched::ScheduledItem* item = schedule_copy->find(r.id);
             std::string where = item == nullptr ? "?" : item->device;
             std::string what =
                 failed ? "failed"

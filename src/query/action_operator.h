@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 
+#include "device/health.h"
 #include "query/catalog.h"
 #include "sched/scheduler.h"
 #include "sync/lock_manager.h"
@@ -42,6 +43,9 @@ struct ActionOperatorStats {
   std::uint64_t batches = 0;
   std::uint64_t requests = 0;
   std::uint64_t retries = 0;  // failover re-dispatches
+  // Candidates removed before probing because their device is quarantined
+  // (health supervision saves the probe *and* the doomed action attempt).
+  std::uint64_t quarantine_filtered = 0;
   aorta::util::Summary batch_size;
   aorta::util::Summary service_makespan_s;
   aorta::util::Summary actual_makespan_s;
@@ -55,6 +59,10 @@ class ActionOperator {
     // Failover rounds: a request whose action fails on its selected device
     // is rescheduled on its remaining candidates up to this many times.
     int max_retries = 1;
+    // Health supervision (nullable = off): quarantined devices are removed
+    // from candidate lists before probing, and per-device action outcomes
+    // are reported back.
+    device::HealthView* health = nullptr;
   };
 
   ActionOperator(const ActionDef* action, sync::Prober* prober,

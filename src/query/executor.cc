@@ -194,6 +194,7 @@ ActionOperator* ContinuousQueryExecutor::operator_for(const ActionDef* action) {
   op_options.use_probing = options_.use_probing;
   op_options.use_locks = options_.use_locks;
   op_options.max_retries = options_.max_retries;
+  op_options.health = options_.health;
   auto op = std::make_unique<ActionOperator>(action, prober_, locks_, registry_,
                                              loop_, scheduler_.get(),
                                              rng_.fork(), op_options);
@@ -262,7 +263,8 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
   if (!fire) return;
   ++aq.stats.events;
   record_trace(TraceEntry{loop_->now(), aq.name, "event",
-                          "device " + tuple.source_device()});
+                          "device " + tuple.source_device() +
+                              (tuple.degraded() ? " (degraded)" : "")});
 
   // Materialize the query's projections against the event tuple — the
   // continuous result stream of a monitoring query.
@@ -274,7 +276,7 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
       row.emplace_back(cq.projections[i]->to_string(),
                        v.is_ok() ? std::move(v).value() : device::Value{});
     }
-    TimestampedRow stamped{loop_->now(), std::move(row)};
+    TimestampedRow stamped{loop_->now(), std::move(row), tuple.degraded()};
     if (aq.hooks.on_row) aq.hooks.on_row(aq.name, stamped);
     aq.results.push_back(std::move(stamped));
     while (aq.results.size() > kResultCap) aq.results.pop_front();

@@ -44,10 +44,13 @@ struct EvalStats {
 // One projected row of a one-shot SELECT.
 using Row = std::vector<std::pair<std::string, device::Value>>;
 
-// A row produced by a continuous query at event time.
+// A row produced by a continuous query at event time. `degraded` marks
+// rows evaluated over last-known-good values from a quarantined device
+// (the broker's degradation marker, carried to server deliveries).
 struct TimestampedRow {
   aorta::util::TimePoint at;
   Row row;
+  bool degraded = false;
 };
 
 // One entry of the engine's event trace (observability: what happened,
@@ -67,6 +70,8 @@ class ContinuousQueryExecutor {
     bool use_probing = true;  // Section 6.2 ablations
     bool use_locks = true;
     int max_retries = 1;  // failover rounds per failed action request
+    // Health supervision (nullable = off), forwarded to action operators.
+    device::HealthView* health = nullptr;
   };
 
   // Multi-tenant hooks a query can be registered with (src/server): an

@@ -238,8 +238,11 @@ void QueryService::dispatch(Submission submission) {
     d.at = row.at;
     d.query = query;
     d.rows.push_back(row.row);
+    d.degraded = row.degraded;
     it->second->deliver(std::move(d));
-    ++tenants_[it->second->tenant()].rows_delivered;
+    TenantStats& row_ts = tenants_[it->second->tenant()];
+    ++row_ts.rows_delivered;
+    if (row.degraded) ++row_ts.rows_degraded;
   };
 
   auto alive = alive_;
@@ -342,7 +345,8 @@ std::string QueryService::stats_json() const {
         "\"rpcs_coalesced\": %llu, \"cache_hits\": %llu, "
         "\"read_failures\": %llu, \"tuples_delivered\": %llu, "
         "\"deliveries\": %llu, \"devices_skipped\": %llu, "
-        "\"subscribers\": %zu}",
+        "\"quarantined_skips\": %llu, \"degraded_reads\": %llu, "
+        "\"degraded_tuples\": %llu, \"subscribers\": %zu}",
         type.c_str(), static_cast<unsigned long long>(bs.batches),
         static_cast<unsigned long long>(bs.rpcs_issued),
         static_cast<unsigned long long>(bs.rpcs_coalesced),
@@ -351,9 +355,54 @@ std::string QueryService::stats_json() const {
         static_cast<unsigned long long>(bs.tuples_delivered),
         static_cast<unsigned long long>(bs.deliveries),
         static_cast<unsigned long long>(bs.devices_skipped),
+        static_cast<unsigned long long>(bs.quarantined_skips),
+        static_cast<unsigned long long>(bs.degraded_reads),
+        static_cast<unsigned long long>(bs.degraded_tuples),
         broker.subscriber_count(type));
   }
   out += first_type ? "}\n  },\n" : "\n    }\n  },\n";
+
+  // Transport counters: what the simulated radio did to the service's
+  // traffic, including replies that arrived after their RPC timed out and
+  // requests bounced off offline devices.
+  const core::SystemStats sys = system_->stats();
+  out += str_format(
+      "  \"network\": {\"sent\": %llu, \"delivered\": %llu, "
+      "\"dropped_loss\": %llu, \"dropped_no_route\": %llu, "
+      "\"dropped_partition\": %llu, \"dropped_offline\": %llu, "
+      "\"bounced\": %llu, \"rpc\": {\"completed\": %llu, "
+      "\"timeouts\": %llu, \"late_replies\": %llu, "
+      "\"unreachable\": %llu}},\n",
+      static_cast<unsigned long long>(sys.network.sent),
+      static_cast<unsigned long long>(sys.network.delivered),
+      static_cast<unsigned long long>(sys.network.dropped_loss),
+      static_cast<unsigned long long>(sys.network.dropped_no_route),
+      static_cast<unsigned long long>(sys.network.dropped_partition),
+      static_cast<unsigned long long>(sys.network.dropped_offline),
+      static_cast<unsigned long long>(sys.network.bounced),
+      static_cast<unsigned long long>(sys.rpc.completed),
+      static_cast<unsigned long long>(sys.rpc.timeouts),
+      static_cast<unsigned long long>(sys.rpc.late_replies),
+      static_cast<unsigned long long>(sys.rpc.unreachable));
+
+  // Device health supervision (core/health.h).
+  if (const core::HealthSupervisor* health = system_->health()) {
+    const core::HealthStats& hs = health->stats();
+    out += str_format(
+        "  \"health\": {\"enabled\": true, \"quarantined\": %zu, "
+        "\"reports_ok\": %llu, \"reports_failed\": %llu, "
+        "\"quarantines\": %llu, \"recoveries\": %llu, "
+        "\"probes_sent\": %llu, \"probes_failed\": %llu},\n",
+        health->quarantined_count(),
+        static_cast<unsigned long long>(hs.reports_ok),
+        static_cast<unsigned long long>(hs.reports_failed),
+        static_cast<unsigned long long>(hs.quarantines),
+        static_cast<unsigned long long>(hs.recoveries),
+        static_cast<unsigned long long>(hs.probes_sent),
+        static_cast<unsigned long long>(hs.probes_failed));
+  } else {
+    out += "  \"health\": {\"enabled\": false},\n";
+  }
 
   // Compiled evaluation: how much per-row expression work runs through
   // slot-resolved programs vs the tree-walking fallback
@@ -383,7 +432,8 @@ std::string QueryService::stats_json() const {
         "    \"%s\": {\"submitted\": %llu, \"admitted\": %llu, "
         "\"rejected\": %llu, \"shed\": %llu, \"dispatched\": %llu, "
         "\"completed\": %llu, \"errors\": %llu, \"rows\": %llu, "
-        "\"outcomes\": %llu, \"mailbox_dropped\": %llu, "
+        "\"rows_degraded\": %llu, \"outcomes\": %llu, "
+        "\"mailbox_dropped\": %llu, "
         "\"admission_latency_ms\": {\"count\": %zu, \"p50\": %.3f, "
         "\"p99\": %.3f, \"max\": %.3f}}",
         tenant.c_str(), static_cast<unsigned long long>(ts.submitted),
@@ -394,6 +444,7 @@ std::string QueryService::stats_json() const {
         static_cast<unsigned long long>(ts.completed),
         static_cast<unsigned long long>(ts.errors),
         static_cast<unsigned long long>(ts.rows_delivered),
+        static_cast<unsigned long long>(ts.rows_degraded),
         static_cast<unsigned long long>(ts.outcomes_delivered),
         static_cast<unsigned long long>(mailbox_dropped[tenant]), lat.count(),
         lat.empty() ? 0.0 : lat.percentile(50.0),

@@ -49,6 +49,7 @@ struct TenantStats {
   std::uint64_t completed = 0;  // statements that returned a result
   std::uint64_t errors = 0;
   std::uint64_t rows_delivered = 0;
+  std::uint64_t rows_degraded = 0;  // rows carrying the degradation marker
   std::uint64_t outcomes_delivered = 0;
   aorta::util::Summary admission_latency_ms;  // enqueue -> dispatch
 };

@@ -38,6 +38,9 @@ struct Delivery {
   std::string query;               // kRow / kOutcome: owning AQ name
   std::string message;             // result message / error / outcome detail
   std::vector<query::Row> rows;    // kResult: SELECT rows; kRow: one row
+  // kRow: the row was evaluated over last-known-good values because its
+  // source device is quarantined (the broker's degradation marker).
+  bool degraded = false;
 };
 
 enum class SessionState { kActive, kDraining, kClosed };

@@ -1,0 +1,114 @@
+#include "util/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace aorta::util {
+
+namespace {
+
+bool kind_from_name(std::string_view name, FaultEvent::Kind* out) {
+  if (name == "crash") *out = FaultEvent::Kind::kCrash;
+  else if (name == "revive") *out = FaultEvent::Kind::kRevive;
+  else if (name == "partition") *out = FaultEvent::Kind::kPartition;
+  else if (name == "heal") *out = FaultEvent::Kind::kHeal;
+  else if (name == "loss") *out = FaultEvent::Kind::kLossSpike;
+  else if (name == "glitch") *out = FaultEvent::Kind::kGlitchSpike;
+  else return false;
+  return true;
+}
+
+bool is_spike(FaultEvent::Kind k) {
+  return k == FaultEvent::Kind::kLossSpike ||
+         k == FaultEvent::Kind::kGlitchSpike;
+}
+
+}  // namespace
+
+std::string_view fault_event_kind_name(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRevive:
+      return "revive";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
+    case FaultEvent::Kind::kLossSpike:
+      return "loss";
+    case FaultEvent::Kind::kGlitchSpike:
+      return "glitch";
+  }
+  return "?";
+}
+
+Result<FaultPlan> FaultPlan::from_xml(std::string_view xml) {
+  AORTA_ASSIGN_OR_RETURN_RESULT(std::unique_ptr<XmlNode> root, xml_parse(xml),
+                                FaultPlan);
+  if (root->name != "fault_plan") {
+    return Result<FaultPlan>(
+        parse_error("expected <fault_plan> root, got <" + root->name + ">"));
+  }
+  FaultPlan plan;
+  for (const XmlNode* node : root->children_named("event")) {
+    FaultEvent e;
+    const std::string kind = node->attr("kind");
+    if (!kind_from_name(kind, &e.kind)) {
+      return Result<FaultPlan>(
+          parse_error("unknown fault event kind '" + kind + "'"));
+    }
+    e.target = node->attr("device");
+    if (e.target.empty()) {
+      return Result<FaultPlan>(parse_error(
+          str_format("<event kind=\"%s\"> missing device attribute",
+                     kind.c_str())));
+    }
+    AORTA_ASSIGN_OR_RETURN_RESULT(e.at_s, node->attr_double_checked("at"),
+                                  FaultPlan);
+    AORTA_ASSIGN_OR_RETURN_RESULT(e.for_s, node->attr_double_checked("for"),
+                                  FaultPlan);
+    AORTA_ASSIGN_OR_RETURN_RESULT(e.prob, node->attr_double_checked("prob"),
+                                  FaultPlan);
+    if (e.at_s < 0.0 || e.for_s < 0.0) {
+      return Result<FaultPlan>(parse_error(
+          str_format("<event kind=\"%s\" device=\"%s\"> has negative time",
+                     kind.c_str(), e.target.c_str())));
+    }
+    if (e.prob < 0.0 || e.prob > 1.0) {
+      return Result<FaultPlan>(parse_error(
+          str_format("<event kind=\"%s\" device=\"%s\"> prob out of [0,1]",
+                     kind.c_str(), e.target.c_str())));
+    }
+    if (is_spike(e.kind) && e.for_s <= 0.0) {
+      return Result<FaultPlan>(parse_error(
+          str_format("<event kind=\"%s\" device=\"%s\"> needs for > 0",
+                     kind.c_str(), e.target.c_str())));
+    }
+    plan.events.push_back(std::move(e));
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+  return plan;
+}
+
+std::string FaultPlan::to_xml() const {
+  std::string out = "<fault_plan>\n";
+  for (const FaultEvent& e : events) {
+    out += str_format("  <event at=\"%g\" kind=\"%s\" device=\"%s\"",
+                      e.at_s, std::string(fault_event_kind_name(e.kind)).c_str(),
+                      xml_escape(e.target).c_str());
+    if (is_spike(e.kind)) {
+      out += str_format(" prob=\"%g\" for=\"%g\"", e.prob, e.for_s);
+    }
+    out += "/>\n";
+  }
+  out += "</fault_plan>\n";
+  return out;
+}
+
+}  // namespace aorta::util

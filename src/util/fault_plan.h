@@ -1,0 +1,65 @@
+// Scripted fault injection: chaos scenarios as data.
+//
+// A FaultPlan is an ordered list of timed fault events — crash/revive a
+// device, partition/heal its link, spike a link's loss rate or a device's
+// glitch probability over an interval — loaded from an XML document the
+// same way device profiles are. The plan itself is pure data; core::Aorta
+// applies it by scheduling the events deterministically on the event loop
+// (see Aorta::apply_fault_plan), so the same seed plus the same plan
+// always yields the same run.
+//
+// Schema:
+//   <fault_plan>
+//     <event at="10" kind="crash" device="m1"/>
+//     <event at="40" kind="revive" device="m1"/>
+//     <event at="15" kind="partition" device="m2"/>
+//     <event at="25" kind="heal" device="m2"/>
+//     <event at="50" kind="loss" device="m2" prob="0.9" for="10"/>
+//     <event at="60" kind="glitch" device="cam1" prob="0.5" for="5"/>
+//   </fault_plan>
+//
+// `at` is seconds from the moment the plan is applied; `for` (loss/glitch
+// spikes only) is the interval length in seconds after which the original
+// value is restored; `prob` is the spiked probability in [0, 1].
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aorta::util {
+
+struct FaultEvent {
+  enum class Kind {
+    kCrash,       // device goes offline
+    kRevive,      // device comes back online
+    kPartition,   // device's link is partitioned from the network
+    kHeal,        // partition is lifted
+    kLossSpike,   // link loss probability spiked to `prob` for `for_s`
+    kGlitchSpike, // device glitch probability spiked to `prob` for `for_s`
+  };
+
+  Kind kind = Kind::kCrash;
+  std::string target;   // device id
+  double at_s = 0.0;    // seconds after the plan is applied
+  double for_s = 0.0;   // spike duration (loss/glitch only)
+  double prob = 0.0;    // spiked probability (loss/glitch only)
+};
+
+std::string_view fault_event_kind_name(FaultEvent::Kind k);
+
+struct FaultPlan {
+  // Events sorted by at_s (stable: document order breaks ties).
+  std::vector<FaultEvent> events;
+
+  // Parse from the XML schema above. Unknown kinds, missing targets,
+  // negative times and out-of-range probabilities are kParseError.
+  static Result<FaultPlan> from_xml(std::string_view xml);
+
+  // Serialize back to the XML schema (round-trips through from_xml).
+  std::string to_xml() const;
+};
+
+}  // namespace aorta::util

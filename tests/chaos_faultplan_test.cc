@@ -1,0 +1,181 @@
+// Scripted fault plans: XML parsing/validation, round-tripping, and the
+// deterministic execution of crash/revive, partition/heal and loss/glitch
+// spikes through Aorta::apply_fault_plan.
+#include <gtest/gtest.h>
+
+#include "core/aorta.h"
+#include "devices/mote.h"
+#include "util/fault_plan.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+using util::FaultEvent;
+using util::FaultPlan;
+
+TEST(FaultPlanTest, ParsesAllKindsAndSortsByTime) {
+  auto plan = FaultPlan::from_xml(
+      "<fault_plan>"
+      "<event at=\"40\" kind=\"revive\" device=\"m1\"/>"
+      "<event at=\"10\" kind=\"crash\" device=\"m1\"/>"
+      "<event at=\"15\" kind=\"partition\" device=\"m2\"/>"
+      "<event at=\"25\" kind=\"heal\" device=\"m2\"/>"
+      "<event at=\"50\" kind=\"loss\" device=\"m2\" prob=\"0.9\" for=\"10\"/>"
+      "<event at=\"60\" kind=\"glitch\" device=\"c1\" prob=\"0.5\" for=\"5\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  const std::vector<FaultEvent>& ev = plan.value().events;
+  ASSERT_EQ(ev.size(), 6u);
+  // Sorted by at_s regardless of document order.
+  EXPECT_EQ(ev[0].kind, FaultEvent::Kind::kCrash);
+  EXPECT_DOUBLE_EQ(ev[0].at_s, 10.0);
+  EXPECT_EQ(ev[0].target, "m1");
+  EXPECT_EQ(ev[1].kind, FaultEvent::Kind::kPartition);
+  EXPECT_EQ(ev[2].kind, FaultEvent::Kind::kHeal);
+  EXPECT_EQ(ev[3].kind, FaultEvent::Kind::kRevive);
+  EXPECT_EQ(ev[4].kind, FaultEvent::Kind::kLossSpike);
+  EXPECT_DOUBLE_EQ(ev[4].prob, 0.9);
+  EXPECT_DOUBLE_EQ(ev[4].for_s, 10.0);
+  EXPECT_EQ(ev[5].kind, FaultEvent::Kind::kGlitchSpike);
+}
+
+TEST(FaultPlanTest, RejectsMalformedPlans) {
+  auto bad = [](const std::string& body) {
+    auto r = FaultPlan::from_xml("<fault_plan>" + body + "</fault_plan>");
+    EXPECT_FALSE(r.is_ok()) << body;
+  };
+  bad("<event at=\"1\" kind=\"meteor\" device=\"m1\"/>");      // unknown kind
+  bad("<event at=\"1\" kind=\"crash\"/>");                     // no device
+  bad("<event at=\"-1\" kind=\"crash\" device=\"m1\"/>");      // negative at
+  bad("<event at=\"1\" kind=\"loss\" device=\"m1\" prob=\"1.5\" for=\"2\"/>");
+  bad("<event at=\"1\" kind=\"loss\" device=\"m1\" prob=\"0.5\"/>");  // no for
+  bad("<event at=\"x\" kind=\"crash\" device=\"m1\"/>");       // non-numeric
+  EXPECT_FALSE(FaultPlan::from_xml("<wrong_root/>").is_ok());
+}
+
+TEST(FaultPlanTest, RoundTripsThroughXml) {
+  auto plan = FaultPlan::from_xml(
+      "<fault_plan>"
+      "<event at=\"10\" kind=\"crash\" device=\"m1\"/>"
+      "<event at=\"50\" kind=\"loss\" device=\"m2\" prob=\"0.25\" for=\"10\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(plan.is_ok());
+  auto again = FaultPlan::from_xml(plan.value().to_xml());
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  ASSERT_EQ(again.value().events.size(), plan.value().events.size());
+  for (std::size_t i = 0; i < again.value().events.size(); ++i) {
+    EXPECT_EQ(again.value().events[i].kind, plan.value().events[i].kind);
+    EXPECT_EQ(again.value().events[i].target, plan.value().events[i].target);
+    EXPECT_DOUBLE_EQ(again.value().events[i].at_s,
+                     plan.value().events[i].at_s);
+    EXPECT_DOUBLE_EQ(again.value().events[i].prob,
+                     plan.value().events[i].prob);
+  }
+}
+
+// ---------------------------------------------------------- apply + run
+
+struct FaultPlanSystemFixture : public ::testing::Test {
+  FaultPlanSystemFixture() {
+    core::Config cfg;
+    cfg.seed = 4;
+    sys = std::make_unique<core::Aorta>(cfg);
+    EXPECT_TRUE(sys->add_mote("m1", {1, 0, 1}).is_ok());
+    sys->mote("m1")->reliability().glitch_prob = 0.0;
+  }
+
+  FaultPlan parse(const std::string& xml) {
+    auto plan = FaultPlan::from_xml(xml);
+    EXPECT_TRUE(plan.is_ok()) << plan.status().to_string();
+    return plan.is_ok() ? std::move(plan).value() : FaultPlan{};
+  }
+
+  std::unique_ptr<core::Aorta> sys;
+};
+
+TEST_F(FaultPlanSystemFixture, ApplyValidatesTargetsUpFront) {
+  FaultPlan plan = parse(
+      "<fault_plan><event at=\"1\" kind=\"crash\" device=\"ghost\"/>"
+      "</fault_plan>");
+  util::Status s = sys->apply_fault_plan(plan);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kNotFound);
+
+  FaultPlan plan2 = parse(
+      "<fault_plan><event at=\"1\" kind=\"partition\" device=\"nowhere\"/>"
+      "</fault_plan>");
+  EXPECT_FALSE(sys->apply_fault_plan(plan2).is_ok());
+}
+
+TEST_F(FaultPlanSystemFixture, CrashAndReviveToggleTheDevice) {
+  FaultPlan plan = parse(
+      "<fault_plan>"
+      "<event at=\"2\" kind=\"crash\" device=\"m1\"/>"
+      "<event at=\"5\" kind=\"revive\" device=\"m1\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(sys->apply_fault_plan(plan).is_ok());
+  EXPECT_TRUE(sys->mote("m1")->online());
+  sys->run_for(Duration::seconds(3));
+  EXPECT_FALSE(sys->mote("m1")->online());
+  sys->run_for(Duration::seconds(3));
+  EXPECT_TRUE(sys->mote("m1")->online());
+}
+
+TEST_F(FaultPlanSystemFixture, PartitionAndHealDriveTheLink) {
+  FaultPlan plan = parse(
+      "<fault_plan>"
+      "<event at=\"1\" kind=\"partition\" device=\"m1\"/>"
+      "<event at=\"4\" kind=\"heal\" device=\"m1\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(sys->apply_fault_plan(plan).is_ok());
+  sys->run_for(Duration::seconds(2));
+  EXPECT_TRUE(sys->network().is_partitioned("m1"));
+  sys->run_for(Duration::seconds(3));
+  EXPECT_FALSE(sys->network().is_partitioned("m1"));
+}
+
+TEST_F(FaultPlanSystemFixture, LossSpikeRestoresTheOriginalLink) {
+  const net::LinkModel* before = sys->network().link("m1");
+  ASSERT_NE(before, nullptr);
+  const double base_loss = before->loss_prob;
+  FaultPlan plan = parse(
+      "<fault_plan>"
+      "<event at=\"1\" kind=\"loss\" device=\"m1\" prob=\"0.99\" for=\"3\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(sys->apply_fault_plan(plan).is_ok());
+  sys->run_for(Duration::seconds(2));
+  EXPECT_DOUBLE_EQ(sys->network().link("m1")->loss_prob, 0.99);
+  sys->run_for(Duration::seconds(3));
+  EXPECT_DOUBLE_EQ(sys->network().link("m1")->loss_prob, base_loss);
+}
+
+TEST_F(FaultPlanSystemFixture, GlitchSpikeRestoresDeviceReliability) {
+  FaultPlan plan = parse(
+      "<fault_plan>"
+      "<event at=\"1\" kind=\"glitch\" device=\"m1\" prob=\"0.8\" for=\"2\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(sys->apply_fault_plan(plan).is_ok());
+  sys->run_for(Duration::seconds(2));
+  EXPECT_DOUBLE_EQ(sys->mote("m1")->reliability().glitch_prob, 0.8);
+  sys->run_for(Duration::seconds(2));
+  EXPECT_DOUBLE_EQ(sys->mote("m1")->reliability().glitch_prob, 0.0);
+}
+
+TEST_F(FaultPlanSystemFixture, PlansCompose) {
+  FaultPlan a = parse(
+      "<fault_plan><event at=\"1\" kind=\"crash\" device=\"m1\"/>"
+      "</fault_plan>");
+  FaultPlan b = parse(
+      "<fault_plan><event at=\"2\" kind=\"revive\" device=\"m1\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(sys->apply_fault_plan(a).is_ok());
+  ASSERT_TRUE(sys->apply_fault_plan(b).is_ok());
+  sys->run_for(Duration::seconds(1.5));
+  EXPECT_FALSE(sys->mote("m1")->online());
+  sys->run_for(Duration::seconds(1));
+  EXPECT_TRUE(sys->mote("m1")->online());
+}
+
+}  // namespace
+}  // namespace aorta

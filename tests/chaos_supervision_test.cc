@@ -1,0 +1,306 @@
+// Chaos tests for device health supervision: the Healthy/Suspect/
+// Quarantined state machine, capped-backoff re-probes, broker degraded
+// serving across a crash/revive cycle, and the degradation marker's path
+// from broker tuples to server deliveries.
+#include <gtest/gtest.h>
+
+#include "core/aorta.h"
+#include "core/health.h"
+#include "devices/mote.h"
+#include "server/service.h"
+
+namespace aorta {
+namespace {
+
+using core::HealthState;
+using device::HealthOutcomeKind;
+using util::Duration;
+
+// ----------------------------------------------------- state machine unit
+
+struct SupervisorFixture : public ::testing::Test {
+  SupervisorFixture()
+      : loop(&clock),
+        network(&loop, util::Rng(1)),
+        registry(&network, &loop, util::Rng(2)),
+        comm(&registry, &network),
+        sup(&registry, &comm, &loop, core::HealthOptions{}) {
+    (void)registry.register_type(devices::sensor_type_info());
+    comm.set_health(&sup);
+  }
+
+  devices::Mica2Mote* add_mote(const std::string& id) {
+    auto mote = std::make_unique<devices::Mica2Mote>(id, device::Location{});
+    mote->reliability().glitch_prob = 0.0;
+    devices::Mica2Mote* raw = mote.get();
+    EXPECT_TRUE(registry.add(std::move(mote)).is_ok());
+    (void)network.set_link(id, net::LinkModel::perfect());
+    return raw;
+  }
+
+  void fail_n(const std::string& id, int n) {
+    for (int i = 0; i < n; ++i) {
+      sup.report(id, HealthOutcomeKind::kRead, false);
+    }
+  }
+
+  util::SimClock clock;
+  util::EventLoop loop;
+  net::Network network;
+  device::DeviceRegistry registry;
+  comm::CommLayer comm;
+  core::HealthSupervisor sup;
+};
+
+TEST_F(SupervisorFixture, ConsecutiveFailuresDemoteThenQuarantine) {
+  add_mote("m1");
+  EXPECT_EQ(sup.state("m1"), HealthState::kHealthy);
+  fail_n("m1", 1);
+  EXPECT_EQ(sup.state("m1"), HealthState::kHealthy);
+  fail_n("m1", 1);  // suspect_after = 2
+  EXPECT_EQ(sup.state("m1"), HealthState::kSuspect);
+  EXPECT_FALSE(sup.is_quarantined("m1"));
+  fail_n("m1", 2);  // quarantine_after = 4
+  EXPECT_EQ(sup.state("m1"), HealthState::kQuarantined);
+  EXPECT_TRUE(sup.is_quarantined("m1"));
+  EXPECT_EQ(sup.quarantined_count(), 1u);
+  EXPECT_EQ(sup.stats().quarantines, 1u);
+}
+
+TEST_F(SupervisorFixture, OneSuccessRecoversASuspect) {
+  add_mote("m1");
+  fail_n("m1", 3);
+  EXPECT_EQ(sup.state("m1"), HealthState::kSuspect);
+  sup.report("m1", HealthOutcomeKind::kAction, true);
+  EXPECT_EQ(sup.state("m1"), HealthState::kHealthy);
+  const core::DeviceHealth* h = sup.device_health("m1");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->consecutive_failures, 0);
+}
+
+TEST_F(SupervisorFixture, FlappingDeviceQuarantinesViaEwma) {
+  // Three failures, one success, repeated: the consecutive-failure run
+  // never reaches quarantine_after (4), but the EWMA success rate sinks
+  // below ewma_quarantine once enough samples accumulate.
+  add_mote("m1");
+  for (int cycle = 0; cycle < 25 && !sup.is_quarantined("m1"); ++cycle) {
+    fail_n("m1", 3);
+    if (sup.is_quarantined("m1")) break;
+    sup.report("m1", HealthOutcomeKind::kRead, true);
+  }
+  EXPECT_TRUE(sup.is_quarantined("m1"));
+  const core::DeviceHealth* h = sup.device_health("m1");
+  ASSERT_NE(h, nullptr);
+  EXPECT_LT(h->ewma, sup.options().ewma_quarantine);
+}
+
+TEST_F(SupervisorFixture, QuarantineProbesBackOffAndRecoverOnRevive) {
+  devices::Mica2Mote* mote = add_mote("m1");
+  mote->set_online(false);
+  fail_n("m1", 4);  // -> quarantined at t=0
+  ASSERT_TRUE(sup.is_quarantined("m1"));
+
+  // Backoff doubles from 2 s and caps at 16 s: probes go out at t = 2, 6,
+  // 14, 30 while the mote stays dead (offline bounces fail them fast).
+  loop.run_for(Duration::seconds(40));
+  EXPECT_EQ(sup.stats().probes_sent, 4u);
+  EXPECT_EQ(sup.stats().probes_failed, 4u);
+  EXPECT_TRUE(sup.is_quarantined("m1"));
+
+  // Revive: the next backoff probe (t = 46) succeeds and recovers it.
+  mote->set_online(true);
+  loop.run_for(Duration::seconds(10));
+  EXPECT_EQ(sup.state("m1"), HealthState::kHealthy);
+  EXPECT_EQ(sup.quarantined_count(), 0u);
+  EXPECT_EQ(sup.stats().probes_sent, 5u);
+  EXPECT_EQ(sup.stats().recoveries, 1u);
+
+  // No stray re-probe keeps running after recovery.
+  std::uint64_t sent = sup.stats().probes_sent;
+  loop.run_for(Duration::seconds(60));
+  EXPECT_EQ(sup.stats().probes_sent, sent);
+}
+
+TEST_F(SupervisorFixture, TransitionHookSeesEveryEdge) {
+  add_mote("m1");
+  std::vector<std::string> edges;
+  sup.set_transition_hook([&](const device::DeviceId& id, HealthState from,
+                              HealthState to) {
+    edges.push_back(id + ":" + std::string(core::health_state_name(from)) +
+                    ">" + std::string(core::health_state_name(to)));
+  });
+  fail_n("m1", 4);
+  sup.report("m1", HealthOutcomeKind::kProbe, true);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], "m1:healthy>suspect");
+  EXPECT_EQ(edges[1], "m1:suspect>quarantined");
+  EXPECT_EQ(edges[2], "m1:quarantined>healthy");
+}
+
+// ------------------------------------------- full-stack crash/revive cycle
+
+struct ChaosSystemFixture : public ::testing::Test {
+  void build(std::uint64_t seed = 5) {
+    core::Config cfg;
+    cfg.seed = seed;
+    sys = std::make_unique<core::Aorta>(cfg);
+    for (int i = 0; i < 3; ++i) {
+      std::string id = "m" + std::to_string(i);
+      ASSERT_TRUE(
+          sys->add_mote(id, {static_cast<double>(i), 0, 1}).is_ok());
+      sys->mote(id)->reliability().glitch_prob = 0.0;
+      (void)sys->mote(id)->set_signal(
+          "temp", devices::constant_signal(20.0 + i));
+      auto link = net::LinkModel::mote_radio();
+      link.loss_prob = 0.0;
+      ASSERT_TRUE(sys->network().set_link(id, link).is_ok());
+    }
+  }
+
+  // Level-triggered monitoring query: one row per device per epoch, with
+  // per-device row/degraded-row counts collected through the AQ row hook.
+  void register_monitor() {
+    core::ExecOptions opt;
+    opt.on_row = [this](const std::string&, const query::TimestampedRow& r) {
+      ASSERT_FALSE(r.row.empty());
+      const std::string* id = std::get_if<std::string>(&r.row[0].second);
+      ASSERT_NE(id, nullptr);
+      ++rows[*id];
+      if (r.degraded) ++degraded_rows[*id];
+    };
+    bool ok = false;
+    sys->exec_async("CREATE AQ mon AS SELECT s.id, s.temp FROM sensor s",
+                    std::move(opt),
+                    [&](util::Result<core::ExecResult> r) { ok = r.is_ok(); });
+    ASSERT_TRUE(ok);  // DDL completes synchronously
+  }
+
+  std::unique_ptr<core::Aorta> sys;
+  std::map<std::string, int> rows;
+  std::map<std::string, int> degraded_rows;
+};
+
+TEST_F(ChaosSystemFixture, CrashedDeviceIsQuarantinedServedDegradedAndRevives) {
+  build();
+  register_monitor();
+
+  sys->run_for(Duration::seconds(10));  // warm: fresh rows from everyone
+  EXPECT_GT(rows["m1"], 5);
+  EXPECT_EQ(degraded_rows["m1"], 0);
+
+  // Crash m1 mid-run. The broker's next sweeps fail its read, the
+  // supervisor quarantines it, and from then on its rows are served
+  // last-known-good and tagged degraded — no more RPCs to the corpse.
+  sys->mote("m1")->set_online(false);
+  sys->run_for(Duration::seconds(20));
+
+  ASSERT_NE(sys->health(), nullptr);
+  EXPECT_TRUE(sys->health()->is_quarantined("m1"));
+  const comm::BrokerTypeStats& bs = sys->scan_broker().stats().at("sensor");
+  EXPECT_GT(bs.quarantined_skips, 0u);
+  EXPECT_GT(bs.degraded_reads, 0u);
+  EXPECT_GT(bs.degraded_tuples, 0u);
+  // Only the pre-quarantine epochs dropped the device from the batch; the
+  // quarantined epochs serve degraded instead of skipping.
+  EXPECT_GT(bs.devices_skipped, 0u);
+  EXPECT_LE(bs.devices_skipped, 6u);
+  EXPECT_GT(degraded_rows["m1"], 0);
+  EXPECT_EQ(degraded_rows["m0"], 0);
+  EXPECT_EQ(degraded_rows["m2"], 0);
+
+  // Revive: a backoff probe recovers the device; the existing broker
+  // subscription resumes fresh (non-degraded) rows without re-registering.
+  std::size_t subscribers = sys->scan_broker().subscriber_count();
+  sys->mote("m1")->set_online(true);
+  sys->run_for(Duration::seconds(20));
+  EXPECT_EQ(sys->health()->state("m1"), HealthState::kHealthy);
+  EXPECT_GE(sys->health()->stats().recoveries, 1u);
+  EXPECT_EQ(sys->scan_broker().subscriber_count(), subscribers);
+
+  int rows_at_recovery = rows["m1"];
+  int degraded_at_recovery = degraded_rows["m1"];
+  sys->run_for(Duration::seconds(5));
+  EXPECT_GT(rows["m1"], rows_at_recovery);             // rows flow again
+  EXPECT_EQ(degraded_rows["m1"], degraded_at_recovery);  // and are fresh
+}
+
+TEST_F(ChaosSystemFixture, SupervisionOffKeepsPayingFullPrice) {
+  core::Config cfg;
+  cfg.seed = 5;
+  cfg.health_supervision = false;
+  sys = std::make_unique<core::Aorta>(cfg);
+  for (int i = 0; i < 2; ++i) {
+    std::string id = "m" + std::to_string(i);
+    ASSERT_TRUE(sys->add_mote(id, {static_cast<double>(i), 0, 1}).is_ok());
+    sys->mote(id)->reliability().glitch_prob = 0.0;
+    (void)sys->mote(id)->set_signal("temp", devices::constant_signal(20.0));
+    auto link = net::LinkModel::mote_radio();
+    link.loss_prob = 0.0;
+    ASSERT_TRUE(sys->network().set_link(id, link).is_ok());
+  }
+  register_monitor();
+  sys->run_for(Duration::seconds(5));
+  sys->mote("m1")->set_online(false);
+  sys->run_for(Duration::seconds(20));
+
+  EXPECT_EQ(sys->health(), nullptr);
+  const comm::BrokerTypeStats& bs = sys->scan_broker().stats().at("sensor");
+  // The ablation baseline: every epoch retries the corpse and skips it.
+  EXPECT_EQ(bs.quarantined_skips, 0u);
+  EXPECT_EQ(bs.degraded_tuples, 0u);
+  EXPECT_GE(bs.read_failures, 15u);
+  EXPECT_EQ(degraded_rows["m1"], 0);
+}
+
+// ------------------------------------------------- marker at the service
+
+TEST(ChaosServerTest, DegradedMarkerReachesDeliveriesAndStats) {
+  core::Config cfg;
+  cfg.seed = 9;
+  core::Aorta sys(cfg);
+  for (int i = 0; i < 2; ++i) {
+    std::string id = "m" + std::to_string(i);
+    ASSERT_TRUE(sys.add_mote(id, {static_cast<double>(i), 0, 1}).is_ok());
+    sys.mote(id)->reliability().glitch_prob = 0.0;
+    (void)sys.mote(id)->set_signal("temp", devices::constant_signal(21.0));
+    auto link = net::LinkModel::mote_radio();
+    link.loss_prob = 0.0;
+    ASSERT_TRUE(sys.network().set_link(id, link).is_ok());
+  }
+
+  server::QueryService service(&sys, server::ServiceConfig{});
+  server::SessionId sid = service.connect("t0");
+  auto submitted = service.submit(
+      sid, "CREATE AQ mon AS SELECT s.id, s.temp FROM sensor s");
+  ASSERT_TRUE(submitted.is_ok());
+
+  sys.run_for(Duration::seconds(10));  // dispatch + warm
+  sys.mote("m1")->set_online(false);
+  sys.run_for(Duration::seconds(20));
+
+  // Every kRow delivery for the quarantined device carries the marker.
+  int degraded_m1 = 0, fresh_m1 = 0, degraded_m0 = 0;
+  for (const server::Delivery& d : service.session(sid)->drain()) {
+    if (d.kind != server::Delivery::Kind::kRow || d.rows.empty()) continue;
+    const std::string* id = std::get_if<std::string>(&d.rows[0][0].second);
+    ASSERT_NE(id, nullptr);
+    if (*id == "m1") {
+      (d.degraded ? degraded_m1 : fresh_m1)++;
+    } else if (d.degraded) {
+      ++degraded_m0;
+    }
+  }
+  EXPECT_GT(degraded_m1, 0);
+  EXPECT_GT(fresh_m1, 0);  // pre-crash rows were fresh
+  EXPECT_EQ(degraded_m0, 0);
+
+  EXPECT_GT(service.tenant_stats().at("t0").rows_degraded, 0u);
+  std::string json = service.stats_json();
+  EXPECT_NE(json.find("\"rows_degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\": {\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_tuples\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aorta

@@ -117,12 +117,32 @@ TEST_F(CommFixture, ConnectFailsForSilentDevice) {
   devices::Mica2Mote* mote = add_mote("m1");
   mote->set_online(false);
   bool failed = false;
+  // Offline devices bounce requests at delivery time (net/network.cc), so
+  // the failure is kUnavailable and arrives before the RPC timeout.
   comm.mote().connect("m1", [&](util::Status s) {
-    failed = s.code() == util::StatusCode::kTimeout;
+    failed = s.code() == util::StatusCode::kUnavailable;
   });
   loop.run_all();
   EXPECT_TRUE(failed);
   EXPECT_FALSE(comm.mote().is_connected("m1"));
+}
+
+TEST_F(CommFixture, ReadFailsFastWhenDeviceGoesOfflineMidFlight) {
+  devices::Mica2Mote* mote = add_mote("m1");
+  net::LinkModel slow = net::LinkModel::perfect();
+  slow.latency_mean_s = 0.050;
+  (void)network.set_link("m1", slow);
+  bool failed = false;
+  comm.mote().read_attr("m1", "temp", [&](util::Result<Value> v) {
+    failed = v.status().code() == util::StatusCode::kUnavailable;
+  });
+  // Power the mote off while the read request is still in flight: the
+  // network bounces it at delivery time instead of letting the RPC sit
+  // until its full timeout.
+  loop.schedule(Duration::millis(10), [&]() { mote->set_online(false); });
+  loop.run_all();
+  EXPECT_TRUE(failed);
+  EXPECT_LT(clock.now().to_seconds(), 0.5);  // well under the RPC timeout
 }
 
 TEST_F(CommFixture, ReadAttrDecodesTypedValues) {

@@ -256,6 +256,79 @@ TEST_F(RpcFixture, LateReplyAfterTimeoutIsIgnored) {
                        });
   loop.run_all();
   EXPECT_EQ(calls, 1);  // exactly once, despite the late reply arriving
+  // The late reply is accounted, not silently dropped.
+  EXPECT_EQ(client_node.rpc.stats().late_replies, 1u);
+  EXPECT_EQ(client_node.rpc.stats().timeouts, 1u);
+}
+
+TEST_F(RpcFixture, LateReplyIsConsumedNotMisroutedAsPush) {
+  Echo slow_echo(&network, &loop, Duration::millis(200));
+  (void)network.attach("slow", &slow_echo, LinkModel::perfect());
+  client_node.rpc.call("slow", "ping", {}, Duration::millis(50),
+                       [](util::Result<Message>) {});
+  // Run past the timeout but stop before the late reply arrives, then
+  // deliver it by hand: on_reply must claim it (returns true) so the
+  // endpoint doesn't forward a stale rpc reply to its push handler.
+  loop.run_for(Duration::millis(100));
+  Message late = make_reply(Message{}, "echo_ack");
+  late.dst = "client";
+  late.request_id = 1;  // first id the client allocated
+  EXPECT_TRUE(client_node.rpc.on_reply(late));
+  EXPECT_EQ(client_node.rpc.stats().late_replies, 1u);
+}
+
+// An endpoint that can refuse delivery, standing in for an offline device.
+class Refusing : public Endpoint {
+ public:
+  void on_message(const Message& msg) override { received.push_back(msg); }
+  bool accepting() const override { return accepting_; }
+  std::vector<Message> received;
+  bool accepting_ = true;
+};
+
+TEST_F(RpcFixture, OfflineEndpointBouncesRequestBeforeTimeout) {
+  Refusing dev;
+  LinkModel slow = LinkModel::perfect();
+  slow.latency_mean_s = 0.050;
+  (void)network.attach("dev", &dev, slow);
+  bool called = false;
+  client_node.rpc.call("dev", "read_attr", {}, Duration::seconds(5),
+                       [&](util::Result<Message> reply) {
+                         called = true;
+                         EXPECT_FALSE(reply.is_ok());
+                         EXPECT_EQ(reply.status().code(),
+                                   util::StatusCode::kUnavailable);
+                       });
+  // The device drops offline while the request is in flight.
+  dev.accepting_ = false;
+  loop.run_all();
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(dev.received.empty());
+  // Fail-fast: the bounce beats the 5 s timeout by a wide margin.
+  EXPECT_LT(clock.now().to_seconds(), 0.5);
+  EXPECT_EQ(network.stats().dropped_offline, 1u);
+  EXPECT_EQ(network.stats().bounced, 1u);
+  EXPECT_EQ(client_node.rpc.stats().unreachable, 1u);
+  EXPECT_EQ(client_node.rpc.stats().timeouts, 0u);
+}
+
+TEST_F(NetFixture, NonRequestMessagesAreNeverBounced) {
+  // One-way pushes carry no request_id contract: an offline receiver just
+  // drops them, it must not synthesize unreachable notices.
+  Recorder src;
+  Refusing dev;
+  dev.accepting_ = false;
+  (void)network.attach("src", &src, LinkModel::perfect());
+  (void)network.attach("dev", &dev, LinkModel::perfect());
+  Message push;
+  push.src = "src";
+  push.dst = "dev";
+  push.kind = "push";
+  network.send(push);
+  loop.run_all();
+  EXPECT_EQ(network.stats().dropped_offline, 1u);
+  EXPECT_EQ(network.stats().bounced, 0u);
+  EXPECT_TRUE(src.received.empty());
 }
 
 TEST_F(RpcFixture, ConcurrentCallsDemultiplexCorrectly) {

@@ -22,7 +22,8 @@ struct RunOutput {
 };
 
 RunOutput run_once(std::uint64_t seed,
-                   Duration freshness = Duration::zero()) {
+                   Duration freshness = Duration::zero(),
+                   const std::string& fault_xml = "") {
   core::Config cfg;
   cfg.seed = seed;
   cfg.shared_scans = true;
@@ -36,6 +37,11 @@ RunOutput run_once(std::uint64_t seed,
                                                   Duration::seconds(7.0),
                                                   Duration::seconds(1.0)));
     (void)sys.mote(id)->set_signal("temp", devices::constant_signal(20.0));
+  }
+  if (!fault_xml.empty()) {
+    auto plan = util::FaultPlan::from_xml(fault_xml);
+    EXPECT_TRUE(plan.is_ok()) << plan.status().to_string();
+    EXPECT_TRUE(sys.apply_fault_plan(plan.value()).is_ok());
   }
 
   server::ServiceConfig sc;
@@ -94,6 +100,31 @@ TEST(ServerDeterminismTest, SharedScanPlaneIsByteIdentical) {
   EXPECT_NE(a.stats_json.find("\"eval\""), std::string::npos);
   EXPECT_NE(a.stats_json.find("\"compiled_evals\""), std::string::npos);
   EXPECT_EQ(a.stats_json.find("\"compiled_evals\": 0,"), std::string::npos);
+}
+
+// Scripted faults must not cost determinism: the same seed plus the same
+// fault plan yields byte-identical stats, including the health-supervision
+// and transport counters the faults exercise.
+TEST(ServerDeterminismTest, SameSeedSameFaultPlanIsByteIdentical) {
+  const std::string plan =
+      "<fault_plan>"
+      "<event at=\"4\" kind=\"crash\" device=\"m1\"/>"
+      "<event at=\"12\" kind=\"revive\" device=\"m1\"/>"
+      "<event at=\"6\" kind=\"loss\" device=\"m2\" prob=\"0.9\" for=\"5\"/>"
+      "<event at=\"8\" kind=\"partition\" device=\"m0\"/>"
+      "<event at=\"10\" kind=\"heal\" device=\"m0\"/>"
+      "</fault_plan>";
+  RunOutput a = run_once(42, Duration::zero(), plan);
+  RunOutput b = run_once(42, Duration::zero(), plan);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  // The chaos counters render into the stats document.
+  EXPECT_NE(a.stats_json.find("\"health\""), std::string::npos);
+  EXPECT_NE(a.stats_json.find("\"network\""), std::string::npos);
+  EXPECT_NE(a.stats_json.find("\"rows_degraded\""), std::string::npos);
+  // And the faults actually changed the run.
+  RunOutput calm = run_once(42);
+  EXPECT_NE(a.stats_json, calm.stats_json);
 }
 
 TEST(ServerDeterminismTest, DifferentSeedsDiverge) {
