@@ -32,6 +32,7 @@
 
 #include "core/aorta.h"
 #include "util/fault_plan.h"
+#include "util/json_writer.h"
 
 namespace {
 
@@ -48,12 +49,6 @@ const char* kPlanXml =
     "<event at=\"20.5\" kind=\"crash\" device=\"m1\"/>"
     "<event at=\"80.5\" kind=\"revive\" device=\"m1\"/>"
     "</fault_plan>";
-
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
 
 struct RowRecord {
   std::int64_t at_us = 0;
@@ -73,10 +68,14 @@ struct ModeResult {
   std::string row_log;                  // serialized rows (determinism)
 };
 
-ModeResult run_mode(bool supervision) {
+// `trace_path`, when set, records the run's span trace (including the
+// quarantine/recovery health transitions) and exports it as a Chrome
+// trace next to the results JSON.
+ModeResult run_mode(bool supervision, const char* trace_path = nullptr) {
   aorta::core::Config cfg;
   cfg.seed = 42;
   cfg.health_supervision = supervision;
+  cfg.tracing = trace_path != nullptr;
   // Cover the whole crash window with last-known-good serving.
   cfg.degraded_staleness = Duration::seconds(90.0);
   aorta::core::Aorta sys(cfg);
@@ -119,6 +118,13 @@ ModeResult run_mode(bool supervision) {
     std::exit(2);
   }
   sys.run_for(Duration::seconds(kSimSeconds));
+  if (trace_path != nullptr) {
+    auto st = sys.tracer().export_file(trace_path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.to_string().c_str());
+    }
+  }
 
   ModeResult m;
   m.delivered = rows.size();
@@ -158,16 +164,19 @@ ModeResult run_mode(bool supervision) {
   return m;
 }
 
-std::string mode_json(const ModeResult& m, double availability) {
-  return std::string("{\"delivered\": ") + std::to_string(m.delivered) +
-         ", \"availability\": " + fmt(availability) +
-         ", \"degraded_rows\": " + std::to_string(m.degraded_rows) +
-         ", \"max_staleness_s\": " + fmt(m.max_staleness_s) +
-         ", \"wasted_rpcs\": " + std::to_string(m.wasted_rpcs) +
-         ", \"quarantines\": " + std::to_string(m.quarantines) +
-         ", \"recoveries\": " + std::to_string(m.recoveries) +
-         ", \"recovery_s\": " + fmt(m.recovery_s) +
-         ", \"marker_ok\": " + (m.marker_ok ? "true" : "false") + "}";
+void mode_json(aorta::util::JsonWriter& w, const ModeResult& m,
+               double availability) {
+  w.begin_object();
+  w.kv("delivered", m.delivered);
+  w.kv("availability", availability);
+  w.kv("degraded_rows", m.degraded_rows);
+  w.kv("max_staleness_s", m.max_staleness_s);
+  w.kv("wasted_rpcs", m.wasted_rpcs);
+  w.kv("quarantines", m.quarantines);
+  w.kv("recoveries", m.recoveries);
+  w.kv("recovery_s", m.recovery_s);
+  w.kv("marker_ok", m.marker_ok);
+  w.end_object();
 }
 
 }  // namespace
@@ -177,7 +186,12 @@ int main() {
               "t=[%g, %g)\n\n",
               kMotes, kSimSeconds, kCrashedMote, kCrashAt, kReviveAt);
 
-  ModeResult on = run_mode(/*supervision=*/true);
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  // The supervised run doubles as the trace-artifact source (health
+  // transition instants show the quarantine window in Perfetto).
+  ModeResult on =
+      run_mode(/*supervision=*/true, "results/bench_chaos_trace.json");
   ModeResult off = run_mode(/*supervision=*/false);
   ModeResult on_again = run_mode(/*supervision=*/true);
   bool deterministic =
@@ -213,20 +227,24 @@ int main() {
   std::printf("%-28s %12s\n", "deterministic",
               deterministic ? "yes" : "NO");
 
-  std::string json =
-      std::string("{\n  \"motes\": ") + std::to_string(kMotes) +
-      ",\n  \"sim_seconds\": " + fmt(kSimSeconds) +
-      ",\n  \"crash_window_s\": [" + fmt(kCrashAt) + ", " + fmt(kReviveAt) +
-      "],\n  \"achievable_rows\": " + fmt(achievable) +
-      ",\n  \"supervision_on\": " + mode_json(on, avail_on) +
-      ",\n  \"supervision_off\": " + mode_json(off, avail_off) +
-      ",\n  \"rpc_saving\": " + fmt(rpc_ratio) +
-      ",\n  \"deterministic\": " + (deterministic ? "true" : "false") +
-      "\n}\n";
-  std::error_code ec;
-  std::filesystem::create_directories("results", ec);
+  aorta::util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("motes", kMotes);
+  w.kv("sim_seconds", kSimSeconds);
+  w.key("crash_window_s").begin_array();
+  w.value(kCrashAt);
+  w.value(kReviveAt);
+  w.end_array();
+  w.kv("achievable_rows", achievable);
+  w.key("supervision_on");
+  mode_json(w, on, avail_on);
+  w.key("supervision_off");
+  mode_json(w, off, avail_off);
+  w.kv("rpc_saving", rpc_ratio);
+  w.kv("deterministic", deterministic);
+  w.end_object();
   std::ofstream out("results/bench_chaos.json");
-  out << json;
+  out << w.str() << '\n';
   std::printf("\nwrote results/bench_chaos.json\n");
 
   int rc = 0;

@@ -26,6 +26,7 @@
 
 #include "query/eval_program.h"
 #include "query/parser.h"
+#include "util/json_writer.h"
 
 namespace {
 
@@ -37,12 +38,6 @@ using aorta::query::ExprPtr;
 using aorta::query::FunctionRegistry;
 
 constexpr int kTuples = 8;
-
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
 
 std::string render(const aorta::util::Result<Value>& r) {
   if (r.is_ok()) return "ok:" + aorta::device::value_to_string(r.value());
@@ -207,25 +202,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string json = "{\n  \"iters\": " + std::to_string(iters) +
-                     ",\n  \"smoke\": " + (smoke ? "true" : "false") +
-                     ",\n  \"points\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    json += "    {\"complexity\": \"" + p.complexity +
-            "\", \"aqs\": " + std::to_string(p.aqs) +
-            ", \"interp_rows_per_sec\": " + fmt(p.interp_rows_per_sec) +
-            ", \"compiled_rows_per_sec\": " + fmt(p.compiled_rows_per_sec) +
-            ", \"speedup\": " + fmt(p.speedup) + "}";
-    json += i + 1 < points.size() ? ",\n" : "\n";
+  aorta::util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("iters", static_cast<std::int64_t>(iters));
+  w.kv("smoke", smoke);
+  w.key("points").begin_array();
+  for (const Point& p : points) {
+    w.begin_object();
+    w.kv("complexity", p.complexity);
+    w.kv("aqs", p.aqs);
+    w.kv("interp_rows_per_sec", p.interp_rows_per_sec);
+    w.kv("compiled_rows_per_sec", p.compiled_rows_per_sec);
+    w.kv("speedup", p.speedup);
+    w.end_object();
   }
-  json += "  ],\n  \"min_speedup_mid\": " + fmt(min_speedup_mid) +
-          ",\n  \"divergences\": " + std::to_string(divergences) + "\n}\n";
+  w.end_array();
+  w.kv("min_speedup_mid", min_speedup_mid);
+  w.kv("divergences", static_cast<std::int64_t>(divergences));
+  w.end_object();
 
   std::error_code ec;
   std::filesystem::create_directories("results", ec);
   std::ofstream out("results/bench_eval.json");
-  out << json;
+  out << w.str() << '\n';
   std::printf("\nwrote results/bench_eval.json\n");
 
   int rc = 0;

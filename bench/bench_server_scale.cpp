@@ -25,6 +25,7 @@
 #include "core/aorta.h"
 #include "server/service.h"
 #include "server/workload_gen.h"
+#include "util/json_writer.h"
 #include "util/stats.h"
 
 namespace {
@@ -121,12 +122,6 @@ double others_goodput_per_s(const RunResult& r, double sim_seconds) {
   return n == 0 ? 0.0 : sum / n / sim_seconds;
 }
 
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
-
 }  // namespace
 
 int main() {
@@ -136,7 +131,9 @@ int main() {
   // ---- Part 1: session sweep ----------------------------------------------
   std::printf("\n%8s %10s %12s %10s %10s %10s %10s\n", "sessions",
               "completed", "thruput/s", "p50_ms", "p99_ms", "shed%", "fair");
-  std::string json = "{\n  \"sweep\": [\n";
+  aorta::util::JsonWriter w(2);
+  w.begin_object();
+  w.key("sweep").begin_array();
   const std::vector<int> sweep = {10, 100, 1000, 10000};
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     int sessions = sweep[i];
@@ -165,25 +162,28 @@ int main() {
     std::printf("%8d %10llu %12.1f %10.3f %10.3f %10.2f %10.2f\n", sessions,
                 static_cast<unsigned long long>(r.completed_total), thruput,
                 p50, p99, shed_pct, fair);
-    json += "    {\"sessions\": " + std::to_string(sessions) +
-            ", \"active_sessions\": " + std::to_string(r.sessions) +
-            ", \"completed\": " + std::to_string(r.completed_total) +
-            ", \"throughput_per_s\": " + fmt(thruput) +
-            ", \"admission_latency_ms\": {\"p50\": " + fmt(p50) +
-            ", \"p99\": " + fmt(p99) + "}" +
-            ", \"shed\": " + std::to_string(r.admission.shed) +
-            ", \"shed_pct\": " + fmt(shed_pct) +
-            ", \"mailbox_dropped\": " + std::to_string(r.mailbox_dropped) +
-            ", \"fairness_max_min\": " + fmt(fair) +
-            ", \"scan_broker\": {\"rpcs_issued\": " +
-            std::to_string(r.broker.rpcs_issued) +
-            ", \"rpcs_coalesced\": " + std::to_string(r.broker.rpcs_coalesced) +
-            ", \"cache_hits\": " + std::to_string(r.broker.cache_hits) +
-            ", \"tuples_delivered\": " +
-            std::to_string(r.broker.tuples_delivered) + "}}";
-    json += i + 1 < sweep.size() ? ",\n" : "\n";
+    w.begin_object();
+    w.kv("sessions", sessions);
+    w.kv("active_sessions", static_cast<std::uint64_t>(r.sessions));
+    w.kv("completed", r.completed_total);
+    w.kv("throughput_per_s", thruput);
+    w.key("admission_latency_ms").begin_object();
+    w.kv("p50", p50);
+    w.kv("p99", p99);
+    w.end_object();
+    w.kv("shed", r.admission.shed);
+    w.kv("shed_pct", shed_pct);
+    w.kv("mailbox_dropped", r.mailbox_dropped);
+    w.kv("fairness_max_min", fair);
+    w.key("scan_broker").begin_object();
+    w.kv("rpcs_issued", r.broker.rpcs_issued);
+    w.kv("rpcs_coalesced", r.broker.rpcs_coalesced);
+    w.kv("cache_hits", r.broker.cache_hits);
+    w.kv("tuples_delivered", r.broker.tuples_delivered);
+    w.end_object();
+    w.end_object();
   }
-  json += "  ],\n";
+  w.end_array();
 
   // ---- Part 2: hot-tenant isolation ---------------------------------------
   // Open loop, 10 sessions per tenant at 1 Hz each; service capacity is
@@ -243,18 +243,19 @@ int main() {
                   hot_fifo.completed_by_tenant.count("t0")
                       ? hot_fifo.completed_by_tenant.at("t0") : 0));
 
-  json += "  \"hot_tenant\": {\n";
-  json += "    \"others_goodput_per_s_baseline\": " + fmt(g_base) + ",\n";
-  json += "    \"others_goodput_per_s_fair\": " + fmt(g_fair) + ",\n";
-  json += "    \"others_goodput_per_s_fifo\": " + fmt(g_fifo) + ",\n";
-  json += "    \"degradation_pct_fair\": " + fmt(degradation_fair) + ",\n";
-  json += "    \"degradation_pct_fifo\": " + fmt(degradation_fifo) + "\n";
-  json += "  }\n}\n";
+  w.key("hot_tenant").begin_object();
+  w.kv("others_goodput_per_s_baseline", g_base);
+  w.kv("others_goodput_per_s_fair", g_fair);
+  w.kv("others_goodput_per_s_fifo", g_fifo);
+  w.kv("degradation_pct_fair", degradation_fair);
+  w.kv("degradation_pct_fifo", degradation_fifo);
+  w.end_object();
+  w.end_object();
 
   std::error_code ec;
   std::filesystem::create_directories("results", ec);
   std::ofstream out("results/bench_server_scale.json");
-  out << json;
+  out << w.str() << '\n';
   std::printf("\nwrote results/bench_server_scale.json\n");
 
   if (degradation_fair >= 20.0) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/aorta.h"
+#include "util/json_writer.h"
 #include "util/stats.h"
 
 namespace {
@@ -31,12 +32,6 @@ using aorta::util::Duration;
 
 constexpr int kMotes = 8;
 constexpr double kSimSeconds = 30.0;
-
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
 
 struct ModeResult {
   double rpcs_per_epoch = 0.0;
@@ -53,10 +48,14 @@ struct ModeResult {
 // the shared plane on or off. The spike signals are seconds wide, so the
 // millisecond-level acquisition-latency differences between the two modes
 // cannot flip an epoch-level edge detection — event counts must match.
-ModeResult run_mode(int aqs, bool shared) {
+// `trace_path`, when set, turns on span tracing for the run and exports
+// the Chrome trace next to the results JSON (tracing only records; the
+// simulation and its event counts are unchanged).
+ModeResult run_mode(int aqs, bool shared, const char* trace_path = nullptr) {
   aorta::core::Config cfg;
   cfg.seed = 42;
   cfg.shared_scans = shared;
+  cfg.tracing = trace_path != nullptr;
   aorta::core::Aorta sys(cfg);
   // Lossless, jitter-free links on BOTH ends: the engine's default LAN link
   // drops 0.1% of traversals, which at 256x the RPC volume would cost the
@@ -89,6 +88,13 @@ ModeResult run_mode(int aqs, bool shared) {
     }
   }
   sys.run_for(Duration::seconds(kSimSeconds));
+  if (trace_path != nullptr) {
+    auto st = sys.tracer().export_file(trace_path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.to_string().c_str());
+    }
+  }
 
   ModeResult m;
   const aorta::comm::ScanBroker& broker = sys.scan_broker();
@@ -122,17 +128,27 @@ int main() {
               "rpc/ep:shared", "saving", "p99ms:priv", "p99ms:shared",
               "events");
 
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+
   const std::vector<int> sweep = {1, 2, 4, 8, 16, 32, 64, 128, 256};
-  std::string json = "{\n  \"motes\": " + std::to_string(kMotes) +
-                     ",\n  \"sim_seconds\": " + fmt(kSimSeconds) +
-                     ",\n  \"sweep\": [\n";
+  aorta::util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("motes", kMotes);
+  w.kv("sim_seconds", kSimSeconds);
+  w.key("sweep").begin_array();
   bool events_identical = true;
   double saving_at_32 = 0.0;
 
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     int aqs = sweep[i];
     ModeResult priv = run_mode(aqs, /*shared=*/false);
-    ModeResult shared = run_mode(aqs, /*shared=*/true);
+    // The flagship 32-AQ shared run also exports its span trace: the
+    // artifact CI schema-validates and Perfetto loads (README section
+    // "Observability").
+    ModeResult shared =
+        run_mode(aqs, /*shared=*/true,
+                 aqs == 32 ? "results/bench_shared_scan_trace.json" : nullptr);
 
     bool same = priv.events_per_aq == shared.events_per_aq;
     if (!same) events_identical = false;
@@ -147,32 +163,38 @@ int main() {
                 static_cast<unsigned long long>(shared.events_total),
                 same ? "" : "  EVENTS-DIVERGED");
 
-    json += "    {\"aqs\": " + std::to_string(aqs) +
-            ",\n     \"private\": {\"rpcs_per_epoch\": " +
-            fmt(priv.rpcs_per_epoch) +
-            ", \"tuples_per_epoch\": " + fmt(priv.tuples_per_epoch) +
-            ", \"latency_ms\": {\"p50\": " + fmt(priv.latency_p50_ms) +
-            ", \"p99\": " + fmt(priv.latency_p99_ms) + "}" +
-            ", \"events\": " + std::to_string(priv.events_total) + "},\n" +
-            "     \"shared\": {\"rpcs_per_epoch\": " +
-            fmt(shared.rpcs_per_epoch) +
-            ", \"tuples_per_epoch\": " + fmt(shared.tuples_per_epoch) +
-            ", \"coalesced_per_epoch\": " + fmt(shared.coalesced_per_epoch) +
-            ", \"latency_ms\": {\"p50\": " + fmt(shared.latency_p50_ms) +
-            ", \"p99\": " + fmt(shared.latency_p99_ms) + "}" +
-            ", \"events\": " + std::to_string(shared.events_total) + "},\n" +
-            "     \"rpc_saving\": " + fmt(saving) +
-            ", \"events_identical\": " + (same ? "true" : "false") + "}";
-    json += i + 1 < sweep.size() ? ",\n" : "\n";
+    w.begin_object();
+    w.kv("aqs", aqs);
+    w.key("private").begin_object();
+    w.kv("rpcs_per_epoch", priv.rpcs_per_epoch);
+    w.kv("tuples_per_epoch", priv.tuples_per_epoch);
+    w.key("latency_ms").begin_object();
+    w.kv("p50", priv.latency_p50_ms);
+    w.kv("p99", priv.latency_p99_ms);
+    w.end_object();
+    w.kv("events", priv.events_total);
+    w.end_object();
+    w.key("shared").begin_object();
+    w.kv("rpcs_per_epoch", shared.rpcs_per_epoch);
+    w.kv("tuples_per_epoch", shared.tuples_per_epoch);
+    w.kv("coalesced_per_epoch", shared.coalesced_per_epoch);
+    w.key("latency_ms").begin_object();
+    w.kv("p50", shared.latency_p50_ms);
+    w.kv("p99", shared.latency_p99_ms);
+    w.end_object();
+    w.kv("events", shared.events_total);
+    w.end_object();
+    w.kv("rpc_saving", saving);
+    w.kv("events_identical", same);
+    w.end_object();
   }
-  json += "  ],\n  \"saving_at_32\": " + fmt(saving_at_32) +
-          ",\n  \"events_identical\": " +
-          (events_identical ? "true" : "false") + "\n}\n";
+  w.end_array();
+  w.kv("saving_at_32", saving_at_32);
+  w.kv("events_identical", events_identical);
+  w.end_object();
 
-  std::error_code ec;
-  std::filesystem::create_directories("results", ec);
   std::ofstream out("results/bench_shared_scan.json");
-  out << json;
+  out << w.str() << '\n';
   std::printf("\nwrote results/bench_shared_scan.json\n");
 
   int rc = 0;

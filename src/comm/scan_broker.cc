@@ -78,6 +78,50 @@ ScanBroker::TypeState& ScanBroker::type_state(
   return *it->second;
 }
 
+void ScanBroker::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  metrics_->enroll_gauge("scan_broker.subscribers", [this]() {
+    return static_cast<std::int64_t>(subs_.size());
+  });
+  metrics_->enroll_histogram("scan_broker.batch_latency_ms",
+                             &batch_latency_ms_);
+  for (auto& [type, stats] : stats_) enroll_type_stats(type, stats);
+}
+
+BrokerTypeStats& ScanBroker::type_stats(
+    const device::DeviceTypeId& type) {
+  auto it = stats_.find(type);
+  if (it == stats_.end()) {
+    it = stats_.emplace(type, BrokerTypeStats{}).first;
+    if (metrics_ != nullptr) enroll_type_stats(type, it->second);
+  }
+  return it->second;
+}
+
+void ScanBroker::enroll_type_stats(const device::DeviceTypeId& type,
+                                   BrokerTypeStats& stats) {
+  std::string prefix =
+      "scan_broker.types." + obs::MetricsRegistry::sanitize_component(type) +
+      ".";
+  metrics_->enroll_counter(prefix + "batches", &stats.batches);
+  metrics_->enroll_counter(prefix + "rpcs_issued", &stats.rpcs_issued);
+  metrics_->enroll_counter(prefix + "rpcs_coalesced", &stats.rpcs_coalesced);
+  metrics_->enroll_counter(prefix + "cache_hits", &stats.cache_hits);
+  metrics_->enroll_counter(prefix + "read_failures", &stats.read_failures);
+  metrics_->enroll_counter(prefix + "tuples_delivered",
+                           &stats.tuples_delivered);
+  metrics_->enroll_counter(prefix + "deliveries", &stats.deliveries);
+  metrics_->enroll_counter(prefix + "devices_skipped", &stats.devices_skipped);
+  metrics_->enroll_counter(prefix + "quarantined_skips",
+                           &stats.quarantined_skips);
+  metrics_->enroll_counter(prefix + "degraded_reads", &stats.degraded_reads);
+  metrics_->enroll_counter(prefix + "degraded_tuples", &stats.degraded_tuples);
+  metrics_->enroll_gauge(prefix + "subscribers", [this, type]() {
+    return static_cast<std::int64_t>(subscriber_count(type));
+  });
+}
+
 ScanBroker::SubscriptionId ScanBroker::subscribe(
     const device::DeviceTypeId& type, std::set<std::string> needed,
     std::uint64_t period_ticks, BatchCallback on_batch) {
@@ -187,7 +231,7 @@ void ScanBroker::run_batch(const device::DeviceTypeId& type,
                            std::shared_ptr<std::size_t> barrier,
                            std::function<void()> barrier_done) {
   TypeState& state = type_state(type);
-  BrokerTypeStats& stats = stats_[type];
+  BrokerTypeStats& stats = type_stats(type);
   ++stats.batches;
 
   auto batch = std::make_shared<Batch>();
@@ -282,7 +326,7 @@ void ScanBroker::run_batch(const device::DeviceTypeId& type,
           batch->read_ok[d][name] = true;
         } else {
           batch->read_ok[d][name] = false;
-          if (*alive) ++stats_[type].read_failures;
+          if (*alive) ++type_stats(type).read_failures;
         }
         --batch->outstanding;
         if (*alive) finalize_batch(batch);
@@ -324,8 +368,12 @@ void ScanBroker::run_batch(const device::DeviceTypeId& type,
 
 void ScanBroker::finalize_batch(const std::shared_ptr<Batch>& batch) {
   if (!batch->issued || batch->outstanding > 0) return;
-  BrokerTypeStats& stats = stats_[batch->type];
+  BrokerTypeStats& stats = type_stats(batch->type);
   batch_latency_ms_.add((loop_->now() - batch->started).to_millis());
+  AORTA_TRACE_SPAN(tracer_, obs::SpanCat::kSweep, "sweep:" + batch->type,
+                   batch->started, loop_->now(),
+                   std::to_string(batch->ids.size()) + " device(s), " +
+                       std::to_string(batch->waiters.size()) + " waiter(s)");
 
   for (Waiter& w : batch->waiters) {
     BatchCallback periodic;

@@ -40,6 +40,8 @@
 
 #include "comm/comm_module.h"
 #include "comm/tuple.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/event_loop.h"
 #include "util/stats.h"
 
@@ -111,6 +113,14 @@ class ScanBroker {
   // are served from the last-known-good cache and tagged degraded.
   void set_health(const device::HealthView* health) { health_ = health; }
 
+  // Metrics enrollment (nullable = off): publishes the subscriber gauge,
+  // the batch latency histogram, and — lazily, as device types first see
+  // traffic — every per-type counter under "scan_broker.types.<type>.*".
+  void set_metrics(obs::MetricsRegistry* metrics);
+  // Span tracing (nullable = off): each batch records a `sweep` span from
+  // issue to fan-out.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Advance the broker clock one engine epoch and issue one batched scan
   // per device type with due subscribers. `all_delivered` fires once every
   // due subscriber received its batch (synchronously when none are due) —
@@ -128,8 +138,12 @@ class ScanBroker {
   }
   // Sum of every per-type counter (convenience for service-level stats).
   BrokerTypeStats totals() const;
-  // Tick-to-fanout latency of completed batches, in simulated ms.
+  // Tick-to-fanout latency of completed batches, in simulated ms (exact
+  // samples; the bucketed export lives on batch_latency_hist()).
   const aorta::util::Summary& batch_latency_ms() const {
+    return batch_latency_ms_.summary();
+  }
+  const obs::LatencyHistogram& batch_latency_hist() const {
     return batch_latency_ms_;
   }
 
@@ -155,6 +169,11 @@ class ScanBroker {
 
   TypeState& type_state(const device::DeviceTypeId& type);
 
+  // Per-type counters, created (and enrolled on the registry) on first use.
+  BrokerTypeStats& type_stats(const device::DeviceTypeId& type);
+  void enroll_type_stats(const device::DeviceTypeId& type,
+                         BrokerTypeStats& stats);
+
   // Issue one batched acquisition over all devices of `type` for the union
   // of the waiters' needed attributes. `coalesce` selects shared-plane
   // (cache + in-flight dedup) vs private acquisition.
@@ -169,11 +188,13 @@ class ScanBroker {
   aorta::util::EventLoop* loop_;
   Options options_;
   const device::HealthView* health_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   std::map<device::DeviceTypeId, std::unique_ptr<TypeState>> types_;
   std::map<SubscriptionId, Subscription> subs_;
   std::map<device::DeviceTypeId, BrokerTypeStats> stats_;
-  aorta::util::Summary batch_latency_ms_;
+  obs::LatencyHistogram batch_latency_ms_;
   SubscriptionId next_sub_id_ = 1;
   std::uint64_t tick_count_ = 0;
   // Shared with completion callbacks queued on the loop: a destroyed

@@ -20,7 +20,9 @@ using aorta::util::Duration;
 using aorta::util::Result;
 using aorta::util::Status;
 
-Aorta::Aorta(Config config) : config_(config), rng_(config.seed) {
+Aorta::Aorta(Config config)
+    : tracer_(config.trace_capacity), config_(config), rng_(config.seed) {
+  tracer_.set_enabled(config_.tracing);
   clock_ = std::make_unique<aorta::util::SimClock>();
   loop_ = std::make_unique<aorta::util::EventLoop>(clock_.get());
   aorta::util::Logger::instance().attach_clock(clock_.get());
@@ -64,13 +66,73 @@ Aorta::Aorta(Config config) : config_(config), rng_(config.seed) {
           loop_->now(), "", "health",
           id + ": " + std::string(health_state_name(from)) + " -> " +
               std::string(health_state_name(to))});
+      AORTA_TRACE_INSTANT(&tracer_, obs::SpanCat::kHealth, "transition:" + id,
+                          loop_->now(),
+                          std::string(health_state_name(from)) + " -> " +
+                              std::string(health_state_name(to)));
     });
   }
+
+  scan_broker_->set_tracer(&tracer_);
+  executor_->set_tracer(&tracer_);
+  comm_->engine().rpc().set_tracer(&tracer_);
+  enroll_system_metrics();
 
   register_builtin_types();
   register_builtin_functions();
   register_builtin_actions();
   executor_->start();
+}
+
+void Aorta::enroll_system_metrics() {
+  const net::NetworkStats& net = network_->stats();
+  metrics_.enroll_counter("network.sent", &net.sent);
+  metrics_.enroll_counter("network.delivered", &net.delivered);
+  metrics_.enroll_counter("network.dropped_loss", &net.dropped_loss);
+  metrics_.enroll_counter("network.dropped_no_route", &net.dropped_no_route);
+  metrics_.enroll_counter("network.dropped_partition", &net.dropped_partition);
+  metrics_.enroll_counter("network.dropped_offline", &net.dropped_offline);
+  metrics_.enroll_counter("network.bounced", &net.bounced);
+
+  const net::RpcStats& rpc = comm_->engine().rpc().stats();
+  metrics_.enroll_counter("network.rpc.completed", &rpc.completed);
+  metrics_.enroll_counter("network.rpc.timeouts", &rpc.timeouts);
+  metrics_.enroll_counter("network.rpc.late_replies", &rpc.late_replies);
+  metrics_.enroll_counter("network.rpc.unreachable", &rpc.unreachable);
+
+  const sync::LockStats& locks = locks_->stats();
+  metrics_.enroll_counter("sync.locks.acquisitions", &locks.acquisitions);
+  metrics_.enroll_counter("sync.locks.releases", &locks.releases);
+  metrics_.enroll_counter("sync.locks.contentions", &locks.contentions);
+  metrics_.enroll_counter("sync.locks.max_queue_depth", &locks.max_queue_depth);
+  metrics_.enroll_counter("sync.locks.wait_timeouts", &locks.wait_timeouts);
+  const sync::ProbeStats& probes = prober_->stats();
+  metrics_.enroll_counter("sync.probes.probes", &probes.probes);
+  metrics_.enroll_counter("sync.probes.responses", &probes.responses);
+  metrics_.enroll_counter("sync.probes.timeouts", &probes.timeouts);
+
+  metrics_.enroll_gauge_bool("health.enabled",
+                             [this]() { return health_ != nullptr; });
+  if (health_ != nullptr) {
+    const HealthStats& hs = health_->stats();
+    metrics_.enroll_gauge("health.quarantined", [this]() {
+      return static_cast<std::int64_t>(health_->quarantined_count());
+    });
+    metrics_.enroll_counter("health.reports_ok", &hs.reports_ok);
+    metrics_.enroll_counter("health.reports_failed", &hs.reports_failed);
+    metrics_.enroll_counter("health.quarantines", &hs.quarantines);
+    metrics_.enroll_counter("health.recoveries", &hs.recoveries);
+    metrics_.enroll_counter("health.probes_sent", &hs.probes_sent);
+    metrics_.enroll_counter("health.probes_failed", &hs.probes_failed);
+  }
+
+  const query::EvalStats& es = executor_->eval_stats();
+  metrics_.enroll_counter("eval.programs_compiled", &es.programs_compiled);
+  metrics_.enroll_counter("eval.programs_fallback", &es.programs_fallback);
+  metrics_.enroll_counter("eval.compiled_evals", &es.compiled_evals);
+  metrics_.enroll_counter("eval.fallback_evals", &es.fallback_evals);
+
+  scan_broker_->set_metrics(&metrics_);
 }
 
 Aorta::~Aorta() { aorta::util::Logger::instance().attach_clock(nullptr); }
@@ -171,6 +233,8 @@ Result<ExecResult> Aorta::exec(const std::string& sql) {
 void Aorta::exec_async(const std::string& sql, ExecOptions options,
                        std::function<void(Result<ExecResult>)> done) {
   auto stmt = query::parse(sql);
+  AORTA_TRACE_INSTANT(&tracer_, obs::SpanCat::kParse, "parse", loop_->now(),
+                      stmt.is_ok() ? sql : "error: " + sql);
   if (!stmt.is_ok()) {
     done(Result<ExecResult>(stmt.status()));
     return;

@@ -26,6 +26,8 @@
 #include "devices/camera.h"
 #include "devices/mote.h"
 #include "devices/phone.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "sync/lock_manager.h"
@@ -65,6 +67,12 @@ struct Config {
   // last-known-good up to this age, with the tuples (and their rows and
   // server deliveries) tagged degraded. Zero disables degraded serving.
   aorta::util::Duration degraded_staleness = aorta::util::Duration::seconds(30.0);
+  // Per-query span tracing (src/obs): when on, pipeline stages record
+  // virtual-time spans into a ring buffer of `trace_capacity` spans,
+  // exportable as Chrome trace-event JSON (Aorta::tracer()). Off by
+  // default: instrumentation sites then cost one branch.
+  bool tracing = false;
+  std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;
 };
 
 // Result of exec(): DDL statements return a message; SELECT returns rows.
@@ -170,6 +178,12 @@ class Aorta {
   const HealthSupervisor* health() const { return health_.get(); }
   query::Catalog& catalog() { return *catalog_; }
   query::ContinuousQueryExecutor& executor() { return *executor_; }
+  // Observability: the registry every subsystem's counters are enrolled on
+  // (the server layer adds its own sections), and the span tracer.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
  private:
   void register_builtin_types();
@@ -180,6 +194,12 @@ class Aorta {
                                            const std::string& sql,
                                            const ExecOptions& options);
 
+  void enroll_system_metrics();
+
+  // Declared first so every component (which may hold enrolled counters or
+  // a tracer pointer) is destroyed before the observability substrate.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   Config config_;
   aorta::util::Rng rng_;
   std::unique_ptr<aorta::util::SimClock> clock_;

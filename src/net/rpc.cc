@@ -31,19 +31,33 @@ void RpcClient::call(NodeId dst, std::string kind,
       timeout, [this, id]() {
         auto it = pending_.find(id);
         if (it == pending_.end()) return;  // reply won the race
-        RpcCallback cb = std::move(it->second.callback);
+        Pending pending = std::move(it->second);
         pending_.erase(it);
         ++stats_.timeouts;
+        trace_span(pending, "timeout");
         if (timed_out_.size() >= kTimedOutMemory) {
           timed_out_.erase(timed_out_.begin());
         }
         timed_out_.insert(id);
-        cb(Result<Message>(aorta::util::timeout_error(
+        pending.callback(Result<Message>(aorta::util::timeout_error(
             "rpc request " + std::to_string(id) + " timed out")));
       });
 
-  pending_.emplace(id, Pending{std::move(callback), timeout_event});
+  Pending pending{std::move(callback), timeout_event};
+  if (AORTA_TRACE_ENABLED(tracer_)) {
+    pending.started = network_->loop().now();
+    pending.trace_kind = msg.kind;
+    pending.trace_dst = msg.dst;
+  }
+  pending_.emplace(id, std::move(pending));
   network_->send(std::move(msg));
+}
+
+void RpcClient::trace_span(const Pending& pending, const char* outcome) {
+  if (pending.trace_kind.empty()) return;  // call predates tracing-on
+  AORTA_TRACE_SPAN(tracer_, obs::SpanCat::kRpc, pending.trace_kind,
+                   pending.started, network_->loop().now(),
+                   pending.trace_dst + " " + outcome);
 }
 
 bool RpcClient::on_reply(const Message& msg) {
@@ -63,17 +77,19 @@ bool RpcClient::on_reply(const Message& msg) {
     return true;
   }
   network_->loop().cancel(it->second.timeout_event);
-  RpcCallback cb = std::move(it->second.callback);
+  Pending pending = std::move(it->second);
   pending_.erase(it);
   if (msg.kind == "rpc_unreachable") {
     // The network bounced the request: destination offline or detached.
     ++stats_.unreachable;
-    cb(Result<Message>(aorta::util::unavailable_error(
+    trace_span(pending, "unreachable");
+    pending.callback(Result<Message>(aorta::util::unavailable_error(
         "device unreachable: " + msg.src)));
     return true;
   }
   ++stats_.completed;
-  cb(Result<Message>(msg));
+  trace_span(pending, "ok");
+  pending.callback(Result<Message>(msg));
   return true;
 }
 

@@ -11,8 +11,10 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <string>
 
 #include "net/network.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace aorta::net {
@@ -53,14 +55,25 @@ class RpcClient {
   std::uint64_t timeouts() const { return stats_.timeouts; }
   std::uint64_t completed() const { return stats_.completed; }
 
+  // Span tracing (nullable = off): every call records an `rpc` span from
+  // issue to reply/timeout/bounce. The per-call labels are only captured
+  // while the tracer is live, so a disabled tracer costs nothing.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Pending {
     RpcCallback callback;
     aorta::util::EventId timeout_event;
+    aorta::util::TimePoint started;
+    std::string trace_kind;  // non-empty only when traced
+    std::string trace_dst;
   };
+
+  void trace_span(const Pending& pending, const char* outcome);
 
   Network* network_;
   NodeId self_;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t next_request_id_ = 1;
   std::map<std::uint64_t, Pending> pending_;
   // Request ids whose timeout already fired, kept (bounded) so a straggler

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <array>
+#include <fstream>
+
+namespace aorta::obs {
+
+std::string_view span_cat_name(SpanCat cat) {
+  static constexpr std::array<std::string_view, kSpanCatCount> kNames = {
+      "parse",  "register", "sweep", "rpc",    "eval",
+      "action", "delivery", "epoch", "health",
+  };
+  auto idx = static_cast<std::size_t>(cat);
+  return idx < kNames.size() ? kNames[idx] : "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void Tracer::record(SpanCat cat, std::string name, util::TimePoint start,
+                    util::TimePoint end, std::string detail) {
+  if (!enabled_) return;
+  Span& slot = ring_[next_];
+  slot.start = start;
+  slot.dur = end - start;
+  slot.cat = cat;
+  slot.name = std::move(name);
+  slot.detail = std::move(detail);
+  next_ = (next_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+void Tracer::instant(SpanCat cat, std::string name, util::TimePoint at,
+                     std::string detail) {
+  record(cat, std::move(name), at, at, std::move(detail));
+}
+
+std::size_t Tracer::size() const {
+  return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                  : ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::vector<Span> out;
+  std::size_t n = size();
+  out.reserve(n);
+  // Oldest retained span sits at the write cursor once the ring has wrapped.
+  std::size_t start = recorded_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  next_ = 0;
+  recorded_ = 0;
+  for (Span& s : ring_) s = Span{};
+}
+
+void Tracer::write_chrome_json(util::JsonWriter& w) const {
+  auto spans = snapshot();
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  // Metadata: name the process and one thread per category so Perfetto
+  // renders a labelled track per pipeline stage.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 1);
+  w.kv("tid", 0);
+  w.key("args").begin_object().kv("name", "aorta").end_object();
+  w.end_object();
+  std::array<bool, kSpanCatCount> present{};
+  for (const Span& s : spans) {
+    auto idx = static_cast<std::size_t>(s.cat);
+    if (idx < present.size()) present[idx] = true;
+  }
+  for (int c = 0; c < kSpanCatCount; ++c) {
+    if (!present[static_cast<std::size_t>(c)]) continue;
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", c + 1);
+    w.key("args")
+        .begin_object()
+        .kv("name", span_cat_name(static_cast<SpanCat>(c)))
+        .end_object();
+    w.end_object();
+  }
+  // Sort indices give thread_sort_index = tid implicitly via tid order.
+  for (const Span& s : spans) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("cat", span_cat_name(s.cat));
+    w.kv("ph", "X");
+    w.kv("ts", s.start.to_micros());
+    w.kv("dur", s.dur.to_micros());
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<int>(s.cat) + 1);
+    if (!s.detail.empty()) {
+      w.key("args").begin_object().kv("detail", s.detail).end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string Tracer::chrome_json() const {
+  util::JsonWriter w(0);  // compact: trace files get large
+  write_chrome_json(w);
+  return w.take();
+}
+
+util::Status Tracer::export_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::internal_error("cannot open trace file: " + path);
+  }
+  out << chrome_json() << '\n';
+  if (!out) {
+    return util::internal_error("failed writing trace file: " + path);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace aorta::obs

@@ -154,8 +154,16 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
         for (const comm::Tuple& tuple : tuples) {
           process_event_tuple(*found->second, tuple);
         }
+        // Synchronous evaluation takes zero virtual time; the span is an
+        // instant marking which AQ consumed which batch.
+        AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kEval, "eval:" + name,
+                            loop_->now(),
+                            std::to_string(tuples.size()) + " tuple(s)");
       });
 
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kRegister, "register:" + name,
+                      loop_->now(),
+                      "every " + std::to_string(aq->epoch_ticks) + " tick(s)");
   queries_.emplace(name, std::move(aq));
   return Status::ok();
 }
@@ -214,19 +222,50 @@ void ContinuousQueryExecutor::start() {
 }
 
 void ContinuousQueryExecutor::on_tick() {
+  ++tick_no_;
   // Advance the shared acquisition plane: the broker issues one batched
   // scan per device type with due subscriptions and fans the tuples out to
   // every due query. Once the last due subscriber has been served, flush
   // every action operator so requests from concurrent queries are
   // scheduled as one batch (the group optimization of Section 2.3 / the
   // "short time interval" batching of Section 5).
-  broker_->tick([this]() {
-    for (auto& [name, op] : operators_) {
-      if (op->has_pending()) {
-        op->flush([]() {});
+  if (AORTA_TRACE_ENABLED(tracer_)) {
+    // Traced tick: an `epoch` span brackets the processing window (tick to
+    // last action flush), with an `action` span per operator flush. The
+    // closures below allocate, which is why the untraced path stays the
+    // plain loop.
+    aorta::util::TimePoint epoch_start = loop_->now();
+    std::uint64_t tick_no = tick_no_;
+    broker_->tick([this, epoch_start, tick_no]() {
+      auto outstanding = std::make_shared<std::size_t>(1);
+      std::function<void()> done = [this, epoch_start, tick_no,
+                                    outstanding]() {
+        if (--*outstanding > 0) return;
+        AORTA_TRACE_SPAN(tracer_, obs::SpanCat::kEpoch,
+                         "epoch:" + std::to_string(tick_no), epoch_start,
+                         loop_->now(), std::string());
+      };
+      for (auto& [name, op] : operators_) {
+        if (!op->has_pending()) continue;
+        ++*outstanding;
+        aorta::util::TimePoint flush_start = loop_->now();
+        op->flush([this, name = name, flush_start, done]() {
+          AORTA_TRACE_SPAN(tracer_, obs::SpanCat::kAction, "flush:" + name,
+                           flush_start, loop_->now(), std::string());
+          done();
+        });
       }
-    }
-  });
+      done();
+    });
+  } else {
+    broker_->tick([this]() {
+      for (auto& [name, op] : operators_) {
+        if (op->has_pending()) {
+          op->flush([]() {});
+        }
+      }
+    });
+  }
 
   // Fixed cadence, independent of how long evaluation takes.
   loop_->schedule(options_.epoch, [this]() { on_tick(); });

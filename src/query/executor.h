@@ -20,6 +20,7 @@
 #include <string>
 
 #include "comm/scan_broker.h"
+#include "obs/trace.h"
 #include "query/action_operator.h"
 #include "query/compile.h"
 
@@ -130,6 +131,11 @@ class ContinuousQueryExecutor {
     trace_sink_ = std::move(sink);
   }
 
+  // Span tracing (nullable = off): registration instants, per-AQ eval
+  // spans, per-operator action-flush spans and one `epoch` span bracketing
+  // each tick's processing window.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // ---- statistics --------------------------------------------------------
   const QueryStats* query_stats(const std::string& name) const;
   const EvalStats& eval_stats() const { return eval_stats_; }
@@ -203,6 +209,8 @@ class ContinuousQueryExecutor {
   std::map<device::DeviceTypeId, std::unique_ptr<comm::Schema>> schemas_;
   bool started_ = false;
   std::uint64_t next_generation_ = 1;
+  std::uint64_t tick_no_ = 0;
+  obs::Tracer* tracer_ = nullptr;
   EvalStats eval_stats_;
   std::deque<TraceEntry> trace_;
   std::function<void(const TraceEntry&)> trace_sink_;

@@ -1,7 +1,7 @@
 #include "server/service.h"
 
 #include "query/parser.h"
-#include "util/strings.h"
+#include "util/json_writer.h"
 
 namespace aorta::server {
 
@@ -11,10 +11,29 @@ using aorta::util::Status;
 QueryService::QueryService(core::Aorta* system, ServiceConfig config)
     : system_(system),
       config_(std::move(config)),
+      metrics_(&system->metrics()),
+      tracer_(&system->tracer()),
       admission_(config_.admission) {
   for (const auto& [tenant, weight] : config_.tenant_weights) {
     admission_.set_tenant_weight(tenant, weight);
   }
+
+  metrics_->enroll_gauge("sessions.total", [this]() {
+    return static_cast<std::int64_t>(sessions_.size());
+  });
+  metrics_->enroll_gauge("sessions.active", [this]() {
+    return static_cast<std::int64_t>(active_sessions());
+  });
+  const AdmissionStats& as = admission_.stats();
+  metrics_->enroll_counter("admission.submitted", &as.submitted);
+  metrics_->enroll_counter("admission.admitted", &as.admitted);
+  metrics_->enroll_counter("admission.rejected", &as.rejected);
+  metrics_->enroll_counter("admission.shed", &as.shed);
+  metrics_->enroll_counter("admission.dispatched", &as.dispatched);
+  metrics_->enroll_gauge("admission.queued", [this]() {
+    return static_cast<std::int64_t>(admission_.queued());
+  });
+
   // Route action outcomes of session-owned queries to their mailboxes.
   system_->executor().set_trace_sink([this](const query::TraceEntry& entry) {
     if (entry.kind != "outcome" || entry.query.empty()) return;
@@ -29,8 +48,10 @@ QueryService::QueryService(core::Aorta* system, ServiceConfig config)
     d.at = entry.at;
     d.query = entry.query;
     d.message = entry.detail;
+    AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kDelivery,
+                        "outcome:" + entry.query, entry.at, entry.detail);
     it->second->deliver(std::move(d));
-    ++tenants_[it->second->tenant()].outcomes_delivered;
+    ++tenant_entry(it->second->tenant()).outcomes_delivered;
   });
   auto alive = alive_;
   system_->loop().schedule(config_.dispatch_interval, [this, alive]() {
@@ -40,9 +61,45 @@ QueryService::QueryService(core::Aorta* system, ServiceConfig config)
 
 QueryService::~QueryService() {
   system_->executor().set_trace_sink({});
+  // The service dies before the system: withdraw its registry sections so
+  // a later stats snapshot cannot read freed counters.
+  metrics_->unenroll_prefix("sessions.");
+  metrics_->unenroll_prefix("admission.");
+  metrics_->unenroll_prefix("tenants.");
   // Callbacks still queued on the loop (ticks, select completions, AQ row
   // hooks) share alive_ and become no-ops from here on.
   *alive_ = false;
+}
+
+TenantStats& QueryService::tenant_entry(const TenantId& tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    TenantStats& ts = it->second;
+    std::string prefix =
+        "tenants." + obs::MetricsRegistry::sanitize_component(tenant) + ".";
+    metrics_->enroll_counter(prefix + "submitted", &ts.submitted);
+    metrics_->enroll_counter(prefix + "admitted", &ts.admitted);
+    metrics_->enroll_counter(prefix + "rejected", &ts.rejected);
+    metrics_->enroll_counter(prefix + "shed", &ts.shed);
+    metrics_->enroll_counter(prefix + "dispatched", &ts.dispatched);
+    metrics_->enroll_counter(prefix + "completed", &ts.completed);
+    metrics_->enroll_counter(prefix + "errors", &ts.errors);
+    metrics_->enroll_counter(prefix + "rows", &ts.rows_delivered);
+    metrics_->enroll_counter(prefix + "rows_degraded", &ts.rows_degraded);
+    metrics_->enroll_counter(prefix + "outcomes", &ts.outcomes_delivered);
+    metrics_->enroll_gauge(prefix + "mailbox_dropped", [this, tenant]() {
+      std::int64_t dropped = 0;
+      for (const auto& [id, s] : sessions_) {
+        if (s->tenant() == tenant) {
+          dropped += static_cast<std::int64_t>(s->mailbox_dropped());
+        }
+      }
+      return dropped;
+    });
+    metrics_->enroll_histogram(prefix + "admission_latency_ms",
+                               &ts.admission_latency_ms);
+  }
+  return it->second;
 }
 
 void QueryService::on_tick() {
@@ -62,7 +119,7 @@ SessionId QueryService::connect(const TenantId& tenant) {
   SessionId id = next_session_id_++;
   sessions_.emplace(
       id, std::make_unique<Session>(id, tenant, config_.mailbox_capacity));
-  tenants_.try_emplace(tenant);  // tenant appears in stats from first contact
+  (void)tenant_entry(tenant);  // tenant appears in stats from first contact
   return id;
 }
 
@@ -130,7 +187,7 @@ Result<std::uint64_t> QueryService::submit(SessionId id,
     return Result<std::uint64_t>(aorta::util::unavailable_error(
         "session is " + std::string(session_state_name(s->state()))));
   }
-  TenantStats& ts = tenants_[s->tenant()];
+  TenantStats& ts = tenant_entry(s->tenant());
   TenantRuntime& rt = runtime_[s->tenant()];
   ++ts.submitted;
   ++s->stats_.submitted;
@@ -172,7 +229,7 @@ Result<std::uint64_t> QueryService::submit(SessionId id,
       std::move(sub), [this](const Submission& shed) {
         // A queued submission was shed to admit a newer one: tell its
         // session, and release any quota it was holding.
-        TenantStats& shed_ts = tenants_[shed.tenant];
+        TenantStats& shed_ts = tenant_entry(shed.tenant);
         ++shed_ts.shed;
         if (shed.kind == query::Statement::Kind::kCreateAq) {
           TenantRuntime& shed_rt = runtime_[shed.tenant];
@@ -202,7 +259,7 @@ Result<std::uint64_t> QueryService::submit(SessionId id,
 }
 
 void QueryService::dispatch(Submission submission) {
-  TenantStats& ts = tenants_[submission.tenant];
+  TenantStats& ts = tenant_entry(submission.tenant);
   TenantRuntime& rt = runtime_[submission.tenant];
   ++ts.dispatched;
   double wait_ms = (system_->loop().now() - submission.enqueued_at).to_millis();
@@ -239,8 +296,10 @@ void QueryService::dispatch(Submission submission) {
     d.query = query;
     d.rows.push_back(row.row);
     d.degraded = row.degraded;
+    AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kDelivery, "row:" + query,
+                        row.at, std::string());
     it->second->deliver(std::move(d));
-    TenantStats& row_ts = tenants_[it->second->tenant()];
+    TenantStats& row_ts = tenant_entry(it->second->tenant());
     ++row_ts.rows_delivered;
     if (row.degraded) ++row_ts.rows_degraded;
   };
@@ -260,7 +319,7 @@ void QueryService::dispatch(Submission submission) {
 
 void QueryService::finish(SessionId session_id, const Submission& submission,
                           Result<core::ExecResult> outcome) {
-  TenantStats& ts = tenants_[submission.tenant];
+  TenantStats& ts = tenant_entry(submission.tenant);
   TenantRuntime& rt = runtime_[submission.tenant];
   if (submission.kind == query::Statement::Kind::kSelect &&
       rt.inflight_selects > 0) {
@@ -303,155 +362,21 @@ void QueryService::finish(SessionId session_id, const Submission& submission,
     d.message = outcome.status().to_string();
     ++ts.errors;
   }
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kDelivery,
+                      outcome.is_ok() ? "result" : "error", d.at,
+                      "statement " + std::to_string(submission.statement_id));
   s->deliver(std::move(d));
 }
 
 std::string QueryService::stats_json() const {
-  using aorta::util::str_format;
-  std::string out = "{\n";
-  out += str_format("  \"sessions\": {\"total\": %zu, \"active\": %zu},\n",
-                    sessions_.size(), active_sessions());
-  const AdmissionStats& a = admission_.stats();
-  out += str_format(
-      "  \"admission\": {\"submitted\": %llu, \"admitted\": %llu, "
-      "\"rejected\": %llu, \"shed\": %llu, \"dispatched\": %llu, "
-      "\"queued\": %zu},\n",
-      static_cast<unsigned long long>(a.submitted),
-      static_cast<unsigned long long>(a.admitted),
-      static_cast<unsigned long long>(a.rejected),
-      static_cast<unsigned long long>(a.shed),
-      static_cast<unsigned long long>(a.dispatched), admission_.queued());
-
-  // Shared acquisition plane: per-device-type broker counters plus the
-  // batch fan-out latency. Sorted keys (std::map) keep the rendering
-  // deterministic across same-seed runs.
-  const comm::ScanBroker& broker = system_->scan_broker();
-  const aorta::util::Summary& blat = broker.batch_latency_ms();
-  out += "  \"scan_broker\": {\n";
-  out += str_format(
-      "    \"subscribers\": %zu,\n    \"batch_latency_ms\": "
-      "{\"count\": %zu, \"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n",
-      broker.subscriber_count(), blat.count(),
-      blat.empty() ? 0.0 : blat.percentile(50.0),
-      blat.empty() ? 0.0 : blat.percentile(99.0),
-      blat.empty() ? 0.0 : blat.max());
-  out += "    \"types\": {";
-  bool first_type = true;
-  for (const auto& [type, bs] : broker.stats()) {
-    out += first_type ? "\n" : ",\n";
-    first_type = false;
-    out += str_format(
-        "      \"%s\": {\"batches\": %llu, \"rpcs_issued\": %llu, "
-        "\"rpcs_coalesced\": %llu, \"cache_hits\": %llu, "
-        "\"read_failures\": %llu, \"tuples_delivered\": %llu, "
-        "\"deliveries\": %llu, \"devices_skipped\": %llu, "
-        "\"quarantined_skips\": %llu, \"degraded_reads\": %llu, "
-        "\"degraded_tuples\": %llu, \"subscribers\": %zu}",
-        type.c_str(), static_cast<unsigned long long>(bs.batches),
-        static_cast<unsigned long long>(bs.rpcs_issued),
-        static_cast<unsigned long long>(bs.rpcs_coalesced),
-        static_cast<unsigned long long>(bs.cache_hits),
-        static_cast<unsigned long long>(bs.read_failures),
-        static_cast<unsigned long long>(bs.tuples_delivered),
-        static_cast<unsigned long long>(bs.deliveries),
-        static_cast<unsigned long long>(bs.devices_skipped),
-        static_cast<unsigned long long>(bs.quarantined_skips),
-        static_cast<unsigned long long>(bs.degraded_reads),
-        static_cast<unsigned long long>(bs.degraded_tuples),
-        broker.subscriber_count(type));
-  }
-  out += first_type ? "}\n  },\n" : "\n    }\n  },\n";
-
-  // Transport counters: what the simulated radio did to the service's
-  // traffic, including replies that arrived after their RPC timed out and
-  // requests bounced off offline devices.
-  const core::SystemStats sys = system_->stats();
-  out += str_format(
-      "  \"network\": {\"sent\": %llu, \"delivered\": %llu, "
-      "\"dropped_loss\": %llu, \"dropped_no_route\": %llu, "
-      "\"dropped_partition\": %llu, \"dropped_offline\": %llu, "
-      "\"bounced\": %llu, \"rpc\": {\"completed\": %llu, "
-      "\"timeouts\": %llu, \"late_replies\": %llu, "
-      "\"unreachable\": %llu}},\n",
-      static_cast<unsigned long long>(sys.network.sent),
-      static_cast<unsigned long long>(sys.network.delivered),
-      static_cast<unsigned long long>(sys.network.dropped_loss),
-      static_cast<unsigned long long>(sys.network.dropped_no_route),
-      static_cast<unsigned long long>(sys.network.dropped_partition),
-      static_cast<unsigned long long>(sys.network.dropped_offline),
-      static_cast<unsigned long long>(sys.network.bounced),
-      static_cast<unsigned long long>(sys.rpc.completed),
-      static_cast<unsigned long long>(sys.rpc.timeouts),
-      static_cast<unsigned long long>(sys.rpc.late_replies),
-      static_cast<unsigned long long>(sys.rpc.unreachable));
-
-  // Device health supervision (core/health.h).
-  if (const core::HealthSupervisor* health = system_->health()) {
-    const core::HealthStats& hs = health->stats();
-    out += str_format(
-        "  \"health\": {\"enabled\": true, \"quarantined\": %zu, "
-        "\"reports_ok\": %llu, \"reports_failed\": %llu, "
-        "\"quarantines\": %llu, \"recoveries\": %llu, "
-        "\"probes_sent\": %llu, \"probes_failed\": %llu},\n",
-        health->quarantined_count(),
-        static_cast<unsigned long long>(hs.reports_ok),
-        static_cast<unsigned long long>(hs.reports_failed),
-        static_cast<unsigned long long>(hs.quarantines),
-        static_cast<unsigned long long>(hs.recoveries),
-        static_cast<unsigned long long>(hs.probes_sent),
-        static_cast<unsigned long long>(hs.probes_failed));
-  } else {
-    out += "  \"health\": {\"enabled\": false},\n";
-  }
-
-  // Compiled evaluation: how much per-row expression work runs through
-  // slot-resolved programs vs the tree-walking fallback
-  // (query/eval_program.h).
-  const query::EvalStats& es = system_->executor().eval_stats();
-  out += str_format(
-      "  \"eval\": {\"programs_compiled\": %llu, \"programs_fallback\": "
-      "%llu, \"compiled_evals\": %llu, \"fallback_evals\": %llu},\n",
-      static_cast<unsigned long long>(es.programs_compiled),
-      static_cast<unsigned long long>(es.programs_fallback),
-      static_cast<unsigned long long>(es.compiled_evals),
-      static_cast<unsigned long long>(es.fallback_evals));
-
-  // Mailbox drop totals per tenant (sessions are the drop points).
-  std::map<TenantId, std::uint64_t> mailbox_dropped;
-  for (const auto& [id, s] : sessions_) {
-    mailbox_dropped[s->tenant()] += s->mailbox_dropped();
-  }
-
-  out += "  \"tenants\": {\n";
-  bool first = true;
-  for (const auto& [tenant, ts] : tenants_) {
-    if (!first) out += ",\n";
-    first = false;
-    const aorta::util::Summary& lat = ts.admission_latency_ms;
-    out += str_format(
-        "    \"%s\": {\"submitted\": %llu, \"admitted\": %llu, "
-        "\"rejected\": %llu, \"shed\": %llu, \"dispatched\": %llu, "
-        "\"completed\": %llu, \"errors\": %llu, \"rows\": %llu, "
-        "\"rows_degraded\": %llu, \"outcomes\": %llu, "
-        "\"mailbox_dropped\": %llu, "
-        "\"admission_latency_ms\": {\"count\": %zu, \"p50\": %.3f, "
-        "\"p99\": %.3f, \"max\": %.3f}}",
-        tenant.c_str(), static_cast<unsigned long long>(ts.submitted),
-        static_cast<unsigned long long>(ts.admitted),
-        static_cast<unsigned long long>(ts.rejected),
-        static_cast<unsigned long long>(ts.shed),
-        static_cast<unsigned long long>(ts.dispatched),
-        static_cast<unsigned long long>(ts.completed),
-        static_cast<unsigned long long>(ts.errors),
-        static_cast<unsigned long long>(ts.rows_delivered),
-        static_cast<unsigned long long>(ts.rows_degraded),
-        static_cast<unsigned long long>(ts.outcomes_delivered),
-        static_cast<unsigned long long>(mailbox_dropped[tenant]), lat.count(),
-        lat.empty() ? 0.0 : lat.percentile(50.0),
-        lat.empty() ? 0.0 : lat.percentile(99.0),
-        lat.empty() ? 0.0 : lat.max());
-  }
-  out += "\n  }\n}\n";
+  // One sorted walk of the metrics registry renders every section — the
+  // service's own (sessions, admission, tenants) and everything the system
+  // components enrolled (scan_broker, network, health, eval, sync) — with
+  // JsonWriter handling escaping. Same-seed runs produce identical bytes.
+  aorta::util::JsonWriter w(2);
+  system_->metrics().write_json(w);
+  std::string out = w.take();
+  out += '\n';
   return out;
 }
 

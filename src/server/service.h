@@ -22,6 +22,8 @@
 #include <string>
 
 #include "core/aorta.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/admission.h"
 #include "server/session.h"
 #include "util/stats.h"
@@ -51,7 +53,7 @@ struct TenantStats {
   std::uint64_t rows_delivered = 0;
   std::uint64_t rows_degraded = 0;  // rows carrying the degradation marker
   std::uint64_t outcomes_delivered = 0;
-  aorta::util::Summary admission_latency_ms;  // enqueue -> dispatch
+  obs::LatencyHistogram admission_latency_ms;  // enqueue -> dispatch
 };
 
 class QueryService {
@@ -92,12 +94,16 @@ class QueryService {
     return admission_latency_ms_;
   }
 
-  // Deterministic JSON rendering of every server counter (sorted keys,
-  // integer-microsecond latencies): two same-seed runs compare equal.
+  // Deterministic JSON rendering of every enrolled metric — the server's
+  // own sections plus everything the system components registered — as a
+  // sorted walk of the metrics registry: two same-seed runs compare equal.
   std::string stats_json() const;
 
  private:
   void on_tick();
+  // Per-tenant counters, created (and enrolled on the registry under
+  // "tenants.<tenant>.*") on first contact.
+  TenantStats& tenant_entry(const TenantId& tenant);
   void dispatch(Submission submission);
   void finish(SessionId session_id, const Submission& submission,
               aorta::util::Result<core::ExecResult> outcome);
@@ -112,6 +118,11 @@ class QueryService {
 
   core::Aorta* system_;
   ServiceConfig config_;
+  // The system's observability substrate; the service enrolls its
+  // sessions/admission/tenants sections here and removes them on
+  // destruction (the service's lifetime is shorter than the system's).
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
   AdmissionController admission_;
   std::map<SessionId, std::unique_ptr<Session>> sessions_;
   std::map<std::string, SessionId> query_owner_;  // prefixed AQ name -> session

@@ -1,0 +1,145 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace aorta::util {
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::prepare_slot() {
+  if (key_pending_) {
+    key_pending_ = false;  // value follows its key on the same line
+    return;
+  }
+  if (stack_.empty()) return;  // top-level value
+  Level& level = stack_.back();
+  if (level.has_items) out_ += ',';
+  level.has_items = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_slot();
+  out_ += '{';
+  stack_.push_back({Ctx::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().ctx == Ctx::kObject);
+  bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_slot();
+  out_ += '[';
+  stack_.push_back({Ctx::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().ctx == Ctx::kArray);
+  bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back().ctx == Ctx::kObject);
+  assert(!key_pending_);
+  prepare_slot();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  prepare_slot();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  prepare_slot();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_slot();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prepare_slot();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int precision) {
+  prepare_slot();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  prepare_slot();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_raw(std::string_view json) {
+  prepare_slot();
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace aorta::util

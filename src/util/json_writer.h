@@ -1,0 +1,88 @@
+// Streaming JSON writer with correct string escaping.
+//
+// The service's stats_json() and every bench JSON emitter used to build
+// documents by hand-concatenating string literals — none of them escaped
+// quotes or control characters, so a tenant id (or SQL fragment) with a
+// '"' in it produced invalid JSON. JsonWriter centralises rendering:
+// callers describe structure (objects, arrays, keys, values) and the
+// writer handles commas, indentation and escaping. Output is fully
+// deterministic — no locale, no pointer ordering — so same-seed runs
+// produce byte-identical documents (the determinism the server and
+// observability tests pin).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aorta::util {
+
+class JsonWriter {
+ public:
+  // `indent` spaces per nesting level; 0 renders compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  // ---- structure -----------------------------------------------------------
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+
+  // ---- values --------------------------------------------------------------
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  // Fixed-point rendering ("%.*f"); the default 3 matches the historic
+  // stats_json latency formatting. NaN/Inf render as null (JSON has no
+  // representation for them).
+  JsonWriter& value(double v, int precision = 3);
+  JsonWriter& value_null();
+  // Pre-rendered JSON fragment spliced in verbatim (trusted input only).
+  JsonWriter& value_raw(std::string_view json);
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& kv(std::string_view name, double v, int precision) {
+    key(name);
+    return value(v, precision);
+  }
+
+  // The rendered document. Structure must be balanced by the time this is
+  // read (debug-asserted).
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  // JSON string-escape `s` per RFC 8259 (quotes, backslash, control
+  // characters as \uXXXX, \n \t \r \b \f shorthands). No surrounding
+  // quotes.
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  struct Level {
+    Ctx ctx;
+    bool has_items = false;
+  };
+
+  // Called before writing any value or key: emits the separating comma and
+  // newline/indent for the current context.
+  void prepare_slot();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Level> stack_;
+  int indent_;
+  bool key_pending_ = false;
+};
+
+}  // namespace aorta::util

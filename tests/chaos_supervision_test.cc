@@ -297,7 +297,7 @@ TEST(ChaosServerTest, DegradedMarkerReachesDeliveriesAndStats) {
   EXPECT_GT(service.tenant_stats().at("t0").rows_degraded, 0u);
   std::string json = service.stats_json();
   EXPECT_NE(json.find("\"rows_degraded\""), std::string::npos);
-  EXPECT_NE(json.find("\"health\": {\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
   EXPECT_NE(json.find("\"quarantined\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"degraded_tuples\""), std::string::npos);
 }

@@ -1,0 +1,160 @@
+// Golden test: the registry-walk stats_json() must publish the same
+// values the historic hand-concatenated renderer did. The expected
+// numbers below were captured by running this exact scenario against the
+// pre-registry implementation — any drift means the migration changed
+// semantics, not just rendering.
+//
+// Also pins observability determinism: two same-seed runs produce
+// byte-identical metrics documents and byte-identical trace streams.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/aorta.h"
+#include "server/service.h"
+#include "util/time.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+
+struct GoldenRun {
+  explicit GoldenRun(bool tracing = false) {
+    core::Config cfg;
+    cfg.seed = 11;
+    cfg.scan_freshness = util::Duration::millis(500);
+    cfg.tracing = tracing;
+    sys = std::make_unique<core::Aorta>(cfg);
+    (void)sys->add_mote("m1", {1, 1, 1});
+    (void)sys->add_mote("m2", {2, 2, 1});
+    (void)sys->add_camera("cam1", "192.168.0.90", {{0, 0, 3}, 0.0});
+    service = std::make_unique<server::QueryService>(sys.get(),
+                                                     server::ServiceConfig{});
+    auto alice = service->connect("alice");
+    auto bob = service->connect("bob");
+    (void)service->submit(alice,
+                          "CREATE AQ watch AS SELECT s.id, s.accel_x FROM "
+                          "sensor s WHERE s.accel_x > 500");
+    (void)service->submit(bob, "SELECT s.id, s.temp FROM sensor s");
+    sys->run_for(util::Duration::seconds(12));
+  }
+  std::unique_ptr<core::Aorta> sys;
+  std::unique_ptr<server::QueryService> service;
+};
+
+TEST(StatsGoldenTest, RegistryValuesMatchPreRegistryCapture) {
+  GoldenRun run;
+  const obs::MetricsRegistry& m = run.sys->metrics();
+
+  // sessions / admission (server layer).
+  EXPECT_EQ(m.gauge_value("sessions.total"), 2);
+  EXPECT_EQ(m.gauge_value("sessions.active"), 2);
+  EXPECT_EQ(m.counter_value("admission.submitted"), 2u);
+  EXPECT_EQ(m.counter_value("admission.admitted"), 2u);
+  EXPECT_EQ(m.counter_value("admission.rejected"), 0u);
+  EXPECT_EQ(m.counter_value("admission.shed"), 0u);
+  EXPECT_EQ(m.counter_value("admission.dispatched"), 2u);
+  EXPECT_EQ(m.gauge_value("admission.queued"), 0);
+
+  // scan broker.
+  EXPECT_EQ(m.gauge_value("scan_broker.subscribers"), 1);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.batches"), 13u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.rpcs_issued"), 24u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.rpcs_coalesced"), 2u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.cache_hits"), 0u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.read_failures"), 4u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.tuples_delivered"), 20u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.deliveries"), 12u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.devices_skipped"), 4u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.quarantined_skips"), 0u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.degraded_reads"), 0u);
+  EXPECT_EQ(m.counter_value("scan_broker.types.sensor.degraded_tuples"), 0u);
+  EXPECT_EQ(m.gauge_value("scan_broker.types.sensor.subscribers"), 1);
+
+  // network / rpc.
+  EXPECT_EQ(m.counter_value("network.sent"), 44u);
+  EXPECT_EQ(m.counter_value("network.delivered"), 40u);
+  EXPECT_EQ(m.counter_value("network.dropped_loss"), 3u);
+  EXPECT_EQ(m.counter_value("network.dropped_no_route"), 0u);
+  EXPECT_EQ(m.counter_value("network.dropped_partition"), 0u);
+  EXPECT_EQ(m.counter_value("network.dropped_offline"), 0u);
+  EXPECT_EQ(m.counter_value("network.bounced"), 0u);
+  EXPECT_EQ(m.counter_value("network.rpc.completed"), 20u);
+  EXPECT_EQ(m.counter_value("network.rpc.timeouts"), 2u);
+  EXPECT_EQ(m.counter_value("network.rpc.late_replies"), 0u);
+  EXPECT_EQ(m.counter_value("network.rpc.unreachable"), 0u);
+
+  // health supervision.
+  EXPECT_EQ(m.gauge_value("health.quarantined"), 0);
+  EXPECT_EQ(m.counter_value("health.reports_ok"), 20u);
+  EXPECT_EQ(m.counter_value("health.reports_failed"), 2u);
+  EXPECT_EQ(m.counter_value("health.quarantines"), 0u);
+  EXPECT_EQ(m.counter_value("health.recoveries"), 0u);
+  EXPECT_EQ(m.counter_value("health.probes_sent"), 0u);
+  EXPECT_EQ(m.counter_value("health.probes_failed"), 0u);
+
+  // compiled evaluation.
+  EXPECT_EQ(m.counter_value("eval.programs_compiled"), 5u);
+  EXPECT_EQ(m.counter_value("eval.programs_fallback"), 0u);
+  EXPECT_EQ(m.counter_value("eval.compiled_evals"), 22u);
+  EXPECT_EQ(m.counter_value("eval.fallback_evals"), 0u);
+
+  // tenants.
+  for (const char* t : {"alice", "bob"}) {
+    const std::string p = std::string("tenants.") + t + ".";
+    EXPECT_EQ(m.counter_value(p + "submitted"), 1u) << t;
+    EXPECT_EQ(m.counter_value(p + "admitted"), 1u) << t;
+    EXPECT_EQ(m.counter_value(p + "rejected"), 0u) << t;
+    EXPECT_EQ(m.counter_value(p + "shed"), 0u) << t;
+    EXPECT_EQ(m.counter_value(p + "dispatched"), 1u) << t;
+    EXPECT_EQ(m.counter_value(p + "completed"), 1u) << t;
+    EXPECT_EQ(m.counter_value(p + "errors"), 0u) << t;
+    EXPECT_EQ(m.counter_value(p + "rows"), 0u) << t;
+    EXPECT_EQ(m.counter_value(p + "rows_degraded"), 0u) << t;
+    EXPECT_EQ(m.counter_value(p + "outcomes"), 0u) << t;
+    EXPECT_EQ(m.gauge_value(p + "mailbox_dropped"), 0) << t;
+  }
+
+  // Latency distributions and booleans render through stats_json with the
+  // historic formatting (%.3f percentiles, exact sample counts).
+  const std::string json = run.service->stats_json();
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  // scan_broker.batch_latency_ms: {count: 12, p50: 117.633, ...}.
+  EXPECT_NE(json.find("\"count\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 117.633"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 2000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 2000.000"), std::string::npos);
+  // tenants.*.admission_latency_ms: {count: 1, p50: 100.000, ...}.
+  EXPECT_NE(json.find("\"p50\": 100.000"), std::string::npos);
+
+  // Full snapshot (with histogram buckets) as a file artifact; CI
+  // schema-validates it with tools/validate_metrics.py.
+  std::ofstream out("metrics_snapshot.json");
+  out << m.snapshot_json(/*include_buckets=*/true) << '\n';
+  EXPECT_TRUE(out.good());
+}
+
+TEST(StatsGoldenTest, HealthSectionReportsDisabledWhenSupervisionOff) {
+  core::Config cfg;
+  cfg.seed = 11;
+  cfg.health_supervision = false;
+  core::Aorta sys(cfg);
+  EXPECT_EQ(sys.metrics().gauge_value("health.enabled"), 0);
+  EXPECT_FALSE(sys.metrics().contains("health.reports_ok"));
+  EXPECT_NE(sys.metrics().snapshot_json().find("\"enabled\": false"),
+            std::string::npos);
+}
+
+TEST(StatsGoldenTest, SameSeedRunsProduceByteIdenticalMetricsAndTraces) {
+  GoldenRun a(/*tracing=*/true);
+  GoldenRun b(/*tracing=*/true);
+  EXPECT_EQ(a.service->stats_json(), b.service->stats_json());
+  EXPECT_GT(a.sys->tracer().recorded(), 0u);
+  EXPECT_EQ(a.sys->tracer().chrome_json(), b.sys->tracer().chrome_json());
+}
+
+}  // namespace
+}  // namespace aorta

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare bench result JSON against committed baselines.
+
+Each baseline file (bench/baselines/*.json) names a results file and a list
+of checks over dotted paths into it:
+
+    {
+      "results": "bench_shared_scan.json",
+      "checks": [
+        {"path": "saving_at_32", "min": 5.0},
+        {"path": "sweep.5.shared.events", "equals": 736},
+        {"path": "events_identical", "equals": true}
+      ]
+    }
+
+Rules per check (any combination):
+    min      value must be >= min
+    max      value must be <= max
+    equals   value must equal (numbers: within "tol", default 1e-9)
+
+Path segments are object keys; integer segments index arrays
+("sweep.5.shared.events" -> results["sweep"][5]["shared"]["events"]).
+
+The bench workloads run in simulated time on a deterministic event loop,
+so simulation-derived metrics are identical across machines — baselines
+can pin them tightly. Wall-clock metrics (rows/sec) should only get
+directional bounds, if gated at all.
+
+Exit code 0 when every check passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def resolve(doc, path):
+    node = doc
+    for seg in path.split("."):
+        if isinstance(node, list):
+            try:
+                node = node[int(seg)]
+            except (ValueError, IndexError):
+                raise KeyError(path)
+        elif isinstance(node, dict):
+            if seg not in node:
+                raise KeyError(path)
+            node = node[seg]
+        else:
+            raise KeyError(path)
+    return node
+
+
+def run_check(check, doc):
+    """Returns (ok, actual, description-of-rule)."""
+    path = check["path"]
+    value = resolve(doc, path)
+    rules = []
+    ok = True
+    if "min" in check:
+        rules.append(f">= {check['min']}")
+        ok = ok and isinstance(value, (int, float)) and value >= check["min"]
+    if "max" in check:
+        rules.append(f"<= {check['max']}")
+        ok = ok and isinstance(value, (int, float)) and value <= check["max"]
+    if "equals" in check:
+        want = check["equals"]
+        rules.append(f"== {want!r}")
+        if isinstance(want, bool) or isinstance(value, bool):
+            ok = ok and value is want
+        elif isinstance(want, (int, float)) and isinstance(value, (int, float)):
+            ok = ok and abs(value - want) <= check.get("tol", 1e-9)
+        else:
+            ok = ok and value == want
+    if not rules:
+        raise ValueError(f"check for {path!r} has no min/max/equals rule")
+    return ok, value, " and ".join(rules)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of baseline specs (default: %(default)s)")
+    ap.add_argument("--results", default="results",
+                    help="directory of bench result JSON (default: %(default)s)")
+    args = ap.parse_args()
+
+    specs = sorted(
+        f for f in os.listdir(args.baselines) if f.endswith(".json"))
+    if not specs:
+        print(f"error: no baseline specs in {args.baselines}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    checks_run = 0
+    for spec_name in specs:
+        with open(os.path.join(args.baselines, spec_name)) as f:
+            spec = json.load(f)
+        results_path = os.path.join(args.results, spec["results"])
+        try:
+            with open(results_path) as f:
+                doc = json.load(f)
+        except FileNotFoundError:
+            print(f"FAIL {spec_name}: missing results file {results_path}")
+            failures += 1
+            continue
+        except json.JSONDecodeError as e:
+            print(f"FAIL {spec_name}: invalid JSON in {results_path}: {e}")
+            failures += 1
+            continue
+
+        for check in spec["checks"]:
+            checks_run += 1
+            try:
+                ok, value, rule = run_check(check, doc)
+            except KeyError:
+                print(f"FAIL {spec['results']} :: {check['path']}: "
+                      f"path not found")
+                failures += 1
+                continue
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} {spec['results']} :: {check['path']} = "
+                  f"{value!r} (want {rule})")
+            if not ok:
+                failures += 1
+
+    print(f"\n{checks_run} check(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Schema validation for a MetricsRegistry JSON snapshot.
+
+Hand-rolled (stdlib only) validator for the document
+MetricsRegistry::write_json / QueryService::stats_json renders:
+
+  * the whole document is one JSON object of nested objects;
+  * every leaf is a number or a boolean (counters/gauges), except
+    histogram leaves, which are objects holding at least
+    {"count", "p50", "p99", "max"} (plus the optional bucket export);
+  * object keys at every level are in sorted order — the determinism
+    guarantee ("same counters in, same bytes out") depends on it;
+  * the canonical system sections are present.
+
+Usage: validate_metrics.py SNAPSHOT.json [SNAPSHOT2.json ...]
+"""
+
+import json
+import sys
+
+REQUIRED_SECTIONS = {"admission", "eval", "health", "network", "scan_broker",
+                     "sessions"}
+HISTOGRAM_KEYS = {"count", "p50", "p99", "max"}
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID: {msg}")
+    return 1
+
+
+def is_histogram(node):
+    return isinstance(node, dict) and HISTOGRAM_KEYS <= set(node)
+
+
+def check_node(path, node, where):
+    if is_histogram(node):
+        for k in HISTOGRAM_KEYS:
+            v = node[k]
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                return fail(path, f"{where}.{k}: histogram field must be a "
+                                  f"number, got {v!r}")
+        return 0
+    if isinstance(node, dict):
+        keys = list(node)
+        if keys != sorted(keys):
+            return fail(path, f"{where}: keys not sorted: {keys}")
+        for k, v in node.items():
+            rc = check_node(path, v, f"{where}.{k}")
+            if rc:
+                return rc
+        return 0
+    if isinstance(node, bool) or isinstance(node, (int, float)):
+        return 0
+    return fail(path, f"{where}: leaf must be number/bool/histogram, "
+                      f"got {type(node).__name__}")
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    missing = REQUIRED_SECTIONS - set(doc)
+    if missing:
+        return fail(path, f"missing sections: {sorted(missing)}")
+    rc = check_node(path, doc, "$")
+    if rc:
+        return rc
+    print(f"{path}: OK ({len(doc)} top-level sections)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= validate(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

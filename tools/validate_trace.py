@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Schema validation for exported Chrome trace-event JSON (obs::Tracer).
+
+Hand-rolled (stdlib only — no jsonschema dependency) validator for the
+subset of the trace-event format the Tracer emits, which is also what
+Perfetto / chrome://tracing need to load the file:
+
+    {
+      "displayTimeUnit": "ms",
+      "traceEvents": [
+        {"ph": "M", "pid": 1, "name": "process_name"|"thread_name",
+         "args": {"name": <str>}, ...},
+        {"ph": "X", "pid": 1, "tid": <int>, "name": <str>, "cat": <str>,
+         "ts": <number >= 0>, "dur": <number >= 0>, ...}
+      ]
+    }
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Exits non-zero on the first malformed file. Also enforces that a trace
+holds at least one "X" span — an empty trace artifact means the
+instrumentation silently recorded nothing.
+"""
+
+import json
+import sys
+
+KNOWN_CATS = {"parse", "register", "sweep", "rpc", "eval", "action",
+              "delivery", "epoch", "health"}
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID: {msg}")
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("displayTimeUnit") != "ms":
+        return fail(path, "displayTimeUnit missing or not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "traceEvents missing or not an array")
+
+    spans = 0
+    cats = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(path, f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                return fail(path, f"{where}: metadata name {ev.get('name')!r}")
+            if not isinstance(ev.get("pid"), int):
+                return fail(path, f"{where}: metadata pid missing")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                    args.get("name"), str):
+                return fail(path, f"{where}: metadata args.name missing")
+        elif ph == "X":
+            spans += 1
+            if not isinstance(ev.get("name"), str) or not ev["name"]:
+                return fail(path, f"{where}: span name missing")
+            cat = ev.get("cat")
+            if not isinstance(cat, str) or cat not in KNOWN_CATS:
+                return fail(path, f"{where}: unknown span category {cat!r}")
+            cats.add(cat)
+            for field in ("ts", "dur"):
+                v = ev.get(field)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                        or v < 0:
+                    return fail(path, f"{where}: {field} must be a "
+                                      f"non-negative number, got {v!r}")
+            if not isinstance(ev.get("pid"), int):
+                return fail(path, f"{where}: span pid missing")
+            if not isinstance(ev.get("tid"), int):
+                return fail(path, f"{where}: span tid missing")
+        else:
+            return fail(path, f"{where}: unexpected ph {ph!r}")
+
+    if spans == 0:
+        return fail(path, "no 'X' span events (empty trace artifact)")
+    print(f"{path}: OK ({spans} spans across {len(cats)} categories: "
+          f"{', '.join(sorted(cats))})")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= validate(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
