@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/aorta.h"
+#include "shard/plane.h"
 #include "util/fault_plan.h"
 #include "util/json_writer.h"
 
@@ -164,6 +165,123 @@ ModeResult run_mode(bool supervision, const char* trace_path = nullptr) {
   return m;
 }
 
+// ---- sharded section -------------------------------------------------------
+//
+// The same scenario class against the 2-shard czar/worker plane, with a
+// worker kill layered on top: mote m1 (shard 1) crashes for 60 s, and
+// worker shard-0 (owning m0/m2) falls off the network for a 20 s window
+// inside that. Asserts the surviving shard's rows keep draining once the
+// czar marks shard-0 down, the czar re-registers the fragment on heal,
+// and m1's degraded (last-known-good) markers survive the fragment wire
+// format end-to-end.
+
+constexpr double kShardKillAt = 40.5;
+constexpr double kShardHealAt = 60.5;
+
+const char* kShardedPlanXml =
+    "<fault_plan>"
+    "<event at=\"20.5\" kind=\"crash\" device=\"m1\"/>"
+    "<event at=\"80.5\" kind=\"revive\" device=\"m1\"/>"
+    "<event at=\"40.5\" kind=\"partition\" shard=\"0\"/>"
+    "<event at=\"60.5\" kind=\"heal\" shard=\"0\"/>"
+    "</fault_plan>";
+
+struct ShardedResult {
+  std::uint64_t delivered = 0;
+  std::uint64_t degraded_rows = 0;
+  std::uint64_t rows_during_kill = 0;  // surviving shard, kill window
+  std::uint64_t rows_after_heal = 0;   // killed shard's motes, post-heal
+  std::uint64_t reregistrations = 0;
+  std::uint64_t quarantines = 0;
+  bool marker_ok = true;
+  std::string row_log;
+};
+
+ShardedResult run_sharded() {
+  aorta::core::Config cfg;
+  cfg.seed = 42;
+  cfg.health_supervision = true;
+  cfg.degraded_staleness = Duration::seconds(90.0);
+  aorta::core::Aorta sys(cfg);
+  aorta::shard::Plane::Options po;
+  po.num_shards = 2;
+  aorta::shard::Plane plane(&sys, po);
+  for (int i = 0; i < kMotes; ++i) {
+    std::string id = "m" + std::to_string(i);
+    (void)plane.add_mote(id, {static_cast<double>(i * 2), 0, 1});
+    plane.mote(id)->reliability().glitch_prob = 0.0;
+    (void)sys.network().set_link(id, aorta::net::LinkModel::perfect());
+    (void)plane.mote(id)->set_signal(
+        "temp", aorta::devices::constant_signal(20.0 + i));
+  }
+  const int killed_shard = 0;
+  const int surviving_shard = 1;
+
+  std::vector<RowRecord> rows;
+  aorta::core::ExecOptions opt;
+  opt.on_row = [&rows](const std::string&,
+                       const aorta::query::TimestampedRow& r) {
+    const std::string* id =
+        r.row.empty() ? nullptr : std::get_if<std::string>(&r.row[0].second);
+    rows.push_back(RowRecord{r.at.to_micros(), id != nullptr ? *id : "?",
+                             r.degraded});
+  };
+  bool registered = false;
+  plane.exec_async("CREATE AQ mon AS SELECT s.id, s.temp FROM sensor s",
+                   std::move(opt),
+                   [&](aorta::util::Result<aorta::core::ExecResult> r) {
+                     registered = r.is_ok();
+                   });
+  auto plan = aorta::util::FaultPlan::from_xml(kShardedPlanXml);
+  if (!plan.is_ok() || !plane.apply_fault_plan(plan.value()).is_ok()) {
+    std::fprintf(stderr, "sharded fault plan rejected\n");
+    std::exit(2);
+  }
+  sys.run_for(Duration::seconds(kSimSeconds));
+  if (!registered) {
+    std::fprintf(stderr, "sharded CREATE AQ failed\n");
+    std::exit(2);
+  }
+
+  ShardedResult m;
+  m.delivered = rows.size();
+  for (const RowRecord& r : rows) {
+    double at_s = static_cast<double>(r.at_us) / 1e6;
+    // Degraded markers may come from m1 (its quarantine) or from the
+    // killed shard's own devices after the partition begins: the
+    // partition drops the worker's scan RPCs too, so its supervisor
+    // quarantines m0/m2 and serves last-known-good rows until a
+    // re-probe succeeds shortly after heal.
+    bool killed_shard_quarantine =
+        plane.shard_of_device(r.device) == killed_shard &&
+        at_s > kShardKillAt;
+    if (r.degraded) {
+      ++m.degraded_rows;
+      if (r.device != kCrashedMote && !killed_shard_quarantine) {
+        m.marker_ok = false;
+      }
+    } else if (r.device == kCrashedMote && at_s > kCrashAt &&
+               at_s <= kReviveAt) {
+      m.marker_ok = false;
+    }
+    if (plane.shard_of_device(r.device) == surviving_shard &&
+        at_s > kShardKillAt + 5.0 && at_s <= kShardHealAt) {
+      ++m.rows_during_kill;  // +5 s: past the heartbeat-miss threshold
+    }
+    if (plane.shard_of_device(r.device) == killed_shard &&
+        at_s > kShardHealAt + 5.0) {
+      ++m.rows_after_heal;
+    }
+    m.row_log += std::to_string(r.at_us) + "|" + r.device + "|" +
+                 (r.degraded ? "d" : "f") + "\n";
+  }
+  m.reregistrations = plane.czar().stats().reregistrations;
+  m.quarantines = sys.metrics().counter_value(
+      "shard." + std::to_string(plane.shard_of_device(kCrashedMote)) +
+      ".health.quarantines");
+  return m;
+}
+
 void mode_json(aorta::util::JsonWriter& w, const ModeResult& m,
                double availability) {
   w.begin_object();
@@ -227,6 +345,26 @@ int main() {
   std::printf("%-28s %12s\n", "deterministic",
               deterministic ? "yes" : "NO");
 
+  // ---- sharded worker-kill run ---------------------------------------------
+  ShardedResult sh = run_sharded();
+  ShardedResult sh_again = run_sharded();
+  bool sharded_deterministic = sh.row_log == sh_again.row_log;
+  std::printf("\nSharded plane (2 workers; %s crashed t=[%g, %g), worker "
+              "shard-0 off the network t=[%g, %g)):\n",
+              kCrashedMote, kCrashAt, kReviveAt, kShardKillAt, kShardHealAt);
+  std::printf("  %-34s %8llu\n", "rows delivered",
+              static_cast<unsigned long long>(sh.delivered));
+  std::printf("  %-34s %8llu\n", "degraded rows (wire-preserved)",
+              static_cast<unsigned long long>(sh.degraded_rows));
+  std::printf("  %-34s %8llu\n", "surviving-shard rows during kill",
+              static_cast<unsigned long long>(sh.rows_during_kill));
+  std::printf("  %-34s %8llu\n", "killed-shard rows after heal",
+              static_cast<unsigned long long>(sh.rows_after_heal));
+  std::printf("  %-34s %8llu\n", "czar re-registrations",
+              static_cast<unsigned long long>(sh.reregistrations));
+  std::printf("  %-34s %8s\n", "deterministic",
+              sharded_deterministic ? "yes" : "NO");
+
   aorta::util::JsonWriter w(2);
   w.begin_object();
   w.kv("motes", kMotes);
@@ -242,6 +380,16 @@ int main() {
   mode_json(w, off, avail_off);
   w.kv("rpc_saving", rpc_ratio);
   w.kv("deterministic", deterministic);
+  w.key("sharded").begin_object();
+  w.kv("delivered", sh.delivered);
+  w.kv("degraded_rows", sh.degraded_rows);
+  w.kv("rows_during_kill", sh.rows_during_kill);
+  w.kv("rows_after_heal", sh.rows_after_heal);
+  w.kv("reregistrations", sh.reregistrations);
+  w.kv("quarantines", sh.quarantines);
+  w.kv("marker_ok", sh.marker_ok);
+  w.kv("deterministic", sharded_deterministic);
+  w.end_object();
   w.end_object();
   std::ofstream out("results/bench_chaos.json");
   out << w.str() << '\n';
@@ -270,6 +418,24 @@ int main() {
   if (!deterministic) {
     std::printf("WARNING: supervision-on runs diverged across same-seed "
                 "replays\n");
+    rc = 1;
+  }
+  if (!sh.marker_ok || sh.degraded_rows == 0) {
+    std::printf("WARNING: sharded degradation-marker invariant violated\n");
+    rc = 1;
+  }
+  if (sh.rows_during_kill == 0) {
+    std::printf("WARNING: surviving shard's rows stalled during the worker "
+                "kill\n");
+    rc = 1;
+  }
+  if (sh.rows_after_heal == 0 || sh.reregistrations == 0) {
+    std::printf("WARNING: czar did not re-register fragments on the healed "
+                "worker\n");
+    rc = 1;
+  }
+  if (!sharded_deterministic) {
+    std::printf("WARNING: sharded runs diverged across same-seed replays\n");
     rc = 1;
   }
   return rc;

@@ -1,0 +1,232 @@
+// Sharded czar/worker scalability bench (src/shard + src/server).
+//
+// Sweeps session count x shard count: N closed-loop clients across 10
+// tenants submit SELECTs and CREATE AQs through a `server::QueryService`
+// running in sharded mode (`ServiceConfig::num_shards`), where the czar
+// plans each statement into per-shard fragments and merges the partials.
+// num_shards=1 is the ablation baseline: the same czar/fragment/merge
+// machinery with a single worker engine, i.e. today's single-engine
+// capacity behind the sharded interface.
+//
+// Capacity model: each worker is a full vertical engine (executor, scan
+// broker, scheduler), so the service's dispatch budget — the per-tick
+// drain that bounds execution throughput — scales linearly with the
+// worker count, as does the admission queue backing it. The admission
+// front door (parse, quota, queue) stays shared: that is the czar.
+//
+// Acceptance (checked by bench/baselines/bench_sharded_scale.json):
+//   - >= 3x completed-queries/s at 8 workers vs 1 worker on 10k sessions
+//   - shed rate at 100k sessions (8 workers) below the single-engine
+//     10k-session shed rate (94.9%, bench_server_scale's 10k sweep point
+//     — the plateau that motivated the sharded plane)
+//
+// Deterministic simulated time; results are identical across machines.
+// Writes results/bench_sharded_scale.json.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/aorta.h"
+#include "server/service.h"
+#include "server/workload_gen.h"
+#include "shard/plane.h"
+#include "util/json_writer.h"
+#include "util/stats.h"
+
+namespace {
+
+using aorta::util::Duration;
+
+constexpr int kTenants = 10;
+constexpr double kSimSeconds = 30.0;
+
+// Same instrumented building as bench_server_scale, but registered
+// through the plane so the hash partition spreads the motes across the
+// worker registries.
+void build_world(aorta::server::QueryService& service) {
+  aorta::shard::Plane* plane = service.plane();
+  for (int i = 0; i < 8; ++i) {
+    std::string id = "mote" + std::to_string(i);
+    (void)plane->add_mote(id, {static_cast<double>(i * 3), 0, 1}, 1 + i % 2);
+    (void)plane->mote(id)->set_signal(
+        "accel_x",
+        aorta::devices::periodic_spike_signal(
+            0.0, 900.0, Duration::seconds(10.0), Duration::seconds(1.0),
+            Duration::seconds(static_cast<double>(i))));
+    (void)plane->mote(id)->set_signal("temp",
+                                      aorta::devices::constant_signal(22.0));
+  }
+}
+
+struct RunResult {
+  aorta::server::AdmissionStats admission;
+  aorta::util::Summary latency_ms;
+  std::uint64_t completed_total = 0;
+  std::uint64_t selects_merged = 0;   // czar-side one-shot merges
+  std::uint64_t rows_received = 0;    // continuous rows into the merger
+  int workers_live = 0;
+};
+
+RunResult run_point(int sessions, int shards) {
+  aorta::core::Config cfg;
+  cfg.scan_freshness = Duration::millis(250);
+  aorta::core::Aorta sys(cfg);
+
+  aorta::server::ServiceConfig sc;
+  sc.num_shards = shards;
+  // Capacity model: the dispatch budget (64 statements per 100 ms tick
+  // per worker — the same per-engine figure bench_server_scale runs with)
+  // and the queue backing it scale with the worker count; the admission
+  // front door stays shared. The per-tenant in-flight quota is opened up
+  // so the dispatch budget, not the quota, is the contended resource
+  // being scaled.
+  sc.max_dispatch_per_tick = 64 * static_cast<std::size_t>(shards);
+  sc.admission.queue_capacity = 1024 * static_cast<std::size_t>(shards);
+  sc.admission.max_inflight_selects_per_tenant = 1 << 20;
+  sc.admission.max_aqs_per_tenant = 64 * static_cast<std::size_t>(shards);
+  sc.admission.policy = aorta::util::OverflowPolicy::kShedOldest;
+  sc.admission.fair_dequeue = true;
+  aorta::server::QueryService service(&sys, sc);
+  build_world(service);
+
+  aorta::server::WorkloadConfig wc;
+  wc.tenants = kTenants;
+  wc.sessions_per_tenant = sessions / kTenants;
+  wc.mode = aorta::server::WorkloadConfig::Mode::kClosedLoop;
+  wc.think = Duration::seconds(1.0);
+  wc.seed = 1000 + static_cast<std::uint64_t>(sessions) +
+            static_cast<std::uint64_t>(shards);
+  aorta::server::WorkloadGen gen(&service, &sys, wc);
+  gen.start();
+  sys.run_for(Duration::seconds(kSimSeconds));
+  gen.stop();
+
+  RunResult r;
+  r.admission = service.admission().stats();
+  r.latency_ms = service.admission_latency_ms();
+  for (const auto& [tenant, ts] : service.tenant_stats()) {
+    r.completed_total += ts.completed;
+  }
+  const aorta::shard::Czar& czar = service.plane()->czar();
+  r.selects_merged = czar.stats().selects;
+  r.rows_received = czar.stats().rows_received;
+  for (int i = 0; i < shards; ++i) {
+    r.workers_live += czar.worker_live(i) ? 1 : 0;
+  }
+  return r;
+}
+
+double shed_pct(const RunResult& r) {
+  return r.admission.submitted == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(r.admission.shed) /
+                   static_cast<double>(r.admission.submitted);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The full 2x4 cross product runs ~100k-session points at every shard
+  // count; CI only needs the acceptance points, so the sweep defaults to
+  // the 10k row plus the 100k endpoints and --full unlocks the rest.
+  const bool full = argc > 1 && std::string(argv[1]) == "--full";
+  std::printf("Sharded czar/worker scalability (simulated time, "
+              "deterministic)%s\n", full ? " [--full]" : "");
+
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  const std::vector<int> session_counts = {10000, 100000};
+  double thruput_10k_1 = 0.0, thruput_10k_8 = 0.0;
+  double shed_10k_1 = 0.0, shed_100k_8 = 0.0;
+
+  std::printf("\n%8s %7s %10s %12s %10s %10s %8s %6s\n", "sessions", "shards",
+              "completed", "thruput/s", "p50_ms", "p99_ms", "shed%", "live");
+  aorta::util::JsonWriter w(2);
+  w.begin_object();
+  w.key("sweep").begin_array();
+  for (int sessions : session_counts) {
+    for (int shards : shard_counts) {
+      const bool acceptance_point =
+          sessions == 10000 || shards == 1 || shards == 8;
+      if (!full && !acceptance_point) {
+        std::printf("%8d %7d %s\n", sessions, shards,
+                    "(skipped; rerun with --full)");
+        continue;
+      }
+      RunResult r = run_point(sessions, shards);
+      double thruput = static_cast<double>(r.completed_total) / kSimSeconds;
+      double p50 = r.latency_ms.empty() ? 0.0 : r.latency_ms.percentile(50.0);
+      double p99 = r.latency_ms.empty() ? 0.0 : r.latency_ms.percentile(99.0);
+      double shed = shed_pct(r);
+      if (sessions == 10000 && shards == 1) {
+        thruput_10k_1 = thruput;
+        shed_10k_1 = shed;
+      }
+      if (sessions == 10000 && shards == 8) thruput_10k_8 = thruput;
+      if (sessions == 100000 && shards == 8) shed_100k_8 = shed;
+      std::printf("%8d %7d %10llu %12.1f %10.3f %10.3f %8.2f %6d\n", sessions,
+                  shards, static_cast<unsigned long long>(r.completed_total),
+                  thruput, p50, p99, shed, r.workers_live);
+      w.begin_object();
+      w.kv("sessions", sessions);
+      w.kv("shards", shards);
+      w.kv("completed", r.completed_total);
+      w.kv("throughput_per_s", thruput);
+      w.key("admission_latency_ms").begin_object();
+      w.kv("p50", p50);
+      w.kv("p99", p99);
+      w.end_object();
+      w.kv("submitted", r.admission.submitted);
+      w.kv("admitted", r.admission.admitted);
+      w.kv("dispatched", r.admission.dispatched);
+      w.kv("shed", r.admission.shed);
+      w.kv("shed_pct", shed);
+      w.kv("selects_merged", r.selects_merged);
+      w.kv("rows_received", r.rows_received);
+      w.kv("workers_live", r.workers_live);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  // The shed plateau the sharded plane is meant to break: the unsharded
+  // engine's 10k-session sweep point in bench_server_scale.
+  const double kSingleEngineShed10k = 94.9;
+  const double speedup =
+      thruput_10k_1 == 0.0 ? 0.0 : thruput_10k_8 / thruput_10k_1;
+  std::printf("\n8-worker vs 1-worker speedup at 10k sessions: %.2fx\n",
+              speedup);
+  std::printf("shed at 100k sessions / 8 workers: %.2f%% "
+              "(single-engine 10k reference: %.2f%%; 1 worker / 10k "
+              "sessions here: %.2f%%)\n",
+              shed_100k_8, kSingleEngineShed10k, shed_10k_1);
+
+  w.key("summary").begin_object();
+  w.kv("speedup_8v1_10k", speedup);
+  w.kv("shed_pct_10k_1shard", shed_10k_1);
+  w.kv("shed_pct_100k_8shard", shed_100k_8);
+  w.kv("single_engine_shed_pct_10k", kSingleEngineShed10k);
+  w.end_object();
+  w.end_object();
+
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  std::ofstream out("results/bench_sharded_scale.json");
+  out << w.str() << '\n';
+  std::printf("\nwrote results/bench_sharded_scale.json\n");
+
+  int rc = 0;
+  if (speedup < 3.0) {
+    std::printf("WARNING: speedup %.2fx is below the 3x scaling target\n",
+                speedup);
+    rc = 1;
+  }
+  if (shed_100k_8 >= kSingleEngineShed10k) {
+    std::printf("WARNING: 100k-session shed %.2f%% did not improve on the "
+                "single-engine 10k rate %.2f%%\n", shed_100k_8,
+                kSingleEngineShed10k);
+    rc = 1;
+  }
+  return rc;
+}

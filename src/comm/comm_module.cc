@@ -13,16 +13,17 @@ using device::Value;
 
 // -------------------------------------------------------------- EngineNode
 
-EngineNode::EngineNode(net::Network* network)
-    : network_(network), rpc_(network, kNodeId) {
+EngineNode::EngineNode(net::Network* network, net::NodeId node_id)
+    : network_(network), node_id_(std::move(node_id)),
+      rpc_(network, node_id_) {
   // The engine host sits on the wired LAN.
-  Status attach = network_->attach(kNodeId, this, net::LinkModel::lan());
+  Status attach = network_->attach(node_id_, this, net::LinkModel::lan());
   if (!attach.is_ok()) {
     AORTA_LOG(kError, "comm") << "engine attach failed: " << attach.to_string();
   }
 }
 
-EngineNode::~EngineNode() { (void)network_->detach(kNodeId); }
+EngineNode::~EngineNode() { (void)network_->detach(node_id_); }
 
 void EngineNode::on_message(const net::Message& msg) {
   if (rpc_.on_reply(msg)) return;
@@ -206,8 +207,9 @@ void PhoneComm::send_mms(const device::DeviceId& id, const std::string& body,
 
 // --------------------------------------------------------------- CommLayer
 
-CommLayer::CommLayer(device::DeviceRegistry* registry, net::Network* network)
-    : engine_(network),
+CommLayer::CommLayer(device::DeviceRegistry* registry, net::Network* network,
+                     net::NodeId node_id)
+    : engine_(network, std::move(node_id)),
       camera_(registry, &engine_),
       mote_(registry, &engine_),
       phone_(registry, &engine_) {}

@@ -34,10 +34,15 @@ class EngineNode : public net::Endpoint {
  public:
   static constexpr const char* kNodeId = "aorta-engine";
 
-  explicit EngineNode(net::Network* network);
+  // `node_id` names the engine's presence on the network. The default is
+  // the historic single-engine id; the sharded plane gives each worker
+  // engine its own ("shard-0", "shard-1", ...) so N engines can share one
+  // simulated network.
+  explicit EngineNode(net::Network* network, net::NodeId node_id = kNodeId);
   ~EngineNode() override;
 
   net::RpcClient& rpc() { return rpc_; }
+  const net::NodeId& node_id() const { return node_id_; }
 
   using PushHandler = std::function<void(const net::Message&)>;
   void set_push_handler(PushHandler handler) { push_handler_ = std::move(handler); }
@@ -46,6 +51,7 @@ class EngineNode : public net::Endpoint {
 
  private:
   net::Network* network_;
+  net::NodeId node_id_;
   net::RpcClient rpc_;
   PushHandler push_handler_;
 };
@@ -168,7 +174,10 @@ class PhoneComm : public CommModule {
 // closes with).
 class CommLayer {
  public:
-  CommLayer(device::DeviceRegistry* registry, net::Network* network);
+  // `node_id` names the engine endpoint this layer attaches (default: the
+  // historic single-engine id; workers pass "shard-<i>").
+  CommLayer(device::DeviceRegistry* registry, net::Network* network,
+            net::NodeId node_id = EngineNode::kNodeId);
 
   EngineNode& engine() { return engine_; }
   CommModule* module_for(const device::DeviceTypeId& type_id);

@@ -78,14 +78,14 @@ ScanBroker::TypeState& ScanBroker::type_state(
   return *it->second;
 }
 
-void ScanBroker::set_metrics(obs::MetricsRegistry* metrics) {
-  metrics_ = metrics;
-  if (metrics_ == nullptr) return;
-  metrics_->enroll_gauge("scan_broker.subscribers", [this]() {
+void ScanBroker::set_metrics(obs::MetricsRegistry* metrics,
+                             std::string prefix) {
+  metrics_ = obs::MetricsRegistry::Scoped(metrics, std::move(prefix));
+  if (!metrics_.live()) return;
+  metrics_.enroll_gauge("subscribers", [this]() {
     return static_cast<std::int64_t>(subs_.size());
   });
-  metrics_->enroll_histogram("scan_broker.batch_latency_ms",
-                             &batch_latency_ms_);
+  metrics_.enroll_histogram("batch_latency_ms", &batch_latency_ms_);
   for (auto& [type, stats] : stats_) enroll_type_stats(type, stats);
 }
 
@@ -94,7 +94,7 @@ BrokerTypeStats& ScanBroker::type_stats(
   auto it = stats_.find(type);
   if (it == stats_.end()) {
     it = stats_.emplace(type, BrokerTypeStats{}).first;
-    if (metrics_ != nullptr) enroll_type_stats(type, it->second);
+    if (metrics_.live()) enroll_type_stats(type, it->second);
   }
   return it->second;
 }
@@ -102,22 +102,21 @@ BrokerTypeStats& ScanBroker::type_stats(
 void ScanBroker::enroll_type_stats(const device::DeviceTypeId& type,
                                    BrokerTypeStats& stats) {
   std::string prefix =
-      "scan_broker.types." + obs::MetricsRegistry::sanitize_component(type) +
-      ".";
-  metrics_->enroll_counter(prefix + "batches", &stats.batches);
-  metrics_->enroll_counter(prefix + "rpcs_issued", &stats.rpcs_issued);
-  metrics_->enroll_counter(prefix + "rpcs_coalesced", &stats.rpcs_coalesced);
-  metrics_->enroll_counter(prefix + "cache_hits", &stats.cache_hits);
-  metrics_->enroll_counter(prefix + "read_failures", &stats.read_failures);
-  metrics_->enroll_counter(prefix + "tuples_delivered",
-                           &stats.tuples_delivered);
-  metrics_->enroll_counter(prefix + "deliveries", &stats.deliveries);
-  metrics_->enroll_counter(prefix + "devices_skipped", &stats.devices_skipped);
-  metrics_->enroll_counter(prefix + "quarantined_skips",
-                           &stats.quarantined_skips);
-  metrics_->enroll_counter(prefix + "degraded_reads", &stats.degraded_reads);
-  metrics_->enroll_counter(prefix + "degraded_tuples", &stats.degraded_tuples);
-  metrics_->enroll_gauge(prefix + "subscribers", [this, type]() {
+      "types." + obs::MetricsRegistry::sanitize_component(type) + ".";
+  metrics_.enroll_counter(prefix + "batches", &stats.batches);
+  metrics_.enroll_counter(prefix + "rpcs_issued", &stats.rpcs_issued);
+  metrics_.enroll_counter(prefix + "rpcs_coalesced", &stats.rpcs_coalesced);
+  metrics_.enroll_counter(prefix + "cache_hits", &stats.cache_hits);
+  metrics_.enroll_counter(prefix + "read_failures", &stats.read_failures);
+  metrics_.enroll_counter(prefix + "tuples_delivered",
+                          &stats.tuples_delivered);
+  metrics_.enroll_counter(prefix + "deliveries", &stats.deliveries);
+  metrics_.enroll_counter(prefix + "devices_skipped", &stats.devices_skipped);
+  metrics_.enroll_counter(prefix + "quarantined_skips",
+                          &stats.quarantined_skips);
+  metrics_.enroll_counter(prefix + "degraded_reads", &stats.degraded_reads);
+  metrics_.enroll_counter(prefix + "degraded_tuples", &stats.degraded_tuples);
+  metrics_.enroll_gauge(prefix + "subscribers", [this, type]() {
     return static_cast<std::int64_t>(subscriber_count(type));
   });
 }

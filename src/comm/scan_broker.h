@@ -115,8 +115,13 @@ class ScanBroker {
 
   // Metrics enrollment (nullable = off): publishes the subscriber gauge,
   // the batch latency histogram, and — lazily, as device types first see
-  // traffic — every per-type counter under "scan_broker.types.<type>.*".
-  void set_metrics(obs::MetricsRegistry* metrics);
+  // traffic — every per-type counter under "<prefix>types.<type>.*". The
+  // default prefix preserves the historic unsharded layout
+  // ("scan_broker.*"); the sharded plane enrolls each worker's broker
+  // under an indexed prefix ("shard.<i>.scan_broker.") so N brokers don't
+  // collide on one registry.
+  void set_metrics(obs::MetricsRegistry* metrics,
+                   std::string prefix = "scan_broker.");
   // Span tracing (nullable = off): each batch records a `sweep` span from
   // issue to fan-out.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -188,7 +193,10 @@ class ScanBroker {
   aorta::util::EventLoop* loop_;
   Options options_;
   const device::HealthView* health_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
+  // Prefix-scoped registry view; dead (no-op) until set_metrics. Stored as
+  // a scope because per-type counters enroll lazily on first traffic — the
+  // prefix must outlive the set_metrics call.
+  obs::MetricsRegistry::Scoped metrics_;
   obs::Tracer* tracer_ = nullptr;
 
   std::map<device::DeviceTypeId, std::unique_ptr<TypeState>> types_;

@@ -99,6 +99,7 @@ void Aorta::enroll_system_metrics() {
   metrics_.enroll_counter("network.rpc.timeouts", &rpc.timeouts);
   metrics_.enroll_counter("network.rpc.late_replies", &rpc.late_replies);
   metrics_.enroll_counter("network.rpc.unreachable", &rpc.unreachable);
+  metrics_.enroll_counter("network.rpc.slow_replies", &rpc.slow_replies);
 
   const sync::LockStats& locks = locks_->stats();
   metrics_.enroll_counter("sync.locks.acquisitions", &locks.acquisitions);
@@ -394,14 +395,28 @@ Result<ExecResult> Aorta::exec_ddl(query::Statement& s, const std::string& sql,
 void Aorta::run_for(Duration span) { loop_->run_for(span); }
 
 Status Aorta::apply_fault_plan(const util::FaultPlan& plan) {
+  return schedule_fault_plan(
+      plan, loop_.get(), network_.get(),
+      [this](const device::DeviceId& id) { return registry_->find(id); });
+}
+
+Status schedule_fault_plan(
+    const util::FaultPlan& plan, aorta::util::EventLoop* loop,
+    net::Network* network,
+    std::function<device::Device*(const device::DeviceId&)> find_device) {
   // Validate every target up front so a typo in a plan file fails the
   // whole apply instead of silently no-opping one event mid-run.
   for (const util::FaultEvent& e : plan.events) {
+    if (e.shard >= 0) {
+      return aorta::util::invalid_argument_error(
+          "fault plan targets shard " + std::to_string(e.shard) +
+          " but this system has no sharded plane (run with num_shards > 0)");
+    }
     switch (e.kind) {
       case util::FaultEvent::Kind::kCrash:
       case util::FaultEvent::Kind::kRevive:
       case util::FaultEvent::Kind::kGlitchSpike:
-        if (registry_->find(e.target) == nullptr) {
+        if (find_device(e.target) == nullptr) {
           return aorta::util::not_found_error(
               "fault plan targets unknown device: " + e.target);
         }
@@ -409,7 +424,7 @@ Status Aorta::apply_fault_plan(const util::FaultPlan& plan) {
       case util::FaultEvent::Kind::kPartition:
       case util::FaultEvent::Kind::kHeal:
       case util::FaultEvent::Kind::kLossSpike:
-        if (!network_->attached(e.target)) {
+        if (!network->attached(e.target)) {
           return aorta::util::not_found_error(
               "fault plan targets unattached node: " + e.target);
         }
@@ -418,43 +433,45 @@ Status Aorta::apply_fault_plan(const util::FaultPlan& plan) {
   }
 
   for (const util::FaultEvent& e : plan.events) {
-    loop_->schedule(Duration::seconds(e.at_s), [this, e]() {
+    loop->schedule(Duration::seconds(e.at_s), [loop, network, find_device,
+                                               e]() {
       switch (e.kind) {
         case util::FaultEvent::Kind::kCrash:
         case util::FaultEvent::Kind::kRevive: {
-          device::Device* dev = registry_->find(e.target);
+          device::Device* dev = find_device(e.target);
           if (dev != nullptr) {
             dev->set_online(e.kind == util::FaultEvent::Kind::kRevive);
           }
           break;
         }
         case util::FaultEvent::Kind::kPartition:
-          network_->partition(e.target);
+          network->partition(e.target);
           break;
         case util::FaultEvent::Kind::kHeal:
-          network_->heal(e.target);
+          network->heal(e.target);
           break;
         case util::FaultEvent::Kind::kLossSpike: {
           // Capture the link as it is *now* (it may have changed since the
           // plan was applied) and restore it when the spike interval ends.
-          const net::LinkModel* current = network_->link(e.target);
+          const net::LinkModel* current = network->link(e.target);
           if (current == nullptr) break;
           net::LinkModel restored = *current;
           net::LinkModel spiked = restored;
           spiked.loss_prob = e.prob;
-          (void)network_->set_link(e.target, spiked);
-          loop_->schedule(Duration::seconds(e.for_s), [this, e, restored]() {
-            (void)network_->set_link(e.target, restored);
+          (void)network->set_link(e.target, spiked);
+          loop->schedule(Duration::seconds(e.for_s), [network, e, restored]() {
+            (void)network->set_link(e.target, restored);
           });
           break;
         }
         case util::FaultEvent::Kind::kGlitchSpike: {
-          device::Device* dev = registry_->find(e.target);
+          device::Device* dev = find_device(e.target);
           if (dev == nullptr) break;
           double restored = dev->reliability().glitch_prob;
           dev->reliability().glitch_prob = e.prob;
-          loop_->schedule(Duration::seconds(e.for_s), [this, e, restored]() {
-            device::Device* d = registry_->find(e.target);
+          loop->schedule(Duration::seconds(e.for_s), [find_device, e,
+                                                      restored]() {
+            device::Device* d = find_device(e.target);
             if (d != nullptr) d->reliability().glitch_prob = restored;
           });
           break;

@@ -185,6 +185,12 @@ class Aorta {
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
+  // Fork an independent deterministic RNG stream off the system seed. The
+  // sharded plane forks one per worker stack so same-seed runs stay
+  // byte-identical regardless of how work interleaves across shards.
+  aorta::util::Rng fork_rng() { return rng_.fork(); }
+  const Config& config() const { return config_; }
+
  private:
   void register_builtin_types();
   void register_builtin_functions();
@@ -217,5 +223,17 @@ class Aorta {
   std::unique_ptr<query::ContinuousQueryExecutor> executor_;
   std::map<std::string, std::string> virtual_files_;
 };
+
+// Schedule a validated fault plan's events on `loop` relative to the
+// current simulated time. `find_device` resolves device targets (it may
+// search several registries — the sharded plane passes a plane-wide
+// lookup); link-level events (partition/heal/loss) are resolved against
+// `network` directly. Events carrying a shard index are rejected: callers
+// that understand shards (shard::Plane) must rewrite them to node-level
+// events before delegating here.
+aorta::util::Status schedule_fault_plan(
+    const util::FaultPlan& plan, aorta::util::EventLoop* loop,
+    net::Network* network,
+    std::function<device::Device*(const device::DeviceId&)> find_device);
 
 }  // namespace aorta::core

@@ -34,6 +34,7 @@ void RpcClient::call(NodeId dst, std::string kind,
         Pending pending = std::move(it->second);
         pending_.erase(it);
         ++stats_.timeouts;
+        settle_endpoint(pending, /*timed_out=*/true, /*completed=*/false);
         trace_span(pending, "timeout");
         if (timed_out_.size() >= kTimedOutMemory) {
           timed_out_.erase(timed_out_.begin());
@@ -44,20 +45,36 @@ void RpcClient::call(NodeId dst, std::string kind,
       });
 
   Pending pending{std::move(callback), timeout_event};
+  pending.started = network_->loop().now();
+  pending.dst = msg.dst;
   if (AORTA_TRACE_ENABLED(tracer_)) {
-    pending.started = network_->loop().now();
     pending.trace_kind = msg.kind;
-    pending.trace_dst = msg.dst;
   }
+  RpcEndpointStats& ep = endpoint_stats_[pending.dst];
+  ++ep.calls;
+  ++ep.in_flight;
+  ep.max_in_flight = std::max(ep.max_in_flight, ep.in_flight);
   pending_.emplace(id, std::move(pending));
   network_->send(std::move(msg));
+}
+
+void RpcClient::settle_endpoint(const Pending& pending, bool timed_out,
+                                bool completed) {
+  RpcEndpointStats& ep = endpoint_stats_[pending.dst];
+  if (ep.in_flight > 0) --ep.in_flight;
+  if (timed_out) ++ep.timeouts;
+  if (completed &&
+      network_->loop().now() - pending.started > slow_threshold_) {
+    ++ep.slow_replies;
+    ++stats_.slow_replies;
+  }
 }
 
 void RpcClient::trace_span(const Pending& pending, const char* outcome) {
   if (pending.trace_kind.empty()) return;  // call predates tracing-on
   AORTA_TRACE_SPAN(tracer_, obs::SpanCat::kRpc, pending.trace_kind,
                    pending.started, network_->loop().now(),
-                   pending.trace_dst + " " + outcome);
+                   pending.dst + " " + outcome);
 }
 
 bool RpcClient::on_reply(const Message& msg) {
@@ -82,12 +99,14 @@ bool RpcClient::on_reply(const Message& msg) {
   if (msg.kind == "rpc_unreachable") {
     // The network bounced the request: destination offline or detached.
     ++stats_.unreachable;
+    settle_endpoint(pending, /*timed_out=*/false, /*completed=*/false);
     trace_span(pending, "unreachable");
     pending.callback(Result<Message>(aorta::util::unavailable_error(
         "device unreachable: " + msg.src)));
     return true;
   }
   ++stats_.completed;
+  settle_endpoint(pending, /*timed_out=*/false, /*completed=*/true);
   trace_span(pending, "ok");
   pending.callback(Result<Message>(msg));
   return true;

@@ -29,6 +29,18 @@ struct RpcStats {
   std::uint64_t timeouts = 0;      // calls that expired with no reply
   std::uint64_t late_replies = 0;  // replies that lost the race to a timeout
   std::uint64_t unreachable = 0;   // calls failed fast by a network bounce
+  std::uint64_t slow_replies = 0;  // replies slower than the slow-peer bound
+};
+
+// Per-destination counters: queue depth (in-flight calls awaiting a reply
+// or timeout) and how often the peer answered slower than the slow-peer
+// bound — the backpressure signal a czar needs about each worker.
+struct RpcEndpointStats {
+  std::uint64_t calls = 0;          // requests issued to this peer
+  std::uint64_t in_flight = 0;      // outstanding right now
+  std::uint64_t max_in_flight = 0;  // high-water queue depth
+  std::uint64_t timeouts = 0;       // calls to this peer that expired
+  std::uint64_t slow_replies = 0;   // replies past the slow-peer bound
 };
 
 // Client half. Owns a node id on the network and demultiplexes replies by
@@ -55,6 +67,18 @@ class RpcClient {
   std::uint64_t timeouts() const { return stats_.timeouts; }
   std::uint64_t completed() const { return stats_.completed; }
 
+  // Per-destination queue-depth / slow-peer counters, keyed by node id.
+  // Entries appear on first call to a destination and are never dropped.
+  const std::map<NodeId, RpcEndpointStats>& endpoint_stats() const {
+    return endpoint_stats_;
+  }
+
+  // A completed reply counts as slow when its round trip exceeds this
+  // bound (globally in RpcStats::slow_replies and per destination).
+  // Default 1 s: well past any healthy simulated link's round trip.
+  void set_slow_threshold(aorta::util::Duration d) { slow_threshold_ = d; }
+  aorta::util::Duration slow_threshold() const { return slow_threshold_; }
+
   // Span tracing (nullable = off): every call records an `rpc` span from
   // issue to reply/timeout/bounce. The per-call labels are only captured
   // while the tracer is live, so a disabled tracer costs nothing.
@@ -65,11 +89,15 @@ class RpcClient {
     RpcCallback callback;
     aorta::util::EventId timeout_event;
     aorta::util::TimePoint started;
+    NodeId dst;
     std::string trace_kind;  // non-empty only when traced
-    std::string trace_dst;
   };
 
   void trace_span(const Pending& pending, const char* outcome);
+  // Close out one in-flight call against its endpoint entry; counts the
+  // reply as slow when `completed_rtt` (replies only) exceeds the bound.
+  void settle_endpoint(const Pending& pending, bool timed_out,
+                       bool completed);
 
   Network* network_;
   NodeId self_;
@@ -80,6 +108,8 @@ class RpcClient {
   // reply is recognised and counted instead of silently dropped.
   std::set<std::uint64_t> timed_out_;
   RpcStats stats_;
+  std::map<NodeId, RpcEndpointStats> endpoint_stats_;
+  aorta::util::Duration slow_threshold_ = aorta::util::Duration::seconds(1.0);
 };
 
 // Server-side helper: build a reply to `request` with the same request_id.

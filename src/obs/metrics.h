@@ -89,6 +89,52 @@ class MetricsRegistry {
   // Remove every metric whose name starts with `prefix`.
   void unenroll_prefix(std::string_view prefix);
 
+  // A registry view that prepends a fixed prefix to every enrolled name,
+  // so the same view schema can be enrolled N times under indexed
+  // namespaces ("shard.0.scan_broker.*", "shard.1.scan_broker.*") without
+  // colliding. A default-constructed Scoped (or one on a null registry)
+  // turns every enrollment into a no-op, which lets modules keep a single
+  // unconditional enrollment path.
+  class Scoped {
+   public:
+    Scoped() = default;
+    Scoped(MetricsRegistry* registry, std::string prefix)
+        : registry_(registry), prefix_(std::move(prefix)) {}
+
+    bool live() const { return registry_ != nullptr; }
+    const std::string& prefix() const { return prefix_; }
+    MetricsRegistry* registry() const { return registry_; }
+
+    void enroll_counter(const std::string& name, const std::uint64_t* c) {
+      if (registry_ != nullptr) registry_->enroll_counter(prefix_ + name, c);
+    }
+    void enroll_gauge(const std::string& name, GaugeFn fn) {
+      if (registry_ != nullptr) {
+        registry_->enroll_gauge(prefix_ + name, std::move(fn));
+      }
+    }
+    void enroll_gauge_bool(const std::string& name, BoolGaugeFn fn) {
+      if (registry_ != nullptr) {
+        registry_->enroll_gauge_bool(prefix_ + name, std::move(fn));
+      }
+    }
+    void enroll_histogram(const std::string& name, const LatencyHistogram* h) {
+      if (registry_ != nullptr) registry_->enroll_histogram(prefix_ + name, h);
+    }
+    // Withdraw everything this scope enrolled.
+    void unenroll_all() {
+      if (registry_ != nullptr && !prefix_.empty()) {
+        registry_->unenroll_prefix(prefix_);
+      }
+    }
+
+   private:
+    MetricsRegistry* registry_ = nullptr;
+    std::string prefix_;
+  };
+
+  Scoped scoped(std::string prefix) { return Scoped(this, std::move(prefix)); }
+
   std::size_t size() const { return metrics_.size(); }
   bool contains(const std::string& name) const {
     return metrics_.count(name) > 0;

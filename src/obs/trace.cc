@@ -7,8 +7,8 @@ namespace aorta::obs {
 
 std::string_view span_cat_name(SpanCat cat) {
   static constexpr std::array<std::string_view, kSpanCatCount> kNames = {
-      "parse",  "register", "sweep", "rpc",    "eval",
-      "action", "delivery", "epoch", "health",
+      "parse",  "register", "sweep", "rpc",    "eval",    "action",
+      "delivery", "epoch",  "health", "fragment", "merge",
   };
   auto idx = static_cast<std::size_t>(cat);
   return idx < kNames.size() ? kNames[idx] : "unknown";

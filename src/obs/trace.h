@@ -19,6 +19,10 @@
 //   delivery  tuple hand-off to the tenant      (server)
 //   epoch     one executor tick: sweep + flush  (query, brackets the rest)
 //   health    quarantine / recovery transitions (core)
+//   fragment  czar fragment dispatch / worker    (shard)
+//             registration of a query fragment
+//   merge     czar merge of per-shard result    (shard)
+//             streams up to a watermark frontier
 //
 // Spans land in a fixed-capacity ring buffer (bounded memory; oldest spans
 // are overwritten) and export as Chrome trace-event JSON ("X" complete
@@ -52,8 +56,10 @@ enum class SpanCat : std::uint8_t {
   kDelivery,
   kEpoch,
   kHealth,
+  kFragment,
+  kMerge,
 };
-inline constexpr int kSpanCatCount = 9;
+inline constexpr int kSpanCatCount = 11;
 
 std::string_view span_cat_name(SpanCat cat);
 

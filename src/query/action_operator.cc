@@ -29,6 +29,7 @@ ActionOperator::ActionOperator(const ActionDef* action, sync::Prober* prober,
 void ActionOperator::enqueue(sched::ActionRequest request) {
   request.id = next_request_id_++;
   request.action_name = action_->name;
+  request.shard = options_.shard;
   ++stats_.requests;
   ++query_stats_[request.query_id].requests;
   pending_.push_back(std::move(request));

@@ -63,6 +63,10 @@ class ActionOperator {
     // from candidate lists before probing, and per-device action outcomes
     // are reported back.
     device::HealthView* health = nullptr;
+    // Worker shard this operator's scheduler belongs to (-1 = unsharded).
+    // Stamped onto every enqueued request so cross-shard action routing is
+    // visible end to end.
+    int shard = -1;
   };
 
   ActionOperator(const ActionDef* action, sync::Prober* prober,

@@ -203,6 +203,7 @@ ActionOperator* ContinuousQueryExecutor::operator_for(const ActionDef* action) {
   op_options.use_locks = options_.use_locks;
   op_options.max_retries = options_.max_retries;
   op_options.health = options_.health;
+  op_options.shard = options_.shard;
   auto op = std::make_unique<ActionOperator>(action, prober_, locks_, registry_,
                                              loop_, scheduler_.get(),
                                              rng_.fork(), op_options);

@@ -73,6 +73,9 @@ class ContinuousQueryExecutor {
     int max_retries = 1;  // failover rounds per failed action request
     // Health supervision (nullable = off), forwarded to action operators.
     device::HealthView* health = nullptr;
+    // Worker shard index this executor runs on (-1 = unsharded engine),
+    // forwarded to action operators so requests carry their owning shard.
+    int shard = -1;
   };
 
   // Multi-tenant hooks a query can be registered with (src/server): an

@@ -405,6 +405,11 @@ class Parser {
         std::vector<ExprPtr> args;
         if (!peek().is_symbol(")")) {
           while (true) {
+            if (peek().is_symbol("*")) {  // count(*)
+              advance();
+              args.push_back(Expr::make_column("", "*"));
+              break;
+            }
             auto arg = parse_expr();
             if (!arg.is_ok()) return arg;
             args.push_back(std::move(arg).value());

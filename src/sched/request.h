@@ -39,6 +39,12 @@ struct ActionRequest {
   // execution time).
   std::vector<device::Value> action_args;
 
+  // Worker shard whose scheduler owns this request (-1 = unsharded). In
+  // the sharded plane every candidate device hashes to one shard, so the
+  // request is deposited with — and scheduled by — that shard's operator;
+  // the tag makes the routing auditable in traces and stats.
+  int shard = -1;
+
   bool eligible_on(const device::DeviceId& d) const {
     for (const auto& c : candidates) {
       if (c == d) return true;

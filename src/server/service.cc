@@ -34,32 +34,72 @@ QueryService::QueryService(core::Aorta* system, ServiceConfig config)
     return static_cast<std::int64_t>(admission_.queued());
   });
 
-  // Route action outcomes of session-owned queries to their mailboxes.
-  system_->executor().set_trace_sink([this](const query::TraceEntry& entry) {
-    if (entry.kind != "outcome" || entry.query.empty()) return;
-    auto owner = query_owner_.find(entry.query);
-    if (owner == query_owner_.end()) return;
-    auto it = sessions_.find(owner->second);
-    if (it == sessions_.end() || it->second->state() == SessionState::kClosed) {
-      return;
-    }
-    Delivery d;
-    d.kind = Delivery::Kind::kOutcome;
-    d.at = entry.at;
-    d.query = entry.query;
-    d.message = entry.detail;
-    AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kDelivery,
-                        "outcome:" + entry.query, entry.at, entry.detail);
-    it->second->deliver(std::move(d));
-    ++tenant_entry(it->second->tenant()).outcomes_delivered;
-  });
+  if (config_.num_shards > 0) {
+    shard::Plane::Options po;
+    po.num_shards = config_.num_shards;
+    po.heartbeat_interval = config_.shard_heartbeat_interval;
+    po.miss_threshold = config_.shard_miss_threshold;
+    plane_ = std::make_unique<shard::Plane>(system_, po);
+    // Action outcomes arrive relayed from the workers through the czar.
+    plane_->czar().set_outcome_sink(
+        [this](const std::string& query, aorta::util::TimePoint at,
+               const std::string& detail) {
+          deliver_outcome(query, at, detail);
+        });
+  } else {
+    // Route action outcomes of session-owned queries to their mailboxes.
+    system_->executor().set_trace_sink(
+        [this](const query::TraceEntry& entry) {
+          if (entry.kind != "outcome" || entry.query.empty()) return;
+          deliver_outcome(entry.query, entry.at, entry.detail);
+        });
+  }
   auto alive = alive_;
   system_->loop().schedule(config_.dispatch_interval, [this, alive]() {
     if (*alive) on_tick();
   });
 }
 
+void QueryService::deliver_outcome(const std::string& query,
+                                   aorta::util::TimePoint at,
+                                   const std::string& detail) {
+  auto owner = query_owner_.find(query);
+  if (owner == query_owner_.end()) return;
+  auto it = sessions_.find(owner->second);
+  if (it == sessions_.end() || it->second->state() == SessionState::kClosed) {
+    return;
+  }
+  Delivery d;
+  d.kind = Delivery::Kind::kOutcome;
+  d.at = at;
+  d.query = query;
+  d.message = detail;
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kDelivery, "outcome:" + query,
+                      at, detail);
+  it->second->deliver(std::move(d));
+  ++tenant_entry(it->second->tenant()).outcomes_delivered;
+}
+
+void QueryService::exec_statement(
+    const std::string& sql, core::ExecOptions options,
+    std::function<void(Result<core::ExecResult>)> done) {
+  if (plane_ != nullptr) {
+    plane_->exec_async(sql, std::move(options), std::move(done));
+  } else {
+    system_->exec_async(sql, std::move(options), std::move(done));
+  }
+}
+
+void QueryService::drop_query(const std::string& prefixed_name) {
+  if (plane_ != nullptr) {
+    (void)plane_->czar().drop_aq(prefixed_name);
+  } else {
+    (void)system_->executor().drop_aq(prefixed_name);
+  }
+}
+
 QueryService::~QueryService() {
+  if (plane_ != nullptr) plane_->czar().set_outcome_sink({});
   system_->executor().set_trace_sink({});
   // The service dies before the system: withdraw its registry sections so
   // a later stats snapshot cannot read freed counters.
@@ -159,7 +199,7 @@ Status QueryService::disconnect(SessionId id) {
   }
   // Drop every continuous query the session registered.
   for (const std::string& name : s->queries_) {
-    (void)system_->executor().drop_aq(name);
+    drop_query(name);
     query_owner_.erase(name);
     TenantRuntime& rt = runtime_[s->tenant()];
     if (rt.aqs > 0) --rt.aqs;
@@ -308,7 +348,7 @@ void QueryService::dispatch(Submission submission) {
   // Copy out the SQL first: the lambda capture moves `submission`, and
   // argument evaluation order is unspecified.
   std::string sql = submission.sql;
-  system_->exec_async(
+  exec_statement(
       sql, std::move(options),
       [this, alive, sub = std::move(submission)](
           Result<core::ExecResult> outcome) {
@@ -335,7 +375,7 @@ void QueryService::finish(SessionId session_id, const Submission& submission,
     if (submission.kind == query::Statement::Kind::kCreateAq) {
       if (s->state() == SessionState::kClosed) {
         // Registration raced with disconnect: don't leak an ownerless AQ.
-        (void)system_->executor().drop_aq(prefixed);
+        drop_query(prefixed);
       } else {
         query_owner_[prefixed] = session_id;
         s->queries_.insert(prefixed);

@@ -26,6 +26,7 @@
 #include "obs/trace.h"
 #include "server/admission.h"
 #include "server/session.h"
+#include "shard/plane.h"
 #include "util/stats.h"
 
 namespace aorta::server {
@@ -39,6 +40,16 @@ struct ServiceConfig {
   std::size_t max_dispatch_per_tick = 64;
   // Dequeue weights (default 1.0). Set before tenants submit.
   std::map<TenantId, double> tenant_weights;
+  // Sharded query plane: > 0 builds a shard::Plane (czar + that many
+  // worker engines) on the system and routes every session statement
+  // through it; devices must then be added via plane() instead of the host
+  // Aorta. 0 = the classic direct single-engine path; 1 = the sharded
+  // machinery with one worker (the ablation baseline).
+  int num_shards = 0;
+  // Worker heartbeat cadence / czar silence threshold (sharded mode only).
+  aorta::util::Duration shard_heartbeat_interval =
+      aorta::util::Duration::seconds(1.0);
+  int shard_miss_threshold = 3;
 };
 
 // Per-tenant service counters.
@@ -99,11 +110,25 @@ class QueryService {
   // sorted walk of the metrics registry: two same-seed runs compare equal.
   std::string stats_json() const;
 
+  // The sharded query plane (nullptr when ServiceConfig::num_shards == 0).
+  // World building in sharded mode goes through here.
+  shard::Plane* plane() { return plane_.get(); }
+
  private:
   void on_tick();
   // Per-tenant counters, created (and enrolled on the registry under
   // "tenants.<tenant>.*") on first contact.
   TenantStats& tenant_entry(const TenantId& tenant);
+  // Statement execution + AQ teardown, routed to the czar in sharded mode
+  // and to the host engine otherwise.
+  void exec_statement(
+      const std::string& sql, core::ExecOptions options,
+      std::function<void(aorta::util::Result<core::ExecResult>)> done);
+  void drop_query(const std::string& prefixed_name);
+  // Mailbox delivery of one action outcome (shared by the executor
+  // trace-sink path and the czar outcome-sink path).
+  void deliver_outcome(const std::string& query, aorta::util::TimePoint at,
+                       const std::string& detail);
   void dispatch(Submission submission);
   void finish(SessionId session_id, const Submission& submission,
               aorta::util::Result<core::ExecResult> outcome);
@@ -123,6 +148,7 @@ class QueryService {
   // destruction (the service's lifetime is shorter than the system's).
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;
+  std::unique_ptr<shard::Plane> plane_;  // nullptr = direct path
   AdmissionController admission_;
   std::map<SessionId, std::unique_ptr<Session>> sessions_;
   std::map<std::string, SessionId> query_owner_;  // prefixed AQ name -> session

@@ -1,0 +1,597 @@
+#include "shard/czar.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace aorta::shard {
+
+using aorta::util::Duration;
+using aorta::util::Result;
+using aorta::util::Status;
+using aorta::util::TimePoint;
+using core::ExecResult;
+
+Czar::Czar(core::Aorta* host, Options options)
+    : host_(host),
+      options_(std::move(options)),
+      loop_(&host->loop()),
+      network_(&host->network()),
+      tracer_(&host->tracer()),
+      rpc_(network_, options_.node_id) {
+  (void)network_->attach(options_.node_id, this, options_.interconnect);
+  rpc_.set_tracer(tracer_);
+  shards_.resize(static_cast<std::size_t>(options_.num_shards));
+  for (ShardState& s : shards_) s.last_msg = loop_->now();
+  merger_ = std::make_unique<Merger>(
+      options_.num_shards,
+      [this](const std::string& query, const query::TimestampedRow& row) {
+        on_row_released(query, row);
+      });
+
+  metrics_ = host->metrics().scoped("shard.czar.");
+  metrics_.enroll_counter("aqs_registered", &stats_.aqs_registered);
+  metrics_.enroll_counter("aqs_dropped", &stats_.aqs_dropped);
+  metrics_.enroll_counter("selects", &stats_.selects);
+  metrics_.enroll_counter("fragment_errors", &stats_.fragment_errors);
+  metrics_.enroll_counter("rows_received", &stats_.rows_received);
+  metrics_.enroll_counter("outcomes_received", &stats_.outcomes_received);
+  metrics_.enroll_counter("heartbeats_received", &stats_.heartbeats_received);
+  metrics_.enroll_counter("stale_gen_msgs", &stats_.stale_gen_msgs);
+  metrics_.enroll_counter("ooo_buffered", &stats_.ooo_buffered);
+  metrics_.enroll_counter("stale_query_rows", &stats_.stale_query_rows);
+  metrics_.enroll_counter("workers_marked_down", &stats_.workers_marked_down);
+  metrics_.enroll_counter("reregistrations", &stats_.reregistrations);
+  const MergerStats& ms = merger_->stats();
+  metrics_.enroll_counter("merge.rows_in", &ms.rows_in);
+  metrics_.enroll_counter("merge.rows_out", &ms.rows_out);
+  metrics_.enroll_counter("merge.release_passes", &ms.release_passes);
+  metrics_.enroll_gauge("merge.buffered", [this]() {
+    return static_cast<std::int64_t>(merger_->buffered());
+  });
+  metrics_.enroll_gauge("aqs_active", [this]() {
+    return static_cast<std::int64_t>(aqs_.size());
+  });
+  metrics_.enroll_gauge("workers_live", [this]() {
+    std::int64_t live = 0;
+    for (const ShardState& s : shards_) live += s.live ? 1 : 0;
+    return live;
+  });
+  // Per-worker backpressure view off the RPC client's endpoint counters.
+  for (int i = 0; i < options_.num_shards; ++i) {
+    const std::string base = "peers." + std::to_string(i) + ".";
+    const net::NodeId node = worker_node(i);
+    auto peer = [this, node](std::uint64_t net::RpcEndpointStats::*field) {
+      const auto& stats = rpc_.endpoint_stats();
+      auto it = stats.find(node);
+      return it == stats.end()
+                 ? std::int64_t{0}
+                 : static_cast<std::int64_t>(it->second.*field);
+    };
+    metrics_.enroll_gauge(base + "calls", [peer]() {
+      return peer(&net::RpcEndpointStats::calls);
+    });
+    metrics_.enroll_gauge(base + "in_flight", [peer]() {
+      return peer(&net::RpcEndpointStats::in_flight);
+    });
+    metrics_.enroll_gauge(base + "max_in_flight", [peer]() {
+      return peer(&net::RpcEndpointStats::max_in_flight);
+    });
+    metrics_.enroll_gauge(base + "timeouts", [peer]() {
+      return peer(&net::RpcEndpointStats::timeouts);
+    });
+    metrics_.enroll_gauge(base + "slow_replies", [peer]() {
+      return peer(&net::RpcEndpointStats::slow_replies);
+    });
+  }
+
+  auto alive = alive_;
+  loop_->schedule(options_.heartbeat_interval, [this, alive]() {
+    if (*alive) check_liveness();
+  });
+}
+
+Czar::~Czar() {
+  *alive_ = false;
+  metrics_.unenroll_all();
+  (void)network_->detach(options_.node_id);
+}
+
+FragmentSpec Czar::make_spec(const std::string& name, const std::string& sql,
+                             double epoch_s, bool once, int shard) const {
+  FragmentSpec spec;
+  spec.name = name;
+  spec.sql = sql;
+  spec.epoch_s = epoch_s;
+  spec.once = once;
+  spec.shard = shard;
+  spec.num_shards = options_.num_shards;
+  spec.gen = shards_[static_cast<std::size_t>(shard)].gen;
+  spec.device_slice = "fnv1a(id) mod " + std::to_string(options_.num_shards) +
+                      " == " + std::to_string(shard);
+  return spec;
+}
+
+void Czar::send_register(int shard, const FragmentSpec& spec,
+                         net::RpcCallback callback) {
+  net::Message tmp;
+  fragment_to_fields(spec, &tmp);
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                      "czar:dispatch:" + worker_node(shard), loop_->now(),
+                      spec.once ? "select" : spec.name);
+  rpc_.call(worker_node(shard), kFragmentRegister, std::move(tmp.fields),
+            options_.rpc_timeout, std::move(callback), 64 + spec.sql.size());
+}
+
+void Czar::send_drop(int shard, const std::string& name) {
+  rpc_.call(worker_node(shard), kFragmentDrop, {{"name", name}},
+            options_.rpc_timeout, [](Result<net::Message>) {});
+}
+
+std::vector<std::string> Czar::aq_names() const {
+  std::vector<std::string> names;
+  names.reserve(aqs_.size());
+  for (const auto& [name, aq] : aqs_) names.push_back(name);
+  return names;
+}
+
+// ---- declarative interface ------------------------------------------------
+
+namespace {
+
+// The sharded planner's supported statement surface. Returns an error
+// naming the construct so rejections are actionable.
+Status shardable(const query::SelectStmt& stmt) {
+  if (stmt.from.size() > 1) {
+    return aorta::util::invalid_argument_error(
+        "multi-table joins are not supported through the sharded plane "
+        "(devices of different tables may live on different shards)");
+  }
+  bool has_avg = false;
+  (void)select_has_aggregates(stmt, &has_avg);
+  if (has_avg) {
+    return aorta::util::invalid_argument_error(
+        "avg() is not supported through the sharded plane (not mergeable "
+        "from per-shard partials; use sum()/count())");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+void Czar::exec_async(
+    const std::string& sql, core::ExecOptions options,
+    std::function<void(Result<ExecResult>)> done) {
+  auto parsed = query::parse(sql);
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kParse, "czar:parse",
+                      loop_->now(), parsed.is_ok() ? sql : "error: " + sql);
+  if (!parsed.is_ok()) {
+    done(Result<ExecResult>(parsed.status()));
+    return;
+  }
+  query::Statement& s = parsed.value();
+
+  switch (s.kind) {
+    case query::Statement::Kind::kSelect: {
+      Status ok = shardable(s.select);
+      if (!ok.is_ok()) {
+        done(Result<ExecResult>(ok));
+        return;
+      }
+      exec_select(s.select, sql, std::move(done));
+      return;
+    }
+
+    case query::Statement::Kind::kCreateAq: {
+      Status ok = shardable(s.create_aq.select);
+      if (!ok.is_ok()) {
+        done(Result<ExecResult>(ok));
+        return;
+      }
+      std::string name = options.name_prefix + s.create_aq.name;
+      if (aqs_.count(name) > 0) {
+        done(Result<ExecResult>(aorta::util::already_exists_error(
+            "continuous query already registered: " + name)));
+        return;
+      }
+      AqState aq;
+      aq.name = name;
+      aq.sql = sql;
+      aq.epoch_s = s.create_aq.epoch_s;
+      aq.options = std::move(options);
+      aqs_.emplace(name, std::move(aq));
+      ++stats_.aqs_registered;
+
+      // Fan out to the live shards; barrier on all replies settling. A
+      // worker-side error (all shards fail identically: same template)
+      // unregisters and reports; timeouts are left to supervision.
+      struct Barrier {
+        int remaining = 0;
+        std::string error;
+        std::function<void(Result<ExecResult>)> done;
+      };
+      auto barrier = std::make_shared<Barrier>();
+      barrier->done = std::move(done);
+      std::vector<int> targets;
+      for (int i = 0; i < options_.num_shards; ++i) {
+        if (shards_[static_cast<std::size_t>(i)].live) targets.push_back(i);
+      }
+      barrier->remaining = static_cast<int>(targets.size());
+      auto alive = alive_;
+      auto settle = [this, alive, name, barrier]() {
+        if (--barrier->remaining > 0) return;
+        if (!barrier->error.empty()) {
+          if (*alive && aqs_.erase(name) > 0) {
+            ++stats_.fragment_errors;
+            for (int i = 0; i < options_.num_shards; ++i) {
+              if (shards_[static_cast<std::size_t>(i)].live) send_drop(i, name);
+            }
+          }
+          barrier->done(Result<ExecResult>(
+              aorta::util::invalid_argument_error(barrier->error)));
+          return;
+        }
+        barrier->done(
+            ExecResult{"continuous query " + name + " registered", {}});
+      };
+      if (targets.empty()) {
+        // Every worker is down: keep the registration; recovery replays it.
+        barrier->done(
+            ExecResult{"continuous query " + name + " registered", {}});
+        return;
+      }
+      for (int i : targets) {
+        const AqState& stored = aqs_.at(name);
+        send_register(i, make_spec(name, stored.sql, stored.epoch_s,
+                                   /*once=*/false, i),
+                      [barrier, settle](Result<net::Message> reply) {
+                        if (reply.is_ok() &&
+                            reply.value().kind == kFragmentError &&
+                            barrier->error.empty()) {
+                          barrier->error = reply.value().field("error");
+                        }
+                        settle();
+                      });
+      }
+      return;
+    }
+
+    case query::Statement::Kind::kDropAq: {
+      std::string name = options.name_prefix + s.drop_aq.name;
+      Status dropped = drop_aq(name);
+      if (!dropped.is_ok()) {
+        done(Result<ExecResult>(dropped));
+        return;
+      }
+      done(ExecResult{"continuous query " + name + " dropped", {}});
+      return;
+    }
+
+    case query::Statement::Kind::kCreateAction:
+    case query::Statement::Kind::kShow:
+    case query::Statement::Kind::kExplain:
+      break;
+  }
+  done(Result<ExecResult>(aorta::util::invalid_argument_error(
+      "statement not supported through the sharded plane (num_shards > 0): " +
+      sql)));
+}
+
+Status Czar::drop_aq(const std::string& name) {
+  if (aqs_.erase(name) == 0) {
+    return aorta::util::not_found_error("unknown continuous query: " + name);
+  }
+  ++stats_.aqs_dropped;
+  merger_->forget_query(name);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    if (shards_[static_cast<std::size_t>(i)].live) send_drop(i, name);
+  }
+  return Status::ok();
+}
+
+// ---- one-shot SELECT ------------------------------------------------------
+
+namespace {
+
+// Fold one partial-aggregate value into the accumulator. Null partials
+// (shards with no matching devices) are skipped.
+void combine_value(device::Value& acc, const device::Value& v, AggKind kind) {
+  if (std::holds_alternative<std::monostate>(v)) return;
+  if (std::holds_alternative<std::monostate>(acc)) {
+    acc = v;
+    return;
+  }
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum: {
+      const std::int64_t* ai = std::get_if<std::int64_t>(&acc);
+      const std::int64_t* bi = std::get_if<std::int64_t>(&v);
+      if (ai != nullptr && bi != nullptr) {
+        acc = *ai + *bi;
+        return;
+      }
+      double a = 0.0, b = 0.0;
+      if (device::value_as_double(acc, &a) &&
+          device::value_as_double(v, &b)) {
+        acc = a + b;
+      }
+      return;
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      const std::string* as = std::get_if<std::string>(&acc);
+      const std::string* bs = std::get_if<std::string>(&v);
+      bool take = false;
+      if (as != nullptr && bs != nullptr) {
+        take = kind == AggKind::kMin ? *bs < *as : *as < *bs;
+      } else {
+        double a = 0.0, b = 0.0;
+        if (!device::value_as_double(acc, &a) ||
+            !device::value_as_double(v, &b)) {
+          return;
+        }
+        take = kind == AggKind::kMin ? b < a : a < b;
+      }
+      if (take) acc = v;
+      return;
+    }
+    case AggKind::kNone:
+    case AggKind::kAvg:  // rejected by the planner; unreachable
+      return;            // first non-null wins
+  }
+}
+
+}  // namespace
+
+std::vector<query::Row> Czar::merge_select(
+    const query::SelectStmt& stmt,
+    std::vector<std::vector<query::TimestampedRow>>& partials) const {
+  bool has_avg = false;
+  bool has_agg = select_has_aggregates(stmt, &has_avg);
+  std::vector<query::Row> rows;
+  if (!has_agg) {
+    // Plain projection: union is concatenation in shard-index order.
+    for (auto& partial : partials) {
+      for (auto& r : partial) rows.push_back(std::move(r.row));
+    }
+    return rows;
+  }
+  // Aggregates: one output row, columns folded across per-shard partials
+  // by position.
+  query::Row out;
+  for (auto& partial : partials) {
+    for (auto& r : partial) {
+      if (out.empty()) {
+        out = std::move(r.row);
+        continue;
+      }
+      if (r.row.size() != out.size()) continue;  // malformed partial
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        combine_value(out[j].second, r.row[j].second,
+                      agg_kind(*stmt.select_list[j]));
+      }
+    }
+  }
+  if (out.empty()) return rows;
+  // count() over an empty union is 0, not null.
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    if (agg_kind(*stmt.select_list[j]) == AggKind::kCount &&
+        std::holds_alternative<std::monostate>(out[j].second)) {
+      out[j].second = std::int64_t{0};
+    }
+  }
+  rows.push_back(std::move(out));
+  return rows;
+}
+
+void Czar::exec_select(
+    const query::SelectStmt& stmt, const std::string& sql,
+    std::function<void(Result<ExecResult>)> done) {
+  ++stats_.selects;
+  std::vector<int> targets;
+  for (int i = 0; i < options_.num_shards; ++i) {
+    if (shards_[static_cast<std::size_t>(i)].live) targets.push_back(i);
+  }
+  if (targets.empty()) {
+    done(Result<ExecResult>(aorta::util::unavailable_error(
+        "no live workers to run the SELECT on")));
+    return;
+  }
+
+  struct SelectState {
+    int remaining = 0;
+    std::vector<std::vector<query::TimestampedRow>> partials;
+    std::string error;
+    std::function<void(Result<ExecResult>)> done;
+  };
+  auto state = std::make_shared<SelectState>();
+  state->remaining = static_cast<int>(targets.size());
+  state->partials.resize(static_cast<std::size_t>(options_.num_shards));
+  state->done = std::move(done);
+  // The fragments share the statement text; each worker re-parses it. The
+  // czar keeps only what the merge step needs: re-parse at the barrier
+  // (SelectStmt holds unique_ptr expressions, so it cannot be copied into
+  // the callbacks).
+  (void)stmt;
+
+  auto alive = alive_;
+  auto settle = [this, alive, sql, state]() {
+    if (--state->remaining > 0) return;
+    if (!state->error.empty()) {
+      state->done(Result<ExecResult>(
+          aorta::util::invalid_argument_error(state->error)));
+      return;
+    }
+    auto reparsed = query::parse(sql);
+    if (!reparsed.is_ok()) {  // cannot happen: parsed once already
+      state->done(Result<ExecResult>(reparsed.status()));
+      return;
+    }
+    ExecResult result;
+    result.rows = merge_select(reparsed.value().select, state->partials);
+    result.message =
+        aorta::util::str_format("%zu row(s)", result.rows.size());
+    std::uint64_t merged = 0;
+    for (const auto& p : state->partials) merged += p.size();
+    if (*alive) {
+      AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kMerge, "czar:merge_select",
+                          loop_->now(),
+                          aorta::util::str_format(
+                              "%llu partial(s) -> %zu row(s)",
+                              static_cast<unsigned long long>(merged),
+                              result.rows.size()));
+    }
+    state->done(std::move(result));
+  };
+  for (int i : targets) {
+    send_register(
+        i, make_spec("", sql, 0.0, /*once=*/true, i),
+        [i, state, settle](Result<net::Message> reply) {
+          if (reply.is_ok()) {
+            const net::Message& msg = reply.value();
+            if (msg.kind == kFragmentError && state->error.empty()) {
+              state->error = msg.field("error");
+            } else if (msg.kind == kFragmentSelectResult) {
+              std::vector<query::TimestampedRow> rows;
+              if (decode_rows(msg.field("rows"), &rows)) {
+                state->partials[static_cast<std::size_t>(i)] =
+                    std::move(rows);
+              }
+            }
+          }
+          // Timeout / unreachable: the shard's partial stays empty;
+          // supervision will mark it down on silence.
+          settle();
+        });
+  }
+}
+
+// ---- worker stream consumption --------------------------------------------
+
+void Czar::on_message(const net::Message& msg) {
+  if (rpc_.on_reply(msg)) return;
+  if (msg.kind != kFragmentResults && msg.kind != kShardHeartbeat) return;
+  int shard = static_cast<int>(msg.field_int("shard", -1));
+  if (shard < 0 || shard >= options_.num_shards) return;
+  ShardState& s = shards_[static_cast<std::size_t>(shard)];
+  s.last_msg = loop_->now();
+  if (!s.live) {
+    // First sign of life after a silence: recover under a new generation.
+    // This message belongs to the superseded stream — drop it.
+    s.live = true;
+    merger_->set_live(shard, true);
+    recover_shard(shard);
+    ++stats_.stale_gen_msgs;
+    return;
+  }
+  std::uint64_t gen = static_cast<std::uint64_t>(msg.field_int("gen"));
+  std::uint64_t seq = static_cast<std::uint64_t>(msg.field_int("seq"));
+  if (gen != s.gen) {
+    ++stats_.stale_gen_msgs;
+    return;
+  }
+  if (seq != s.next_seq) {
+    s.ooo.emplace(seq, msg);
+    ++stats_.ooo_buffered;
+    return;
+  }
+  consume(shard, msg);
+  ++s.next_seq;
+  for (auto it = s.ooo.find(s.next_seq); it != s.ooo.end();
+       it = s.ooo.find(s.next_seq)) {
+    consume(shard, it->second);
+    s.ooo.erase(it);
+    ++s.next_seq;
+  }
+}
+
+void Czar::consume(int shard, const net::Message& msg) {
+  if (msg.kind == kShardHeartbeat) {
+    ++stats_.heartbeats_received;
+    std::size_t before = merger_->buffered();
+    merger_->watermark(shard,
+                       TimePoint::from_micros(msg.field_int("watermark_us")));
+    std::size_t after = merger_->buffered();
+    if (after != before) {
+      AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kMerge, "czar:release",
+                          loop_->now(),
+                          aorta::util::str_format("%zu row(s)",
+                                                  before - after));
+    }
+    return;
+  }
+  const std::string type = msg.field("type");
+  const std::string query = msg.field("query");
+  if (type == "outcome") {
+    ++stats_.outcomes_received;
+    if (outcome_sink_) {
+      outcome_sink_(query, TimePoint::from_micros(msg.field_int("at_us")),
+                    msg.field("detail"));
+    }
+    return;
+  }
+  std::vector<query::TimestampedRow> rows;
+  if (!decode_rows(msg.field("rows"), &rows)) return;
+  if (aqs_.count(query) == 0) {
+    stats_.stale_query_rows += rows.size();
+    return;
+  }
+  for (auto& row : rows) {
+    ++stats_.rows_received;
+    merger_->add(shard, query, std::move(row));
+  }
+}
+
+void Czar::on_row_released(const std::string& query,
+                           const query::TimestampedRow& row) {
+  auto it = aqs_.find(query);
+  if (it == aqs_.end()) return;
+  if (it->second.options.on_row) it->second.options.on_row(query, row);
+}
+
+// ---- supervision ----------------------------------------------------------
+
+void Czar::check_liveness() {
+  const Duration silence_bound =
+      options_.heartbeat_interval * static_cast<double>(options_.miss_threshold);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    ShardState& s = shards_[static_cast<std::size_t>(i)];
+    if (!s.live) continue;
+    if (loop_->now() - s.last_msg > silence_bound) {
+      s.live = false;
+      s.ooo.clear();
+      ++stats_.workers_marked_down;
+      merger_->set_live(i, false);
+      AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                          "czar:down:" + worker_node(i), loop_->now(),
+                          "no heartbeat");
+    }
+  }
+  auto alive = alive_;
+  loop_->schedule(options_.heartbeat_interval, [this, alive]() {
+    if (*alive) check_liveness();
+  });
+}
+
+void Czar::recover_shard(int shard) {
+  ShardState& s = shards_[static_cast<std::size_t>(shard)];
+  ++s.gen;
+  s.next_seq = 0;
+  s.ooo.clear();
+  ++stats_.reregistrations;
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                      "czar:recover:" + worker_node(shard), loop_->now(),
+                      "gen " + std::to_string(s.gen));
+  // Fresh-slate handshake: the worker drops every fragment and resets its
+  // outbound stream, then each live AQ is re-registered.
+  send_register(shard, make_spec("", "", 0.0, /*once=*/false, shard),
+                [](Result<net::Message>) {});
+  for (const auto& [name, aq] : aqs_) {
+    send_register(shard,
+                  make_spec(name, aq.sql, aq.epoch_s, /*once=*/false, shard),
+                  [](Result<net::Message>) {});
+  }
+}
+
+}  // namespace aorta::shard

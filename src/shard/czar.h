@@ -1,0 +1,167 @@
+// Czar: the frontend of the sharded query plane.
+//
+// The czar owns the declarative interface when Config::num_shards > 0: it
+// parses each statement, plans it into per-shard fragments
+// (shard/fragment.h), dispatches them as RPCs to the worker engines, and
+// merges the per-shard result streams back into one. Continuous rows are
+// unioned by shard::Merger in deterministic (virtual timestamp, shard id,
+// arrival) order behind the workers' heartbeat watermarks; one-shot SELECT
+// partials are combined at the barrier — concatenated in shard order, or
+// partial-aggregate-merged (count/sum as sums, min/max as extrema) when
+// the select list aggregates.
+//
+// Per-shard supervision: every worker message refreshes its shard's
+// liveness; a shard silent for miss_threshold heartbeat intervals is
+// marked down (its rows stop holding back the merge frontier). The first
+// message after that marks it up again and triggers recovery: the czar
+// bumps the shard's generation — a fresh-slate handshake that makes the
+// worker drop every fragment and reset its outbound seq counter — and
+// re-registers every live AQ on it.
+//
+// Planning limits (surfaced as invalid_argument, documented in DESIGN.md):
+// multi-table joins, avg() aggregates, and DDL other than CREATE AQ /
+// DROP AQ are not supported through the sharded plane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aorta.h"
+#include "shard/fragment.h"
+#include "shard/merger.h"
+
+namespace aorta::shard {
+
+struct CzarStats {
+  std::uint64_t aqs_registered = 0;     // AQs accepted (fan-outs, not acks)
+  std::uint64_t aqs_dropped = 0;
+  std::uint64_t selects = 0;            // one-shot SELECT fan-outs
+  std::uint64_t fragment_errors = 0;    // worker-side registration failures
+  std::uint64_t rows_received = 0;      // continuous rows decoded
+  std::uint64_t outcomes_received = 0;  // action outcomes relayed
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t stale_gen_msgs = 0;     // dropped: superseded generation
+  std::uint64_t ooo_buffered = 0;       // messages held for seq reordering
+  std::uint64_t stale_query_rows = 0;   // rows for queries no longer known
+  std::uint64_t workers_marked_down = 0;
+  std::uint64_t reregistrations = 0;    // recovery fan-outs (gen bumps)
+};
+
+class Czar : public net::Endpoint {
+ public:
+  struct Options {
+    int num_shards = 1;
+    net::NodeId node_id = "czar";
+    // Workers heartbeat at this cadence (Worker::Options mirrors it); a
+    // shard silent for miss_threshold intervals is marked down.
+    aorta::util::Duration heartbeat_interval =
+        aorta::util::Duration::seconds(1.0);
+    int miss_threshold = 3;
+    // Fragment RPC timeout. The backplane is lossless, so only a downed
+    // worker can run one out.
+    aorta::util::Duration rpc_timeout = aorta::util::Duration::seconds(5.0);
+    // The czar's own link on the backplane (matches the workers').
+    net::LinkModel interconnect;
+  };
+
+  // Action outcomes relayed from the workers (the service layer routes
+  // them to the owning session's mailbox, exactly like the unsharded
+  // executor's trace-sink path).
+  using OutcomeSink = std::function<void(
+      const std::string& query, aorta::util::TimePoint at,
+      const std::string& detail)>;
+
+  Czar(core::Aorta* host, Options options);
+  ~Czar() override;
+
+  Czar(const Czar&) = delete;
+  Czar& operator=(const Czar&) = delete;
+
+  // Mirrors core::Aorta::exec_async for the statement kinds the sharded
+  // plane supports; `done` fires exactly once.
+  void exec_async(
+      const std::string& sql, core::ExecOptions options,
+      std::function<void(aorta::util::Result<core::ExecResult>)> done);
+
+  // Direct drop (service-layer session teardown). Fans fragment_drop out
+  // fire-and-forget; not_found if the czar doesn't know the query.
+  aorta::util::Status drop_aq(const std::string& name);
+
+  void set_outcome_sink(OutcomeSink sink) { outcome_sink_ = std::move(sink); }
+
+  int num_shards() const { return options_.num_shards; }
+  bool worker_live(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)].live;
+  }
+  std::vector<std::string> aq_names() const;
+  const CzarStats& stats() const { return stats_; }
+  const Merger& merger() const { return *merger_; }
+  net::RpcClient& rpc() { return rpc_; }
+
+  // net::Endpoint
+  void on_message(const net::Message& msg) override;
+
+ private:
+  struct AqState {
+    std::string name;  // full (session-prefixed) name
+    std::string sql;
+    double epoch_s = 0.0;
+    core::ExecOptions options;  // owner + on_row
+  };
+
+  struct ShardState {
+    std::uint64_t gen = 0;       // current generation
+    std::uint64_t next_seq = 0;  // next seq to consume
+    std::map<std::uint64_t, net::Message> ooo;  // held for reordering
+    aorta::util::TimePoint last_msg;
+    bool live = true;
+  };
+
+  net::NodeId worker_node(int shard) const {
+    return "shard-" + std::to_string(shard);
+  }
+  FragmentSpec make_spec(const std::string& name, const std::string& sql,
+                         double epoch_s, bool once, int shard) const;
+  void send_register(int shard, const FragmentSpec& spec,
+                     net::RpcCallback callback);
+  void send_drop(int shard, const std::string& name);
+
+  void exec_select(const query::SelectStmt& stmt, const std::string& sql,
+                   std::function<void(aorta::util::Result<core::ExecResult>)>
+                       done);
+  // Merge per-shard SELECT partials (indexed by shard; a missing shard's
+  // slot stays empty) into the final row set.
+  std::vector<query::Row> merge_select(
+      const query::SelectStmt& stmt,
+      std::vector<std::vector<query::TimestampedRow>>& partials) const;
+
+  // In-seq-order consumption of one worker message.
+  void consume(int shard, const net::Message& msg);
+  void on_row_released(const std::string& query,
+                       const query::TimestampedRow& row);
+
+  // Supervision: periodic silence check, and the recovery handshake.
+  void check_liveness();
+  void recover_shard(int shard);
+
+  core::Aorta* host_;
+  Options options_;
+  aorta::util::EventLoop* loop_;
+  net::Network* network_;
+  obs::Tracer* tracer_;
+  net::RpcClient rpc_;
+
+  std::map<std::string, AqState> aqs_;
+  std::vector<ShardState> shards_;
+  std::unique_ptr<Merger> merger_;
+  OutcomeSink outcome_sink_;
+  CzarStats stats_;
+  obs::MetricsRegistry::Scoped metrics_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace aorta::shard

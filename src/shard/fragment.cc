@@ -1,0 +1,240 @@
+#include "shard/fragment.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace aorta::shard {
+
+using device::Location;
+using device::Value;
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void fragment_to_fields(const FragmentSpec& spec, net::Message* msg) {
+  msg->set("name", spec.name);
+  msg->set("sql", spec.sql);
+  msg->set_double("epoch_s", spec.epoch_s);
+  msg->set_int("once", spec.once ? 1 : 0);
+  msg->set_int("shard", spec.shard);
+  msg->set_int("num_shards", spec.num_shards);
+  msg->set_int("gen", static_cast<std::int64_t>(spec.gen));
+  msg->set("attrs", spec.needed_attrs);
+  msg->set("devices", spec.device_slice);
+}
+
+FragmentSpec fragment_from_fields(const net::Message& msg) {
+  FragmentSpec spec;
+  spec.name = msg.field("name");
+  spec.sql = msg.field("sql");
+  spec.epoch_s = msg.field_double("epoch_s");
+  spec.once = msg.field_int("once") != 0;
+  spec.shard = static_cast<int>(msg.field_int("shard"));
+  spec.num_shards = static_cast<int>(msg.field_int("num_shards", 1));
+  spec.gen = static_cast<std::uint64_t>(msg.field_int("gen"));
+  spec.needed_attrs = msg.field("attrs");
+  spec.device_slice = msg.field("devices");
+  return spec;
+}
+
+// ---- rows codec ----------------------------------------------------------
+
+namespace {
+
+// Every token is "<len>:<bytes>": self-delimiting regardless of content.
+void put_token(std::string& out, std::string_view data) {
+  out += std::to_string(data.size());
+  out += ':';
+  out += data;
+}
+
+bool take_token(std::string_view& in, std::string& out) {
+  std::size_t colon = in.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::size_t len = 0;
+  for (char c : in.substr(0, colon)) {
+    if (c < '0' || c > '9') return false;
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  in.remove_prefix(colon + 1);
+  if (in.size() < len) return false;
+  out.assign(in.substr(0, len));
+  in.remove_prefix(len);
+  return true;
+}
+
+// Exact value rendering: one type character + payload. Doubles use %.17g
+// so every IEEE double round-trips bit-exactly.
+std::string encode_value(const Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "n";
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? "b1" : "b0";
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    return "i" + std::to_string(*i);
+  }
+  if (const double* d = std::get_if<double>(&v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "d%.17g", *d);
+    return buf;
+  }
+  if (const std::string* s = std::get_if<std::string>(&v)) return "s" + *s;
+  const Location& loc = std::get<Location>(v);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "l%.17g,%.17g,%.17g", loc.x, loc.y, loc.z);
+  return buf;
+}
+
+bool decode_value(const std::string& token, Value* out) {
+  if (token.empty()) return false;
+  std::string payload = token.substr(1);
+  switch (token[0]) {
+    case 'n':
+      *out = std::monostate{};
+      return true;
+    case 'b':
+      *out = payload == "1";
+      return true;
+    case 'i': {
+      char* end = nullptr;
+      std::int64_t i = std::strtoll(payload.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return false;
+      *out = i;
+      return true;
+    }
+    case 'd': {
+      char* end = nullptr;
+      double d = std::strtod(payload.c_str(), &end);
+      if (end == nullptr || *end != '\0') return false;
+      *out = d;
+      return true;
+    }
+    case 's':
+      *out = std::move(payload);
+      return true;
+    case 'l': {
+      Location loc;
+      char rest = '\0';
+      if (std::sscanf(payload.c_str(), "%lf,%lf,%lf%c", &loc.x, &loc.y,
+                      &loc.z, &rest) != 3) {
+        return false;
+      }
+      *out = loc;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string encode_rows(const std::vector<query::TimestampedRow>& rows) {
+  std::string out;
+  put_token(out, std::to_string(rows.size()));
+  for (const query::TimestampedRow& r : rows) {
+    put_token(out, std::to_string(r.at.to_micros()));
+    put_token(out, r.degraded ? "1" : "0");
+    put_token(out, std::to_string(r.row.size()));
+    for (const auto& [name, value] : r.row) {
+      put_token(out, name);
+      put_token(out, encode_value(value));
+    }
+  }
+  return out;
+}
+
+bool decode_rows(const std::string& payload,
+                 std::vector<query::TimestampedRow>* out) {
+  std::string_view in = payload;
+  std::string token;
+  if (!take_token(in, token)) return false;
+  std::size_t n_rows = std::strtoull(token.c_str(), nullptr, 10);
+  out->clear();
+  out->reserve(n_rows);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    query::TimestampedRow row;
+    if (!take_token(in, token)) return false;
+    row.at = aorta::util::TimePoint::from_micros(
+        std::strtoll(token.c_str(), nullptr, 10));
+    if (!take_token(in, token)) return false;
+    row.degraded = token == "1";
+    if (!take_token(in, token)) return false;
+    std::size_t n_fields = std::strtoull(token.c_str(), nullptr, 10);
+    for (std::size_t f = 0; f < n_fields; ++f) {
+      std::string name;
+      if (!take_token(in, name)) return false;
+      if (!take_token(in, token)) return false;
+      Value value;
+      if (!decode_value(token, &value)) return false;
+      row.row.emplace_back(std::move(name), std::move(value));
+    }
+    out->push_back(std::move(row));
+  }
+  return in.empty();
+}
+
+// ---- czar-side plan analysis --------------------------------------------
+
+namespace {
+
+void collect_columns(const query::Expr* e, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case query::Expr::Kind::kColumnRef:
+      out->insert(e->column);
+      break;
+    case query::Expr::Kind::kFuncCall:
+      for (const auto& arg : e->args) collect_columns(arg.get(), out);
+      break;
+    case query::Expr::Kind::kBinary:
+    case query::Expr::Kind::kNot:
+      collect_columns(e->lhs.get(), out);
+      collect_columns(e->rhs.get(), out);
+      break;
+    case query::Expr::Kind::kLiteral:
+      break;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> needed_attributes(const query::SelectStmt& stmt) {
+  std::set<std::string> out;
+  for (const auto& item : stmt.select_list) collect_columns(item.get(), &out);
+  collect_columns(stmt.where.get(), &out);
+  out.erase("*");
+  return out;
+}
+
+AggKind agg_kind(const query::Expr& expr) {
+  if (expr.kind != query::Expr::Kind::kFuncCall) return AggKind::kNone;
+  std::string name = aorta::util::to_lower(expr.func_name);
+  if (name == "count") return AggKind::kCount;
+  if (name == "sum") return AggKind::kSum;
+  if (name == "avg") return AggKind::kAvg;
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  return AggKind::kNone;
+}
+
+bool select_has_aggregates(const query::SelectStmt& stmt, bool* has_avg) {
+  bool any = false;
+  if (has_avg != nullptr) *has_avg = false;
+  for (const auto& item : stmt.select_list) {
+    AggKind kind = agg_kind(*item);
+    if (kind == AggKind::kNone) continue;
+    any = true;
+    if (kind == AggKind::kAvg && has_avg != nullptr) *has_avg = true;
+  }
+  return any;
+}
+
+}  // namespace aorta::shard

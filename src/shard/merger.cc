@@ -1,0 +1,75 @@
+#include "shard/merger.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace aorta::shard {
+
+using aorta::util::TimePoint;
+
+Merger::Merger(int num_shards, Emit emit)
+    : emit_(std::move(emit)),
+      shards_(static_cast<std::size_t>(num_shards)) {}
+
+void Merger::add(int shard, const std::string& query,
+                 query::TimestampedRow row) {
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  Entry e;
+  e.at = row.at;
+  e.shard = shard;
+  e.arrival = s.next_arrival++;
+  e.query = query;
+  e.row = std::move(row);
+  buffer_.push_back(std::move(e));
+  ++stats_.rows_in;
+}
+
+void Merger::watermark(int shard, TimePoint w) {
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  if (w > s.watermark) s.watermark = w;
+  release();
+}
+
+void Merger::set_live(int shard, bool live) {
+  shards_[static_cast<std::size_t>(shard)].live = live;
+  if (!live) release();  // the frontier may have advanced past its hold-back
+}
+
+void Merger::forget_query(const std::string& query) {
+  std::erase_if(buffer_, [&](const Entry& e) { return e.query == query; });
+}
+
+TimePoint Merger::frontier() const {
+  bool any = false;
+  TimePoint f;
+  for (const Shard& s : shards_) {
+    if (!s.live) continue;
+    if (!any || s.watermark < f) f = s.watermark;
+    any = true;
+  }
+  // No live shard: nothing can ever arrive before any bound — release all.
+  return any ? f : TimePoint::from_micros(
+                       std::numeric_limits<std::int64_t>::max());
+}
+
+void Merger::release() {
+  TimePoint f = frontier();
+  // Stable partition keeps not-yet-eligible rows in arrival order; the
+  // eligible prefix is then sorted by the deterministic merge key.
+  auto eligible = std::stable_partition(
+      buffer_.begin(), buffer_.end(), [f](const Entry& e) { return e.at < f; });
+  if (eligible == buffer_.begin()) return;
+  std::sort(buffer_.begin(), eligible, [](const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.arrival < b.arrival;
+  });
+  ++stats_.release_passes;
+  for (auto it = buffer_.begin(); it != eligible; ++it) {
+    ++stats_.rows_out;
+    emit_(it->query, it->row);
+  }
+  buffer_.erase(buffer_.begin(), eligible);
+}
+
+}  // namespace aorta::shard

@@ -1,0 +1,85 @@
+// Merger: deterministic union of per-shard continuous result streams.
+//
+// Each worker ships its fragments' rows to the czar as sequenced bursts
+// and advertises a watermark with every heartbeat: "every row I will ever
+// send with at < w has already been sent" (exact because the czar consumes
+// each shard's messages in seq order — see shard/fragment.h). The merger
+// buffers rows and releases them once the *frontier* — the minimum
+// watermark across live shards — has passed them, sorted by
+//
+//     (virtual timestamp, shard id, per-shard arrival order)
+//
+// so two same-seed runs emit byte-identical streams regardless of how
+// message deliveries interleave across shards. Down shards are excluded
+// from the frontier (a dead worker must not stall the other shards'
+// results); their buffered rows stay eligible and drain under the
+// surviving shards' frontier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+#include "util/time.h"
+
+namespace aorta::shard {
+
+struct MergerStats {
+  std::uint64_t rows_in = 0;        // rows accepted from workers
+  std::uint64_t rows_out = 0;       // rows released downstream
+  std::uint64_t release_passes = 0; // frontier advances that emitted rows
+};
+
+class Merger {
+ public:
+  // `emit` receives each released row exactly once, in merge order.
+  using Emit = std::function<void(const std::string& query,
+                                  const query::TimestampedRow& row)>;
+
+  Merger(int num_shards, Emit emit);
+
+  // Buffer one row from `shard` (arrival order within a shard is the
+  // czar's seq order, already linearized).
+  void add(int shard, const std::string& query, query::TimestampedRow row);
+
+  // Advance a shard's watermark; releases every buffered row with
+  // at < min(watermark over live shards).
+  void watermark(int shard, aorta::util::TimePoint w);
+
+  // Mark a shard live/down. Down shards drop out of the frontier, which
+  // can itself release rows.
+  void set_live(int shard, bool live);
+  bool live(int shard) const { return shards_[static_cast<std::size_t>(shard)].live; }
+
+  // Drop a query's buffered rows (AQ dropped before its tail flushed).
+  void forget_query(const std::string& query);
+
+  aorta::util::TimePoint frontier() const;
+  std::size_t buffered() const { return buffer_.size(); }
+  const MergerStats& stats() const { return stats_; }
+
+ private:
+  struct Shard {
+    aorta::util::TimePoint watermark;
+    std::uint64_t next_arrival = 0;
+    bool live = true;
+  };
+  struct Entry {
+    aorta::util::TimePoint at;
+    int shard = 0;
+    std::uint64_t arrival = 0;
+    std::string query;
+    query::TimestampedRow row;
+  };
+
+  void release();
+
+  Emit emit_;
+  std::vector<Shard> shards_;
+  std::vector<Entry> buffer_;
+  MergerStats stats_;
+};
+
+}  // namespace aorta::shard

@@ -1,0 +1,82 @@
+// Plane: assembly of the sharded czar/worker query plane on a host system.
+//
+// Owns N shard::Worker engines plus the shard::Czar frontend, all living
+// on the host core::Aorta's event loop and simulated network. Devices are
+// hash-partitioned across the workers with the same FNV-1a function the
+// czar's fragment planner uses (shard_of), so a fragment's device slice is
+// exactly the worker's registry. The czar<->worker interconnect is the
+// zero-loss "backplane" link — machine-room fabric, not a device radio.
+//
+// The host Aorta keeps its own (idle) unsharded engine; the plane reuses
+// only its substrate: loop, network, RNG forks, metrics registry, tracer.
+// server::QueryService routes sessions through plane->exec_async() when
+// ServiceConfig::num_shards > 0.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shard/czar.h"
+#include "shard/worker.h"
+
+namespace aorta::shard {
+
+class Plane {
+ public:
+  struct Options {
+    int num_shards = 1;
+    aorta::util::Duration heartbeat_interval =
+        aorta::util::Duration::seconds(1.0);
+    int miss_threshold = 3;
+    net::LinkModel interconnect = backplane();
+  };
+
+  // The czar<->worker link: LAN-class latency, no jitter, no loss.
+  static net::LinkModel backplane();
+
+  Plane(core::Aorta* host, Options options);
+
+  Plane(const Plane&) = delete;
+  Plane& operator=(const Plane&) = delete;
+
+  // ---- world building (hash-routed to the owning worker) ------------------
+  int shard_of_device(const device::DeviceId& id) const {
+    return shard_of(id, options_.num_shards);
+  }
+  aorta::util::Status add_camera(const device::DeviceId& id, std::string ip,
+                                 devices::CameraPose pose,
+                                 double range_m = 25.0);
+  aorta::util::Status add_mote(const device::DeviceId& id,
+                               device::Location loc, int hops = 1);
+  aorta::util::Status add_phone(const device::DeviceId& id,
+                                std::string phone_no, device::Location loc);
+  devices::Mica2Mote* mote(const device::DeviceId& id);
+  devices::PtzCamera* camera(const device::DeviceId& id);
+
+  // ---- declarative interface ----------------------------------------------
+  void exec_async(
+      const std::string& sql, core::ExecOptions options,
+      std::function<void(aorta::util::Result<core::ExecResult>)> done) {
+    czar_->exec_async(sql, std::move(options), std::move(done));
+  }
+
+  // Fault plans against the sharded plane: events carrying shard="<i>" are
+  // rewritten to node-level events on that worker's endpoint (crash ->
+  // partition, revive -> heal: a worker engine cannot power off, but it
+  // can fall off the network). Device-targeted events resolve across all
+  // worker registries.
+  aorta::util::Status apply_fault_plan(const util::FaultPlan& plan);
+
+  int num_shards() const { return options_.num_shards; }
+  Worker& worker(int shard) { return *workers_[static_cast<std::size_t>(shard)]; }
+  Czar& czar() { return *czar_; }
+
+ private:
+  core::Aorta* host_;
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Czar> czar_;
+};
+
+}  // namespace aorta::shard

@@ -1,0 +1,358 @@
+#include "shard/worker.h"
+
+#include "core/builtins.h"
+#include "util/logging.h"
+
+namespace aorta::shard {
+
+using aorta::util::Duration;
+using aorta::util::Result;
+using aorta::util::Status;
+
+Worker::Worker(core::Aorta* host, Options options)
+    : options_(std::move(options)),
+      node_id_("shard-" + std::to_string(options_.index)),
+      loop_(&host->loop()),
+      network_(&host->network()),
+      tracer_(&host->tracer()),
+      rng_(host->fork_rng()) {
+  registry_ = std::make_unique<device::DeviceRegistry>(network_, loop_,
+                                                       rng_.fork());
+  comm_ = std::make_unique<comm::CommLayer>(registry_.get(), network_,
+                                            node_id_);
+  // The engine attach used the default LAN link; workers sit on the
+  // zero-loss backplane instead (czar traffic must not be droppable).
+  (void)network_->set_link(node_id_, options_.interconnect);
+
+  comm::ScanBroker::Options broker_options;
+  broker_options.coalesce = options_.config.shared_scans;
+  broker_options.freshness = options_.config.scan_freshness;
+  broker_options.degraded_staleness = options_.config.degraded_staleness;
+  scan_broker_ = std::make_unique<comm::ScanBroker>(
+      registry_.get(), comm_.get(), loop_, broker_options);
+  locks_ = std::make_unique<sync::LockManager>(loop_);
+  prober_ = std::make_unique<sync::Prober>(comm_.get(), registry_.get(),
+                                           loop_);
+  if (options_.config.health_supervision) {
+    health_ = std::make_unique<core::HealthSupervisor>(
+        registry_.get(), comm_.get(), loop_, options_.config.health);
+    comm_->set_health(health_.get());
+    scan_broker_->set_health(health_.get());
+  }
+  catalog_ = std::make_unique<query::Catalog>();
+
+  query::ContinuousQueryExecutor::Options exec_options;
+  exec_options.epoch = options_.config.epoch;
+  exec_options.scheduler_name = options_.config.scheduler;
+  exec_options.use_probing = options_.config.use_probing;
+  exec_options.use_locks = options_.config.use_locks;
+  exec_options.max_retries = options_.config.max_retries;
+  exec_options.health = health_.get();
+  exec_options.shard = options_.index;
+  executor_ = std::make_unique<query::ContinuousQueryExecutor>(
+      registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
+      locks_.get(), loop_, catalog_.get(), rng_.fork(), exec_options);
+  if (health_ != nullptr) {
+    health_->set_transition_hook(
+        [this](const device::DeviceId& id, core::HealthState from,
+               core::HealthState to) {
+          executor_->record_trace(query::TraceEntry{
+              loop_->now(), "", "health",
+              id + ": " + std::string(core::health_state_name(from)) +
+                  " -> " + std::string(core::health_state_name(to))});
+          AORTA_TRACE_INSTANT(
+              tracer_, obs::SpanCat::kHealth,
+              node_id_ + ":transition:" + id, loop_->now(),
+              std::string(core::health_state_name(from)) + " -> " +
+                  std::string(core::health_state_name(to)));
+        });
+  }
+
+  scan_broker_->set_tracer(tracer_);
+  executor_->set_tracer(tracer_);
+  comm_->engine().rpc().set_tracer(tracer_);
+  // Action outcomes are forwarded to the czar (where the service layer
+  // routes them to the owning session's mailbox).
+  executor_->set_trace_sink([this](const query::TraceEntry& entry) {
+    if (entry.kind == "outcome" && !entry.query.empty()) send_outcome(entry);
+  });
+
+  (void)registry_->register_type(devices::camera_type_info());
+  (void)registry_->register_type(devices::sensor_type_info());
+  (void)registry_->register_type(devices::phone_type_info());
+  core::register_builtin_function_library(catalog_.get(), registry_.get());
+  core::register_builtin_action_library(catalog_.get(), registry_.get(),
+                                        comm_.get());
+
+  comm_->engine().set_push_handler(
+      [this](const net::Message& msg) { on_push(msg); });
+
+  // Metrics: the unsharded view schema, re-rooted under "shard.<i>.".
+  metrics_ = host->metrics().scoped("shard." + std::to_string(options_.index) +
+                                    ".");
+  scan_broker_->set_metrics(metrics_.registry(),
+                            metrics_.prefix() + "scan_broker.");
+  const query::EvalStats& es = executor_->eval_stats();
+  metrics_.enroll_counter("eval.programs_compiled", &es.programs_compiled);
+  metrics_.enroll_counter("eval.compiled_evals", &es.compiled_evals);
+  metrics_.enroll_counter("eval.fallback_evals", &es.fallback_evals);
+  const net::RpcStats& rpc = comm_->engine().rpc().stats();
+  metrics_.enroll_counter("network.rpc.completed", &rpc.completed);
+  metrics_.enroll_counter("network.rpc.timeouts", &rpc.timeouts);
+  metrics_.enroll_counter("network.rpc.slow_replies", &rpc.slow_replies);
+  if (health_ != nullptr) {
+    const core::HealthStats& hs = health_->stats();
+    metrics_.enroll_gauge("health.quarantined", [this]() {
+      return static_cast<std::int64_t>(health_->quarantined_count());
+    });
+    metrics_.enroll_counter("health.quarantines", &hs.quarantines);
+    metrics_.enroll_counter("health.recoveries", &hs.recoveries);
+  }
+  metrics_.enroll_counter("fragments.registered",
+                          &stats_.fragments_registered);
+  metrics_.enroll_counter("fragments.dropped", &stats_.fragments_dropped);
+  metrics_.enroll_gauge("fragments.active", [this]() {
+    return static_cast<std::int64_t>(fragments_.size());
+  });
+  metrics_.enroll_counter("selects_served", &stats_.selects_served);
+  metrics_.enroll_counter("rows_sent", &stats_.rows_sent);
+  metrics_.enroll_counter("results_msgs", &stats_.results_msgs);
+  metrics_.enroll_counter("heartbeats", &stats_.heartbeats_sent);
+
+  executor_->start();
+  auto alive = alive_;
+  loop_->schedule(options_.heartbeat_interval, [this, alive]() {
+    if (*alive) send_heartbeat();
+  });
+}
+
+Worker::~Worker() {
+  comm_->engine().set_push_handler({});
+  executor_->set_trace_sink({});
+  metrics_.unenroll_all();
+  *alive_ = false;
+}
+
+Status Worker::add_camera(const device::DeviceId& id, std::string ip,
+                          devices::CameraPose pose, double range_m) {
+  return registry_->add(std::make_unique<devices::PtzCamera>(
+      id, std::move(ip), pose, range_m));
+}
+
+Status Worker::add_mote(const device::DeviceId& id, device::Location loc,
+                        int hops) {
+  AORTA_RETURN_IF_ERROR(
+      registry_->add(std::make_unique<devices::Mica2Mote>(id, loc, hops)));
+  return network_->set_link(id, devices::Mica2Mote::link_for_hops(hops));
+}
+
+Status Worker::add_phone(const device::DeviceId& id, std::string phone_no,
+                         device::Location loc) {
+  return registry_->add(
+      std::make_unique<devices::MmsPhone>(id, std::move(phone_no), loc));
+}
+
+devices::Mica2Mote* Worker::mote(const device::DeviceId& id) {
+  return dynamic_cast<devices::Mica2Mote*>(registry_->find(id));
+}
+
+devices::PtzCamera* Worker::camera(const device::DeviceId& id) {
+  return dynamic_cast<devices::PtzCamera*>(registry_->find(id));
+}
+
+void Worker::on_push(const net::Message& msg) {
+  if (msg.kind == kFragmentRegister) {
+    handle_register(msg);
+  } else if (msg.kind == kFragmentDrop) {
+    handle_drop(msg);
+  }
+  // Anything else: a device-initiated push; no current protocol uses them.
+}
+
+void Worker::reply_error(const net::Message& request,
+                         const std::string& message) {
+  net::Message reply = net::make_reply(request, kFragmentError, 64);
+  reply.set("error", message);
+  network_->send(std::move(reply));
+}
+
+void Worker::adopt_gen(std::uint64_t gen) {
+  gen_ = gen;
+  seq_ = 0;
+  for (const std::string& name : fragments_) (void)executor_->drop_aq(name);
+  fragments_.clear();
+  pending_rows_.clear();
+}
+
+void Worker::handle_register(const net::Message& msg) {
+  FragmentSpec spec = fragment_from_fields(msg);
+  if (spec.gen != gen_) adopt_gen(spec.gen);
+  if (spec.sql.empty() && !spec.once) {
+    // Generation-sync control fragment: the czar's recovery handshake when
+    // it has nothing (or nothing yet) to re-register on this shard.
+    net::Message reply = net::make_reply(msg, kFragmentAck, 64);
+    reply.set_int("gen", static_cast<std::int64_t>(gen_));
+    network_->send(std::move(reply));
+    return;
+  }
+  auto stmt = query::parse(spec.sql);
+  if (!stmt.is_ok()) {
+    ++stats_.bad_requests;
+    reply_error(msg, stmt.status().to_string());
+    return;
+  }
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                      node_id_ + ":register:" + spec.name, loop_->now(),
+                      spec.once ? "once" : spec.device_slice);
+  if (spec.once) {
+    if (stmt.value().kind != query::Statement::Kind::kSelect) {
+      ++stats_.bad_requests;
+      reply_error(msg, "once fragment must be a SELECT");
+      return;
+    }
+    run_once_select(msg, stmt.value().select);
+    return;
+  }
+  if (stmt.value().kind != query::Statement::Kind::kCreateAq) {
+    ++stats_.bad_requests;
+    reply_error(msg, "fragment must be a CREATE AQ statement");
+    return;
+  }
+  if (fragments_.count(spec.name) > 0) {
+    (void)executor_->drop_aq(spec.name);  // re-register replaces
+  }
+  query::ContinuousQueryExecutor::AqHooks hooks;
+  hooks.owner = "czar";
+  auto alive = alive_;
+  hooks.on_row = [this, alive](const std::string& query,
+                               const query::TimestampedRow& row) {
+    if (*alive) on_aq_row(query, row);
+  };
+  Status registered = executor_->register_aq(
+      spec.name, stmt.value().create_aq.epoch_s,
+      stmt.value().create_aq.select, spec.sql, std::move(hooks));
+  if (!registered.is_ok()) {
+    ++stats_.bad_requests;
+    reply_error(msg, registered.to_string());
+    return;
+  }
+  fragments_.insert(spec.name);
+  ++stats_.fragments_registered;
+  net::Message reply = net::make_reply(msg, kFragmentAck, 64);
+  reply.set_int("gen", static_cast<std::int64_t>(gen_));
+  network_->send(std::move(reply));
+}
+
+void Worker::handle_drop(const net::Message& msg) {
+  std::string name = msg.field("name");
+  if (fragments_.erase(name) > 0) {
+    (void)executor_->drop_aq(name);
+    ++stats_.fragments_dropped;
+  }
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                      node_id_ + ":drop:" + name, loop_->now(), "");
+  network_->send(net::make_reply(msg, kFragmentAck, 64));
+}
+
+void Worker::run_once_select(const net::Message& msg,
+                             const query::SelectStmt& stmt) {
+  auto alive = alive_;
+  // run_select compiles synchronously; completion fires once acquisition
+  // finishes in simulated time.
+  executor_->run_select(
+      stmt, [this, alive, msg](Result<std::vector<query::Row>> outcome) {
+        if (!*alive) return;
+        if (!outcome.is_ok()) {
+          reply_error(msg, outcome.status().to_string());
+          return;
+        }
+        std::vector<query::TimestampedRow> rows;
+        rows.reserve(outcome.value().size());
+        for (auto& row : outcome.value()) {
+          rows.push_back(query::TimestampedRow{loop_->now(), std::move(row),
+                                               false});
+        }
+        std::string payload = encode_rows(rows);
+        ++stats_.selects_served;
+        net::Message reply =
+            net::make_reply(msg, kFragmentSelectResult, 64 + payload.size());
+        reply.set_int("count", static_cast<std::int64_t>(rows.size()));
+        reply.set("rows", std::move(payload));
+        network_->send(std::move(reply));
+      });
+}
+
+void Worker::on_aq_row(const std::string& query,
+                       const query::TimestampedRow& row) {
+  pending_rows_.emplace_back(query, row);
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  auto alive = alive_;
+  // Zero-delay event: every row produced at this instant ships in one
+  // burst, and ships before any later heartbeat can advance the watermark
+  // past it (see shard/fragment.h on ordering).
+  loop_->schedule(Duration::zero(), [this, alive]() {
+    if (*alive) flush_rows();
+  });
+}
+
+void Worker::flush_rows() {
+  flush_scheduled_ = false;
+  std::vector<std::pair<std::string, query::TimestampedRow>> rows;
+  rows.swap(pending_rows_);
+  // One message per query, in first-appearance order (deterministic).
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<query::TimestampedRow>> by_query;
+  for (auto& [query, row] : rows) {
+    auto [it, inserted] = by_query.try_emplace(query);
+    if (inserted) order.push_back(query);
+    it->second.push_back(std::move(row));
+  }
+  for (const std::string& query : order) {
+    std::vector<query::TimestampedRow>& batch = by_query[query];
+    std::string payload = encode_rows(batch);
+    net::Message msg;
+    msg.kind = kFragmentResults;
+    msg.set("type", "rows");
+    msg.set("query", query);
+    msg.set_int("count", static_cast<std::int64_t>(batch.size()));
+    msg.payload_bytes = 64 + payload.size();
+    msg.set("rows", std::move(payload));
+    stats_.rows_sent += batch.size();
+    ++stats_.results_msgs;
+    send_sequenced(std::move(msg));
+  }
+}
+
+void Worker::send_outcome(const query::TraceEntry& entry) {
+  net::Message msg;
+  msg.kind = kFragmentResults;
+  msg.set("type", "outcome");
+  msg.set("query", entry.query);
+  msg.set("detail", entry.detail);
+  msg.set_int("at_us", entry.at.to_micros());
+  send_sequenced(std::move(msg));
+}
+
+void Worker::send_heartbeat() {
+  net::Message msg;
+  msg.kind = kShardHeartbeat;
+  msg.set_int("watermark_us", loop_->now().to_micros());
+  ++stats_.heartbeats_sent;
+  send_sequenced(std::move(msg));
+  auto alive = alive_;
+  loop_->schedule(options_.heartbeat_interval, [this, alive]() {
+    if (*alive) send_heartbeat();
+  });
+}
+
+void Worker::send_sequenced(net::Message msg) {
+  msg.src = node_id_;
+  msg.dst = options_.czar;
+  msg.set_int("shard", options_.index);
+  msg.set_int("gen", static_cast<std::int64_t>(gen_));
+  msg.set_int("seq", static_cast<std::int64_t>(seq_++));
+  network_->send(std::move(msg));
+}
+
+}  // namespace aorta::shard

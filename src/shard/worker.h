@@ -1,0 +1,136 @@
+// Worker: one shard's complete query engine behind the czar.
+//
+// A worker owns a full vertical slice of the unsharded stack — device
+// registry, comm layer (attached to the shared simulated network as
+// "shard-<i>"), ScanBroker, lock manager, prober, optional
+// HealthSupervisor, catalog and continuous-query executor — over the
+// hash-partitioned subset of devices the Plane routed to it. It speaks the
+// fragment protocol (shard/fragment.h) with the czar:
+//
+//   * fragment_register (once=0): compile + register the AQ fragment on
+//     the local executor; its rows are buffered and shipped to the czar as
+//     sequenced fragment_results bursts (a zero-delay event coalesces all
+//     rows produced at one instant into one message per query).
+//   * fragment_register (once=1): run the one-shot SELECT locally and ride
+//     the partial rows back on the RPC reply.
+//   * fragment_drop: drop the fragment.
+//   * shard_heartbeat every heartbeat_interval: liveness + watermark (the
+//     merge frontier's input).
+//
+// A register carrying a new generation resets the worker's seq counter and
+// re-registers over any existing fragment of the same name — the czar's
+// recovery path after this worker was partitioned away and healed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/aorta.h"
+#include "shard/fragment.h"
+
+namespace aorta::shard {
+
+struct WorkerStats {
+  std::uint64_t fragments_registered = 0;
+  std::uint64_t fragments_dropped = 0;
+  std::uint64_t selects_served = 0;
+  std::uint64_t rows_sent = 0;
+  std::uint64_t results_msgs = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t bad_requests = 0;  // malformed / unparsable fragments
+};
+
+class Worker {
+ public:
+  struct Options {
+    int index = 0;                 // shard index; node id is "shard-<index>"
+    net::NodeId czar = "czar";     // where results and heartbeats go
+    aorta::util::Duration heartbeat_interval =
+        aorta::util::Duration::seconds(1.0);
+    // Engine knobs, copied from the host system's Config by the Plane.
+    core::Config config;
+    // The czar<->worker backplane link (zero loss: the machine-room TCP
+    // fabric, not a device radio).
+    net::LinkModel interconnect;
+  };
+
+  // Builds the worker stack on the host's loop/network; enrolls metrics
+  // under "shard.<index>." on the host registry.
+  Worker(core::Aorta* host, Options options);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  // ---- world building (the Plane routes device adds here) -----------------
+  aorta::util::Status add_camera(const device::DeviceId& id, std::string ip,
+                                 devices::CameraPose pose,
+                                 double range_m = 25.0);
+  aorta::util::Status add_mote(const device::DeviceId& id,
+                               device::Location loc, int hops = 1);
+  aorta::util::Status add_phone(const device::DeviceId& id,
+                                std::string phone_no, device::Location loc);
+  devices::Mica2Mote* mote(const device::DeviceId& id);
+  devices::PtzCamera* camera(const device::DeviceId& id);
+
+  int index() const { return options_.index; }
+  const net::NodeId& node_id() const { return node_id_; }
+  device::DeviceRegistry& registry() { return *registry_; }
+  comm::CommLayer& comm() { return *comm_; }
+  comm::ScanBroker& scan_broker() { return *scan_broker_; }
+  query::ContinuousQueryExecutor& executor() { return *executor_; }
+  core::HealthSupervisor* health() { return health_.get(); }
+  const WorkerStats& stats() const { return stats_; }
+  std::size_t fragment_count() const { return fragments_.size(); }
+
+ private:
+  void on_push(const net::Message& msg);
+  // Adopt a new czar generation: fresh slate — every fragment is dropped
+  // (the czar re-registers the ones that should survive) and the outbound
+  // seq counter restarts at 0.
+  void adopt_gen(std::uint64_t gen);
+  void handle_register(const net::Message& msg);
+  void handle_drop(const net::Message& msg);
+  void run_once_select(const net::Message& msg, const query::SelectStmt& stmt);
+  void reply_error(const net::Message& request, const std::string& message);
+
+  void on_aq_row(const std::string& query, const query::TimestampedRow& row);
+  void flush_rows();
+  void send_outcome(const query::TraceEntry& entry);
+  void send_heartbeat();
+  // Stamp (shard, gen, seq) onto an outbound one-way message and send it.
+  void send_sequenced(net::Message msg);
+
+  Options options_;
+  net::NodeId node_id_;
+  aorta::util::EventLoop* loop_;
+  net::Network* network_;
+  obs::Tracer* tracer_;
+  aorta::util::Rng rng_;
+
+  // Destruction order mirrors core::Aorta: executor first (it holds broker
+  // subscriptions), registry last.
+  std::unique_ptr<device::DeviceRegistry> registry_;
+  std::unique_ptr<comm::CommLayer> comm_;
+  std::unique_ptr<comm::ScanBroker> scan_broker_;
+  std::unique_ptr<sync::LockManager> locks_;
+  std::unique_ptr<sync::Prober> prober_;
+  std::unique_ptr<core::HealthSupervisor> health_;
+  std::unique_ptr<query::Catalog> catalog_;
+  std::unique_ptr<query::ContinuousQueryExecutor> executor_;
+
+  std::set<std::string> fragments_;  // registered AQ fragment names
+  std::uint64_t gen_ = 0;            // adopted czar generation
+  std::uint64_t seq_ = 0;            // next outbound sequence number
+  std::vector<std::pair<std::string, query::TimestampedRow>> pending_rows_;
+  bool flush_scheduled_ = false;
+  WorkerStats stats_;
+  obs::MetricsRegistry::Scoped metrics_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace aorta::shard

@@ -61,7 +61,27 @@ Result<FaultPlan> FaultPlan::from_xml(std::string_view xml) {
           parse_error("unknown fault event kind '" + kind + "'"));
     }
     e.target = node->attr("device");
-    if (e.target.empty()) {
+    if (node->has_attr("shard")) {
+      if (!e.target.empty()) {
+        return Result<FaultPlan>(parse_error(
+            str_format("<event kind=\"%s\"> has both device and shard",
+                       kind.c_str())));
+      }
+      if (is_spike(e.kind)) {
+        return Result<FaultPlan>(parse_error(
+            str_format("<event kind=\"%s\"> cannot target a shard",
+                       kind.c_str())));
+      }
+      AORTA_ASSIGN_OR_RETURN_RESULT(std::int64_t shard,
+                                    node->attr_int_checked("shard"),
+                                    FaultPlan);
+      if (shard < 0) {
+        return Result<FaultPlan>(parse_error(
+            str_format("<event kind=\"%s\"> shard index is negative",
+                       kind.c_str())));
+      }
+      e.shard = static_cast<int>(shard);
+    } else if (e.target.empty()) {
       return Result<FaultPlan>(parse_error(
           str_format("<event kind=\"%s\"> missing device attribute",
                      kind.c_str())));
@@ -99,9 +119,13 @@ Result<FaultPlan> FaultPlan::from_xml(std::string_view xml) {
 std::string FaultPlan::to_xml() const {
   std::string out = "<fault_plan>\n";
   for (const FaultEvent& e : events) {
-    out += str_format("  <event at=\"%g\" kind=\"%s\" device=\"%s\"",
-                      e.at_s, std::string(fault_event_kind_name(e.kind)).c_str(),
-                      xml_escape(e.target).c_str());
+    out += str_format("  <event at=\"%g\" kind=\"%s\"", e.at_s,
+                      std::string(fault_event_kind_name(e.kind)).c_str());
+    if (e.shard >= 0) {
+      out += str_format(" shard=\"%d\"", e.shard);
+    } else {
+      out += str_format(" device=\"%s\"", xml_escape(e.target).c_str());
+    }
     if (is_spike(e.kind)) {
       out += str_format(" prob=\"%g\" for=\"%g\"", e.prob, e.for_s);
     }

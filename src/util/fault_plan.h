@@ -16,11 +16,19 @@
 //     <event at="25" kind="heal" device="m2"/>
 //     <event at="50" kind="loss" device="m2" prob="0.9" for="10"/>
 //     <event at="60" kind="glitch" device="cam1" prob="0.5" for="5"/>
+//     <event at="70" kind="partition" shard="1"/>
+//     <event at="90" kind="heal" shard="1"/>
 //   </fault_plan>
 //
 // `at` is seconds from the moment the plan is applied; `for` (loss/glitch
 // spikes only) is the interval length in seconds after which the original
 // value is restored; `prob` is the spiked probability in [0, 1].
+//
+// crash/revive/partition/heal events may name a worker shard index
+// (`shard="1"`) instead of a device: the sharded plane resolves the index
+// to that worker engine's network node, so bench_chaos can kill one worker
+// and watch the czar re-route its fragments. Exactly one of device/shard
+// must be given; unsharded Aorta rejects plans carrying shard events.
 #pragma once
 
 #include <string>
@@ -42,7 +50,8 @@ struct FaultEvent {
   };
 
   Kind kind = Kind::kCrash;
-  std::string target;   // device id
+  std::string target;   // device id (empty when shard >= 0)
+  int shard = -1;       // worker shard index; -1 = device-targeted event
   double at_s = 0.0;    // seconds after the plan is applied
   double for_s = 0.0;   // spike duration (loss/glitch only)
   double prob = 0.0;    // spiked probability (loss/glitch only)

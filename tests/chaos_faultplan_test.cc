@@ -5,6 +5,7 @@
 
 #include "core/aorta.h"
 #include "devices/mote.h"
+#include "shard/plane.h"
 #include "util/fault_plan.h"
 
 namespace aorta {
@@ -38,6 +39,43 @@ TEST(FaultPlanTest, ParsesAllKindsAndSortsByTime) {
   EXPECT_DOUBLE_EQ(ev[4].prob, 0.9);
   EXPECT_DOUBLE_EQ(ev[4].for_s, 10.0);
   EXPECT_EQ(ev[5].kind, FaultEvent::Kind::kGlitchSpike);
+}
+
+TEST(FaultPlanTest, ShardTargetedEventsParseAndRoundTrip) {
+  auto plan = FaultPlan::from_xml(
+      "<fault_plan>"
+      "<event at=\"10\" kind=\"crash\" shard=\"1\"/>"
+      "<event at=\"20\" kind=\"revive\" shard=\"1\"/>"
+      "<event at=\"30\" kind=\"partition\" shard=\"0\"/>"
+      "<event at=\"40\" kind=\"heal\" shard=\"0\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  const std::vector<FaultEvent>& ev = plan.value().events;
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].shard, 1);
+  EXPECT_TRUE(ev[0].target.empty());
+  EXPECT_EQ(ev[2].shard, 0);
+
+  auto again = FaultPlan::from_xml(plan.value().to_xml());
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  ASSERT_EQ(again.value().events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(again.value().events[i].shard, ev[i].shard);
+    EXPECT_EQ(again.value().events[i].kind, ev[i].kind);
+  }
+}
+
+TEST(FaultPlanTest, RejectsMalformedShardEvents) {
+  auto bad = [](const std::string& body) {
+    auto r = FaultPlan::from_xml("<fault_plan>" + body + "</fault_plan>");
+    EXPECT_FALSE(r.is_ok()) << body;
+  };
+  // Exactly one of device/shard; spikes are link/device-level only.
+  bad("<event at=\"1\" kind=\"crash\" device=\"m1\" shard=\"0\"/>");
+  bad("<event at=\"1\" kind=\"loss\" shard=\"0\" prob=\"0.5\" for=\"2\"/>");
+  bad("<event at=\"1\" kind=\"glitch\" shard=\"0\" prob=\"0.5\" for=\"2\"/>");
+  bad("<event at=\"1\" kind=\"crash\" shard=\"-2\"/>");
+  bad("<event at=\"1\" kind=\"crash\" shard=\"x\"/>");
 }
 
 TEST(FaultPlanTest, RejectsMalformedPlans) {
@@ -160,6 +198,54 @@ TEST_F(FaultPlanSystemFixture, GlitchSpikeRestoresDeviceReliability) {
   EXPECT_DOUBLE_EQ(sys->mote("m1")->reliability().glitch_prob, 0.8);
   sys->run_for(Duration::seconds(2));
   EXPECT_DOUBLE_EQ(sys->mote("m1")->reliability().glitch_prob, 0.0);
+}
+
+TEST_F(FaultPlanSystemFixture, UnshardedSystemRejectsShardEvents) {
+  FaultPlan plan = parse(
+      "<fault_plan><event at=\"1\" kind=\"crash\" shard=\"0\"/>"
+      "</fault_plan>");
+  util::Status s = sys->apply_fault_plan(plan);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("no sharded plane"), std::string::npos);
+}
+
+// A shard-targeted crash/revive pair through Plane::apply_fault_plan
+// takes one worker off the network and brings it back; the czar's
+// supervision marks the shard down in between (the bench_chaos scenario).
+TEST(FaultPlanShardTest, ShardCrashIsRewrittenToWorkerPartition) {
+  core::Config cfg;
+  cfg.seed = 4;
+  core::Aorta sys(cfg);
+  shard::Plane plane(&sys, shard::Plane::Options{.num_shards = 2});
+  for (int i = 0; i < 4; ++i) {
+    std::string id = "m" + std::to_string(i);
+    ASSERT_TRUE(plane.add_mote(id, {double(i), 0, 1}).is_ok());
+  }
+
+  auto parsed = FaultPlan::from_xml(
+      "<fault_plan>"
+      "<event at=\"2\" kind=\"crash\" shard=\"0\"/>"
+      "<event at=\"10\" kind=\"revive\" shard=\"0\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+
+  // Bounds are validated against the plane's own shard count.
+  auto oob = FaultPlan::from_xml(
+      "<fault_plan><event at=\"1\" kind=\"crash\" shard=\"7\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(oob.is_ok());
+  EXPECT_FALSE(plane.apply_fault_plan(oob.value()).is_ok());
+
+  ASSERT_TRUE(plane.apply_fault_plan(parsed.value()).is_ok());
+  sys.run_for(Duration::seconds(1));
+  EXPECT_FALSE(sys.network().is_partitioned("shard-0"));
+  sys.run_for(Duration::seconds(5));  // crash fired, heartbeats silent
+  EXPECT_TRUE(sys.network().is_partitioned("shard-0"));
+  EXPECT_FALSE(plane.czar().worker_live(0));
+  EXPECT_TRUE(plane.czar().worker_live(1));
+  sys.run_for(Duration::seconds(6));  // revive fired, first heartbeat back
+  EXPECT_FALSE(sys.network().is_partitioned("shard-0"));
+  EXPECT_TRUE(plane.czar().worker_live(0));
 }
 
 TEST_F(FaultPlanSystemFixture, PlansCompose) {

@@ -277,6 +277,41 @@ TEST_F(RpcFixture, LateReplyIsConsumedNotMisroutedAsPush) {
   EXPECT_EQ(client_node.rpc.stats().late_replies, 1u);
 }
 
+TEST_F(RpcFixture, EndpointStatsTrackQueueDepthAndSlowPeers) {
+  Echo slow_echo(&network, &loop, Duration::millis(200));
+  (void)network.attach("slow", &slow_echo, LinkModel::perfect());
+  client_node.rpc.set_slow_threshold(Duration::millis(100));
+
+  // Two overlapping calls to the slow peer plus one to the fast echo.
+  client_node.rpc.call("slow", "ping", {}, Duration::seconds(5),
+                       [](util::Result<Message>) {});
+  client_node.rpc.call("slow", "ping", {}, Duration::seconds(5),
+                       [](util::Result<Message>) {});
+  client_node.rpc.call("echo", "ping", {}, Duration::seconds(5),
+                       [](util::Result<Message>) {});
+  const auto& stats = client_node.rpc.endpoint_stats();
+  EXPECT_EQ(stats.at("slow").calls, 2u);
+  EXPECT_EQ(stats.at("slow").in_flight, 2u);  // queue depth while pending
+
+  loop.run_all();
+  EXPECT_EQ(stats.at("slow").in_flight, 0u);
+  EXPECT_EQ(stats.at("slow").max_in_flight, 2u);  // high-water mark sticks
+  EXPECT_EQ(stats.at("slow").slow_replies, 2u);   // 200 ms > 100 ms bound
+  EXPECT_EQ(stats.at("slow").timeouts, 0u);
+  EXPECT_EQ(stats.at("echo").calls, 1u);
+  EXPECT_EQ(stats.at("echo").slow_replies, 0u);
+  EXPECT_EQ(client_node.rpc.stats().slow_replies, 2u);
+
+  // A timeout settles the endpoint entry too: depth drains, miss counted.
+  network.partition("slow");
+  client_node.rpc.call("slow", "ping", {}, Duration::millis(50),
+                       [](util::Result<Message>) {});
+  EXPECT_EQ(stats.at("slow").in_flight, 1u);
+  loop.run_all();
+  EXPECT_EQ(stats.at("slow").in_flight, 0u);
+  EXPECT_EQ(stats.at("slow").timeouts, 1u);
+}
+
 // An endpoint that can refuse delivery, standing in for an offline device.
 class Refusing : public Endpoint {
  public:

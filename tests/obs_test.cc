@@ -151,6 +151,37 @@ TEST(MetricsRegistryTest, SanitizeComponentKeepsDotsOutOfPaths) {
   EXPECT_EQ(MetricsRegistry::sanitize_component("192.168.0.90"), "192_168_0_90");
 }
 
+TEST(MetricsRegistryTest, ScopedViewPrefixesAndUnenrollsAsAUnit) {
+  MetricsRegistry reg;
+  std::uint64_t rows0 = 5, rows1 = 9, other = 1;
+  reg.enroll_counter("network.sent", &other);
+
+  // The same view schema enrolled twice under indexed namespaces — the
+  // shard worker pattern ("shard.<i>.*") — without name collisions.
+  MetricsRegistry::Scoped s0 = reg.scoped("shard.0.");
+  MetricsRegistry::Scoped s1 = reg.scoped("shard.1.");
+  s0.enroll_counter("rows", &rows0);
+  s1.enroll_counter("rows", &rows1);
+  s0.enroll_gauge("depth", [] { return std::int64_t{3}; });
+  EXPECT_EQ(reg.counter_value("shard.0.rows"), 5u);
+  EXPECT_EQ(reg.counter_value("shard.1.rows"), 9u);
+  EXPECT_EQ(reg.gauge_value("shard.0.depth"), 3);
+
+  // Withdrawing one scope leaves the sibling and everything else intact.
+  s0.unenroll_all();
+  EXPECT_FALSE(reg.contains("shard.0.rows"));
+  EXPECT_FALSE(reg.contains("shard.0.depth"));
+  EXPECT_TRUE(reg.contains("shard.1.rows"));
+  EXPECT_TRUE(reg.contains("network.sent"));
+
+  // A default-constructed scope is a null-safe no-op enrollment path.
+  MetricsRegistry::Scoped dead;
+  EXPECT_FALSE(dead.live());
+  dead.enroll_counter("rows", &rows0);
+  dead.unenroll_all();
+  EXPECT_EQ(reg.size(), 2u);
+}
+
 TEST(MetricsRegistryTest, HistogramRendersInline) {
   MetricsRegistry reg;
   LatencyHistogram h;

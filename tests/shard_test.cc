@@ -1,0 +1,563 @@
+// Tests for the sharded czar/worker query plane (src/shard): the fragment
+// wire format (spec fields, exact rows codec, FNV-1a partition), the
+// deterministic merger, the czar's planning limits, end-to-end SELECT
+// partial merging and continuous-row delivery across shards, worker
+// failure/recovery supervision, and the QueryService num_shards routing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/aorta.h"
+#include "server/service.h"
+#include "server/session.h"
+#include "shard/fragment.h"
+#include "shard/merger.h"
+#include "shard/plane.h"
+#include "query/parser.h"
+
+namespace aorta {
+namespace {
+
+using server::Delivery;
+using server::QueryService;
+using server::ServiceConfig;
+using server::SessionId;
+using shard::FragmentSpec;
+using shard::Merger;
+using shard::Plane;
+using util::Duration;
+using util::TimePoint;
+
+// ------------------------------------------------------ fragment codec
+
+TEST(FragmentTest, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors; the partition function must be
+  // stable across toolchains (committed baselines depend on it).
+  EXPECT_EQ(shard::fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(shard::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(shard::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(FragmentTest, ShardOfIsStableAndInRange) {
+  for (int n : {1, 2, 4, 8}) {
+    for (int i = 0; i < 32; ++i) {
+      std::string id = "m" + std::to_string(i);
+      int s = shard::shard_of(id, n);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, n);
+      EXPECT_EQ(s, shard::shard_of(id, n));  // pure function of the id
+    }
+  }
+}
+
+TEST(FragmentTest, SpecFieldsRoundTrip) {
+  FragmentSpec spec;
+  spec.name = "s1/push";
+  spec.sql = "SELECT s.temp FROM sensor s WHERE s.temp > 30";
+  spec.epoch_s = 2.5;
+  spec.once = true;
+  spec.shard = 3;
+  spec.num_shards = 4;
+  spec.gen = 7;
+  spec.needed_attrs = "temp";
+  spec.device_slice = "fnv1a(id) mod 4 == 3";
+
+  net::Message msg;
+  shard::fragment_to_fields(spec, &msg);
+  FragmentSpec back = shard::fragment_from_fields(msg);
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.sql, spec.sql);
+  EXPECT_DOUBLE_EQ(back.epoch_s, spec.epoch_s);
+  EXPECT_EQ(back.once, spec.once);
+  EXPECT_EQ(back.shard, spec.shard);
+  EXPECT_EQ(back.num_shards, spec.num_shards);
+  EXPECT_EQ(back.gen, spec.gen);
+  EXPECT_EQ(back.needed_attrs, spec.needed_attrs);
+}
+
+TEST(FragmentTest, RowsCodecRoundTripsEveryValueType) {
+  std::vector<query::TimestampedRow> rows;
+  query::TimestampedRow r1;
+  r1.at = TimePoint() + Duration::millis(1234);
+  r1.row = {{"flag", device::Value{true}},
+            {"count", device::Value{std::int64_t{-42}}},
+            {"temp", device::Value{0.1}},  // not exactly representable: the
+                                           // %.17g round-trip must hold
+            {"name", device::Value{std::string("a:b,c 7:d")}},
+            {"none", device::Value{}}};
+  rows.push_back(r1);
+  query::TimestampedRow r2;
+  r2.at = TimePoint() + Duration::seconds(9.0);
+  r2.degraded = true;
+  r2.row = {{"loc", device::Value{device::Location{1.5, -2.25, 0.125}}},
+            {"empty", device::Value{std::string("")}},
+            {"tiny", device::Value{-1.0e-9}}};
+  rows.push_back(r2);
+
+  std::string payload = shard::encode_rows(rows);
+  std::vector<query::TimestampedRow> back;
+  ASSERT_TRUE(shard::decode_rows(payload, &back));
+  ASSERT_EQ(back.size(), 2u);
+
+  EXPECT_EQ(back[0].at, r1.at);
+  EXPECT_FALSE(back[0].degraded);
+  ASSERT_EQ(back[0].row.size(), 5u);
+  EXPECT_EQ(back[0].row[0].first, "flag");
+  EXPECT_EQ(std::get<bool>(back[0].row[0].second), true);
+  EXPECT_EQ(std::get<std::int64_t>(back[0].row[1].second), -42);
+  EXPECT_EQ(std::get<double>(back[0].row[2].second), 0.1);  // exact
+  EXPECT_EQ(std::get<std::string>(back[0].row[3].second), "a:b,c 7:d");
+  EXPECT_TRUE(
+      std::holds_alternative<std::monostate>(back[0].row[4].second));
+
+  EXPECT_EQ(back[1].at, r2.at);
+  EXPECT_TRUE(back[1].degraded);
+  auto loc = std::get<device::Location>(back[1].row[0].second);
+  EXPECT_EQ(loc.x, 1.5);
+  EXPECT_EQ(loc.y, -2.25);
+  EXPECT_EQ(loc.z, 0.125);
+  EXPECT_EQ(std::get<std::string>(back[1].row[1].second), "");
+  EXPECT_EQ(std::get<double>(back[1].row[2].second), -1.0e-9);
+
+  // Deterministic: re-encoding the decoded rows is byte-identical.
+  EXPECT_EQ(shard::encode_rows(back), payload);
+}
+
+TEST(FragmentTest, RowsCodecRejectsMalformedPayloads) {
+  std::vector<query::TimestampedRow> out;
+  EXPECT_FALSE(shard::decode_rows("garbage", &out));
+
+  query::TimestampedRow r;
+  r.at = TimePoint() + Duration::seconds(1.0);
+  r.row = {{"temp", device::Value{25.0}}};
+  std::string good = shard::encode_rows({r});
+  EXPECT_TRUE(shard::decode_rows(good, &out));
+  EXPECT_FALSE(
+      shard::decode_rows(good.substr(0, good.size() - 2), &out));  // truncated
+}
+
+TEST(FragmentTest, NeededAttributesSpanSelectListAndWhere) {
+  auto stmt = query::parse(
+      "SELECT s.temp FROM sensor s WHERE s.accel_x > 500 AND s.temp < 40");
+  ASSERT_TRUE(stmt.is_ok());
+  auto attrs = shard::needed_attributes(stmt.value().select);
+  EXPECT_EQ(attrs, (std::set<std::string>{"accel_x", "temp"}));
+
+  auto agg = query::parse("SELECT count(*) FROM sensor s WHERE s.temp > 0");
+  ASSERT_TRUE(agg.is_ok());
+  auto agg_attrs = shard::needed_attributes(agg.value().select);
+  EXPECT_EQ(agg_attrs, (std::set<std::string>{"temp"}));  // no "*"
+}
+
+TEST(FragmentTest, AggregateClassification) {
+  auto stmt = query::parse(
+      "SELECT count(*), sum(s.temp), min(s.temp), max(s.temp), s.temp "
+      "FROM sensor s");
+  ASSERT_TRUE(stmt.is_ok());
+  const auto& items = stmt.value().select.select_list;
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(shard::agg_kind(*items[0]), shard::AggKind::kCount);
+  EXPECT_EQ(shard::agg_kind(*items[1]), shard::AggKind::kSum);
+  EXPECT_EQ(shard::agg_kind(*items[2]), shard::AggKind::kMin);
+  EXPECT_EQ(shard::agg_kind(*items[3]), shard::AggKind::kMax);
+  EXPECT_EQ(shard::agg_kind(*items[4]), shard::AggKind::kNone);
+
+  bool has_avg = false;
+  EXPECT_TRUE(shard::select_has_aggregates(stmt.value().select, &has_avg));
+  EXPECT_FALSE(has_avg);
+  auto avg = query::parse("SELECT avg(s.temp) FROM sensor s");
+  ASSERT_TRUE(avg.is_ok());
+  EXPECT_TRUE(shard::select_has_aggregates(avg.value().select, &has_avg));
+  EXPECT_TRUE(has_avg);
+}
+
+// -------------------------------------------------------------- merger
+
+// A released row tagged with enough provenance to assert the merge order.
+struct Released {
+  std::string query;
+  TimePoint at;
+  std::int64_t tag = 0;
+};
+
+query::TimestampedRow tagged_row(double at_s, std::int64_t tag) {
+  query::TimestampedRow r;
+  r.at = TimePoint() + Duration::seconds(at_s);
+  r.row = {{"tag", device::Value{tag}}};
+  return r;
+}
+
+TEST(MergerTest, ReleasesInTimestampShardArrivalOrder) {
+  std::vector<Released> out;
+  Merger m(2, [&](const std::string& q, const query::TimestampedRow& row) {
+    out.push_back({q, row.at, std::get<std::int64_t>(row.row[0].second)});
+  });
+
+  // Arrival order deliberately scrambled across shards and timestamps.
+  m.add(1, "q", tagged_row(2.0, 3));
+  m.add(0, "q", tagged_row(1.0, 1));
+  m.add(0, "q", tagged_row(2.0, 2));
+  m.add(1, "q", tagged_row(2.0, 4));  // same (at, shard): arrival breaks tie
+  EXPECT_EQ(m.buffered(), 4u);
+  EXPECT_TRUE(out.empty());  // both watermarks still at 0
+
+  m.watermark(0, TimePoint() + Duration::seconds(5.0));
+  EXPECT_TRUE(out.empty());  // frontier = min over shards, shard 1 still 0
+  m.watermark(1, TimePoint() + Duration::seconds(5.0));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].tag, 1);  // (1.0, shard 0)
+  EXPECT_EQ(out[1].tag, 2);  // (2.0, shard 0)
+  EXPECT_EQ(out[2].tag, 3);  // (2.0, shard 1, arrival 0)
+  EXPECT_EQ(out[3].tag, 4);  // (2.0, shard 1, arrival 1)
+
+  // The frontier bound is strict: a row stamped exactly at the watermark
+  // stays buffered (the worker may still emit more rows at that instant).
+  m.add(0, "q", tagged_row(5.0, 5));
+  m.watermark(1, TimePoint() + Duration::seconds(6.0));
+  EXPECT_EQ(m.buffered(), 1u);
+  m.watermark(0, TimePoint() + Duration::seconds(5.5));
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4].tag, 5);
+}
+
+TEST(MergerTest, DownShardStopsGatingTheFrontier) {
+  std::vector<Released> out;
+  Merger m(2, [&](const std::string& q, const query::TimestampedRow& row) {
+    out.push_back({q, row.at, std::get<std::int64_t>(row.row[0].second)});
+  });
+  m.add(0, "q", tagged_row(1.0, 1));
+  m.watermark(0, TimePoint() + Duration::seconds(10.0));
+  EXPECT_TRUE(out.empty());  // shard 1 never heartbeated
+
+  m.set_live(1, false);  // a dead worker must not stall the survivors
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].tag, 1);
+  EXPECT_EQ(m.stats().rows_in, 1u);
+  EXPECT_EQ(m.stats().rows_out, 1u);
+
+  // Back up: its (stale) watermark gates the frontier again.
+  m.set_live(1, true);
+  m.add(0, "q", tagged_row(2.0, 2));
+  EXPECT_EQ(out.size(), 1u);
+  m.watermark(1, TimePoint() + Duration::seconds(10.0));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MergerTest, ForgetQueryDropsBufferedRows) {
+  std::vector<Released> out;
+  Merger m(1, [&](const std::string& q, const query::TimestampedRow& row) {
+    out.push_back({q, row.at, std::get<std::int64_t>(row.row[0].second)});
+  });
+  m.add(0, "dead", tagged_row(1.0, 1));
+  m.add(0, "live", tagged_row(1.0, 2));
+  m.add(0, "dead", tagged_row(2.0, 3));
+  m.forget_query("dead");
+  EXPECT_EQ(m.buffered(), 1u);
+  m.watermark(0, TimePoint() + Duration::seconds(5.0));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].query, "live");
+}
+
+// ------------------------------------------------- czar planning limits
+
+TEST(CzarPlanningTest, RejectsJoinsAvgAndForeignDdl) {
+  core::Aorta sys(core::Config{});
+  Plane plane(&sys, Plane::Options{.num_shards = 2});
+
+  auto run = [&](const std::string& sql) {
+    util::Result<core::ExecResult> out = util::internal_error("not called");
+    plane.exec_async(sql, {}, [&](util::Result<core::ExecResult> r) {
+      out = std::move(r);
+    });
+    sys.run_for(Duration::seconds(1.0));
+    return out;
+  };
+
+  auto join = run("SELECT s.temp FROM sensor s, camera c");
+  ASSERT_FALSE(join.is_ok());
+  EXPECT_NE(join.status().message().find("joins"), std::string::npos);
+
+  auto avg = run("SELECT avg(s.temp) FROM sensor s");
+  ASSERT_FALSE(avg.is_ok());
+  EXPECT_NE(avg.status().message().find("avg"), std::string::npos);
+
+  auto show = run("SHOW DEVICES");
+  ASSERT_FALSE(show.is_ok());
+  EXPECT_NE(show.status().message().find("sharded plane"), std::string::npos);
+
+  auto aq_join = run(
+      "CREATE AQ j AS SELECT s.temp FROM sensor s, camera c");
+  ASSERT_FALSE(aq_join.is_ok());
+}
+
+// ----------------------------------------------- end-to-end shard plane
+
+// A deterministic 2-shard world: six motes with distinct constant temps,
+// zero glitch probability and lossless links so every epoch's scan
+// succeeds. Returns the plane; asserts the hash partition actually uses
+// both shards (FNV-1a is fixed, so this can never start flaking).
+struct PlaneWorld {
+  explicit PlaneWorld(int num_shards, core::Config config = core::Config{})
+      : sys(config) {
+    Plane::Options po;
+    po.num_shards = num_shards;
+    plane = std::make_unique<Plane>(&sys, po);
+    for (int i = 0; i < 6; ++i) {
+      std::string id = "m" + std::to_string(i);
+      ASSERT_OK(plane->add_mote(id, {double(i), 0, 1}));
+      plane->mote(id)->reliability().glitch_prob = 0.0;
+      (void)plane->mote(id)->set_signal(
+          "temp", devices::constant_signal(10.0 + i));
+      // AQ predicates are edge-triggered: a device fires when its predicate
+      // *becomes* true. The 2s-period spike alternates the accel predicate
+      // true/false at successive 1s epoch samples, so every mote re-fires
+      // every other epoch (a constant signal would fire exactly once).
+      (void)plane->mote(id)->set_signal(
+          "accel_x", devices::periodic_spike_signal(
+                         0.0, 900.0, Duration::seconds(2.0),
+                         Duration::seconds(0.5), Duration::zero()));
+      (void)sys.network().set_link(id, Plane::backplane());
+    }
+  }
+  static void ASSERT_OK(const util::Status& s) { ASSERT_TRUE(s.is_ok()) << s.message(); }
+
+  core::Aorta sys;
+  std::unique_ptr<Plane> plane;
+};
+
+TEST(ShardPlaneTest, DevicePartitionCoversBothShards) {
+  PlaneWorld w(2);
+  bool shard_used[2] = {false, false};
+  for (int i = 0; i < 6; ++i) {
+    shard_used[w.plane->shard_of_device("m" + std::to_string(i))] = true;
+  }
+  EXPECT_TRUE(shard_used[0]);
+  EXPECT_TRUE(shard_used[1]);
+  // The owning worker's registry holds the device; the other does not.
+  int owner = w.plane->shard_of_device("m0");
+  EXPECT_NE(w.plane->worker(owner).mote("m0"), nullptr);
+  EXPECT_EQ(w.plane->worker(1 - owner).mote("m0"), nullptr);
+}
+
+TEST(ShardPlaneTest, SelectConcatenatesPartialsFromAllShards) {
+  PlaneWorld w(2);
+  util::Result<core::ExecResult> out = util::internal_error("not called");
+  w.plane->exec_async("SELECT s.temp FROM sensor s", {},
+                      [&](util::Result<core::ExecResult> r) {
+                        out = std::move(r);
+                      });
+  w.sys.run_for(Duration::seconds(3.0));
+  ASSERT_TRUE(out.is_ok()) << out.status().message();
+  ASSERT_EQ(out.value().rows.size(), 6u);
+  // Every mote's temp appears exactly once across the merged partials.
+  std::multiset<double> temps;
+  for (const query::Row& row : out.value().rows) {
+    double v = 0;
+    ASSERT_TRUE(device::value_as_double(row[0].second, &v));
+    temps.insert(v);
+  }
+  EXPECT_EQ(temps, (std::multiset<double>{10, 11, 12, 13, 14, 15}));
+  EXPECT_EQ(w.plane->czar().stats().selects, 1u);
+  EXPECT_EQ(w.plane->worker(0).stats().selects_served, 1u);
+  EXPECT_EQ(w.plane->worker(1).stats().selects_served, 1u);
+}
+
+TEST(ShardPlaneTest, SelectMergesPartialAggregates) {
+  PlaneWorld w(2);
+  util::Result<core::ExecResult> out = util::internal_error("not called");
+  w.plane->exec_async(
+      "SELECT count(*), min(s.temp), max(s.temp) FROM sensor s", {},
+      [&](util::Result<core::ExecResult> r) { out = std::move(r); });
+  w.sys.run_for(Duration::seconds(3.0));
+  ASSERT_TRUE(out.is_ok()) << out.status().message();
+  ASSERT_EQ(out.value().rows.size(), 1u);
+  const query::Row& row = out.value().rows[0];
+  ASSERT_EQ(row.size(), 3u);
+  double count = 0, lo = 0, hi = 0;
+  ASSERT_TRUE(device::value_as_double(row[0].second, &count));
+  ASSERT_TRUE(device::value_as_double(row[1].second, &lo));
+  ASSERT_TRUE(device::value_as_double(row[2].second, &hi));
+  EXPECT_EQ(count, 6);  // summed across per-shard partial counts
+  EXPECT_EQ(lo, 10.0);  // extrema across per-shard extrema
+  EXPECT_EQ(hi, 15.0);
+}
+
+TEST(ShardPlaneTest, ContinuousRowsMergeInNondecreasingTimestampOrder) {
+  PlaneWorld w(2);
+  std::vector<Released> rows;
+  core::ExecOptions opts;
+  opts.owner = "tester";
+  opts.on_row = [&](const std::string& q, const query::TimestampedRow& r) {
+    rows.push_back({q, r.at, 0});
+  };
+  util::Result<core::ExecResult> out = util::internal_error("not called");
+  w.plane->exec_async(
+      "CREATE AQ push AS SELECT s.temp FROM sensor s WHERE s.accel_x > 100",
+      opts, [&](util::Result<core::ExecResult> r) { out = std::move(r); });
+  w.sys.run_for(Duration::seconds(7.0));
+  ASSERT_TRUE(out.is_ok()) << out.status().message();
+  EXPECT_EQ(w.plane->worker(0).fragment_count(), 1u);
+  EXPECT_EQ(w.plane->worker(1).fragment_count(), 1u);
+
+  // All six motes see spike edges at t=2, 4, 6; at least the first two
+  // rounds (12 rows) have drained past the merge frontier by now.
+  ASSERT_GE(rows.size(), 12u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].at, rows[i - 1].at);  // merge order is by timestamp
+    EXPECT_EQ(rows[i].query, "push");
+  }
+  const shard::CzarStats& cs = w.plane->czar().stats();
+  EXPECT_GE(cs.rows_received, rows.size());
+  EXPECT_GE(cs.heartbeats_received, 4u);
+  EXPECT_EQ(cs.workers_marked_down, 0u);
+
+  // DROP fans out to the workers and stops the stream.
+  util::Result<core::ExecResult> dropped = util::internal_error("not called");
+  w.plane->exec_async("DROP AQ push", {}, [&](util::Result<core::ExecResult> r) {
+    dropped = std::move(r);
+  });
+  w.sys.run_for(Duration::seconds(1.0));
+  ASSERT_TRUE(dropped.is_ok());
+  std::size_t seen = rows.size();
+  w.sys.run_for(Duration::seconds(3.0));
+  EXPECT_EQ(rows.size(), seen);
+  EXPECT_EQ(w.plane->worker(0).fragment_count(), 0u);
+  EXPECT_EQ(w.plane->worker(1).fragment_count(), 0u);
+}
+
+TEST(ShardPlaneTest, PartitionedWorkerIsMarkedDownAndRecoveredOnHeal) {
+  PlaneWorld w(2);
+  std::vector<Released> rows;
+  core::ExecOptions opts;
+  opts.owner = "tester";
+  opts.on_row = [&](const std::string& q, const query::TimestampedRow& r) {
+    rows.push_back({q, r.at, 0});
+  };
+  util::Result<core::ExecResult> out = util::internal_error("not called");
+  w.plane->exec_async(
+      "CREATE AQ push AS SELECT s.temp FROM sensor s WHERE s.accel_x > 100",
+      opts, [&](util::Result<core::ExecResult> r) { out = std::move(r); });
+  w.sys.run_for(Duration::seconds(3.0));
+  ASSERT_TRUE(out.is_ok()) << out.status().message();
+  ASSERT_TRUE(w.plane->czar().worker_live(0));
+  ASSERT_TRUE(w.plane->czar().worker_live(1));
+
+  // Kill worker 0's network: its heartbeats stop; after miss_threshold
+  // silent intervals the czar marks the shard down, and the dead shard's
+  // watermark stops gating the merge frontier.
+  w.sys.network().partition("shard-0");
+  w.sys.run_for(Duration::seconds(6.0));
+  EXPECT_FALSE(w.plane->czar().worker_live(0));
+  EXPECT_TRUE(w.plane->czar().worker_live(1));
+  EXPECT_GE(w.plane->czar().stats().workers_marked_down, 1u);
+  std::size_t during_partition = rows.size();
+  w.sys.run_for(Duration::seconds(3.0));
+  EXPECT_GT(rows.size(), during_partition)
+      << "surviving shard's rows must keep draining";
+
+  // Heal: the first message back triggers the generation-bump recovery
+  // handshake and the czar re-registers the AQ on the worker.
+  w.sys.network().heal("shard-0");
+  w.sys.run_for(Duration::seconds(4.0));
+  EXPECT_TRUE(w.plane->czar().worker_live(0));
+  EXPECT_GE(w.plane->czar().stats().reregistrations, 1u);
+  EXPECT_EQ(w.plane->worker(0).fragment_count(), 1u);
+  // The worker re-registered under the new generation at least once more
+  // than the initial fan-out.
+  EXPECT_GE(w.plane->worker(0).stats().fragments_registered, 2u);
+
+  // Rows from shard 0's motes flow again: total rate recovers.
+  std::size_t after_heal = rows.size();
+  w.sys.run_for(Duration::seconds(3.0));
+  EXPECT_GT(rows.size(), after_heal);
+}
+
+// ------------------------------------------- service-layer num_shards
+
+TEST(ShardServiceTest, SessionsRouteThroughTheCzar) {
+  core::Aorta sys(core::Config{});
+  ServiceConfig cfg;
+  cfg.num_shards = 2;
+  QueryService service(&sys, cfg);
+  ASSERT_NE(service.plane(), nullptr);
+  for (int i = 0; i < 4; ++i) {
+    std::string id = "m" + std::to_string(i);
+    ASSERT_TRUE(service.plane()->add_mote(id, {double(i), 0, 1}).is_ok());
+    service.plane()->mote(id)->reliability().glitch_prob = 0.0;
+    (void)service.plane()->mote(id)->set_signal(
+        "temp", devices::constant_signal(20.0 + i));
+    (void)sys.network().set_link(id, Plane::backplane());
+  }
+
+  SessionId id = service.connect("acme");
+  ASSERT_TRUE(service.submit(id, "SELECT s.temp FROM sensor s").is_ok());
+  ASSERT_TRUE(service
+                  .submit(id, "CREATE AQ watch AS SELECT s.temp FROM sensor s "
+                              "WHERE s.temp > 0")
+                  .is_ok());
+  sys.run_for(Duration::seconds(6.0));
+
+  std::vector<Delivery> mail = service.session(id)->drain();
+  bool saw_select = false, saw_row = false;
+  for (const Delivery& d : mail) {
+    if (d.kind == Delivery::Kind::kResult && !d.rows.empty()) {
+      saw_select = true;
+      EXPECT_EQ(d.rows.size(), 4u);
+    }
+    if (d.kind == Delivery::Kind::kRow) {
+      saw_row = true;
+      EXPECT_EQ(d.query, "s1/watch");  // session namespace prefix preserved
+    }
+    EXPECT_NE(d.kind, Delivery::Kind::kError) << d.message;
+  }
+  EXPECT_TRUE(saw_select);
+  EXPECT_TRUE(saw_row);
+  EXPECT_EQ(service.plane()->czar().stats().selects, 1u);
+
+  // Disconnect tears the session's fragments down on every worker.
+  ASSERT_TRUE(service.disconnect(id).is_ok());
+  sys.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(service.plane()->worker(0).fragment_count(), 0u);
+  EXPECT_EQ(service.plane()->worker(1).fragment_count(), 0u);
+
+  // The sharded sections show up in the deterministic metrics walk.
+  std::string json = service.stats_json();
+  for (const char* key : {"\"shard\"", "\"czar\"", "\"merge\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ShardServiceTest, SingleShardAblationServesTheSameInterface) {
+  core::Aorta sys(core::Config{});
+  ServiceConfig cfg;
+  cfg.num_shards = 1;  // all devices on shard 0: the ablation baseline
+  QueryService service(&sys, cfg);
+  ASSERT_TRUE(service.plane()->add_mote("m1", {0, 0, 1}).is_ok());
+  service.plane()->mote("m1")->reliability().glitch_prob = 0.0;
+  (void)service.plane()->mote("m1")->set_signal(
+      "temp", devices::constant_signal(25.0));
+  (void)sys.network().set_link("m1", Plane::backplane());
+
+  SessionId id = service.connect("acme");
+  ASSERT_TRUE(service.submit(id, "SELECT s.temp FROM sensor s").is_ok());
+  sys.run_for(Duration::seconds(3.0));
+  std::vector<Delivery> mail = service.session(id)->drain();
+  bool saw_select = false;
+  for (const Delivery& d : mail) {
+    if (d.kind == Delivery::Kind::kResult) {
+      saw_select = true;
+      ASSERT_EQ(d.rows.size(), 1u);
+      double v = 0;
+      ASSERT_TRUE(device::value_as_double(d.rows[0][0].second, &v));
+      EXPECT_EQ(v, 25.0);
+    }
+  }
+  EXPECT_TRUE(saw_select);
+}
+
+}  // namespace
+}  // namespace aorta

@@ -25,7 +25,7 @@ import json
 import sys
 
 KNOWN_CATS = {"parse", "register", "sweep", "rpc", "eval", "action",
-              "delivery", "epoch", "health"}
+              "delivery", "epoch", "health", "fragment", "merge"}
 
 
 def fail(path, msg):
