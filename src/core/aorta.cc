@@ -1,6 +1,7 @@
 #include "core/aorta.h"
 
 #include <optional>
+#include <thread>
 
 #include "core/builtins.h"
 #include "device/profile_io.h"
@@ -23,26 +24,36 @@ using aorta::util::Status;
 Aorta::Aorta(Config config)
     : tracer_(config.trace_capacity), config_(config), rng_(config.seed) {
   tracer_.set_enabled(config_.tracing);
-  clock_ = std::make_unique<aorta::util::SimClock>();
-  loop_ = std::make_unique<aorta::util::EventLoop>(clock_.get());
-  aorta::util::Logger::instance().attach_clock(clock_.get());
+  tracers_.push_back(&tracer_);
+  runtime_ = std::make_unique<aorta::util::LoopGroup>(config_.runtime_quantum);
+  int threads = config_.runtime_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  runtime_->set_threads(threads);
+  fabric_ = std::make_unique<net::Fabric>(runtime_.get());
+  clock_ = runtime_->clock(0);
+  loop_ = runtime_->control();
+  aorta::util::Logger::instance().attach_clock(clock_);
 
-  network_ = std::make_unique<net::Network>(loop_.get(), rng_.fork());
+  network_ = std::make_unique<net::Network>(loop_, rng_.fork());
+  network_->join_fabric(fabric_.get(), 0);
   registry_ = std::make_unique<device::DeviceRegistry>(network_.get(),
-                                                       loop_.get(), rng_.fork());
+                                                       loop_, rng_.fork());
   comm_ = std::make_unique<comm::CommLayer>(registry_.get(), network_.get());
   comm::ScanBroker::Options broker_options;
   broker_options.coalesce = config_.shared_scans;
   broker_options.freshness = config_.scan_freshness;
   broker_options.degraded_staleness = config_.degraded_staleness;
   scan_broker_ = std::make_unique<comm::ScanBroker>(
-      registry_.get(), comm_.get(), loop_.get(), broker_options);
-  locks_ = std::make_unique<sync::LockManager>(loop_.get());
+      registry_.get(), comm_.get(), loop_, broker_options);
+  locks_ = std::make_unique<sync::LockManager>(loop_);
   prober_ = std::make_unique<sync::Prober>(comm_.get(), registry_.get(),
-                                           loop_.get());
+                                           loop_);
   if (config_.health_supervision) {
     health_ = std::make_unique<HealthSupervisor>(registry_.get(), comm_.get(),
-                                                 loop_.get(), config_.health);
+                                                 loop_, config_.health);
     comm_->set_health(health_.get());
     scan_broker_->set_health(health_.get());
   }
@@ -57,7 +68,7 @@ Aorta::Aorta(Config config)
   options.health = health_.get();
   executor_ = std::make_unique<query::ContinuousQueryExecutor>(
       registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
-      locks_.get(), loop_.get(), catalog_.get(), rng_.fork(), options);
+      locks_.get(), loop_, catalog_.get(), rng_.fork(), options);
   if (health_ != nullptr) {
     // Surface quarantine/recovery next to query events in the trace.
     health_->set_transition_hook([this](const device::DeviceId& id,
@@ -133,7 +144,44 @@ void Aorta::enroll_system_metrics() {
   metrics_.enroll_counter("eval.compiled_evals", &es.compiled_evals);
   metrics_.enroll_counter("eval.fallback_evals", &es.fallback_evals);
 
+  metrics_.enroll_counter("network.cross_sent", &net.cross_sent);
+  metrics_.enroll_gauge("runtime.loops", [this]() {
+    return static_cast<std::int64_t>(runtime_->size());
+  });
+  metrics_.enroll_gauge("runtime.windows", [this]() {
+    return static_cast<std::int64_t>(runtime_->windows());
+  });
+  // Thread count is an execution-environment property, not virtual state:
+  // volatile so same-seed snapshots match across thread counts.
+  metrics_.enroll_gauge("runtime.threads", [this]() {
+    return static_cast<std::int64_t>(runtime_->threads());
+  });
+  metrics_.mark_volatile("runtime.threads");
+  enroll_loop_runtime_metrics(0);
+
   scan_broker_->set_metrics(&metrics_);
+}
+
+void Aorta::enroll_loop_runtime_metrics(int loop_index) {
+  const aorta::util::LoopRuntimeStats& rs = runtime_->stats(loop_index);
+  const std::string p = "runtime." + std::to_string(loop_index) + ".";
+  metrics_.enroll_counter(p + "barrier_waits", &rs.barrier_waits);
+  metrics_.enroll_counter(p + "posts_out", &rs.posts_out);
+  metrics_.enroll_counter(p + "posts_in", &rs.posts_in);
+  metrics_.enroll_counter(p + "posts_clamped", &rs.posts_clamped);
+  metrics_.enroll_counter(p + "max_outbox_depth", &rs.max_outbox_depth);
+  metrics_.enroll_gauge(p + "queue_depth", [this, loop_index]() {
+    return static_cast<std::int64_t>(runtime_->loop(loop_index)->pending());
+  });
+  // Barrier stall time is wall-clock (how long this loop's thread parked
+  // at the rendezvous): enrolled volatile so it never perturbs the
+  // deterministic snapshot, visible via snapshot_json(_, true).
+  auto hist = std::make_unique<obs::LatencyHistogram>(0.0, 50.0, 50);
+  runtime_->set_stall_sink(loop_index,
+                           [h = hist.get()](double ms) { h->add(ms); });
+  metrics_.enroll_histogram(p + "barrier_stall_ms", hist.get());
+  metrics_.mark_volatile(p + "barrier_stall_ms");
+  stall_hists_.push_back(std::move(hist));
 }
 
 Aorta::~Aorta() { aorta::util::Logger::instance().attach_clock(nullptr); }
@@ -220,8 +268,14 @@ Result<ExecResult> Aorta::exec(const std::string& sql) {
     const Duration kSelectDeadline = Duration::seconds(30.0);
     aorta::util::TimePoint deadline = loop_->now() + kSelectDeadline;
     while (!outcome.has_value() && loop_->now() < deadline &&
-           loop_->pending() > 0) {
-      loop_->run_until(loop_->now() + Duration::millis(10));
+           runtime_->pending() > 0) {
+      if (runtime_->running()) {
+        // Re-entrant exec from inside an event: only the control loop can
+        // be advanced from here; worker loops keep running to the barrier.
+        loop_->run_until(loop_->now() + Duration::millis(10));
+      } else {
+        runtime_->run_until(loop_->now() + Duration::millis(10));
+      }
     }
     if (!outcome.has_value()) {
       return Result<ExecResult>(
@@ -392,11 +446,19 @@ Result<ExecResult> Aorta::exec_ddl(query::Statement& s, const std::string& sql,
   return Result<ExecResult>(aorta::util::internal_error("bad statement kind"));
 }
 
-void Aorta::run_for(Duration span) { loop_->run_for(span); }
+void Aorta::run_for(Duration span) {
+  if (runtime_->running()) {
+    // Called from inside an event (a test hook, say): the group is already
+    // being driven, so only the calling loop may advance.
+    loop_->run_for(span);
+    return;
+  }
+  runtime_->run_for(span);
+}
 
 Status Aorta::apply_fault_plan(const util::FaultPlan& plan) {
   return schedule_fault_plan(
-      plan, loop_.get(), network_.get(),
+      plan, loop_, network_.get(),
       [this](const device::DeviceId& id) { return registry_->find(id); });
 }
 
@@ -433,55 +495,62 @@ Status schedule_fault_plan(
   }
 
   for (const util::FaultEvent& e : plan.events) {
-    loop->schedule(Duration::seconds(e.at_s), [loop, network, find_device,
-                                               e]() {
-      switch (e.kind) {
-        case util::FaultEvent::Kind::kCrash:
-        case util::FaultEvent::Kind::kRevive: {
-          device::Device* dev = find_device(e.target);
-          if (dev != nullptr) {
-            dev->set_online(e.kind == util::FaultEvent::Kind::kRevive);
-          }
-          break;
-        }
-        case util::FaultEvent::Kind::kPartition:
-          network->partition(e.target);
-          break;
-        case util::FaultEvent::Kind::kHeal:
-          network->heal(e.target);
-          break;
-        case util::FaultEvent::Kind::kLossSpike: {
-          // Capture the link as it is *now* (it may have changed since the
-          // plan was applied) and restore it when the spike interval ends.
-          const net::LinkModel* current = network->link(e.target);
-          if (current == nullptr) break;
-          net::LinkModel restored = *current;
-          net::LinkModel spiked = restored;
-          spiked.loss_prob = e.prob;
-          (void)network->set_link(e.target, spiked);
-          loop->schedule(Duration::seconds(e.for_s), [network, e, restored]() {
-            (void)network->set_link(e.target, restored);
-          });
-          break;
-        }
-        case util::FaultEvent::Kind::kGlitchSpike: {
-          device::Device* dev = find_device(e.target);
-          if (dev == nullptr) break;
-          double restored = dev->reliability().glitch_prob;
-          dev->reliability().glitch_prob = e.prob;
-          loop->schedule(Duration::seconds(e.for_s), [find_device, e,
-                                                      restored]() {
-            device::Device* d = find_device(e.target);
-            if (d != nullptr) d->reliability().glitch_prob = restored;
-          });
-          break;
-        }
-      }
-      AORTA_LOG(kInfo, "fault")
-          << util::fault_event_kind_name(e.kind) << " " << e.target;
-    });
+    schedule_fault_event(e, loop, network, find_device);
   }
   return Status::ok();
+}
+
+void schedule_fault_event(
+    const util::FaultEvent& e, aorta::util::EventLoop* loop,
+    net::Network* network,
+    std::function<device::Device*(const device::DeviceId&)> find_device) {
+  loop->schedule(Duration::seconds(e.at_s), [loop, network, find_device,
+                                             e]() {
+    switch (e.kind) {
+      case util::FaultEvent::Kind::kCrash:
+      case util::FaultEvent::Kind::kRevive: {
+        device::Device* dev = find_device(e.target);
+        if (dev != nullptr) {
+          dev->set_online(e.kind == util::FaultEvent::Kind::kRevive);
+        }
+        break;
+      }
+      case util::FaultEvent::Kind::kPartition:
+        network->partition(e.target);
+        break;
+      case util::FaultEvent::Kind::kHeal:
+        network->heal(e.target);
+        break;
+      case util::FaultEvent::Kind::kLossSpike: {
+        // Capture the link as it is *now* (it may have changed since the
+        // plan was applied) and restore it when the spike interval ends.
+        const net::LinkModel* current = network->link(e.target);
+        if (current == nullptr) break;
+        net::LinkModel restored = *current;
+        net::LinkModel spiked = restored;
+        spiked.loss_prob = e.prob;
+        (void)network->set_link(e.target, spiked);
+        loop->schedule(Duration::seconds(e.for_s), [network, e, restored]() {
+          (void)network->set_link(e.target, restored);
+        });
+        break;
+      }
+      case util::FaultEvent::Kind::kGlitchSpike: {
+        device::Device* dev = find_device(e.target);
+        if (dev == nullptr) break;
+        double restored = dev->reliability().glitch_prob;
+        dev->reliability().glitch_prob = e.prob;
+        loop->schedule(Duration::seconds(e.for_s), [find_device, e,
+                                                    restored]() {
+          device::Device* d = find_device(e.target);
+          if (d != nullptr) d->reliability().glitch_prob = restored;
+        });
+        break;
+      }
+    }
+    AORTA_LOG(kInfo, "fault")
+        << util::fault_event_kind_name(e.kind) << " " << e.target;
+  });
 }
 
 const query::QueryStats* Aorta::query_stats(const std::string& name) const {

@@ -26,6 +26,7 @@
 #include "devices/camera.h"
 #include "devices/mote.h"
 #include "devices/phone.h"
+#include "net/fabric.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/executor.h"
@@ -33,6 +34,7 @@
 #include "sync/lock_manager.h"
 #include "sync/prober.h"
 #include "util/fault_plan.h"
+#include "util/loop_group.h"
 
 namespace aorta::core {
 
@@ -73,6 +75,18 @@ struct Config {
   // default: instrumentation sites then cost one branch.
   bool tracing = false;
   std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;
+  // Parallel deterministic runtime (DESIGN.md §12). `runtime_threads` is
+  // the number of OS threads driving the per-shard event loops between
+  // epoch barriers: 1 keeps the barrier schedule but runs loops serially
+  // (still byte-identical to any other thread count); 0 means hardware
+  // concurrency. With no worker loops (unsharded) the group degenerates to
+  // the single global loop regardless of this setting.
+  int runtime_threads = 1;
+  // Epoch-barrier lookahead quantum. Must not exceed the minimum
+  // cross-loop link latency — the czar<->worker backplane's 200us one-way
+  // hop — or cross-loop deliveries would land inside an open window and
+  // get clamped to the next barrier (counted runtime.<i>.posts_clamped).
+  aorta::util::Duration runtime_quantum = aorta::util::Duration::micros(400);
 };
 
 // Result of exec(): DDL statements return a message; SELECT returns rows.
@@ -166,6 +180,10 @@ class Aorta {
   SystemStats stats() const;
 
   aorta::util::EventLoop& loop() { return *loop_; }
+  // The parallel runtime: loop 0 is the control loop (czar / server /
+  // host engine); the sharded plane adds one loop per worker.
+  aorta::util::LoopGroup& runtime() { return *runtime_; }
+  net::Fabric& fabric() { return *fabric_; }
   net::Network& network() { return *network_; }
   device::DeviceRegistry& registry() { return *registry_; }
   comm::CommLayer& comm() { return *comm_; }
@@ -184,6 +202,22 @@ class Aorta {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
+
+  // Multi-tracer export: worker stacks register their per-loop tracers so
+  // trace_json() yields one merged Chrome trace document in deterministic
+  // (virtual time, tracer index) order. Index 0 is the system tracer.
+  void register_tracer(const obs::Tracer* t) { tracers_.push_back(t); }
+  const std::vector<const obs::Tracer*>& tracers() const { return tracers_; }
+  std::string trace_json() const { return obs::merged_chrome_json(tracers_); }
+  aorta::util::Status export_trace(const std::string& path) const {
+    return obs::export_merged_file(path, tracers_);
+  }
+
+  // Enroll runtime.<i>.* metrics for runtime loop `i`: barrier waits,
+  // cross-post counters, queue depth, plus a volatile wall-clock barrier
+  // stall histogram (excluded from deterministic snapshots). Called for
+  // loop 0 at construction; the sharded plane calls it per worker loop.
+  void enroll_loop_runtime_metrics(int loop_index);
 
   // Fork an independent deterministic RNG stream off the system seed. The
   // sharded plane forks one per worker stack so same-seed runs stay
@@ -208,8 +242,14 @@ class Aorta {
   obs::Tracer tracer_;
   Config config_;
   aorta::util::Rng rng_;
-  std::unique_ptr<aorta::util::SimClock> clock_;
-  std::unique_ptr<aorta::util::EventLoop> loop_;
+  // The runtime owns every loop and clock; declared before the components
+  // so it outlives them. `clock_` / `loop_` are views of loop 0.
+  std::unique_ptr<aorta::util::LoopGroup> runtime_;
+  std::unique_ptr<net::Fabric> fabric_;
+  aorta::util::SimClock* clock_ = nullptr;
+  aorta::util::EventLoop* loop_ = nullptr;
+  std::vector<const obs::Tracer*> tracers_;
+  std::vector<std::unique_ptr<obs::LatencyHistogram>> stall_hists_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<device::DeviceRegistry> registry_;
   std::unique_ptr<comm::CommLayer> comm_;
@@ -233,6 +273,16 @@ class Aorta {
 // events before delegating here.
 aorta::util::Status schedule_fault_plan(
     const util::FaultPlan& plan, aorta::util::EventLoop* loop,
+    net::Network* network,
+    std::function<device::Device*(const device::DeviceId&)> find_device);
+
+// Schedule one (already validated) fault event on `loop`, mutating
+// `network` / the device returned by `find_device` when it fires. Under
+// the parallel runtime the sharded plane calls this per event with the
+// *owning* worker's loop and segment, so fault state (partition sets,
+// link models, device power) is only ever touched from its home loop.
+void schedule_fault_event(
+    const util::FaultEvent& e, aorta::util::EventLoop* loop,
     net::Network* network,
     std::function<device::Device*(const device::DeviceId&)> find_device);
 

@@ -1,0 +1,102 @@
+// Fabric: the cross-segment router of the parallel runtime.
+//
+// Under util::LoopGroup each loop owns its own net::Network *segment*
+// holding the nodes homed on that loop (a worker's devices and its
+// "shard-<i>" endpoint live on the worker's segment; the czar, server and
+// host engine live on the control segment). Local traffic — the hot
+// device path — never leaves the segment and stays lock-free.
+//
+// The fabric is the shared routing directory consulted only on a local
+// miss: it maps every attached node to (home loop, link-model copy). The
+// sender samples both link delays from its *own* segment's RNG (the
+// czar<->worker backplane has zero jitter and zero loss, so those sends
+// draw nothing) and hands the delivery to the destination loop through
+// LoopGroup::post — delivered at the next epoch barrier in deterministic
+// (time, source loop, sequence) order. Delivery-time checks (partition,
+// offline, detach) run on the destination loop against the destination
+// segment's own state.
+//
+// The directory is guarded by a shared mutex: sends take a shared lock on
+// the miss path only; attach/detach/set_link (world building, fault
+// events) take the exclusive lock.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "net/network.h"
+#include "util/loop_group.h"
+
+namespace aorta::net {
+
+class Fabric {
+ public:
+  explicit Fabric(aorta::util::LoopGroup* group) : group_(group) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  aorta::util::LoopGroup* group() { return group_; }
+
+  struct Route {
+    int loop_index = 0;
+    LinkModel link;
+  };
+
+  // Segment registration; Network::join_fabric calls this.
+  void add_segment(int loop_index, Network* segment) {
+    std::unique_lock lock(mutex_);
+    segments_[loop_index] = segment;
+  }
+  Network* segment(int loop_index) const {
+    std::shared_lock lock(mutex_);
+    auto it = segments_.find(loop_index);
+    return it == segments_.end() ? nullptr : it->second;
+  }
+  // Withdraw a segment and every route homed on it (segment teardown —
+  // Network's destructor calls this so no dangling routes survive it).
+  void remove_segment(int loop_index) {
+    std::unique_lock lock(mutex_);
+    segments_.erase(loop_index);
+    for (auto it = routes_.begin(); it != routes_.end();) {
+      if (it->second.loop_index == loop_index) {
+        it = routes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Home of an attached node, or false if no segment knows it.
+  bool route(const NodeId& id, Route* out) const {
+    std::shared_lock lock(mutex_);
+    auto it = routes_.find(id);
+    if (it == routes_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  // Directory maintenance (driven by the owning segment).
+  void node_attached(const NodeId& id, int loop_index, const LinkModel& link) {
+    std::unique_lock lock(mutex_);
+    routes_[id] = Route{loop_index, link};
+  }
+  void node_detached(const NodeId& id) {
+    std::unique_lock lock(mutex_);
+    routes_.erase(id);
+  }
+  void node_link_changed(const NodeId& id, const LinkModel& link) {
+    std::unique_lock lock(mutex_);
+    auto it = routes_.find(id);
+    if (it != routes_.end()) it->second.link = link;
+  }
+
+ private:
+  aorta::util::LoopGroup* group_;
+  mutable std::shared_mutex mutex_;
+  std::map<int, Network*> segments_;
+  std::map<NodeId, Route> routes_;
+};
+
+}  // namespace aorta::net

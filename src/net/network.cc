@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/fabric.h"
 #include "util/logging.h"
 
 namespace aorta::net {
@@ -40,6 +41,19 @@ LinkModel LinkModel::perfect() {
                    .bandwidth_bytes_per_s = 1e12};
 }
 
+Network::~Network() {
+  if (fabric_ != nullptr) fabric_->remove_segment(loop_index_);
+}
+
+void Network::join_fabric(Fabric* fabric, int loop_index) {
+  fabric_ = fabric;
+  loop_index_ = loop_index;
+  fabric_->add_segment(loop_index, this);
+  for (const auto& [id, node] : nodes_) {
+    fabric_->node_attached(id, loop_index_, node.link);
+  }
+}
+
 Status Network::attach(const NodeId& id, Endpoint* endpoint, LinkModel link) {
   if (endpoint == nullptr) {
     return aorta::util::invalid_argument_error("null endpoint for node " + id);
@@ -49,6 +63,7 @@ Status Network::attach(const NodeId& id, Endpoint* endpoint, LinkModel link) {
   if (!inserted) {
     return aorta::util::already_exists_error("node already attached: " + id);
   }
+  if (fabric_ != nullptr) fabric_->node_attached(id, loop_index_, link);
   return Status::ok();
 }
 
@@ -57,21 +72,65 @@ Status Network::detach(const NodeId& id) {
     return aorta::util::not_found_error("node not attached: " + id);
   }
   partitioned_.erase(id);
+  if (fabric_ != nullptr) fabric_->node_detached(id);
   return Status::ok();
+}
+
+Network* Network::resolve_home(const NodeId& id) const {
+  if (fabric_ == nullptr || nodes_.count(id) > 0) return nullptr;
+  Fabric::Route route;
+  if (!fabric_->route(id, &route) || route.loop_index == loop_index_) {
+    return nullptr;
+  }
+  return fabric_->segment(route.loop_index);
 }
 
 Status Network::set_link(const NodeId& id, LinkModel link) {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) {
+    if (Network* home = resolve_home(id)) return home->set_link(id, link);
     return aorta::util::not_found_error("node not attached: " + id);
   }
   it->second.link = link;
+  if (fabric_ != nullptr) fabric_->node_link_changed(id, link);
   return Status::ok();
 }
 
 const LinkModel* Network::link(const NodeId& id) const {
   auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second.link;
+  if (it == nodes_.end()) {
+    const Network* home = resolve_home(id);
+    return home == nullptr ? nullptr : home->link(id);
+  }
+  return &it->second.link;
+}
+
+void Network::partition(const NodeId& id) {
+  if (nodes_.count(id) == 0) {
+    if (Network* home = resolve_home(id)) {
+      home->partition(id);
+      return;
+    }
+  }
+  partitioned_.insert(id);
+}
+
+void Network::heal(const NodeId& id) {
+  if (nodes_.count(id) == 0) {
+    if (Network* home = resolve_home(id)) {
+      home->heal(id);
+      return;
+    }
+  }
+  partitioned_.erase(id);
+}
+
+bool Network::is_partitioned(const NodeId& id) const {
+  if (partitioned_.count(id) > 0) return true;
+  if (nodes_.count(id) == 0) {
+    if (const Network* home = resolve_home(id)) return home->is_partitioned(id);
+  }
+  return false;
 }
 
 double Network::sample_delay_s(const LinkModel& link, std::size_t bytes) {
@@ -89,6 +148,15 @@ void Network::send(Message msg) {
   auto src_it = nodes_.find(msg.src);
   auto dst_it = nodes_.find(msg.dst);
   if (dst_it == nodes_.end()) {
+    // Local miss: the destination may be homed on another loop's segment.
+    if (fabric_ != nullptr) {
+      Fabric::Route route;
+      if (fabric_->route(msg.dst, &route) &&
+          route.loop_index != loop_index_) {
+        cross_send(std::move(msg), route.loop_index, route.link);
+        return;
+      }
+    }
     ++stats_.dropped_no_route;
     bounce(msg);
     return;
@@ -142,6 +210,82 @@ void Network::send(Message msg) {
                     ++stats_.delivered;
                     it->second.endpoint->on_message(m);
                   });
+}
+
+void Network::cross_send(Message msg, int dst_loop, const LinkModel& dst_link) {
+  if (is_partitioned(msg.src)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  double delay_s = 0.0;
+  auto src_it = nodes_.find(msg.src);
+  if (src_it != nodes_.end()) {
+    if (rng_.chance(src_it->second.link.loss_prob)) {
+      ++stats_.dropped_loss;
+      return;
+    }
+    delay_s += sample_delay_s(src_it->second.link, msg.payload_bytes);
+  }
+  if (rng_.chance(dst_link.loss_prob)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  delay_s += sample_delay_s(dst_link, msg.payload_bytes);
+  ++stats_.cross_sent;
+
+  Network* dst_segment = fabric_->segment(dst_loop);
+  const int src_loop = loop_index_;
+  fabric_->group()->post(
+      loop_index_, dst_loop, loop_->now() + Duration::seconds(delay_s),
+      [dst_segment, src_loop, m = std::move(msg)]() mutable {
+        dst_segment->deliver_remote(std::move(m), src_loop);
+      });
+}
+
+void Network::deliver_remote(Message msg, int src_loop) {
+  // Runs on this segment's loop. Same delivery-time checks as the local
+  // path: the destination may have left, been partitioned or powered off
+  // while the message was in flight.
+  auto it = nodes_.find(msg.dst);
+  if (it == nodes_.end()) {
+    ++stats_.dropped_no_route;
+    bounce_remote(msg, src_loop);
+    return;
+  }
+  if (is_partitioned(msg.dst)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (!it->second.endpoint->accepting()) {
+    ++stats_.dropped_offline;
+    bounce_remote(msg, src_loop);
+    return;
+  }
+  ++stats_.delivered;
+  it->second.endpoint->on_message(msg);
+}
+
+void Network::bounce_remote(const Message& msg, int src_loop) {
+  if (!msg.is_request || msg.request_id == 0) return;
+  Message notice;
+  notice.src = msg.dst;
+  notice.dst = msg.src;
+  notice.kind = "rpc_unreachable";
+  notice.request_id = msg.request_id;
+  notice.payload_bytes = 0;
+  ++stats_.bounced;
+  Network* src_segment = fabric_->segment(src_loop);
+  if (src_segment == nullptr) return;
+  fabric_->group()->post(loop_index_, src_loop, loop_->now(),
+                         [src_segment, notice = std::move(notice)]() {
+                           src_segment->deliver_notice(notice);
+                         });
+}
+
+void Network::deliver_notice(const Message& notice) {
+  auto it = nodes_.find(notice.dst);
+  if (it == nodes_.end()) return;
+  it->second.endpoint->on_message(notice);
 }
 
 void Network::bounce(const Message& msg) {

@@ -7,6 +7,13 @@
 // of a message samples both endpoints' links, so a camera->engine path is
 // fast and reliable while a mote->engine path is slow and lossy — the
 // heterogeneity Section 3 is about.
+//
+// Under the parallel runtime a Network instance is one *segment*: the
+// slice of the world homed on a single event loop. A send whose
+// destination is not attached locally consults the net::Fabric directory
+// and hands delivery to the destination loop at the next epoch barrier
+// (see fabric.h); a standalone Network (no fabric joined) behaves exactly
+// as before.
 #pragma once
 
 #include <functional>
@@ -56,12 +63,24 @@ struct NetworkStats {
   std::uint64_t dropped_partition = 0;  // destination partitioned away
   std::uint64_t dropped_offline = 0;    // destination attached but offline
   std::uint64_t bounced = 0;            // requests bounced as rpc_unreachable
+  std::uint64_t cross_sent = 0;         // handed to another loop's segment
 };
+
+class Fabric;
 
 class Network {
  public:
   Network(aorta::util::EventLoop* loop, aorta::util::Rng rng)
       : loop_(loop), rng_(std::move(rng)) {}
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Enroll this network as the segment for `loop_index` on a fabric.
+  // Nodes already attached are published to the routing directory.
+  void join_fabric(Fabric* fabric, int loop_index);
+  int loop_index() const { return loop_index_; }
 
   // Attach / detach nodes. Detaching models a device leaving the network
   // ("devices may join, move around, or leave ... unpredictably", §4).
@@ -69,18 +88,20 @@ class Network {
   aorta::util::Status detach(const NodeId& id);
   bool attached(const NodeId& id) const { return nodes_.count(id) > 0; }
 
-  // Replace a node's link model in place (e.g. degrade a mote's radio).
-  aorta::util::Status set_link(const NodeId& id, LinkModel link);
-
-  // The current link model of an attached node (nullptr if not attached).
-  // Fault plans read it to restore a link after a loss spike.
-  const LinkModel* link(const NodeId& id) const;
-
   // Partition a node: it stays attached but all traffic to/from it is
-  // dropped (a phone out of coverage). heal() reverses it.
-  void partition(const NodeId& id) { partitioned_.insert(id); }
-  void heal(const NodeId& id) { partitioned_.erase(id); }
-  bool is_partitioned(const NodeId& id) const { return partitioned_.count(id) > 0; }
+  // dropped (a phone out of coverage). heal() reverses it. Partition
+  // state lives in the node's home segment.
+  //
+  // set_link/link/partition/heal/is_partitioned forward through the fabric
+  // to the node's home segment on a local miss. That forwarding mutates
+  // another loop's state and is for world building and fault injection
+  // only: call it while the runtime is idle or from the owning loop (fault
+  // plans are scheduled onto the target's home loop for this reason).
+  aorta::util::Status set_link(const NodeId& id, LinkModel link);
+  const LinkModel* link(const NodeId& id) const;
+  void partition(const NodeId& id);
+  void heal(const NodeId& id);
+  bool is_partitioned(const NodeId& id) const;
 
   // Fire-and-forget send. The message is delivered (or dropped) after the
   // modelled delay. Send never fails synchronously: senders cannot observe
@@ -91,6 +112,8 @@ class Network {
   aorta::util::EventLoop& loop() { return *loop_; }
 
  private:
+  friend class Fabric;
+
   struct Node {
     Endpoint* endpoint;
     LinkModel link;
@@ -99,12 +122,32 @@ class Network {
   // Sampled one-way delay across a link for a message of `bytes` size.
   double sample_delay_s(const LinkModel& link, std::size_t bytes);
 
+  // Home segment of a node not attached here (nullptr when the node is
+  // local, unknown, or no fabric is joined). Backs the forwarding
+  // convenience documented at partition().
+  Network* resolve_home(const NodeId& id) const;
+
   // Return an undeliverable request to its sender as "rpc_unreachable" so
   // the RPC layer can fail it fast. No-op for non-request messages.
   void bounce(const Message& msg);
 
+  // Cross-segment path: the destination is homed on another loop. Both
+  // link delays are sampled from *this* segment's RNG (using the fabric's
+  // copy of the destination link) so the draw count stays a function of
+  // this loop's own execution; delivery is posted to the owning loop.
+  void cross_send(Message msg, int dst_loop, const LinkModel& dst_link);
+  // Runs on this segment's loop: delivery-time checks + hand-off to the
+  // endpoint for a message that arrived over the fabric.
+  void deliver_remote(Message msg, int src_loop);
+  // Bounce an undeliverable fabric message back to its source segment.
+  void bounce_remote(const Message& msg, int src_loop);
+  // Hand a bounce notice produced on another segment to the local caller.
+  void deliver_notice(const Message& notice);
+
   aorta::util::EventLoop* loop_;
   aorta::util::Rng rng_;
+  Fabric* fabric_ = nullptr;
+  int loop_index_ = 0;
   std::map<NodeId, Node> nodes_;
   std::set<NodeId> partitioned_;
   NetworkStats stats_;

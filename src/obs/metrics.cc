@@ -50,20 +50,25 @@ void LatencyHistogram::write_json(aorta::util::JsonWriter& w,
 
 void MetricsRegistry::enroll_counter(std::string name,
                                      const std::uint64_t* counter) {
-  metrics_[std::move(name)] = counter;
+  metrics_[std::move(name)] = Entry{counter, false};
 }
 
 void MetricsRegistry::enroll_gauge(std::string name, GaugeFn fn) {
-  metrics_[std::move(name)] = std::move(fn);
+  metrics_[std::move(name)] = Entry{std::move(fn), false};
 }
 
 void MetricsRegistry::enroll_gauge_bool(std::string name, BoolGaugeFn fn) {
-  metrics_[std::move(name)] = std::move(fn);
+  metrics_[std::move(name)] = Entry{std::move(fn), false};
 }
 
 void MetricsRegistry::enroll_histogram(std::string name,
                                        const LatencyHistogram* hist) {
-  metrics_[std::move(name)] = hist;
+  metrics_[std::move(name)] = Entry{hist, false};
+}
+
+void MetricsRegistry::mark_volatile(const std::string& name) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) it->second.volatile_metric = true;
 }
 
 void MetricsRegistry::unenroll(const std::string& name) {
@@ -81,7 +86,7 @@ void MetricsRegistry::unenroll_prefix(std::string_view prefix) {
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   auto it = metrics_.find(name);
   if (it == metrics_.end()) return 0;
-  if (const auto* c = std::get_if<const std::uint64_t*>(&it->second)) {
+  if (const auto* c = std::get_if<const std::uint64_t*>(&it->second.metric)) {
     return **c;
   }
   return 0;
@@ -90,20 +95,22 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
 std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
   auto it = metrics_.find(name);
   if (it == metrics_.end()) return 0;
-  if (const auto* g = std::get_if<GaugeFn>(&it->second)) return (*g)();
-  if (const auto* b = std::get_if<BoolGaugeFn>(&it->second)) {
+  if (const auto* g = std::get_if<GaugeFn>(&it->second.metric)) return (*g)();
+  if (const auto* b = std::get_if<BoolGaugeFn>(&it->second.metric)) {
     return (*b)() ? 1 : 0;
   }
   return 0;
 }
 
 void MetricsRegistry::write_json(aorta::util::JsonWriter& w,
-                                 bool include_buckets) const {
+                                 bool include_buckets,
+                                 bool include_volatile) const {
   w.begin_object();
   // `open` is the stack of object components currently open; dotted names
   // arrive in sorted order, so shared prefixes nest naturally.
   std::vector<std::string> open;
-  for (const auto& [name, metric] : metrics_) {
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.volatile_metric && !include_volatile) continue;
     auto parts = split_name(name);
     // All but the last component are nesting levels; the last is the key.
     std::size_t dirs = parts.size() - 1;
@@ -134,7 +141,7 @@ void MetricsRegistry::write_json(aorta::util::JsonWriter& w,
             m->write_json(w, include_buckets);
           }
         },
-        metric);
+        entry.metric);
   }
   while (!open.empty()) {
     w.end_object();
@@ -143,9 +150,10 @@ void MetricsRegistry::write_json(aorta::util::JsonWriter& w,
   w.end_object();
 }
 
-std::string MetricsRegistry::snapshot_json(bool include_buckets) const {
+std::string MetricsRegistry::snapshot_json(bool include_buckets,
+                                           bool include_volatile) const {
   aorta::util::JsonWriter w(2);
-  write_json(w, include_buckets);
+  write_json(w, include_buckets, include_volatile);
   return w.take();
 }
 

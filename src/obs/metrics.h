@@ -85,6 +85,14 @@ class MetricsRegistry {
   void enroll_gauge_bool(std::string name, BoolGaugeFn fn);
   void enroll_histogram(std::string name, const LatencyHistogram* hist);
 
+  // Mark an enrolled metric *volatile*: its value depends on wall-clock
+  // timing (barrier stall histograms, host-side timings), not on the
+  // virtual-clock execution. Volatile metrics are excluded from the
+  // default deterministic JSON rendering so same-seed snapshots stay
+  // byte-identical across thread counts; pass include_volatile to see
+  // them. No-op if the name is not enrolled.
+  void mark_volatile(const std::string& name);
+
   void unenroll(const std::string& name);
   // Remove every metric whose name starts with `prefix`.
   void unenroll_prefix(std::string_view prefix);
@@ -121,6 +129,9 @@ class MetricsRegistry {
     void enroll_histogram(const std::string& name, const LatencyHistogram* h) {
       if (registry_ != nullptr) registry_->enroll_histogram(prefix_ + name, h);
     }
+    void mark_volatile(const std::string& name) {
+      if (registry_ != nullptr) registry_->mark_volatile(prefix_ + name);
+    }
     // Withdraw everything this scope enrolled.
     void unenroll_all() {
       if (registry_ != nullptr && !prefix_.empty()) {
@@ -147,10 +158,12 @@ class MetricsRegistry {
 
   // Walk every metric in sorted name order, rendering dotted names as
   // nested objects. The whole document is deterministic: same counters in,
-  // same bytes out.
-  void write_json(aorta::util::JsonWriter& w,
-                  bool include_buckets = false) const;
-  std::string snapshot_json(bool include_buckets = false) const;
+  // same bytes out. Volatile (wall-clock) metrics are excluded unless
+  // include_volatile is set.
+  void write_json(aorta::util::JsonWriter& w, bool include_buckets = false,
+                  bool include_volatile = false) const;
+  std::string snapshot_json(bool include_buckets = false,
+                            bool include_volatile = false) const;
 
   // Make a dynamic name component safe for dotted paths ('.' -> '_').
   static std::string sanitize_component(std::string_view raw);
@@ -158,7 +171,11 @@ class MetricsRegistry {
  private:
   using Metric = std::variant<const std::uint64_t*, GaugeFn, BoolGaugeFn,
                               const LatencyHistogram*>;
-  std::map<std::string, Metric> metrics_;
+  struct Entry {
+    Metric metric;
+    bool volatile_metric = false;  // wall-clock dependent; see mark_volatile
+  };
+  std::map<std::string, Entry> metrics_;
 };
 
 }  // namespace aorta::obs

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <array>
 #include <fstream>
 
@@ -61,8 +62,11 @@ void Tracer::clear() {
   for (Span& s : ring_) s = Span{};
 }
 
-void Tracer::write_chrome_json(util::JsonWriter& w) const {
-  auto spans = snapshot();
+namespace {
+
+// Shared renderer for single-tracer and merged exports.
+void write_spans_chrome_json(util::JsonWriter& w,
+                             const std::vector<Span>& spans) {
   w.begin_object();
   w.kv("displayTimeUnit", "ms");
   w.key("traceEvents").begin_array();
@@ -112,6 +116,12 @@ void Tracer::write_chrome_json(util::JsonWriter& w) const {
   w.end_object();
 }
 
+}  // namespace
+
+void Tracer::write_chrome_json(util::JsonWriter& w) const {
+  write_spans_chrome_json(w, snapshot());
+}
+
 std::string Tracer::chrome_json() const {
   util::JsonWriter w(0);  // compact: trace files get large
   write_chrome_json(w);
@@ -124,6 +134,58 @@ util::Status Tracer::export_file(const std::string& path) const {
     return util::internal_error("cannot open trace file: " + path);
   }
   out << chrome_json() << '\n';
+  if (!out) {
+    return util::internal_error("failed writing trace file: " + path);
+  }
+  return util::Status::ok();
+}
+
+void write_merged_chrome_json(util::JsonWriter& w,
+                              const std::vector<const Tracer*>& tracers) {
+  // Tag each span with (tracer index, per-tracer position) so the merge
+  // order is fully determined by virtual time and the tracer list — never
+  // by wall-clock interleaving of the loops that recorded them.
+  struct Tagged {
+    Span span;
+    std::size_t tracer;
+    std::size_t pos;
+  };
+  std::vector<Tagged> tagged;
+  for (std::size_t t = 0; t < tracers.size(); ++t) {
+    if (tracers[t] == nullptr) continue;
+    auto spans = tracers[t]->snapshot();
+    tagged.reserve(tagged.size() + spans.size());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      tagged.push_back(Tagged{std::move(spans[i]), t, i});
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const Tagged& a, const Tagged& b) {
+              if (a.span.start != b.span.start) {
+                return a.span.start < b.span.start;
+              }
+              if (a.tracer != b.tracer) return a.tracer < b.tracer;
+              return a.pos < b.pos;
+            });
+  std::vector<Span> merged;
+  merged.reserve(tagged.size());
+  for (Tagged& t : tagged) merged.push_back(std::move(t.span));
+  write_spans_chrome_json(w, merged);
+}
+
+std::string merged_chrome_json(const std::vector<const Tracer*>& tracers) {
+  util::JsonWriter w(0);
+  write_merged_chrome_json(w, tracers);
+  return w.take();
+}
+
+util::Status export_merged_file(const std::string& path,
+                                const std::vector<const Tracer*>& tracers) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::internal_error("cannot open trace file: " + path);
+  }
+  out << merged_chrome_json(tracers) << '\n';
   if (!out) {
     return util::internal_error("failed writing trace file: " + path);
   }

@@ -112,6 +112,17 @@ class Tracer {
   bool enabled_ = false;
 };
 
+// Merged export over several tracers (one per runtime loop under the
+// parallel runtime). Spans are interleaved in (start time, tracer index,
+// per-tracer order) order — a pure function of virtual time and the fixed
+// tracer list, so the merged document is byte-identical across thread
+// counts for same-seed runs. Null tracers in the list are skipped.
+void write_merged_chrome_json(util::JsonWriter& w,
+                              const std::vector<const Tracer*>& tracers);
+std::string merged_chrome_json(const std::vector<const Tracer*>& tracers);
+util::Status export_merged_file(const std::string& path,
+                                const std::vector<const Tracer*>& tracers);
+
 }  // namespace aorta::obs
 
 // Instrumentation macros. `tracer` is an `obs::Tracer*` (may be null).

@@ -141,8 +141,12 @@ std::vector<std::string> Czar::aq_names() const {
 namespace {
 
 // The sharded planner's supported statement surface. Returns an error
-// naming the construct so rejections are actionable.
-Status shardable(const query::SelectStmt& stmt) {
+// naming the construct so rejections are actionable. `once` marks a
+// one-shot SELECT: those may carry avg() — workers rewrite each avg(e)
+// into (sum(e), count(e)) partials and the czar finalizes at the merge
+// barrier — while continuous AQs still reject it (per-epoch partial
+// averages have no single merge point to finalize at).
+Status shardable(const query::SelectStmt& stmt, bool once) {
   if (stmt.from.size() > 1) {
     return aorta::util::invalid_argument_error(
         "multi-table joins are not supported through the sharded plane "
@@ -150,10 +154,12 @@ Status shardable(const query::SelectStmt& stmt) {
   }
   bool has_avg = false;
   (void)select_has_aggregates(stmt, &has_avg);
-  if (has_avg) {
+  if (has_avg && !once) {
     return aorta::util::invalid_argument_error(
-        "avg() is not supported through the sharded plane (not mergeable "
-        "from per-shard partials; use sum()/count())");
+        "avg() is not supported in continuous queries through the sharded "
+        "plane (per-epoch averages are not mergeable; use sum()/count(), "
+        "or a one-shot SELECT where avg() merges from (sum,count) "
+        "partials)");
   }
   return Status::ok();
 }
@@ -174,7 +180,7 @@ void Czar::exec_async(
 
   switch (s.kind) {
     case query::Statement::Kind::kSelect: {
-      Status ok = shardable(s.select);
+      Status ok = shardable(s.select, /*once=*/true);
       if (!ok.is_ok()) {
         done(Result<ExecResult>(ok));
         return;
@@ -184,7 +190,7 @@ void Czar::exec_async(
     }
 
     case query::Statement::Kind::kCreateAq: {
-      Status ok = shardable(s.create_aq.select);
+      Status ok = shardable(s.create_aq.select, /*once=*/false);
       if (!ok.is_ok()) {
         done(Result<ExecResult>(ok));
         return;
@@ -337,7 +343,7 @@ void combine_value(device::Value& acc, const device::Value& v, AggKind kind) {
       return;
     }
     case AggKind::kNone:
-    case AggKind::kAvg:  // rejected by the planner; unreachable
+    case AggKind::kAvg:  // folded as kSum by merge_select; unreachable
       return;            // first non-null wins
   }
 }
@@ -358,29 +364,61 @@ std::vector<query::Row> Czar::merge_select(
     return rows;
   }
   // Aggregates: one output row, columns folded across per-shard partials
-  // by position.
+  // by position. Workers ship avg(e) as a sum(e) partial in place plus a
+  // count(e) partial appended past the select list (worker.cc's rewrite),
+  // so the expected column kinds are select-list kinds (avg folded as
+  // sum) followed by one count per avg.
+  std::vector<std::size_t> avg_cols;
+  std::vector<AggKind> kinds;
+  kinds.reserve(stmt.select_list.size());
+  for (std::size_t j = 0; j < stmt.select_list.size(); ++j) {
+    AggKind k = agg_kind(*stmt.select_list[j]);
+    if (k == AggKind::kAvg) {
+      avg_cols.push_back(j);
+      k = AggKind::kSum;
+    }
+    kinds.push_back(k);
+  }
+  for (std::size_t k = 0; k < avg_cols.size(); ++k) {
+    kinds.push_back(AggKind::kCount);
+  }
   query::Row out;
   for (auto& partial : partials) {
     for (auto& r : partial) {
+      if (r.row.size() != kinds.size()) continue;  // malformed partial
       if (out.empty()) {
         out = std::move(r.row);
         continue;
       }
-      if (r.row.size() != out.size()) continue;  // malformed partial
       for (std::size_t j = 0; j < out.size(); ++j) {
-        combine_value(out[j].second, r.row[j].second,
-                      agg_kind(*stmt.select_list[j]));
+        combine_value(out[j].second, r.row[j].second, kinds[j]);
       }
     }
   }
   if (out.empty()) return rows;
   // count() over an empty union is 0, not null.
   for (std::size_t j = 0; j < out.size(); ++j) {
-    if (agg_kind(*stmt.select_list[j]) == AggKind::kCount &&
+    if (kinds[j] == AggKind::kCount &&
         std::holds_alternative<std::monostate>(out[j].second)) {
       out[j].second = std::int64_t{0};
     }
   }
+  // Finalize avg columns: sum/count from the folded partials, null over
+  // an empty union; restore the original label and drop the helpers.
+  for (std::size_t k = 0; k < avg_cols.size(); ++k) {
+    const std::size_t j = avg_cols[k];
+    const std::size_t count_col = stmt.select_list.size() + k;
+    double sum = 0.0;
+    double n = 0.0;
+    if (device::value_as_double(out[count_col].second, &n) && n > 0.0 &&
+        device::value_as_double(out[j].second, &sum)) {
+      out[j].second = sum / n;
+    } else {
+      out[j].second = device::Value{};
+    }
+    out[j].first = stmt.select_list[j]->to_string();
+  }
+  out.resize(stmt.select_list.size());
   rows.push_back(std::move(out));
   return rows;
 }

@@ -100,8 +100,9 @@ enum class AggKind { kNone, kCount, kSum, kAvg, kMin, kMax };
 AggKind agg_kind(const query::Expr& expr);
 
 // True if any select item is an aggregate call. `has_avg` reports whether
-// one of them is avg() — not mergeable from per-shard partials, rejected
-// by the czar's planner.
+// one of them is avg() — not directly mergeable from per-shard partials:
+// one-shot SELECTs rewrite it into (sum, count) partials the czar
+// finalizes at the merge barrier; continuous AQs still reject it.
 bool select_has_aggregates(const query::SelectStmt& stmt, bool* has_avg);
 
 }  // namespace aorta::shard

@@ -87,15 +87,70 @@ Status Plane::apply_fault_plan(const util::FaultPlan& plan) {
     e.target = workers_[static_cast<std::size_t>(e.shard)]->node_id();
     e.shard = -1;
   }
-  return core::schedule_fault_plan(
-      rewritten, &host_->loop(), &host_->network(),
-      [this](const device::DeviceId& id) -> device::Device* {
+
+  // Under the parallel runtime each event must fire on the loop that owns
+  // its target: partition sets and link models live in the target node's
+  // home segment, and device state may only be touched from its home loop.
+  auto find_device = [this](const device::DeviceId& id) -> device::Device* {
+    for (auto& w : workers_) {
+      device::Device* d = w->registry().find(id);
+      if (d != nullptr) return d;
+    }
+    return host_->registry().find(id);
+  };
+  // Resolve each event's home (worker segment or the host's control
+  // segment), validating every target up front like the core scheduler.
+  struct Placement {
+    aorta::util::EventLoop* loop;
+    net::Network* network;
+  };
+  std::vector<Placement> placements;
+  placements.reserve(rewritten.events.size());
+  for (const util::FaultEvent& e : rewritten.events) {
+    Placement p{&host_->loop(), &host_->network()};
+    switch (e.kind) {
+      case util::FaultEvent::Kind::kCrash:
+      case util::FaultEvent::Kind::kRevive:
+      case util::FaultEvent::Kind::kGlitchSpike: {
+        bool found = false;
         for (auto& w : workers_) {
-          device::Device* d = w->registry().find(id);
-          if (d != nullptr) return d;
+          if (w->registry().find(e.target) != nullptr) {
+            p = Placement{&w->loop(), &w->network()};
+            found = true;
+            break;
+          }
         }
-        return host_->registry().find(id);
-      });
+        if (!found && host_->registry().find(e.target) == nullptr) {
+          return aorta::util::not_found_error(
+              "fault plan targets unknown device: " + e.target);
+        }
+        break;
+      }
+      case util::FaultEvent::Kind::kPartition:
+      case util::FaultEvent::Kind::kHeal:
+      case util::FaultEvent::Kind::kLossSpike: {
+        bool found = false;
+        for (auto& w : workers_) {
+          if (w->network().attached(e.target)) {
+            p = Placement{&w->loop(), &w->network()};
+            found = true;
+            break;
+          }
+        }
+        if (!found && !host_->network().attached(e.target)) {
+          return aorta::util::not_found_error(
+              "fault plan targets unattached node: " + e.target);
+        }
+        break;
+      }
+    }
+    placements.push_back(p);
+  }
+  for (std::size_t i = 0; i < rewritten.events.size(); ++i) {
+    core::schedule_fault_event(rewritten.events[i], placements[i].loop,
+                               placements[i].network, find_device);
+  }
+  return aorta::util::Status::ok();
 }
 
 }  // namespace aorta::shard

@@ -12,10 +12,20 @@ using aorta::util::Status;
 Worker::Worker(core::Aorta* host, Options options)
     : options_(std::move(options)),
       node_id_("shard-" + std::to_string(options_.index)),
-      loop_(&host->loop()),
-      network_(&host->network()),
-      tracer_(&host->tracer()),
       rng_(host->fork_rng()) {
+  // This worker's own event loop and network segment: everything below —
+  // devices, comm, broker, executor — lives on them, so between epoch
+  // barriers the whole stack runs without touching shared state.
+  loop_index_ = host->runtime().add_loop();
+  loop_ = host->runtime().loop(loop_index_);
+  segment_ = std::make_unique<net::Network>(loop_, rng_.fork());
+  segment_->join_fabric(&host->fabric(), loop_index_);
+  network_ = segment_.get();
+  tracer_own_ = std::make_unique<obs::Tracer>(options_.config.trace_capacity);
+  tracer_own_->set_enabled(options_.config.tracing);
+  tracer_ = tracer_own_.get();
+  host->register_tracer(tracer_);
+
   registry_ = std::make_unique<device::DeviceRegistry>(network_, loop_,
                                                        rng_.fork());
   comm_ = std::make_unique<comm::CommLayer>(registry_.get(), network_,
@@ -118,6 +128,14 @@ Worker::Worker(core::Aorta* host, Options options)
   metrics_.enroll_counter("rows_sent", &stats_.rows_sent);
   metrics_.enroll_counter("results_msgs", &stats_.results_msgs);
   metrics_.enroll_counter("heartbeats", &stats_.heartbeats_sent);
+  // This worker's network segment (local device traffic + fabric hand-offs)
+  // and its runtime loop (barrier waits, cross-post queue depths).
+  const net::NetworkStats& ns = network_->stats();
+  metrics_.enroll_counter("network.sent", &ns.sent);
+  metrics_.enroll_counter("network.delivered", &ns.delivered);
+  metrics_.enroll_counter("network.dropped_loss", &ns.dropped_loss);
+  metrics_.enroll_counter("network.cross_sent", &ns.cross_sent);
+  host->enroll_loop_runtime_metrics(loop_index_);
 
   executor_->start();
   auto alive = alive_;
@@ -256,11 +274,44 @@ void Worker::handle_drop(const net::Message& msg) {
 
 void Worker::run_once_select(const net::Message& msg,
                              const query::SelectStmt& stmt) {
+  // avg() cannot be merged from per-shard averages, but it *is* mergeable
+  // from (sum, count) partials: rewrite each avg(e) into sum(e) in place
+  // plus a count(e) appended at the end of the select list. The czar
+  // finalizes sum/count and drops the helper columns at the merge barrier.
+  bool has_avg = false;
+  (void)select_has_aggregates(stmt, &has_avg);
+  query::SelectStmt rewritten;
+  const query::SelectStmt* to_run = &stmt;
+  if (has_avg) {
+    rewritten.from = stmt.from;
+    if (stmt.where != nullptr) rewritten.where = stmt.where->clone();
+    std::vector<query::ExprPtr> counts;
+    for (const auto& item : stmt.select_list) {
+      if (agg_kind(*item) == AggKind::kAvg) {
+        std::vector<query::ExprPtr> sum_args;
+        std::vector<query::ExprPtr> count_args;
+        for (const auto& a : item->args) {
+          sum_args.push_back(a->clone());
+          count_args.push_back(a->clone());
+        }
+        rewritten.select_list.push_back(
+            query::Expr::make_func("sum", std::move(sum_args)));
+        counts.push_back(
+            query::Expr::make_func("count", std::move(count_args)));
+      } else {
+        rewritten.select_list.push_back(item->clone());
+      }
+    }
+    for (auto& c : counts) rewritten.select_list.push_back(std::move(c));
+    to_run = &rewritten;
+  }
+
   auto alive = alive_;
-  // run_select compiles synchronously; completion fires once acquisition
-  // finishes in simulated time.
+  // run_select compiles synchronously (cloning the statement), so the
+  // rewritten form may live on this stack; completion fires once
+  // acquisition finishes in simulated time.
   executor_->run_select(
-      stmt, [this, alive, msg](Result<std::vector<query::Row>> outcome) {
+      *to_run, [this, alive, msg](Result<std::vector<query::Row>> outcome) {
         if (!*alive) return;
         if (!outcome.is_ok()) {
           reply_error(msg, outcome.status().to_string());

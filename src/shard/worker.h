@@ -58,8 +58,11 @@ class Worker {
     net::LinkModel interconnect;
   };
 
-  // Builds the worker stack on the host's loop/network; enrolls metrics
-  // under "shard.<index>." on the host registry.
+  // Builds the worker stack on its *own* runtime loop and network segment
+  // (allocated from the host's LoopGroup / Fabric, see DESIGN.md §12) with
+  // its own span tracer, registered with the host for merged export.
+  // Metrics are enrolled under "shard.<index>." on the host registry, plus
+  // "runtime.<loop>." for the worker's loop.
   Worker(core::Aorta* host, Options options);
   ~Worker();
 
@@ -79,6 +82,10 @@ class Worker {
 
   int index() const { return options_.index; }
   const net::NodeId& node_id() const { return node_id_; }
+  // The worker's home loop and network segment in the parallel runtime.
+  int loop_index() const { return loop_index_; }
+  aorta::util::EventLoop& loop() { return *loop_; }
+  net::Network& network() { return *segment_; }
   device::DeviceRegistry& registry() { return *registry_; }
   comm::CommLayer& comm() { return *comm_; }
   comm::ScanBroker& scan_broker() { return *scan_broker_; }
@@ -107,10 +114,17 @@ class Worker {
 
   Options options_;
   net::NodeId node_id_;
-  aorta::util::EventLoop* loop_;
-  net::Network* network_;
-  obs::Tracer* tracer_;
   aorta::util::Rng rng_;
+  int loop_index_ = 0;
+  aorta::util::EventLoop* loop_ = nullptr;
+  // This worker's network segment: its devices and "shard-<i>" endpoint
+  // home here; czar traffic crosses the fabric at epoch barriers.
+  std::unique_ptr<net::Network> segment_;
+  net::Network* network_ = nullptr;  // = segment_.get()
+  // Per-loop tracer (each loop records into its own ring; the host merges
+  // on export). Raw pointer kept for the instrumentation macros.
+  std::unique_ptr<obs::Tracer> tracer_own_;
+  obs::Tracer* tracer_ = nullptr;
 
   // Destruction order mirrors core::Aorta: executor first (it holds broker
   // subscriptions), registry last.

@@ -32,10 +32,14 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
 
 void Logger::log(LogLevel level, std::string_view module, const std::string& msg) {
   if (level < min_level_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string line;
   if (clock_ != nullptr) {
     line = str_format("[%10.6f] ", clock_->now().to_seconds());

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -40,6 +41,9 @@ class Logger {
   LogLevel min_level_ = LogLevel::kWarn;
   const SimClock* clock_ = nullptr;
   Sink sink_;
+  // Shard loops log from their own threads under the parallel runtime;
+  // formatting + the sink call are serialized so lines never interleave.
+  std::mutex mutex_;
 };
 
 // Stream-style helper: AORTA_LOG(kInfo, "sched") << "assigned " << id;

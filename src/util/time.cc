@@ -24,8 +24,9 @@ std::string TimePoint::to_string() const {
 }
 
 void SimClock::advance_to(TimePoint t) {
-  assert(t >= now_ && "simulation clock must be monotone");
-  now_ = t;
+  assert(t.to_micros() >= now_us_.load(std::memory_order_relaxed) &&
+         "simulation clock must be monotone");
+  now_us_.store(t.to_micros(), std::memory_order_relaxed);
 }
 
 }  // namespace aorta::util

@@ -7,6 +7,7 @@
 // is exact and runs are reproducible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -71,16 +72,22 @@ class TimePoint {
 
 // The simulation clock. Only the EventLoop advances it; everything else
 // reads it. Separate from EventLoop so leaf components can depend on the
-// clock without seeing the scheduler.
+// clock without seeing the scheduler. Storage is a relaxed atomic: under
+// the parallel runtime (util::LoopGroup) the logger and observability
+// layers may read a clock from another shard's thread while its owning
+// loop advances it — each loop is still advanced by exactly one thread
+// per window, so no stronger ordering is needed.
 class SimClock {
  public:
-  TimePoint now() const { return now_; }
+  TimePoint now() const {
+    return TimePoint::from_micros(now_us_.load(std::memory_order_relaxed));
+  }
 
   // Advance to an absolute time. Precondition: monotone (asserts in debug).
   void advance_to(TimePoint t);
 
  private:
-  TimePoint now_ = TimePoint::origin();
+  std::atomic<std::int64_t> now_us_{0};
 };
 
 }  // namespace aorta::util

@@ -139,7 +139,7 @@ RunOutput run_workload(int num_shards, std::uint64_t seed,
     out.events.insert(event_key(d));
   }
   out.stats_json = service.stats_json();
-  out.trace_json = sys.tracer().chrome_json();
+  out.trace_json = sys.trace_json();  // merged across all segment tracers
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/aorta.h"
@@ -281,9 +282,12 @@ TEST(CzarPlanningTest, RejectsJoinsAvgAndForeignDdl) {
   ASSERT_FALSE(join.is_ok());
   EXPECT_NE(join.status().message().find("joins"), std::string::npos);
 
-  auto avg = run("SELECT avg(s.temp) FROM sensor s");
-  ASSERT_FALSE(avg.is_ok());
-  EXPECT_NE(avg.status().message().find("avg"), std::string::npos);
+  // One-shot avg() is shardable (rewritten into sum/count partials the
+  // czar finalizes); a *continuous* AQ with avg() is still rejected
+  // because its partials would have to merge incrementally.
+  auto aq_avg = run("CREATE AQ a AS SELECT avg(s.temp) FROM sensor s");
+  ASSERT_FALSE(aq_avg.is_ok());
+  EXPECT_NE(aq_avg.status().message().find("avg"), std::string::npos);
 
   auto show = run("SHOW DEVICES");
   ASSERT_FALSE(show.is_ok());
@@ -384,6 +388,76 @@ TEST(ShardPlaneTest, SelectMergesPartialAggregates) {
   EXPECT_EQ(count, 6);  // summed across per-shard partial counts
   EXPECT_EQ(lo, 10.0);  // extrema across per-shard extrema
   EXPECT_EQ(hi, 15.0);
+}
+
+// avg() is not directly mergeable from per-shard partials; the worker
+// rewrites it into (sum, count) columns and the czar finalizes the ratio
+// at the merge barrier. The merged value must equal the unsharded one and
+// the finalized row must carry the original avg() label, not the rewrite.
+TEST(ShardPlaneTest, SelectMergesAvgAcrossShards) {
+  auto run_avg = [](int num_shards, const std::string& sql) {
+    PlaneWorld w(num_shards);
+    util::Result<core::ExecResult> out = util::internal_error("not called");
+    w.plane->exec_async(sql, {}, [&](util::Result<core::ExecResult> r) {
+      out = std::move(r);
+    });
+    w.sys.run_for(Duration::seconds(3.0));
+    return out;
+  };
+
+  const std::string sql =
+      "SELECT avg(s.temp), count(*), sum(s.temp) FROM sensor s";
+  auto sharded = run_avg(2, sql);
+  ASSERT_TRUE(sharded.is_ok()) << sharded.status().message();
+  ASSERT_EQ(sharded.value().rows.size(), 1u);
+  const query::Row& row = sharded.value().rows[0];
+  ASSERT_EQ(row.size(), 3u);  // the appended count partial is trimmed
+  EXPECT_EQ(row[0].first, "avg(s.temp)");
+  double avg = 0, count = 0, sum = 0;
+  ASSERT_TRUE(device::value_as_double(row[0].second, &avg));
+  ASSERT_TRUE(device::value_as_double(row[1].second, &count));
+  ASSERT_TRUE(device::value_as_double(row[2].second, &sum));
+  EXPECT_DOUBLE_EQ(avg, 12.5);  // mean of 10..15
+  EXPECT_EQ(count, 6);
+  EXPECT_DOUBLE_EQ(sum, 75.0);
+
+  // One shard and two shards agree exactly.
+  auto single = run_avg(1, sql);
+  ASSERT_TRUE(single.is_ok()) << single.status().message();
+  double single_avg = 0;
+  ASSERT_TRUE(
+      device::value_as_double(single.value().rows[0][0].second, &single_avg));
+  EXPECT_DOUBLE_EQ(single_avg, avg);
+}
+
+TEST(ShardPlaneTest, SelectAvgWithEmptyShardAndEmptyWorld) {
+  auto run_avg = [](int num_shards, const std::string& sql) {
+    PlaneWorld w(num_shards);
+    util::Result<core::ExecResult> out = util::internal_error("not called");
+    w.plane->exec_async(sql, {}, [&](util::Result<core::ExecResult> r) {
+      out = std::move(r);
+    });
+    w.sys.run_for(Duration::seconds(3.0));
+    return out;
+  };
+
+  // Only m5 (temp 15) passes the predicate, so one shard contributes a
+  // zero-count partial; it must not drag the merged average down.
+  auto one_mote = run_avg(2, "SELECT avg(s.temp) FROM sensor s "
+                             "WHERE s.temp > 14");
+  ASSERT_TRUE(one_mote.is_ok()) << one_mote.status().message();
+  double avg = 0;
+  ASSERT_TRUE(
+      device::value_as_double(one_mote.value().rows[0][0].second, &avg));
+  EXPECT_DOUBLE_EQ(avg, 15.0);
+
+  // No rows anywhere: total count is zero, the average is null.
+  auto empty = run_avg(2, "SELECT avg(s.temp) FROM sensor s "
+                          "WHERE s.temp > 100");
+  ASSERT_TRUE(empty.is_ok()) << empty.status().message();
+  ASSERT_EQ(empty.value().rows.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(
+      empty.value().rows[0][0].second));
 }
 
 TEST(ShardPlaneTest, ContinuousRowsMergeInNondecreasingTimestampOrder) {

@@ -185,6 +185,50 @@ TEST(EventLoopTest, PendingAndExecutedCounters) {
   EXPECT_EQ(loop.executed(), 1u);
 }
 
+TEST(EventLoopTest, HeavyCancellationCompactsTombstones) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  // A timeout-heavy workload: most scheduled events are cancelled before
+  // they fire. Without compaction the heap would keep every tombstoned
+  // entry until its timestamp came due.
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 1000; ++i) {
+    EventId id = loop.schedule(Duration::millis(10 + i),
+                               [&fired, i]() { fired.push_back(i); });
+    if (i % 10 != 0) doomed.push_back(id);  // keep every 10th
+  }
+  for (EventId id : doomed) EXPECT_TRUE(loop.cancel(id));
+  // Tombstones may never exceed half the heap (pending + tombstones): the
+  // cancel path compacts, so they can never outnumber the live events.
+  EXPECT_GE(loop.compactions(), 1u);
+  EXPECT_LE(loop.tombstones(), loop.pending());
+  EXPECT_EQ(loop.pending(), 100u);
+
+  // Survivors still fire, in time order, exactly once.
+  loop.run_all();
+  ASSERT_EQ(fired.size(), 100u);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(fired[static_cast<size_t>(k)], 10 * k);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.tombstones(), 0u);
+}
+
+TEST(EventLoopTest, CancelAfterCompactionStillReturnsFalseForFiredEvents) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  EventId early = loop.schedule(Duration::millis(1), []() {});
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 64; ++i) {
+    doomed.push_back(loop.schedule(Duration::millis(100 + i), []() {}));
+  }
+  loop.run_for(Duration::millis(2));  // `early` fires
+  for (EventId id : doomed) EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(early));           // already fired
+  EXPECT_FALSE(loop.cancel(doomed.front()));  // already cancelled
+  loop.run_all();
+  EXPECT_EQ(loop.executed(), 1u);
+}
+
 // ------------------------------------------------------------------- Rng
 
 TEST(RngTest, DeterministicForSameSeed) {
