@@ -55,6 +55,11 @@ ModeResult run_mode(int aqs, bool shared, const char* trace_path = nullptr) {
   aorta::core::Config cfg;
   cfg.seed = 42;
   cfg.shared_scans = shared;
+  // This bench measures per-AQ acquisition topology (N private scans vs
+  // one shared sweep); predicate-index delivery groups would collapse the
+  // N identical subscriptions to one and hide exactly the RPC cost the
+  // gate pins. Matching cost has its own sweep in bench_eval.
+  cfg.predicate_index = false;
   cfg.tracing = trace_path != nullptr;
   aorta::core::Aorta sys(cfg);
   // Lossless, jitter-free links on BOTH ends: the engine's default LAN link

@@ -47,6 +47,7 @@ struct ScanBroker::Batch {
   bool issued = false;          // all reads dispatched (finalize barrier)
   std::vector<Waiter> waiters;
   TimePoint started;
+  std::uint64_t issue_tick = 0;  // tick_count_ when the batch was issued
   // Tick barrier: decremented once per batch of the issuing tick; fires
   // the executor's flush when every due subscriber has been served.
   std::shared_ptr<std::size_t> barrier;
@@ -137,6 +138,11 @@ ScanBroker::SubscriptionId ScanBroker::subscribe(
 
 void ScanBroker::unsubscribe(SubscriptionId id) { subs_.erase(id); }
 
+std::uint64_t ScanBroker::pending_batches(SubscriptionId id) const {
+  auto it = subs_.find(id);
+  return it == subs_.end() ? 0 : it->second.pending;
+}
+
 std::size_t ScanBroker::subscriber_count(
     const device::DeviceTypeId& type) const {
   std::size_t n = 0;
@@ -188,8 +194,9 @@ void ScanBroker::tick(std::function<void()> all_delivered) {
   // Group the due subscriptions by device type. Map iteration orders both
   // groupings by key, so the batch/RPC sequence is deterministic.
   std::map<device::DeviceTypeId, std::vector<Waiter>> due;
-  for (const auto& [id, sub] : subs_) {
+  for (auto& [id, sub] : subs_) {
     if ((tick_count_ - 1) % sub.period != sub.phase) continue;
+    ++sub.pending;
     Waiter w;
     w.sub = id;
     w.needed = sub.needed;
@@ -238,6 +245,7 @@ void ScanBroker::run_batch(const device::DeviceTypeId& type,
   batch->schema = state.schema;
   batch->waiters = std::move(waiters);
   batch->started = loop_->now();
+  batch->issue_tick = tick_count_;
   batch->barrier = std::move(barrier);
   batch->barrier_done = std::move(barrier_done);
 
@@ -383,6 +391,7 @@ void ScanBroker::finalize_batch(const std::shared_ptr<Batch>& batch) {
       // so it survives the subscriber unsubscribing from inside it.
       auto it = subs_.find(w.sub);
       if (it == subs_.end()) continue;
+      if (it->second.pending > 0) --it->second.pending;
       periodic = it->second.on_batch;
     }
 
@@ -416,12 +425,17 @@ void ScanBroker::finalize_batch(const std::shared_ptr<Batch>& batch) {
     stats.tuples_delivered += out.size();
     ++stats.deliveries;
     if (periodic) {
-      periodic(out);
+      periodic(out, batch->issue_tick);
     } else if (w.once) {
       w.once(std::move(out));
     }
   }
   batch->waiters.clear();
+
+  // Let staged consumers (predicate-index delivery groups) process this
+  // batch's fan-out in one pass at the same virtual time, before the tick
+  // barrier can fire the executor's flush.
+  if (delivery_epilogue_) delivery_epilogue_();
 
   if (batch->barrier != nullptr && --*batch->barrier == 0) {
     batch->barrier_done();

@@ -65,7 +65,14 @@ struct BrokerTypeStats {
 class ScanBroker {
  public:
   using SubscriptionId = std::uint64_t;
-  using BatchCallback = std::function<void(const std::vector<Tuple>&)>;
+  // Periodic fan-out callback. `issue_tick` is the broker tick that issued
+  // the batch (tick_count() at issue): consumers that multiplex several
+  // logical queries over one subscription (the executor's delivery groups)
+  // use it to exclude members that joined after the batch left — the
+  // analogue of never-recycled subscription ids for intra-subscription
+  // membership.
+  using BatchCallback =
+      std::function<void(const std::vector<Tuple>&, std::uint64_t issue_tick)>;
 
   struct Options {
     // Sensory values younger than this are served from cache without a new
@@ -126,6 +133,21 @@ class ScanBroker {
   // issue to fan-out.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  // Delivery epilogue (nullable = off): fires after each batch's fan-out
+  // completes — every due waiter served, same virtual time as the last
+  // delivery, before the tick barrier advances. The executor's predicate-
+  // index path processes its staged per-group batches here so side effects
+  // (hooks, actions, traces) run in one deterministic registration-order
+  // pass per batch, exactly where the exhaustive per-AQ callbacks ran.
+  void set_delivery_epilogue(std::function<void()> epilogue) {
+    delivery_epilogue_ = std::move(epilogue);
+  }
+
+  // Batches issued to `id` whose fan-out has not completed yet. A consumer
+  // attaching state to an existing subscription uses this to discount
+  // deliveries already in flight (they predate the attachment).
+  std::uint64_t pending_batches(SubscriptionId id) const;
+
   // Advance the broker clock one engine epoch and issue one batched scan
   // per device type with due subscribers. `all_delivered` fires once every
   // due subscriber received its batch (synchronously when none are due) —
@@ -159,6 +181,7 @@ class ScanBroker {
     std::uint64_t period = 1;
     std::uint64_t phase = 0;
     BatchCallback on_batch;
+    std::uint64_t pending = 0;  // issued batches not yet fanned out
   };
 
   // One consumer of a batch: a periodic subscription (validated against
@@ -198,6 +221,7 @@ class ScanBroker {
   // prefix must outlive the set_metrics call.
   obs::MetricsRegistry::Scoped metrics_;
   obs::Tracer* tracer_ = nullptr;
+  std::function<void()> delivery_epilogue_;
 
   std::map<device::DeviceTypeId, std::unique_ptr<TypeState>> types_;
   std::map<SubscriptionId, Subscription> subs_;

@@ -66,6 +66,7 @@ Aorta::Aorta(Config config)
   options.use_locks = config_.use_locks;
   options.max_retries = config_.max_retries;
   options.health = health_.get();
+  options.predicate_index = config_.predicate_index;
   executor_ = std::make_unique<query::ContinuousQueryExecutor>(
       registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
       locks_.get(), loop_, catalog_.get(), rng_.fork(), options);
@@ -143,6 +144,7 @@ void Aorta::enroll_system_metrics() {
   metrics_.enroll_counter("eval.programs_fallback", &es.programs_fallback);
   metrics_.enroll_counter("eval.compiled_evals", &es.compiled_evals);
   metrics_.enroll_counter("eval.fallback_evals", &es.fallback_evals);
+  executor_->set_index_metrics(&metrics_, "eval.index.");
 
   metrics_.enroll_counter("network.cross_sent", &net.cross_sent);
   metrics_.enroll_gauge("runtime.loops", [this]() {

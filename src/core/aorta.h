@@ -59,6 +59,12 @@ struct Config {
   // instead of a new radio round trip. Zero disables caching (in-flight
   // dedup still applies).
   aorta::util::Duration scan_freshness = aorta::util::Duration::zero();
+  // Predicate-index matching (query/predicate_index.h): registered AQs'
+  // compiled event predicates are indexed per device type so each swept
+  // tuple evaluates only candidate queries — sub-linear in the AQ count.
+  // false reverts to exhaustive per-AQ evaluation (byte-identical output;
+  // the ablation arm of bench_eval's matching sweep).
+  bool predicate_index = true;
   // Device health supervision: per-device Healthy/Suspect/Quarantined
   // state machine fed by read/probe/action outcomes. Quarantined devices
   // are skipped by broker sweeps and action scheduling and re-probed with

@@ -1,6 +1,8 @@
 #include "query/compile.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/strings.h"
 
@@ -49,6 +51,131 @@ bool references_sensory(const Expr& expr, const std::string& alias,
       return references_sensory(*expr.lhs, alias, schema);
   }
   return false;
+}
+
+// Distill the event programs' IndexHints into one per-slot constraint and
+// keep the most selective slot (see IndexableConjunct in compile.h). Works
+// purely on compiled shapes: any predicate without a hint (or hinting a
+// non-event binding, which classification should already preclude) makes
+// the result inexact but never unsound — it just stays a residual filter.
+std::optional<IndexableConjunct> distill_index_conjunct(
+    const std::vector<std::optional<EvalProgram>>& event_programs,
+    std::size_t event_binding, const comm::Schema& event_schema) {
+  struct SlotAcc {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    bool lo_strict = false;
+    bool hi_strict = false;
+    bool has_num = false;
+    bool has_str = false;
+    bool never = false;
+    std::string str;
+    std::size_t hints = 0;
+  };
+  std::map<std::uint32_t, SlotAcc> slots;
+  std::size_t hinted = 0;
+  for (const auto& program : event_programs) {
+    if (!program) continue;
+    auto hint = program->index_hint();
+    if (!hint || hint->binding != event_binding) continue;
+    ++hinted;
+    SlotAcc& acc = slots[hint->slot];
+    ++acc.hints;
+    if (hint->is_string) {
+      if (acc.has_str && acc.str != hint->str) acc.never = true;
+      acc.has_str = true;
+      acc.str = hint->str;
+      continue;
+    }
+    acc.has_num = true;
+    if (std::isnan(hint->num)) {
+      // Every comparison against NaN is false; the predicate set can
+      // never hold.
+      acc.never = true;
+      continue;
+    }
+    switch (hint->op) {
+      case BinaryOp::kEq:
+        if (hint->num > acc.lo || (hint->num == acc.lo && !acc.lo_strict)) {
+          acc.lo = hint->num;
+          acc.lo_strict = false;
+        }
+        if (hint->num < acc.hi || (hint->num == acc.hi && !acc.hi_strict)) {
+          acc.hi = hint->num;
+          acc.hi_strict = false;
+        }
+        break;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        bool strict = hint->op == BinaryOp::kGt;
+        if (hint->num > acc.lo || (hint->num == acc.lo && strict)) {
+          acc.lo = hint->num;
+          acc.lo_strict = strict;
+        }
+        break;
+      }
+      case BinaryOp::kLt:
+      case BinaryOp::kLe: {
+        bool strict = hint->op == BinaryOp::kLt;
+        if (hint->num < acc.hi || (hint->num == acc.hi && strict)) {
+          acc.hi = hint->num;
+          acc.hi_strict = strict;
+        }
+        break;
+      }
+      default:
+        break;  // index_hint() never reports kNe or non-comparisons
+    }
+  }
+  if (slots.empty()) return std::nullopt;
+
+  std::optional<IndexableConjunct> best;
+  for (const auto& [slot, acc] : slots) {
+    IndexableConjunct c;
+    c.slot = slot;
+    if (slot < event_schema.fields().size()) {
+      c.attr = event_schema.fields()[slot].name;
+    }
+    c.lo = acc.lo;
+    c.hi = acc.hi;
+    c.lo_strict = acc.lo_strict;
+    c.hi_strict = acc.hi_strict;
+    c.str = acc.str;
+    bool empty_interval =
+        acc.lo > acc.hi ||
+        (acc.lo == acc.hi && (acc.lo_strict || acc.hi_strict));
+    if (acc.never || (acc.has_num && acc.has_str) ||
+        (acc.has_num && empty_interval)) {
+      // Contradiction (two distinct strings, string && numeric bound on
+      // one slot, or an empty interval): nothing can match. kNever is the
+      // most selective possible entry, so it wins outright.
+      c.kind = IndexableConjunct::Kind::kNever;
+      c.selectivity = 0.0;
+    } else if (acc.has_str) {
+      c.kind = IndexableConjunct::Kind::kStrEq;
+      c.selectivity = 0.01;
+    } else if (acc.lo == acc.hi) {  // both inclusive, else empty_interval
+      c.kind = IndexableConjunct::Kind::kPointEq;
+      c.selectivity = 0.01;
+    } else if (std::isinf(acc.lo) && std::isinf(acc.hi)) {
+      continue;  // no usable bound on this slot (cannot happen today)
+    } else if (std::isinf(acc.hi)) {
+      c.kind = IndexableConjunct::Kind::kLower;
+      c.selectivity = 0.4;
+    } else if (std::isinf(acc.lo)) {
+      c.kind = IndexableConjunct::Kind::kUpper;
+      c.selectivity = 0.4;
+    } else {
+      c.kind = IndexableConjunct::Kind::kRange;
+      c.selectivity = 0.2;
+    }
+    // All hints on the winning slot + nothing unhinted = the constraint
+    // IS the predicate set: candidacy alone proves a match.
+    c.exact = !event_programs.empty() && hinted == event_programs.size() &&
+              acc.hints == hinted;
+    if (!best || c.selectivity < best->selectivity) best = c;
+  }
+  return best;
 }
 
 }  // namespace
@@ -240,6 +367,13 @@ Result<CompiledQuery> compile(const SelectStmt& stmt, const Catalog& catalog,
       continue;
     }
     collect_columns(*item, schemas, &q.needed_attrs);
+  }
+
+  // ---- predicate-index metadata ------------------------------------------
+  // One-shot SELECTs scan once and never register with the index.
+  if (!one_shot) {
+    q.index_conjunct = distill_index_conjunct(
+        q.event_programs, q.event_binding, *schemas.at(q.event_alias));
   }
 
   return q;

@@ -30,6 +30,41 @@ struct CompiledActionCall {
   std::size_t candidate_binding = 0;  // frame slot of candidate_alias
 };
 
+// The predicate-index entry distilled from a continuous query's event
+// predicates (see predicate_index.h). The compile pass intersects every
+// IndexHint that lands on one event-schema slot into a single interval
+// (or string-equality) constraint on that slot, then keeps the most
+// selective slot. The constraint is a *necessary* condition: every tuple
+// the full predicate set accepts satisfies it, so probing the index for
+// it yields a candidate superset and the residual EvalProgram run
+// preserves exact semantics. When `exact` is set the constraint is also
+// *sufficient* (all event predicates hinted onto this one slot) and the
+// executor may skip the residual run entirely.
+struct IndexableConjunct {
+  enum class Kind : std::uint8_t {
+    kNever,    // contradictory conjuncts (x > 5 && x < 3): matches nothing
+    kPointEq,  // slot == num
+    kStrEq,    // slot == str
+    kLower,    // slot > / >= num  (num in `lo`)
+    kUpper,    // slot < / <= num  (num in `hi`)
+    kRange,    // lo <(=) slot <(=) hi
+  };
+
+  Kind kind = Kind::kNever;
+  std::uint32_t slot = 0;  // field slot in the event table's schema
+  std::string attr;        // that field's name (for metrics / EXPLAIN)
+  double lo = 0.0;         // valid for kPointEq / kLower / kRange
+  double hi = 0.0;         // valid for kPointEq / kUpper / kRange
+  bool lo_strict = false;
+  bool hi_strict = false;
+  std::string str;  // valid for kStrEq
+  // Crude match-fraction estimate used only to rank candidate slots
+  // (equality is assumed more selective than a range, a range more than
+  // a half-line). Falls out of the peephole pass: no data statistics.
+  double selectivity = 1.0;
+  bool exact = false;
+};
+
 struct CompiledQuery {
   std::string name;
   double epoch_s = 0.0;
@@ -61,6 +96,10 @@ struct CompiledQuery {
 
   // Attributes each scan must acquire (projection pushdown).
   std::map<std::string, std::set<std::string>> needed_attrs;
+
+  // Best indexable constraint over the event predicates, if any hinted
+  // (continuous compiles only; nullopt puts the AQ on the residual list).
+  std::optional<IndexableConjunct> index_conjunct;
 
   device::DeviceTypeId event_type() const {
     return table_types.at(event_alias);

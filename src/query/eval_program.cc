@@ -392,6 +392,76 @@ void EvalProgram::fuse_compare_triples() {
 
 namespace {
 
+// `c <op> x` is `x <mirror(op)> c`.
+BinaryOp mirror_compare(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+}  // namespace
+
+std::optional<IndexHint> EvalProgram::index_hint() const {
+  IndexHint hint;
+  // The peephole pass's own output is the common case: a sensory
+  // predicate like `s.accel_x > 500` compiles to exactly one fused
+  // compare, constant already coerced into num_consts_.
+  if (code_.size() == 1 && code_[0].op == OpCode::kCmpQualConst) {
+    const Instr& in = code_[0];
+    hint.op = static_cast<BinaryOp>(in.c & 0xf);
+    if (hint.op == BinaryOp::kNe) return std::nullopt;
+    hint.binding = (in.c >> 4) & 0x3;
+    hint.slot = in.a;
+    hint.num = num_consts_[in.b];
+    return hint;
+  }
+  // Unfused triples: unqualified column refs (kLoadUnqual is never
+  // fused), string constants, and constant-on-the-left compares.
+  if (code_.size() != 3 || code_[2].op != OpCode::kCompare) {
+    return std::nullopt;
+  }
+  BinaryOp op = static_cast<BinaryOp>(code_[2].a);
+  const Instr* load = nullptr;
+  const Instr* cnst = nullptr;
+  auto is_load = [](const Instr& in) {
+    return in.op == OpCode::kLoadQual || in.op == OpCode::kLoadUnqual;
+  };
+  if (is_load(code_[0]) && code_[1].op == OpCode::kPushConst) {
+    load = &code_[0];
+    cnst = &code_[1];
+  } else if (code_[0].op == OpCode::kPushConst && is_load(code_[1])) {
+    load = &code_[1];
+    cnst = &code_[0];
+    op = mirror_compare(op);
+  } else {
+    return std::nullopt;
+  }
+  if (op == BinaryOp::kNe) return std::nullopt;
+  hint.binding = load->a;
+  hint.slot = load->b;
+  hint.op = op;
+  const Value& c = consts_[cnst->a];
+  if (double d; fast_num(c, &d)) {
+    hint.num = d;
+    return hint;
+  }
+  if (const std::string* s = std::get_if<std::string>(&c)) {
+    // String equality hashes; string ranges stay residual (compare_values
+    // orders strings, but the interval structures are numeric).
+    if (op != BinaryOp::kEq) return std::nullopt;
+    hint.is_string = true;
+    hint.str = *s;
+    return hint;
+  }
+  return std::nullopt;  // NULL / location / bool-as-ref constants
+}
+
+namespace {
+
 // One VM stack entry. Loads and consts push *references* into the tuple /
 // constant pool (no variant copy on the hot path); operator results are
 // immediates. Strings and locations only ever live behind kRef — produced

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,23 @@ struct BindingFrame {
 
   void set(std::size_t i, const comm::Tuple* tuple) { tuples[i] = tuple; }
   const comm::Tuple* operator[](std::size_t i) const { return tuples[i]; }
+};
+
+// A single indexable comparison recovered from a compiled predicate
+// program: `column <op> constant`, normalized so the column is on the
+// left (a constant-on-the-left compare reports the mirrored operator).
+// Produced by EvalProgram::index_hint() for the predicate-index compile
+// pass (compile.cc / predicate_index.h): only whole-program shapes are
+// reported, so a hint is exactly equivalent to the predicate it came
+// from. kNe never yields a hint (it excludes almost nothing), and only
+// numeric constants (bool/int/double) and string equality qualify.
+struct IndexHint {
+  std::uint32_t binding = 0;  // frame slot of the column's alias
+  std::uint32_t slot = 0;     // field slot in that alias's schema
+  BinaryOp op = BinaryOp::kEq;  // kEq / kLt / kLe / kGt / kGe
+  bool is_string = false;
+  double num = 0.0;  // constant, pre-coerced (valid when !is_string)
+  std::string str;   // constant (valid when is_string)
 };
 
 class EvalProgram {
@@ -106,6 +124,16 @@ class EvalProgram {
 
   // One instruction per line, for EXPLAIN-style debugging and tests.
   std::string disassemble() const;
+
+  // The indexable-comparison shape of this program, if the WHOLE program
+  // is one `column <op> constant` compare (fused kCmpQualConst, or the
+  // unfused load/const/compare triple in either operand order). Nullopt
+  // for anything else — such predicates stay on the index's residual
+  // list. The peephole pass already proved the fused constants numeric,
+  // which is what makes the hint's candidate set prune-safe: a
+  // non-coercible column value makes the comparison false (error or NULL
+  // semantics) under compare_values, exactly matching an index miss.
+  std::optional<IndexHint> index_hint() const;
 
  private:
   // Shared VM loop. In predicate mode it returns the verdict directly and

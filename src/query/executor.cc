@@ -1,5 +1,6 @@
 #include "query/executor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -77,6 +78,16 @@ ContinuousQueryExecutor::ContinuousQueryExecutor(
                                << "', falling back to SRFAE";
     scheduler_ = sched::make_scheduler("SRFAE");
   }
+  if (options_.predicate_index) {
+    // Staged group batches are processed at each broker batch's delivery
+    // epilogue: the same virtual time as the fan-out, before the tick
+    // barrier can flush action operators.
+    broker_->set_delivery_epilogue([this]() { process_staged(); });
+  }
+}
+
+ContinuousQueryExecutor::~ContinuousQueryExecutor() {
+  if (options_.predicate_index) broker_->set_delivery_epilogue({});
 }
 
 Status ContinuousQueryExecutor::register_aq(const std::string& name,
@@ -97,9 +108,18 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
     std::string fn = aorta::util::to_lower(proj->func_name);
     if (fn == "count" || fn == "sum" || fn == "avg" || fn == "min" ||
         fn == "max") {
-      return aorta::util::invalid_argument_error(
+      std::string message =
           "aggregates are not supported in continuous queries: " +
-          proj->to_string());
+          proj->to_string();
+      if (fn == "avg") {
+        // avg() merges across shards as (sum, count) partials, but only
+        // for one-shot SELECTs; steer users there instead of leaving the
+        // impression avg() is unsupported everywhere.
+        message +=
+            "; one-shot SELECT avg() is supported (merged as (sum, count) "
+            "partials)";
+      }
+      return aorta::util::invalid_argument_error(message);
     }
   }
 
@@ -132,34 +152,88 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
     }
   }
 
-  // Subscribe the query on the shared acquisition plane with its needed
-  // event-table attributes (projection pushdown). The query may be dropped
-  // while a batch is in flight: re-resolve it by name at delivery instead
-  // of holding a pointer into queries_. The generation check also covers a
-  // drop + immediate re-register under the same name — a stale batch's
-  // tuples must not feed the new query.
+  // Attach the query to the shared acquisition plane with its needed
+  // event-table attributes (projection pushdown).
   std::set<std::string> needed;
   auto it = aq->compiled.needed_attrs.find(aq->compiled.event_alias);
   if (it != aq->compiled.needed_attrs.end()) needed = it->second;
-  aq->subscription = broker_->subscribe(
-      aq->compiled.event_type(), std::move(needed), aq->epoch_ticks,
-      [this, name, generation = aq->generation](
-          const std::vector<comm::Tuple>& tuples) {
-        auto found = queries_.find(name);
-        if (found == queries_.end() ||
-            found->second->generation != generation) {
-          return;
-        }
-        ++found->second->stats.epochs;
-        for (const comm::Tuple& tuple : tuples) {
-          process_event_tuple(*found->second, tuple);
-        }
-        // Synchronous evaluation takes zero virtual time; the span is an
-        // instant marking which AQ consumed which batch.
-        AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kEval, "eval:" + name,
-                            loop_->now(),
-                            std::to_string(tuples.size()) + " tuple(s)");
-      });
+
+  if (options_.predicate_index) {
+    // Indexed path: AQs with the same (type, period, phase, needed) share
+    // one subscription + one compiled-predicate index. The phase mirrors
+    // what a fresh subscription would get (tick_count % period), so a
+    // member joins an existing group only when that group's batches fire
+    // exactly when its own private subscription would have.
+    device::DeviceTypeId type = aq->compiled.event_type();
+    std::uint64_t phase = broker_->tick_count() % aq->epoch_ticks;
+    GroupKey key{type, aq->epoch_ticks, phase, needed};
+    auto git = groups_.find(key);
+    if (git == groups_.end()) {
+      auto group = std::make_unique<DeliveryGroup>();
+      group->key = key;
+      group->type = type;
+      group->subscription = broker_->subscribe(
+          type, std::move(needed), aq->epoch_ticks,
+          [this, g = group.get()](const std::vector<comm::Tuple>& tuples,
+                                  std::uint64_t issue_tick) {
+            stage_group_batch(*g, tuples, issue_tick);
+          });
+      if (index_metrics_.live() && index_metric_types_.insert(type).second) {
+        index_metrics_.enroll_gauge(
+            "types." + obs::MetricsRegistry::sanitize_component(type) +
+                ".entries",
+            [this, type]() {
+              std::int64_t n = 0;
+              for (const auto& [k, g] : groups_) {
+                if (g->type == type) n += static_cast<std::int64_t>(
+                    g->index.size());
+              }
+              return n;
+            });
+      }
+      git = groups_.emplace(std::move(key), std::move(group)).first;
+    }
+    DeliveryGroup* group = git->second.get();
+    aq->group = group;
+    aq->subscription = group->subscription;
+    aq->join_tick = broker_->tick_count();
+    // Discount deliveries that predate this member — including batches
+    // already in flight, which the join_tick guard will skip.
+    aq->epochs_base =
+        group->deliveries + broker_->pending_batches(group->subscription);
+    const IndexableConjunct* conjunct =
+        aq->compiled.index_conjunct ? &*aq->compiled.index_conjunct : nullptr;
+    aq->index_exact = conjunct != nullptr && conjunct->exact;
+    group->index.add(aq->generation, conjunct);
+    group->members.emplace(aq->generation, aq.get());
+    by_generation_.emplace(aq->generation, aq.get());
+  } else {
+    // Exhaustive ablation: one private subscription per AQ, every program
+    // runs on every tuple. The query may be dropped while a batch is in
+    // flight: re-resolve it by name at delivery instead of holding a
+    // pointer into queries_. The generation check also covers a drop +
+    // immediate re-register under the same name — a stale batch's tuples
+    // must not feed the new query.
+    aq->subscription = broker_->subscribe(
+        aq->compiled.event_type(), std::move(needed), aq->epoch_ticks,
+        [this, name, generation = aq->generation](
+            const std::vector<comm::Tuple>& tuples, std::uint64_t) {
+          auto found = queries_.find(name);
+          if (found == queries_.end() ||
+              found->second->generation != generation) {
+            return;
+          }
+          ++found->second->stats.epochs;
+          for (const comm::Tuple& tuple : tuples) {
+            process_event_tuple(*found->second, tuple);
+          }
+          // Synchronous evaluation takes zero virtual time; the span is an
+          // instant marking which AQ consumed which batch.
+          AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kEval, "eval:" + name,
+                              loop_->now(),
+                              std::to_string(tuples.size()) + " tuple(s)");
+        });
+  }
 
   AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kRegister, "register:" + name,
                       loop_->now(),
@@ -173,7 +247,30 @@ Status ContinuousQueryExecutor::drop_aq(const std::string& name) {
   if (it == queries_.end()) {
     return aorta::util::not_found_error("no such query: " + name);
   }
-  broker_->unsubscribe(it->second->subscription);
+  Aq& aq = *it->second;
+  if (aq.group != nullptr) {
+    // Indexed path: remove this member's index entry and directory rows;
+    // tear the group down only when its last member leaves.
+    DeliveryGroup* group = aq.group;
+    group->index.remove(aq.generation, aq.compiled.index_conjunct
+                                           ? &*aq.compiled.index_conjunct
+                                           : nullptr);
+    group->members.erase(aq.generation);
+    by_generation_.erase(aq.generation);
+    if (group->members.empty()) {
+      broker_->unsubscribe(group->subscription);
+      // A batch staged for this group but not yet processed (drop from a
+      // hook mid-epilogue) must not be walked after the group dies.
+      staged_.erase(std::remove_if(staged_.begin(), staged_.end(),
+                                   [group](const StagedBatch& s) {
+                                     return s.group == group;
+                                   }),
+                    staged_.end());
+      groups_.erase(group->key);
+    }
+  } else {
+    broker_->unsubscribe(aq.subscription);
+  }
   queries_.erase(it);
   return Status::ok();
 }
@@ -301,6 +398,135 @@ void ContinuousQueryExecutor::process_event_tuple(Aq& aq,
     fire = satisfied;
   }
   if (!fire) return;
+  fire_event(aq, tuple, frame);
+}
+
+// ---- indexed matching path -----------------------------------------------
+
+void ContinuousQueryExecutor::stage_group_batch(
+    DeliveryGroup& group, const std::vector<comm::Tuple>& tuples,
+    std::uint64_t issue_tick) {
+  ++group.deliveries;
+  StagedBatch staged;
+  staged.group = &group;
+  staged.tuples = tuples;  // the broker's fan-out copy dies with the call
+  staged.seqs.reserve(tuples.size());
+  for (const comm::Tuple& tuple : tuples) {
+    staged.seqs.push_back(++group.row_seq[tuple.source_device()]);
+  }
+  staged.issue_tick = issue_tick;
+  staged_.push_back(std::move(staged));
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kEval, "eval:" + group.type,
+                      loop_->now(),
+                      std::to_string(tuples.size()) + " tuple(s), " +
+                          std::to_string(group.members.size()) +
+                          " member(s)");
+}
+
+void ContinuousQueryExecutor::process_staged() {
+  if (staged_.empty()) return;
+  std::vector<StagedBatch> staged = std::move(staged_);
+  staged_.clear();
+
+  // Probe each tuple, then evaluate the (member, tuple) pairs in global
+  // (generation, tuple) order — the exhaustive path's per-subscription
+  // order, since subscription ids were handed out in generation order.
+  struct Pair {
+    std::uint64_t generation;
+    std::uint32_t batch;
+    std::uint32_t tuple;
+    bool candidate;
+  };
+  std::vector<Pair> pairs;
+  std::vector<PredicateIndex::Handle> candidates;
+  for (std::size_t b = 0; b < staged.size(); ++b) {
+    const StagedBatch& s = staged[b];
+    std::size_t indexed =
+        s.group->index.size() - s.group->index.residual_size();
+    for (std::size_t t = 0; t < s.tuples.size(); ++t) {
+      candidates.clear();
+      s.group->index.probe(s.tuples[t], &candidates);
+      ++index_stats_.probes;
+      index_stats_.candidates += candidates.size();
+      index_stats_.pruned += indexed - candidates.size();
+      for (PredicateIndex::Handle h : candidates) {
+        pairs.push_back({h, static_cast<std::uint32_t>(b),
+                         static_cast<std::uint32_t>(t), true});
+      }
+      for (PredicateIndex::Handle h : s.group->index.residuals()) {
+        pairs.push_back({h, static_cast<std::uint32_t>(b),
+                         static_cast<std::uint32_t>(t), false});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.generation != b.generation) return a.generation < b.generation;
+    return a.tuple < b.tuple;
+  });
+
+  for (const Pair& p : pairs) {
+    // Re-resolve per pair: an earlier pair's hooks (row delivery, action
+    // traces) may have dropped or replaced members of any group.
+    auto it = by_generation_.find(p.generation);
+    if (it == by_generation_.end()) continue;
+    Aq& aq = *it->second;
+    const StagedBatch& s = staged[p.batch];
+    if (aq.join_tick >= s.issue_tick) continue;  // joined after issue
+    process_event_tuple_indexed(aq, s.tuples[p.tuple], s.seqs[p.tuple],
+                                p.candidate);
+  }
+}
+
+void ContinuousQueryExecutor::process_event_tuple_indexed(
+    Aq& aq, const comm::Tuple& tuple, std::uint64_t seq, bool candidate) {
+  const CompiledQuery& cq = aq.compiled;
+  BindingFrame frame;
+  frame.size = cq.binding_aliases.size();
+  frame.set(cq.event_binding, &tuple);
+
+  bool satisfied;
+  if (candidate && aq.index_exact) {
+    // The index constraint covers the whole predicate set: candidacy IS
+    // the verdict.
+    satisfied = true;
+    ++index_stats_.exact_skips;
+  } else {
+    if (candidate) ++index_stats_.residual_evals;
+    satisfied = true;
+    for (std::size_t i = 0; i < cq.event_predicates.size(); ++i) {
+      if (!eval_pred(cq.event_programs[i], *cq.event_predicates[i], frame,
+                     cq.binding_aliases)) {
+        satisfied = false;
+        break;
+      }
+    }
+  }
+
+  bool fire;
+  if (cq.edge_triggered) {
+    // Seq-based edge detection (see Aq::last_true_seq): fire when this
+    // row satisfies the predicates and the previous delivered row for the
+    // device did not.
+    auto it = aq.last_true_seq.find(tuple.source_device());
+    fire = satisfied &&
+           (it == aq.last_true_seq.end() || it->second + 1 != seq);
+    if (satisfied) {
+      if (it != aq.last_true_seq.end()) {
+        it->second = seq;
+      } else {
+        aq.last_true_seq.emplace(tuple.source_device(), seq);
+      }
+    }
+  } else {
+    fire = satisfied;
+  }
+  if (!fire) return;
+  fire_event(aq, tuple, frame);
+}
+
+void ContinuousQueryExecutor::fire_event(Aq& aq, const comm::Tuple& tuple,
+                                         const BindingFrame& frame) {
+  const CompiledQuery& cq = aq.compiled;
   ++aq.stats.events;
   record_trace(TraceEntry{loop_->now(), aq.name, "event",
                           "device " + tuple.source_device() +
@@ -412,7 +638,42 @@ std::vector<device::DeviceId> ContinuousQueryExecutor::enumerate_candidates(
 const QueryStats* ContinuousQueryExecutor::query_stats(
     const std::string& name) const {
   auto it = queries_.find(name);
-  return it == queries_.end() ? nullptr : &it->second->stats;
+  if (it == queries_.end()) return nullptr;
+  const Aq& aq = *it->second;
+  if (aq.group != nullptr) {
+    // Indexed path: epochs derives from the group's delivery count so
+    // per-tick work stays O(groups), not O(members). The base discounts
+    // deliveries that predate this member; the clamp covers the window
+    // where a discounted in-flight batch has not landed yet.
+    std::uint64_t delivered = aq.group->deliveries;
+    aq.stats.epochs =
+        delivered >= aq.epochs_base ? delivered - aq.epochs_base : 0;
+  }
+  return &aq.stats;
+}
+
+std::size_t ContinuousQueryExecutor::index_entries() const {
+  std::size_t n = 0;
+  for (const auto& [key, group] : groups_) n += group->index.size();
+  return n;
+}
+
+void ContinuousQueryExecutor::set_index_metrics(obs::MetricsRegistry* metrics,
+                                                std::string prefix) {
+  index_metrics_ = obs::MetricsRegistry::Scoped(metrics, std::move(prefix));
+  if (!index_metrics_.live()) return;
+  index_metrics_.enroll_counter("probes", &index_stats_.probes);
+  index_metrics_.enroll_counter("candidates", &index_stats_.candidates);
+  index_metrics_.enroll_counter("residual_evals",
+                                &index_stats_.residual_evals);
+  index_metrics_.enroll_counter("exact_skips", &index_stats_.exact_skips);
+  index_metrics_.enroll_counter("pruned", &index_stats_.pruned);
+  index_metrics_.enroll_gauge("entries", [this]() {
+    return static_cast<std::int64_t>(index_entries());
+  });
+  index_metrics_.enroll_gauge("groups", [this]() {
+    return static_cast<std::int64_t>(groups_.size());
+  });
 }
 
 QueryActionStats ContinuousQueryExecutor::action_stats(

@@ -17,12 +17,17 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "comm/scan_broker.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/action_operator.h"
 #include "query/compile.h"
+#include "query/predicate_index.h"
 
 namespace aorta::query {
 
@@ -40,6 +45,18 @@ struct EvalStats {
   std::uint64_t programs_fallback = 0;  // expressions left on the tree walker
   std::uint64_t compiled_evals = 0;     // program executions (hot path)
   std::uint64_t fallback_evals = 0;     // tree-walk executions (hot path)
+};
+
+// Predicate-index matching counters (query/predicate_index.h): how many
+// tuple probes ran, how many candidate AQs they produced, how many of
+// those needed a residual program run vs. an exact-cover skip, and how
+// many registered AQs the index pruned away without evaluating.
+struct IndexStats {
+  std::uint64_t probes = 0;          // tuple probes against group indexes
+  std::uint64_t candidates = 0;      // candidate AQs emitted by probes
+  std::uint64_t residual_evals = 0;  // candidates confirmed by their program
+  std::uint64_t exact_skips = 0;     // candidates accepted without a run
+  std::uint64_t pruned = 0;          // indexed AQs skipped per probe
 };
 
 // One projected row of a one-shot SELECT.
@@ -76,6 +93,13 @@ class ContinuousQueryExecutor {
     // Worker shard index this executor runs on (-1 = unsharded engine),
     // forwarded to action operators so requests carry their owning shard.
     int shard = -1;
+    // Predicate-index matching (the sub-linear fan-out path): AQs with the
+    // same (type, period, phase, needed-attrs) share one broker
+    // subscription and a compiled-predicate index; each delivered tuple
+    // probes the index and only candidate AQs run their programs. false =
+    // exhaustive ablation: one subscription per AQ, every program runs on
+    // every tuple (the pre-index behaviour, byte-identical output).
+    bool predicate_index = true;
   };
 
   // Multi-tenant hooks a query can be registered with (src/server): an
@@ -93,6 +117,7 @@ class ContinuousQueryExecutor {
                           sync::Prober* prober, sync::LockManager* locks,
                           aorta::util::EventLoop* loop, Catalog* catalog,
                           aorta::util::Rng rng, Options options);
+  ~ContinuousQueryExecutor();
 
   // Register a compiled continuous query under `name`. Starts being
   // evaluated from the next epoch tick.
@@ -142,12 +167,24 @@ class ContinuousQueryExecutor {
   // ---- statistics --------------------------------------------------------
   const QueryStats* query_stats(const std::string& name) const;
   const EvalStats& eval_stats() const { return eval_stats_; }
+  const IndexStats& index_stats() const { return index_stats_; }
+  // Predicate-index entries across all delivery groups (== registered AQs
+  // on the indexed path) and the number of groups (broker subscriptions).
+  std::size_t index_entries() const;
+  std::size_t index_group_count() const { return groups_.size(); }
+
+  // Enroll `eval.index.*`-style counters/gauges under `prefix`. Per-type
+  // entry gauges ("<prefix>types.<type>.entries") enroll lazily as device
+  // types first gain an indexed AQ.
+  void set_index_metrics(obs::MetricsRegistry* metrics, std::string prefix);
   // Action outcomes per query, aggregated across all shared operators.
   QueryActionStats action_stats(const std::string& name) const;
   std::vector<const ActionOperator*> operators() const;
   sched::Scheduler* scheduler() { return scheduler_.get(); }
 
  private:
+  struct DeliveryGroup;
+
   struct Aq {
     std::string name;
     // Distinguishes this registration from an earlier one under the same
@@ -159,14 +196,67 @@ class ContinuousQueryExecutor {
     AqHooks hooks;
     std::string source_sql;
     CompiledQuery compiled;
-    // The query's subscription on the shared acquisition plane.
+    // The query's subscription on the shared acquisition plane. On the
+    // indexed path this is the owning group's shared subscription.
     comm::ScanBroker::SubscriptionId subscription = 0;
     std::uint64_t epoch_ticks = 1;  // evaluate every N engine epochs
-    // Event-predicate state per event device for edge detection.
+    // Event-predicate state per event device for edge detection
+    // (exhaustive path only; the indexed path uses last_true_seq).
     std::map<device::DeviceId, bool> last_state;
-    QueryStats stats;
+    // ---- indexed-path state ------------------------------------------
+    DeliveryGroup* group = nullptr;  // null on the exhaustive path
+    // Broker tick at registration: batches issued at or before it predate
+    // this member and are skipped (mirrors never-recycled sub ids).
+    std::uint64_t join_tick = 0;
+    // Group deliveries to discount when deriving this member's epochs
+    // stat (deliveries before the join, plus batches then in flight).
+    std::uint64_t epochs_base = 0;
+    // The index constraint covers the whole predicate set: candidacy
+    // alone proves a match, no residual program run needed.
+    bool index_exact = false;
+    // Edge detection under pruning: the group row sequence of the last
+    // row that satisfied the predicates, per device. A fire requires the
+    // immediately preceding delivered row to NOT have satisfied them —
+    // i.e. the stored seq is absent or != current seq - 1. Rows the
+    // index prunes are guaranteed unsatisfied and need no bookkeeping;
+    // rows the broker skips (unreachable devices) advance no sequence,
+    // exactly like the exhaustive path's untouched last_state.
+    std::map<device::DeviceId, std::uint64_t> last_true_seq;
+    // epochs is derived lazily on the indexed path (query_stats()).
+    mutable QueryStats stats;
     // Projection outputs at event time (bounded ring).
     std::deque<TimestampedRow> results;
+  };
+
+  // AQs sharing (event type, period, phase, needed attrs) are
+  // interchangeable from the broker's point of view: one subscription
+  // feeds them all, and a per-group PredicateIndex picks which members'
+  // programs each tuple runs. The key reproduces exactly the subscription
+  // the exhaustive path would have created per AQ, so due-ness, tuple
+  // projection and unreachable-device semantics are identical.
+  using GroupKey = std::tuple<device::DeviceTypeId, std::uint64_t,
+                              std::uint64_t, std::set<std::string>>;
+
+  struct DeliveryGroup {
+    GroupKey key;
+    device::DeviceTypeId type;
+    comm::ScanBroker::SubscriptionId subscription = 0;
+    PredicateIndex index;
+    std::map<std::uint64_t, Aq*> members;  // generation -> query
+    std::uint64_t deliveries = 0;          // batches fanned out so far
+    // Per-device count of rows delivered to this group (edge detection).
+    std::map<device::DeviceId, std::uint64_t> row_seq;
+  };
+
+  // One group's share of a broker batch, staged until the batch's
+  // delivery epilogue: members across all groups of the batch must be
+  // processed in one global generation-ordered pass to reproduce the
+  // exhaustive path's per-subscription side-effect order.
+  struct StagedBatch {
+    DeliveryGroup* group;
+    std::vector<comm::Tuple> tuples;
+    std::vector<std::uint64_t> seqs;  // row_seq assigned to each tuple
+    std::uint64_t issue_tick = 0;
   };
 
   static constexpr std::size_t kResultCap = 256;
@@ -174,6 +264,19 @@ class ContinuousQueryExecutor {
 
   void on_tick();
   void process_event_tuple(Aq& aq, const comm::Tuple& tuple);
+  // Indexed-path variants: stage a group's batch at fan-out, process all
+  // staged batches at the broker's delivery epilogue, evaluate one
+  // (member, tuple) pair. `candidate` distinguishes index candidates
+  // (constraint satisfied; maybe exact) from residual-list members.
+  void stage_group_batch(DeliveryGroup& group,
+                         const std::vector<comm::Tuple>& tuples,
+                         std::uint64_t issue_tick);
+  void process_staged();
+  void process_event_tuple_indexed(Aq& aq, const comm::Tuple& tuple,
+                                   std::uint64_t seq, bool candidate);
+  // Shared event tail (trace + projections + action fan-out), used by
+  // both matching paths once a fire is decided.
+  void fire_event(Aq& aq, const comm::Tuple& tuple, const BindingFrame& frame);
 
   // Candidate device enumeration for one action call of one event tuple.
   // `frame` carries the event tuple; the candidate slot is rebound per
@@ -207,6 +310,16 @@ class ContinuousQueryExecutor {
 
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::map<std::string, std::unique_ptr<Aq>> queries_;
+  // Indexed-path state: delivery groups (one broker subscription + one
+  // PredicateIndex each), the generation directory for epilogue-time
+  // re-resolution (user hooks may drop AQs mid-pass), and the batches
+  // staged between fan-out and the delivery epilogue.
+  std::map<GroupKey, std::unique_ptr<DeliveryGroup>> groups_;
+  std::map<std::uint64_t, Aq*> by_generation_;
+  std::vector<StagedBatch> staged_;
+  IndexStats index_stats_;
+  obs::MetricsRegistry::Scoped index_metrics_;
+  std::set<device::DeviceTypeId> index_metric_types_;
   std::map<std::string, std::unique_ptr<ActionOperator>> operators_;
   // Schemas backing candidate tuples (per device type, stable addresses).
   std::map<device::DeviceTypeId, std::unique_ptr<comm::Schema>> schemas_;

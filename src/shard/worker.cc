@@ -59,6 +59,7 @@ Worker::Worker(core::Aorta* host, Options options)
   exec_options.max_retries = options_.config.max_retries;
   exec_options.health = health_.get();
   exec_options.shard = options_.index;
+  exec_options.predicate_index = options_.config.predicate_index;
   executor_ = std::make_unique<query::ContinuousQueryExecutor>(
       registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
       locks_.get(), loop_, catalog_.get(), rng_.fork(), exec_options);
@@ -106,6 +107,8 @@ Worker::Worker(core::Aorta* host, Options options)
   metrics_.enroll_counter("eval.programs_compiled", &es.programs_compiled);
   metrics_.enroll_counter("eval.compiled_evals", &es.compiled_evals);
   metrics_.enroll_counter("eval.fallback_evals", &es.fallback_evals);
+  executor_->set_index_metrics(metrics_.registry(),
+                               metrics_.prefix() + "eval.index.");
   const net::RpcStats& rpc = comm_->engine().rpc().stats();
   metrics_.enroll_counter("network.rpc.completed", &rpc.completed);
   metrics_.enroll_counter("network.rpc.timeouts", &rpc.timeouts);

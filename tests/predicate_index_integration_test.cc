@@ -1,0 +1,203 @@
+// Engine-level predicate-index tests: the index is an *optimization*, so
+// a full simulated run with Config::predicate_index on must produce the
+// same per-AQ event stream as the exhaustive evaluator — including
+// glitchy devices, edge-triggered phase assignment, mixed periods, AQs
+// dropped mid-run, residual-only predicates and contradictions. Also
+// pins the register/drop churn invariants (satellite: a 1k-cycle churn
+// storm leaves no index debris and does not perturb surviving AQs) and
+// the polished continuous-avg() rejection message.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/aorta.h"
+#include "devices/signal.h"
+#include "util/time.h"
+
+namespace aorta {
+namespace {
+
+using util::Duration;
+
+// events / requests / epochs per AQ — everything QueryStats exposes.
+using AqStats = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+
+AqStats stats_of(const core::Aorta& sys, const std::string& name) {
+  const query::QueryStats* qs = sys.query_stats(name);
+  if (qs == nullptr) return {0, 0, 0};
+  return {qs->events, qs->requests_issued, qs->epochs};
+}
+
+// One deterministic scenario, parameterized only by the index switch.
+// Four motes with staggered spike signals (default glitch probability
+// kept, so read failures and degraded tuples occur), seven AQs covering
+// every index entry kind, a drop mid-run, and a non-default period.
+std::map<std::string, AqStats> run_scenario(bool indexed) {
+  core::Config cfg;
+  cfg.seed = 1309;
+  cfg.predicate_index = indexed;
+  core::Aorta sys(cfg);
+  for (int i = 0; i < 4; ++i) {
+    std::string id = "m" + std::to_string(i);
+    EXPECT_TRUE(sys.add_mote(id, {static_cast<double>(3 * i), 0, 1}).is_ok());
+    (void)sys.mote(id)->set_signal(
+        "accel_x", devices::periodic_spike_signal(
+                       50.0, 300.0 * (i + 1), Duration::seconds(8),
+                       Duration::seconds(2), Duration::seconds(i)));
+    (void)sys.mote(id)->set_signal(
+        "accel_y", devices::sine_signal(400.0, 350.0, 10.0,
+                                        0.7 * static_cast<double>(i)));
+  }
+
+  const char* aqs[] = {
+      // exact-cover lower bound (the paper's flagship predicate shape)
+      "CREATE AQ lower AS SELECT s.id, s.accel_x FROM sensor s "
+      "WHERE s.accel_x > 500",
+      // two-sided range, half-open
+      "CREATE AQ band AS SELECT s.id FROM sensor s "
+      "WHERE s.accel_x >= 400 AND s.accel_x < 800",
+      // contradictory conjuncts: kNever, must fire nothing
+      "CREATE AQ never AS SELECT s.id FROM sensor s "
+      "WHERE s.accel_x > 5000 AND s.accel_x < 10",
+      // string equality + numeric residual on another slot
+      "CREATE AQ strid AS SELECT s.accel_x FROM sensor s "
+      "WHERE s.id = 'm1' AND s.accel_x > 200",
+      // opaque arithmetic: stays on the residual list
+      "CREATE AQ resid AS SELECT s.id FROM sensor s "
+      "WHERE (s.accel_x + s.accel_y) > 900",
+      // non-default period: separate delivery group
+      "CREATE AQ slow EVERY 2 AS SELECT s.id FROM sensor s "
+      "WHERE s.accel_x >= 500",
+      // dropped mid-run below
+      "CREATE AQ victim AS SELECT s.id FROM sensor s "
+      "WHERE s.accel_x > 250",
+  };
+  for (const char* sql : aqs) {
+    auto r = sys.exec(sql);
+    EXPECT_TRUE(r.is_ok()) << sql << ": " << r.status().to_string();
+  }
+
+  sys.run_for(Duration::seconds(11));
+  std::map<std::string, AqStats> out;
+  out["victim"] = stats_of(sys, "victim");  // capture before the drop
+  EXPECT_TRUE(sys.exec("DROP AQ victim").is_ok());
+  sys.run_for(Duration::seconds(11));
+
+  for (const char* name : {"lower", "band", "never", "strid", "resid",
+                           "slow"}) {
+    out[name] = stats_of(sys, name);
+  }
+  // The scenario is only meaningful if things actually fire.
+  EXPECT_GT(std::get<0>(out["lower"]), 0u);
+  EXPECT_GT(std::get<0>(out["band"]), 0u);
+  EXPECT_GT(std::get<0>(out["resid"]), 0u);
+  EXPECT_GT(std::get<0>(out["victim"]), 0u);
+  EXPECT_EQ(std::get<0>(out["never"]), 0u);
+  return out;
+}
+
+TEST(PredicateIndexIntegrationTest, IndexedRunMatchesExhaustiveRun) {
+  std::map<std::string, AqStats> off = run_scenario(/*indexed=*/false);
+  std::map<std::string, AqStats> on = run_scenario(/*indexed=*/true);
+  ASSERT_EQ(on.size(), off.size());
+  for (const auto& [name, expected] : off) {
+    EXPECT_EQ(on.at(name), expected) << name;
+  }
+}
+
+// ------------------------------------------------------------------ churn
+
+// 1000 register/drop cycles around one long-lived AQ: index bookkeeping
+// must return exactly to the keeper-only baseline, and the keeper's event
+// stream must be identical to a churn-free control run over the same
+// simulated schedule.
+struct ChurnRun {
+  explicit ChurnRun(bool churn) {
+    core::Config cfg;
+    cfg.seed = 5;
+    sys = std::make_unique<core::Aorta>(cfg);
+    for (int i = 0; i < 3; ++i) {
+      std::string id = "m" + std::to_string(i);
+      (void)sys->add_mote(id, {static_cast<double>(2 * i), 0, 1});
+      (void)sys->mote(id)->set_signal(
+          "accel_x", devices::periodic_spike_signal(
+                         0.0, 900.0, Duration::seconds(6),
+                         Duration::seconds(2), Duration::seconds(i)));
+    }
+    EXPECT_TRUE(sys->exec("CREATE AQ keeper AS SELECT s.id, s.accel_x "
+                          "FROM sensor s WHERE s.accel_x > 500")
+                    .is_ok());
+    int cycle = 0;
+    for (int step = 0; step < 20; ++step) {
+      if (churn) {
+        // 50 register+drop cycles per step, 1000 total. Predicates are
+        // varied so the cycles hit every entry kind: same-shape entries
+        // that join the keeper's group, other-slot entries, residuals,
+        // contradictions, and string equality.
+        for (int k = 0; k < 50; ++k, ++cycle) {
+          std::string name = "churn" + std::to_string(cycle);
+          std::string where;
+          switch (cycle % 5) {
+            case 0: where = "s.accel_x > " + std::to_string(cycle); break;
+            case 1: where = "s.accel_x >= 100 AND s.accel_x < " +
+                            std::to_string(200 + cycle); break;
+            case 2: where = "s.id = 'm" + std::to_string(cycle % 3) + "'";
+                    break;
+            case 3: where = "(s.accel_x + s.accel_y) > 100"; break;
+            default: where = "s.accel_x > 10 AND s.accel_x < 5"; break;
+          }
+          EXPECT_TRUE(sys->exec("CREATE AQ " + name +
+                                " AS SELECT s.id, s.accel_x FROM sensor s "
+                                "WHERE " + where)
+                          .is_ok())
+              << where;
+          EXPECT_TRUE(sys->exec("DROP AQ " + name).is_ok());
+        }
+      }
+      sys->run_for(Duration::seconds(1));
+    }
+  }
+  std::unique_ptr<core::Aorta> sys;
+};
+
+TEST(PredicateIndexIntegrationTest, ThousandCycleChurnLeavesNoDebris) {
+  ChurnRun churn(/*churn=*/true);
+  // Only the keeper remains: one group, one index entry, nothing on the
+  // residual list, no leaked per-type gauge weight.
+  const obs::MetricsRegistry& m = churn.sys->metrics();
+  EXPECT_EQ(m.gauge_value("eval.index.entries"), 1);
+  EXPECT_EQ(m.gauge_value("eval.index.groups"), 1);
+  EXPECT_EQ(m.gauge_value("eval.index.types.sensor.entries"), 1);
+
+  ChurnRun control(/*churn=*/false);
+  EXPECT_EQ(stats_of(*churn.sys, "keeper"), stats_of(*control.sys, "keeper"));
+  EXPECT_GT(std::get<0>(stats_of(*churn.sys, "keeper")), 0u);
+}
+
+// ------------------------------------------------------- avg() rejection
+
+TEST(PredicateIndexIntegrationTest,
+     ContinuousAvgRejectionMentionsOneShotSupport) {
+  core::Config cfg;
+  cfg.seed = 3;
+  core::Aorta sys(cfg);
+  ASSERT_TRUE(sys.add_mote("m0", {0, 0, 1}).is_ok());
+  auto r = sys.exec(
+      "CREATE AQ bad AS SELECT avg(s.temp) FROM sensor s "
+      "WHERE s.temp > 20");
+  ASSERT_FALSE(r.is_ok());
+  const std::string msg = r.status().message();
+  // Continuous aggregates stay rejected...
+  EXPECT_NE(msg.find("aggregates"), std::string::npos) << msg;
+  // ...but since one-shot avg() merges (sum, count) partials, the error
+  // must point users at the supported spelling.
+  EXPECT_NE(msg.find("one-shot"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("avg"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace aorta

@@ -60,11 +60,11 @@ TEST_F(BrokerFixture, UnionScanFetchesEachDeviceOncePerEpoch) {
   std::vector<comm::Tuple> temp_rows;
   std::vector<comm::Tuple> light_rows;
   (void)broker.subscribe("sensor", {"temp"}, 1,
-                         [&](const std::vector<comm::Tuple>& t) {
+                         [&](const std::vector<comm::Tuple>& t, std::uint64_t) {
                            temp_rows = t;
                          });
   (void)broker.subscribe("sensor", {"light"}, 1,
-                         [&](const std::vector<comm::Tuple>& t) {
+                         [&](const std::vector<comm::Tuple>& t, std::uint64_t) {
                            light_rows = t;
                          });
 
@@ -103,7 +103,7 @@ TEST_F(BrokerFixture, FreshnessCacheServesRepeatScansWithoutRpcs) {
 
   std::size_t deliveries = 0;
   (void)broker.subscribe("sensor", {"temp"}, 1,
-                         [&](const std::vector<comm::Tuple>& t) {
+                         [&](const std::vector<comm::Tuple>& t, std::uint64_t) {
                            ++deliveries;
                            EXPECT_EQ(t.size(), 2u);
                          });
@@ -150,7 +150,7 @@ TEST_F(BrokerFixture, UnsubscribeWhileInFlightSuppressesDelivery) {
   bool delivered = false;
   comm::ScanBroker::SubscriptionId id = broker.subscribe(
       "sensor", {"temp"}, 1,
-      [&](const std::vector<comm::Tuple>&) { delivered = true; });
+      [&](const std::vector<comm::Tuple>&, std::uint64_t) { delivered = true; });
 
   bool flushed = false;
   broker.tick([&]() { flushed = true; });  // reads now in flight
@@ -171,12 +171,12 @@ TEST_F(BrokerFixture, UnreachableDeviceSkippedOnlyForAffectedSubscribers) {
   std::vector<comm::Tuple> sensory_rows;
   std::vector<comm::Tuple> static_rows;
   (void)broker.subscribe("sensor", {"temp"}, 1,
-                         [&](const std::vector<comm::Tuple>& t) {
+                         [&](const std::vector<comm::Tuple>& t, std::uint64_t) {
                            sensory_rows = t;
                          });
   // Needs only the non-sensory `loc`: the dead radio is irrelevant to it.
   (void)broker.subscribe("sensor", {"loc"}, 1,
-                         [&](const std::vector<comm::Tuple>& t) {
+                         [&](const std::vector<comm::Tuple>& t, std::uint64_t) {
                            static_rows = t;
                          });
 
@@ -198,9 +198,9 @@ TEST_F(BrokerFixture, CoalesceOffRevertsToPrivatePerQueryScans) {
   comm::ScanBroker broker(&registry, &comm, &loop, opts);
 
   (void)broker.subscribe("sensor", {"temp"}, 1,
-                         [](const std::vector<comm::Tuple>&) {});
+                         [](const std::vector<comm::Tuple>&, std::uint64_t) {});
   (void)broker.subscribe("sensor", {"temp"}, 1,
-                         [](const std::vector<comm::Tuple>&) {});
+                         [](const std::vector<comm::Tuple>&, std::uint64_t) {});
   broker.tick({});
   loop.run_all();
 
@@ -214,9 +214,9 @@ TEST_F(BrokerFixture, CoalesceOffRevertsToPrivatePerQueryScans) {
 TEST_F(BrokerFixture, EffectiveCadenceIsGcdOfSubscriberPeriods) {
   comm::ScanBroker broker(&registry, &comm, &loop);
   (void)broker.subscribe("sensor", {}, 4,
-                         [](const std::vector<comm::Tuple>&) {});
+                         [](const std::vector<comm::Tuple>&, std::uint64_t) {});
   (void)broker.subscribe("sensor", {}, 6,
-                         [](const std::vector<comm::Tuple>&) {});
+                         [](const std::vector<comm::Tuple>&, std::uint64_t) {});
   EXPECT_EQ(broker.effective_period_ticks("sensor"), 2u);
   EXPECT_EQ(broker.subscriber_count("sensor"), 2u);
   EXPECT_EQ(broker.effective_period_ticks("camera"), 0u);
@@ -226,7 +226,7 @@ TEST_F(BrokerFixture, EmptyTableDeliversEmptyBatchSynchronously) {
   comm::ScanBroker broker(&registry, &comm, &loop);
   bool delivered = false;
   (void)broker.subscribe("camera", {}, 1,
-                         [&](const std::vector<comm::Tuple>& t) {
+                         [&](const std::vector<comm::Tuple>& t, std::uint64_t) {
                            delivered = true;
                            EXPECT_TRUE(t.empty());
                          });

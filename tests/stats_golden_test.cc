@@ -96,11 +96,27 @@ TEST(StatsGoldenTest, RegistryValuesMatchPreRegistryCapture) {
   EXPECT_EQ(m.counter_value("health.probes_sent"), 0u);
   EXPECT_EQ(m.counter_value("health.probes_failed"), 0u);
 
-  // compiled evaluation.
+  // compiled evaluation. compiled_evals dropped from the pre-index 22
+  // when the predicate index started pruning non-matching tuples before
+  // the program ever runs (see eval.index.pruned below); the remaining
+  // 4 runs belong to the one-shot SELECT.
   EXPECT_EQ(m.counter_value("eval.programs_compiled"), 5u);
   EXPECT_EQ(m.counter_value("eval.programs_fallback"), 0u);
-  EXPECT_EQ(m.counter_value("eval.compiled_evals"), 22u);
+  EXPECT_EQ(m.counter_value("eval.compiled_evals"), 4u);
   EXPECT_EQ(m.counter_value("eval.fallback_evals"), 0u);
+
+  // predicate index: one delivery group (one AQ), every delivered tuple
+  // probed. Under seed 11 no sensor sample ever exceeds 500, so the lower
+  // bound prunes every tuple — the 18 eliminated probes are exactly the
+  // 18 predicate runs compiled_evals lost versus its pre-index value.
+  EXPECT_EQ(m.gauge_value("eval.index.entries"), 1);
+  EXPECT_EQ(m.gauge_value("eval.index.groups"), 1);
+  EXPECT_EQ(m.counter_value("eval.index.probes"), 18u);
+  EXPECT_EQ(m.counter_value("eval.index.candidates"), 0u);
+  EXPECT_EQ(m.counter_value("eval.index.exact_skips"), 0u);
+  EXPECT_EQ(m.counter_value("eval.index.residual_evals"), 0u);
+  EXPECT_EQ(m.counter_value("eval.index.pruned"), 18u);
+  EXPECT_EQ(m.gauge_value("eval.index.types.sensor.entries"), 1);
 
   // tenants.
   for (const char* t : {"alice", "bob"}) {
