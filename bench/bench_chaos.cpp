@@ -282,6 +282,156 @@ ShardedResult run_sharded() {
   return m;
 }
 
+// ---- backplane storm section -----------------------------------------------
+//
+// The reliable backplane (DESIGN.md §14) under a sustained czar-link storm:
+// 10% chaos loss, 1.5x duplication, 30% reordering (4 ms window) and a
+// 2 ms fixed delay on every czar<->worker traversal for 45 of 60 simulated
+// seconds. The chaos draws come from the isolated constant-seeded stream,
+// so the storm run and the clean run of the same seed produce identical
+// worker-side rows — any difference in what the client sees is the
+// backplane protocol's fault. Gates:
+//
+//   * the storm run's delivered rows (up to a convergence cutoff) are
+//     byte-identical to the clean run's: zero lost, zero duplicated,
+//     unchanged order;
+//   * the machinery demonstrably engaged (duplicates dropped, gaps NACKed
+//     and replayed, chaos drops counted) and the replay buffer stayed
+//     bounded;
+//   * an AQ registered mid-storm still lands (ReliableCall retries);
+//   * the ablation arm (Config::reliable_backplane = false) visibly loses
+//     rows — the fail-fast path this PR replaced.
+
+constexpr double kStormSimSeconds = 60.0;
+// Rows produced after this instant are excluded from the identity gate:
+// the storm ends at t=50 and both runs' merge frontiers have provably
+// converged again a heartbeat or two later.
+constexpr double kStormCutoffS = 55.0;
+
+const char* kStormPlanXml =
+    "<fault_plan>"
+    "<event at=\"5\" kind=\"loss\" device=\"czar\" prob=\"0.1\" for=\"45\"/>"
+    "<event at=\"5\" kind=\"duplicate\" device=\"czar\" factor=\"1.5\""
+    " for=\"45\"/>"
+    "<event at=\"5\" kind=\"reorder\" device=\"czar\" prob=\"0.3\""
+    " window=\"0.004\" for=\"45\"/>"
+    "<event at=\"5\" kind=\"delay\" device=\"czar\" add=\"0.002\""
+    " for=\"45\"/>"
+    "</fault_plan>";
+
+struct StormResult {
+  std::uint64_t delivered = 0;         // released rows, whole run
+  std::uint64_t cutoff_delivered = 0;  // released rows with at <= cutoff
+  std::string row_log;                 // rows with at <= cutoff (identity)
+  std::uint64_t late_rows = 0;         // rows of the mid-storm AQ
+  std::uint64_t dup_msgs_dropped = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t replay_sent = 0;
+  std::uint64_t replay_hwm = 0;
+  std::uint64_t replay_depth_end = 0;
+  std::uint64_t dropped_chaos = 0;
+  std::uint64_t chaos_dup_copies = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t giveups = 0;
+};
+
+StormResult run_storm(bool storm, bool reliable, bool midstorm_aq) {
+  aorta::core::Config cfg;
+  cfg.seed = 42;
+  cfg.reliable_backplane = reliable;
+  aorta::core::Aorta sys(cfg);
+  aorta::shard::Plane::Options po;
+  po.num_shards = 2;
+  aorta::shard::Plane plane(&sys, po);
+  for (int i = 0; i < 8; ++i) {
+    std::string id = "m" + std::to_string(i);
+    (void)plane.add_mote(id, {static_cast<double>(i * 2), 0, 1});
+    plane.mote(id)->reliability().glitch_prob = 0.0;
+    (void)sys.network().set_link(id, aorta::net::LinkModel::perfect());
+    (void)plane.mote(id)->set_signal(
+        "temp", aorta::devices::constant_signal(20.0 + i));
+  }
+
+  StormResult m;
+  std::vector<RowRecord> rows;
+  aorta::core::ExecOptions opt;
+  opt.on_row = [&rows](const std::string&,
+                       const aorta::query::TimestampedRow& r) {
+    const std::string* id =
+        r.row.empty() ? nullptr : std::get_if<std::string>(&r.row[0].second);
+    rows.push_back(RowRecord{r.at.to_micros(), id != nullptr ? *id : "?",
+                             r.degraded});
+  };
+  bool registered = false;
+  plane.exec_async("CREATE AQ mon AS SELECT s.id, s.temp FROM sensor s",
+                   std::move(opt),
+                   [&](aorta::util::Result<aorta::core::ExecResult> r) {
+                     registered = r.is_ok();
+                   });
+  if (midstorm_aq) {
+    // Registered from inside the storm window: the fragment RPCs must be
+    // retried through the chaos loss to ever produce a row. Several
+    // registrations spread across the window so at least one round trip
+    // meets a chaos drop. Kept out of the identity scenario — a
+    // registration instant (and thus its first epoch) legitimately
+    // depends on how many retries it took.
+    for (double at_s : {20.0, 26.0, 32.0, 38.0}) {
+      sys.loop().schedule(Duration::seconds(at_s), [&plane, &m, at_s]() {
+        aorta::core::ExecOptions late;
+        late.on_row = [&m](const std::string&,
+                           const aorta::query::TimestampedRow&) {
+          ++m.late_rows;
+        };
+        plane.exec_async(
+            "CREATE AQ late" + std::to_string(static_cast<int>(at_s)) +
+                " AS SELECT s.temp FROM sensor s WHERE s.temp > 21",
+            std::move(late),
+            [](aorta::util::Result<aorta::core::ExecResult>) {});
+      });
+    }
+  }
+  if (storm) {
+    auto plan = aorta::util::FaultPlan::from_xml(kStormPlanXml);
+    if (!plan.is_ok() || !plane.apply_fault_plan(plan.value()).is_ok()) {
+      std::fprintf(stderr, "storm fault plan rejected\n");
+      std::exit(2);
+    }
+  }
+  sys.run_for(Duration::seconds(kStormSimSeconds));
+  if (!registered) {
+    std::fprintf(stderr, "storm CREATE AQ failed\n");
+    std::exit(2);
+  }
+
+  m.delivered = rows.size();
+  const std::int64_t cutoff_us = static_cast<std::int64_t>(kStormCutoffS * 1e6);
+  for (const RowRecord& r : rows) {
+    if (r.at_us > cutoff_us) continue;
+    ++m.cutoff_delivered;
+    m.row_log += std::to_string(r.at_us) + "|" + r.device + "|" +
+                 (r.degraded ? "d" : "f") + "\n";
+  }
+  const aorta::shard::CzarStats& cs = plane.czar().stats();
+  m.dup_msgs_dropped = cs.dup_msgs_dropped;
+  m.nacks_sent = cs.nacks_sent;
+  m.acks_sent = cs.acks_sent;
+  const aorta::net::ReliableCallStats& rs = plane.czar().reliable_stats();
+  m.retries = rs.retries;
+  m.giveups = rs.giveups;
+  for (int i = 0; i < po.num_shards; ++i) {
+    const aorta::shard::WorkerStats& ws = plane.worker(i).stats();
+    m.replay_sent += ws.replay_sent;
+    if (ws.replay_hwm > m.replay_hwm) m.replay_hwm = ws.replay_hwm;
+    m.replay_depth_end += plane.worker(i).replay_depth();
+  }
+  // Czar-link chaos lands on the control segment: outbound acks/NACKs at
+  // send, inbound worker streams at delivery (their dst traversal).
+  m.dropped_chaos = sys.network().stats().dropped_chaos;
+  m.chaos_dup_copies = sys.network().stats().chaos_dup_copies;
+  return m;
+}
+
 void mode_json(aorta::util::JsonWriter& w, const ModeResult& m,
                double availability) {
   w.begin_object();
@@ -365,6 +515,52 @@ int main() {
   std::printf("  %-34s %8s\n", "deterministic",
               sharded_deterministic ? "yes" : "NO");
 
+  // ---- backplane storm run -------------------------------------------------
+  StormResult clean = run_storm(/*storm=*/false, /*reliable=*/true,
+                                /*midstorm_aq=*/false);
+  StormResult st = run_storm(/*storm=*/true, /*reliable=*/true,
+                             /*midstorm_aq=*/false);
+  StormResult st_again = run_storm(/*storm=*/true, /*reliable=*/true,
+                                   /*midstorm_aq=*/false);
+  StormResult abl = run_storm(/*storm=*/true, /*reliable=*/false,
+                              /*midstorm_aq=*/false);
+  StormResult mid = run_storm(/*storm=*/true, /*reliable=*/true,
+                              /*midstorm_aq=*/true);
+  bool storm_identical = st.row_log == clean.row_log;
+  bool storm_deterministic = st.row_log == st_again.row_log &&
+                             st.nacks_sent == st_again.nacks_sent &&
+                             st.replay_sent == st_again.replay_sent;
+  std::uint64_t ablation_lost = abl.cutoff_delivered < clean.cutoff_delivered
+                                    ? clean.cutoff_delivered -
+                                          abl.cutoff_delivered
+                                    : 0;
+  std::printf("\nBackplane storm (2 shards, 8 motes; czar link 10%% loss + "
+              "1.5x dup + reorder + 2 ms delay t=[5, 50) of %g s):\n",
+              kStormSimSeconds);
+  std::printf("  %-34s %8llu\n", "rows delivered (clean run)",
+              static_cast<unsigned long long>(clean.delivered));
+  std::printf("  %-34s %8llu\n", "rows delivered (storm run)",
+              static_cast<unsigned long long>(st.delivered));
+  std::printf("  %-34s %8s\n", "storm == clean (to cutoff)",
+              storm_identical ? "yes" : "NO");
+  std::printf("  %-34s %8llu\n", "chaos drops on the backplane",
+              static_cast<unsigned long long>(st.dropped_chaos));
+  std::printf("  %-34s %8llu\n", "duplicate msgs dropped (czar)",
+              static_cast<unsigned long long>(st.dup_msgs_dropped));
+  std::printf("  %-34s %8llu / %llu\n", "NACKs sent / replays answered",
+              static_cast<unsigned long long>(st.nacks_sent),
+              static_cast<unsigned long long>(st.replay_sent));
+  std::printf("  %-34s %8llu\n", "replay buffer high-water mark",
+              static_cast<unsigned long long>(st.replay_hwm));
+  std::printf("  %-34s %8llu\n", "mid-storm registration retries",
+              static_cast<unsigned long long>(mid.retries));
+  std::printf("  %-34s %8llu\n", "mid-storm AQ rows",
+              static_cast<unsigned long long>(mid.late_rows));
+  std::printf("  %-34s %8llu\n", "rows lost with ablation flag",
+              static_cast<unsigned long long>(ablation_lost));
+  std::printf("  %-34s %8s\n", "deterministic",
+              storm_deterministic ? "yes" : "NO");
+
   aorta::util::JsonWriter w(2);
   w.begin_object();
   w.kv("motes", kMotes);
@@ -389,6 +585,27 @@ int main() {
   w.kv("quarantines", sh.quarantines);
   w.kv("marker_ok", sh.marker_ok);
   w.kv("deterministic", sharded_deterministic);
+  w.end_object();
+  w.key("storm").begin_object();
+  w.kv("clean_delivered", clean.delivered);
+  w.kv("storm_delivered", st.delivered);
+  w.kv("clean_cutoff_delivered", clean.cutoff_delivered);
+  w.kv("storm_cutoff_delivered", st.cutoff_delivered);
+  w.kv("identical", storm_identical);
+  w.kv("deterministic", storm_deterministic);
+  w.kv("dropped_chaos", st.dropped_chaos);
+  w.kv("chaos_dup_copies", st.chaos_dup_copies);
+  w.kv("dup_msgs_dropped", st.dup_msgs_dropped);
+  w.kv("nacks_sent", st.nacks_sent);
+  w.kv("acks_sent", st.acks_sent);
+  w.kv("replay_sent", st.replay_sent);
+  w.kv("replay_hwm", st.replay_hwm);
+  w.kv("replay_depth_end", st.replay_depth_end);
+  w.kv("giveups", st.giveups);
+  w.kv("midstorm_retries", mid.retries);
+  w.kv("midstorm_aq_rows", mid.late_rows);
+  w.kv("ablation_delivered", abl.cutoff_delivered);
+  w.kv("ablation_lost", ablation_lost);
   w.end_object();
   w.end_object();
   std::ofstream out("results/bench_chaos.json");
@@ -436,6 +653,36 @@ int main() {
   }
   if (!sharded_deterministic) {
     std::printf("WARNING: sharded runs diverged across same-seed replays\n");
+    rc = 1;
+  }
+  if (!storm_identical) {
+    std::printf("WARNING: storm run lost, duplicated or reordered delivered "
+                "rows vs the clean run\n");
+    rc = 1;
+  }
+  if (st.dup_msgs_dropped == 0 || st.nacks_sent == 0 || st.replay_sent == 0 ||
+      st.dropped_chaos == 0) {
+    std::printf("WARNING: backplane storm did not exercise the reliability "
+                "protocol\n");
+    rc = 1;
+  }
+  if (st.replay_hwm == 0 || st.replay_hwm >= 1024) {
+    std::printf("WARNING: replay buffer high-water mark %llu out of bounds\n",
+                static_cast<unsigned long long>(st.replay_hwm));
+    rc = 1;
+  }
+  if (mid.retries == 0 || mid.late_rows == 0) {
+    std::printf("WARNING: mid-storm registration did not retry its way "
+                "through\n");
+    rc = 1;
+  }
+  if (ablation_lost == 0) {
+    std::printf("WARNING: ablation arm lost no rows — the storm is not "
+                "punishing the fail-fast path\n");
+    rc = 1;
+  }
+  if (!storm_deterministic) {
+    std::printf("WARNING: storm runs diverged across same-seed replays\n");
     rc = 1;
   }
   return rc;

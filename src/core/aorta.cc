@@ -105,6 +105,10 @@ void Aorta::enroll_system_metrics() {
   metrics_.enroll_counter("network.dropped_partition", &net.dropped_partition);
   metrics_.enroll_counter("network.dropped_offline", &net.dropped_offline);
   metrics_.enroll_counter("network.bounced", &net.bounced);
+  metrics_.enroll_counter("network.dropped_chaos", &net.dropped_chaos);
+  metrics_.enroll_counter("network.chaos_dup_copies", &net.chaos_dup_copies);
+  metrics_.enroll_counter("network.chaos_reordered", &net.chaos_reordered);
+  metrics_.enroll_counter("network.chaos_delayed", &net.chaos_delayed);
 
   const net::RpcStats& rpc = comm_->engine().rpc().stats();
   metrics_.enroll_counter("network.rpc.completed", &rpc.completed);
@@ -488,6 +492,9 @@ Status schedule_fault_plan(
       case util::FaultEvent::Kind::kPartition:
       case util::FaultEvent::Kind::kHeal:
       case util::FaultEvent::Kind::kLossSpike:
+      case util::FaultEvent::Kind::kDuplicateSpike:
+      case util::FaultEvent::Kind::kReorderSpike:
+      case util::FaultEvent::Kind::kDelaySpike:
         if (!network->attached(e.target)) {
           return aorta::util::not_found_error(
               "fault plan targets unattached node: " + e.target);
@@ -523,17 +530,64 @@ void schedule_fault_event(
       case util::FaultEvent::Kind::kHeal:
         network->heal(e.target);
         break;
-      case util::FaultEvent::Kind::kLossSpike: {
+      case util::FaultEvent::Kind::kLossSpike:
+      case util::FaultEvent::Kind::kDuplicateSpike:
+      case util::FaultEvent::Kind::kReorderSpike:
+      case util::FaultEvent::Kind::kDelaySpike: {
         // Capture the link as it is *now* (it may have changed since the
         // plan was applied) and restore it when the spike interval ends.
+        // All four verbs perturb the chaos_* fields, which draw from the
+        // network's dedicated chaos RNG: injecting them never shifts the
+        // main traffic streams (see net::LinkModel). Spike and restore
+        // each touch only this verb's own fields against the link's state
+        // at that moment, so overlapping spikes on one link (a storm
+        // stacking loss + duplicate + reorder + delay) compose and
+        // un-compose independently instead of clobbering each other with
+        // whole-link snapshots.
         const net::LinkModel* current = network->link(e.target);
         if (current == nullptr) break;
-        net::LinkModel restored = *current;
-        net::LinkModel spiked = restored;
-        spiked.loss_prob = e.prob;
+        const net::LinkModel before = *current;
+        net::LinkModel spiked = before;
+        switch (e.kind) {
+          case util::FaultEvent::Kind::kLossSpike:
+            spiked.chaos_loss_prob = e.prob;
+            break;
+          case util::FaultEvent::Kind::kDuplicateSpike:
+            spiked.chaos_dup_factor = e.factor;
+            break;
+          case util::FaultEvent::Kind::kReorderSpike:
+            spiked.chaos_reorder_prob = e.prob;
+            spiked.chaos_reorder_window_s = e.window_s;
+            break;
+          case util::FaultEvent::Kind::kDelaySpike:
+            spiked.chaos_delay_s = e.add_s;
+            break;
+          default:
+            break;
+        }
         (void)network->set_link(e.target, spiked);
-        loop->schedule(Duration::seconds(e.for_s), [network, e, restored]() {
-          (void)network->set_link(e.target, restored);
+        loop->schedule(Duration::seconds(e.for_s), [network, e, before]() {
+          const net::LinkModel* cur = network->link(e.target);
+          if (cur == nullptr) return;
+          net::LinkModel next = *cur;
+          switch (e.kind) {
+            case util::FaultEvent::Kind::kLossSpike:
+              next.chaos_loss_prob = before.chaos_loss_prob;
+              break;
+            case util::FaultEvent::Kind::kDuplicateSpike:
+              next.chaos_dup_factor = before.chaos_dup_factor;
+              break;
+            case util::FaultEvent::Kind::kReorderSpike:
+              next.chaos_reorder_prob = before.chaos_reorder_prob;
+              next.chaos_reorder_window_s = before.chaos_reorder_window_s;
+              break;
+            case util::FaultEvent::Kind::kDelaySpike:
+              next.chaos_delay_s = before.chaos_delay_s;
+              break;
+            default:
+              break;
+          }
+          (void)network->set_link(e.target, next);
         });
         break;
       }

@@ -93,12 +93,24 @@ struct Config {
   // hop — or cross-loop deliveries would land inside an open window and
   // get clamped to the next barrier (counted runtime.<i>.posts_clamped).
   aorta::util::Duration runtime_quantum = aorta::util::Duration::micros(400);
+  // Reliable backplane (DESIGN.md §14): czar->worker fragment RPCs retry
+  // with capped exponential backoff behind per-peer budgets and circuit
+  // breakers; workers dedup requests by idempotency key and retain
+  // sequenced result messages for NACK-driven retransmission until the
+  // czar acks them. false restores the fail-fast pre-§14 path (single
+  // attempt, no acks/replay) — the chaos benches' ablation arm.
+  bool reliable_backplane = true;
 };
 
 // Result of exec(): DDL statements return a message; SELECT returns rows.
 struct ExecResult {
   std::string message;
   std::vector<query::Row> rows;
+  // Sharded one-shot SELECTs: how many shards contributed a partial out of
+  // how many exist. answered < total marks a partial result (some shard
+  // timed out or was down). -1/-1 everywhere else (unsharded, DDL).
+  int shards_answered = -1;
+  int shards_total = -1;
 };
 
 // Session-scoped execution options for the multi-tenant service layer

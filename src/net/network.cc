@@ -48,6 +48,10 @@ Network::~Network() {
 void Network::join_fabric(Fabric* fabric, int loop_index) {
   fabric_ = fabric;
   loop_index_ = loop_index;
+  // Re-salt the chaos stream per segment so each loop's perturbations are
+  // independent yet reproducible (constant-derived, never forked from the
+  // main rng — see the header).
+  chaos_rng_ = aorta::util::Rng(kChaosSeed ^ static_cast<std::uint64_t>(loop_index));
   fabric_->add_segment(loop_index, this);
   for (const auto& [id, node] : nodes_) {
     fabric_->node_attached(id, loop_index_, node.link);
@@ -142,6 +146,35 @@ double Network::sample_delay_s(const LinkModel& link, std::size_t bytes) {
   return std::max(0.0, latency) + serialization;
 }
 
+bool Network::apply_chaos(const LinkModel& link, double* delay_s, int* copies) {
+  if (!link.has_chaos()) return true;
+  if (link.chaos_loss_prob > 0.0 && chaos_rng_.chance(link.chaos_loss_prob)) {
+    ++stats_.dropped_chaos;
+    return false;
+  }
+  if (link.chaos_delay_s > 0.0) {
+    *delay_s += link.chaos_delay_s;
+    ++stats_.chaos_delayed;
+  }
+  if (link.chaos_reorder_prob > 0.0 &&
+      chaos_rng_.chance(link.chaos_reorder_prob)) {
+    *delay_s += chaos_rng_.uniform(0.0, link.chaos_reorder_window_s);
+    ++stats_.chaos_reordered;
+  }
+  if (link.chaos_dup_factor > 1.0) {
+    const double extra = link.chaos_dup_factor - 1.0;
+    int n = 1 + static_cast<int>(extra);
+    if (chaos_rng_.chance(extra - static_cast<int>(extra))) ++n;
+    *copies *= n;
+  }
+  return true;
+}
+
+double Network::chaos_copy_spread_s(const LinkModel& link) {
+  const double window = std::max(link.chaos_reorder_window_s, 0.001);
+  return chaos_rng_.uniform(0.0, window);
+}
+
 void Network::send(Message msg) {
   ++stats_.sent;
 
@@ -169,21 +202,35 @@ void Network::send(Message msg) {
   }
 
   // Traverse the source link (if the source is a modelled node) and the
-  // destination link; loss on either drops the message.
+  // destination link; loss on either drops the message. Main-rng draws
+  // (loss, latency) keep their historic order; chaos perturbations draw
+  // from the separate chaos stream after each traversal.
   double delay_s = 0.0;
+  int copies = 1;
   if (src_it != nodes_.end()) {
     if (rng_.chance(src_it->second.link.loss_prob)) {
       ++stats_.dropped_loss;
       return;
     }
     delay_s += sample_delay_s(src_it->second.link, msg.payload_bytes);
+    if (!apply_chaos(src_it->second.link, &delay_s, &copies)) return;
   }
   if (rng_.chance(dst_it->second.link.loss_prob)) {
     ++stats_.dropped_loss;
     return;
   }
   delay_s += sample_delay_s(dst_it->second.link, msg.payload_bytes);
+  if (!apply_chaos(dst_it->second.link, &delay_s, &copies)) return;
 
+  for (int i = 1; i < copies; ++i) {
+    ++stats_.chaos_dup_copies;
+    schedule_local_delivery(msg,
+                            delay_s + chaos_copy_spread_s(dst_it->second.link));
+  }
+  schedule_local_delivery(std::move(msg), delay_s);
+}
+
+void Network::schedule_local_delivery(Message msg, double delay_s) {
   NodeId dst = msg.dst;
   loop_->schedule(Duration::seconds(delay_s),
                   [this, dst, m = std::move(msg)]() {
@@ -218,6 +265,7 @@ void Network::cross_send(Message msg, int dst_loop, const LinkModel& dst_link) {
     return;
   }
   double delay_s = 0.0;
+  int copies = 1;
   auto src_it = nodes_.find(msg.src);
   if (src_it != nodes_.end()) {
     if (rng_.chance(src_it->second.link.loss_prob)) {
@@ -225,7 +273,15 @@ void Network::cross_send(Message msg, int dst_loop, const LinkModel& dst_link) {
       return;
     }
     delay_s += sample_delay_s(src_it->second.link, msg.payload_bytes);
+    if (!apply_chaos(src_it->second.link, &delay_s, &copies)) return;
   }
+  // Base destination-link traversal is sampled here, from the sender's
+  // streams (the fabric's link-model copy; the backplane draws nothing).
+  // The destination link's *chaos* is NOT applied here: a fault-plan spike
+  // mutates the link at a virtual instant on its home loop, and whether a
+  // remote sender's directory read sees it would depend on physical thread
+  // timing. deliver_remote applies it on the destination loop instead,
+  // against the canonical link state — deterministic at any thread count.
   if (rng_.chance(dst_link.loss_prob)) {
     ++stats_.dropped_loss;
     return;
@@ -235,6 +291,17 @@ void Network::cross_send(Message msg, int dst_loop, const LinkModel& dst_link) {
 
   Network* dst_segment = fabric_->segment(dst_loop);
   const int src_loop = loop_index_;
+  for (int i = 1; i < copies; ++i) {
+    ++stats_.chaos_dup_copies;
+    Message copy = msg;
+    fabric_->group()->post(
+        loop_index_, dst_loop,
+        loop_->now() +
+            Duration::seconds(delay_s + chaos_copy_spread_s(dst_link)),
+        [dst_segment, src_loop, m = std::move(copy)]() mutable {
+          dst_segment->deliver_remote(std::move(m), src_loop);
+        });
+  }
   fabric_->group()->post(
       loop_index_, dst_loop, loop_->now() + Duration::seconds(delay_s),
       [dst_segment, src_loop, m = std::move(msg)]() mutable {
@@ -251,6 +318,23 @@ void Network::deliver_remote(Message msg, int src_loop) {
     ++stats_.dropped_no_route;
     bounce_remote(msg, src_loop);
     return;
+  }
+  // Destination-link chaos for cross-segment traffic is applied here, on
+  // the loop that owns the link's canonical state and chaos stream (see
+  // cross_send). The chaos-free path falls straight through.
+  if (it->second.link.has_chaos()) {
+    double delay_s = 0.0;
+    int copies = 1;
+    if (!apply_chaos(it->second.link, &delay_s, &copies)) return;
+    if (delay_s > 0.0 || copies > 1) {
+      for (int i = 1; i < copies; ++i) {
+        ++stats_.chaos_dup_copies;
+        schedule_local_delivery(
+            msg, delay_s + chaos_copy_spread_s(it->second.link));
+      }
+      schedule_local_delivery(std::move(msg), delay_s);
+      return;
+    }
   }
   if (is_partitioned(msg.dst)) {
     ++stats_.dropped_partition;

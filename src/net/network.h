@@ -30,11 +30,35 @@ namespace aorta::net {
 
 // Per-node link characteristics. Latency is sampled per message as
 // max(0, normal(latency_mean, latency_jitter)).
+//
+// The chaos_* fields are fault-injection perturbations (FaultPlan loss /
+// duplicate / reorder / delay spikes). They draw from a *separate*,
+// constant-seeded RNG stream so that enabling them never shifts the main
+// traffic streams: a chaotic run and a clean run of the same seed produce
+// bit-identical device traffic, which is what lets the reliable backplane
+// prove byte-identical delivery under a 10%-loss storm (DESIGN.md §14).
+// Each traversal's chaos is applied by the segment that owns the link's
+// canonical state: the source link at send time, and — for cross-segment
+// traffic — the destination link at delivery time on its home loop, so a
+// mid-run spike takes effect at one exact virtual instant per loop
+// regardless of the thread count.
 struct LinkModel {
   double latency_mean_s = 0.002;
   double latency_jitter_s = 0.0005;
   double loss_prob = 0.0;               // per-traversal drop probability
   double bandwidth_bytes_per_s = 1e7;   // serialization delay = size/bw
+
+  // Injected perturbations (all inert at their defaults).
+  double chaos_loss_prob = 0.0;         // extra per-traversal drop probability
+  double chaos_dup_factor = 1.0;        // mean delivered copies per message (>= 1)
+  double chaos_reorder_prob = 0.0;      // probability of an extra reorder delay
+  double chaos_reorder_window_s = 0.0;  // reorder delay ~ uniform(0, window)
+  double chaos_delay_s = 0.0;           // fixed added one-way latency
+
+  bool has_chaos() const {
+    return chaos_loss_prob > 0.0 || chaos_dup_factor > 1.0 ||
+           chaos_reorder_prob > 0.0 || chaos_delay_s > 0.0;
+  }
 
   // Preset links modelled after the paper's testbed (Section 6.1).
   static LinkModel lan();          // engine <-> camera: fast, reliable
@@ -64,6 +88,10 @@ struct NetworkStats {
   std::uint64_t dropped_offline = 0;    // destination attached but offline
   std::uint64_t bounced = 0;            // requests bounced as rpc_unreachable
   std::uint64_t cross_sent = 0;         // handed to another loop's segment
+  std::uint64_t dropped_chaos = 0;      // injected chaos_loss_prob drops
+  std::uint64_t chaos_dup_copies = 0;   // extra copies injected by duplication
+  std::uint64_t chaos_reordered = 0;    // messages given an extra reorder delay
+  std::uint64_t chaos_delayed = 0;      // messages given the fixed chaos delay
 };
 
 class Fabric;
@@ -71,8 +99,11 @@ class Fabric;
 class Network {
  public:
   Network(aorta::util::EventLoop* loop, aorta::util::Rng rng)
-      : loop_(loop), rng_(std::move(rng)) {}
+      : loop_(loop), rng_(std::move(rng)), chaos_rng_(kChaosSeed) {}
   ~Network();
+
+  // Constant base seed for the chaos perturbation stream (see chaos_rng_).
+  static constexpr std::uint64_t kChaosSeed = 0x9e3779b97f4a7c15ull;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -122,6 +153,20 @@ class Network {
   // Sampled one-way delay across a link for a message of `bytes` size.
   double sample_delay_s(const LinkModel& link, std::size_t bytes);
 
+  // Applies one link's chaos perturbations (fault-injected loss /
+  // duplication / reordering / delay) to an in-flight message. Draws
+  // exclusively from chaos_rng_ so the main traffic streams are
+  // untouched. Returns false when the message is dropped; otherwise adds
+  // any injected delay to *delay_s and multiplies *copies by the sampled
+  // per-traversal duplication count.
+  bool apply_chaos(const LinkModel& link, double* delay_s, int* copies);
+  // Extra scheduling offset for duplicated copies so they do not land at
+  // the exact same instant as the original.
+  double chaos_copy_spread_s(const LinkModel& link);
+  // Schedules one delivery attempt of `msg` on the local loop after
+  // `delay_s` (with the usual delivery-time re-checks).
+  void schedule_local_delivery(Message msg, double delay_s);
+
   // Home segment of a node not attached here (nullptr when the node is
   // local, unknown, or no fabric is joined). Backs the forwarding
   // convenience documented at partition().
@@ -146,6 +191,10 @@ class Network {
 
   aorta::util::EventLoop* loop_;
   aorta::util::Rng rng_;
+  // Dedicated stream for chaos perturbations. Seeded with a constant (not
+  // forked from rng_, which would shift existing streams) and re-salted
+  // with the loop index in join_fabric so segments stay independent.
+  aorta::util::Rng chaos_rng_;
   Fabric* fabric_ = nullptr;
   int loop_index_ = 0;
   std::map<NodeId, Node> nodes_;

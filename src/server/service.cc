@@ -123,6 +123,7 @@ TenantStats& QueryService::tenant_entry(const TenantId& tenant) {
     metrics_->enroll_counter(prefix + "shed", &ts.shed);
     metrics_->enroll_counter(prefix + "dispatched", &ts.dispatched);
     metrics_->enroll_counter(prefix + "completed", &ts.completed);
+    metrics_->enroll_counter(prefix + "partial_results", &ts.partial_results);
     metrics_->enroll_counter(prefix + "errors", &ts.errors);
     metrics_->enroll_counter(prefix + "rows", &ts.rows_delivered);
     metrics_->enroll_counter(prefix + "rows_degraded", &ts.rows_degraded);
@@ -396,6 +397,11 @@ void QueryService::finish(SessionId session_id, const Submission& submission,
     d.kind = Delivery::Kind::kResult;
     d.message = std::move(outcome.value().message);
     d.rows = std::move(outcome.value().rows);
+    d.shards_answered = outcome.value().shards_answered;
+    d.shards_total = outcome.value().shards_total;
+    if (d.shards_total >= 0 && d.shards_answered < d.shards_total) {
+      ++ts.partial_results;
+    }
     ++ts.completed;
   } else {
     d.kind = Delivery::Kind::kError;

@@ -60,6 +60,7 @@ struct TenantStats {
   std::uint64_t shed = 0;      // dropped while queued
   std::uint64_t dispatched = 0;
   std::uint64_t completed = 0;  // statements that returned a result
+  std::uint64_t partial_results = 0;  // SELECTs answered by < all shards
   std::uint64_t errors = 0;
   std::uint64_t rows_delivered = 0;
   std::uint64_t rows_degraded = 0;  // rows carrying the degradation marker

@@ -41,6 +41,12 @@ struct Delivery {
   // kRow: the row was evaluated over last-known-good values because its
   // source device is quarantined (the broker's degradation marker).
   bool degraded = false;
+  // kResult of a sharded one-shot SELECT: how many shards contributed a
+  // partial out of how many exist. answered < total marks a partial
+  // result. -1/-1 everywhere else (core::ExecResult's markers, passed
+  // through).
+  int shards_answered = -1;
+  int shards_total = -1;
 };
 
 enum class SessionState { kActive, kDraining, kClosed };

@@ -13,15 +13,31 @@ using aorta::util::Status;
 using aorta::util::TimePoint;
 using core::ExecResult;
 
+namespace {
+// Salt for the retry-jitter RNG stream: constant-derived from the config
+// seed (never forked from the main stream) so retrying perturbs nothing.
+constexpr std::uint64_t kRetryJitterSalt = 0x52e11ab1eca11ull;
+}  // namespace
+
 Czar::Czar(core::Aorta* host, Options options)
     : host_(host),
       options_(std::move(options)),
       loop_(&host->loop()),
       network_(&host->network()),
       tracer_(&host->tracer()),
-      rpc_(network_, options_.node_id) {
+      rpc_(network_, options_.node_id),
+      reliable_(host->config().reliable_backplane),
+      reliable_call_(&rpc_, loop_,
+                     aorta::util::Rng(host->config().seed ^ kRetryJitterSalt),
+                     options_.reliable) {
   (void)network_->attach(options_.node_id, this, options_.interconnect);
   rpc_.set_tracer(tracer_);
+  reliable_call_.set_peer_down_hook([this](const net::NodeId& node) {
+    // Breaker opened: the peer burned through consecutive attempts. Mark
+    // the shard down now instead of waiting out the heartbeat silence.
+    int shard = shard_of_node(node);
+    if (shard >= 0) mark_down(shard);
+  });
   shards_.resize(static_cast<std::size_t>(options_.num_shards));
   for (ShardState& s : shards_) s.last_msg = loop_->now();
   merger_ = std::make_unique<Merger>(
@@ -43,6 +59,25 @@ Czar::Czar(core::Aorta* host, Options options)
   metrics_.enroll_counter("stale_query_rows", &stats_.stale_query_rows);
   metrics_.enroll_counter("workers_marked_down", &stats_.workers_marked_down);
   metrics_.enroll_counter("reregistrations", &stats_.reregistrations);
+  metrics_.enroll_counter("dup_msgs_dropped", &stats_.dup_msgs_dropped);
+  metrics_.enroll_counter("acks_sent", &stats_.acks_sent);
+  metrics_.enroll_counter("nacks_sent", &stats_.nacks_sent);
+  metrics_.enroll_counter("partial_selects", &stats_.partial_selects);
+  // The reliable dispatcher's own counters, rooted at "net.reliable." (one
+  // section for the whole backplane; the Plane adds worker-side replay
+  // gauges to it).
+  reliable_metrics_ = host->metrics().scoped("net.reliable.");
+  const net::ReliableCallStats& rs = reliable_call_.stats();
+  reliable_metrics_.enroll_counter("calls", &rs.calls);
+  reliable_metrics_.enroll_counter("attempts", &rs.attempts);
+  reliable_metrics_.enroll_counter("retries", &rs.retries);
+  reliable_metrics_.enroll_counter("giveups", &rs.giveups);
+  reliable_metrics_.enroll_counter("budget_exhausted", &rs.budget_exhausted);
+  reliable_metrics_.enroll_counter("breaker.opens", &rs.breaker_opens);
+  reliable_metrics_.enroll_counter("breaker.half_opens",
+                                   &rs.breaker_half_opens);
+  reliable_metrics_.enroll_counter("breaker.closes", &rs.breaker_closes);
+  reliable_metrics_.enroll_counter("breaker.rejects", &rs.breaker_rejects);
   const MergerStats& ms = merger_->stats();
   metrics_.enroll_counter("merge.rows_in", &ms.rows_in);
   metrics_.enroll_counter("merge.rows_out", &ms.rows_out);
@@ -95,6 +130,7 @@ Czar::Czar(core::Aorta* host, Options options)
 Czar::~Czar() {
   *alive_ = false;
   metrics_.unenroll_all();
+  reliable_metrics_.unenroll_all();
   (void)network_->detach(options_.node_id);
 }
 
@@ -117,15 +153,33 @@ void Czar::send_register(int shard, const FragmentSpec& spec,
                          net::RpcCallback callback) {
   net::Message tmp;
   fragment_to_fields(spec, &tmp);
+  tmp.set_int(kIdemGenField, static_cast<std::int64_t>(
+                                 shards_[static_cast<std::size_t>(shard)].gen));
+  tmp.set_int(kIdemSeqField, static_cast<std::int64_t>(dispatch_seq_++));
   AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
                       "czar:dispatch:" + worker_node(shard), loop_->now(),
                       spec.once ? "select" : spec.name);
+  if (reliable_) {
+    reliable_call_.call(worker_node(shard), kFragmentRegister,
+                        std::move(tmp.fields), std::move(callback),
+                        64 + spec.sql.size());
+    return;
+  }
   rpc_.call(worker_node(shard), kFragmentRegister, std::move(tmp.fields),
             options_.rpc_timeout, std::move(callback), 64 + spec.sql.size());
 }
 
 void Czar::send_drop(int shard, const std::string& name) {
-  rpc_.call(worker_node(shard), kFragmentDrop, {{"name", name}},
+  std::map<std::string, std::string> fields{{"name", name}};
+  fields[kIdemGenField] =
+      std::to_string(shards_[static_cast<std::size_t>(shard)].gen);
+  fields[kIdemSeqField] = std::to_string(dispatch_seq_++);
+  if (reliable_) {
+    reliable_call_.call(worker_node(shard), kFragmentDrop, std::move(fields),
+                        [](Result<net::Message>) {});
+    return;
+  }
+  rpc_.call(worker_node(shard), kFragmentDrop, std::move(fields),
             options_.rpc_timeout, [](Result<net::Message>) {});
 }
 
@@ -439,6 +493,7 @@ void Czar::exec_select(
 
   struct SelectState {
     int remaining = 0;
+    int answered = 0;  // shards that returned a decodable partial
     std::vector<std::vector<query::TimestampedRow>> partials;
     std::string error;
     std::function<void(Result<ExecResult>)> done;
@@ -466,10 +521,30 @@ void Czar::exec_select(
       state->done(Result<ExecResult>(reparsed.status()));
       return;
     }
+    // Partial results are never silent: a SELECT some shard failed to
+    // answer (down at dispatch, or its RPC gave up) is marked as partial —
+    // and, when the select list aggregates, rejected outright: a sum or
+    // count over a subset of the shards is not a smaller answer, it is a
+    // wrong one.
+    if (state->answered < options_.num_shards) {
+      if (*alive) ++stats_.partial_selects;
+      bool has_avg = false;
+      if (select_has_aggregates(reparsed.value().select, &has_avg)) {
+        state->done(Result<ExecResult>(aorta::util::unavailable_error(
+            aorta::util::str_format(
+                "partial aggregate: only %d of %d shard(s) answered; an "
+                "aggregate over a subset would be wrong, not smaller",
+                state->answered, options_.num_shards))));
+        return;
+      }
+    }
     ExecResult result;
+    result.shards_answered = state->answered;
+    result.shards_total = options_.num_shards;
     result.rows = merge_select(reparsed.value().select, state->partials);
-    result.message =
-        aorta::util::str_format("%zu row(s)", result.rows.size());
+    result.message = aorta::util::str_format(
+        "%zu row(s)%s", result.rows.size(),
+        state->answered < options_.num_shards ? " [partial]" : "");
     std::uint64_t merged = 0;
     for (const auto& p : state->partials) merged += p.size();
     if (*alive) {
@@ -495,11 +570,15 @@ void Czar::exec_select(
               if (decode_rows(msg.field("rows"), &rows)) {
                 state->partials[static_cast<std::size_t>(i)] =
                     std::move(rows);
+                ++state->answered;
               }
             }
+            // kFragmentStale (a generation raced the dispatch) settles
+            // without an error; the shard counts as unanswered.
           }
-          // Timeout / unreachable: the shard's partial stays empty;
-          // supervision will mark it down on silence.
+          // Timeout / unreachable (after retries, if reliable): the
+          // shard's partial stays empty and the result is marked partial;
+          // supervision marks the shard down on silence.
           settle();
         });
   }
@@ -529,19 +608,71 @@ void Czar::on_message(const net::Message& msg) {
     ++stats_.stale_gen_msgs;
     return;
   }
-  if (seq != s.next_seq) {
-    s.ooo.emplace(seq, msg);
-    ++stats_.ooo_buffered;
+  if (reliable_ && seq < s.next_seq) {
+    // Already consumed: a chaos-duplicated copy or a NACK retransmission
+    // that crossed paths with the original.
+    ++stats_.dup_msgs_dropped;
     return;
   }
+  if (seq != s.next_seq) {
+    if (reliable_ && s.ooo.count(seq) > 0) {
+      ++stats_.dup_msgs_dropped;
+      return;
+    }
+    s.ooo.emplace(seq, msg);
+    ++stats_.ooo_buffered;
+    if (reliable_) maybe_nack(shard);
+    return;
+  }
+  bool saw_heartbeat = msg.kind == kShardHeartbeat;
   consume(shard, msg);
   ++s.next_seq;
   for (auto it = s.ooo.find(s.next_seq); it != s.ooo.end();
        it = s.ooo.find(s.next_seq)) {
+    saw_heartbeat |= it->second.kind == kShardHeartbeat;
     consume(shard, it->second);
     s.ooo.erase(it);
     ++s.next_seq;
   }
+  // Heartbeat instants double as ack points: tell the worker everything
+  // below next_seq is consumed so it can trim its replay buffer. (Acking
+  // every message would double backplane traffic for no extra safety.)
+  if (reliable_ && saw_heartbeat) send_ack(shard);
+}
+
+void Czar::send_ack(int shard) {
+  const ShardState& s = shards_[static_cast<std::size_t>(shard)];
+  net::Message ack;
+  ack.src = options_.node_id;
+  ack.dst = worker_node(shard);
+  ack.kind = kShardAck;
+  ack.set_int("gen", static_cast<std::int64_t>(s.gen));
+  ack.set_int("cum", static_cast<std::int64_t>(s.next_seq));
+  ++stats_.acks_sent;
+  network_->send(std::move(ack));
+}
+
+void Czar::maybe_nack(int shard) {
+  ShardState& s = shards_[static_cast<std::size_t>(shard)];
+  if (s.ooo.empty()) return;
+  const std::uint64_t from = s.next_seq;
+  if (s.last_nack_from == from &&
+      loop_->now() - s.last_nack_at < options_.nack_interval) {
+    return;  // this gap was already NACKed moments ago
+  }
+  s.last_nack_from = from;
+  s.last_nack_at = loop_->now();
+  net::Message nack;
+  nack.src = options_.node_id;
+  nack.dst = worker_node(shard);
+  nack.kind = kShardNack;
+  nack.set_int("gen", static_cast<std::int64_t>(s.gen));
+  nack.set_int("from", static_cast<std::int64_t>(from));
+  // Everything past the highest buffered seq may still be in flight;
+  // request only the known hole [from, highest).
+  nack.set_int("to", static_cast<std::int64_t>(s.ooo.rbegin()->first));
+  ++stats_.nacks_sent;
+  network_->send(std::move(nack));
 }
 
 void Czar::consume(int shard, const net::Message& msg) {
@@ -590,21 +721,32 @@ void Czar::on_row_released(const std::string& query,
 
 // ---- supervision ----------------------------------------------------------
 
+int Czar::shard_of_node(const net::NodeId& node) const {
+  for (int i = 0; i < options_.num_shards; ++i) {
+    if (worker_node(i) == node) return i;
+  }
+  return -1;
+}
+
+void Czar::mark_down(int shard) {
+  ShardState& s = shards_[static_cast<std::size_t>(shard)];
+  if (!s.live) return;
+  s.live = false;
+  s.ooo.clear();
+  ++stats_.workers_marked_down;
+  merger_->set_live(shard, false);
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                      "czar:down:" + worker_node(shard), loop_->now(),
+                      "unresponsive");
+}
+
 void Czar::check_liveness() {
   const Duration silence_bound =
       options_.heartbeat_interval * static_cast<double>(options_.miss_threshold);
   for (int i = 0; i < options_.num_shards; ++i) {
     ShardState& s = shards_[static_cast<std::size_t>(i)];
     if (!s.live) continue;
-    if (loop_->now() - s.last_msg > silence_bound) {
-      s.live = false;
-      s.ooo.clear();
-      ++stats_.workers_marked_down;
-      merger_->set_live(i, false);
-      AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
-                          "czar:down:" + worker_node(i), loop_->now(),
-                          "no heartbeat");
-    }
+    if (loop_->now() - s.last_msg > silence_bound) mark_down(i);
   }
   auto alive = alive_;
   loop_->schedule(options_.heartbeat_interval, [this, alive]() {
@@ -617,7 +759,11 @@ void Czar::recover_shard(int shard) {
   ++s.gen;
   s.next_seq = 0;
   s.ooo.clear();
+  s.last_nack_from = ~std::uint64_t{0};
   ++stats_.reregistrations;
+  // Fresh generation, fresh dispatch state: forget the peer's breaker and
+  // retry budget so the handshake below is not short-circuited.
+  reliable_call_.reset_peer(worker_node(shard));
   AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
                       "czar:recover:" + worker_node(shard), loop_->now(),
                       "gen " + std::to_string(s.gen));

@@ -18,6 +18,14 @@
 // worker drop every fragment and reset its outbound seq counter — and
 // re-registers every live AQ on it.
 //
+// Reliable backplane (DESIGN.md §14, Config::reliable_backplane): fragment
+// RPCs go through net::ReliableCall (retries + budgets + per-peer circuit
+// breakers; an opened breaker marks the shard down immediately), every
+// request carries an idempotency key, and the worker result streams are
+// consumed exactly once: duplicate seqs are dropped, gaps are NACKed for
+// retransmission, and consumed-heartbeat instants piggyback a cumulative
+// ack that lets the worker trim its replay buffer.
+//
 // Planning limits (surfaced as invalid_argument, documented in DESIGN.md):
 // multi-table joins, avg() aggregates, and DDL other than CREATE AQ /
 // DROP AQ are not supported through the sharded plane.
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "core/aorta.h"
+#include "net/reliable.h"
 #include "shard/fragment.h"
 #include "shard/merger.h"
 
@@ -49,6 +58,11 @@ struct CzarStats {
   std::uint64_t stale_query_rows = 0;   // rows for queries no longer known
   std::uint64_t workers_marked_down = 0;
   std::uint64_t reregistrations = 0;    // recovery fan-outs (gen bumps)
+  // Reliable backplane (DESIGN.md §14).
+  std::uint64_t dup_msgs_dropped = 0;   // duplicate seqs (chaos or replay)
+  std::uint64_t acks_sent = 0;          // cumulative acks to workers
+  std::uint64_t nacks_sent = 0;         // retransmit requests for seq gaps
+  std::uint64_t partial_selects = 0;    // SELECTs answered by < all shards
 };
 
 class Czar : public net::Endpoint {
@@ -61,9 +75,16 @@ class Czar : public net::Endpoint {
     aorta::util::Duration heartbeat_interval =
         aorta::util::Duration::seconds(1.0);
     int miss_threshold = 3;
-    // Fragment RPC timeout. The backplane is lossless, so only a downed
-    // worker can run one out.
+    // Fragment RPC timeout for the fail-fast path
+    // (Config::reliable_backplane = false). With the reliable backplane
+    // each *attempt* uses ReliableCallOptions::attempt_timeout instead,
+    // and lost RPCs are retried rather than run out.
     aorta::util::Duration rpc_timeout = aorta::util::Duration::seconds(5.0);
+    // Retry/breaker policy for the reliable path.
+    net::ReliableCallOptions reliable;
+    // Minimum spacing between NACKs for the same seq gap (the first
+    // out-of-order arrival NACKs immediately; repeats are rate-limited).
+    aorta::util::Duration nack_interval = aorta::util::Duration::millis(100);
     // The czar's own link on the backplane (matches the workers').
     net::LinkModel interconnect;
   };
@@ -101,6 +122,9 @@ class Czar : public net::Endpoint {
   const CzarStats& stats() const { return stats_; }
   const Merger& merger() const { return *merger_; }
   net::RpcClient& rpc() { return rpc_; }
+  const net::ReliableCallStats& reliable_stats() const {
+    return reliable_call_.stats();
+  }
 
   // net::Endpoint
   void on_message(const net::Message& msg) override;
@@ -119,6 +143,9 @@ class Czar : public net::Endpoint {
     std::map<std::uint64_t, net::Message> ooo;  // held for reordering
     aorta::util::TimePoint last_msg;
     bool live = true;
+    // NACK rate limiting: the last gap start requested and when.
+    std::uint64_t last_nack_from = ~std::uint64_t{0};
+    aorta::util::TimePoint last_nack_at;
   };
 
   net::NodeId worker_node(int shard) const {
@@ -144,9 +171,15 @@ class Czar : public net::Endpoint {
   void on_row_released(const std::string& query,
                        const query::TimestampedRow& row);
 
+  // Reliable backplane: cumulative acks and gap NACKs (DESIGN.md §14).
+  void send_ack(int shard);
+  void maybe_nack(int shard);
+
   // Supervision: periodic silence check, and the recovery handshake.
+  void mark_down(int shard);
   void check_liveness();
   void recover_shard(int shard);
+  int shard_of_node(const net::NodeId& node) const;
 
   core::Aorta* host_;
   Options options_;
@@ -154,6 +187,11 @@ class Czar : public net::Endpoint {
   net::Network* network_;
   obs::Tracer* tracer_;
   net::RpcClient rpc_;
+  // Reliable dispatch over rpc_ (retries, budgets, breakers); active when
+  // Config::reliable_backplane (the ablation flag routes around it).
+  bool reliable_ = true;
+  net::ReliableCall reliable_call_;
+  std::uint64_t dispatch_seq_ = 0;  // czar-global idempotency-key counter
 
   std::map<std::string, AqState> aqs_;
   std::vector<ShardState> shards_;
@@ -161,6 +199,7 @@ class Czar : public net::Endpoint {
   OutcomeSink outcome_sink_;
   CzarStats stats_;
   obs::MetricsRegistry::Scoped metrics_;
+  obs::MetricsRegistry::Scoped reliable_metrics_;  // "net.reliable.*"
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

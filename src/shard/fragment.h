@@ -15,6 +15,10 @@
 //   fragment_results   worker -> czar   one-way burst of continuous rows
 //                                       (or an action outcome), sequenced
 //   shard_heartbeat    worker -> czar   liveness + result-stream watermark
+//   shard_ack          czar -> worker   one-way cumulative ack: the czar
+//                                       has consumed every seq < `cum`
+//   shard_nack         czar -> worker   one-way retransmit request for the
+//                                       seq gap [`from`, `to`)
 //
 // Every worker->czar message carries (gen, seq): seq is a per-worker
 // counter over ALL its fragment traffic, reset when the czar re-registers
@@ -23,6 +27,21 @@
 // exact promise: every row with at < watermark precedes the heartbeat in
 // seq order (rows are flushed by a zero-delay event at production time, so
 // only rows stamped exactly at the heartbeat instant can trail it).
+//
+// Reliable backplane (DESIGN.md §14). Every czar -> worker request also
+// carries an idempotency key (`idem_gen`, `idem_seq`): the shard's
+// registration generation plus a czar-global dispatch counter. Workers
+// keep a bounded dedup window keyed by that pair — which survives
+// generation bumps, since the gen is part of the key — and replay the
+// cached reply for duplicates, so a retried or chaos-duplicated
+// fragment_register never double-registers. Workers retain every
+// sequenced message in a bounded replay buffer until a shard_ack covers
+// it; a shard_nack retransmits the stored messages verbatim (same gen,
+// same seq), and the czar drops any seq it has already consumed or
+// buffered — together: exactly-once, in-order consumption over a lossy,
+// duplicating, reordering backplane. A register carrying a generation
+// older than the worker's current one is answered with fragment_stale
+// and otherwise ignored.
 //
 // Rows are encoded with length-prefixed tokens and %.17g doubles — NOT
 // device::value_to_string, whose %.6g rendering is lossy; byte-identical
@@ -45,10 +64,17 @@ inline constexpr const char* kFragmentRegister = "fragment_register";
 inline constexpr const char* kFragmentDrop = "fragment_drop";
 inline constexpr const char* kFragmentResults = "fragment_results";
 inline constexpr const char* kShardHeartbeat = "shard_heartbeat";
+inline constexpr const char* kShardAck = "shard_ack";
+inline constexpr const char* kShardNack = "shard_nack";
 // Reply kinds.
 inline constexpr const char* kFragmentAck = "fragment_ack";
 inline constexpr const char* kFragmentError = "fragment_error";
 inline constexpr const char* kFragmentSelectResult = "fragment_select_result";
+inline constexpr const char* kFragmentStale = "fragment_stale";
+
+// Czar -> worker idempotency-key field names (see file comment).
+inline constexpr const char* kIdemGenField = "idem_gen";
+inline constexpr const char* kIdemSeqField = "idem_seq";
 
 // FNV-1a 64-bit: the deterministic device partition function. std::hash is
 // implementation-defined; the partition must be stable across toolchains

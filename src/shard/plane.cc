@@ -1,5 +1,7 @@
 #include "shard/plane.h"
 
+#include <algorithm>
+
 namespace aorta::shard {
 
 using aorta::util::Status;
@@ -30,7 +32,26 @@ Plane::Plane(core::Aorta* host, Options options)
   co.miss_threshold = options_.miss_threshold;
   co.interconnect = options_.interconnect;
   czar_ = std::make_unique<Czar>(host, co);
+
+  metrics_ = host->metrics().scoped("net.reliable.");
+  metrics_.enroll_gauge("replay_depth", [this]() {
+    std::int64_t depth = 0;
+    for (const auto& w : workers_) {
+      depth += static_cast<std::int64_t>(w->replay_depth());
+    }
+    return depth;
+  });
+  metrics_.enroll_gauge("replay_hwm", [this]() {
+    std::int64_t hwm = 0;
+    for (const auto& w : workers_) {
+      hwm = std::max(hwm,
+                     static_cast<std::int64_t>(w->stats().replay_hwm));
+    }
+    return hwm;
+  });
 }
+
+Plane::~Plane() { metrics_.unenroll_all(); }
 
 Status Plane::add_camera(const device::DeviceId& id, std::string ip,
                          devices::CameraPose pose, double range_m) {
@@ -78,9 +99,17 @@ Status Plane::apply_fault_plan(const util::FaultPlan& plan) {
       case util::FaultEvent::Kind::kPartition:
       case util::FaultEvent::Kind::kHeal:
         break;
+      case util::FaultEvent::Kind::kDuplicateSpike:
+      case util::FaultEvent::Kind::kReorderSpike:
+      case util::FaultEvent::Kind::kDelaySpike:
+        // Backplane spikes keep their kind; only the target is resolved
+        // to the worker's network node (its backplane link).
+        break;
       case util::FaultEvent::Kind::kLossSpike:
       case util::FaultEvent::Kind::kGlitchSpike:
-        // Unreachable: the parser rejects spikes with a shard attribute.
+        // Unreachable: the parser rejects these spikes with a shard
+        // attribute (loss/glitch stay device-targeted; use
+        // device="shard-N" to storm a worker's backplane link).
         return aorta::util::invalid_argument_error(
             "spike events cannot target a shard");
     }
@@ -128,7 +157,10 @@ Status Plane::apply_fault_plan(const util::FaultPlan& plan) {
       }
       case util::FaultEvent::Kind::kPartition:
       case util::FaultEvent::Kind::kHeal:
-      case util::FaultEvent::Kind::kLossSpike: {
+      case util::FaultEvent::Kind::kLossSpike:
+      case util::FaultEvent::Kind::kDuplicateSpike:
+      case util::FaultEvent::Kind::kReorderSpike:
+      case util::FaultEvent::Kind::kDelaySpike: {
         bool found = false;
         for (auto& w : workers_) {
           if (w->network().attached(e.target)) {

@@ -36,6 +36,7 @@ class Plane {
   static net::LinkModel backplane();
 
   Plane(core::Aorta* host, Options options);
+  ~Plane();
 
   Plane(const Plane&) = delete;
   Plane& operator=(const Plane&) = delete;
@@ -77,6 +78,9 @@ class Plane {
   Options options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Czar> czar_;
+  // Plane-wide replay-buffer view under "net.reliable." (the czar enrolls
+  // the dispatcher counters into the same section).
+  obs::MetricsRegistry::Scoped metrics_;
 };
 
 }  // namespace aorta::shard

@@ -12,7 +12,8 @@ using aorta::util::Status;
 Worker::Worker(core::Aorta* host, Options options)
     : options_(std::move(options)),
       node_id_("shard-" + std::to_string(options_.index)),
-      rng_(host->fork_rng()) {
+      rng_(host->fork_rng()),
+      reliable_(options_.config.reliable_backplane) {
   // This worker's own event loop and network segment: everything below —
   // devices, comm, broker, executor — lives on them, so between epoch
   // barriers the whole stack runs without touching shared state.
@@ -131,6 +132,19 @@ Worker::Worker(core::Aorta* host, Options options)
   metrics_.enroll_counter("rows_sent", &stats_.rows_sent);
   metrics_.enroll_counter("results_msgs", &stats_.results_msgs);
   metrics_.enroll_counter("heartbeats", &stats_.heartbeats_sent);
+  metrics_.enroll_counter("reliable.dup_requests", &stats_.dup_requests);
+  metrics_.enroll_counter("reliable.stale_gen_requests",
+                          &stats_.stale_gen_requests);
+  metrics_.enroll_counter("reliable.acks_received", &stats_.acks_received);
+  metrics_.enroll_counter("reliable.nacks_received", &stats_.nacks_received);
+  metrics_.enroll_counter("reliable.replay_sent", &stats_.replay_sent);
+  metrics_.enroll_counter("reliable.replay_overflow", &stats_.replay_overflow);
+  metrics_.enroll_gauge("reliable.replay_depth", [this]() {
+    return static_cast<std::int64_t>(replay_.size());
+  });
+  metrics_.enroll_gauge("reliable.replay_hwm", [this]() {
+    return static_cast<std::int64_t>(stats_.replay_hwm);
+  });
   // This worker's network segment (local device traffic + fabric hand-offs)
   // and its runtime loop (barrier waits, cross-post queue depths).
   const net::NetworkStats& ns = network_->stats();
@@ -182,19 +196,113 @@ devices::PtzCamera* Worker::camera(const device::DeviceId& id) {
 }
 
 void Worker::on_push(const net::Message& msg) {
+  if (msg.kind == kShardAck) {
+    handle_ack(msg);
+    return;
+  }
+  if (msg.kind == kShardNack) {
+    handle_nack(msg);
+    return;
+  }
+  if (msg.kind != kFragmentRegister && msg.kind != kFragmentDrop) {
+    // A device-initiated push; no current protocol uses them.
+    return;
+  }
+  if (reliable_ && !begin_idem(msg)) return;  // duplicate, fully handled
   if (msg.kind == kFragmentRegister) {
     handle_register(msg);
-  } else if (msg.kind == kFragmentDrop) {
+  } else {
     handle_drop(msg);
   }
-  // Anything else: a device-initiated push; no current protocol uses them.
+}
+
+bool Worker::begin_idem(const net::Message& msg) {
+  if (msg.fields.count(kIdemGenField) == 0 ||
+      msg.fields.count(kIdemSeqField) == 0) {
+    return true;  // unkeyed request (direct test traffic): just process
+  }
+  const IdemKey key{static_cast<std::uint64_t>(msg.field_int(kIdemGenField)),
+                    static_cast<std::uint64_t>(msg.field_int(kIdemSeqField))};
+  auto it = idem_.find(key);
+  if (it == idem_.end()) {
+    idem_.emplace(key, IdemEntry{});
+    idem_fifo_.push_back(key);
+    if (idem_fifo_.size() > kIdemWindow) {
+      idem_.erase(idem_fifo_.front());
+      idem_fifo_.pop_front();
+    }
+    return true;
+  }
+  ++stats_.dup_requests;
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                      node_id_ + ":dup_request", loop_->now(),
+                      msg.kind);
+  if (it->second.ready) {
+    // Replay the cached reply under the duplicate's request_id.
+    net::Message reply = it->second.reply;
+    reply.request_id = msg.request_id;
+    reply.dst = msg.src;
+    network_->send(std::move(reply));
+  } else {
+    // First copy still executing (one-shot SELECTs finish asynchronously):
+    // the duplicate waits for the same reply.
+    it->second.waiters.push_back(msg.request_id);
+  }
+  return false;
+}
+
+void Worker::send_reply(const net::Message& request, net::Message reply) {
+  if (reliable_ && request.fields.count(kIdemGenField) > 0 &&
+      request.fields.count(kIdemSeqField) > 0) {
+    const IdemKey key{
+        static_cast<std::uint64_t>(request.field_int(kIdemGenField)),
+        static_cast<std::uint64_t>(request.field_int(kIdemSeqField))};
+    auto it = idem_.find(key);
+    if (it != idem_.end()) {
+      it->second.ready = true;
+      it->second.reply = reply;
+      for (std::uint64_t waiter : it->second.waiters) {
+        net::Message dup = reply;
+        dup.request_id = waiter;
+        network_->send(std::move(dup));
+      }
+      it->second.waiters.clear();
+    }
+  }
+  network_->send(std::move(reply));
+}
+
+void Worker::handle_ack(const net::Message& msg) {
+  if (static_cast<std::uint64_t>(msg.field_int("gen")) != gen_) return;
+  ++stats_.acks_received;
+  const auto cum = static_cast<std::uint64_t>(msg.field_int("cum"));
+  replay_.erase(replay_.begin(), replay_.lower_bound(cum));
+}
+
+void Worker::handle_nack(const net::Message& msg) {
+  if (static_cast<std::uint64_t>(msg.field_int("gen")) != gen_) return;
+  ++stats_.nacks_received;
+  const auto from = static_cast<std::uint64_t>(msg.field_int("from"));
+  const auto to = static_cast<std::uint64_t>(msg.field_int("to"));
+  AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
+                      node_id_ + ":replay", loop_->now(),
+                      "[" + std::to_string(from) + ", " + std::to_string(to) +
+                          ")");
+  // Retransmit the stored messages byte-for-byte (same gen, same seq);
+  // the czar drops whatever it meanwhile consumed or buffered.
+  for (auto it = replay_.lower_bound(from);
+       it != replay_.end() && it->first < to; ++it) {
+    net::Message copy = it->second;
+    ++stats_.replay_sent;
+    network_->send(std::move(copy));
+  }
 }
 
 void Worker::reply_error(const net::Message& request,
                          const std::string& message) {
   net::Message reply = net::make_reply(request, kFragmentError, 64);
   reply.set("error", message);
-  network_->send(std::move(reply));
+  send_reply(request, std::move(reply));
 }
 
 void Worker::adopt_gen(std::uint64_t gen) {
@@ -203,17 +311,29 @@ void Worker::adopt_gen(std::uint64_t gen) {
   for (const std::string& name : fragments_) (void)executor_->drop_aq(name);
   fragments_.clear();
   pending_rows_.clear();
+  // The superseded stream's unacked messages die with it; the idempotency
+  // window survives (its keys embed the generation).
+  replay_.clear();
 }
 
 void Worker::handle_register(const net::Message& msg) {
   FragmentSpec spec = fragment_from_fields(msg);
-  if (spec.gen != gen_) adopt_gen(spec.gen);
+  if (spec.gen < gen_) {
+    // A delayed retry or chaos duplicate from before a generation bump:
+    // adopting it would roll the stream back. Refuse, identify ourselves.
+    ++stats_.stale_gen_requests;
+    net::Message reply = net::make_reply(msg, kFragmentStale, 64);
+    reply.set_int("gen", static_cast<std::int64_t>(gen_));
+    send_reply(msg, std::move(reply));
+    return;
+  }
+  if (spec.gen > gen_) adopt_gen(spec.gen);
   if (spec.sql.empty() && !spec.once) {
     // Generation-sync control fragment: the czar's recovery handshake when
     // it has nothing (or nothing yet) to re-register on this shard.
     net::Message reply = net::make_reply(msg, kFragmentAck, 64);
     reply.set_int("gen", static_cast<std::int64_t>(gen_));
-    network_->send(std::move(reply));
+    send_reply(msg, std::move(reply));
     return;
   }
   auto stmt = query::parse(spec.sql);
@@ -261,7 +381,7 @@ void Worker::handle_register(const net::Message& msg) {
   ++stats_.fragments_registered;
   net::Message reply = net::make_reply(msg, kFragmentAck, 64);
   reply.set_int("gen", static_cast<std::int64_t>(gen_));
-  network_->send(std::move(reply));
+  send_reply(msg, std::move(reply));
 }
 
 void Worker::handle_drop(const net::Message& msg) {
@@ -272,7 +392,7 @@ void Worker::handle_drop(const net::Message& msg) {
   }
   AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
                       node_id_ + ":drop:" + name, loop_->now(), "");
-  network_->send(net::make_reply(msg, kFragmentAck, 64));
+  send_reply(msg, net::make_reply(msg, kFragmentAck, 64));
 }
 
 void Worker::run_once_select(const net::Message& msg,
@@ -332,7 +452,7 @@ void Worker::run_once_select(const net::Message& msg,
             net::make_reply(msg, kFragmentSelectResult, 64 + payload.size());
         reply.set_int("count", static_cast<std::int64_t>(rows.size()));
         reply.set("rows", std::move(payload));
-        network_->send(std::move(reply));
+        send_reply(msg, std::move(reply));
       });
 }
 
@@ -405,7 +525,21 @@ void Worker::send_sequenced(net::Message msg) {
   msg.dst = options_.czar;
   msg.set_int("shard", options_.index);
   msg.set_int("gen", static_cast<std::int64_t>(gen_));
-  msg.set_int("seq", static_cast<std::int64_t>(seq_++));
+  const std::uint64_t seq = seq_++;
+  msg.set_int("seq", static_cast<std::int64_t>(seq));
+  if (reliable_) {
+    // Retain a verbatim copy until a cumulative ack covers it. The bound
+    // protects memory if the czar goes silent; overflow drops the oldest
+    // (supervision will eventually bump the generation anyway).
+    replay_.emplace(seq, msg);
+    if (replay_.size() > kReplayLimit) {
+      replay_.erase(replay_.begin());
+      ++stats_.replay_overflow;
+    }
+    if (replay_.size() > stats_.replay_hwm) {
+      stats_.replay_hwm = replay_.size();
+    }
+  }
   network_->send(std::move(msg));
 }
 

@@ -19,14 +19,26 @@
 //
 // A register carrying a new generation resets the worker's seq counter and
 // re-registers over any existing fragment of the same name — the czar's
-// recovery path after this worker was partitioned away and healed.
+// recovery path after this worker was partitioned away and healed. One
+// carrying an *older* generation (a delayed retry or chaos duplicate from
+// before a bump) is answered fragment_stale and otherwise ignored.
+//
+// Reliable backplane (DESIGN.md §14, Config::reliable_backplane): requests
+// are deduplicated by their (idem_gen, idem_seq) key through a bounded
+// window that caches the reply — duplicates get the cached reply verbatim,
+// or queue as waiters while the first copy is still executing (one-shot
+// SELECTs reply asynchronously). Sequenced result messages are retained in
+// a bounded replay buffer until a shard_ack covers them; a shard_nack
+// retransmits the stored range byte-for-byte.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/aorta.h"
@@ -42,6 +54,14 @@ struct WorkerStats {
   std::uint64_t results_msgs = 0;
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t bad_requests = 0;  // malformed / unparsable fragments
+  // Reliable backplane (DESIGN.md §14).
+  std::uint64_t dup_requests = 0;       // idempotency-window hits
+  std::uint64_t stale_gen_requests = 0; // registers from a superseded gen
+  std::uint64_t acks_received = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t replay_sent = 0;        // messages retransmitted on NACK
+  std::uint64_t replay_overflow = 0;    // unacked messages evicted (bound)
+  std::uint64_t replay_hwm = 0;         // replay-buffer high-water mark
 };
 
 class Worker {
@@ -93,9 +113,32 @@ class Worker {
   core::HealthSupervisor* health() { return health_.get(); }
   const WorkerStats& stats() const { return stats_; }
   std::size_t fragment_count() const { return fragments_.size(); }
+  // Unacked sequenced messages currently retained for retransmission.
+  std::size_t replay_depth() const { return replay_.size(); }
 
  private:
+  // Bounds for the reliability state (both FIFO-evicted when exceeded).
+  static constexpr std::size_t kIdemWindow = 256;
+  static constexpr std::size_t kReplayLimit = 4096;
+
+  // One idempotency-window entry: the cached reply once ready, else the
+  // request_ids of duplicates waiting for the first copy to finish.
+  struct IdemEntry {
+    bool ready = false;
+    net::Message reply;
+    std::vector<std::uint64_t> waiters;
+  };
+  using IdemKey = std::pair<std::uint64_t, std::uint64_t>;
+
   void on_push(const net::Message& msg);
+  // Idempotent dispatch: false means the request was a duplicate and has
+  // been fully handled (cached reply sent, or queued as a waiter).
+  bool begin_idem(const net::Message& msg);
+  // All request replies funnel through here so the idempotency window can
+  // cache them and answer any queued waiters.
+  void send_reply(const net::Message& request, net::Message reply);
+  void handle_ack(const net::Message& msg);
+  void handle_nack(const net::Message& msg);
   // Adopt a new czar generation: fresh slate — every fragment is dropped
   // (the czar re-registers the ones that should survive) and the outbound
   // seq counter restarts at 0.
@@ -140,6 +183,15 @@ class Worker {
   std::set<std::string> fragments_;  // registered AQ fragment names
   std::uint64_t gen_ = 0;            // adopted czar generation
   std::uint64_t seq_ = 0;            // next outbound sequence number
+  bool reliable_ = true;             // Config::reliable_backplane
+  // Request dedup window. Keys embed the czar generation, so the window
+  // deliberately survives adopt_gen: a pre-bump duplicate arriving after
+  // the bump still hits its cached reply instead of re-executing.
+  std::map<IdemKey, IdemEntry> idem_;
+  std::deque<IdemKey> idem_fifo_;
+  // Sequenced messages awaiting a cumulative ack, keyed by seq; cleared on
+  // adopt_gen (a new generation restarts the stream from seq 0).
+  std::map<std::uint64_t, net::Message> replay_;
   std::vector<std::pair<std::string, query::TimestampedRow>> pending_rows_;
   bool flush_scheduled_ = false;
   WorkerStats stats_;

@@ -16,16 +16,26 @@ bool kind_from_name(std::string_view name, FaultEvent::Kind* out) {
   else if (name == "heal") *out = FaultEvent::Kind::kHeal;
   else if (name == "loss") *out = FaultEvent::Kind::kLossSpike;
   else if (name == "glitch") *out = FaultEvent::Kind::kGlitchSpike;
+  else if (name == "duplicate") *out = FaultEvent::Kind::kDuplicateSpike;
+  else if (name == "reorder") *out = FaultEvent::Kind::kReorderSpike;
+  else if (name == "delay") *out = FaultEvent::Kind::kDelaySpike;
   else return false;
   return true;
 }
 
-bool is_spike(FaultEvent::Kind k) {
+}  // namespace
+
+bool fault_event_is_spike(FaultEvent::Kind k) {
   return k == FaultEvent::Kind::kLossSpike ||
-         k == FaultEvent::Kind::kGlitchSpike;
+         k == FaultEvent::Kind::kGlitchSpike ||
+         fault_event_is_link_spike(k);
 }
 
-}  // namespace
+bool fault_event_is_link_spike(FaultEvent::Kind k) {
+  return k == FaultEvent::Kind::kDuplicateSpike ||
+         k == FaultEvent::Kind::kReorderSpike ||
+         k == FaultEvent::Kind::kDelaySpike;
+}
 
 std::string_view fault_event_kind_name(FaultEvent::Kind k) {
   switch (k) {
@@ -41,6 +51,12 @@ std::string_view fault_event_kind_name(FaultEvent::Kind k) {
       return "loss";
     case FaultEvent::Kind::kGlitchSpike:
       return "glitch";
+    case FaultEvent::Kind::kDuplicateSpike:
+      return "duplicate";
+    case FaultEvent::Kind::kReorderSpike:
+      return "reorder";
+    case FaultEvent::Kind::kDelaySpike:
+      return "delay";
   }
   return "?";
 }
@@ -67,7 +83,8 @@ Result<FaultPlan> FaultPlan::from_xml(std::string_view xml) {
             str_format("<event kind=\"%s\"> has both device and shard",
                        kind.c_str())));
       }
-      if (is_spike(e.kind)) {
+      if (fault_event_is_spike(e.kind) &&
+          !fault_event_is_link_spike(e.kind)) {
         return Result<FaultPlan>(parse_error(
             str_format("<event kind=\"%s\"> cannot target a shard",
                        kind.c_str())));
@@ -102,10 +119,38 @@ Result<FaultPlan> FaultPlan::from_xml(std::string_view xml) {
           str_format("<event kind=\"%s\" device=\"%s\"> prob out of [0,1]",
                      kind.c_str(), e.target.c_str())));
     }
-    if (is_spike(e.kind) && e.for_s <= 0.0) {
+    if (fault_event_is_spike(e.kind) && e.for_s <= 0.0) {
       return Result<FaultPlan>(parse_error(
           str_format("<event kind=\"%s\" device=\"%s\"> needs for > 0",
                      kind.c_str(), e.target.c_str())));
+    }
+    if (e.kind == FaultEvent::Kind::kDuplicateSpike) {
+      AORTA_ASSIGN_OR_RETURN_RESULT(e.factor,
+                                    node->attr_double_checked("factor"),
+                                    FaultPlan);
+      if (e.factor < 1.0) {
+        return Result<FaultPlan>(parse_error(str_format(
+            "<event kind=\"duplicate\"> needs factor >= 1 (got %g)",
+            e.factor)));
+      }
+    }
+    if (e.kind == FaultEvent::Kind::kReorderSpike) {
+      AORTA_ASSIGN_OR_RETURN_RESULT(e.window_s,
+                                    node->attr_double_checked("window"),
+                                    FaultPlan);
+      if (e.window_s <= 0.0) {
+        return Result<FaultPlan>(parse_error(str_format(
+            "<event kind=\"reorder\"> needs window > 0 (got %g)",
+            e.window_s)));
+      }
+    }
+    if (e.kind == FaultEvent::Kind::kDelaySpike) {
+      AORTA_ASSIGN_OR_RETURN_RESULT(e.add_s, node->attr_double_checked("add"),
+                                    FaultPlan);
+      if (e.add_s < 0.0) {
+        return Result<FaultPlan>(parse_error(str_format(
+            "<event kind=\"delay\"> has negative delay add=%g", e.add_s)));
+      }
     }
     plan.events.push_back(std::move(e));
   }
@@ -126,8 +171,23 @@ std::string FaultPlan::to_xml() const {
     } else {
       out += str_format(" device=\"%s\"", xml_escape(e.target).c_str());
     }
-    if (is_spike(e.kind)) {
-      out += str_format(" prob=\"%g\" for=\"%g\"", e.prob, e.for_s);
+    switch (e.kind) {
+      case FaultEvent::Kind::kLossSpike:
+      case FaultEvent::Kind::kGlitchSpike:
+        out += str_format(" prob=\"%g\" for=\"%g\"", e.prob, e.for_s);
+        break;
+      case FaultEvent::Kind::kDuplicateSpike:
+        out += str_format(" factor=\"%g\" for=\"%g\"", e.factor, e.for_s);
+        break;
+      case FaultEvent::Kind::kReorderSpike:
+        out += str_format(" prob=\"%g\" window=\"%g\" for=\"%g\"", e.prob,
+                          e.window_s, e.for_s);
+        break;
+      case FaultEvent::Kind::kDelaySpike:
+        out += str_format(" add=\"%g\" for=\"%g\"", e.add_s, e.for_s);
+        break;
+      default:
+        break;
     }
     out += "/>\n";
   }

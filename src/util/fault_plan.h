@@ -18,17 +18,30 @@
 //     <event at="60" kind="glitch" device="cam1" prob="0.5" for="5"/>
 //     <event at="70" kind="partition" shard="1"/>
 //     <event at="90" kind="heal" shard="1"/>
+//     <event at="5" kind="duplicate" shard="0" factor="1.5" for="45"/>
+//     <event at="5" kind="reorder" shard="1" prob="0.3" window="0.004" for="45"/>
+//     <event at="5" kind="delay" device="czar" add="0.002" for="45"/>
 //   </fault_plan>
 //
-// `at` is seconds from the moment the plan is applied; `for` (loss/glitch
-// spikes only) is the interval length in seconds after which the original
-// value is restored; `prob` is the spiked probability in [0, 1].
+// `at` is seconds from the moment the plan is applied; `for` (spikes only)
+// is the interval length in seconds after which the original value is
+// restored; `prob` is the spiked probability in [0, 1].
 //
-// crash/revive/partition/heal events may name a worker shard index
-// (`shard="1"`) instead of a device: the sharded plane resolves the index
-// to that worker engine's network node, so bench_chaos can kill one worker
-// and watch the czar re-route its fragments. Exactly one of device/shard
-// must be given; unsharded Aorta rejects plans carrying shard events.
+// The backplane verbs perturb a link for the interval: `duplicate`
+// delivers each message an average of `factor` (>= 1) times, `reorder`
+// adds a uniform(0, window) extra delay with probability `prob`, and
+// `delay` adds a fixed `add` seconds of one-way latency. Together with
+// `loss` they draw from the network's dedicated chaos RNG stream, so the
+// main traffic streams are unperturbed (see net::LinkModel).
+//
+// crash/revive/partition/heal and the link verbs (loss/duplicate/
+// reorder/delay) may name a worker shard index (`shard="1"`) instead of a
+// device: the sharded plane resolves the index to that worker engine's
+// network node, so bench_chaos can kill one worker — or storm its
+// backplane link — and watch the czar ride it out. Exactly one of
+// device/shard must be given; unsharded Aorta rejects plans carrying
+// shard events. `glitch` is device-only (it perturbs the device itself,
+// not a link).
 #pragma once
 
 #include <string>
@@ -47,17 +60,28 @@ struct FaultEvent {
     kHeal,        // partition is lifted
     kLossSpike,   // link loss probability spiked to `prob` for `for_s`
     kGlitchSpike, // device glitch probability spiked to `prob` for `for_s`
+    kDuplicateSpike,  // link delivers ~`factor` copies per message for `for_s`
+    kReorderSpike,    // link adds uniform(0, window) delay w.p. `prob`
+    kDelaySpike,      // link adds a fixed `add_s` one-way latency
   };
 
   Kind kind = Kind::kCrash;
   std::string target;   // device id (empty when shard >= 0)
   int shard = -1;       // worker shard index; -1 = device-targeted event
   double at_s = 0.0;    // seconds after the plan is applied
-  double for_s = 0.0;   // spike duration (loss/glitch only)
-  double prob = 0.0;    // spiked probability (loss/glitch only)
+  double for_s = 0.0;   // spike duration (spikes only)
+  double prob = 0.0;    // spiked probability (loss/glitch/reorder)
+  double factor = 1.0;  // mean delivered copies (duplicate only, >= 1)
+  double window_s = 0.0;  // reorder delay window (reorder only, > 0)
+  double add_s = 0.0;   // fixed added latency (delay only, >= 0)
 };
 
 std::string_view fault_event_kind_name(FaultEvent::Kind k);
+
+// Spikes perturb a value for `for_s` then restore it.
+bool fault_event_is_spike(FaultEvent::Kind k);
+// Link-directed events (may target a shard's backplane link).
+bool fault_event_is_link_spike(FaultEvent::Kind k);
 
 struct FaultPlan {
   // Events sorted by at_s (stable: document order breaks ties).

@@ -78,6 +78,60 @@ TEST(FaultPlanTest, RejectsMalformedShardEvents) {
   bad("<event at=\"1\" kind=\"crash\" shard=\"x\"/>");
 }
 
+TEST(FaultPlanTest, BackplaneVerbsParseAndRoundTrip) {
+  auto plan = FaultPlan::from_xml(
+      "<fault_plan>"
+      "<event at=\"5\" kind=\"duplicate\" device=\"czar\" factor=\"1.5\""
+      " for=\"10\"/>"
+      "<event at=\"6\" kind=\"reorder\" device=\"shard-0\" prob=\"0.3\""
+      " window=\"0.004\" for=\"10\"/>"
+      "<event at=\"7\" kind=\"delay\" device=\"shard-1\" add=\"0.002\""
+      " for=\"10\"/>"
+      "<event at=\"8\" kind=\"reorder\" shard=\"1\" prob=\"0.2\""
+      " window=\"0.01\" for=\"2\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  const std::vector<FaultEvent>& ev = plan.value().events;
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].kind, FaultEvent::Kind::kDuplicateSpike);
+  EXPECT_DOUBLE_EQ(ev[0].factor, 1.5);
+  EXPECT_EQ(ev[1].kind, FaultEvent::Kind::kReorderSpike);
+  EXPECT_DOUBLE_EQ(ev[1].prob, 0.3);
+  EXPECT_DOUBLE_EQ(ev[1].window_s, 0.004);
+  EXPECT_EQ(ev[2].kind, FaultEvent::Kind::kDelaySpike);
+  EXPECT_DOUBLE_EQ(ev[2].add_s, 0.002);
+  EXPECT_EQ(ev[3].shard, 1);  // backplane verbs may target a shard
+
+  auto again = FaultPlan::from_xml(plan.value().to_xml());
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  ASSERT_EQ(again.value().events.size(), 4u);
+  EXPECT_DOUBLE_EQ(again.value().events[0].factor, 1.5);
+  EXPECT_DOUBLE_EQ(again.value().events[1].window_s, 0.004);
+  EXPECT_DOUBLE_EQ(again.value().events[2].add_s, 0.002);
+  EXPECT_EQ(again.value().events[3].shard, 1);
+}
+
+TEST(FaultPlanTest, RejectsMalformedBackplaneVerbs) {
+  auto bad = [](const std::string& body) {
+    auto r = FaultPlan::from_xml("<fault_plan>" + body + "</fault_plan>");
+    EXPECT_FALSE(r.is_ok()) << body;
+  };
+  // duplicate: factor must be >= 1 and present.
+  bad("<event at=\"1\" kind=\"duplicate\" device=\"czar\" factor=\"0.5\""
+      " for=\"2\"/>");
+  bad("<event at=\"1\" kind=\"duplicate\" device=\"czar\" for=\"2\"/>");
+  // reorder: window must be > 0; prob bounded like loss.
+  bad("<event at=\"1\" kind=\"reorder\" device=\"czar\" prob=\"0.3\""
+      " window=\"0\" for=\"2\"/>");
+  bad("<event at=\"1\" kind=\"reorder\" device=\"czar\" prob=\"1.5\""
+      " window=\"0.01\" for=\"2\"/>");
+  // delay: negative add rejected.
+  bad("<event at=\"1\" kind=\"delay\" device=\"czar\" add=\"-0.001\""
+      " for=\"2\"/>");
+  // All spikes need a positive duration.
+  bad("<event at=\"1\" kind=\"delay\" device=\"czar\" add=\"0.001\"/>");
+}
+
 TEST(FaultPlanTest, RejectsMalformedPlans) {
   auto bad = [](const std::string& body) {
     auto r = FaultPlan::from_xml("<fault_plan>" + body + "</fault_plan>");
@@ -144,6 +198,14 @@ TEST_F(FaultPlanSystemFixture, ApplyValidatesTargetsUpFront) {
       "<fault_plan><event at=\"1\" kind=\"partition\" device=\"nowhere\"/>"
       "</fault_plan>");
   EXPECT_FALSE(sys->apply_fault_plan(plan2).is_ok());
+
+  // Backplane verbs validate their endpoint up front too.
+  FaultPlan plan3 = parse(
+      "<fault_plan><event at=\"1\" kind=\"duplicate\" device=\"ghost\""
+      " factor=\"2\" for=\"1\"/></fault_plan>");
+  util::Status s3 = sys->apply_fault_plan(plan3);
+  EXPECT_FALSE(s3.is_ok());
+  EXPECT_EQ(s3.code(), util::StatusCode::kNotFound);
 }
 
 TEST_F(FaultPlanSystemFixture, CrashAndReviveToggleTheDevice) {
@@ -174,6 +236,9 @@ TEST_F(FaultPlanSystemFixture, PartitionAndHealDriveTheLink) {
 }
 
 TEST_F(FaultPlanSystemFixture, LossSpikeRestoresTheOriginalLink) {
+  // Loss spikes ride the chaos field (drawn from the network's isolated
+  // chaos RNG stream), leaving the link's base loss_prob untouched so the
+  // main RNG stream never shifts.
   const net::LinkModel* before = sys->network().link("m1");
   ASSERT_NE(before, nullptr);
   const double base_loss = before->loss_prob;
@@ -183,9 +248,36 @@ TEST_F(FaultPlanSystemFixture, LossSpikeRestoresTheOriginalLink) {
       "</fault_plan>");
   ASSERT_TRUE(sys->apply_fault_plan(plan).is_ok());
   sys->run_for(Duration::seconds(2));
-  EXPECT_DOUBLE_EQ(sys->network().link("m1")->loss_prob, 0.99);
-  sys->run_for(Duration::seconds(3));
+  EXPECT_DOUBLE_EQ(sys->network().link("m1")->chaos_loss_prob, 0.99);
   EXPECT_DOUBLE_EQ(sys->network().link("m1")->loss_prob, base_loss);
+  sys->run_for(Duration::seconds(3));
+  EXPECT_DOUBLE_EQ(sys->network().link("m1")->chaos_loss_prob, 0.0);
+  EXPECT_DOUBLE_EQ(sys->network().link("m1")->loss_prob, base_loss);
+}
+
+TEST_F(FaultPlanSystemFixture, BackplaneVerbsSpikeAndRestoreChaosFields) {
+  FaultPlan plan = parse(
+      "<fault_plan>"
+      "<event at=\"1\" kind=\"duplicate\" device=\"m1\" factor=\"1.5\""
+      " for=\"3\"/>"
+      "<event at=\"1\" kind=\"reorder\" device=\"m1\" prob=\"0.3\""
+      " window=\"0.004\" for=\"3\"/>"
+      "<event at=\"1\" kind=\"delay\" device=\"m1\" add=\"0.002\" for=\"3\"/>"
+      "</fault_plan>");
+  ASSERT_TRUE(sys->apply_fault_plan(plan).is_ok());
+  sys->run_for(Duration::seconds(2));
+  const net::LinkModel* spiked = sys->network().link("m1");
+  ASSERT_NE(spiked, nullptr);
+  EXPECT_DOUBLE_EQ(spiked->chaos_dup_factor, 1.5);
+  EXPECT_DOUBLE_EQ(spiked->chaos_reorder_prob, 0.3);
+  EXPECT_DOUBLE_EQ(spiked->chaos_reorder_window_s, 0.004);
+  EXPECT_DOUBLE_EQ(spiked->chaos_delay_s, 0.002);
+  sys->run_for(Duration::seconds(3));
+  const net::LinkModel* restored = sys->network().link("m1");
+  EXPECT_DOUBLE_EQ(restored->chaos_dup_factor, 1.0);
+  EXPECT_DOUBLE_EQ(restored->chaos_reorder_prob, 0.0);
+  EXPECT_DOUBLE_EQ(restored->chaos_delay_s, 0.0);
+  EXPECT_FALSE(restored->has_chaos());
 }
 
 TEST_F(FaultPlanSystemFixture, GlitchSpikeRestoresDeviceReliability) {

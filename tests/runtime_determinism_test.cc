@@ -70,7 +70,8 @@ struct RunOutput {
   std::string trace_json;
 };
 
-RunOutput run_workload(int runtime_threads, std::uint64_t seed) {
+RunOutput run_workload(int runtime_threads, std::uint64_t seed,
+                       const std::string& fault_plan_xml = "") {
   core::Config config;
   config.seed = seed;
   config.tracing = true;
@@ -109,6 +110,11 @@ RunOutput run_workload(int runtime_threads, std::uint64_t seed) {
                       std::to_string(100 + 100 * k);
     EXPECT_TRUE(service.submit(id, sql).is_ok()) << sql;
   }
+  if (!fault_plan_xml.empty()) {
+    auto plan = util::FaultPlan::from_xml(fault_plan_xml);
+    EXPECT_TRUE(plan.is_ok()) << plan.status().to_string();
+    EXPECT_TRUE(service.plane()->apply_fault_plan(plan.value()).is_ok());
+  }
   sys.run_for(Duration::seconds(10.0));
 
   RunOutput out;
@@ -127,6 +133,39 @@ TEST(RuntimeDeterminismTest, SameSeedIsByteIdenticalAcrossThreadCounts) {
   RunOutput one = run_workload(1, 42);
   RunOutput two = run_workload(2, 42);
   RunOutput eight = run_workload(8, 42);
+
+  ASSERT_FALSE(one.events.empty());
+  EXPECT_EQ(one.events, two.events);
+  EXPECT_EQ(one.events, eight.events);
+  EXPECT_EQ(one.stats_json, two.stats_json);
+  EXPECT_EQ(one.stats_json, eight.stats_json);
+  EXPECT_EQ(one.metrics_json, two.metrics_json);
+  EXPECT_EQ(one.metrics_json, eight.metrics_json);
+  EXPECT_EQ(one.trace_json, two.trace_json);
+  EXPECT_EQ(one.trace_json, eight.trace_json);
+}
+
+TEST(RuntimeDeterminismTest, BackplaneStormIsByteIdenticalAcrossThreadCounts) {
+  // The retry/ack/replay machinery (DESIGN.md §14) is itself part of the
+  // deterministic surface: a backplane storm — loss on two worker links,
+  // duplication into the czar, reordering and fixed delay — must replay
+  // byte-identically at any thread count. Chaos perturbations draw from
+  // the network's isolated chaos RNG and retry jitter from ReliableCall's
+  // constant-derived stream, so no main-stream draw ever shifts.
+  const std::string storm =
+      "<fault_plan>"
+      "<event at=\"3\" kind=\"loss\" device=\"shard-0\" prob=\"0.1\""
+      " for=\"4\"/>"
+      "<event at=\"3\" kind=\"duplicate\" device=\"czar\" factor=\"1.5\""
+      " for=\"4\"/>"
+      "<event at=\"3\" kind=\"reorder\" device=\"shard-1\" prob=\"0.3\""
+      " window=\"0.004\" for=\"4\"/>"
+      "<event at=\"3\" kind=\"delay\" device=\"czar\" add=\"0.002\""
+      " for=\"4\"/>"
+      "</fault_plan>";
+  RunOutput one = run_workload(1, 42, storm);
+  RunOutput two = run_workload(2, 42, storm);
+  RunOutput eight = run_workload(8, 42, storm);
 
   ASSERT_FALSE(one.events.empty());
   EXPECT_EQ(one.events, two.events);

@@ -131,6 +131,7 @@ TEST(StatsGoldenTest, RegistryValuesMatchPreRegistryCapture) {
     EXPECT_EQ(m.counter_value(p + "rows"), 0u) << t;
     EXPECT_EQ(m.counter_value(p + "rows_degraded"), 0u) << t;
     EXPECT_EQ(m.counter_value(p + "outcomes"), 0u) << t;
+    EXPECT_EQ(m.counter_value(p + "partial_results"), 0u) << t;
     EXPECT_EQ(m.gauge_value(p + "mailbox_dropped"), 0) << t;
   }
 
@@ -162,6 +163,33 @@ TEST(StatsGoldenTest, HealthSectionReportsDisabledWhenSupervisionOff) {
   EXPECT_FALSE(sys.metrics().contains("health.reports_ok"));
   EXPECT_NE(sys.metrics().snapshot_json().find("\"enabled\": false"),
             std::string::npos);
+}
+
+TEST(StatsGoldenTest, ShardedPlanePublishesReliableBackplaneSection) {
+  core::Config cfg;
+  cfg.seed = 11;
+  core::Aorta sys(cfg);
+  server::ServiceConfig sc;
+  sc.num_shards = 2;
+  server::QueryService service(&sys, sc);
+  const obs::MetricsRegistry& m = sys.metrics();
+  // The czar's reliable dispatcher and the plane's replay-buffer view
+  // share the "net.reliable." section (DESIGN.md §14).
+  for (const char* k :
+       {"net.reliable.calls", "net.reliable.attempts", "net.reliable.retries",
+        "net.reliable.giveups", "net.reliable.budget_exhausted",
+        "net.reliable.breaker.opens", "net.reliable.breaker.rejects"}) {
+    EXPECT_TRUE(m.contains(k)) << k;
+    EXPECT_EQ(m.counter_value(k), 0u) << k;
+  }
+  EXPECT_EQ(m.gauge_value("net.reliable.replay_depth"), 0);
+  EXPECT_EQ(m.gauge_value("net.reliable.replay_hwm"), 0);
+
+  // Sharded snapshot artifact; CI schema-validates the net.reliable
+  // section with tools/validate_metrics.py.
+  std::ofstream out("metrics_snapshot_sharded.json");
+  out << m.snapshot_json(/*include_buckets=*/true) << '\n';
+  EXPECT_TRUE(out.good());
 }
 
 TEST(StatsGoldenTest, SameSeedRunsProduceByteIdenticalMetricsAndTraces) {

@@ -21,6 +21,11 @@ import sys
 REQUIRED_SECTIONS = {"admission", "eval", "health", "network", "scan_broker",
                      "sessions"}
 HISTOGRAM_KEYS = {"count", "p50", "p99", "max"}
+# Present only in sharded snapshots: the reliable backplane's dispatcher
+# counters and replay-buffer gauges (DESIGN.md §14). When a "net" section
+# exists at all, these leaves must be under net.reliable.
+RELIABLE_KEYS = {"calls", "attempts", "retries", "giveups",
+                 "budget_exhausted", "replay_depth", "replay_hwm"}
 
 
 def fail(path, msg):
@@ -66,6 +71,13 @@ def validate(path):
     missing = REQUIRED_SECTIONS - set(doc)
     if missing:
         return fail(path, f"missing sections: {sorted(missing)}")
+    if "net" in doc:
+        reliable = doc["net"].get("reliable")
+        if not isinstance(reliable, dict):
+            return fail(path, "net section lacks a reliable subsection")
+        missing = RELIABLE_KEYS - set(reliable)
+        if missing:
+            return fail(path, f"net.reliable missing: {sorted(missing)}")
     rc = check_node(path, doc, "$")
     if rc:
         return rc
