@@ -1,0 +1,263 @@
+// Shared-aggregate cache bench (query/agg_cache.h, DESIGN.md §15).
+//
+// The dashboard workload: N tenants each register a continuous windowed
+// aggregate over one 12-mote sensor table, but the tenants only use 10
+// distinct query shapes (everybody watches the same building rollups).
+// Sweeps N from 1 to 1000 and runs every point twice: with the
+// query-hash shared-aggregate cache (Config::aggregate_cache = true) and
+// with the private-per-AQ ablation (= false, identical accumulation
+// machinery, no sharing). Reports, per point and mode:
+//
+//   * per-tuple aggregate evaluations (eval.agg.tuples_evaluated) — the
+//     CPU bill the cache collapses,
+//   * live cache entries / subscribers and the hit/miss/subsumption split,
+//   * emitted window rows, and whether the two modes' delivered rows are
+//     byte-identical per tenant (they must be: sharing is transparent).
+//
+// Acceptance: at 1000 tenants the cache evaluates >= 5x fewer tuples than
+// the ablation (it lands near 100x: 1000 subscribers collapse onto 9
+// entries) while every tenant receives byte-identical rows. Violations
+// exit non-zero.
+//
+// Everything runs in simulated time on the deterministic event loop;
+// writes results/bench_agg_cache.json. `--threads K` steps the per-shard
+// loops with K OS threads (the CI soak knob) — determinism means it can
+// change nothing but wall-clock.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/aorta.h"
+#include "util/json_writer.h"
+
+namespace {
+
+using aorta::util::Duration;
+
+constexpr int kMotes = 12;
+constexpr double kSimSeconds = 30.0;
+
+// The 10 distinct shapes behind the tenant fleet. Shapes 0 and 1 share a
+// canonical hash (GROUP BY is excluded from it): shape 1 attaches to
+// shape 0's entry as a subsumed grouping, so 10 shapes cost 9 entries.
+const char* kShapes[] = {
+    "SELECT avg(s.temp) FROM sensor s GROUP BY s.hops WINDOW 4s EVERY 2s",
+    "SELECT avg(s.temp) FROM sensor s WINDOW 4s EVERY 2s",
+    "SELECT count(*), max(s.light) FROM sensor s GROUP BY s.hops "
+    "WINDOW 6s EVERY 3s",
+    "SELECT min(s.temp), max(s.temp) FROM sensor s GROUP BY s.hops WINDOW 8s",
+    "SELECT sum(s.light) FROM sensor s WINDOW 5s",
+    "SELECT avg(s.accel_x) FROM sensor s WHERE s.accel_x > 100 WINDOW 3s",
+    "SELECT sum(s.temp), count(*) FROM sensor s GROUP BY s.hops "
+    "WINDOW 10s EVERY 5s",
+    "SELECT count(s.temp) FROM sensor s WHERE s.temp > 18 WINDOW 4s",
+    "SELECT max(s.accel_x) FROM sensor s GROUP BY s.hops WINDOW 6s EVERY 2s",
+    "SELECT avg(s.light), count(*) FROM sensor s WINDOW 2s",
+};
+constexpr int kShapeCount = 10;
+
+std::string value_key(const aorta::device::Value& v) {
+  char buf[96];
+  if (std::holds_alternative<std::monostate>(v)) return "null";
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    return std::to_string(*i);
+  }
+  if (const double* d = std::get_if<double>(&v)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    return buf;
+  }
+  if (const std::string* s = std::get_if<std::string>(&v)) return *s;
+  const auto& loc = std::get<aorta::device::Location>(v);
+  std::snprintf(buf, sizeof(buf), "(%.17g,%.17g,%.17g)", loc.x, loc.y, loc.z);
+  return buf;
+}
+
+struct ModeResult {
+  aorta::query::AggStats stats;
+  std::size_t entries = 0;
+  std::size_t subscribers = 0;
+  // Per-tenant delivered rows, rendered byte-exactly: the cross-mode
+  // identity check.
+  std::vector<std::string> rows_per_tenant;
+};
+
+ModeResult run_mode(int tenants, bool cache, int threads,
+                    const char* trace_path = nullptr) {
+  aorta::core::Config cfg;
+  cfg.seed = 42;
+  cfg.aggregate_cache = cache;
+  cfg.runtime_threads = threads;
+  cfg.tracing = trace_path != nullptr;
+  aorta::core::Aorta sys(cfg);
+  (void)sys.network().set_link(aorta::comm::EngineNode::kNodeId,
+                               aorta::net::LinkModel::perfect());
+  for (int i = 0; i < kMotes; ++i) {
+    std::string id = "mote" + std::to_string(i);
+    (void)sys.add_mote(id, {static_cast<double>(i * 3), 0, 1}, 1 + i % 3);
+    sys.mote(id)->reliability().glitch_prob = 0.0;
+    (void)sys.network().set_link(id, aorta::net::LinkModel::perfect());
+    (void)sys.mote(id)->set_signal(
+        "temp", aorta::devices::constant_signal(15.0 + i));
+    (void)sys.mote(id)->set_signal(
+        "light", aorta::devices::constant_signal(80.0 + 10.0 * (i % 4)));
+    (void)sys.mote(id)->set_signal(
+        "accel_x",
+        aorta::devices::periodic_spike_signal(
+            0.0, 900.0, Duration::seconds(10.0), Duration::seconds(2.0),
+            Duration::seconds(static_cast<double>(i % 5))));
+  }
+
+  for (int t = 0; t < tenants; ++t) {
+    std::string name = "tenant" + std::to_string(t);
+    auto r = sys.exec("CREATE AQ " + name + " AS " +
+                      kShapes[t % kShapeCount]);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "CREATE AQ failed: %s\n",
+                   r.status().to_string().c_str());
+      std::exit(2);
+    }
+  }
+  sys.run_for(Duration::seconds(kSimSeconds));
+  if (trace_path != nullptr) {
+    auto st = sys.tracer().export_file(trace_path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.to_string().c_str());
+    }
+  }
+
+  ModeResult m;
+  m.stats = sys.executor().agg_stats();
+  m.entries = sys.executor().agg_entries();
+  m.subscribers = sys.executor().agg_subscribers();
+  for (int t = 0; t < tenants; ++t) {
+    std::string key;
+    for (const aorta::query::TimestampedRow& r :
+         sys.executor().recent_results("tenant" + std::to_string(t))) {
+      key += std::to_string(r.at.to_micros());
+      for (const auto& [name, value] : r.row) {
+        key += "|" + name + "=" + value_key(value);
+      }
+      key += r.degraded ? "|degraded;" : ";";
+    }
+    m.rows_per_tenant.push_back(std::move(key));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("Shared-aggregate cache: per-tuple aggregate evaluations, "
+              "%d motes, %d query shapes, %g simulated seconds per point, "
+              "%d runtime thread(s)\n",
+              kMotes, kShapeCount, kSimSeconds, threads);
+  std::printf("\n%8s %14s %14s %9s %9s %9s %8s\n", "tenants", "evals:priv",
+              "evals:cache", "saving", "entries", "emitted", "rows");
+
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+
+  const std::vector<int> sweep = {1, 10, 100, 1000};
+  aorta::util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("motes", kMotes);
+  w.kv("shapes", kShapeCount);
+  w.kv("sim_seconds", kSimSeconds);
+  w.kv("threads", threads);
+  w.key("sweep").begin_array();
+  bool rows_identical = true;
+  double reduction_at_1000 = 0.0;
+  ModeResult at_1000;
+
+  for (int tenants : sweep) {
+    ModeResult priv = run_mode(tenants, /*cache=*/false, threads);
+    // The flagship 1000-tenant cached run also exports its span trace:
+    // the artifact CI schema-validates and Perfetto loads.
+    ModeResult cached = run_mode(
+        tenants, /*cache=*/true, threads,
+        tenants == 1000 ? "results/bench_agg_cache_trace.json" : nullptr);
+
+    bool same = priv.rows_per_tenant == cached.rows_per_tenant;
+    if (!same) rows_identical = false;
+    double saving =
+        cached.stats.tuples_evaluated == 0
+            ? 0.0
+            : static_cast<double>(priv.stats.tuples_evaluated) /
+                  static_cast<double>(cached.stats.tuples_evaluated);
+    if (tenants == 1000) {
+      reduction_at_1000 = saving;
+      at_1000 = cached;
+    }
+
+    std::printf("%8d %14llu %14llu %8.1fx %9zu %9llu %8zu%s\n", tenants,
+                static_cast<unsigned long long>(priv.stats.tuples_evaluated),
+                static_cast<unsigned long long>(cached.stats.tuples_evaluated),
+                saving, cached.entries,
+                static_cast<unsigned long long>(cached.stats.emissions),
+                cached.rows_per_tenant.size(),
+                same ? "" : "  ROWS-DIVERGED");
+
+    w.begin_object();
+    w.kv("tenants", tenants);
+    w.key("private").begin_object();
+    w.kv("tuples_evaluated", priv.stats.tuples_evaluated);
+    w.kv("emissions", priv.stats.emissions);
+    w.kv("entries", static_cast<std::uint64_t>(priv.entries));
+    w.end_object();
+    w.key("cached").begin_object();
+    w.kv("tuples_evaluated", cached.stats.tuples_evaluated);
+    w.kv("emissions", cached.stats.emissions);
+    w.kv("panes_closed", cached.stats.panes_closed);
+    w.kv("entries", static_cast<std::uint64_t>(cached.entries));
+    w.kv("subscribers", static_cast<std::uint64_t>(cached.subscribers));
+    w.kv("hits", cached.stats.hits);
+    w.kv("misses", cached.stats.misses);
+    w.kv("subsumptions", cached.stats.subsumptions);
+    w.end_object();
+    w.kv("eval_saving", saving);
+    w.kv("rows_identical", same);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  w.kv("reduction_at_1000", reduction_at_1000);
+  w.kv("rows_identical", rows_identical);
+  w.kv("entries_at_1000", static_cast<std::uint64_t>(at_1000.entries));
+  w.kv("subscribers_at_1000", static_cast<std::uint64_t>(at_1000.subscribers));
+  w.kv("hits_at_1000", at_1000.stats.hits);
+  w.kv("misses_at_1000", at_1000.stats.misses);
+  w.kv("subsumptions_at_1000", at_1000.stats.subsumptions);
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out("results/bench_agg_cache.json");
+  out << w.str() << '\n';
+  std::printf("\nwrote results/bench_agg_cache.json\n");
+
+  int rc = 0;
+  if (reduction_at_1000 < 5.0) {
+    std::printf("WARNING: evaluation reduction at 1000 tenants is %.1fx, "
+                "below the 5x target\n", reduction_at_1000);
+    rc = 1;
+  }
+  if (!rows_identical) {
+    std::printf("WARNING: delivered rows diverged between cached and "
+                "private aggregation\n");
+    rc = 1;
+  }
+  return rc;
+}

@@ -67,6 +67,7 @@ Aorta::Aorta(Config config)
   options.max_retries = config_.max_retries;
   options.health = health_.get();
   options.predicate_index = config_.predicate_index;
+  options.aggregate_cache = config_.aggregate_cache;
   executor_ = std::make_unique<query::ContinuousQueryExecutor>(
       registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
       locks_.get(), loop_, catalog_.get(), rng_.fork(), options);
@@ -149,6 +150,7 @@ void Aorta::enroll_system_metrics() {
   metrics_.enroll_counter("eval.compiled_evals", &es.compiled_evals);
   metrics_.enroll_counter("eval.fallback_evals", &es.fallback_evals);
   executor_->set_index_metrics(&metrics_, "eval.index.");
+  executor_->set_agg_metrics(&metrics_, "eval.agg.", "broker.agg_cache.");
 
   metrics_.enroll_counter("network.cross_sent", &net.cross_sent);
   metrics_.enroll_gauge("runtime.loops", [this]() {

@@ -65,6 +65,14 @@ struct Config {
   // false reverts to exhaustive per-AQ evaluation (byte-identical output;
   // the ablation arm of bench_eval's matching sweep).
   bool predicate_index = true;
+  // Shared-aggregate cache (query/agg_cache.h): continuous aggregate AQs
+  // with the same canonical query hash (normalized predicates + window
+  // shape, GROUP BY excluded) share one broker subscription and one
+  // incremental window accumulation, so N co-hashed dashboard tenants pay
+  // one evaluation per tuple instead of N. false reverts to a private
+  // cache entry per AQ (byte-identical output; bench_agg_cache's ablation
+  // arm).
+  bool aggregate_cache = true;
   // Device health supervision: per-device Healthy/Suspect/Quarantined
   // state machine fed by read/probe/action outcomes. Quarantined devices
   // are skipped by broker sweeps and action scheduling and re-probed with

@@ -1,0 +1,605 @@
+#include "query/agg_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "query/executor.h"
+#include "query/expr_eval.h"
+#include "util/strings.h"
+
+namespace aorta::query {
+
+using aorta::util::Result;
+using aorta::util::Status;
+using device::Value;
+
+namespace {
+
+// The canonical binding alias every normalized expression is rewritten
+// to: "avg(s.temp)" and "avg(x.temp)" must hash identically.
+constexpr const char* kAlias = "e";
+
+// Clone `expr` with every column qualifier rewritten to the canonical
+// alias (single-table queries: any qualifier names the event table).
+ExprPtr normalize(const Expr& expr) {
+  ExprPtr out = expr.clone();
+  std::function<void(Expr&)> walk = [&](Expr& e) {
+    if (e.kind == Expr::Kind::kColumnRef) e.qualifier = kAlias;
+    for (auto& arg : e.args) walk(*arg);
+    if (e.lhs != nullptr) walk(*e.lhs);
+    if (e.rhs != nullptr) walk(*e.rhs);
+  };
+  walk(*out);
+  return out;
+}
+
+std::optional<std::string> agg_name(const Expr& expr) {
+  if (expr.kind != Expr::Kind::kFuncCall) return std::nullopt;
+  std::string fn = aorta::util::to_lower(expr.func_name);
+  if (fn == "count" || fn == "sum" || fn == "avg" || fn == "min" ||
+      fn == "max") {
+    return fn;
+  }
+  return std::nullopt;
+}
+
+// Deterministic, injective encoding of a group-key value vector. Doubles
+// render with %.17g so distinct values never collide.
+void encode_value(const Value& v, std::string* out) {
+  struct Enc {
+    std::string* out;
+    void operator()(std::monostate) { *out += 'n'; }
+    void operator()(bool b) { *out += b ? "b1" : "b0"; }
+    void operator()(std::int64_t i) {
+      *out += 'i';
+      *out += std::to_string(i);
+    }
+    void operator()(double d) {
+      *out += 'd';
+      *out += aorta::util::str_format("%.17g", d);
+    }
+    void operator()(const std::string& s) {
+      *out += 's';
+      *out += std::to_string(s.size());
+      *out += ':';
+      *out += s;
+    }
+    void operator()(const device::Location& l) {
+      *out += 'l';
+      *out += aorta::util::str_format("%.17g,%.17g,%.17g", l.x, l.y, l.z);
+    }
+  };
+  std::visit(Enc{out}, v);
+  *out += ';';
+}
+
+}  // namespace
+
+AggregateCache::AggregateCache(comm::ScanBroker* broker,
+                               aorta::util::EventLoop* loop,
+                               const Catalog* catalog, Options options)
+    : broker_(broker), loop_(loop), catalog_(catalog), options_(options) {}
+
+AggregateCache::~AggregateCache() {
+  for (auto& [id, entry] : entries_) broker_->unsubscribe(entry->subscription);
+}
+
+bool AggregateCache::has_aggregates(const CompiledQuery& compiled) {
+  for (const auto& proj : compiled.projections) {
+    if (agg_name(*proj).has_value()) return true;
+  }
+  return false;
+}
+
+Status AggregateCache::build_spec(const CompiledQuery& compiled,
+                                  double sample_period_s, Spec* spec) const {
+  if (compiled.tables.size() != 1) {
+    return aorta::util::invalid_argument_error(
+        "continuous aggregates support a single table");
+  }
+  if (!compiled.actions.empty()) {
+    return aorta::util::invalid_argument_error(
+        "continuous aggregates cannot embed actions");
+  }
+  const comm::Schema& schema = compiled.schemas.at(compiled.event_alias);
+
+  // GROUP BY: plain event-table columns only.
+  for (const auto& g : compiled.group_by) {
+    if (g->kind != Expr::Kind::kColumnRef || g->column == "*") {
+      return aorta::util::invalid_argument_error(
+          "GROUP BY supports plain columns, got: " + g->to_string());
+    }
+    if (schema.field(g->column) == nullptr) {
+      return aorta::util::not_found_error("unknown GROUP BY column: " +
+                                          g->to_string());
+    }
+    spec->group_cols.push_back(g->column);
+  }
+
+  // Window shape in samples (one sample = one AQ epoch batch). Absent
+  // clauses default to a per-epoch window: every sample is its own pane
+  // and its own window, which is what plain continuous avg() means.
+  auto to_samples = [&](double seconds, const char* what,
+                        std::uint64_t* out) -> Status {
+    if (seconds <= 0.0) {
+      *out = 1;
+      return Status::ok();
+    }
+    double ratio = seconds / sample_period_s;
+    std::uint64_t samples =
+        static_cast<std::uint64_t>(std::llround(ratio));
+    if (samples == 0 || std::abs(ratio - static_cast<double>(samples)) > 1e-9) {
+      return aorta::util::invalid_argument_error(
+          std::string(what) + " must be a positive multiple of the AQ epoch (" +
+          aorta::util::str_format("%g", sample_period_s) + "s)");
+    }
+    *out = samples;
+    return Status::ok();
+  };
+  if (Status s = to_samples(compiled.every_s, "EVERY", &spec->slide);
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = to_samples(compiled.window_s, "WINDOW", &spec->window);
+      !s.is_ok()) {
+    return s;
+  }
+  if (spec->window % spec->slide != 0) {
+    return aorta::util::invalid_argument_error(
+        "WINDOW must be a multiple of EVERY");
+  }
+
+  // Select list: aggregate calls + group-key columns, nothing else.
+  for (const auto& proj : compiled.projections) {
+    auto fn = agg_name(*proj);
+    if (fn.has_value()) {
+      if (proj->args.size() > 1) {
+        return aorta::util::invalid_argument_error(
+            "aggregate takes at most one argument: " + proj->to_string());
+      }
+      const Expr* arg = proj->args.empty() ? nullptr : proj->args[0].get();
+      if (arg != nullptr && arg->kind == Expr::Kind::kColumnRef &&
+          arg->column == "*") {
+        arg = nullptr;  // COUNT(*)
+      }
+      if (*fn != "count" && arg == nullptr) {
+        return aorta::util::invalid_argument_error(
+            "aggregate needs a column argument: " + proj->to_string());
+      }
+      ExprPtr norm = arg == nullptr ? nullptr : normalize(*arg);
+      std::string key = norm == nullptr ? "*" : norm->to_string();
+      std::size_t idx = 0;
+      for (; idx < spec->arg_keys.size(); ++idx) {
+        if (spec->arg_keys[idx] == key) break;
+      }
+      if (idx == spec->arg_keys.size()) {
+        spec->arg_keys.push_back(key);
+        spec->arg_exprs.push_back(std::move(norm));
+      }
+      SubItem item;
+      item.is_group = false;
+      item.index = idx;
+      if (*fn == "count") item.op = AggOp::kCount;
+      else if (*fn == "sum") item.op = AggOp::kSum;
+      else if (*fn == "avg") item.op = AggOp::kAvg;
+      else if (*fn == "min") item.op = AggOp::kMin;
+      else item.op = AggOp::kMax;
+      item.label = proj->to_string();
+      spec->items.push_back(std::move(item));
+      continue;
+    }
+    if (proj->kind == Expr::Kind::kColumnRef && proj->column != "*") {
+      auto it = std::find(spec->group_cols.begin(), spec->group_cols.end(),
+                          proj->column);
+      if (it != spec->group_cols.end()) {
+        SubItem item;
+        item.is_group = true;
+        item.index = static_cast<std::size_t>(it - spec->group_cols.begin());
+        item.label = proj->to_string();
+        spec->items.push_back(std::move(item));
+        continue;
+      }
+    }
+    return aorta::util::invalid_argument_error(
+        "projection must be an aggregate or a GROUP BY column: " +
+        proj->to_string());
+  }
+
+  // Normalized predicate texts, sorted (conjunct order must not change
+  // the hash).
+  for (const auto& p : compiled.event_predicates) {
+    ExprPtr norm = normalize(*p);
+    spec->pred_keys.push_back(norm->to_string());
+    spec->preds.push_back(std::move(norm));
+  }
+  std::sort(spec->pred_keys.begin(), spec->pred_keys.end());
+
+  auto na = compiled.needed_attrs.find(compiled.event_alias);
+  if (na != compiled.needed_attrs.end()) spec->needed = na->second;
+  return Status::ok();
+}
+
+Status AggregateCache::attach(const std::string& name,
+                              std::uint64_t generation,
+                              const CompiledQuery& compiled,
+                              std::uint64_t epoch_ticks,
+                              double sample_period_s, EmitFn emit) {
+  Spec spec;
+  if (Status s = build_spec(compiled, sample_period_s, &spec);
+      !s.is_ok()) {
+    return s;
+  }
+
+  // The canonical query hash: everything that determines the entry's
+  // evaluation — event type, sample cadence and phase, window shape,
+  // normalized predicates and aggregate arguments — but NOT the GROUP BY
+  // columns (distinct groupings share an entry) and NOT the aggregate ops
+  // (every op folds from the same pane partials). The phase mirrors the
+  // subscription a private registration would have created, so sharing
+  // never shifts emission ticks.
+  const device::DeviceTypeId type = compiled.event_type();
+  const std::uint64_t phase = broker_->tick_count() % epoch_ticks;
+  std::string key = type;
+  key += '\x1f';
+  key += std::to_string(epoch_ticks) + "|" + std::to_string(phase) + "|" +
+         std::to_string(spec.window) + "|" + std::to_string(spec.slide) + "|";
+  for (const auto& p : spec.pred_keys) key += p + "&";
+  key += "|";
+  {
+    std::vector<std::string> sorted_args = spec.arg_keys;
+    std::sort(sorted_args.begin(), sorted_args.end());
+    for (const auto& a : sorted_args) key += a + ",";
+  }
+  if (!options_.shared) {
+    // Ablation: a per-AQ key runs the same machinery without sharing.
+    key += "|gen" + std::to_string(generation);
+  }
+
+  // Find a compatible entry: same hash AND the grouping's columns are a
+  // subset of the attributes the entry's subscription acquires (the
+  // subsumption rule — an entry cannot group by what it never reads).
+  Entry* entry = nullptr;
+  bool fresh = false;
+  for (std::uint64_t id : by_hash_[key]) {
+    Entry* candidate = entries_.at(id).get();
+    bool ok = true;
+    for (const auto& col : spec.group_cols) {
+      if (candidate->needed.count(col) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      entry = candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    fresh = true;
+    auto owned = std::make_unique<Entry>();
+    owned->id = next_entry_id_++;
+    owned->hash_key = key;
+    owned->type = type;
+    owned->period = epoch_ticks;
+    owned->phase = phase;
+    owned->window = spec.window;
+    owned->slide = spec.slide;
+    owned->window_panes = spec.window / spec.slide;
+    owned->needed = spec.needed;
+    owned->schema = compiled.schemas.at(compiled.event_alias);
+    const std::vector<std::string> aliases{kAlias};
+    const std::map<std::string, const comm::Schema*> schemas{
+        {kAlias, &owned->schema}};
+    for (auto& p : spec.preds) {
+      auto prog = EvalProgram::compile(*p, aliases, schemas,
+                                       catalog_->functions());
+      owned->pred_programs.push_back(
+          prog.is_ok() ? std::optional<EvalProgram>(std::move(prog).value())
+                       : std::nullopt);
+      owned->preds.push_back(std::move(p));
+    }
+    for (std::size_t i = 0; i < spec.arg_keys.size(); ++i) {
+      ArgCol arg;
+      arg.key = spec.arg_keys[i];
+      arg.expr = std::move(spec.arg_exprs[i]);
+      if (arg.expr != nullptr) {
+        auto prog = EvalProgram::compile(*arg.expr, aliases, schemas,
+                                         catalog_->functions());
+        if (prog.is_ok()) arg.program = std::move(prog).value();
+      }
+      owned->args.push_back(std::move(arg));
+    }
+    std::uint64_t id = owned->id;
+    owned->subscription = broker_->subscribe(
+        type, std::set<std::string>(spec.needed), epoch_ticks,
+        [this, id](const std::vector<comm::Tuple>& tuples,
+                   std::uint64_t issue_tick) {
+          on_batch(id, tuples, issue_tick);
+        });
+    entry = owned.get();
+    entries_.emplace(id, std::move(owned));
+    by_hash_[key].push_back(id);
+    ++stats_.misses;
+  }
+
+  // Find or create the grouping for this column list.
+  Grouping* grouping = nullptr;
+  for (auto& g : entry->groupings) {
+    if (g->cols == spec.group_cols) {
+      grouping = g.get();
+      break;
+    }
+  }
+  if (grouping == nullptr) {
+    auto owned = std::make_unique<Grouping>();
+    owned->cols = spec.group_cols;
+    if (owned->cols.empty()) {
+      // Ungrouped aggregates always have their one implicit group, so an
+      // empty window still emits (count = 0, sum/avg/min/max = NULL).
+      GroupState& g = owned->groups[""];
+      g.args.resize(entry->args.size());
+    }
+    grouping = owned.get();
+    entry->groupings.push_back(std::move(owned));
+    if (!fresh) ++stats_.subsumptions;
+  } else if (!fresh) {
+    ++stats_.hits;
+  }
+  ++grouping->subscribers;
+
+  // Warm-up: the first pane made only of samples this subscriber will
+  // observe. Windows containing earlier panes are suppressed for it, so a
+  // mid-stream join sees exactly what its private entry would have.
+  const std::uint64_t tick = broker_->tick_count();
+  const std::uint64_t first_sample =
+      (tick - entry->phase) / entry->period + 1;
+  auto sub = std::make_unique<Subscriber>();
+  sub->name = name;
+  sub->generation = generation;
+  sub->min_pane = (first_sample + entry->slide - 1) / entry->slide;
+  sub->items = std::move(spec.items);
+  sub->emit = std::move(emit);
+  sub->entry = entry;
+  sub->grouping = grouping;
+  entry->subs.push_back(generation);
+  std::sort(entry->subs.begin(), entry->subs.end());
+  subs_by_gen_.emplace(generation, std::move(sub));
+  return Status::ok();
+}
+
+void AggregateCache::detach(std::uint64_t generation) {
+  auto it = subs_by_gen_.find(generation);
+  if (it == subs_by_gen_.end()) return;
+  Subscriber& sub = *it->second;
+  Entry* entry = sub.entry;
+  entry->subs.erase(
+      std::remove(entry->subs.begin(), entry->subs.end(), generation),
+      entry->subs.end());
+  if (--sub.grouping->subscribers == 0) {
+    auto git = std::find_if(
+        entry->groupings.begin(), entry->groupings.end(),
+        [&](const std::unique_ptr<Grouping>& g) {
+          return g.get() == sub.grouping;
+        });
+    if (git != entry->groupings.end()) entry->groupings.erase(git);
+  }
+  subs_by_gen_.erase(it);
+  if (entry->subs.empty()) {
+    broker_->unsubscribe(entry->subscription);
+    auto& ids = by_hash_[entry->hash_key];
+    ids.erase(std::remove(ids.begin(), ids.end(), entry->id), ids.end());
+    if (ids.empty()) by_hash_.erase(entry->hash_key);
+    entries_.erase(entry->id);
+  }
+}
+
+bool AggregateCache::eval_pred(const Entry& entry, std::size_t i,
+                               const comm::Tuple& tuple) const {
+  if (entry.pred_programs[i].has_value()) {
+    BindingFrame frame;
+    frame.size = 1;
+    frame.set(0, &tuple);
+    return entry.pred_programs[i]->run_predicate(frame);
+  }
+  Env env;
+  env.bind(kAlias, &tuple);
+  return eval_predicate(*entry.preds[i], env, catalog_->functions());
+}
+
+Result<Value> AggregateCache::eval_arg(const ArgCol& arg,
+                                       const comm::Tuple& tuple) const {
+  if (arg.program.has_value()) {
+    BindingFrame frame;
+    frame.size = 1;
+    frame.set(0, &tuple);
+    return arg.program->run(frame);
+  }
+  Env env;
+  env.bind(kAlias, &tuple);
+  return eval(*arg.expr, env, catalog_->functions());
+}
+
+void AggregateCache::on_batch(std::uint64_t entry_id,
+                              const std::vector<comm::Tuple>& tuples,
+                              std::uint64_t issue_tick) {
+  auto eit = entries_.find(entry_id);
+  if (eit == entries_.end()) return;  // dropped with a batch in flight
+  Entry& entry = *eit->second;
+  const std::uint64_t sample = (issue_tick - entry.phase) / entry.period;
+
+  stats_.tuples_evaluated += tuples.size();
+  for (const comm::Tuple& tuple : tuples) {
+    bool pass = true;
+    for (std::size_t i = 0; i < entry.preds.size(); ++i) {
+      if (!eval_pred(entry, i, tuple)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    // Evaluate every aggregate argument once; the per-arg contribution is
+    // then folded into each grouping's matching group.
+    struct Contribution {
+      bool counts = false;   // non-null (COUNT domain)
+      bool numeric = false;  // coercible (SUM/AVG/MIN/MAX domain)
+      double x = 0.0;
+    };
+    std::vector<Contribution> contribs(entry.args.size());
+    for (std::size_t a = 0; a < entry.args.size(); ++a) {
+      Contribution& c = contribs[a];
+      if (entry.args[a].expr == nullptr) {  // COUNT(*)
+        c.counts = true;
+        continue;
+      }
+      auto v = eval_arg(entry.args[a], tuple);
+      if (!v.is_ok() || std::holds_alternative<std::monostate>(v.value())) {
+        continue;  // NULLs never contribute
+      }
+      c.counts = true;
+      c.numeric = device::value_as_double(v.value(), &c.x);
+    }
+
+    for (auto& grouping : entry.groupings) {
+      std::string group_key;
+      for (const auto& col : grouping->cols) {
+        encode_value(tuple.get(col), &group_key);
+      }
+      auto [git, inserted] = grouping->groups.try_emplace(group_key);
+      GroupState& group = git->second;
+      if (inserted) {
+        group.args.resize(entry.args.size());
+        for (const auto& col : grouping->cols) {
+          group.values.push_back(tuple.get(col));
+        }
+      }
+      for (std::size_t a = 0; a < entry.args.size(); ++a) {
+        const Contribution& c = contribs[a];
+        ArgWindow& w = group.args[a];
+        w.cur.degraded |= tuple.degraded();
+        if (c.counts) ++w.cur.cnt;
+        if (!c.numeric) continue;
+        if (w.cur.n_num == 0) {
+          w.cur.low = c.x;
+          w.cur.high = c.x;
+        }
+        w.cur.sum += c.x;
+        w.cur.low = std::min(w.cur.low, c.x);
+        w.cur.high = std::max(w.cur.high, c.x);
+        ++w.cur.n_num;
+      }
+    }
+  }
+
+  // Pane close: the batch that completes a pane triggers bookkeeping and
+  // window emission at this same virtual instant — i.e. the epoch barrier
+  // of the closing sample's tick.
+  if ((sample + 1) % entry.slide != 0) return;
+  const std::uint64_t pane = sample / entry.slide;
+  std::vector<std::pair<Subscriber*, TimestampedRow>> out;
+  close_pane(entry, pane, &out);
+  // Deliveries run after all state mutation: an on_row hook may drop or
+  // register AQs, so each staged row re-resolves its subscriber first.
+  for (auto& [sub, row] : out) {
+    auto sit = subs_by_gen_.find(sub->generation);
+    if (sit == subs_by_gen_.end() || sit->second.get() != sub) continue;
+    ++stats_.emissions;
+    sub->emit(sub->name, row);
+  }
+}
+
+void AggregateCache::close_pane(
+    Entry& entry, std::uint64_t pane,
+    std::vector<std::pair<Subscriber*, TimestampedRow>>* out) {
+  ++stats_.panes_closed;
+  const std::uint64_t low_pane =
+      pane + 1 >= entry.window_panes ? pane + 1 - entry.window_panes : 0;
+
+  for (auto& grouping : entry.groupings) {
+    std::vector<std::string> dead;
+    for (auto& [key, group] : grouping->groups) {
+      bool live = false;
+      for (ArgWindow& w : group.args) {
+        // Close the open pane (only when it saw data), then expire
+        // everything older than the window that ends at `pane`.
+        if (w.cur.cnt > 0 || w.cur.n_num > 0 || w.cur.degraded) {
+          if (w.cur.n_num > 0) {
+            while (!w.mins.empty() && w.mins.back().second >= w.cur.low) {
+              w.mins.pop_back();
+            }
+            w.mins.emplace_back(pane, w.cur.low);
+            while (!w.maxs.empty() && w.maxs.back().second <= w.cur.high) {
+              w.maxs.pop_back();
+            }
+            w.maxs.emplace_back(pane, w.cur.high);
+          }
+          w.panes.emplace_back(pane, w.cur);
+          w.cur = PanePartial{};
+        }
+        while (!w.panes.empty() && w.panes.front().first < low_pane) {
+          w.panes.pop_front();
+        }
+        while (!w.mins.empty() && w.mins.front().first < low_pane) {
+          w.mins.pop_front();
+        }
+        while (!w.maxs.empty() && w.maxs.front().first < low_pane) {
+          w.maxs.pop_front();
+        }
+        if (!w.panes.empty()) live = true;
+      }
+      if (!live && !grouping->cols.empty()) dead.push_back(key);
+    }
+    // Groups with no data anywhere in the window vanish (and emit
+    // nothing) — the churn guarantee's "no debris".
+    for (const auto& key : dead) grouping->groups.erase(key);
+  }
+
+  // Emission: per subscriber in registration (generation) order, per
+  // group in encoded-key order — a deterministic schedule shared by the
+  // cache-on and cache-off modes.
+  const aorta::util::TimePoint now = loop_->now();
+  for (std::uint64_t generation : entry.subs) {
+    auto sit = subs_by_gen_.find(generation);
+    if (sit == subs_by_gen_.end()) continue;
+    Subscriber* sub = sit->second.get();
+    if (pane + 1 < sub->min_pane + entry.window_panes) continue;  // warm-up
+    for (const auto& [key, group] : sub->grouping->groups) {
+      Row row;
+      bool degraded = false;
+      for (const SubItem& item : sub->items) {
+        row.emplace_back(item.label, finalize(group, item, &degraded));
+      }
+      out->emplace_back(sub, TimestampedRow{now, std::move(row), degraded});
+    }
+  }
+}
+
+Value AggregateCache::finalize(const GroupState& group, const SubItem& item,
+                               bool* degraded) const {
+  if (item.is_group) return group.values[item.index];
+  const ArgWindow& w = group.args[item.index];
+  double sum = 0.0;
+  std::uint64_t n_num = 0, cnt = 0;
+  for (const auto& [pane, partial] : w.panes) {
+    sum += partial.sum;
+    n_num += partial.n_num;
+    cnt += partial.cnt;
+    *degraded |= partial.degraded;
+  }
+  switch (item.op) {
+    case AggOp::kCount:
+      return static_cast<std::int64_t>(cnt);
+    case AggOp::kSum:
+      return n_num == 0 ? Value{} : Value{sum};
+    case AggOp::kAvg:
+      return n_num == 0 ? Value{}
+                        : Value{sum / static_cast<double>(n_num)};
+    case AggOp::kMin:
+      return w.mins.empty() ? Value{} : Value{w.mins.front().second};
+    case AggOp::kMax:
+      return w.maxs.empty() ? Value{} : Value{w.maxs.front().second};
+  }
+  return Value{};
+}
+
+}  // namespace aorta::query

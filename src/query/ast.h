@@ -71,6 +71,15 @@ struct SelectStmt {
   std::vector<ExprPtr> select_list;  // columns, scalar exprs, or action calls
   std::vector<TableRef> from;
   ExprPtr where;  // may be null
+
+  // Continuous aggregation clauses (DESIGN.md §15). GROUP BY partitions
+  // window aggregates by the listed columns; WINDOW w [EVERY e] makes the
+  // aggregates sliding (window w seconds, advancing every e seconds;
+  // omitted EVERY means tumbling, e == w). Both are 0 when absent, which
+  // the executor treats as a per-epoch window (w == e == one AQ epoch).
+  std::vector<ExprPtr> group_by;
+  double window_s = 0.0;
+  double every_s = 0.0;
 };
 
 struct CreateActionStmt {

@@ -368,6 +368,12 @@ Result<CompiledQuery> compile(const SelectStmt& stmt, const Catalog& catalog,
     }
     collect_columns(*item, schemas, &q.needed_attrs);
   }
+  for (const auto& g : stmt.group_by) {
+    collect_columns(*g, schemas, &q.needed_attrs);
+    q.group_by.push_back(g->clone());
+  }
+  q.window_s = stmt.window_s;
+  q.every_s = stmt.every_s;
 
   // ---- predicate-index metadata ------------------------------------------
   // One-shot SELECTs scan once and never register with the index.

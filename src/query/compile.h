@@ -81,6 +81,12 @@ struct CompiledQuery {
   std::vector<CompiledActionCall> actions;
   std::vector<ExprPtr> projections;  // non-action select items
 
+  // Continuous aggregation clauses, carried through from the statement
+  // (the executor's AggregateCache consumes them; see DESIGN.md §15).
+  std::vector<ExprPtr> group_by;
+  double window_s = 0.0;
+  double every_s = 0.0;
+
   // ---- compiled evaluation (query/eval_program.h) -----------------------
   // Frame layout: one slot per FROM alias, in FROM order. Expressions are
   // lowered once here; per row the executor fills a BindingFrame and runs

@@ -84,6 +84,9 @@ ContinuousQueryExecutor::ContinuousQueryExecutor(
     // barrier can flush action operators.
     broker_->set_delivery_epilogue([this]() { process_staged(); });
   }
+  agg_cache_ = std::make_unique<AggregateCache>(
+      broker_, loop_, catalog_,
+      AggregateCache::Options{options_.aggregate_cache});
 }
 
 ContinuousQueryExecutor::~ContinuousQueryExecutor() {
@@ -101,26 +104,16 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
   auto compiled = compile(stmt, *catalog_, *registry_);
   if (!compiled.is_ok()) return compiled.status();
 
-  // Aggregates are a one-shot SELECT feature; a continuous aggregate would
-  // need windowing semantics this engine does not define.
-  for (const auto& proj : compiled.value().projections) {
-    if (proj->kind != Expr::Kind::kFuncCall) continue;
-    std::string fn = aorta::util::to_lower(proj->func_name);
-    if (fn == "count" || fn == "sum" || fn == "avg" || fn == "min" ||
-        fn == "max") {
-      std::string message =
-          "aggregates are not supported in continuous queries: " +
-          proj->to_string();
-      if (fn == "avg") {
-        // avg() merges across shards as (sum, count) partials, but only
-        // for one-shot SELECTs; steer users there instead of leaving the
-        // impression avg() is unsupported everywhere.
-        message +=
-            "; one-shot SELECT avg() is supported (merged as (sum, count) "
-            "partials)";
-      }
-      return aorta::util::invalid_argument_error(message);
-    }
+  // Continuous aggregates run on the shared-aggregate cache (attached
+  // below, after the epoch is resolved). GROUP BY / WINDOW only make sense
+  // over aggregate projections.
+  bool has_agg = AggregateCache::has_aggregates(compiled.value());
+  if (!has_agg && (!compiled.value().group_by.empty() ||
+                   compiled.value().window_s > 0.0 ||
+                   compiled.value().every_s > 0.0)) {
+    return aorta::util::invalid_argument_error(
+        "GROUP BY / WINDOW require aggregate projections "
+        "(count/sum/avg/min/max)");
   }
 
   auto aq = std::make_unique<Aq>();
@@ -142,6 +135,39 @@ Status ContinuousQueryExecutor::register_aq(const std::string& name,
     double ratio = epoch_s / engine_epoch_s;
     aq->epoch_ticks = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(std::llround(ratio)));
+  }
+
+  if (has_agg) {
+    // Continuous aggregate: evaluation and window emission live in the
+    // shared AggregateCache (one broker subscription + one incremental
+    // accumulation per canonical query hash), not in a delivery group or
+    // private subscription. The emit callback re-resolves the query by
+    // name + generation: a drop + re-register between pane close and
+    // delivery must not feed the new registration.
+    aq->agg = true;
+    Status attached = agg_cache_->attach(
+        name, aq->generation, aq->compiled, aq->epoch_ticks,
+        static_cast<double>(aq->epoch_ticks) * options_.epoch.to_seconds(),
+        [this, generation = aq->generation](const std::string& qname,
+                                            const TimestampedRow& row) {
+          auto found = queries_.find(qname);
+          if (found == queries_.end() ||
+              found->second->generation != generation) {
+            return;
+          }
+          Aq& owner = *found->second;
+          ++owner.stats.events;
+          if (owner.hooks.on_row) owner.hooks.on_row(qname, row);
+          owner.results.push_back(row);
+          while (owner.results.size() > kResultCap) owner.results.pop_front();
+        });
+    if (!attached.is_ok()) return attached;
+    AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kRegister, "register:" + name,
+                        loop_->now(),
+                        "aggregate every " + std::to_string(aq->epoch_ticks) +
+                            " tick(s)");
+    queries_.emplace(name, std::move(aq));
+    return Status::ok();
   }
 
   // Make sure the shared operators for its actions exist.
@@ -248,7 +274,11 @@ Status ContinuousQueryExecutor::drop_aq(const std::string& name) {
     return aorta::util::not_found_error("no such query: " + name);
   }
   Aq& aq = *it->second;
-  if (aq.group != nullptr) {
+  if (aq.agg) {
+    // Aggregate path: the cache tears down the subscriber, and the entry +
+    // subscription with it when this was the last co-hashed AQ.
+    agg_cache_->detach(aq.generation);
+  } else if (aq.group != nullptr) {
     // Indexed path: remove this member's index entry and directory rows;
     // tear the group down only when its last member leaves.
     DeliveryGroup* group = aq.group;
@@ -676,6 +706,30 @@ void ContinuousQueryExecutor::set_index_metrics(obs::MetricsRegistry* metrics,
   });
 }
 
+void ContinuousQueryExecutor::set_agg_metrics(obs::MetricsRegistry* metrics,
+                                              std::string eval_prefix,
+                                              std::string cache_prefix) {
+  agg_eval_metrics_ =
+      obs::MetricsRegistry::Scoped(metrics, std::move(eval_prefix));
+  agg_cache_metrics_ =
+      obs::MetricsRegistry::Scoped(metrics, std::move(cache_prefix));
+  const AggStats& stats = agg_cache_->stats();
+  if (agg_eval_metrics_.live()) {
+    agg_eval_metrics_.enroll_counter("tuples_evaluated",
+                                     &stats.tuples_evaluated);
+    agg_eval_metrics_.enroll_counter("emissions", &stats.emissions);
+    agg_eval_metrics_.enroll_counter("panes_closed", &stats.panes_closed);
+  }
+  if (agg_cache_metrics_.live()) {
+    agg_cache_metrics_.enroll_counter("hits", &stats.hits);
+    agg_cache_metrics_.enroll_counter("misses", &stats.misses);
+    agg_cache_metrics_.enroll_counter("subsumptions", &stats.subsumptions);
+    agg_cache_metrics_.enroll_gauge("live_windows", [this]() {
+      return static_cast<std::int64_t>(agg_cache_->entry_count());
+    });
+  }
+}
+
 QueryActionStats ContinuousQueryExecutor::action_stats(
     const std::string& name) const {
   QueryActionStats total;
@@ -713,6 +767,12 @@ std::vector<const ActionOperator*> ContinuousQueryExecutor::operators() const {
 void ContinuousQueryExecutor::run_select(
     const SelectStmt& stmt,
     std::function<void(Result<std::vector<Row>>)> done) {
+  if (!stmt.group_by.empty() || stmt.window_s > 0.0) {
+    done(Result<std::vector<Row>>(aorta::util::invalid_argument_error(
+        "GROUP BY / WINDOW apply to continuous queries (CREATE AQ), not "
+        "one-shot SELECT")));
+    return;
+  }
   auto compiled = compile(stmt, *catalog_, *registry_, /*one_shot=*/true);
   if (!compiled.is_ok()) {
     done(Result<std::vector<Row>>(compiled.status()));

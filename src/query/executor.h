@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/action_operator.h"
+#include "query/agg_cache.h"
 #include "query/compile.h"
 #include "query/predicate_index.h"
 
@@ -100,6 +101,12 @@ class ContinuousQueryExecutor {
     // exhaustive ablation: one subscription per AQ, every program runs on
     // every tuple (the pre-index behaviour, byte-identical output).
     bool predicate_index = true;
+    // Shared-aggregate cache (query/agg_cache.h): continuous aggregate AQs
+    // with the same canonical query hash share one broker subscription and
+    // one incremental window accumulation. false = ablation: every
+    // aggregate AQ gets a private cache entry running the identical
+    // machinery (byte-identical output, N× the evaluation cost).
+    bool aggregate_cache = true;
   };
 
   // Multi-tenant hooks a query can be registered with (src/server): an
@@ -177,6 +184,16 @@ class ContinuousQueryExecutor {
   // entry gauges ("<prefix>types.<type>.entries") enroll lazily as device
   // types first gain an indexed AQ.
   void set_index_metrics(obs::MetricsRegistry* metrics, std::string prefix);
+  // Shared-aggregate cache counters: evaluation cost under `eval_prefix`
+  // ("eval.agg."), sharing outcomes under `cache_prefix`
+  // ("broker.agg_cache.", including the live_windows gauge).
+  void set_agg_metrics(obs::MetricsRegistry* metrics, std::string eval_prefix,
+                       std::string cache_prefix);
+  const AggStats& agg_stats() const { return agg_cache_->stats(); }
+  std::size_t agg_entries() const { return agg_cache_->entry_count(); }
+  std::size_t agg_subscribers() const {
+    return agg_cache_->subscriber_count();
+  }
   // Action outcomes per query, aggregated across all shared operators.
   QueryActionStats action_stats(const std::string& name) const;
   std::vector<const ActionOperator*> operators() const;
@@ -222,6 +239,9 @@ class ContinuousQueryExecutor {
     // rows the broker skips (unreachable devices) advance no sequence,
     // exactly like the exhaustive path's untouched last_state.
     std::map<device::DeviceId, std::uint64_t> last_true_seq;
+    // Continuous aggregate query: evaluation lives in the shared
+    // AggregateCache, not in a delivery group or private subscription.
+    bool agg = false;
     // epochs is derived lazily on the indexed path (query_stats()).
     mutable QueryStats stats;
     // Projection outputs at event time (bounded ring).
@@ -320,6 +340,10 @@ class ContinuousQueryExecutor {
   IndexStats index_stats_;
   obs::MetricsRegistry::Scoped index_metrics_;
   std::set<device::DeviceTypeId> index_metric_types_;
+  // Shared windowed aggregation for aggregate AQs (query/agg_cache.h).
+  std::unique_ptr<AggregateCache> agg_cache_;
+  obs::MetricsRegistry::Scoped agg_eval_metrics_;
+  obs::MetricsRegistry::Scoped agg_cache_metrics_;
   std::map<std::string, std::unique_ptr<ActionOperator>> operators_;
   // Schemas backing candidate tuples (per device type, stable addresses).
   std::map<device::DeviceTypeId, std::unique_ptr<comm::Schema>> schemas_;

@@ -17,7 +17,7 @@ const std::set<std::string>& keywords() {
       "CREATE", "ACTION", "AQ",    "AS",   "PROFILE", "SELECT", "FROM",
       "WHERE",  "AND",    "OR",    "NOT",  "TRUE",    "FALSE",  "DROP",
       "NULL",   "EVERY",  "SHOW",  "QUERIES", "ACTIONS", "DEVICES",
-      "EXPLAIN"};
+      "EXPLAIN", "GROUP", "BY", "WINDOW"};
   return kw;
 }
 

@@ -263,7 +263,53 @@ class Parser {
       if (!e.is_ok()) return Result<SelectStmt>(e.status());
       stmt.where = std::move(e).value();
     }
+
+    if (peek().is_keyword("GROUP")) {
+      advance();
+      if (!peek().is_keyword("BY")) return error<SelectStmt>("expected BY after GROUP");
+      advance();
+      while (true) {
+        auto e = parse_expr();
+        if (!e.is_ok()) return Result<SelectStmt>(e.status());
+        stmt.group_by.push_back(std::move(e).value());
+        if (peek().is_symbol(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (peek().is_keyword("WINDOW")) {
+      advance();
+      auto w = parse_seconds("window length after WINDOW");
+      if (!w.is_ok()) return Result<SelectStmt>(w.status());
+      stmt.window_s = std::move(w).value();
+      if (peek().is_keyword("EVERY")) {
+        advance();
+        auto e = parse_seconds("slide length after EVERY");
+        if (!e.is_ok()) return Result<SelectStmt>(e.status());
+        stmt.every_s = std::move(e).value();
+      } else {
+        stmt.every_s = stmt.window_s;  // tumbling by default
+      }
+    }
     return stmt;
+  }
+
+  // A positive duration in seconds, with an optional `s` unit suffix:
+  // `30` and `30s` both parse to 30.0 (the lexer splits `30s` into a
+  // number token followed by the identifier `s`).
+  Result<double> parse_seconds(std::string_view what) {
+    if (peek().type != TokenType::kNumber) {
+      return error<double>("expected " + std::string(what));
+    }
+    double v = advance().number;
+    if (peek().type == TokenType::kIdentifier && peek().text == "s") advance();
+    if (v <= 0.0) {
+      return error<double>(std::string(what) + " must be positive");
+    }
+    return v;
   }
 
   // ---- expression grammar (precedence climbing) -------------------------

@@ -195,30 +195,69 @@ std::vector<std::string> Czar::aq_names() const {
 namespace {
 
 // The sharded planner's supported statement surface. Returns an error
-// naming the construct so rejections are actionable. `once` marks a
-// one-shot SELECT: those may carry avg() — workers rewrite each avg(e)
-// into (sum(e), count(e)) partials and the czar finalizes at the merge
-// barrier — while continuous AQs still reject it (per-epoch partial
-// averages have no single merge point to finalize at).
-Status shardable(const query::SelectStmt& stmt, bool once) {
+// naming the construct so rejections are actionable. avg() is mergeable
+// everywhere: workers rewrite each avg(e) into (sum(e), count(e))
+// partials — at the reply barrier for one-shot SELECTs, per window
+// instant behind the merge frontier for continuous AQs — and the czar
+// finalizes sum/count.
+Status shardable(const query::SelectStmt& stmt) {
   if (stmt.from.size() > 1) {
     return aorta::util::invalid_argument_error(
         "multi-table joins are not supported through the sharded plane "
         "(devices of different tables may live on different shards)");
   }
-  bool has_avg = false;
-  (void)select_has_aggregates(stmt, &has_avg);
-  if (has_avg && !once) {
-    return aorta::util::invalid_argument_error(
-        "avg() is not supported in continuous queries through the sharded "
-        "plane (per-epoch averages are not mergeable; use sum()/count(), "
-        "or a one-shot SELECT where avg() merges from (sum,count) "
-        "partials)");
-  }
   return Status::ok();
 }
 
+// Exact, deterministic group-key encoding (%.17g doubles: distinct keys
+// must never collide, mirroring the rows codec).
+std::string group_key_of(const query::Row& row,
+                         const std::vector<std::size_t>& group_cols) {
+  std::string key;
+  for (std::size_t j : group_cols) {
+    if (j >= row.size()) continue;
+    const device::Value& v = row[j].second;
+    if (std::holds_alternative<std::monostate>(v)) {
+      key += 'n';
+    } else if (const bool* b = std::get_if<bool>(&v)) {
+      key += *b ? "b1" : "b0";
+    } else if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+      key += 'i' + std::to_string(*i);
+    } else if (const double* d = std::get_if<double>(&v)) {
+      key += 'd' + aorta::util::str_format("%.17g", *d);
+    } else if (const std::string* s = std::get_if<std::string>(&v)) {
+      key += 's' + std::to_string(s->size()) + ':' + *s;
+    } else if (const device::Location* l = std::get_if<device::Location>(&v)) {
+      key += 'l' + aorta::util::str_format("%.17g,%.17g,%.17g", l->x, l->y,
+                                           l->z);
+    }
+    key += ';';
+  }
+  return key;
+}
+
 }  // namespace
+
+// Build the czar's merge plan for a continuous aggregate AQ: the shipped
+// column kinds mirror worker.cc's avg -> sum + appended count rewrite.
+Czar::AggPlan Czar::make_agg_plan(const query::SelectStmt& stmt) {
+  AggPlan plan;
+  plan.select_size = stmt.select_list.size();
+  for (std::size_t j = 0; j < stmt.select_list.size(); ++j) {
+    AggKind k = agg_kind(*stmt.select_list[j]);
+    if (k == AggKind::kAvg) {
+      plan.avg_cols.push_back(j);
+      plan.avg_labels.push_back(stmt.select_list[j]->to_string());
+      k = AggKind::kSum;
+    }
+    if (k == AggKind::kNone) plan.group_cols.push_back(j);
+    plan.kinds.push_back(k);
+  }
+  for (std::size_t k = 0; k < plan.avg_cols.size(); ++k) {
+    plan.kinds.push_back(AggKind::kCount);
+  }
+  return plan;
+}
 
 void Czar::exec_async(
     const std::string& sql, core::ExecOptions options,
@@ -234,7 +273,7 @@ void Czar::exec_async(
 
   switch (s.kind) {
     case query::Statement::Kind::kSelect: {
-      Status ok = shardable(s.select, /*once=*/true);
+      Status ok = shardable(s.select);
       if (!ok.is_ok()) {
         done(Result<ExecResult>(ok));
         return;
@@ -244,7 +283,7 @@ void Czar::exec_async(
     }
 
     case query::Statement::Kind::kCreateAq: {
-      Status ok = shardable(s.create_aq.select, /*once=*/false);
+      Status ok = shardable(s.create_aq.select);
       if (!ok.is_ok()) {
         done(Result<ExecResult>(ok));
         return;
@@ -260,6 +299,10 @@ void Czar::exec_async(
       aq.sql = sql;
       aq.epoch_s = s.create_aq.epoch_s;
       aq.options = std::move(options);
+      bool has_avg = false;
+      if (select_has_aggregates(s.create_aq.select, &has_avg)) {
+        aq.agg = make_agg_plan(s.create_aq.select);
+      }
       aqs_.emplace(name, std::move(aq));
       ++stats_.aqs_registered;
 
@@ -344,6 +387,7 @@ Status Czar::drop_aq(const std::string& name) {
   }
   ++stats_.aqs_dropped;
   merger_->forget_query(name);
+  agg_pending_.erase(name);
   for (int i = 0; i < options_.num_shards; ++i) {
     if (shards_[static_cast<std::size_t>(i)].live) send_drop(i, name);
   }
@@ -681,6 +725,7 @@ void Czar::consume(int shard, const net::Message& msg) {
     std::size_t before = merger_->buffered();
     merger_->watermark(shard,
                        TimePoint::from_micros(msg.field_int("watermark_us")));
+    flush_agg_windows();
     std::size_t after = merger_->buffered();
     if (after != before) {
       AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kMerge, "czar:release",
@@ -716,7 +761,75 @@ void Czar::on_row_released(const std::string& query,
                            const query::TimestampedRow& row) {
   auto it = aqs_.find(query);
   if (it == aqs_.end()) return;
+  if (it->second.agg.has_value()) {
+    // Per-shard window partial: fold into the (instant, group key) bucket.
+    // All shards' partials for an instant release in the same frontier
+    // advance (the watermark promise orders every row before its shard's
+    // heartbeat), so flush_agg_windows() — run after that advance — only
+    // ever sees complete windows.
+    const AggPlan& plan = *it->second.agg;
+    auto key = std::make_pair(row.at.to_micros(),
+                              group_key_of(row.row, plan.group_cols));
+    auto& buckets = agg_pending_[query];
+    auto bit = buckets.find(key);
+    if (bit == buckets.end()) {
+      buckets.emplace(std::move(key), row);
+      return;
+    }
+    query::TimestampedRow& acc = bit->second;
+    acc.degraded |= row.degraded;
+    if (row.row.size() != plan.kinds.size() ||
+        acc.row.size() != plan.kinds.size()) {
+      return;  // malformed partial
+    }
+    for (std::size_t j = 0; j < plan.kinds.size(); ++j) {
+      if (plan.kinds[j] == AggKind::kNone) continue;  // group key column
+      combine_value(acc.row[j].second, row.row[j].second, plan.kinds[j]);
+    }
+    return;
+  }
   if (it->second.options.on_row) it->second.options.on_row(query, row);
+}
+
+void Czar::flush_agg_windows() {
+  if (agg_pending_.empty()) return;
+  // Deterministic delivery order: query name, then (instant, group key) —
+  // the bucket map's own order.
+  for (auto& [query, buckets] : agg_pending_) {
+    auto it = aqs_.find(query);
+    // Dropped (or replaced by a non-aggregate) with buffered windows.
+    if (it == aqs_.end() || !it->second.agg.has_value()) continue;
+    const AggPlan& plan = *it->second.agg;
+    for (auto& [key, stamped] : buckets) {
+      query::Row& row = stamped.row;
+      if (row.size() != plan.kinds.size()) continue;  // malformed partial
+      // count() over shards that all skipped is 0, not null.
+      for (std::size_t j = 0; j < plan.kinds.size(); ++j) {
+        if (plan.kinds[j] == AggKind::kCount &&
+            std::holds_alternative<std::monostate>(row[j].second)) {
+          row[j].second = std::int64_t{0};
+        }
+      }
+      // Finalize avg columns from the folded (sum, count) partials,
+      // restore the original labels, drop the helper columns.
+      for (std::size_t k = 0; k < plan.avg_cols.size(); ++k) {
+        const std::size_t j = plan.avg_cols[k];
+        const std::size_t count_col = plan.select_size + k;
+        double sum = 0.0;
+        double n = 0.0;
+        if (device::value_as_double(row[count_col].second, &n) && n > 0.0 &&
+            device::value_as_double(row[j].second, &sum)) {
+          row[j].second = sum / n;
+        } else {
+          row[j].second = device::Value{};
+        }
+        row[j].first = plan.avg_labels[k];
+      }
+      row.resize(plan.select_size);
+      if (it->second.options.on_row) it->second.options.on_row(query, stamped);
+    }
+  }
+  agg_pending_.clear();
 }
 
 // ---- supervision ----------------------------------------------------------
@@ -735,6 +848,7 @@ void Czar::mark_down(int shard) {
   s.ooo.clear();
   ++stats_.workers_marked_down;
   merger_->set_live(shard, false);
+  flush_agg_windows();
   AORTA_TRACE_INSTANT(tracer_, obs::SpanCat::kFragment,
                       "czar:down:" + worker_node(shard), loop_->now(),
                       "unresponsive");

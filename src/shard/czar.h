@@ -26,16 +26,27 @@
 // retransmission, and consumed-heartbeat instants piggyback a cumulative
 // ack that lets the worker trim its replay buffer.
 //
+// Continuous aggregates (DESIGN.md §15): each worker's AggregateCache
+// emits per-shard window partials (avg() rewritten to sum + an appended
+// count by the worker, exactly like the one-shot path), and the czar
+// folds the partials positionally per (window instant, group key) as the
+// merge frontier releases them — all shards' rows for a window instant
+// release in the same watermark advance, so a released window is a
+// complete one. Finalized rows (avg restored, helper columns dropped)
+// reach on_row in deterministic (instant, query, group key) order.
+//
 // Planning limits (surfaced as invalid_argument, documented in DESIGN.md):
-// multi-table joins, avg() aggregates, and DDL other than CREATE AQ /
-// DROP AQ are not supported through the sharded plane.
+// multi-table joins and DDL other than CREATE AQ / DROP AQ are not
+// supported through the sharded plane.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/aorta.h"
@@ -130,11 +141,25 @@ class Czar : public net::Endpoint {
   void on_message(const net::Message& msg) override;
 
  private:
+  // Merge plan for a continuous aggregate AQ: the shape of the rows the
+  // workers ship (select-list kinds with avg folded as sum, then one
+  // appended count per avg — worker.cc's rewrite) plus what the czar
+  // needs to finalize them (avg positions + original labels, group-key
+  // column positions, the original select-list width to resize back to).
+  struct AggPlan {
+    std::vector<AggKind> kinds;           // per shipped column
+    std::vector<std::size_t> avg_cols;    // original avg positions
+    std::vector<std::string> avg_labels;  // original avg(...) labels
+    std::vector<std::size_t> group_cols;  // kNone positions (group keys)
+    std::size_t select_size = 0;          // original select-list width
+  };
+
   struct AqState {
     std::string name;  // full (session-prefixed) name
     std::string sql;
     double epoch_s = 0.0;
     core::ExecOptions options;  // owner + on_row
+    std::optional<AggPlan> agg;  // set when the select list aggregates
   };
 
   struct ShardState {
@@ -147,6 +172,8 @@ class Czar : public net::Endpoint {
     std::uint64_t last_nack_from = ~std::uint64_t{0};
     aorta::util::TimePoint last_nack_at;
   };
+
+  static AggPlan make_agg_plan(const query::SelectStmt& stmt);
 
   net::NodeId worker_node(int shard) const {
     return "shard-" + std::to_string(shard);
@@ -170,6 +197,9 @@ class Czar : public net::Endpoint {
   void consume(int shard, const net::Message& msg);
   void on_row_released(const std::string& query,
                        const query::TimestampedRow& row);
+  // Deliver every buffered aggregate window (all complete by the release
+  // invariant above); called after each frontier advance.
+  void flush_agg_windows();
 
   // Reliable backplane: cumulative acks and gap NACKs (DESIGN.md §14).
   void send_ack(int shard);
@@ -194,6 +224,12 @@ class Czar : public net::Endpoint {
   std::uint64_t dispatch_seq_ = 0;  // czar-global idempotency-key counter
 
   std::map<std::string, AqState> aqs_;
+  // Released-but-unfinalized aggregate partials: query -> (window instant
+  // in micros, encoded group key) -> positionally folded row.
+  std::map<std::string,
+           std::map<std::pair<std::int64_t, std::string>,
+                    query::TimestampedRow>>
+      agg_pending_;
   std::vector<ShardState> shards_;
   std::unique_ptr<Merger> merger_;
   OutcomeSink outcome_sink_;

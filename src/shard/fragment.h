@@ -127,8 +127,9 @@ AggKind agg_kind(const query::Expr& expr);
 
 // True if any select item is an aggregate call. `has_avg` reports whether
 // one of them is avg() — not directly mergeable from per-shard partials:
-// one-shot SELECTs rewrite it into (sum, count) partials the czar
-// finalizes at the merge barrier; continuous AQs still reject it.
+// workers rewrite it into (sum, count) partials the czar finalizes at the
+// merge point (the reply barrier for one-shot SELECTs, the merge frontier
+// per window instant for continuous AQs).
 bool select_has_aggregates(const query::SelectStmt& stmt, bool* has_avg);
 
 }  // namespace aorta::shard

@@ -9,6 +9,43 @@ using aorta::util::Duration;
 using aorta::util::Result;
 using aorta::util::Status;
 
+namespace {
+
+// avg() is not mergeable from per-shard averages, but it is from
+// (sum, count) partials: rewrite each avg(e) into sum(e) in place plus a
+// count(e) appended past the select list, preserving the WHERE, GROUP BY
+// and WINDOW clauses. One-shot SELECT fragments merge the partials at the
+// reply barrier; continuous aggregate fragments per window instant behind
+// the czar's merge frontier (Czar::AggPlan mirrors this column layout).
+query::SelectStmt rewrite_avg_to_partials(const query::SelectStmt& stmt) {
+  query::SelectStmt out;
+  out.from = stmt.from;
+  if (stmt.where != nullptr) out.where = stmt.where->clone();
+  for (const auto& g : stmt.group_by) out.group_by.push_back(g->clone());
+  out.window_s = stmt.window_s;
+  out.every_s = stmt.every_s;
+  std::vector<query::ExprPtr> counts;
+  for (const auto& item : stmt.select_list) {
+    if (agg_kind(*item) == AggKind::kAvg) {
+      std::vector<query::ExprPtr> sum_args;
+      std::vector<query::ExprPtr> count_args;
+      for (const auto& a : item->args) {
+        sum_args.push_back(a->clone());
+        count_args.push_back(a->clone());
+      }
+      out.select_list.push_back(
+          query::Expr::make_func("sum", std::move(sum_args)));
+      counts.push_back(query::Expr::make_func("count", std::move(count_args)));
+    } else {
+      out.select_list.push_back(item->clone());
+    }
+  }
+  for (auto& c : counts) out.select_list.push_back(std::move(c));
+  return out;
+}
+
+}  // namespace
+
 Worker::Worker(core::Aorta* host, Options options)
     : options_(std::move(options)),
       node_id_("shard-" + std::to_string(options_.index)),
@@ -61,6 +98,7 @@ Worker::Worker(core::Aorta* host, Options options)
   exec_options.health = health_.get();
   exec_options.shard = options_.index;
   exec_options.predicate_index = options_.config.predicate_index;
+  exec_options.aggregate_cache = options_.config.aggregate_cache;
   executor_ = std::make_unique<query::ContinuousQueryExecutor>(
       registry_.get(), comm_.get(), scan_broker_.get(), prober_.get(),
       locks_.get(), loop_, catalog_.get(), rng_.fork(), exec_options);
@@ -110,6 +148,9 @@ Worker::Worker(core::Aorta* host, Options options)
   metrics_.enroll_counter("eval.fallback_evals", &es.fallback_evals);
   executor_->set_index_metrics(metrics_.registry(),
                                metrics_.prefix() + "eval.index.");
+  executor_->set_agg_metrics(metrics_.registry(),
+                             metrics_.prefix() + "eval.agg.",
+                             metrics_.prefix() + "broker.agg_cache.");
   const net::RpcStats& rpc = comm_->engine().rpc().stats();
   metrics_.enroll_counter("network.rpc.completed", &rpc.completed);
   metrics_.enroll_counter("network.rpc.timeouts", &rpc.timeouts);
@@ -369,9 +410,23 @@ void Worker::handle_register(const net::Message& msg) {
                                const query::TimestampedRow& row) {
     if (*alive) on_aq_row(query, row);
   };
-  Status registered = executor_->register_aq(
-      spec.name, stmt.value().create_aq.epoch_s,
-      stmt.value().create_aq.select, spec.sql, std::move(hooks));
+  // Continuous aggregates ship per-shard window partials; avg() fragments
+  // are rewritten to (sum, count) partials the czar finalizes per window
+  // instant (the one-shot path's rewrite, behind the merge frontier).
+  bool has_avg = false;
+  (void)select_has_aggregates(stmt.value().create_aq.select, &has_avg);
+  Status registered;
+  if (has_avg) {
+    query::SelectStmt rewritten =
+        rewrite_avg_to_partials(stmt.value().create_aq.select);
+    registered = executor_->register_aq(spec.name,
+                                        stmt.value().create_aq.epoch_s,
+                                        rewritten, spec.sql, std::move(hooks));
+  } else {
+    registered = executor_->register_aq(
+        spec.name, stmt.value().create_aq.epoch_s,
+        stmt.value().create_aq.select, spec.sql, std::move(hooks));
+  }
   if (!registered.is_ok()) {
     ++stats_.bad_requests;
     reply_error(msg, registered.to_string());
@@ -398,34 +453,14 @@ void Worker::handle_drop(const net::Message& msg) {
 void Worker::run_once_select(const net::Message& msg,
                              const query::SelectStmt& stmt) {
   // avg() cannot be merged from per-shard averages, but it *is* mergeable
-  // from (sum, count) partials: rewrite each avg(e) into sum(e) in place
-  // plus a count(e) appended at the end of the select list. The czar
+  // from (sum, count) partials (see rewrite_avg_to_partials). The czar
   // finalizes sum/count and drops the helper columns at the merge barrier.
   bool has_avg = false;
   (void)select_has_aggregates(stmt, &has_avg);
   query::SelectStmt rewritten;
   const query::SelectStmt* to_run = &stmt;
   if (has_avg) {
-    rewritten.from = stmt.from;
-    if (stmt.where != nullptr) rewritten.where = stmt.where->clone();
-    std::vector<query::ExprPtr> counts;
-    for (const auto& item : stmt.select_list) {
-      if (agg_kind(*item) == AggKind::kAvg) {
-        std::vector<query::ExprPtr> sum_args;
-        std::vector<query::ExprPtr> count_args;
-        for (const auto& a : item->args) {
-          sum_args.push_back(a->clone());
-          count_args.push_back(a->clone());
-        }
-        rewritten.select_list.push_back(
-            query::Expr::make_func("sum", std::move(sum_args)));
-        counts.push_back(
-            query::Expr::make_func("count", std::move(count_args)));
-      } else {
-        rewritten.select_list.push_back(item->clone());
-      }
-    }
-    for (auto& c : counts) rewritten.select_list.push_back(std::move(c));
+    rewritten = rewrite_avg_to_partials(stmt);
     to_run = &rewritten;
   }
 

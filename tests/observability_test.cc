@@ -60,11 +60,20 @@ TEST_F(ResultsFixture, ActionOnlyQueriesProduceNoRows) {
   EXPECT_TRUE(sys.executor().recent_results("no_such_query").empty());
 }
 
-TEST_F(ResultsFixture, ContinuousAggregatesAreRejected) {
-  auto r = sys.exec("CREATE AQ bad AS SELECT avg(s.accel_x) "
-                    "FROM sensor s WHERE s.accel_x > 500");
-  ASSERT_FALSE(r.is_ok());
-  EXPECT_NE(r.status().message().find("aggregates"), std::string::npos);
+TEST_F(ResultsFixture, ContinuousAvgStreamsPerEpochWindows) {
+  // Plain continuous avg() (no WINDOW clause) is a per-epoch aggregate:
+  // one row per AQ epoch averaging that epoch's sample.
+  ASSERT_TRUE(sys.exec("CREATE AQ watch AS SELECT avg(s.accel_x) "
+                       "FROM sensor s")
+                  .is_ok());
+  sys.run_for(Duration::seconds(10));
+
+  auto rows = sys.executor().recent_results("watch");
+  ASSERT_GE(rows.size(), 5u);
+  ASSERT_EQ(rows[0].row.size(), 1u);
+  EXPECT_EQ(rows[0].row[0].first, "avg(s.accel_x)");
+  // One mote, flat signal at 0.0 outside the scripted spikes.
+  EXPECT_TRUE(device::value_equal(rows[0].row[0].second, Value{0.0}));
 }
 
 // ----------------------------------------------------------------- trace

@@ -4,8 +4,7 @@
 // glitchy devices, edge-triggered phase assignment, mixed periods, AQs
 // dropped mid-run, residual-only predicates and contradictions. Also
 // pins the register/drop churn invariants (satellite: a 1k-cycle churn
-// storm leaves no index debris and does not perturb surviving AQs) and
-// the polished continuous-avg() rejection message.
+// storm leaves no index debris and does not perturb surviving AQs).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -176,27 +175,6 @@ TEST(PredicateIndexIntegrationTest, ThousandCycleChurnLeavesNoDebris) {
   ChurnRun control(/*churn=*/false);
   EXPECT_EQ(stats_of(*churn.sys, "keeper"), stats_of(*control.sys, "keeper"));
   EXPECT_GT(std::get<0>(stats_of(*churn.sys, "keeper")), 0u);
-}
-
-// ------------------------------------------------------- avg() rejection
-
-TEST(PredicateIndexIntegrationTest,
-     ContinuousAvgRejectionMentionsOneShotSupport) {
-  core::Config cfg;
-  cfg.seed = 3;
-  core::Aorta sys(cfg);
-  ASSERT_TRUE(sys.add_mote("m0", {0, 0, 1}).is_ok());
-  auto r = sys.exec(
-      "CREATE AQ bad AS SELECT avg(s.temp) FROM sensor s "
-      "WHERE s.temp > 20");
-  ASSERT_FALSE(r.is_ok());
-  const std::string msg = r.status().message();
-  // Continuous aggregates stay rejected...
-  EXPECT_NE(msg.find("aggregates"), std::string::npos) << msg;
-  // ...but since one-shot avg() merges (sum, count) partials, the error
-  // must point users at the supported spelling.
-  EXPECT_NE(msg.find("one-shot"), std::string::npos) << msg;
-  EXPECT_NE(msg.find("avg"), std::string::npos) << msg;
 }
 
 }  // namespace

@@ -265,7 +265,7 @@ TEST(MergerTest, ForgetQueryDropsBufferedRows) {
 
 // ------------------------------------------------- czar planning limits
 
-TEST(CzarPlanningTest, RejectsJoinsAvgAndForeignDdl) {
+TEST(CzarPlanningTest, RejectsJoinsAndForeignDdl) {
   core::Aorta sys(core::Config{});
   Plane plane(&sys, Plane::Options{.num_shards = 2});
 
@@ -282,12 +282,11 @@ TEST(CzarPlanningTest, RejectsJoinsAvgAndForeignDdl) {
   ASSERT_FALSE(join.is_ok());
   EXPECT_NE(join.status().message().find("joins"), std::string::npos);
 
-  // One-shot avg() is shardable (rewritten into sum/count partials the
-  // czar finalizes); a *continuous* AQ with avg() is still rejected
-  // because its partials would have to merge incrementally.
+  // Continuous avg() is shardable now too: each worker ships (sum, count)
+  // window partials and the czar finalizes per window instant behind the
+  // merge frontier (DESIGN.md §15).
   auto aq_avg = run("CREATE AQ a AS SELECT avg(s.temp) FROM sensor s");
-  ASSERT_FALSE(aq_avg.is_ok());
-  EXPECT_NE(aq_avg.status().message().find("avg"), std::string::npos);
+  EXPECT_TRUE(aq_avg.is_ok()) << aq_avg.status().to_string();
 
   auto show = run("SHOW DEVICES");
   ASSERT_FALSE(show.is_ok());

@@ -26,6 +26,11 @@ so simulation-derived metrics are identical across machines — baselines
 can pin them tightly. Wall-clock metrics (rows/sec) should only get
 directional bounds, if gated at all.
 
+Every rule of every check is evaluated (no first-mismatch-wins): after the
+per-check log, failures are replayed as one aligned per-metric diff table
+(results file, metric path, actual value, violated bound) so a regression
+across many metrics reads as one table, not a scavenger hunt.
+
 Exit code 0 when every check passes, 1 otherwise. Stdlib only.
 """
 
@@ -53,29 +58,44 @@ def resolve(doc, path):
 
 
 def run_check(check, doc):
-    """Returns (ok, actual, description-of-rule)."""
+    """Returns (actual, [(rule-description, ok), ...]) — every min/max/equals
+    rule is evaluated independently so a failure report can say exactly
+    which bound broke, not just that one of them did."""
     path = check["path"]
     value = resolve(doc, path)
     rules = []
-    ok = True
+    is_num = isinstance(value, (int, float)) and not isinstance(value, bool)
     if "min" in check:
-        rules.append(f">= {check['min']}")
-        ok = ok and isinstance(value, (int, float)) and value >= check["min"]
+        rules.append((f">= {check['min']}", is_num and value >= check["min"]))
     if "max" in check:
-        rules.append(f"<= {check['max']}")
-        ok = ok and isinstance(value, (int, float)) and value <= check["max"]
+        rules.append((f"<= {check['max']}", is_num and value <= check["max"]))
     if "equals" in check:
         want = check["equals"]
-        rules.append(f"== {want!r}")
         if isinstance(want, bool) or isinstance(value, bool):
-            ok = ok and value is want
+            ok = value is want
         elif isinstance(want, (int, float)) and isinstance(value, (int, float)):
-            ok = ok and abs(value - want) <= check.get("tol", 1e-9)
+            ok = abs(value - want) <= check.get("tol", 1e-9)
         else:
-            ok = ok and value == want
+            ok = value == want
+        rules.append((f"== {want!r}", ok))
     if not rules:
         raise ValueError(f"check for {path!r} has no min/max/equals rule")
-    return ok, value, " and ".join(rules)
+    return value, rules
+
+
+def print_diff_table(failures):
+    """Aligned per-metric diff of every failed rule, printed after the full
+    run so one glance shows the complete regression surface."""
+    headers = ("results file", "metric", "actual", "expected")
+    rows = [(f, p, a, e) for f, p, a, e in failures]
+    widths = [max(len(headers[i]), max(len(r[i]) for r in rows))
+              for i in range(4)]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print("\nFailed checks:")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(r[i].ljust(widths[i]) for i in range(4)))
 
 
 def main():
@@ -94,6 +114,7 @@ def main():
 
     failures = 0
     checks_run = 0
+    failed_rows = []  # (results file, metric path, actual, expected)
     for spec_name in specs:
         with open(os.path.join(args.baselines, spec_name)) as f:
             spec = json.load(f)
@@ -113,18 +134,28 @@ def main():
         for check in spec["checks"]:
             checks_run += 1
             try:
-                ok, value, rule = run_check(check, doc)
+                value, rules = run_check(check, doc)
             except KeyError:
                 print(f"FAIL {spec['results']} :: {check['path']}: "
                       f"path not found")
+                failed_rows.append((spec["results"], check["path"],
+                                    "<path not found>", "present"))
                 failures += 1
                 continue
+            ok = all(rule_ok for _, rule_ok in rules)
             status = "ok  " if ok else "FAIL"
             print(f"{status} {spec['results']} :: {check['path']} = "
-                  f"{value!r} (want {rule})")
+                  f"{value!r} (want "
+                  f"{' and '.join(rule for rule, _ in rules)})")
             if not ok:
                 failures += 1
+                for rule, rule_ok in rules:
+                    if not rule_ok:
+                        failed_rows.append((spec["results"], check["path"],
+                                            repr(value), rule))
 
+    if failed_rows:
+        print_diff_table(failed_rows)
     print(f"\n{checks_run} check(s), {failures} failure(s)")
     return 1 if failures else 0
 

@@ -26,6 +26,12 @@ HISTOGRAM_KEYS = {"count", "p50", "p99", "max"}
 # exists at all, these leaves must be under net.reliable.
 RELIABLE_KEYS = {"calls", "attempts", "retries", "giveups",
                  "budget_exhausted", "replay_depth", "replay_hwm"}
+# Shared-aggregate cache (DESIGN.md §15). Wherever an "agg_cache" section
+# appears (engine-level "broker.agg_cache" or a worker's re-rooted
+# "shard.N.broker.agg_cache"), it must carry the sharing counters; an
+# "agg" section under any "eval" must carry the evaluation counters.
+AGG_CACHE_KEYS = {"hits", "misses", "subsumptions", "live_windows"}
+AGG_EVAL_KEYS = {"tuples_evaluated", "emissions", "panes_closed"}
 
 
 def fail(path, msg):
@@ -60,6 +66,27 @@ def check_node(path, node, where):
                       f"got {type(node).__name__}")
 
 
+def check_agg_sections(path, node, where):
+    """Recursively enforce the aggregate-cache schema; returns #violations."""
+    if not isinstance(node, dict) or is_histogram(node):
+        return 0
+    rc = 0
+    for k, v in node.items():
+        if k == "agg_cache" and isinstance(v, dict):
+            missing = AGG_CACHE_KEYS - set(v)
+            if missing:
+                rc += fail(path, f"{where}.{k} missing: {sorted(missing)}")
+        if k == "eval" and isinstance(v, dict):
+            agg = v.get("agg")
+            if isinstance(agg, dict):
+                missing = AGG_EVAL_KEYS - set(agg)
+                if missing:
+                    rc += fail(path,
+                               f"{where}.{k}.agg missing: {sorted(missing)}")
+        rc += check_agg_sections(path, v, f"{where}.{k}")
+    return rc
+
+
 def validate(path):
     try:
         with open(path) as f:
@@ -81,6 +108,8 @@ def validate(path):
     rc = check_node(path, doc, "$")
     if rc:
         return rc
+    if check_agg_sections(path, doc, "$"):
+        return 1
     print(f"{path}: OK ({len(doc)} top-level sections)")
     return 0
 
